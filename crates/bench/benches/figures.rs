@@ -1,0 +1,96 @@
+//! End-to-end figure benchmarks: each paper table/figure family as a
+//! scaled-down cluster simulation, timed by Criterion.
+//!
+//! These measure *simulator throughput per figure workload* (how long it
+//! takes to regenerate a down-scaled version of each result); the
+//! full-fidelity numbers come from `cargo run -p dlion-experiments`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlion_core::{run_env, RunConfig, SystemKind};
+use dlion_microcloud::{ClusterKind, EnvId};
+use std::hint::black_box;
+
+fn tiny(system: SystemKind, cluster: ClusterKind) -> RunConfig {
+    let mut c = RunConfig::paper_default(system, cluster);
+    c.duration = 60.0;
+    c.workload.train_size = 1500;
+    c.workload.test_size = 300;
+    c.eval_interval = 30.0;
+    c.eval_subset = 100;
+    c.dkt.period_iters = 10;
+    c
+}
+
+fn bench_fig11_system_heterogeneity(c: &mut Criterion) {
+    c.bench_function("fig11_dlion_hetero_sys_a", |b| {
+        b.iter(|| {
+            black_box(run_env(
+                &tiny(SystemKind::DLion, ClusterKind::Cpu),
+                EnvId::HeteroSysA,
+            ))
+        })
+    });
+    c.bench_function("fig11_baseline_hetero_sys_a", |b| {
+        b.iter(|| {
+            black_box(run_env(
+                &tiny(SystemKind::Baseline, ClusterKind::Cpu),
+                EnvId::HeteroSysA,
+            ))
+        })
+    });
+}
+
+fn bench_fig12_gpu_cluster(c: &mut Criterion) {
+    c.bench_function("fig12_dlion_hetero_sys_c_gpu", |b| {
+        b.iter(|| {
+            black_box(run_env(
+                &tiny(SystemKind::DLion, ClusterKind::Gpu),
+                EnvId::HeteroSysC,
+            ))
+        })
+    });
+}
+
+fn bench_fig13_compute_heterogeneity(c: &mut Criterion) {
+    c.bench_function("fig13_dlion_hetero_cpu_a", |b| {
+        b.iter(|| {
+            black_box(run_env(
+                &tiny(SystemKind::DLion, ClusterKind::Cpu),
+                EnvId::HeteroCpuA,
+            ))
+        })
+    });
+}
+
+fn bench_fig15_network_heterogeneity(c: &mut Criterion) {
+    c.bench_function("fig15_gaia_hetero_net_a", |b| {
+        b.iter(|| {
+            black_box(run_env(
+                &tiny(SystemKind::Gaia, ClusterKind::Cpu),
+                EnvId::HeteroNetA,
+            ))
+        })
+    });
+}
+
+fn bench_fig18_dynamic_resources(c: &mut Criterion) {
+    c.bench_function("fig18_dlion_dynamic_sys_a", |b| {
+        b.iter(|| {
+            black_box(run_env(
+                &tiny(SystemKind::DLion, ClusterKind::Cpu),
+                EnvId::DynamicSysA,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig11_system_heterogeneity,
+        bench_fig12_gpu_cluster,
+        bench_fig13_compute_heterogeneity,
+        bench_fig15_network_heterogeneity,
+        bench_fig18_dynamic_resources
+);
+criterion_main!(benches);

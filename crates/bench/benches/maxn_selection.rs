@@ -1,0 +1,61 @@
+//! Benchmarks for the Max N machinery (§3.3): selection, the planner's
+//! per-iteration preprocessing, and the budget→N inversion that runs once
+//! per link per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlion_core::MaxNPlanner;
+use dlion_tensor::sparse::{kth_largest_abs, max_n_select, n_for_budget};
+use dlion_tensor::{DetRng, Shape, Tensor};
+use std::hint::black_box;
+
+fn model_like_grads() -> Vec<Tensor> {
+    // Shapes roughly matching CipherNet's 10 weight variables (~15k params).
+    let mut rng = DetRng::seed_from_u64(1);
+    vec![
+        Tensor::randn(Shape::d4(6, 1, 3, 3), 0.5, &mut rng),
+        Tensor::randn(Shape::d1(6), 0.5, &mut rng),
+        Tensor::randn(Shape::d4(12, 6, 3, 3), 0.5, &mut rng),
+        Tensor::randn(Shape::d1(12), 0.5, &mut rng),
+        Tensor::randn(Shape::d4(24, 12, 3, 3), 0.5, &mut rng),
+        Tensor::randn(Shape::d1(24), 0.5, &mut rng),
+        Tensor::randn(Shape::d2(216, 48), 0.5, &mut rng),
+        Tensor::randn(Shape::d1(48), 0.5, &mut rng),
+        Tensor::randn(Shape::d2(48, 10), 0.5, &mut rng),
+        Tensor::randn(Shape::d1(10), 0.5, &mut rng),
+    ]
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut rng = DetRng::seed_from_u64(2);
+    let dense = Tensor::randn(Shape::d1(15_000), 1.0, &mut rng);
+    c.bench_function("max_n_select_15k_n10", |b| {
+        b.iter(|| black_box(max_n_select(black_box(dense.data()), 10.0)))
+    });
+    c.bench_function("kth_largest_abs_15k_k500", |b| {
+        b.iter(|| black_box(kth_largest_abs(black_box(dense.data()), 500)))
+    });
+    c.bench_function("n_for_budget_15k_b500", |b| {
+        b.iter(|| black_box(n_for_budget(black_box(dense.data()), 500, 0.85)))
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let grads = model_like_grads();
+    c.bench_function("planner_build_cipher_grads", |b| {
+        b.iter(|| black_box(MaxNPlanner::new(black_box(&grads))))
+    });
+    let planner = MaxNPlanner::new(&grads);
+    c.bench_function("planner_budget_inversion", |b| {
+        b.iter(|| black_box(planner.n_for_entry_budget(black_box(700), 0.85)))
+    });
+    c.bench_function("planner_select_per_link", |b| {
+        b.iter(|| black_box(planner.select(&grads, black_box(35.0))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_selection, bench_planner
+);
+criterion_main!(benches);

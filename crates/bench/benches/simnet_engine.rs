@@ -1,0 +1,75 @@
+//! Benchmarks for the discrete-event substrate: event queue throughput and
+//! transfer-time computation under schedules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlion_simnet::{EventQueue, NetworkModel, PiecewiseConst};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u32 {
+                // Pseudo-random but deterministic times.
+                let t = (i.wrapping_mul(2_654_435_761) % 100_000) as f64;
+                q.schedule(t, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc += e as u64;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_transfers(c: &mut Criterion) {
+    c.bench_function("network_transfer_constant_bw", |b| {
+        let mut net = NetworkModel::uniform(6, 50.0, 0.05);
+        let mut t = 0.0;
+        b.iter(|| {
+            let tr = net.transfer(0, 1, 5_000_000.0, t);
+            t = tr.depart; // keep time monotone
+            black_box(tr)
+        })
+    });
+    c.bench_function("network_transfer_stepped_bw", |b| {
+        let mut net = NetworkModel::uniform(6, 50.0, 0.05);
+        // 200 bandwidth steps to walk through.
+        let steps: Vec<(f64, f64)> = (0..200)
+            .map(|i| (i as f64 * 10.0, 20.0 + (i % 5) as f64 * 20.0))
+            .collect();
+        net.set_link(0, 1, PiecewiseConst::steps(steps));
+        let mut t = 0.0;
+        b.iter(|| {
+            let tr = net.transfer(0, 1, 1_000_000.0, t);
+            t = (tr.depart + 0.001).min(1800.0);
+            black_box(tr)
+        })
+    });
+}
+
+fn bench_schedule_math(c: &mut Criterion) {
+    let sched = PiecewiseConst::steps(
+        (0..500)
+            .map(|i| (i as f64 * 3.0, 10.0 + (i % 7) as f64))
+            .collect(),
+    );
+    c.bench_function("schedule_value_at", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t = (t + 13.7) % 1500.0;
+            black_box(sched.value_at(black_box(t)))
+        })
+    });
+    c.bench_function("schedule_time_to_accumulate", |b| {
+        b.iter(|| black_box(sched.time_to_accumulate(black_box(42.0), black_box(5_000.0))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_event_queue, bench_transfers, bench_schedule_math
+);
+criterion_main!(benches);

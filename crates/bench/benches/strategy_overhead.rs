@@ -1,0 +1,69 @@
+//! Per-iteration overhead of each system's `generate_partial_gradients` —
+//! the framework cost a real deployment would pay on every iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlion_core::strategy::{build_strategy, ExchangeStrategy, StrategyCtx};
+use dlion_core::{RunConfig, SystemKind};
+use dlion_microcloud::ClusterKind;
+use dlion_nn::{cipher_net, Model};
+use dlion_tensor::{DetRng, Shape, Tensor};
+use std::hint::black_box;
+
+fn setup() -> (Model, Vec<Tensor>, StrategyCtx) {
+    let mut rng = DetRng::seed_from_u64(1);
+    let model = cipher_net(&Shape::d4(1, 1, 12, 12), 10, 6, 12, 24, 48, &mut rng);
+    let grads: Vec<Tensor> = (0..model.num_vars())
+        .map(|v| Tensor::randn(model.var(v).shape().clone(), 0.1, &mut rng))
+        .collect();
+    let total_params = model.num_params();
+    let ctx = StrategyCtx {
+        worker: 0,
+        n: 6,
+        iteration: 7,
+        now: 100.0,
+        lbs: 32,
+        iter_time: 2.0,
+        neighbors: (1..6).collect(),
+        bw_mbps: vec![0.0, 50.0, 50.0, 35.0, 20.0, 20.0],
+        bytes_per_param: 5_000_000.0 / total_params as f64,
+        total_params,
+        lr: 0.15,
+    };
+    (model, grads, ctx)
+}
+
+fn strategy_for(kind: SystemKind) -> Box<dyn ExchangeStrategy> {
+    let cfg = RunConfig::paper_default(kind, ClusterKind::Cpu);
+    build_strategy(&cfg)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let (model, grads, ctx) = setup();
+    for kind in [
+        SystemKind::Baseline,
+        SystemKind::Hop,
+        SystemKind::Gaia,
+        SystemKind::Ako,
+        SystemKind::DLion,
+        SystemKind::MaxNOnly(10.0),
+    ] {
+        let mut strategy = strategy_for(kind);
+        let mut ctx = ctx.clone();
+        c.bench_function(
+            &format!("generate_partial_gradients_{}", kind.name()),
+            |b| {
+                b.iter(|| {
+                    ctx.iteration += 1; // rotate Ako blocks realistically
+                    black_box(strategy.generate_partial_gradients(&ctx, &grads, &model))
+                })
+            },
+        );
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_strategies
+);
+criterion_main!(benches);

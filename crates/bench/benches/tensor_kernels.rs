@@ -1,0 +1,61 @@
+//! Microbenchmarks for the tensor kernels that dominate simulation cost:
+//! matmul, convolution forward/backward, pooling and the loss.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlion_tensor::ops::{conv2d, conv2d_backward, conv2d_im2col, matmul, maxpool2, softmax_xent};
+use dlion_tensor::{DetRng, Shape, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = DetRng::seed_from_u64(1);
+    let a = Tensor::randn(Shape::d2(64, 216), 1.0, &mut rng);
+    let b = Tensor::randn(Shape::d2(216, 48), 1.0, &mut rng);
+    c.bench_function("matmul_64x216x48", |bench| {
+        bench.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+    });
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng = DetRng::seed_from_u64(2);
+    let input = Tensor::randn(Shape::d4(32, 6, 12, 12), 1.0, &mut rng);
+    let weight = Tensor::randn(Shape::d4(12, 6, 3, 3), 0.3, &mut rng);
+    let bias = Tensor::zeros(Shape::d1(12));
+    c.bench_function("conv2d_fwd_b32_6to12_12x12", |bench| {
+        bench.iter(|| black_box(conv2d(black_box(&input), &weight, &bias, 1)))
+    });
+    // The GEMM-lowered backend on the same shape (direct vs. im2col).
+    c.bench_function("conv2d_im2col_b32_6to12_12x12", |bench| {
+        bench.iter(|| black_box(conv2d_im2col(black_box(&input), &weight, &bias, 1)))
+    });
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let mut rng = DetRng::seed_from_u64(3);
+    let input = Tensor::randn(Shape::d4(32, 6, 12, 12), 1.0, &mut rng);
+    let weight = Tensor::randn(Shape::d4(12, 6, 3, 3), 0.3, &mut rng);
+    let bias = Tensor::zeros(Shape::d1(12));
+    let out = conv2d(&input, &weight, &bias, 1);
+    c.bench_function("conv2d_bwd_b32_6to12_12x12", |bench| {
+        bench.iter(|| black_box(conv2d_backward(black_box(&input), &weight, &out, 1)))
+    });
+}
+
+fn bench_pool_and_loss(c: &mut Criterion) {
+    let mut rng = DetRng::seed_from_u64(4);
+    let x = Tensor::randn(Shape::d4(32, 12, 12, 12), 1.0, &mut rng);
+    c.bench_function("maxpool2_b32_12ch_12x12", |bench| {
+        bench.iter(|| black_box(maxpool2(black_box(&x))))
+    });
+    let logits = Tensor::randn(Shape::d2(192, 10), 1.0, &mut rng);
+    let labels: Vec<usize> = (0..192).map(|i| i % 10).collect();
+    c.bench_function("softmax_xent_b192_c10", |bench| {
+        bench.iter(|| black_box(softmax_xent(black_box(&logits), &labels)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_matmul, bench_conv_forward, bench_conv_backward, bench_pool_and_loss
+);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! The global batch size (GBS) controller (§3.2).
+//!
+//! Grows the GBS in two phases, driven by the two empirical findings behind
+//! Figure 5 (early growth hurts accuracy; growth after the early phase is
+//! safe):
+//!
+//! * **warm-up** — arithmetic progression `GBS += C_warmup`, stopping once
+//!   GBS exceeds 1 % of the training set,
+//! * **speed-up** — geometric progression `GBS *= C_speedup`, stopping once
+//!   GBS exceeds 10 % of the training set (after Smith et al.).
+//!
+//! The learning rate is never changed. All knobs are configurable, as §3.2
+//! requires.
+
+/// Tunables for the GBS controller.
+#[derive(Clone, Copy, Debug)]
+pub struct GbsConfig {
+    /// Arithmetic increment during warm-up (`C_warmup`).
+    pub warmup_increment: usize,
+    /// Geometric factor during speed-up (`C_speedup`).
+    pub speedup_factor: f64,
+    /// Warm-up stops when GBS exceeds this fraction of the training set.
+    pub warmup_cap_frac: f64,
+    /// Speed-up stops when GBS exceeds this fraction of the training set.
+    pub speedup_cap_frac: f64,
+    /// Seconds of virtual time between adjustment opportunities.
+    pub adjust_period_secs: f64,
+}
+
+impl Default for GbsConfig {
+    fn default() -> Self {
+        GbsConfig {
+            warmup_increment: 64,
+            speedup_factor: 1.5,
+            warmup_cap_frac: 0.01,
+            speedup_cap_frac: 0.10,
+            adjust_period_secs: 500.0,
+        }
+    }
+}
+
+/// Which growth phase the controller is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GbsPhase {
+    Warmup,
+    Speedup,
+    Done,
+}
+
+/// Automatic global-batch-size growth.
+///
+/// ```
+/// use dlion_core::gbs::{GbsConfig, GbsController, GbsPhase};
+///
+/// // 6 workers x LBS 32 over a 24k-sample training set.
+/// let mut gbs = GbsController::new(192, 24_000, GbsConfig::default());
+/// assert_eq!(gbs.phase(), GbsPhase::Warmup);
+/// while gbs.maybe_adjust().is_some() {}
+/// assert_eq!(gbs.gbs(), 2_400); // stopped exactly at 10% of the data
+/// assert_eq!(gbs.phase(), GbsPhase::Done);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GbsController {
+    cfg: GbsConfig,
+    train_size: usize,
+    gbs: usize,
+    phase: GbsPhase,
+}
+
+impl GbsController {
+    pub fn new(initial_gbs: usize, train_size: usize, cfg: GbsConfig) -> Self {
+        assert!(initial_gbs > 0 && train_size > 0);
+        assert!(cfg.warmup_increment > 0);
+        assert!(cfg.speedup_factor > 1.0, "speed-up must grow the GBS");
+        assert!(0.0 < cfg.warmup_cap_frac && cfg.warmup_cap_frac <= cfg.speedup_cap_frac);
+        let mut c = GbsController {
+            cfg,
+            train_size,
+            gbs: initial_gbs,
+            phase: GbsPhase::Warmup,
+        };
+        c.update_phase();
+        c
+    }
+
+    fn warmup_cap(&self) -> usize {
+        (self.cfg.warmup_cap_frac * self.train_size as f64) as usize
+    }
+
+    fn speedup_cap(&self) -> usize {
+        (self.cfg.speedup_cap_frac * self.train_size as f64) as usize
+    }
+
+    fn update_phase(&mut self) {
+        if self.gbs > self.speedup_cap() {
+            self.phase = GbsPhase::Done;
+        } else if self.gbs > self.warmup_cap() {
+            self.phase = GbsPhase::Speedup;
+        }
+    }
+
+    pub fn gbs(&self) -> usize {
+        self.gbs
+    }
+
+    pub fn phase(&self) -> GbsPhase {
+        self.phase
+    }
+
+    /// One adjustment opportunity (the runner calls this every
+    /// `adjust_period_secs`). Returns the new GBS if it changed.
+    ///
+    /// Growth stops once GBS reaches each cap ("GBS increment stops if GBS
+    /// is greater than x % of the data size"); the final step is clamped to
+    /// the cap rather than overshooting it, since overshooting the 10 %
+    /// ceiling is exactly the accuracy hazard the rule exists to avoid.
+    pub fn maybe_adjust(&mut self) -> Option<usize> {
+        let before = self.gbs;
+        match self.phase {
+            GbsPhase::Done => return None,
+            GbsPhase::Warmup => {
+                self.gbs = (self.gbs + self.cfg.warmup_increment).min(self.speedup_cap());
+                self.update_phase();
+            }
+            GbsPhase::Speedup => {
+                let grown = ((self.gbs as f64) * self.cfg.speedup_factor).round() as usize;
+                self.gbs = grown.min(self.speedup_cap());
+                if self.gbs == self.speedup_cap() {
+                    self.phase = GbsPhase::Done;
+                } else {
+                    self.update_phase();
+                }
+            }
+        }
+        (self.gbs != before).then_some(self.gbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GbsConfig {
+        GbsConfig {
+            warmup_increment: 64,
+            speedup_factor: 2.0,
+            warmup_cap_frac: 0.01,
+            speedup_cap_frac: 0.10,
+            adjust_period_secs: 250.0,
+        }
+    }
+
+    #[test]
+    fn warmup_is_arithmetic_then_speedup_geometric() {
+        // Train size 24000: warm-up cap 240, speed-up cap 2400.
+        let mut c = GbsController::new(192, 24_000, cfg());
+        assert_eq!(c.phase(), GbsPhase::Warmup);
+        assert_eq!(c.maybe_adjust(), Some(256)); // +64, crosses 240 -> speed-up
+        assert_eq!(c.phase(), GbsPhase::Speedup);
+        assert_eq!(c.maybe_adjust(), Some(512));
+        assert_eq!(c.maybe_adjust(), Some(1024));
+        assert_eq!(c.maybe_adjust(), Some(2048));
+        assert_eq!(c.maybe_adjust(), Some(2400)); // clamped to the 10% cap
+        assert_eq!(c.phase(), GbsPhase::Done);
+        assert_eq!(c.maybe_adjust(), None);
+        assert_eq!(c.gbs(), 2400);
+    }
+
+    #[test]
+    fn starts_in_speedup_if_already_past_warmup_cap() {
+        let mut c = GbsController::new(300, 24_000, cfg());
+        assert_eq!(c.phase(), GbsPhase::Speedup);
+        assert_eq!(c.maybe_adjust(), Some(600));
+    }
+
+    #[test]
+    fn starts_done_if_already_past_speedup_cap() {
+        let mut c = GbsController::new(3000, 24_000, cfg());
+        assert_eq!(c.phase(), GbsPhase::Done);
+        assert_eq!(c.maybe_adjust(), None);
+    }
+
+    #[test]
+    fn gbs_is_monotone_nondecreasing() {
+        let mut c = GbsController::new(32, 10_000, cfg());
+        let mut prev = c.gbs();
+        for _ in 0..50 {
+            c.maybe_adjust();
+            assert!(c.gbs() >= prev);
+            prev = c.gbs();
+        }
+        assert_eq!(c.phase(), GbsPhase::Done);
+    }
+
+    #[test]
+    fn final_gbs_is_exactly_the_cap() {
+        let mut c = GbsController::new(32, 10_000, cfg());
+        while c.maybe_adjust().is_some() {}
+        assert_eq!(
+            c.gbs(),
+            1_000,
+            "must stop exactly at 10% of the training set"
+        );
+        assert_eq!(c.phase(), GbsPhase::Done);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed-up must grow")]
+    fn bad_speedup_factor_panics() {
+        let mut c = cfg();
+        c.speedup_factor = 1.0;
+        GbsController::new(32, 1000, c);
+    }
+}

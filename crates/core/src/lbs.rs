@@ -1,0 +1,199 @@
+//! The local batch size (LBS) controller (§3.2).
+//!
+//! Workers are profiled by *measurement*, not by reading hardware specs: the
+//! controller fits a line through `(local batch size, iteration time)`
+//! samples, derives each worker's **relative compute power** `RCP_i` — the
+//! maximum batch it can process in a unit of time — and assigns
+//!
+//! ```text
+//! LBS_i = GBS * RCP_i / Σ_j RCP_j          (Eq. 5)
+//! ```
+
+use dlion_tensor::stats::linear_fit;
+
+/// The LBS values used when profiling a worker.
+pub const PROFILE_LBS: [usize; 4] = [8, 16, 32, 64];
+
+/// Unit time (seconds) for the RCP definition ("a maximum local batch size
+/// that worker *i* can process during a given unit time"). Only the relative
+/// RCPs matter for Eq. 5, but the unit must exceed the per-iteration
+/// overhead so every RCP is positive.
+pub const RCP_UNIT_SECS: f64 = 10.0;
+
+/// Estimate the relative compute power from profiling samples
+/// `(lbs, seconds)`: the batch size processable in [`RCP_UNIT_SECS`],
+/// clamped to at least 1.
+///
+/// The paper defines RCP as "a maximum local batch size that worker *i*
+/// can process during a given unit time". Real hardware's batch-time curve
+/// is mildly concave (large batches are more efficient per sample), so a
+/// purely linear extrapolation would *under*-assign work to fast workers
+/// and leave the slow ones as stragglers. We therefore (1) estimate the
+/// per-iteration overhead from the linear fit's intercept, then (2) fit a
+/// local power law `t - a ≈ K·lbs^β` through the two largest probes and
+/// invert it at the unit time — which degrades gracefully to the plain
+/// linear answer when the measured curve *is* linear (β ≈ 1).
+pub fn compute_rcp(samples: &[(f64, f64)]) -> f64 {
+    assert!(samples.len() >= 2, "need at least two profiling samples");
+    let xs: Vec<f64> = samples.iter().map(|s| s.0).collect();
+    let ys: Vec<f64> = samples.iter().map(|s| s.1).collect();
+    let (intercept, slope) = linear_fit(&xs, &ys);
+    if slope <= 0.0 {
+        // Degenerate measurement (e.g. all-equal times); treat the worker as
+        // fast enough to process the largest probed batch in unit time.
+        return xs.iter().cloned().fold(1.0, f64::max);
+    }
+    let linear_rcp = ((RCP_UNIT_SECS - intercept) / slope).max(1.0);
+    let a = intercept.max(0.0);
+    // Two largest-LBS probes dominate the curve's shape.
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    order.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap());
+    let (i1, i2) = (order[order.len() - 2], order[order.len() - 1]);
+    let (l1, t1) = (xs[i1], ys[i1] - a);
+    let (l2, t2) = (xs[i2], ys[i2] - a);
+    if !(l2 > l1 && t1 > 0.0 && t2 > t1) {
+        return linear_rcp;
+    }
+    let beta = (t2 / t1).ln() / (l2 / l1).ln();
+    if !beta.is_finite() || !(0.05..=1.5).contains(&beta) {
+        return linear_rcp;
+    }
+    let k = t2 / l2.powf(beta);
+    let rcp = ((RCP_UNIT_SECS - a).max(k) / k).powf(1.0 / beta);
+    if rcp.is_finite() {
+        rcp.max(1.0)
+    } else {
+        linear_rcp
+    }
+}
+
+/// Split `gbs` across workers proportionally to their RCPs (Eq. 5), with
+/// largest-remainder rounding so the parts sum exactly to `gbs` and every
+/// worker gets at least 1 sample.
+pub fn partition_gbs(gbs: usize, rcps: &[f64]) -> Vec<usize> {
+    assert!(!rcps.is_empty());
+    assert!(
+        gbs >= rcps.len(),
+        "GBS {gbs} too small for {} workers",
+        rcps.len()
+    );
+    assert!(rcps.iter().all(|&r| r > 0.0), "RCPs must be positive");
+    let total: f64 = rcps.iter().sum();
+    let ideal: Vec<f64> = rcps.iter().map(|r| gbs as f64 * r / total).collect();
+    // Floor with a minimum of 1, then distribute the remainder by largest
+    // fractional part (ties broken by worker index for determinism).
+    let mut lbs: Vec<usize> = ideal.iter().map(|&x| (x.floor() as usize).max(1)).collect();
+    let mut assigned: usize = lbs.iter().sum();
+    // Flooring with min-1 can overshoot if many ideals < 1; shave from the
+    // largest allocations (keeping >= 1).
+    while assigned > gbs {
+        let (imax, _) = lbs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .expect("non-empty");
+        assert!(lbs[imax] > 1, "cannot satisfy min-1 with GBS {gbs}");
+        lbs[imax] -= 1;
+        assigned -= 1;
+    }
+    let mut order: Vec<usize> = (0..rcps.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = ideal[a] - ideal[a].floor();
+        let fb = ideal[b] - ideal[b].floor();
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    let mut k = 0;
+    while assigned < gbs {
+        lbs[order[k % order.len()]] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    debug_assert_eq!(lbs.iter().sum::<usize>(), gbs);
+    lbs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rcp_from_clean_profile() {
+        // time = 0.1 + lbs * 0.059375  (24 cores, cost 1.425)
+        let samples: Vec<(f64, f64)> = PROFILE_LBS
+            .iter()
+            .map(|&l| (l as f64, 0.1 + l as f64 * 0.059375))
+            .collect();
+        let rcp = compute_rcp(&samples);
+        let expect = (RCP_UNIT_SECS - 0.1) / 0.059375;
+        assert!((rcp - expect).abs() < 1e-6, "{rcp} vs {expect}");
+    }
+
+    #[test]
+    fn rcp_ratio_tracks_capacity_ratio() {
+        let mk = |cores: f64| -> f64 {
+            let samples: Vec<(f64, f64)> = PROFILE_LBS
+                .iter()
+                .map(|&l| (l as f64, 0.1 + l as f64 * 1.425 / cores))
+                .collect();
+            compute_rcp(&samples)
+        };
+        let r24 = mk(24.0);
+        let r12 = mk(12.0);
+        let r6 = mk(6.0);
+        assert!((r24 / r12 - 2.0).abs() < 0.01, "{}", r24 / r12);
+        assert!((r24 / r6 - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rcp_degenerate_profile() {
+        let rcp = compute_rcp(&[(8.0, 1.0), (16.0, 1.0), (32.0, 1.0)]);
+        assert_eq!(rcp, 32.0);
+    }
+
+    #[test]
+    fn partition_sums_to_gbs_and_proportional() {
+        let lbs = partition_gbs(192, &[4.0, 4.0, 2.0, 2.0, 1.0, 1.0]);
+        assert_eq!(lbs.iter().sum::<usize>(), 192);
+        // Proportional: 192 * 4/14 ≈ 54.9, 2/14 ≈ 27.4, 1/14 ≈ 13.7.
+        assert!((54..=56).contains(&lbs[0]));
+        assert!((27..=28).contains(&lbs[2]));
+        assert!((13..=14).contains(&lbs[4]));
+        assert_eq!(lbs[0], lbs[1]);
+        assert_eq!(lbs[2], lbs[3]);
+    }
+
+    #[test]
+    fn partition_even_when_homogeneous() {
+        let lbs = partition_gbs(192, &[3.0; 6]);
+        assert_eq!(lbs, vec![32; 6]);
+    }
+
+    #[test]
+    fn partition_min_one_sample() {
+        // One worker is 1000x slower; it must still get >= 1 sample.
+        let lbs = partition_gbs(100, &[1000.0, 1.0]);
+        assert_eq!(lbs.iter().sum::<usize>(), 100);
+        assert!(lbs[1] >= 1);
+    }
+
+    #[test]
+    fn partition_remainders_are_deterministic() {
+        let a = partition_gbs(191, &[4.0, 4.0, 2.0, 2.0, 1.0, 1.0]);
+        let b = partition_gbs(191, &[4.0, 4.0, 2.0, 2.0, 1.0, 1.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<usize>(), 191);
+    }
+
+    #[test]
+    fn partition_handles_tiny_gbs() {
+        let lbs = partition_gbs(6, &[10.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(lbs.iter().sum::<usize>(), 6);
+        assert!(lbs.iter().all(|&l| l >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn partition_gbs_below_worker_count_panics() {
+        partition_gbs(3, &[1.0; 6]);
+    }
+}

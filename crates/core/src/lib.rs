@@ -1,0 +1,56 @@
+//! # dlion-core
+//!
+//! The DLion system (HPDC '21) and the four comparison systems the paper
+//! evaluates against, all running over the `dlion-simnet` micro-cloud
+//! simulator with real SGD inside a virtual clock.
+//!
+//! ## The three DLion techniques
+//!
+//! * **Weighted dynamic batching** (§3.2) — [`gbs::GbsController`] grows the
+//!   global batch size through warm-up (arithmetic) and speed-up (geometric)
+//!   phases; [`lbs`] profiles workers and splits the GBS proportionally to
+//!   relative compute power (Eq. 5); [`weighted`] applies the dynamic
+//!   batching weight `db_j^k = LBS_j / LBS_k` in the model update (Eq. 7).
+//! * **Per-link prioritized gradient exchange** (§3.3) — [`maxn::MaxNPlanner`]
+//!   implements the Max N data-quality-assurance selection and the
+//!   transmission-speed-assurance inversion from per-link bandwidth budgets
+//!   to the largest admissible N.
+//! * **Direct knowledge transfer** (§3.4) — [`dkt`] tracks loss averages,
+//!   elects the best worker, and merges pulled weights with
+//!   `w ← w − λ(w − w_best)`.
+//!
+//! ## The framework
+//!
+//! Like the paper's prototype, the comparison systems are plugins: each is a
+//! small [`strategy::ExchangeStrategy`] implementation (Baseline, Ako, Gaia,
+//! Hop — Table 1's generality claim), combined with a [`sync::SyncPolicy`]
+//! (`synch_training` in the paper's API). The [`runner::ClusterRunner`]
+//! plays the role of a worker's main loop plus Redis queues: gradient
+//! computation, partial-gradient generation/sending, model update on
+//! arrival, model synchronization, and batch-size update (Fig. 10).
+
+pub mod config;
+pub mod dkt;
+pub mod gbs;
+pub mod lbs;
+pub mod maxn;
+pub mod messages;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod strategy;
+pub mod sync;
+pub mod topology;
+pub mod weighted;
+pub mod worker;
+
+pub use config::{RunConfig, SystemKind, Workload};
+pub use dkt::{DktConfig, DktMode, DktState};
+pub use gbs::{GbsConfig, GbsController, GbsPhase};
+pub use maxn::MaxNPlanner;
+pub use messages::{GradMsg, Payload};
+pub use metrics::RunMetrics;
+pub use runner::{run_env, run_with_models, ClusterRunner};
+pub use strategy::{ExchangeStrategy, PeerUpdate, StrategyCtx};
+pub use sync::{SyncPolicy, SyncState};
+pub use topology::Topology;

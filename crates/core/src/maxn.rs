@@ -1,0 +1,245 @@
+//! Per-link prioritized gradient exchange (§3.3).
+//!
+//! Two cooperating modules:
+//!
+//! * **Data quality assurance** — the *Max N* algorithm: per weight
+//!   variable, select gradient entries whose absolute value is within `N%`
+//!   of that variable's maximum absolute value (implemented in
+//!   `dlion_tensor::sparse`).
+//! * **Transmission speed assurance** — per link, per iteration, find the
+//!   *largest* `N` whose selection fits the link's byte budget
+//!   `BW_net_j × iteration_time` (the data the link can carry while one
+//!   iteration runs, shared across the n−1 peer links of the NIC).
+//!
+//! [`MaxNPlanner`] makes the inversion cheap: it pre-sorts each variable's
+//! gradient magnitudes once per iteration, after which counting the
+//! selection size for any `N` is a handful of binary searches, and the
+//! largest admissible `N` is found by bisection over `[min_n, 100]`.
+
+use dlion_tensor::sparse::{max_n_select_model, SparseVec};
+use dlion_tensor::Tensor;
+
+/// Precomputed per-variable magnitude tables for one iteration's gradients.
+///
+/// ```
+/// use dlion_core::MaxNPlanner;
+/// use dlion_tensor::{DetRng, Shape, Tensor};
+///
+/// let mut rng = DetRng::seed_from_u64(1);
+/// let grads = vec![Tensor::randn(Shape::d1(1000), 1.0, &mut rng)];
+/// let planner = MaxNPlanner::new(&grads);
+///
+/// // A 100-entry link budget inverts to the largest admissible N...
+/// let n = planner.n_for_entry_budget(100, 0.85);
+/// assert!(planner.count_for_n(n) <= 100);
+/// // ...and an unconstrained link ships the dense gradient (N = 100).
+/// assert_eq!(planner.n_for_entry_budget(usize::MAX, 0.85), 100.0);
+/// ```
+pub struct MaxNPlanner {
+    /// Per variable: |g| sorted ascending.
+    sorted_abs: Vec<Vec<f32>>,
+    /// Per variable: max |g|.
+    max_abs: Vec<f32>,
+    total_entries: usize,
+}
+
+impl MaxNPlanner {
+    /// Build from one model gradient (one tensor per weight variable).
+    pub fn new(grads: &[Tensor]) -> Self {
+        let mut sorted_abs = Vec::with_capacity(grads.len());
+        let mut max_abs = Vec::with_capacity(grads.len());
+        let mut total = 0;
+        for g in grads {
+            let mut abs: Vec<f32> = g.data().iter().map(|x| x.abs()).collect();
+            abs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            max_abs.push(abs.last().copied().unwrap_or(0.0));
+            total += abs.len();
+            sorted_abs.push(abs);
+        }
+        MaxNPlanner {
+            sorted_abs,
+            max_abs,
+            total_entries: total,
+        }
+    }
+
+    /// Total gradient entries across all variables.
+    pub fn total_entries(&self) -> usize {
+        self.total_entries
+    }
+
+    /// How many entries Max N selects at parameter `n` (0 < n <= 100).
+    pub fn count_for_n(&self, n: f64) -> usize {
+        if n >= 100.0 {
+            return self.total_entries;
+        }
+        let frac = 1.0 - n / 100.0;
+        let mut count = 0;
+        for (abs, &mx) in self.sorted_abs.iter().zip(&self.max_abs) {
+            if mx == 0.0 {
+                continue;
+            }
+            let thr = (frac * mx as f64) as f32;
+            // Number of entries with |g| >= thr (excluding exact zeros,
+            // matching `from_dense_threshold`).
+            let idx = abs.partition_point(|&v| v < thr);
+            let nonzero_from = abs.partition_point(|&v| v <= 0.0);
+            count += abs.len() - idx.max(nonzero_from);
+        }
+        count
+    }
+
+    /// The largest `N ∈ [min_n, 100]` whose selection fits `budget_entries`
+    /// entries. Returns `min_n` when even the minimum overflows (the
+    /// data-quality floor the paper sets with "minimum N = 0.85").
+    pub fn n_for_entry_budget(&self, budget_entries: usize, min_n: f64) -> f64 {
+        let min_n = min_n.clamp(1e-6, 100.0);
+        if self.count_for_n(100.0) <= budget_entries {
+            return 100.0;
+        }
+        if self.count_for_n(min_n) > budget_entries {
+            return min_n;
+        }
+        // Bisect the monotone count(N) function.
+        let (mut lo, mut hi) = (min_n, 100.0);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if self.count_for_n(mid) <= budget_entries {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Materialize the Max N selection of `grads` at parameter `n`.
+    pub fn select(&self, grads: &[Tensor], n: f64) -> Vec<SparseVec> {
+        assert_eq!(grads.len(), self.sorted_abs.len());
+        max_n_select_model(grads, n)
+    }
+
+    /// Convenience: plan and select for a link byte budget. Returns
+    /// `(n, selection, selected_entries)`.
+    pub fn select_for_budget(
+        &self,
+        grads: &[Tensor],
+        budget_bytes: f64,
+        bytes_per_entry: f64,
+        min_n: f64,
+    ) -> (f64, Vec<SparseVec>) {
+        assert!(bytes_per_entry > 0.0);
+        let budget_entries = (budget_bytes / bytes_per_entry).floor().max(0.0) as usize;
+        let n = self.n_for_entry_budget(budget_entries, min_n);
+        (n, self.select(grads, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlion_tensor::{DetRng, Shape};
+
+    fn grads() -> Vec<Tensor> {
+        let mut rng = DetRng::seed_from_u64(1);
+        vec![
+            Tensor::randn(Shape::d1(500), 1.0, &mut rng),
+            Tensor::randn(Shape::d1(300), 0.1, &mut rng),
+            Tensor::randn(Shape::d2(10, 20), 2.0, &mut rng),
+        ]
+    }
+
+    #[test]
+    fn count_matches_actual_selection() {
+        let g = grads();
+        let p = MaxNPlanner::new(&g);
+        for n in [0.85, 5.0, 10.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            let counted = p.count_for_n(n);
+            let selected: usize = p.select(&g, n).iter().map(|s| s.nnz()).sum();
+            assert_eq!(counted, selected, "mismatch at N={n}");
+        }
+    }
+
+    #[test]
+    fn count_is_monotone_in_n() {
+        let p = MaxNPlanner::new(&grads());
+        let mut prev = 0;
+        for i in 1..=100 {
+            let c = p.count_for_n(i as f64);
+            assert!(c >= prev, "count must grow with N");
+            prev = c;
+        }
+        assert_eq!(prev, p.total_entries());
+    }
+
+    #[test]
+    fn budget_inversion_is_tight() {
+        let g = grads();
+        let p = MaxNPlanner::new(&g);
+        for budget in [1usize, 10, 50, 100, 400, 799, 1000] {
+            let n = p.n_for_entry_budget(budget, 0.85);
+            let c = p.count_for_n(n);
+            assert!(
+                c <= budget || n <= 0.85 + 1e-9,
+                "budget {budget}: N={n} selects {c}"
+            );
+            // Largest admissible: a slightly larger N must overflow (unless
+            // already at 100).
+            if n < 100.0 - 1e-6 && c <= budget {
+                let c_up = p.count_for_n((n + 0.5).min(100.0));
+                assert!(c_up >= c);
+            }
+        }
+    }
+
+    #[test]
+    fn full_budget_gives_n_100() {
+        let g = grads();
+        let p = MaxNPlanner::new(&g);
+        assert_eq!(p.n_for_entry_budget(p.total_entries(), 0.85), 100.0);
+        assert_eq!(p.n_for_entry_budget(usize::MAX, 0.85), 100.0);
+    }
+
+    #[test]
+    fn starving_budget_clamps_to_min_n() {
+        let g = grads();
+        let p = MaxNPlanner::new(&g);
+        let n = p.n_for_entry_budget(0, 0.85);
+        assert_eq!(n, 0.85);
+    }
+
+    #[test]
+    fn per_variable_thresholds_are_independent() {
+        // Variable 1 has tiny magnitudes (std 0.1) but must still contribute
+        // entries at moderate N because its threshold is relative to its own
+        // max — "Max N is applied per weight variable".
+        let g = grads();
+        let p = MaxNPlanner::new(&g);
+        let sel = p.select(&g, 50.0);
+        assert!(sel[1].nnz() > 0, "small-magnitude variable starved");
+    }
+
+    #[test]
+    fn select_for_budget_bytes() {
+        let g = grads();
+        let p = MaxNPlanner::new(&g);
+        let bytes_per_entry = 704.0; // wire-scaled sparse entry
+        let (n, sel) = p.select_for_budget(&g, 70_400.0, bytes_per_entry, 0.85);
+        let entries: usize = sel.iter().map(|s| s.nnz()).sum();
+        assert!(
+            entries <= 100,
+            "100-entry budget violated: {entries} at N={n}"
+        );
+        assert!(n < 100.0);
+    }
+
+    #[test]
+    fn zero_gradient_variable_handled() {
+        let g = vec![Tensor::zeros(Shape::d1(50)), grads()[0].clone()];
+        let p = MaxNPlanner::new(&g);
+        assert_eq!(p.count_for_n(100.0), p.total_entries());
+        let c = p.count_for_n(50.0);
+        let sel: usize = p.select(&g, 50.0).iter().map(|s| s.nnz()).sum();
+        assert_eq!(c, sel);
+    }
+}

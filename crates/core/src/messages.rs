@@ -1,0 +1,190 @@
+//! Messages exchanged between workers.
+//!
+//! The paper's prototype moves data through Redis control and data queues;
+//! here messages travel through the simulated network with byte counts that
+//! determine their transfer times. Gradient and weight payloads carry the
+//! *wire-scaled* sizes of the paper's models (5 MB Cipher / 17 MB MobileNet)
+//! so that network pressure matches the original testbed.
+
+use dlion_tensor::{SparseVec, Tensor};
+
+/// Size of a small control message (loss share, DKT request) in bytes.
+pub const CONTROL_BYTES: f64 = 64.0;
+
+/// Gradient payload data: either a dense full-model gradient or per-variable
+/// sparse selections.
+#[derive(Clone, Debug)]
+pub enum GradData {
+    /// Full gradient, one tensor per weight variable. Costs 4 scaled bytes
+    /// per parameter on the wire (values only).
+    Dense(Vec<Tensor>),
+    /// Sparse selection per weight variable. Costs 8 scaled bytes per
+    /// selected entry (index + value).
+    Sparse(Vec<SparseVec>),
+}
+
+/// A gradient message: payload plus the metadata the weighted model update
+/// needs.
+#[derive(Clone, Debug)]
+pub struct GradMsg {
+    /// Sender's iteration index this gradient belongs to.
+    pub iteration: u64,
+    /// Sender's local batch size (for the dynamic batching weight).
+    pub lbs: usize,
+    pub data: GradData,
+    /// The Max N parameter used to build this message (100 for dense
+    /// exchanges); recorded for the Figure 8/20 traces.
+    pub n_used: f64,
+}
+
+impl GradMsg {
+    /// Number of gradient entries carried (dense counts every parameter).
+    pub fn entries(&self) -> usize {
+        match &self.data {
+            GradData::Dense(vars) => vars.iter().map(|t| t.numel()).sum(),
+            GradData::Sparse(vars) => vars.iter().map(|v| v.nnz()).sum(),
+        }
+    }
+
+    /// Wire bytes given the model's byte-per-parameter scale.
+    pub fn wire_bytes(&self, bytes_per_param: f64, total_params: usize) -> f64 {
+        match &self.data {
+            GradData::Dense(_) => bytes_per_param * total_params as f64,
+            GradData::Sparse(_) => 2.0 * bytes_per_param * self.entries() as f64,
+        }
+    }
+}
+
+/// Everything a worker can put on the wire.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// Partial (or full) gradients — the data queue.
+    Grad(GradMsg),
+    /// Periodic average-loss share — the control queue.
+    LossShare { avg_loss: f64 },
+    /// "Send me your weights" — the control queue.
+    DktRequest,
+    /// Full model weights from the best worker, with its shared loss at
+    /// send time (so receivers can sanity-check staleness).
+    Weights {
+        weights: Vec<Tensor>,
+        sender_loss: f64,
+    },
+}
+
+impl Payload {
+    /// Wire bytes of this payload.
+    pub fn wire_bytes(&self, bytes_per_param: f64, total_params: usize) -> f64 {
+        match self {
+            Payload::Grad(g) => g.wire_bytes(bytes_per_param, total_params),
+            Payload::LossShare { .. } | Payload::DktRequest => CONTROL_BYTES,
+            Payload::Weights { .. } => bytes_per_param * total_params as f64,
+        }
+    }
+
+    /// Short label for metrics/accounting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Grad(_) => "grad",
+            Payload::LossShare { .. } => "loss_share",
+            Payload::DktRequest => "dkt_request",
+            Payload::Weights { .. } => "weights",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlion_tensor::sparse::max_n_select;
+    use dlion_tensor::Shape;
+
+    fn sparse_msg() -> GradMsg {
+        let dense = vec![1.0f32, -0.5, 0.0, 0.95, -0.2];
+        GradMsg {
+            iteration: 3,
+            lbs: 32,
+            data: GradData::Sparse(vec![max_n_select(&dense, 10.0), max_n_select(&dense, 10.0)]),
+            n_used: 10.0,
+        }
+    }
+
+    fn dense_msg() -> GradMsg {
+        GradMsg {
+            iteration: 3,
+            lbs: 32,
+            data: GradData::Dense(vec![
+                Tensor::zeros(Shape::d1(7)),
+                Tensor::zeros(Shape::d1(3)),
+            ]),
+            n_used: 100.0,
+        }
+    }
+
+    #[test]
+    fn entries_counts_all_vars() {
+        // N=10 -> |v| >= 0.9: {1.0, 0.95} per var.
+        assert_eq!(sparse_msg().entries(), 4);
+        assert_eq!(dense_msg().entries(), 10);
+    }
+
+    #[test]
+    fn sparse_wire_bytes_scale() {
+        // 4 entries * 2 * bytes_per_param.
+        assert_eq!(sparse_msg().wire_bytes(100.0, 10), 800.0);
+    }
+
+    #[test]
+    fn dense_wire_bytes_use_total_params() {
+        assert_eq!(dense_msg().wire_bytes(100.0, 10), 1000.0);
+    }
+
+    #[test]
+    fn dense_model_bytes_match_paper_scale() {
+        // 5 MB model, 14k params: a dense message is exactly the model wire
+        // size regardless of the in-memory parameter count.
+        let bytes_per_param = 5_000_000.0 / 14_000.0;
+        assert!((dense_msg().wire_bytes(bytes_per_param, 14_000) - 5_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sparse_full_selection_costs_twice_dense() {
+        // Sending everything sparsely pays the index overhead — strategies
+        // should switch to dense at high N.
+        let dense = vec![1.0f32; 10];
+        let m = GradMsg {
+            iteration: 0,
+            lbs: 32,
+            data: GradData::Sparse(vec![max_n_select(&dense, 100.0)]),
+            n_used: 100.0,
+        };
+        assert_eq!(m.wire_bytes(100.0, 10), 2.0 * 1000.0);
+    }
+
+    #[test]
+    fn control_payloads_are_tiny() {
+        assert_eq!(
+            Payload::DktRequest.wire_bytes(1000.0, 1_000_000),
+            CONTROL_BYTES
+        );
+        assert_eq!(
+            Payload::LossShare { avg_loss: 1.0 }.wire_bytes(1000.0, 1_000_000),
+            CONTROL_BYTES
+        );
+    }
+
+    #[test]
+    fn payload_kinds() {
+        assert_eq!(Payload::Grad(sparse_msg()).kind(), "grad");
+        assert_eq!(Payload::DktRequest.kind(), "dkt_request");
+        assert_eq!(Payload::LossShare { avg_loss: 0.0 }.kind(), "loss_share");
+        assert_eq!(
+            Payload::Weights {
+                weights: vec![],
+                sender_loss: 0.0
+            }
+            .kind(),
+            "weights"
+        );
+    }
+}

@@ -1,0 +1,734 @@
+//! The cluster runner: a discrete-event simulation of the full decentralized
+//! training loop.
+//!
+//! Each worker's workflow per iteration mirrors Figure 4/10 of the paper:
+//! compute gradients (real SGD math, executed eagerly but *completed* at the
+//! simulated time the compute model dictates), generate and send partial
+//! gradients per link, apply arriving peer gradients via the weighted model
+//! update, periodically update batch sizes (GBS/LBS controllers), and run
+//! direct knowledge transfer rounds. Virtual time advances only through the
+//! event queue, so runs are fully deterministic for a given seed.
+
+use crate::config::RunConfig;
+use crate::dkt::DktState;
+use crate::lbs::{compute_rcp, partition_gbs, PROFILE_LBS};
+use crate::messages::{GradData, Payload};
+use crate::metrics::{LinkSample, RunMetrics};
+use crate::strategy::{build_strategy, StrategyCtx};
+use crate::sync::SyncState;
+use crate::weighted::update_factor;
+use crate::worker::{PendingIteration, Worker};
+use crate::GbsController;
+use dlion_microcloud::EnvId;
+use dlion_nn::{Dataset, ModelSpec};
+use dlion_simnet::{ComputeModel, EventQueue, NetworkModel};
+use dlion_tensor::DetRng;
+
+/// Simulation events.
+enum Ev {
+    /// A worker's gradient computation completed.
+    IterDone { w: usize },
+    /// A message arrived at `to` (and, for gradients, its delivery also
+    /// unblocks the sender under `BlockOnDelivery`).
+    Msg {
+        from: usize,
+        to: usize,
+        payload: Payload,
+    },
+    /// GBS controller adjustment opportunity.
+    GbsTick,
+    /// Periodic compute re-profiling / LBS reassignment.
+    ProfileTick,
+    /// Periodic cluster-wide accuracy evaluation.
+    EvalTick,
+}
+
+/// A fully-wired simulated cluster.
+pub struct ClusterRunner {
+    cfg: RunConfig,
+    n: usize,
+    workers: Vec<Worker>,
+    net: NetworkModel,
+    compute: ComputeModel,
+    queue: EventQueue<Ev>,
+    data: Dataset,
+    eval_indices: Vec<usize>,
+    metrics: RunMetrics,
+    gbs: Option<GbsController>,
+    /// Per-worker communication neighbor sets (from the configured topology).
+    neighbors: Vec<Vec<usize>>,
+    prof_rng: DetRng,
+    bytes_per_param: f64,
+    total_params: usize,
+}
+
+impl ClusterRunner {
+    /// Build a cluster over explicit compute/network models.
+    pub fn new(cfg: RunConfig, compute: ComputeModel, net: NetworkModel, env_name: &str) -> Self {
+        cfg.validate();
+        let n = compute.n();
+        assert_eq!(net.n(), n, "compute/network worker counts differ");
+        let wl = &cfg.workload;
+        assert!(
+            cfg.eval_subset <= wl.test_size,
+            "eval subset exceeds test set"
+        );
+        assert!(
+            cfg.topology.is_connected(n),
+            "topology must connect the cluster"
+        );
+        let neighbors: Vec<Vec<usize>> = (0..n).map(|w| cfg.topology.neighbors(w, n)).collect();
+
+        // One dataset holds train ∪ test so both share class prototypes.
+        let total = wl.train_size + wl.test_size;
+        let data = match wl.model {
+            ModelSpec::Cipher => Dataset::synth_vision(total, wl.data_seed),
+            ModelSpec::MobileNet => Dataset::synth_imagenet(total, wl.data_seed),
+        };
+        let eval_indices: Vec<usize> = (wl.train_size..wl.train_size + cfg.eval_subset).collect();
+
+        // Shard the training range across workers (with the configured
+        // geo-skew; 0 = i.i.d.). Only training indices participate.
+        let mut root = DetRng::seed_from_u64(cfg.seed);
+        let full_plan = {
+            // Build from a dataset view restricted to training indices.
+            let train_labels: Vec<usize> = (0..wl.train_size).map(|i| data.labels()[i]).collect();
+            let mut idx: Vec<usize> = (0..wl.train_size).collect();
+            root.shuffle(&mut idx);
+            let mut shards = vec![Vec::new(); n];
+            let mut rr = 0usize;
+            for s in idx {
+                let w = if wl.shard_skew > 0.0 && root.uniform() < wl.shard_skew {
+                    train_labels[s] % n
+                } else {
+                    rr = (rr + 1) % n;
+                    rr
+                };
+                shards[w].push(s);
+            }
+            for w in 0..n {
+                while shards[w].is_empty() {
+                    let donor = (0..n).max_by_key(|&d| shards[d].len()).expect("non-empty");
+                    let moved = shards[donor].pop().expect("donor has samples");
+                    shards[w].push(moved);
+                }
+            }
+            shards
+        };
+        let mut shards = full_plan;
+
+        // All workers start from identical weights (decentralized systems
+        // begin from a common initialization).
+        let model_seed = cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(42);
+        let sample_shape = data.sample_shape();
+        let classes = data.classes();
+        let workers: Vec<Worker> = (0..n)
+            .map(|w| {
+                let mut mrng = DetRng::seed_from_u64(model_seed);
+                let model = wl.model.build(&sample_shape, classes, &mut mrng);
+                Worker {
+                    id: w,
+                    model,
+                    strategy: build_strategy(&cfg),
+                    sync: SyncState::with_tracked(w, n, neighbors[w].clone()),
+                    dkt: DktState::new(w, n, cfg.dkt),
+                    rng: root.derive(w as u64 + 1),
+                    shard: std::mem::take(&mut shards[w]),
+                    lbs: cfg.initial_lbs,
+                    iteration: 0,
+                    pending: None,
+                    computing: false,
+                    waiting: false,
+                    last_iter_time: 0.0,
+                    last_pull_round: 0,
+                }
+            })
+            .collect();
+
+        let total_params = workers[0].model.num_params();
+        let bytes_per_param = workers[0].model.bytes_per_param();
+
+        let gbs = cfg
+            .system
+            .dynamic_batching()
+            .then(|| GbsController::new(cfg.initial_lbs * n, wl.train_size, cfg.gbs));
+
+        let metrics = RunMetrics {
+            system: cfg.system.name(),
+            env: env_name.to_string(),
+            seed: cfg.seed,
+            iterations: vec![0; n],
+            busy_time: vec![0.0; n],
+            ..Default::default()
+        };
+
+        ClusterRunner {
+            neighbors,
+            prof_rng: root.derive(0xABCD),
+            cfg,
+            n,
+            workers,
+            net,
+            compute,
+            queue: EventQueue::new(),
+            data,
+            eval_indices,
+            metrics,
+            gbs,
+            bytes_per_param,
+            total_params,
+        }
+    }
+
+    /// Visit every worker mutably before [`ClusterRunner::run`] — the hook
+    /// for installing custom [`crate::strategy::ExchangeStrategy`] plugins
+    /// (see the `custom_strategy` example).
+    pub fn for_each_worker(&mut self, mut f: impl FnMut(&mut Worker)) {
+        for w in self.workers.iter_mut() {
+            f(w);
+        }
+    }
+
+    /// Run the simulation to completion and return its metrics.
+    pub fn run(mut self) -> RunMetrics {
+        // Initial LBS assignment ("the LBS controller is invoked to profile
+        // the compute capacity of workers" before training starts).
+        if self.cfg.system.dynamic_batching() {
+            self.repartition(0.0);
+        }
+        for w in 0..self.n {
+            self.start_iteration(w, 0.0);
+        }
+        self.queue.schedule(self.cfg.eval_interval, Ev::EvalTick);
+        if self.cfg.system.dynamic_batching() {
+            self.queue
+                .schedule(self.cfg.gbs.adjust_period_secs, Ev::GbsTick);
+            self.queue
+                .schedule(self.cfg.profile_interval, Ev::ProfileTick);
+        }
+
+        let mut end_time = self.cfg.duration;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.cfg.duration {
+                break;
+            }
+            match ev {
+                Ev::IterDone { w } => self.on_iter_done(w, t),
+                Ev::Msg { from, to, payload } => self.on_msg(from, to, payload, t),
+                Ev::GbsTick => self.on_gbs_tick(t),
+                Ev::ProfileTick => self.on_profile_tick(t),
+                Ev::EvalTick => {
+                    self.eval_all(t);
+                    if self.check_converged(t) {
+                        self.metrics.converged_at = Some(t);
+                        end_time = t;
+                        break;
+                    }
+                    self.queue
+                        .schedule(t + self.cfg.eval_interval, Ev::EvalTick);
+                }
+            }
+        }
+        // Final evaluation at the end of the run, unless one just happened.
+        if self.metrics.eval_times.last().copied().unwrap_or(-1.0) < end_time {
+            self.eval_all(end_time);
+        }
+        for w in 0..self.n {
+            self.metrics.iterations[w] = self.workers[w].iteration;
+        }
+        self.metrics.duration = end_time;
+        self.metrics
+    }
+
+    // ------------------------------------------------------------ events
+
+    fn start_iteration(&mut self, w: usize, now: f64) {
+        let worker = &mut self.workers[w];
+        debug_assert!(!worker.computing);
+        worker.waiting = false;
+        worker.computing = true;
+        let batch = worker.sample_batch();
+        let (x, y) = self.data.batch(&batch);
+        let (loss, mut grads) = worker.model.forward_backward(&x, &y);
+        for g in grads.iter_mut() {
+            g.clip_inplace(self.cfg.grad_clip);
+        }
+        worker.pending = Some(PendingIteration { loss, grads });
+        let dt = self.compute.iter_time(w, worker.lbs, now);
+        worker.last_iter_time = dt;
+        self.metrics.busy_time[w] += dt;
+        self.queue.schedule(now + dt, Ev::IterDone { w });
+    }
+
+    fn on_iter_done(&mut self, w: usize, now: f64) {
+        let lr = self.cfg.lr;
+        let n = self.n;
+        let gbs_now = self.current_gbs();
+        let (grads, updates, share_dkt) = {
+            let worker = &mut self.workers[w];
+            worker.computing = false;
+            let PendingIteration { loss, grads } = worker
+                .pending
+                .take()
+                .expect("IterDone without pending gradients");
+            worker.dkt.record_loss(loss);
+            // Self term of the (normalized) Eq. 7.
+            let own_factor = update_factor(
+                lr,
+                n,
+                worker.lbs,
+                gbs_now,
+                self.cfg.system.weighted_update(),
+            );
+            worker.model.apply_dense_update(&grads, own_factor);
+
+            let ctx = StrategyCtx {
+                worker: w,
+                n,
+                iteration: worker.iteration,
+                now,
+                lbs: worker.lbs,
+                iter_time: worker.last_iter_time,
+                neighbors: self.neighbors[w].clone(),
+                bw_mbps: (0..n)
+                    .map(|j| {
+                        if j == w {
+                            0.0
+                        } else {
+                            self.net.bandwidth_mbps(w, j, now)
+                        }
+                    })
+                    .collect(),
+                bytes_per_param: self.bytes_per_param,
+                total_params: self.total_params,
+                lr,
+            };
+            let Worker {
+                strategy, model, ..
+            } = worker;
+            let mut updates = strategy.generate_partial_gradients(&ctx, &grads, model);
+            // Rotate the send order each iteration so no peer is permanently
+            // first (or last) in this worker's NIC queue.
+            if !updates.is_empty() {
+                let r = (worker.iteration as usize) % updates.len();
+                updates.rotate_left(r);
+            }
+            worker.iteration += 1;
+            let share = worker.dkt.is_share_round(worker.iteration);
+            (grads, updates, share)
+        };
+        drop(grads);
+
+        for up in updates {
+            if self.cfg.trace_links {
+                let bytes = up.msg.wire_bytes(self.bytes_per_param, self.total_params);
+                self.metrics.link_trace.push(LinkSample {
+                    time: now,
+                    src: w,
+                    dst: up.peer,
+                    bytes,
+                    entries: up.msg.entries(),
+                    n_used: up.msg.n_used,
+                });
+            }
+            self.workers[w].sync.on_sent(1);
+            self.send(w, up.peer, Payload::Grad(up.msg), now);
+        }
+
+        if share_dkt {
+            self.dkt_round(w, now);
+        }
+        self.try_start(w, now);
+    }
+
+    fn on_msg(&mut self, from: usize, to: usize, payload: Payload, now: f64) {
+        // Gradient delivery unblocks the sender under BlockOnDelivery.
+        if matches!(payload, Payload::Grad(_)) {
+            self.workers[from].sync.on_delivered();
+            if self.workers[from].waiting {
+                self.try_start(from, now);
+            }
+        }
+        match payload {
+            Payload::Grad(msg) => {
+                let weighted = self.cfg.system.weighted_update();
+                let gbs_now = self.current_gbs();
+                let worker = &mut self.workers[to];
+                worker.sync.on_gradient(from, msg.iteration);
+                let factor = update_factor(self.cfg.lr, self.n, msg.lbs, gbs_now, weighted);
+                match &msg.data {
+                    GradData::Dense(vars) => worker.model.apply_dense_update(vars, factor),
+                    GradData::Sparse(vars) => {
+                        for (v, s) in vars.iter().enumerate() {
+                            worker.model.apply_sparse_update(v, s, factor);
+                        }
+                    }
+                }
+                if self.workers[to].waiting {
+                    self.try_start(to, now);
+                }
+            }
+            Payload::LossShare { avg_loss } => {
+                self.workers[to].dkt.update_known(from, avg_loss);
+            }
+            Payload::DktRequest => {
+                // We are the (believed) best worker: ship our weights back.
+                let weights = self.workers[to].model.weights();
+                let sender_loss = self.workers[to].dkt.avg_loss().unwrap_or(f64::INFINITY);
+                self.send(
+                    to,
+                    from,
+                    Payload::Weights {
+                        weights,
+                        sender_loss,
+                    },
+                    now,
+                );
+            }
+            Payload::Weights { weights, .. } => {
+                self.workers[to]
+                    .model
+                    .merge_weights(&weights, self.cfg.dkt.lambda);
+                self.metrics.dkt_merges += 1;
+            }
+        }
+    }
+
+    /// A DKT round for worker `w` (§3.4): share the recent average loss,
+    /// then pull from the best-known worker if the mode says so.
+    fn dkt_round(&mut self, w: usize, now: f64) {
+        let Some(avg) = self.workers[w].dkt.avg_loss() else {
+            return;
+        };
+        self.workers[w].dkt.update_known(w, avg);
+        let targets = self.neighbors[w].clone();
+        for j in targets {
+            self.send(w, j, Payload::LossShare { avg_loss: avg }, now);
+        }
+        let round = self.workers[w].iteration / self.workers[w].dkt.cfg().period_iters;
+        if self.workers[w].last_pull_round < round {
+            if let Some(target) = self.workers[w].dkt.pull_target() {
+                self.workers[w].last_pull_round = round;
+                self.send(w, target, Payload::DktRequest, now);
+            }
+        }
+    }
+
+    /// Put a payload on the wire and schedule its arrival.
+    fn send(&mut self, from: usize, to: usize, payload: Payload, now: f64) {
+        let bytes = payload.wire_bytes(self.bytes_per_param, self.total_params);
+        match payload.kind() {
+            "grad" => self.metrics.grad_bytes += bytes,
+            "weights" => self.metrics.weight_bytes += bytes,
+            _ => self.metrics.control_bytes += bytes,
+        }
+        let t = self.net.transfer(from, to, bytes, now);
+        self.queue
+            .schedule(t.arrival, Ev::Msg { from, to, payload });
+    }
+
+    /// Start the next iteration if the sync policy allows; otherwise mark
+    /// the worker as waiting.
+    fn try_start(&mut self, w: usize, now: f64) {
+        let worker = &mut self.workers[w];
+        if worker.computing {
+            return;
+        }
+        let policy = worker.strategy.sync_policy();
+        if worker.sync.can_start(policy, worker.iteration) {
+            self.start_iteration(w, now);
+        } else {
+            worker.waiting = true;
+        }
+    }
+
+    // ----------------------------------------------------- periodic ticks
+
+    fn current_gbs(&self) -> usize {
+        self.gbs
+            .as_ref()
+            .map_or(self.cfg.initial_lbs * self.n, |g| g.gbs())
+    }
+
+    /// Profile every worker and reassign LBS shares (Eq. 5).
+    fn repartition(&mut self, now: f64) {
+        let rcps: Vec<f64> = (0..self.n)
+            .map(|w| {
+                let samples = self.compute.profile(
+                    w,
+                    &PROFILE_LBS,
+                    now,
+                    self.cfg.profile_noise,
+                    &mut self.prof_rng,
+                );
+                compute_rcp(&samples)
+            })
+            .collect();
+        let parts = partition_gbs(self.current_gbs(), &rcps);
+        for (w, &lbs) in parts.iter().enumerate() {
+            self.workers[w].lbs = lbs;
+        }
+        self.metrics.lbs_trace.push((now, parts));
+    }
+
+    fn on_gbs_tick(&mut self, now: f64) {
+        let changed = self.gbs.as_mut().and_then(|g| g.maybe_adjust());
+        if let Some(new_gbs) = changed {
+            self.metrics.gbs_trace.push((now, new_gbs));
+            self.repartition(now);
+        }
+        // Keep ticking even in Done phase (cheap) so dynamism handling stays
+        // uniform; profiling has its own tick.
+        self.queue
+            .schedule(now + self.cfg.gbs.adjust_period_secs, Ev::GbsTick);
+    }
+
+    fn on_profile_tick(&mut self, now: f64) {
+        self.repartition(now);
+        self.queue
+            .schedule(now + self.cfg.profile_interval, Ev::ProfileTick);
+    }
+
+    fn eval_all(&mut self, now: f64) {
+        let mut accs = Vec::with_capacity(self.n);
+        let mut losses = Vec::with_capacity(self.n);
+        for w in 0..self.n {
+            let r = self.workers[w]
+                .model
+                .evaluate(&self.data, &self.eval_indices, 125);
+            accs.push(r.accuracy);
+            losses.push(r.loss);
+        }
+        self.metrics.eval_times.push(now);
+        self.metrics.worker_acc.push(accs);
+        self.metrics.worker_loss.push(losses);
+    }
+
+    fn check_converged(&self, now: f64) -> bool {
+        let Some(cv) = self.cfg.converge else {
+            return false;
+        };
+        if now < cv.min_secs {
+            return false;
+        }
+        let best_now = self.metrics.best_mean_acc();
+        let cutoff = now - cv.window_secs;
+        let best_before = self
+            .metrics
+            .eval_times
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t <= cutoff)
+            .map(|(e, _)| self.metrics.mean_acc(e))
+            .fold(0.0f64, f64::max);
+        self.metrics.eval_times.iter().any(|&t| t <= cutoff)
+            && best_now - best_before < cv.min_improvement
+    }
+}
+
+/// Run a configured system in one of the paper's Table 3 environments.
+pub fn run_env(cfg: &RunConfig, env: EnvId) -> RunMetrics {
+    let spec = env.spec();
+    run_with_models(cfg, spec.compute_model(), spec.network_model(), spec.name)
+}
+
+/// Run a configured system over explicit compute/network models (used by
+/// the custom-schedule experiments, Figures 8, 19 and 20).
+pub fn run_with_models(
+    cfg: &RunConfig,
+    compute: ComputeModel,
+    net: NetworkModel,
+    env_name: &str,
+) -> RunMetrics {
+    ClusterRunner::new(cfg.clone(), compute, net, env_name).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemKind;
+    use dlion_microcloud::ClusterKind;
+
+    fn small(system: SystemKind) -> RunConfig {
+        RunConfig::small_test(system)
+    }
+
+    fn run_small(system: SystemKind, env: EnvId) -> RunMetrics {
+        run_env(&small(system), env)
+    }
+
+    #[test]
+    fn baseline_trains_and_improves() {
+        let mut cfg = small(SystemKind::Baseline);
+        cfg.duration = 400.0; // enough updates for visible learning
+        let m = run_env(&cfg, EnvId::HomoA);
+        assert_eq!(m.system, "Baseline");
+        assert!(m.total_iterations() > 0, "no iterations ran");
+        let first = m.mean_acc(0);
+        let last = m.tail_mean_acc(2);
+        assert!(last > first, "accuracy should improve: {first} -> {last}");
+        assert!(m.grad_bytes > 0.0);
+        // Bounded staleness (bound 5) keeps workers within the window.
+        let max = *m.iterations.iter().max().unwrap();
+        let min = *m.iterations.iter().min().unwrap();
+        assert!(
+            max - min <= 6,
+            "iterations drifted past the bound: {:?}",
+            m.iterations
+        );
+    }
+
+    #[test]
+    fn all_systems_run_without_deadlock() {
+        for system in [
+            SystemKind::Baseline,
+            SystemKind::Ako,
+            SystemKind::Gaia,
+            SystemKind::Hop,
+            SystemKind::DLion,
+            SystemKind::DLionNoDbwu,
+            SystemKind::DLionNoWu,
+            SystemKind::MaxNOnly(10.0),
+        ] {
+            let m = run_small(system, EnvId::HeteroSysA);
+            assert!(
+                m.total_iterations() > 10,
+                "{system:?} barely ran: {:?}",
+                m.iterations
+            );
+            assert!(m.final_mean_acc() > 0.0, "{system:?} produced no accuracy");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_small(SystemKind::DLion, EnvId::HeteroSysA);
+        let b = run_small(SystemKind::DLion, EnvId::HeteroSysA);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.worker_acc, b.worker_acc);
+        assert_eq!(a.grad_bytes, b.grad_bytes);
+        assert_eq!(a.gbs_trace, b.gbs_trace);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = small(SystemKind::DLion);
+        let a = run_env(&cfg, EnvId::HomoA);
+        cfg.seed = 2;
+        let b = run_env(&cfg, EnvId::HomoA);
+        assert_ne!(a.worker_acc, b.worker_acc);
+    }
+
+    #[test]
+    fn dlion_runs_controllers_and_dkt() {
+        let mut cfg = small(SystemKind::DLion);
+        cfg.gbs.adjust_period_secs = 250.0;
+        cfg.duration = 300.0; // enough for one GBS tick
+                              // Initial GBS is 192; train_size must leave the controller headroom
+                              // (10% cap) for the adjustment assertions below.
+        cfg.workload.train_size = 6000;
+        let m = run_env(&cfg, EnvId::HeteroCpuA);
+        assert!(!m.lbs_trace.is_empty(), "LBS controller never ran");
+        assert!(!m.gbs_trace.is_empty(), "GBS controller never adjusted");
+        // Heterogeneous cores 24/24/12/12/6/6: faster workers get bigger LBS.
+        let (_, parts) = &m.lbs_trace[0];
+        assert!(parts[0] > parts[2] && parts[2] > parts[4], "{parts:?}");
+        // ΣLBS = GBS at every assignment.
+        let gbs_at = |t: f64| {
+            m.gbs_trace
+                .iter()
+                .rev()
+                .find(|&&(tt, _)| tt <= t)
+                .map(|&(_, g)| g)
+                .unwrap_or(cfg.initial_lbs * 6)
+        };
+        for (t, parts) in &m.lbs_trace {
+            assert_eq!(parts.iter().sum::<usize>(), gbs_at(*t), "at t={t}");
+        }
+        assert!(m.dkt_merges > 0, "DKT never merged weights");
+        assert!(m.weight_bytes > 0.0);
+        assert!(m.control_bytes > 0.0);
+    }
+
+    #[test]
+    fn baseline_has_no_controllers_or_dkt() {
+        let m = run_small(SystemKind::Baseline, EnvId::HomoA);
+        assert!(m.lbs_trace.is_empty());
+        assert!(m.gbs_trace.is_empty());
+        assert_eq!(m.dkt_merges, 0);
+        assert_eq!(m.weight_bytes, 0.0);
+    }
+
+    #[test]
+    fn network_bottleneck_slows_dense_systems() {
+        // Baseline sends 5 MB x 5 peers per iteration; at 50 Mbps the NIC
+        // (4 s of serialized egress per iteration) outpaces compute (2.6 s),
+        // so the steady-state iteration rate drops to the network rate.
+        let mut cfg = small(SystemKind::Baseline);
+        cfg.duration = 400.0;
+        let lan = run_env(&cfg, EnvId::HomoA);
+        let wan = run_env(&cfg, EnvId::HomoB);
+        assert!(
+            (lan.total_iterations() as f64) > 1.35 * wan.total_iterations() as f64,
+            "LAN {} vs WAN {}",
+            lan.total_iterations(),
+            wan.total_iterations()
+        );
+    }
+
+    #[test]
+    fn dlion_outpaces_baseline_on_wan() {
+        let dlion = run_small(SystemKind::DLion, EnvId::HomoB);
+        let base = run_small(SystemKind::Baseline, EnvId::HomoB);
+        assert!(
+            dlion.total_iterations() > base.total_iterations(),
+            "DLion {} vs Baseline {}",
+            dlion.total_iterations(),
+            base.total_iterations()
+        );
+    }
+
+    #[test]
+    fn link_trace_only_when_enabled() {
+        let mut cfg = small(SystemKind::DLion);
+        let off = run_env(&cfg, EnvId::HomoB);
+        assert!(off.link_trace.is_empty());
+        cfg.trace_links = true;
+        let on = run_env(&cfg, EnvId::HomoB);
+        assert!(!on.link_trace.is_empty());
+        for s in &on.link_trace {
+            assert!(s.bytes > 0.0 && s.src != s.dst);
+        }
+    }
+
+    #[test]
+    fn convergence_mode_stops_early() {
+        let mut cfg = small(SystemKind::Baseline);
+        cfg.duration = 10_000.0;
+        cfg.converge = Some(crate::config::ConvergenceCfg {
+            window_secs: 60.0,
+            min_improvement: 2.0, // impossible improvement -> stop asap
+            min_secs: 60.0,
+        });
+        let m = run_env(&cfg, EnvId::HomoA);
+        assert!(m.converged_at.is_some());
+        assert!(
+            m.duration < 200.0,
+            "should stop right after min_secs, got {}",
+            m.duration
+        );
+    }
+
+    #[test]
+    fn gpu_cluster_runs_mobilenet() {
+        let mut cfg = RunConfig::paper_default(SystemKind::DLion, ClusterKind::Gpu);
+        cfg.workload.train_size = 1000;
+        cfg.workload.test_size = 200;
+        cfg.duration = 60.0;
+        cfg.eval_interval = 30.0;
+        cfg.eval_subset = 100;
+        let m = run_env(&cfg, EnvId::HomoC);
+        assert!(m.total_iterations() > 0);
+        assert_eq!(m.env, "Homo C");
+    }
+}

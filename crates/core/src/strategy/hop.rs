@@ -1,0 +1,85 @@
+//! Hop (Luo et al., ASPLOS '19; §5.1.4): "exchanging whole gradients but
+//! advancing iterations by not receiving gradients of stragglers called
+//! backup workers" — dense exchange under bounded-staleness synchronization
+//! with backup workers.
+
+use super::{ExchangeStrategy, PeerUpdate, StrategyCtx};
+use crate::messages::{GradData, GradMsg};
+use crate::sync::SyncPolicy;
+use dlion_nn::Model;
+use dlion_tensor::Tensor;
+
+/// Hop: dense gradients + bounded staleness + backup workers.
+pub struct Hop {
+    bound: u64,
+    backup_workers: usize,
+}
+
+impl Hop {
+    pub fn new(bound: u64, backup_workers: usize) -> Self {
+        Hop {
+            bound,
+            backup_workers,
+        }
+    }
+}
+
+impl ExchangeStrategy for Hop {
+    fn name(&self) -> &'static str {
+        "Hop"
+    }
+
+    fn sync_policy(&self) -> SyncPolicy {
+        SyncPolicy::BoundedStaleness {
+            bound: self.bound,
+            backup_workers: self.backup_workers,
+        }
+    }
+
+    fn generate_partial_gradients(
+        &mut self,
+        ctx: &StrategyCtx,
+        grads: &[Tensor],
+        _model: &Model,
+    ) -> Vec<PeerUpdate> {
+        ctx.peers()
+            .map(|peer| PeerUpdate {
+                peer,
+                msg: GradMsg {
+                    iteration: ctx.iteration,
+                    lbs: ctx.lbs,
+                    data: GradData::Dense(grads.to_vec()),
+                    n_used: 100.0,
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::test_ctx;
+    use super::*;
+    use dlion_tensor::{DetRng, Shape, Tensor};
+
+    #[test]
+    fn dense_exchange_with_bounded_sync() {
+        let mut h = Hop::new(5, 1);
+        assert_eq!(
+            h.sync_policy(),
+            SyncPolicy::BoundedStaleness {
+                bound: 5,
+                backup_workers: 1
+            }
+        );
+        let mut rng = DetRng::seed_from_u64(1);
+        let grads = vec![Tensor::randn(Shape::d1(100), 1.0, &mut rng)];
+        let mut model_rng = DetRng::seed_from_u64(2);
+        let model =
+            dlion_nn::cipher_net(&Shape::d4(1, 1, 12, 12), 10, 6, 12, 24, 48, &mut model_rng);
+        let ups = h.generate_partial_gradients(&test_ctx(2, 6), &grads, &model);
+        assert_eq!(ups.len(), 5);
+        assert!(ups.iter().all(|u| matches!(u.msg.data, GradData::Dense(_))));
+        assert!(ups.iter().all(|u| u.peer != 2));
+    }
+}

@@ -1,0 +1,130 @@
+//! Prague (Luo et al., ASPLOS '20) — an *extension* beyond the paper's four
+//! comparison systems, included because the paper discusses it as the other
+//! state-of-the-art heterogeneity-aware decentralized trainer.
+//!
+//! Prague's core idea is *partial all-reduce*: instead of every worker
+//! exchanging with every other worker, each iteration a worker synchronizes
+//! with a small random **group**, so stragglers only slow down the groups
+//! they land in. In this decentralized gossip rendering, a worker sends its
+//! dense gradient to `group_size - 1` randomly chosen peers per iteration
+//! (deterministic per seed), under fully asynchronous progress.
+
+use super::{ExchangeStrategy, PeerUpdate, StrategyCtx};
+use crate::messages::{GradData, GradMsg};
+use crate::sync::SyncPolicy;
+use dlion_nn::Model;
+use dlion_tensor::{DetRng, Tensor};
+
+/// Prague-style random-group gradient exchange.
+pub struct Prague {
+    /// Number of workers per group (including self); 2..=n.
+    group_size: usize,
+    rng: DetRng,
+}
+
+impl Prague {
+    pub fn new(group_size: usize, seed: u64) -> Self {
+        assert!(group_size >= 2, "a group needs at least two workers");
+        Prague {
+            group_size,
+            rng: DetRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ExchangeStrategy for Prague {
+    fn name(&self) -> &'static str {
+        "Prague"
+    }
+
+    fn sync_policy(&self) -> SyncPolicy {
+        SyncPolicy::Asynchronous
+    }
+
+    fn generate_partial_gradients(
+        &mut self,
+        ctx: &StrategyCtx,
+        grads: &[Tensor],
+        _model: &Model,
+    ) -> Vec<PeerUpdate> {
+        let peers: Vec<usize> = ctx.peers().collect();
+        let k = (self.group_size - 1).min(peers.len());
+        let chosen = self.rng.sample_indices(peers.len(), k);
+        chosen
+            .into_iter()
+            .map(|pi| PeerUpdate {
+                peer: peers[pi],
+                msg: GradMsg {
+                    iteration: ctx.iteration,
+                    lbs: ctx.lbs,
+                    data: GradData::Dense(grads.to_vec()),
+                    n_used: 100.0,
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::test_ctx;
+    use super::*;
+    use dlion_tensor::Shape;
+
+    fn grads() -> Vec<Tensor> {
+        let mut rng = DetRng::seed_from_u64(1);
+        vec![Tensor::randn(Shape::d1(100), 1.0, &mut rng)]
+    }
+
+    fn model() -> Model {
+        let mut rng = DetRng::seed_from_u64(2);
+        dlion_nn::cipher_net(&Shape::d4(1, 1, 12, 12), 10, 4, 8, 16, 32, &mut rng)
+    }
+
+    #[test]
+    fn sends_to_group_minus_one_random_peers() {
+        let mut p = Prague::new(3, 7);
+        let g = grads();
+        let m = model();
+        let ctx = test_ctx(0, 6);
+        for _ in 0..20 {
+            let ups = p.generate_partial_gradients(&ctx, &g, &m);
+            assert_eq!(ups.len(), 2, "group of 3 = 2 peers per iteration");
+            let mut peers: Vec<usize> = ups.iter().map(|u| u.peer).collect();
+            peers.sort_unstable();
+            peers.dedup();
+            assert_eq!(peers.len(), 2, "peers must be distinct");
+            assert!(peers.iter().all(|&x| x != 0 && x < 6));
+        }
+    }
+
+    #[test]
+    fn groups_rotate_over_iterations() {
+        let mut p = Prague::new(2, 9);
+        let g = grads();
+        let m = model();
+        let ctx = test_ctx(0, 6);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..60 {
+            for u in p.generate_partial_gradients(&ctx, &g, &m) {
+                seen.insert(u.peer);
+            }
+        }
+        assert_eq!(seen.len(), 5, "every peer eventually lands in a group");
+    }
+
+    #[test]
+    fn group_capped_at_cluster_size() {
+        let mut p = Prague::new(50, 1);
+        let ups = p.generate_partial_gradients(&test_ctx(2, 4), &grads(), &model());
+        assert_eq!(ups.len(), 3, "group size caps at n");
+    }
+
+    #[test]
+    fn dense_payload_and_async() {
+        let mut p = Prague::new(3, 1);
+        assert_eq!(p.sync_policy(), SyncPolicy::Asynchronous);
+        let ups = p.generate_partial_gradients(&test_ctx(0, 6), &grads(), &model());
+        assert!(matches!(ups[0].msg.data, GradData::Dense(_)));
+    }
+}

@@ -1,0 +1,256 @@
+//! Training synchronization mechanisms — the paper's `synch_training` API
+//! (§4.2): "various configurable synchronization mechanisms ... including
+//! synchronous, asynchronous, and bounded synchronous training strategies.
+//! It internally maintains each worker's current iteration and received
+//! weight variable ids."
+//!
+//! Each comparison system picks a policy:
+//!
+//! * Baseline — [`SyncPolicy::Synchronous`] (BSP),
+//! * Ako — [`SyncPolicy::Asynchronous`],
+//! * Gaia — [`SyncPolicy::BlockOnDelivery`] ("blocking progress to the next
+//!   iteration until important gradients are delivered to all workers"),
+//! * Hop — [`SyncPolicy::BoundedStaleness`] with backup workers (stragglers
+//!   whose updates may be skipped),
+//! * DLion — bounded staleness without backups.
+
+/// When may a worker start its next iteration?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// BSP: iteration `t` may start only after gradients of iteration `t-1`
+    /// from *all* peers have been received.
+    Synchronous,
+    /// Never wait.
+    Asynchronous,
+    /// Iteration `t` may start once at least `n_peers - backup_workers`
+    /// peers have delivered gradients of iteration `>= t - 1 - bound`.
+    BoundedStaleness { bound: u64, backup_workers: usize },
+    /// Iteration `t` may start once all of this worker's own iteration
+    /// `t-1` gradient messages have been delivered.
+    BlockOnDelivery,
+}
+
+/// Per-worker synchronization bookkeeping.
+#[derive(Clone, Debug)]
+pub struct SyncState {
+    /// Highest gradient iteration received from each worker (self entry
+    /// unused). `None` until the first gradient arrives.
+    received: Vec<Option<u64>>,
+    /// The peers whose progress this worker waits on (its communication
+    /// neighbors; all other workers under the full mesh).
+    tracked: Vec<usize>,
+    /// Number of this worker's own gradient messages still in flight.
+    undelivered_sends: usize,
+    me: usize,
+}
+
+impl SyncState {
+    pub fn new(me: usize, n: usize) -> Self {
+        let tracked = (0..n).filter(|&j| j != me).collect();
+        SyncState::with_tracked(me, n, tracked)
+    }
+
+    /// Track only the given neighbor set (sparse topologies).
+    pub fn with_tracked(me: usize, n: usize, tracked: Vec<usize>) -> Self {
+        assert!(me < n);
+        assert!(tracked.iter().all(|&j| j < n && j != me), "bad tracked set");
+        SyncState {
+            received: vec![None; n],
+            tracked,
+            undelivered_sends: 0,
+            me,
+        }
+    }
+
+    /// Record a gradient received from `from` for `iteration`.
+    pub fn on_gradient(&mut self, from: usize, iteration: u64) {
+        assert_ne!(from, self.me, "own gradients are not received");
+        let e = &mut self.received[from];
+        *e = Some(e.map_or(iteration, |prev| prev.max(iteration)));
+    }
+
+    /// Record that we put `k` gradient messages on the wire.
+    pub fn on_sent(&mut self, k: usize) {
+        self.undelivered_sends += k;
+    }
+
+    /// Record that one of our messages was delivered.
+    pub fn on_delivered(&mut self) {
+        assert!(self.undelivered_sends > 0, "delivery without send");
+        self.undelivered_sends -= 1;
+    }
+
+    pub fn undelivered(&self) -> usize {
+        self.undelivered_sends
+    }
+
+    /// Latest iteration received from `from` (None if nothing yet).
+    pub fn received_from(&self, from: usize) -> Option<u64> {
+        self.received[from]
+    }
+
+    /// May this worker start iteration `next_iter` (0-based) under `policy`?
+    pub fn can_start(&self, policy: SyncPolicy, next_iter: u64) -> bool {
+        if next_iter == 0 {
+            return true;
+        }
+        let n_peers = self.tracked.len();
+        match policy {
+            SyncPolicy::Asynchronous => true,
+            SyncPolicy::Synchronous => self.peers_at_least(next_iter - 1) == n_peers,
+            SyncPolicy::BoundedStaleness {
+                bound,
+                backup_workers,
+            } => {
+                let needed = n_peers.saturating_sub(backup_workers);
+                let floor = next_iter.saturating_sub(1 + bound);
+                if floor == 0 {
+                    // Within the staleness window of the start of training;
+                    // nothing can be required yet.
+                    return true;
+                }
+                self.peers_at_least(floor) >= needed
+            }
+            SyncPolicy::BlockOnDelivery => self.undelivered_sends == 0,
+        }
+    }
+
+    fn peers_at_least(&self, iteration: u64) -> usize {
+        self.tracked
+            .iter()
+            .filter(|&&i| self.received[i].is_some_and(|v| v >= iteration))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_iteration_always_allowed() {
+        let s = SyncState::new(0, 6);
+        for p in [
+            SyncPolicy::Synchronous,
+            SyncPolicy::Asynchronous,
+            SyncPolicy::BoundedStaleness {
+                bound: 5,
+                backup_workers: 1,
+            },
+            SyncPolicy::BlockOnDelivery,
+        ] {
+            assert!(s.can_start(p, 0), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn bsp_waits_for_all_peers() {
+        let mut s = SyncState::new(0, 3);
+        assert!(!s.can_start(SyncPolicy::Synchronous, 1));
+        s.on_gradient(1, 0);
+        assert!(!s.can_start(SyncPolicy::Synchronous, 1));
+        s.on_gradient(2, 0);
+        assert!(s.can_start(SyncPolicy::Synchronous, 1));
+        // Next round needs iteration-1 gradients.
+        assert!(!s.can_start(SyncPolicy::Synchronous, 2));
+        s.on_gradient(1, 1);
+        s.on_gradient(2, 1);
+        assert!(s.can_start(SyncPolicy::Synchronous, 2));
+    }
+
+    #[test]
+    fn async_never_waits() {
+        let s = SyncState::new(0, 6);
+        assert!(s.can_start(SyncPolicy::Asynchronous, 1_000_000));
+    }
+
+    #[test]
+    fn bounded_staleness_window() {
+        let p = SyncPolicy::BoundedStaleness {
+            bound: 5,
+            backup_workers: 0,
+        };
+        let mut s = SyncState::new(0, 3);
+        // Iterations 1..=6 are within the initial window (floor 0).
+        for t in 1..=6 {
+            assert!(s.can_start(p, t), "t={t}");
+        }
+        // Iteration 7 needs both peers at >= 1.
+        assert!(!s.can_start(p, 7));
+        s.on_gradient(1, 1);
+        assert!(!s.can_start(p, 7));
+        s.on_gradient(2, 1);
+        assert!(s.can_start(p, 7));
+        // Iteration 12 needs both at >= 6.
+        s.on_gradient(1, 10);
+        s.on_gradient(2, 5);
+        assert!(!s.can_start(p, 12));
+        s.on_gradient(2, 6);
+        assert!(s.can_start(p, 12));
+    }
+
+    #[test]
+    fn backup_workers_tolerate_stragglers() {
+        // Hop's setting: 1 backup worker among 5 peers.
+        let p = SyncPolicy::BoundedStaleness {
+            bound: 5,
+            backup_workers: 1,
+        };
+        let mut s = SyncState::new(0, 6);
+        // 4 of 5 peers at iteration 10, one silent straggler.
+        for peer in 1..5 {
+            s.on_gradient(peer, 10);
+        }
+        assert!(s.can_start(p, 11), "one straggler may be skipped");
+        // Without backups the straggler blocks.
+        let p0 = SyncPolicy::BoundedStaleness {
+            bound: 5,
+            backup_workers: 0,
+        };
+        assert!(!s.can_start(p0, 11));
+    }
+
+    #[test]
+    fn block_on_delivery() {
+        let mut s = SyncState::new(0, 3);
+        s.on_sent(2);
+        assert!(!s.can_start(SyncPolicy::BlockOnDelivery, 1));
+        s.on_delivered();
+        assert!(!s.can_start(SyncPolicy::BlockOnDelivery, 1));
+        s.on_delivered();
+        assert!(s.can_start(SyncPolicy::BlockOnDelivery, 1));
+        assert_eq!(s.undelivered(), 0);
+    }
+
+    #[test]
+    fn received_tracking_is_monotone() {
+        let mut s = SyncState::new(0, 2);
+        s.on_gradient(1, 5);
+        s.on_gradient(1, 3); // late, out-of-order arrival
+        assert_eq!(s.received_from(1), Some(5));
+    }
+
+    #[test]
+    fn tracked_subset_only_waits_on_neighbors() {
+        // Ring-style: worker 0 tracks only {1, 5} out of 6.
+        let p = SyncPolicy::Synchronous;
+        let mut s = SyncState::with_tracked(0, 6, vec![1, 5]);
+        assert!(!s.can_start(p, 1));
+        s.on_gradient(1, 0);
+        assert!(!s.can_start(p, 1));
+        // Gradients from untracked workers don't count...
+        s.on_gradient(2, 0);
+        s.on_gradient(3, 0);
+        assert!(!s.can_start(p, 1));
+        // ...only the tracked neighbor unblocks.
+        s.on_gradient(5, 0);
+        assert!(s.can_start(p, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery without send")]
+    fn spurious_delivery_panics() {
+        let mut s = SyncState::new(0, 2);
+        s.on_delivered();
+    }
+}

@@ -1,0 +1,111 @@
+//! The weighted model update (§3.2, Eq. 7).
+//!
+//! Workers compute gradients over *different* local batch sizes, so a
+//! gradient from a worker with a larger sample is statistically more
+//! trustworthy. The dynamic batching weight compensates:
+//!
+//! ```text
+//! db_j^k = LBS_j / LBS_k
+//! w_{t+1}^k = w_t^k - η (1/n) Σ_j db_j^k g_t^j       (Eq. 7)
+//! ```
+//!
+//! **Normalization note.** Taken literally, Eq. 7 scales worker `k`'s total
+//! step by `Σ_j LBS_j / (n·LBS_k) = GBS/(n·LBS_k)`: a low-capacity worker
+//! (small `LBS_k`) would take steps several times larger than its peers,
+//! which destabilizes it at practical learning rates (we observed order-of-
+//! magnitude worker-accuracy deviation). This implementation therefore
+//! normalizes the weights by their sum — equivalently, it measures `db`
+//! against the *mean* LBS rather than the local one:
+//!
+//! ```text
+//! w_{t+1}^k = w_t^k - η Σ_j (LBS_j / GBS) g_t^j
+//! ```
+//!
+//! which is the sample-weighted average gradient (each training sample
+//! counts once), gives every worker the same effective learning rate, and
+//! still reduces *exactly* to the classic update (Eq. 4) when all workers
+//! share one LBS — verified by `weighted_reduces_to_plain`.
+
+/// The dynamic batching weight `db_j^k` applied by worker `k` to a gradient
+/// computed by worker `j` (exposed for tests and documentation; the runner
+/// uses [`update_factor`]).
+pub fn dynamic_batching_weight(lbs_sender: usize, lbs_local: usize) -> f32 {
+    assert!(
+        lbs_sender > 0 && lbs_local > 0,
+        "batch sizes must be positive"
+    );
+    lbs_sender as f32 / lbs_local as f32
+}
+
+/// The per-gradient update factor worker `k` applies for a gradient from
+/// worker `j`: `-η · LBS_j / GBS` with weighting enabled (normalized Eq. 7),
+/// or `-η/n` without (Eq. 4).
+pub fn update_factor(
+    lr: f32,
+    n_workers: usize,
+    lbs_sender: usize,
+    gbs: usize,
+    weighted: bool,
+) -> f32 {
+    assert!(n_workers > 0 && gbs > 0 && lbs_sender > 0);
+    if weighted {
+        -lr * lbs_sender as f32 / gbs as f32
+    } else {
+        -lr / n_workers as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_is_lbs_ratio() {
+        assert_eq!(dynamic_batching_weight(64, 32), 2.0);
+        assert_eq!(dynamic_batching_weight(16, 32), 0.5);
+        assert_eq!(dynamic_batching_weight(32, 32), 1.0);
+    }
+
+    #[test]
+    fn weighted_reduces_to_plain_when_equal() {
+        // Equal LBS (GBS = n * LBS): normalized Eq. 7 == Eq. 4.
+        let w = update_factor(0.3, 6, 32, 192, true);
+        let p = update_factor(0.3, 6, 32, 192, false);
+        assert!((w - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factor_scales_with_sender_batch() {
+        let big = update_factor(0.3, 6, 64, 192, true);
+        let small = update_factor(0.3, 6, 16, 192, true);
+        // Both negative (descent), big-sample gradients weighted more.
+        assert!(big < small && small < 0.0);
+        assert!((big / small - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn total_step_is_lr_for_every_worker() {
+        // Heterogeneous LBS 57/57/29/29/10/10 (GBS 192): the factors of all
+        // 6 gradients sum to -lr regardless of who applies them.
+        let lbs = [57usize, 57, 29, 29, 10, 10];
+        let total: f32 = lbs
+            .iter()
+            .map(|&l| update_factor(0.3, 6, l, 192, true))
+            .sum();
+        assert!((total + 0.3).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn unweighted_ignores_lbs() {
+        assert_eq!(
+            update_factor(0.3, 6, 64, 192, false),
+            update_factor(0.3, 6, 1, 192, false)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lbs_panics() {
+        dynamic_batching_weight(0, 32);
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-worker state: the in-simulation counterpart of Figure 10's worker
+//! architecture (model, training state, exchange strategy, synchronization
+//! bookkeeping, DKT state).
+
+use crate::dkt::DktState;
+use crate::strategy::ExchangeStrategy;
+use crate::sync::SyncState;
+use dlion_nn::Model;
+use dlion_tensor::{DetRng, Tensor};
+
+/// One simulated DLion worker.
+pub struct Worker {
+    pub id: usize,
+    pub model: Model,
+    pub strategy: Box<dyn ExchangeStrategy>,
+    pub sync: SyncState,
+    pub dkt: DktState,
+    /// Worker-private RNG (batch sampling).
+    pub rng: DetRng,
+    /// Training-set indices assigned to this worker.
+    pub shard: Vec<usize>,
+    /// Current local batch size.
+    pub lbs: usize,
+    /// Completed iterations (== index of the next iteration to run).
+    pub iteration: u64,
+    /// Gradients computed eagerly at iteration start, consumed at the
+    /// simulated completion time.
+    pub pending: Option<PendingIteration>,
+    /// True while an iteration is "executing" in virtual time.
+    pub computing: bool,
+    /// True if blocked by the synchronization policy.
+    pub waiting: bool,
+    /// Duration of the last iteration (for the speed-assurance budget).
+    pub last_iter_time: f64,
+    /// Last DKT round in which this worker issued a pull request.
+    pub last_pull_round: u64,
+}
+
+/// The result of a gradient computation awaiting its virtual completion.
+pub struct PendingIteration {
+    pub loss: f64,
+    pub grads: Vec<Tensor>,
+}
+
+impl Worker {
+    /// Sample a minibatch of `lbs` indices (with replacement) from the shard.
+    pub fn sample_batch(&mut self) -> Vec<usize> {
+        assert!(
+            !self.shard.is_empty(),
+            "worker {} has an empty shard",
+            self.id
+        );
+        (0..self.lbs)
+            .map(|_| self.shard[self.rng.index(self.shard.len())])
+            .collect()
+    }
+
+    /// Is the worker idle (neither computing nor marked waiting)?
+    pub fn idle(&self) -> bool {
+        !self.computing && !self.waiting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RunConfig, SystemKind};
+    use crate::dkt::DktConfig;
+    use crate::strategy::build_strategy;
+    use dlion_nn::ModelSpec;
+    use dlion_tensor::Shape;
+
+    fn worker() -> Worker {
+        let mut rng = DetRng::seed_from_u64(1);
+        let model = ModelSpec::Cipher.build(&Shape::d4(1, 1, 12, 12), 10, &mut rng);
+        let cfg = RunConfig::paper_default(SystemKind::DLion, dlion_microcloud::ClusterKind::Cpu);
+        Worker {
+            id: 0,
+            model,
+            strategy: build_strategy(&cfg),
+            sync: SyncState::new(0, 6),
+            dkt: DktState::new(0, 6, DktConfig::default()),
+            rng,
+            shard: (0..100).collect(),
+            lbs: 32,
+            iteration: 0,
+            pending: None,
+            computing: false,
+            waiting: false,
+            last_iter_time: 2.0,
+            last_pull_round: 0,
+        }
+    }
+
+    #[test]
+    fn sample_batch_size_and_range() {
+        let mut w = worker();
+        let b = w.sample_batch();
+        assert_eq!(b.len(), 32);
+        assert!(b.iter().all(|&i| i < 100));
+        w.lbs = 7;
+        assert_eq!(w.sample_batch().len(), 7);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = worker();
+        let mut b = worker();
+        assert_eq!(a.sample_batch(), b.sample_batch());
+    }
+
+    #[test]
+    fn idle_logic() {
+        let mut w = worker();
+        assert!(w.idle());
+        w.computing = true;
+        assert!(!w.idle());
+        w.computing = false;
+        w.waiting = true;
+        assert!(!w.idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shard")]
+    fn empty_shard_panics() {
+        let mut w = worker();
+        w.shard.clear();
+        w.sample_batch();
+    }
+}

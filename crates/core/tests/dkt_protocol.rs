@@ -1,0 +1,83 @@
+//! Runner-level tests of the direct knowledge transfer protocol (§3.4):
+//! loss sharing, pull requests to the best worker, weight transfers and
+//! λ-merging, end to end through the simulated network.
+
+use dlion_core::{run_env, DktConfig, DktMode, RunConfig, RunMetrics, SystemKind};
+use dlion_microcloud::EnvId;
+
+fn cfg(mode: DktMode, period: u64) -> RunConfig {
+    let mut c = RunConfig::small_test(SystemKind::DLion);
+    c.duration = 250.0;
+    c.workload.train_size = 2400;
+    c.workload.test_size = 400;
+    c.dkt = DktConfig {
+        mode,
+        period_iters: period,
+        ..Default::default()
+    };
+    c
+}
+
+fn run(mode: DktMode, period: u64) -> RunMetrics {
+    run_env(&cfg(mode, period), EnvId::HeteroCpuA)
+}
+
+#[test]
+fn best2all_transfers_weights() {
+    let m = run(DktMode::Best2All, 15);
+    assert!(m.dkt_merges > 0, "no weight merges happened");
+    assert!(m.weight_bytes > 0.0, "no weight traffic");
+    assert!(m.control_bytes > 0.0, "no loss-share traffic");
+    // Weight transfers are full-model sized: bytes per merge == 5 MB.
+    let per_merge = m.weight_bytes / m.dkt_merges as f64;
+    assert!(
+        (per_merge - 5_000_000.0).abs() < 1.0,
+        "per-merge bytes {per_merge}"
+    );
+}
+
+#[test]
+fn off_mode_produces_no_dkt_traffic() {
+    let m = run(DktMode::Off, 15);
+    assert_eq!(m.dkt_merges, 0);
+    assert_eq!(m.weight_bytes, 0.0);
+    assert_eq!(m.control_bytes, 0.0);
+}
+
+#[test]
+fn best2worst_merges_less_than_best2all() {
+    let all = run(DktMode::Best2All, 15);
+    let worst = run(DktMode::Best2Worst, 15);
+    assert!(worst.dkt_merges > 0, "worst worker should still pull");
+    assert!(
+        worst.dkt_merges < all.dkt_merges,
+        "Best2Worst ({}) must merge less than Best2All ({})",
+        worst.dkt_merges,
+        all.dkt_merges
+    );
+}
+
+#[test]
+fn shorter_period_means_more_weight_traffic() {
+    let frequent = run(DktMode::Best2All, 10);
+    let rare = run(DktMode::Best2All, 80);
+    assert!(
+        frequent.weight_bytes > rare.weight_bytes,
+        "period 10 ({}) vs period 80 ({})",
+        frequent.weight_bytes,
+        rare.weight_bytes
+    );
+}
+
+#[test]
+fn dkt_never_exceeds_one_pull_per_round_per_worker() {
+    let m = run(DktMode::Best2All, 20);
+    // Upper bound: each of 6 workers pulls at most once per round; rounds
+    // per worker = iterations / period.
+    let max_rounds: u64 = m.iterations.iter().map(|&it| it / 20).sum();
+    assert!(
+        m.dkt_merges <= max_rounds,
+        "merges {} exceed possible rounds {max_rounds}",
+        m.dkt_merges
+    );
+}

@@ -1,0 +1,118 @@
+//! Integration of the two batching controllers through the runner: the GBS
+//! schedule, LBS reassignment on GBS change, and profiling under dynamism.
+
+use dlion_core::{run_with_models, RunConfig, SystemKind};
+use dlion_microcloud::{
+    CPU_BATCH_EXPONENT, CPU_COST_PER_SAMPLE, CPU_OVERHEAD, LAN_LATENCY, LAN_MBPS,
+};
+use dlion_simnet::{ComputeModel, NetworkModel, PiecewiseConst};
+
+fn cfg() -> RunConfig {
+    let mut c = RunConfig::small_test(SystemKind::DLion);
+    c.duration = 600.0;
+    c.workload.train_size = 12_000; // warm-up cap 120 < 192 < speed-up cap 1200
+    c.workload.test_size = 400;
+    c.eval_interval = 200.0;
+    c.gbs.adjust_period_secs = 150.0;
+    c.profile_interval = 75.0;
+    c
+}
+
+fn lan(n: usize) -> NetworkModel {
+    NetworkModel::uniform(n, LAN_MBPS, LAN_LATENCY)
+}
+
+#[test]
+fn gbs_grows_through_phases_and_lbs_follows() {
+    let compute = ComputeModel::homogeneous(6, 24.0, CPU_COST_PER_SAMPLE, CPU_OVERHEAD)
+        .with_batch_exponent(CPU_BATCH_EXPONENT);
+    let m = run_with_models(&cfg(), compute, lan(6), "gbs-growth");
+    // Ticks at 150/300/450/600: speed-up x1.5 each -> 288, 432, 648... but
+    // capped at 10% of 12000 = 1200.
+    let gbs_values: Vec<usize> = m.gbs_trace.iter().map(|&(_, g)| g).collect();
+    assert!(!gbs_values.is_empty());
+    assert!(
+        gbs_values.windows(2).all(|w| w[1] > w[0]),
+        "monotone: {gbs_values:?}"
+    );
+    assert!(
+        *gbs_values.last().unwrap() <= 1200,
+        "cap respected: {gbs_values:?}"
+    );
+    // Every LBS assignment sums to the GBS in force at that time.
+    for (t, parts) in &m.lbs_trace {
+        let expect = m
+            .gbs_trace
+            .iter()
+            .rev()
+            .find(|&&(tt, _)| tt <= *t)
+            .map(|&(_, g)| g)
+            .unwrap_or(192);
+        assert_eq!(parts.iter().sum::<usize>(), expect, "at t={t}");
+    }
+    // Homogeneous cluster: shares stay near-equal even as GBS grows.
+    let (_, last) = m.lbs_trace.last().unwrap();
+    let (min, max) = (last.iter().min().unwrap(), last.iter().max().unwrap());
+    assert!(
+        *max as f64 <= 1.3 * *min as f64,
+        "near-equal shares: {last:?}"
+    );
+}
+
+#[test]
+fn profiling_tracks_mid_run_capacity_change() {
+    // Worker 5 loses 3/4 of its cores at t=300; its LBS share must shrink
+    // by roughly the superlinear factor (24/6)^(1/0.75) within a couple of
+    // profiling periods.
+    let mut caps = vec![PiecewiseConst::constant(24.0); 6];
+    caps[5] = PiecewiseConst::steps(vec![(0.0, 24.0), (300.0, 6.0)]);
+    let compute = ComputeModel::new(caps, CPU_COST_PER_SAMPLE, CPU_OVERHEAD)
+        .with_batch_exponent(CPU_BATCH_EXPONENT);
+    let mut c = cfg();
+    // Pin the GBS so the trace isolates the capacity response.
+    c.gbs.warmup_cap_frac = 0.001;
+    c.gbs.speedup_cap_frac = 0.002;
+    let m = run_with_models(&c, compute, lan(6), "capacity-drop");
+    let share = |t_lo: f64, t_hi: f64| -> f64 {
+        let rows: Vec<&Vec<usize>> = m
+            .lbs_trace
+            .iter()
+            .filter(|(t, _)| (*t >= t_lo) && (*t < t_hi))
+            .map(|(_, p)| p)
+            .collect();
+        assert!(!rows.is_empty(), "no assignments in [{t_lo},{t_hi})");
+        let last = rows.last().unwrap();
+        last[5] as f64 / last.iter().sum::<usize>() as f64
+    };
+    let before = share(0.0, 290.0);
+    let after = share(450.0, 600.0);
+    assert!(before > 0.12, "equal share before the drop: {before}");
+    assert!(
+        after < before / 2.5,
+        "share must collapse after the drop: {before} -> {after}"
+    );
+}
+
+#[test]
+fn non_batching_systems_never_touch_lbs() {
+    let compute = ComputeModel::homogeneous(6, 24.0, CPU_COST_PER_SAMPLE, CPU_OVERHEAD);
+    for sys in [
+        SystemKind::Baseline,
+        SystemKind::Gaia,
+        SystemKind::Ako,
+        SystemKind::Hop,
+    ] {
+        let mut c = cfg();
+        c.system = sys;
+        c.dkt = dlion_core::DktConfig::off();
+        let m = run_with_models(
+            &c,
+            ComputeModel::homogeneous(6, 24.0, CPU_COST_PER_SAMPLE, CPU_OVERHEAD),
+            lan(6),
+            "static",
+        );
+        assert!(m.lbs_trace.is_empty(), "{sys:?} must keep LBS fixed");
+        assert!(m.gbs_trace.is_empty());
+    }
+    drop(compute);
+}

@@ -1,0 +1,103 @@
+//! End-to-end behaviour of per-link prioritized gradient exchange through
+//! the runner: budget adherence under asymmetric links and adaptation to
+//! bandwidth changes mid-run.
+
+use dlion_core::{run_with_models, RunConfig, RunMetrics, SystemKind};
+use dlion_microcloud::{CPU_BATCH_EXPONENT, CPU_COST_PER_SAMPLE, CPU_OVERHEAD, WAN_LATENCY};
+use dlion_simnet::{ComputeModel, NetworkModel, PiecewiseConst};
+
+fn cfg() -> RunConfig {
+    let mut c = RunConfig::small_test(SystemKind::DLion);
+    c.duration = 250.0;
+    c.workload.train_size = 2400;
+    c.workload.test_size = 400;
+    c.trace_links = true;
+    c
+}
+
+fn compute() -> ComputeModel {
+    ComputeModel::homogeneous(4, 24.0, CPU_COST_PER_SAMPLE, CPU_OVERHEAD)
+        .with_batch_exponent(CPU_BATCH_EXPONENT)
+}
+
+fn mean_entries(m: &RunMetrics, src: usize, dst: usize, t0: f64, t1: f64) -> f64 {
+    let xs: Vec<f64> = m
+        .link_trace
+        .iter()
+        .filter(|s| s.src == src && s.dst == dst && s.time >= t0 && s.time < t1)
+        .map(|s| s.entries as f64)
+        .collect();
+    assert!(!xs.is_empty(), "no samples on {src}->{dst} in [{t0},{t1})");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[test]
+fn asymmetric_links_get_asymmetric_gradients() {
+    let mut net = NetworkModel::uniform(4, 100.0, WAN_LATENCY);
+    net.set_link(0, 1, PiecewiseConst::constant(120.0));
+    net.set_link(0, 2, PiecewiseConst::constant(30.0));
+    net.set_link(0, 3, PiecewiseConst::constant(8.0));
+    let m = run_with_models(&cfg(), compute(), net, "asymmetric");
+    let fat = mean_entries(&m, 0, 1, 0.0, 250.0);
+    let mid = mean_entries(&m, 0, 2, 0.0, 250.0);
+    let thin = mean_entries(&m, 0, 3, 0.0, 250.0);
+    assert!(
+        fat > mid && mid > thin,
+        "sizes must order by bandwidth: {fat} {mid} {thin}"
+    );
+    // The Max N parameter recorded per message also orders.
+    let mean_n = |dst: usize| -> f64 {
+        let xs: Vec<f64> = m
+            .link_trace
+            .iter()
+            .filter(|s| s.src == 0 && s.dst == dst)
+            .map(|s| s.n_used)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    assert!(
+        mean_n(1) > mean_n(3),
+        "N must track bandwidth: {} vs {}",
+        mean_n(1),
+        mean_n(3)
+    );
+}
+
+#[test]
+fn bandwidth_step_changes_selection_within_one_iteration_scale() {
+    // 0-125 s at 100 Mbps, then 12 Mbps.
+    let mut net = NetworkModel::uniform(4, 100.0, WAN_LATENCY);
+    for j in 1..4 {
+        net.set_link(
+            0,
+            j,
+            PiecewiseConst::steps(vec![(0.0, 100.0), (125.0, 12.0)]),
+        );
+    }
+    let m = run_with_models(&cfg(), compute(), net, "stepped");
+    let before = mean_entries(&m, 0, 1, 20.0, 120.0);
+    let after = mean_entries(&m, 0, 1, 135.0, 250.0);
+    assert!(
+        after < before / 2.0,
+        "selection must shrink after the bandwidth drop: {before} -> {after}"
+    );
+}
+
+#[test]
+fn sparse_budgets_keep_egress_stable() {
+    // On a very thin uniform network, the speed-assurance budget should keep
+    // the NIC from accumulating unbounded backlog: late-run messages still
+    // deliver within a couple of iteration periods of being sent.
+    let net = NetworkModel::uniform(4, 10.0, WAN_LATENCY);
+    let m = run_with_models(&cfg(), compute(), net, "thin-uniform");
+    assert!(
+        m.total_iterations() > 40,
+        "cluster made progress: {:?}",
+        m.iterations
+    );
+    // Iterations across workers stay within the staleness bound, which they
+    // can only do if gradient messages keep arriving on time.
+    let max = *m.iterations.iter().max().unwrap();
+    let min = *m.iterations.iter().min().unwrap();
+    assert!(max - min <= 6 + 1, "spread {}", max - min);
+}

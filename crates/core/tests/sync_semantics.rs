@@ -1,0 +1,97 @@
+//! Runner-level tests of the synchronization semantics: how each policy
+//! shapes cluster progress under stragglers and slow networks.
+
+use dlion_core::{run_env, run_with_models, RunConfig, SystemKind};
+use dlion_microcloud::{EnvId, CPU_COST_PER_SAMPLE, CPU_OVERHEAD};
+use dlion_simnet::{ComputeModel, NetworkModel};
+
+fn small(system: SystemKind) -> RunConfig {
+    let mut c = RunConfig::small_test(system);
+    c.duration = 200.0;
+    c.workload.train_size = 2400;
+    c.workload.test_size = 400;
+    c
+}
+
+#[test]
+fn bounded_staleness_throttles_to_straggler_without_backups() {
+    // Hetero CPU B: five 24-core workers + one 4-core straggler
+    // (iteration ~11.5 s vs ~2 s). Baseline (bound 5, no backups) must
+    // throttle the fast workers; Hop (1 backup) must not.
+    let base = run_env(&small(SystemKind::Baseline), EnvId::HeteroCpuB);
+    let hop = run_env(&small(SystemKind::Hop), EnvId::HeteroCpuB);
+    let fast_max = |m: &dlion_core::RunMetrics| *m.iterations[..5].iter().max().unwrap();
+    let straggler_base = base.iterations[5];
+    // Without backups, fast workers stay within bound+1 of the straggler.
+    assert!(
+        fast_max(&base) <= straggler_base + 6 + 1,
+        "Baseline fast {} vs straggler {straggler_base}",
+        fast_max(&base)
+    );
+    // Hop's backup worker lets the fast five run at their own pace.
+    assert!(
+        fast_max(&hop) > fast_max(&base) + 10,
+        "Hop fast {} should outrun Baseline fast {}",
+        fast_max(&hop),
+        fast_max(&base)
+    );
+}
+
+#[test]
+fn gaia_blocks_until_delivery_on_slow_links() {
+    // On a very slow network Gaia's block-on-delivery gates iterations by
+    // transfer completion; with a fast network it runs at compute speed.
+    let mk = |mbps: f64| {
+        let compute = ComputeModel::homogeneous(6, 24.0, CPU_COST_PER_SAMPLE, CPU_OVERHEAD);
+        let net = NetworkModel::uniform(6, mbps, 0.05);
+        run_with_models(&small(SystemKind::Gaia), compute, net, "gaia-sync").total_iterations()
+    };
+    let fast = mk(1000.0);
+    let slow = mk(2.0);
+    assert!(fast > slow, "fast {fast} vs slow {slow}");
+}
+
+#[test]
+fn async_ako_outruns_bounded_baseline_on_bad_networks() {
+    let ako = run_env(&small(SystemKind::Ako), EnvId::HomoB);
+    let base = run_env(&small(SystemKind::Baseline), EnvId::HomoB);
+    assert!(
+        ako.total_iterations() > base.total_iterations(),
+        "Ako {} vs Baseline {}",
+        ako.total_iterations(),
+        base.total_iterations()
+    );
+}
+
+#[test]
+fn utilization_reflects_straggler_waiting() {
+    // In Hetero CPU B, bounded Baseline throttles fast workers (low compute
+    // utilization) while async Ako keeps them busy.
+    let base = run_env(&small(SystemKind::Baseline), EnvId::HeteroCpuB);
+    let ako = run_env(&small(SystemKind::Ako), EnvId::HeteroCpuB);
+    // Fast workers under Baseline wait most of the time.
+    let base_fast = base.utilization(0);
+    let ako_fast = ako.utilization(0);
+    assert!(
+        base_fast < 0.5,
+        "Baseline fast worker should mostly wait: {base_fast}"
+    );
+    assert!(
+        ako_fast > 0.8,
+        "Ako fast worker should stay busy: {ako_fast}"
+    );
+    // The straggler is always busy in both.
+    assert!(
+        base.utilization(5) > 0.8,
+        "straggler busy: {}",
+        base.utilization(5)
+    );
+}
+
+#[test]
+fn staleness_bound_caps_iteration_spread() {
+    let m = run_env(&small(SystemKind::DLion), EnvId::HeteroNetA);
+    let max = *m.iterations.iter().max().unwrap();
+    let min = *m.iterations.iter().min().unwrap();
+    assert!(max - min <= 6 + 1, "spread {} exceeds bound", max - min);
+}

@@ -1,0 +1,171 @@
+//! Reproduction-specific ablations beyond the paper's own figures,
+//! covering design choices DESIGN.md calls out: the DKT contribution inside
+//! full DLion, and the sensitivity of the minimum-N floor (§5.1.4 sets it
+//! to 0.85 without exploring it).
+
+use crate::opts::ExpOpts;
+use crate::output::{fmt_pm, Table};
+use dlion_core::{run_env, DktConfig, RunConfig, SystemKind};
+use dlion_microcloud::{ClusterKind, EnvId};
+use dlion_tensor::stats;
+
+fn base(opts: &ExpOpts, seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::paper_default(SystemKind::DLion, ClusterKind::Cpu);
+    cfg.seed = seed;
+    cfg.duration = opts.dur(1500.0);
+    cfg.workload.train_size = opts.train_size(24_000);
+    cfg.workload.test_size = if opts.fast { 400 } else { 2000 };
+    cfg.eval_subset = if opts.fast { 150 } else { 250 };
+    cfg
+}
+
+/// All ablation/extension tables.
+pub fn ablations(opts: &ExpOpts) -> Vec<Table> {
+    vec![
+        ablation_dkt(opts),
+        ablation_min_n(opts),
+        extension_prague(opts),
+        extension_topology(opts),
+    ]
+}
+
+/// Topology extension: DLion over sparse gossip graphs on the constrained
+/// WAN — traffic vs. accuracy.
+fn extension_topology(opts: &ExpOpts) -> Table {
+    use dlion_core::Topology;
+    let mut t = Table::new(
+        "extension_topology",
+        "DLion over sparse communication topologies (Homo B, 1500 s)",
+        &["Topology", "Accuracy", "Gradient MB sent", "Iterations"],
+    );
+    for topo in [
+        Topology::FullMesh,
+        Topology::Ring,
+        Topology::Star { hub: 0 },
+    ] {
+        let mut accs = Vec::new();
+        let mut bytes = Vec::new();
+        let mut iters = Vec::new();
+        for &seed in &opts.seeds {
+            let mut cfg = base(opts, seed);
+            cfg.topology = topo;
+            eprintln!("  running DLion on {} / seed {seed} ...", topo.name());
+            let m = run_env(&cfg, EnvId::HomoB);
+            accs.push(m.tail_mean_acc(3));
+            bytes.push(m.grad_bytes / 1e6);
+            iters.push(m.total_iterations() as f64);
+        }
+        t.row(vec![
+            topo.name(),
+            fmt_pm(stats::mean(&accs), stats::ci95(&accs)),
+            format!("{:.0}", stats::mean(&bytes)),
+            format!("{:.0}", stats::mean(&iters)),
+        ]);
+    }
+    t
+}
+
+/// Prague extension (§6 related work): partial all-reduce with different
+/// group sizes against DLion on a heterogeneous system.
+fn extension_prague(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "extension_prague",
+        "Prague-style partial all-reduce vs. DLion on Hetero SYS A (1500 s)",
+        &["System", "Accuracy", "Gradient MB sent"],
+    );
+    let systems = [
+        SystemKind::Prague(2),
+        SystemKind::Prague(3),
+        SystemKind::Prague(6),
+        SystemKind::DLion,
+    ];
+    for sys in systems {
+        let mut accs = Vec::new();
+        let mut bytes = Vec::new();
+        for &seed in &opts.seeds {
+            let mut cfg = base(opts, seed);
+            cfg.system = sys;
+            if !sys.dkt() {
+                cfg.dkt = DktConfig::off();
+            }
+            eprintln!("  running {} / seed {seed} ...", sys.name());
+            let m = run_env(&cfg, EnvId::HeteroSysA);
+            accs.push(m.tail_mean_acc(3));
+            bytes.push(m.grad_bytes / 1e6);
+        }
+        t.row(vec![
+            sys.name(),
+            fmt_pm(stats::mean(&accs), stats::ci95(&accs)),
+            format!("{:.0}", stats::mean(&bytes)),
+        ]);
+    }
+    t
+}
+
+/// DLion with vs. without DKT, and the deviation across workers — isolates
+/// the accuracy contribution of direct knowledge transfer inside the full
+/// system.
+fn ablation_dkt(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "ablation_dkt",
+        "DLion with/without direct knowledge transfer: accuracy and worker deviation after 1500 s",
+        &[
+            "Environment",
+            "DLion acc",
+            "DLion-no-DKT acc",
+            "DLion dev",
+            "no-DKT dev",
+        ],
+    );
+    for env in [EnvId::HomoB, EnvId::HeteroSysB] {
+        let (mut a_on, mut a_off, mut d_on, mut d_off) = (vec![], vec![], vec![], vec![]);
+        for &seed in &opts.seeds {
+            let cfg_on = base(opts, seed);
+            let mut cfg_off = base(opts, seed);
+            cfg_off.dkt = DktConfig::off();
+            eprintln!("  running DKT ablation in {} / seed {seed} ...", env.name());
+            let on = run_env(&cfg_on, env);
+            let off = run_env(&cfg_off, env);
+            a_on.push(on.tail_mean_acc(3));
+            a_off.push(off.tail_mean_acc(3));
+            d_on.push(on.final_acc_std());
+            d_off.push(off.final_acc_std());
+        }
+        t.row(vec![
+            env.name().to_string(),
+            fmt_pm(stats::mean(&a_on), stats::ci95(&a_on)),
+            fmt_pm(stats::mean(&a_off), stats::ci95(&a_off)),
+            format!("{:.4}", stats::mean(&d_on)),
+            format!("{:.4}", stats::mean(&d_off)),
+        ]);
+    }
+    t
+}
+
+/// Sensitivity of the minimum-N floor on a heterogeneous network: too low
+/// starves thin links of gradient signal, too high overloads them.
+fn ablation_min_n(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "ablation_min_n",
+        "Sensitivity of the Max N minimum (paper: 0.85) on Hetero NET A",
+        &["min N", "Accuracy", "Gradient MB sent"],
+    );
+    for min_n in [0.085, 0.85, 8.5] {
+        let mut accs = Vec::new();
+        let mut bytes = Vec::new();
+        for &seed in &opts.seeds {
+            let mut cfg = base(opts, seed);
+            cfg.min_n = min_n;
+            eprintln!("  running min_n {min_n} / seed {seed} ...");
+            let m = run_env(&cfg, EnvId::HeteroNetA);
+            accs.push(m.tail_mean_acc(3));
+            bytes.push(m.grad_bytes / 1e6);
+        }
+        t.row(vec![
+            format!("{min_n}"),
+            fmt_pm(stats::mean(&accs), stats::ci95(&accs)),
+            format!("{:.0}", stats::mean(&bytes)),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,246 @@
+//! The headline comparison figures: DLion vs. Baseline/Ako/Gaia/Hop across
+//! the Table 3 environments (Figures 11–18 and 21).
+
+use crate::opts::ExpOpts;
+use crate::output::{fmt_pm, fmt_time, Table};
+use crate::standard::{acc_best, acc_deviation, acc_final, time_to, StandardRuns};
+use dlion_core::{run_env, RunConfig, SystemKind};
+use dlion_microcloud::{ClusterKind, EnvId};
+
+fn env_comparison(
+    id: &str,
+    title: &str,
+    envs: &[EnvId],
+    systems: &[SystemKind],
+    sr: &mut StandardRuns,
+) -> Table {
+    let mut headers = vec!["System".to_string()];
+    headers.extend(envs.iter().map(|e| e.name().to_string()));
+    let mut t = Table::new(
+        id,
+        title,
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for &sys in systems {
+        let mut row = vec![sys.name()];
+        for &env in envs {
+            let runs = sr.get(sys, env);
+            let (m, ci) = acc_final(&runs);
+            row.push(fmt_pm(m, ci));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 11: accuracy after 1500 s in Homo A / Hetero SYS A / Hetero SYS B
+/// (CPU cluster).
+pub fn fig11(_opts: &ExpOpts, sr: &mut StandardRuns) -> Table {
+    env_comparison(
+        "fig11",
+        "Handling homogeneous and heterogeneous system (compute + network) environments, CPU cluster: accuracy after 1500 s",
+        &[EnvId::HomoA, EnvId::HeteroSysA, EnvId::HeteroSysB],
+        &SystemKind::headline(),
+        sr,
+    )
+}
+
+/// Figure 12: MobileNet on the GPU cluster, Homo C and Hetero SYS C.
+///
+/// The paper trains for 2 wall-clock hours; this reproduction compresses the
+/// virtual duration to 250 s while preserving the compute-to-communication
+/// ratio (see EXPERIMENTS.md "Calibration").
+pub fn fig12(opts: &ExpOpts) -> Table {
+    let systems = [
+        SystemKind::Hop,
+        SystemKind::Gaia,
+        SystemKind::Ako,
+        SystemKind::DLion,
+    ];
+    let envs = [EnvId::HomoC, EnvId::HeteroSysC];
+    let mut t = Table::new(
+        "fig12",
+        "Heterogeneous GPU cluster (MobileNet): accuracy after the compressed 2-hour run",
+        &["System", "Homo C", "Hetero SYS C"],
+    );
+    for sys in systems {
+        let mut row = vec![sys.name()];
+        for env in envs {
+            let mut accs = Vec::new();
+            for &seed in &opts.seeds {
+                let mut cfg = RunConfig::paper_default(sys, ClusterKind::Gpu);
+                cfg.seed = seed;
+                cfg.duration = opts.dur(250.0);
+                cfg.workload.train_size = opts.train_size(24_000);
+                cfg.workload.test_size = if opts.fast { 400 } else { 2000 };
+                cfg.eval_interval = 25.0;
+                cfg.eval_subset = if opts.fast { 150 } else { 250 };
+                eprintln!(
+                    "  running {} / {} / seed {seed} (GPU) ...",
+                    sys.name(),
+                    env.name()
+                );
+                accs.push(run_env(&cfg, env).tail_mean_acc(3));
+            }
+            row.push(fmt_pm(
+                dlion_tensor::stats::mean(&accs),
+                dlion_tensor::stats::ci95(&accs),
+            ));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 13: compute-only heterogeneity (Homo A / Hetero CPU A / Hetero CPU B).
+pub fn fig13(_opts: &ExpOpts, sr: &mut StandardRuns) -> Table {
+    env_comparison(
+        "fig13",
+        "Handling homogeneous and heterogeneous compute resource environments: accuracy after 1500 s",
+        &[EnvId::HomoA, EnvId::HeteroCpuA, EnvId::HeteroCpuB],
+        &SystemKind::headline(),
+        sr,
+    )
+}
+
+/// Figure 14: dynamic batching ablation — training time to the target
+/// accuracy for DLion-no-DBWU / DLion-no-WU / DLion.
+pub fn fig14(opts: &ExpOpts, sr: &mut StandardRuns) -> Table {
+    // The paper targets 70% on CIFAR10; on the synthetic task the comparable
+    // mid-training point (reached by the stronger variants within 1500 s,
+    // like the paper's setup) is 50%.
+    let target = if opts.fast { 0.30 } else { 0.50 };
+    let systems = [
+        SystemKind::DLionNoDbwu,
+        SystemKind::DLionNoWu,
+        SystemKind::DLion,
+    ];
+    let envs = [EnvId::HomoA, EnvId::HeteroCpuA, EnvId::HeteroCpuB];
+    let mut t = Table::new(
+        "fig14",
+        &format!(
+            "Effect of dynamic batching (DB) and weighted updates (WU): time (s) to {:.0}% accuracy (lower is better)",
+            target * 100.0
+        ),
+        &["System", "Homo A", "Hetero CPU A", "Hetero CPU B"],
+    );
+    for sys in systems {
+        let mut row = vec![sys.name()];
+        for env in envs {
+            let runs = sr.get(sys, env);
+            row.push(fmt_time(time_to(&runs, target)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 15: network-only heterogeneity (Homo A / Homo B / Hetero NET A).
+pub fn fig15(_opts: &ExpOpts, sr: &mut StandardRuns) -> Table {
+    env_comparison(
+        "fig15",
+        "Handling homogeneous and heterogeneous network resource environments: accuracy after 1500 s",
+        &[EnvId::HomoA, EnvId::HomoB, EnvId::HeteroNetA],
+        &SystemKind::headline(),
+        sr,
+    )
+}
+
+/// Figure 16: Max N (N = 10) alone vs. the existing systems.
+pub fn fig16(_opts: &ExpOpts, sr: &mut StandardRuns) -> Table {
+    env_comparison(
+        "fig16",
+        "Max10 alone (no DB/WU/DKT) vs. existing systems: accuracy after 1500 s",
+        &[EnvId::HomoB, EnvId::HeteroSysA],
+        &[
+            SystemKind::Baseline,
+            SystemKind::Hop,
+            SystemKind::Gaia,
+            SystemKind::Ako,
+            SystemKind::MaxNOnly(10.0),
+        ],
+        sr,
+    )
+}
+
+/// Figure 17: deviation of model accuracy among workers.
+pub fn fig17(_opts: &ExpOpts, sr: &mut StandardRuns) -> Table {
+    let envs = [EnvId::HeteroSysB, EnvId::HeteroNetB, EnvId::HeteroCpuB];
+    let mut t = Table::new(
+        "fig17",
+        "Std-dev of accuracy across workers after 1500 s (lower is better)",
+        &["System", "Hetero SYS B", "Hetero NET B", "Hetero CPU B"],
+    );
+    for sys in SystemKind::headline() {
+        let mut row = vec![sys.name()];
+        for env in envs {
+            let runs = sr.get(sys, env);
+            let (m, ci) = acc_deviation(&runs);
+            row.push(fmt_pm(m, ci));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 18: dynamically changing resources (Dynamic SYS A / B) — highest
+/// accuracy reached.
+pub fn fig18(_opts: &ExpOpts, sr: &mut StandardRuns) -> Table {
+    let mut t = Table::new(
+        "fig18",
+        "Highest accuracy under dynamically changing resources (1500 s)",
+        &["System", "Dynamic SYS A", "Dynamic SYS B"],
+    );
+    for sys in SystemKind::headline() {
+        let mut row = vec![sys.name()];
+        for env in [EnvId::DynamicSysA, EnvId::DynamicSysB] {
+            let runs = sr.get(sys, env);
+            let (m, ci) = acc_best(&runs);
+            row.push(fmt_pm(m, ci));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 21: highest accuracy and time to convergence in Homo A.
+pub fn fig21(opts: &ExpOpts) -> Table {
+    let mut t = Table::new(
+        "fig21",
+        "Highest model accuracy and training time until full convergence (Homo A)",
+        &["System", "Best accuracy", "Convergence time (s)"],
+    );
+    for sys in SystemKind::headline() {
+        let mut best = Vec::new();
+        let mut times = Vec::new();
+        for &seed in &opts.seeds {
+            let mut cfg = RunConfig::paper_default(sys, ClusterKind::Cpu);
+            cfg.seed = seed;
+            cfg.duration = opts.dur(5000.0);
+            cfg.workload.train_size = opts.train_size(24_000);
+            cfg.workload.test_size = if opts.fast { 400 } else { 2000 };
+            cfg.eval_subset = if opts.fast { 150 } else { 250 };
+            cfg.converge = Some(dlion_core::config::ConvergenceCfg {
+                window_secs: opts.dur(600.0),
+                min_improvement: 0.003,
+                min_secs: opts.dur(1000.0),
+            });
+            eprintln!(
+                "  running {} / Homo A to convergence / seed {seed} ...",
+                sys.name()
+            );
+            let m = run_env(&cfg, EnvId::HomoA);
+            best.push(m.best_mean_acc());
+            times.push(m.converged_at.unwrap_or(m.duration));
+        }
+        t.row(vec![
+            sys.name(),
+            fmt_pm(
+                dlion_tensor::stats::mean(&best),
+                dlion_tensor::stats::ci95(&best),
+            ),
+            format!("{:.0}", dlion_tensor::stats::mean(&times)),
+        ]);
+    }
+    t
+}

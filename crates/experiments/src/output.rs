@@ -1,0 +1,190 @@
+//! Console tables and CSV files.
+
+use std::fs;
+use std::path::Path;
+
+/// One paper-style table: headers plus string rows, printed to the console
+/// and persisted as CSV.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. "fig11" (used as the CSV file name).
+    pub id: String,
+    /// Human title, e.g. the paper's caption.
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.id, self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&line(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured markdown table (used to assemble
+    /// EXPERIMENTS.md mechanically from the results).
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        s.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        s.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            s.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        s
+    }
+
+    /// Write `<dir>/<id>.csv` (quoting cells that contain commas).
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let quote = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut s = String::new();
+        s.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&r.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            s.push('\n');
+        }
+        fs::write(dir.join(format!("{}.csv", self.id)), s)
+    }
+}
+
+/// `mean ±ci` formatting (ci omitted when 0, i.e. a single seed).
+pub fn fmt_pm(mean: f64, ci: f64) -> String {
+    if ci > 0.0 {
+        format!("{mean:.3} ±{ci:.3}")
+    } else {
+        format!("{mean:.3}")
+    }
+}
+
+/// Format an optional time-to-target.
+pub fn fmt_time(t: Option<f64>) -> String {
+    match t {
+        Some(v) => format!("{v:.0}"),
+        None => "not reached".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("figX", "Demo", &["System", "Accuracy"]);
+        t.row(vec!["DLion".into(), "0.712".into()]);
+        t.row(vec!["Baseline".into(), "0.401".into()]);
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = table().render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("System"));
+        assert!(s.contains("DLion"));
+        assert!(s.contains("0.401"));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = table().to_markdown();
+        assert!(md.starts_with("### figX"));
+        assert!(md.contains("| System | Accuracy |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| DLion | 0.712 |"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("dlion-test-csv");
+        table().write_csv(&dir).unwrap();
+        let s = std::fs::read_to_string(dir.join("figX.csv")).unwrap();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.starts_with("System,Accuracy"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("q", "t", &["a"]);
+        t.row(vec!["x,y".into()]);
+        let dir = std::env::temp_dir().join("dlion-test-csv2");
+        t.write_csv(&dir).unwrap();
+        let s = std::fs::read_to_string(dir.join("q.csv")).unwrap();
+        assert!(s.contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = table();
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_pm(0.5, 0.0), "0.500");
+        assert_eq!(fmt_pm(0.5, 0.012), "0.500 ±0.012");
+        assert_eq!(fmt_time(Some(123.4)), "123");
+        assert_eq!(fmt_time(None), "not reached");
+    }
+}

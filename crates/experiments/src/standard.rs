@@ -1,0 +1,131 @@
+//! The shared pool of "standard" runs.
+//!
+//! Several figures (11, 13, 15, 16, 17, 18) evaluate the same systems in
+//! overlapping environments with identical settings (Cipher, 1500 s). The
+//! pool memoizes each `(system, env, seed)` run so the `all` command never
+//! simulates the same configuration twice.
+
+use crate::opts::ExpOpts;
+use dlion_core::{run_env, RunConfig, RunMetrics, SystemKind};
+use dlion_microcloud::{ClusterKind, EnvId};
+use dlion_tensor::stats;
+use std::collections::HashMap;
+
+/// Memoizing runner for the standard CPU-cluster configuration.
+pub struct StandardRuns {
+    opts: ExpOpts,
+    memo: HashMap<(String, EnvId, u64), RunMetrics>,
+}
+
+impl StandardRuns {
+    pub fn new(opts: &ExpOpts) -> Self {
+        StandardRuns {
+            opts: opts.clone(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The standard CPU config for a system: paper defaults, 1500 s.
+    pub fn config(&self, system: SystemKind, seed: u64) -> RunConfig {
+        let mut cfg = RunConfig::paper_default(system, ClusterKind::Cpu);
+        cfg.seed = seed;
+        cfg.duration = self.opts.dur(1500.0);
+        cfg.workload.train_size = self.opts.train_size(24_000);
+        cfg.workload.test_size = if self.opts.fast { 400 } else { 2000 };
+        cfg.eval_subset = if self.opts.fast { 150 } else { 250 };
+        cfg
+    }
+
+    /// All seeds' metrics for `(system, env)`, running anything missing.
+    pub fn get(&mut self, system: SystemKind, env: EnvId) -> Vec<RunMetrics> {
+        let seeds = self.opts.seeds.clone();
+        seeds
+            .into_iter()
+            .map(|seed| {
+                let key = (system.name(), env, seed);
+                if !self.memo.contains_key(&key) {
+                    let cfg = self.config(system, seed);
+                    eprintln!(
+                        "  running {} / {} / seed {seed} ...",
+                        system.name(),
+                        env.name()
+                    );
+                    let m = run_env(&cfg, env);
+                    self.memo.insert(key.clone(), m);
+                }
+                self.memo[&key].clone()
+            })
+            .collect()
+    }
+}
+
+/// Evaluation points averaged into the end-of-run accuracy (noise
+/// smoothing; see [`RunMetrics::tail_mean_acc`]).
+pub const TAIL_EVALS: usize = 3;
+
+/// Mean and 95% CI of end-of-run accuracy across seed runs.
+pub fn acc_final(runs: &[RunMetrics]) -> (f64, f64) {
+    let xs: Vec<f64> = runs.iter().map(|m| m.tail_mean_acc(TAIL_EVALS)).collect();
+    (stats::mean(&xs), stats::ci95(&xs))
+}
+
+/// Mean and CI of the best (peak) mean accuracy across seed runs.
+pub fn acc_best(runs: &[RunMetrics]) -> (f64, f64) {
+    let xs: Vec<f64> = runs.iter().map(|m| m.best_mean_acc()).collect();
+    (stats::mean(&xs), stats::ci95(&xs))
+}
+
+/// Mean and CI of the across-worker accuracy std-dev (Fig. 17's metric).
+pub fn acc_deviation(runs: &[RunMetrics]) -> (f64, f64) {
+    let xs: Vec<f64> = runs.iter().map(|m| m.final_acc_std()).collect();
+    (stats::mean(&xs), stats::ci95(&xs))
+}
+
+/// Mean time-to-target across seed runs; `None` if any run never got there.
+pub fn time_to(runs: &[RunMetrics], target: f64) -> Option<f64> {
+    let mut xs = Vec::new();
+    for m in runs {
+        xs.push(m.time_to_accuracy(target)?);
+    }
+    Some(stats::mean(&xs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memo_avoids_reruns() {
+        let mut sr = StandardRuns::new(&ExpOpts::fast());
+        let a = sr.get(SystemKind::Baseline, EnvId::HomoA);
+        assert_eq!(sr.memo.len(), 1);
+        let b = sr.get(SystemKind::Baseline, EnvId::HomoA);
+        assert_eq!(sr.memo.len(), 1, "second call must hit the memo");
+        assert_eq!(a[0].worker_acc, b[0].worker_acc);
+    }
+
+    #[test]
+    fn config_uses_paper_settings() {
+        let sr = StandardRuns::new(&ExpOpts::full());
+        let c = sr.config(SystemKind::DLion, 3);
+        assert_eq!(c.seed, 3);
+        assert_eq!(c.duration, 1500.0);
+        assert_eq!(c.workload.train_size, 24_000);
+    }
+
+    #[test]
+    fn summary_helpers() {
+        let mk = |acc: f64| RunMetrics {
+            eval_times: vec![100.0],
+            worker_acc: vec![vec![acc, acc + 0.02]],
+            ..Default::default()
+        };
+        let runs = vec![mk(0.5), mk(0.6)];
+        let (mean, ci) = acc_final(&runs);
+        assert!((mean - 0.56).abs() < 1e-9);
+        assert!(ci > 0.0);
+        assert!(time_to(&runs, 0.9).is_none());
+        let (dev, _) = acc_deviation(&runs);
+        assert!(dev > 0.0);
+    }
+}

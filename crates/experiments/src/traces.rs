@@ -1,0 +1,143 @@
+//! The adaptive-behaviour trace figures: per-link partial-gradient sizes
+//! (Figures 8 and 20) and LBS adaptation under dynamic compute (Figure 19).
+
+use crate::opts::ExpOpts;
+use crate::output::Table;
+use dlion_core::{run_with_models, RunConfig, RunMetrics, SystemKind};
+use dlion_microcloud::{
+    ClusterKind, CPU_COST_PER_SAMPLE, CPU_OVERHEAD, LAN_LATENCY, LAN_MBPS, WAN_LATENCY,
+};
+use dlion_simnet::{ComputeModel, NetworkModel, PiecewiseConst};
+
+fn trace_cfg(opts: &ExpOpts, duration: f64) -> RunConfig {
+    let mut cfg = RunConfig::paper_default(SystemKind::DLion, ClusterKind::Cpu);
+    cfg.duration = opts.dur(duration);
+    cfg.workload.train_size = opts.train_size(24_000);
+    cfg.trace_links = true;
+    cfg
+}
+
+/// Mean gradient entries per message on link `src→dst` within `[t0, t1)`.
+fn mean_entries(m: &RunMetrics, src: usize, dst: usize, t0: f64, t1: f64) -> Option<f64> {
+    let xs: Vec<f64> = m
+        .link_trace
+        .iter()
+        .filter(|s| s.src == src && s.dst == dst && s.time >= t0 && s.time < t1)
+        .map(|s| s.entries as f64)
+        .collect();
+    if xs.is_empty() {
+        None
+    } else {
+        Some(dlion_tensor::stats::mean(&xs))
+    }
+}
+
+/// Figure 8: with two links of different (static) bandwidth out of the same
+/// worker, per-link prioritized gradient exchange sends different gradient
+/// sizes (worker0→worker2 fast vs. worker0→worker4 slow).
+pub fn fig8(opts: &ExpOpts) -> Table {
+    let cfg = trace_cfg(opts, 600.0);
+    let compute = ComputeModel::homogeneous(6, 24.0, CPU_COST_PER_SAMPLE, CPU_OVERHEAD);
+    let mut net = NetworkModel::uniform(6, 100.0, WAN_LATENCY);
+    // Two observed links with a 4x bandwidth gap.
+    net.set_link(0, 2, PiecewiseConst::constant(100.0));
+    net.set_link(0, 4, PiecewiseConst::constant(25.0));
+    eprintln!("  running per-link gradient size trace (static bandwidths) ...");
+    let m = run_with_models(&cfg, compute, net, "fig8 custom");
+    let mut t = Table::new(
+        "fig8",
+        "Partial gradient size per link under different static bandwidths (w0->w2 @100 Mbps vs. w0->w4 @25 Mbps)",
+        &["window (s)", "entries w0->w2 (100 Mbps)", "entries w0->w4 (25 Mbps)"],
+    );
+    let step = cfg.duration / 6.0;
+    for k in 0..6 {
+        let (t0, t1) = (k as f64 * step, (k + 1) as f64 * step);
+        let fast = mean_entries(&m, 0, 2, t0, t1);
+        let slow = mean_entries(&m, 0, 4, t0, t1);
+        t.row(vec![
+            format!("{t0:.0}-{t1:.0}"),
+            fast.map_or("-".into(), |v| format!("{v:.0}")),
+            slow.map_or("-".into(), |v| format!("{v:.0}")),
+        ]);
+    }
+    t
+}
+
+/// Figure 19: LBS adaptation when available compute changes over time, with
+/// GBS pinned to 192 (the paper's setting). Cores: homogeneous 24 (0–100 s),
+/// hetero 24/24/12/12/4/4 (100–300 s), homogeneous 12 (300–500 s), reversed
+/// hetero 4/4/12/12/24/24 (500–800 s).
+pub fn fig19(opts: &ExpOpts) -> Table {
+    let mut cfg = trace_cfg(opts, 800.0);
+    cfg.trace_links = false;
+    cfg.profile_interval = 20.0;
+    // Pin GBS to 192 by making the controller start past its speed-up cap:
+    // caps are fractions of the training set, so shrink them.
+    cfg.gbs.warmup_cap_frac = 0.001;
+    cfg.gbs.speedup_cap_frac = 0.002;
+    let sched = |vals: [f64; 4]| {
+        PiecewiseConst::steps(vec![
+            (0.0, vals[0]),
+            (opts.dur(800.0) * 0.125, vals[1]),
+            (opts.dur(800.0) * 0.375, vals[2]),
+            (opts.dur(800.0) * 0.625, vals[3]),
+        ])
+    };
+    let caps = vec![
+        sched([24.0, 24.0, 12.0, 4.0]),
+        sched([24.0, 24.0, 12.0, 4.0]),
+        sched([24.0, 12.0, 12.0, 12.0]),
+        sched([24.0, 12.0, 12.0, 12.0]),
+        sched([24.0, 4.0, 12.0, 24.0]),
+        sched([24.0, 4.0, 12.0, 24.0]),
+    ];
+    let compute = ComputeModel::new(caps, CPU_COST_PER_SAMPLE, CPU_OVERHEAD);
+    let net = NetworkModel::uniform(6, LAN_MBPS, LAN_LATENCY);
+    eprintln!("  running LBS adaptation trace (dynamic cores, GBS pinned) ...");
+    let m = run_with_models(&cfg, compute, net, "fig19 custom");
+    let mut t = Table::new(
+        "fig19",
+        "Dynamic LBS assignment under changing compute capacity (GBS fixed at 192)",
+        &["time (s)", "w0", "w1", "w2", "w3", "w4", "w5", "sum"],
+    );
+    for (time, parts) in &m.lbs_trace {
+        let mut row = vec![format!("{time:.0}")];
+        row.extend(parts.iter().map(|p| p.to_string()));
+        row.push(parts.iter().sum::<usize>().to_string());
+        t.row(row);
+    }
+    t
+}
+
+/// Figure 20: partial gradient size adapting to dynamically changing
+/// bandwidth: 30 Mbps for 0–100 s and 600–1000 s, 100 Mbps in between.
+pub fn fig20(opts: &ExpOpts) -> Table {
+    let cfg = trace_cfg(opts, 1000.0);
+    let d = cfg.duration;
+    let compute = ComputeModel::homogeneous(6, 24.0, CPU_COST_PER_SAMPLE, CPU_OVERHEAD);
+    let mut net = NetworkModel::uniform(6, 100.0, WAN_LATENCY);
+    let dynamic = PiecewiseConst::steps(vec![(0.0, 30.0), (d * 0.1, 100.0), (d * 0.6, 30.0)]);
+    // All links out of worker 0 follow the dynamic schedule.
+    for j in 1..6 {
+        net.set_link(0, j, dynamic.clone());
+    }
+    eprintln!("  running per-link gradient size trace (dynamic bandwidth) ...");
+    let m = run_with_models(&cfg, compute, net, "fig20 custom");
+    let mut t = Table::new(
+        "fig20",
+        "Partial gradient size adapting to dynamic bandwidth (30 Mbps in [0,10%) and [60%,100%), 100 Mbps otherwise)",
+        &["window (s)", "bandwidth (Mbps)", "mean entries w0->w1"],
+    );
+    let step = d / 10.0;
+    for k in 0..10 {
+        let (t0, t1) = (k as f64 * step, (k + 1) as f64 * step);
+        let bw = dynamic.value_at((t0 + t1) / 2.0);
+        let e = mean_entries(&m, 0, 1, t0, t1);
+        t.row(vec![
+            format!("{t0:.0}-{t1:.0}"),
+            format!("{bw:.0}"),
+            e.map_or("-".into(), |v| format!("{v:.0}")),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,331 @@
+//! Reproduction verdicts: automated *shape* checks over the CSVs the
+//! experiments wrote, asserting the qualitative claims the paper's
+//! evaluation makes (who wins where, which trends hold). The output is the
+//! verdict table recorded in EXPERIMENTS.md.
+
+use crate::output::Table;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Parse a cell like `0.530`, `0.530 ±0.012` or `1242` into a number.
+pub fn parse_val(cell: &str) -> Option<f64> {
+    cell.split_whitespace().next()?.parse().ok()
+}
+
+/// A parsed CSV: headers plus rows of raw cells.
+pub struct Csv {
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    pub fn load(dir: &Path, id: &str) -> Option<Csv> {
+        let text = std::fs::read_to_string(dir.join(format!("{id}.csv"))).ok()?;
+        let mut lines = text.lines();
+        let split = |l: &str| -> Vec<String> {
+            // Our writer only quotes cells containing commas; those cells
+            // never carry the numbers the checks need, so a plain split with
+            // quote-stripping suffices.
+            l.split(',')
+                .map(|c| c.trim_matches('"').to_string())
+                .collect()
+        };
+        let headers = split(lines.next()?);
+        let rows = lines.filter(|l| !l.is_empty()).map(split).collect();
+        Some(Csv { headers, rows })
+    }
+
+    /// Value at (row labelled `row_label` in column 0, column named `col`).
+    pub fn val(&self, row_label: &str, col: &str) -> Option<f64> {
+        let ci = self.headers.iter().position(|h| h == col)?;
+        let row = self.rows.iter().find(|r| r[0] == row_label)?;
+        parse_val(&row[ci])
+    }
+}
+
+struct Check {
+    figure: &'static str,
+    claim: &'static str,
+    outcome: Option<bool>,
+    detail: String,
+}
+
+fn check(
+    out: &mut Vec<Check>,
+    figure: &'static str,
+    claim: &'static str,
+    values: Option<(f64, f64)>,
+    cmp: impl Fn(f64, f64) -> bool,
+) {
+    match values {
+        Some((a, b)) => out.push(Check {
+            figure,
+            claim,
+            outcome: Some(cmp(a, b)),
+            detail: format!("{a:.3} vs {b:.3}"),
+        }),
+        None => out.push(Check {
+            figure,
+            claim,
+            outcome: None,
+            detail: "missing data".into(),
+        }),
+    }
+}
+
+/// Evaluate all shape checks against the CSVs in `dir`.
+pub fn verdicts(dir: &Path) -> Table {
+    let load = |id: &str| Csv::load(dir, id);
+    let csvs: HashMap<&str, Option<Csv>> = [
+        "fig5", "fig7", "fig9b", "fig9c", "fig11", "fig12", "fig13", "fig15", "fig16", "fig17",
+        "fig18", "fig21",
+    ]
+    .into_iter()
+    .map(|id| (id, load(id)))
+    .collect();
+    let get = |id: &str, row: &str, col: &str| -> Option<f64> {
+        csvs.get(id)
+            .and_then(|c| c.as_ref())
+            .and_then(|c| c.val(row, col))
+    };
+    let pair = |id: &str, r1: &str, c1: &str, r2: &str, c2: &str| -> Option<(f64, f64)> {
+        Some((get(id, r1, c1)?, get(id, r2, c2)?))
+    };
+
+    let mut checks = Vec::new();
+    check(
+        &mut checks,
+        "fig5",
+        "doubling GBS from epoch 0 hurts vs never",
+        pair(
+            "fig5",
+            "epoch 0",
+            "Final accuracy",
+            "never (fixed GBS)",
+            "Final accuracy",
+        ),
+        |a, b| a < b,
+    );
+    check(
+        &mut checks,
+        "fig5",
+        "late doubling (epoch 8) is ~harmless (>=90% of never)",
+        pair(
+            "fig5",
+            "epoch 8",
+            "Final accuracy",
+            "never (fixed GBS)",
+            "Final accuracy",
+        ),
+        |a, b| a >= 0.9 * b,
+    );
+    check(
+        &mut checks,
+        "fig7",
+        "larger N reaches higher converged accuracy (N=100 vs N=1)",
+        pair("fig7", "100", "Best accuracy", "1", "Best accuracy"),
+        |a, b| a > b,
+    );
+    check(
+        &mut checks,
+        "fig9b",
+        "DKT_Best2all beats No_DKT",
+        pair(
+            "fig9b",
+            "DKT_Best2all",
+            "Final accuracy",
+            "No_DKT",
+            "Final accuracy",
+        ),
+        |a, b| a > b,
+    );
+    check(
+        &mut checks,
+        "fig9b",
+        "DKT_Best2all beats DKT_Best2worst",
+        pair(
+            "fig9b",
+            "DKT_Best2all",
+            "Final accuracy",
+            "DKT_Best2worst",
+            "Final accuracy",
+        ),
+        |a, b| a >= b,
+    );
+    check(
+        &mut checks,
+        "fig9c",
+        "lambda=0.75 beats lambda=0 (no DKT)",
+        pair("fig9c", "0.75", "Final accuracy", "0", "Final accuracy"),
+        |a, b| a > b,
+    );
+    for env in ["Homo A", "Hetero SYS A", "Hetero SYS B"] {
+        check(
+            &mut checks,
+            "fig11",
+            if env == "Homo A" {
+                "DLion beats Baseline in Homo A"
+            } else if env == "Hetero SYS A" {
+                "DLion beats Baseline in Hetero SYS A"
+            } else {
+                "DLion beats Baseline in Hetero SYS B"
+            },
+            pair("fig11", "DLion", env, "Baseline", env),
+            |a, b| a > b,
+        );
+    }
+    for env in ["Homo C", "Hetero SYS C"] {
+        check(
+            &mut checks,
+            "fig12",
+            if env == "Homo C" {
+                "DLion best on the GPU cluster (Homo C, vs Hop)"
+            } else {
+                "DLion best on the GPU cluster (Hetero SYS C, vs Ako)"
+            },
+            pair(
+                "fig12",
+                "DLion",
+                env,
+                if env == "Homo C" { "Hop" } else { "Ako" },
+                env,
+            ),
+            |a, b| a > b,
+        );
+    }
+    check(
+        &mut checks,
+        "fig13",
+        "DLion beats Baseline under compute heterogeneity (Hetero CPU A)",
+        pair("fig13", "DLion", "Hetero CPU A", "Baseline", "Hetero CPU A"),
+        |a, b| a > b,
+    );
+    check(
+        &mut checks,
+        "fig15",
+        "LAN beats WAN for the dense Baseline (Homo A vs Homo B)",
+        pair("fig15", "Baseline", "Homo A", "Baseline", "Homo B"),
+        |a, b| a > b,
+    );
+    check(
+        &mut checks,
+        "fig15",
+        "DLion best under network heterogeneity (Hetero NET A, vs Baseline)",
+        pair("fig15", "DLion", "Hetero NET A", "Baseline", "Hetero NET A"),
+        |a, b| a > b,
+    );
+    check(
+        &mut checks,
+        "fig16",
+        "Max10 alone beats Baseline on the WAN (Homo B)",
+        pair("fig16", "Max10", "Homo B", "Baseline", "Homo B"),
+        |a, b| a > b,
+    );
+    check(
+        &mut checks,
+        "fig17",
+        "DLion's worker deviation below Ako's (Hetero SYS B)",
+        pair("fig17", "DLion", "Hetero SYS B", "Ako", "Hetero SYS B"),
+        |a, b| a < b,
+    );
+    for env in ["Dynamic SYS A", "Dynamic SYS B"] {
+        check(
+            &mut checks,
+            "fig18",
+            if env == "Dynamic SYS A" {
+                "DLion beats Baseline under dynamism (Dynamic SYS A)"
+            } else {
+                "DLion beats Baseline under dynamism (Dynamic SYS B)"
+            },
+            pair("fig18", "DLion", env, "Baseline", env),
+            |a, b| a > b,
+        );
+    }
+    check(
+        &mut checks,
+        "fig21",
+        "DLion reaches the highest converged accuracy (vs Baseline)",
+        pair(
+            "fig21",
+            "DLion",
+            "Best accuracy",
+            "Baseline",
+            "Best accuracy",
+        ),
+        |a, b| a > b,
+    );
+
+    let mut t = Table::new(
+        "verdicts",
+        "Reproduction shape checks against the paper's qualitative claims",
+        &["Figure", "Claim", "Verdict", "Measured"],
+    );
+    for c in checks {
+        t.row(vec![
+            c.figure.to_string(),
+            c.claim.to_string(),
+            match c.outcome {
+                Some(true) => "PASS".into(),
+                Some(false) => "DIVERGES".into(),
+                None => "NO DATA".into(),
+            },
+            c.detail,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_val_variants() {
+        assert_eq!(parse_val("0.530"), Some(0.530));
+        assert_eq!(parse_val("0.530 ±0.012"), Some(0.530));
+        assert_eq!(parse_val("1242"), Some(1242.0));
+        assert_eq!(parse_val("not reached"), None);
+        assert_eq!(parse_val(""), None);
+    }
+
+    #[test]
+    fn csv_lookup() {
+        let dir = std::env::temp_dir().join("dlion-verdict-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("figx.csv"),
+            "System,Homo A,Homo B\nDLion,0.570 ±0.01,0.530\nBaseline,0.536,0.316\n",
+        )
+        .unwrap();
+        let csv = Csv::load(&dir, "figx").unwrap();
+        assert_eq!(csv.val("DLion", "Homo A"), Some(0.570));
+        assert_eq!(csv.val("Baseline", "Homo B"), Some(0.316));
+        assert_eq!(csv.val("Nobody", "Homo A"), None);
+        assert_eq!(csv.val("DLion", "Nowhere"), None);
+    }
+
+    #[test]
+    fn verdicts_report_missing_data_gracefully() {
+        let dir = std::env::temp_dir().join("dlion-verdict-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = verdicts(&dir);
+        assert!(!t.rows.is_empty());
+        assert!(t.rows.iter().all(|r| r[2] == "NO DATA"));
+    }
+
+    #[test]
+    fn verdicts_pass_and_diverge() {
+        let dir = std::env::temp_dir().join("dlion-verdict-mixed");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("fig11.csv"),
+            "System,Homo A,Hetero SYS A,Hetero SYS B\nBaseline,0.5,0.4,0.3\nDLion,0.6,0.3,0.5\n",
+        )
+        .unwrap();
+        let t = verdicts(&dir);
+        let row = |claim: &str| t.rows.iter().find(|r| r[1].contains(claim)).unwrap()[2].clone();
+        assert_eq!(row("Homo A"), "PASS");
+        assert_eq!(row("Hetero SYS A"), "DIVERGES");
+        assert_eq!(row("Hetero SYS B"), "PASS");
+    }
+}

@@ -1,0 +1,91 @@
+//! # dlion-microcloud
+//!
+//! The emulated micro-cloud environments of the DLion paper's evaluation:
+//!
+//! * [`regions`] — Table 2, the measured bandwidth matrix between six Amazon
+//!   regions (Virginia, Oregon, Ireland, Mumbai, Seoul, Sydney),
+//! * [`envs`] — Table 3, the eleven environment presets combining
+//!   homogeneous/heterogeneous compute and network capacity, including the
+//!   two dynamic environments whose resources change every 500 seconds,
+//! * calibration constants mapping "CPU cores" / "AWS instance types" and
+//!   "Mbps" into the simulator's compute/network models, chosen so the
+//!   compute-vs-communication ratios match the paper's testbed (see
+//!   DESIGN.md §1 and EXPERIMENTS.md "Calibration").
+
+pub mod envs;
+pub mod regions;
+
+pub use envs::{ClusterKind, EnvId, EnvSpec};
+pub use regions::{amazon_wan_network, region_name, REGIONS, REGION_MBPS};
+
+/// LAN link bandwidth (Mbps) — the local cluster's 1 Gbps NICs.
+pub const LAN_MBPS: f64 = 1000.0;
+/// LAN one-way latency (seconds).
+pub const LAN_LATENCY: f64 = 1e-4;
+/// WAN one-way latency (seconds) — typical inter-region RTT/2.
+pub const WAN_LATENCY: f64 = 0.05;
+
+/// Core-seconds of compute per Cipher training sample. Calibrated so a
+/// 24-core worker runs one LBS=32 iteration in ~2.5 s — the regime where a
+/// dense 5 MB gradient exchange to 5 peers is cheap on a 1 Gbps LAN
+/// (~0.2 s) but crushing on a 50 Mbps WAN (~4 s), matching the paper.
+pub const CPU_COST_PER_SAMPLE: f64 = 1.8;
+/// Fixed per-iteration overhead on the CPU cluster (seconds).
+pub const CPU_OVERHEAD: f64 = 0.1;
+
+/// Capacity units of one p2.xlarge (1 GPU). Calibrated so an LBS=32
+/// MobileNet iteration takes ~0.5 s — fast enough that the 17 MB model
+/// makes even the 1 Gbps LAN the bottleneck (§5.2.2).
+pub const GPU_P2X_UNITS: f64 = 48.0;
+/// Capacity units of one p2.8xlarge (8 GPUs).
+pub const GPU_P28X_UNITS: f64 = 8.0 * GPU_P2X_UNITS;
+/// Core-seconds per MobileNet sample on the GPU cluster's unit scale.
+pub const GPU_COST_PER_SAMPLE: f64 = 0.675;
+/// Fixed per-iteration overhead on the GPU cluster (seconds).
+pub const GPU_OVERHEAD: f64 = 0.05;
+
+/// Batch-scaling exponent of the CPU cluster: doubling the batch costs
+/// ~1.68× the time (multi-core SGD underutilizes cores at small batches).
+pub const CPU_BATCH_EXPONENT: f64 = 0.75;
+/// Batch-scaling exponent of the GPU cluster: GPUs gain even more from
+/// larger batches (occupancy), so scaling is flatter.
+pub const GPU_BATCH_EXPONENT: f64 = 0.65;
+
+/// Number of workers in every paper environment.
+pub const N_WORKERS: usize = 6;
+
+/// Length of each sub-environment phase in Dynamic SYS A/B (seconds).
+pub const DYNAMIC_PHASE_SECS: f64 = 500.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_ratios_cpu() {
+        // 24-core worker, LBS 32: ~2.5 s per iteration.
+        let iter = CPU_OVERHEAD + 32.0 * CPU_COST_PER_SAMPLE / 24.0;
+        assert!((iter - 2.5).abs() < 0.01, "CPU iteration time {iter}");
+        // Dense 5 MB to 5 peers on LAN ~0.2 s (compute-bound)...
+        let lan = 5.0 * dlion_simnet::transfer_seconds(5e6, LAN_MBPS);
+        assert!(
+            lan < 0.5 * iter,
+            "LAN comm {lan} should be < half compute {iter}"
+        );
+        // ...but ~4 s on a 50 Mbps WAN (communication-bound).
+        let wan = 5.0 * dlion_simnet::transfer_seconds(5e6, 50.0);
+        assert!(
+            wan > 1.5 * iter,
+            "WAN comm {wan} should dominate compute {iter}"
+        );
+    }
+
+    #[test]
+    fn calibration_ratios_gpu() {
+        let iter = GPU_OVERHEAD + 32.0 * GPU_COST_PER_SAMPLE / GPU_P2X_UNITS;
+        assert!((iter - 0.5).abs() < 0.01, "GPU iteration time {iter}");
+        // Even the LAN is a bottleneck for a dense 17 MB model.
+        let lan = 5.0 * dlion_simnet::transfer_seconds(17e6, LAN_MBPS);
+        assert!(lan > iter, "GPU LAN comm {lan} must exceed compute {iter}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Classification evaluation helpers beyond plain accuracy: confusion
+//! matrices and per-class recall, used by examples and tests to inspect
+//! *what* a trained model gets wrong (e.g. whether label noise or class
+//! overlap dominates).
+
+use crate::dataset::Dataset;
+use crate::model::Model;
+
+/// A `C×C` confusion matrix: `counts[actual][predicted]`.
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Evaluate `model` on `indices` of `ds`.
+    pub fn evaluate(model: &mut Model, ds: &Dataset, indices: &[usize], batch: usize) -> Self {
+        assert!(batch > 0);
+        let c = ds.classes();
+        let mut counts = vec![vec![0usize; c]; c];
+        for chunk in indices.chunks(batch) {
+            let (x, y) = ds.batch(chunk);
+            let logits = model.forward(&x);
+            for (r, &actual) in y.iter().enumerate() {
+                counts[actual][logits.argmax_row(r)] += 1;
+            }
+        }
+        ConfusionMatrix { counts }
+    }
+
+    pub fn classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count for (actual, predicted).
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.classes()).map(|k| self.counts[k][k]).sum();
+        if self.total() == 0 {
+            0.0
+        } else {
+            correct as f64 / self.total() as f64
+        }
+    }
+
+    /// Recall of class `k` (0 if the class never appears).
+    pub fn recall(&self, k: usize) -> f64 {
+        let row: usize = self.counts[k].iter().sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.counts[k][k] as f64 / row as f64
+        }
+    }
+
+    /// Precision of class `k` (0 if never predicted).
+    pub fn precision(&self, k: usize) -> f64 {
+        let col: usize = (0..self.classes()).map(|a| self.counts[a][k]).sum();
+        if col == 0 {
+            0.0
+        } else {
+            self.counts[k][k] as f64 / col as f64
+        }
+    }
+
+    /// Macro-averaged F1 score.
+    pub fn macro_f1(&self) -> f64 {
+        let c = self.classes();
+        let mut acc = 0.0;
+        for k in 0..c {
+            let p = self.precision(k);
+            let r = self.recall(k);
+            if p + r > 0.0 {
+                acc += 2.0 * p * r / (p + r);
+            }
+        }
+        acc / c as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSpec;
+    use dlion_tensor::DetRng;
+
+    fn trained_setup() -> (Model, Dataset) {
+        let mut rng = DetRng::seed_from_u64(1);
+        let ds = Dataset::synth_vision(900, 42);
+        let mut m = ModelSpec::Cipher.build(&ds.sample_shape(), ds.classes(), &mut rng);
+        for _ in 0..200 {
+            let idx: Vec<usize> = (0..32).map(|_| rng.index(600)).collect();
+            let (x, y) = ds.batch(&idx);
+            let (_, grads) = m.forward_backward(&x, &y);
+            m.apply_dense_update(&grads, -0.15);
+        }
+        (m, ds)
+    }
+
+    #[test]
+    fn confusion_matrix_totals_and_accuracy_match_eval() {
+        let (mut m, ds) = trained_setup();
+        let test: Vec<usize> = (600..900).collect();
+        let cm = ConfusionMatrix::evaluate(&mut m, &ds, &test, 64);
+        assert_eq!(cm.total(), 300);
+        assert_eq!(cm.classes(), 10);
+        let eval = m.evaluate(&ds, &test, 64);
+        assert!((cm.accuracy() - eval.accuracy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_recall_bounds() {
+        let (mut m, ds) = trained_setup();
+        let test: Vec<usize> = (600..900).collect();
+        let cm = ConfusionMatrix::evaluate(&mut m, &ds, &test, 64);
+        for k in 0..cm.classes() {
+            assert!((0.0..=1.0).contains(&cm.recall(k)));
+            assert!((0.0..=1.0).contains(&cm.precision(k)));
+        }
+        assert!((0.0..=1.0).contains(&cm.macro_f1()));
+    }
+
+    #[test]
+    fn perfect_predictions_give_identity_matrix() {
+        // Hand-built matrix: all diagonal.
+        let cm = ConfusionMatrix {
+            counts: vec![vec![5, 0], vec![0, 7]],
+        };
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.recall(0), 1.0);
+        assert_eq!(cm.precision(1), 1.0);
+        assert!((cm.macro_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes_are_zero() {
+        let cm = ConfusionMatrix {
+            counts: vec![vec![0, 0], vec![3, 0]],
+        };
+        assert_eq!(cm.recall(0), 0.0);
+        assert_eq!(cm.precision(1), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Sequential models with a flat parameter-variable view.
+//!
+//! DLion exchanges gradients and weights *per weight variable* (§4.2: "the
+//! granularity of data transmission is not the whole weight variables, but
+//! individual weight variables"), so [`Model`] exposes its parameters as a
+//! flat list of variables indexed `0..num_vars()`, each mapping to one
+//! tensor inside one layer.
+
+use crate::dataset::Dataset;
+use crate::layer::Layer;
+use dlion_tensor::ops::activation::{accuracy, softmax_xent};
+use dlion_tensor::{SparseVec, Tensor};
+
+/// Loss/accuracy pair from an evaluation pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvalResult {
+    pub loss: f64,
+    pub accuracy: f64,
+}
+
+/// A feed-forward model: an ordered stack of layers ending in logits,
+/// trained with softmax cross-entropy.
+pub struct Model {
+    layers: Vec<Box<dyn Layer>>,
+    /// var index -> (layer index, param index within layer)
+    param_map: Vec<(usize, usize)>,
+    /// Bytes this model occupies on the wire when sent densely; defaults to
+    /// `4 * num_params` but can be pinned to the paper's model sizes (5 MB
+    /// Cipher / 17 MB MobileNet) so network bottleneck ratios match the
+    /// original testbed (see DESIGN.md §1, "wire-size decoupling").
+    wire_bytes: usize,
+}
+
+impl Model {
+    /// Build from a stack of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        let mut param_map = Vec::new();
+        for (li, l) in layers.iter().enumerate() {
+            for pi in 0..l.param_count() {
+                param_map.push((li, pi));
+            }
+        }
+        let mut m = Model {
+            layers,
+            param_map,
+            wire_bytes: 0,
+        };
+        m.wire_bytes = 4 * m.num_params();
+        m
+    }
+
+    /// Number of parameter variables (weight tensors).
+    pub fn num_vars(&self) -> usize {
+        self.param_map.len()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        (0..self.num_vars()).map(|v| self.var(v).numel()).sum()
+    }
+
+    /// The `v`-th parameter variable.
+    pub fn var(&self, v: usize) -> &Tensor {
+        let (li, pi) = self.param_map[v];
+        self.layers[li].param(pi)
+    }
+
+    /// Mutable access to the `v`-th parameter variable.
+    pub fn var_mut(&mut self, v: usize) -> &mut Tensor {
+        let (li, pi) = self.param_map[v];
+        self.layers[li].param_mut(pi)
+    }
+
+    /// Number of elements in variable `v`.
+    pub fn var_numel(&self, v: usize) -> usize {
+        self.var(v).numel()
+    }
+
+    /// Wire size (bytes) of a dense full-model transfer.
+    pub fn wire_bytes(&self) -> usize {
+        self.wire_bytes
+    }
+
+    /// Pin the dense wire size (e.g. the paper's 5 MB for Cipher).
+    pub fn set_wire_bytes(&mut self, bytes: usize) {
+        assert!(bytes > 0);
+        self.wire_bytes = bytes;
+    }
+
+    /// Wire bytes per scalar parameter under the (possibly pinned) dense size.
+    pub fn bytes_per_param(&self) -> f64 {
+        self.wire_bytes as f64 / self.num_params() as f64
+    }
+
+    /// Forward pass to logits.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for l in self.layers.iter_mut() {
+            cur = l.forward(&cur);
+        }
+        cur
+    }
+
+    /// One training gradient computation over a minibatch: forward, softmax
+    /// cross-entropy, backward. Returns `(mean loss, per-variable mean
+    /// gradients)` — Eq. 6 of the paper.
+    pub fn forward_backward(&mut self, x: &Tensor, labels: &[usize]) -> (f64, Vec<Tensor>) {
+        let logits = self.forward(x);
+        let (loss, dlogits) = softmax_xent(&logits, labels);
+        let mut grad = dlogits;
+        for l in self.layers.iter_mut().rev() {
+            grad = l.backward(&grad);
+        }
+        let grads = (0..self.num_vars())
+            .map(|v| {
+                let (li, pi) = self.param_map[v];
+                self.layers[li].grad(pi).clone()
+            })
+            .collect();
+        (loss as f64, grads)
+    }
+
+    /// Evaluate loss/accuracy on `indices` of `ds` (forward only), in
+    /// batches of `batch` to bound memory.
+    pub fn evaluate(&mut self, ds: &Dataset, indices: &[usize], batch: usize) -> EvalResult {
+        assert!(batch > 0);
+        if indices.is_empty() {
+            return EvalResult {
+                loss: 0.0,
+                accuracy: 0.0,
+            };
+        }
+        let mut total_loss = 0.0f64;
+        let mut total_correct = 0.0f64;
+        for chunk in indices.chunks(batch) {
+            let (x, y) = ds.batch(chunk);
+            let logits = self.forward(&x);
+            let (loss, _) = softmax_xent(&logits, &y);
+            total_loss += loss as f64 * chunk.len() as f64;
+            total_correct += accuracy(&logits, &y) * chunk.len() as f64;
+        }
+        let n = indices.len() as f64;
+        EvalResult {
+            loss: total_loss / n,
+            accuracy: total_correct / n,
+        }
+    }
+
+    /// Snapshot all weights (for DKT weight exchange).
+    pub fn weights(&self) -> Vec<Tensor> {
+        (0..self.num_vars()).map(|v| self.var(v).clone()).collect()
+    }
+
+    /// Overwrite all weights from a snapshot.
+    pub fn set_weights(&mut self, ws: &[Tensor]) {
+        assert_eq!(ws.len(), self.num_vars(), "weight snapshot var count");
+        for (v, w) in ws.iter().enumerate() {
+            assert_eq!(
+                w.shape(),
+                self.var(v).shape(),
+                "weight snapshot shape for var {v}"
+            );
+            *self.var_mut(v) = w.clone();
+        }
+    }
+
+    /// Dense update: `w_v += factor * g_v` for every variable. Callers pass
+    /// `factor = -lr * coeff` to implement Eq. 4/7.
+    pub fn apply_dense_update(&mut self, grads: &[Tensor], factor: f32) {
+        assert_eq!(grads.len(), self.num_vars(), "gradient var count");
+        for (v, g) in grads.iter().enumerate() {
+            self.var_mut(v).axpy(factor, g);
+        }
+    }
+
+    /// Sparse update of one variable: `w_v[idx] += factor * val`.
+    pub fn apply_sparse_update(&mut self, v: usize, sparse: &SparseVec, factor: f32) {
+        let t = self.var_mut(v);
+        assert_eq!(
+            t.numel(),
+            sparse.dense_len,
+            "sparse update length for var {v}"
+        );
+        sparse.add_into(t.data_mut(), factor);
+    }
+
+    /// Direct knowledge transfer merge (§3.4, after Teng et al.):
+    /// `w_local = w_local - λ (w_local - w_best)`.
+    pub fn merge_weights(&mut self, best: &[Tensor], lambda: f32) {
+        assert_eq!(best.len(), self.num_vars());
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+        for (v, b) in best.iter().enumerate() {
+            let w = self.var_mut(v);
+            assert_eq!(w.shape(), b.shape());
+            for (wv, &bv) in w.data_mut().iter_mut().zip(b.data()) {
+                *wv -= lambda * (*wv - bv);
+            }
+        }
+    }
+
+    /// L2 distance between this model's weights and a snapshot — used by
+    /// tests and metrics to quantify model divergence across workers.
+    pub fn weight_distance(&self, other: &[Tensor]) -> f64 {
+        assert_eq!(other.len(), self.num_vars());
+        let mut acc = 0.0f64;
+        for (v, o) in other.iter().enumerate() {
+            let w = self.var(v);
+            for (a, b) in w.data().iter().zip(o.data()) {
+                let d = (a - b) as f64;
+                acc += d * d;
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Flatten, Relu};
+    use dlion_tensor::sparse::max_n_select;
+    use dlion_tensor::{DetRng, Shape};
+
+    fn tiny_model(rng: &mut DetRng) -> Model {
+        Model::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(8, 16, rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(16, 3, rng)),
+        ])
+    }
+
+    fn tiny_dataset(rng: &mut DetRng) -> Dataset {
+        Dataset::gaussian_prototypes(3, 1, 120, Shape::d4(1, 1, 2, 4), 1.2, 0.4, 0.0, rng)
+    }
+
+    #[test]
+    fn var_accounting() {
+        let mut rng = DetRng::seed_from_u64(1);
+        let m = tiny_model(&mut rng);
+        assert_eq!(m.num_vars(), 4); // 2 dense layers x (w, b)
+        assert_eq!(m.num_params(), 8 * 16 + 16 + 16 * 3 + 3);
+        assert_eq!(m.var_numel(0), 128);
+        assert_eq!(m.var_numel(1), 16);
+        assert_eq!(m.wire_bytes(), 4 * m.num_params());
+    }
+
+    #[test]
+    fn wire_bytes_pinning() {
+        let mut rng = DetRng::seed_from_u64(2);
+        let mut m = tiny_model(&mut rng);
+        m.set_wire_bytes(5_000_000);
+        assert_eq!(m.wire_bytes(), 5_000_000);
+        assert!((m.bytes_per_param() - 5_000_000.0 / m.num_params() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = DetRng::seed_from_u64(3);
+        let mut m = tiny_model(&mut rng);
+        let ds = tiny_dataset(&mut rng);
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let before = m.evaluate(&ds, &all, 32);
+        for step in 0..200 {
+            let idx: Vec<usize> = (0..16).map(|i| (step * 16 + i) % ds.len()).collect();
+            let (x, y) = ds.batch(&idx);
+            let (_, grads) = m.forward_backward(&x, &y);
+            m.apply_dense_update(&grads, -0.5);
+        }
+        let after = m.evaluate(&ds, &all, 32);
+        assert!(
+            after.loss < before.loss * 0.5,
+            "loss {} -> {}",
+            before.loss,
+            after.loss
+        );
+        assert!(after.accuracy > 0.9, "accuracy {}", after.accuracy);
+    }
+
+    #[test]
+    fn weights_roundtrip_and_distance() {
+        let mut rng = DetRng::seed_from_u64(4);
+        let mut m = tiny_model(&mut rng);
+        let snap = m.weights();
+        assert_eq!(m.weight_distance(&snap), 0.0);
+        // Perturb then restore.
+        m.var_mut(0).data_mut()[0] += 1.0;
+        assert!((m.weight_distance(&snap) - 1.0).abs() < 1e-6);
+        m.set_weights(&snap);
+        assert_eq!(m.weight_distance(&snap), 0.0);
+    }
+
+    #[test]
+    fn merge_weights_lambda_semantics() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let mut m = tiny_model(&mut rng);
+        let local = m.weights();
+        let best: Vec<Tensor> = local.iter().map(|t| t.map(|x| x + 2.0)).collect();
+        // λ = 0: no change.
+        m.merge_weights(&best, 0.0);
+        assert_eq!(m.weight_distance(&local), 0.0);
+        // λ = 1: full replacement.
+        m.merge_weights(&best, 1.0);
+        assert!(m.weight_distance(&best) < 1e-4);
+        // λ = 0.5 from local: halfway.
+        m.set_weights(&local);
+        m.merge_weights(&best, 0.5);
+        let expect_dist = 0.5 * {
+            let mut acc = 0.0f64;
+            for (a, b) in local.iter().zip(&best) {
+                for (x, y) in a.data().iter().zip(b.data()) {
+                    let d = (x - y) as f64;
+                    acc += d * d;
+                }
+            }
+            acc.sqrt()
+        };
+        assert!((m.weight_distance(&local) - expect_dist).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sparse_update_equals_dense_when_full() {
+        let mut rng = DetRng::seed_from_u64(6);
+        let mut m1 = tiny_model(&mut rng);
+        let mut rng2 = DetRng::seed_from_u64(6);
+        let mut m2 = tiny_model(&mut rng2);
+        assert_eq!(m1.weight_distance(&m2.weights()), 0.0);
+        let ds = tiny_dataset(&mut rng);
+        let (x, y) = ds.batch(&[0, 1, 2, 3]);
+        let (_, grads) = m1.forward_backward(&x, &y);
+        // Apply densely to m1.
+        m1.apply_dense_update(&grads, -0.1);
+        // Apply as full sparse (N=100) to m2.
+        let (_, grads2) = m2.forward_backward(&x, &y);
+        for (v, g) in grads2.iter().enumerate() {
+            let s = max_n_select(g.data(), 100.0);
+            m2.apply_sparse_update(v, &s, -0.1);
+        }
+        assert!(m1.weight_distance(&m2.weights()) < 1e-5);
+    }
+
+    #[test]
+    fn gradient_var_count_matches() {
+        let mut rng = DetRng::seed_from_u64(7);
+        let mut m = tiny_model(&mut rng);
+        let ds = tiny_dataset(&mut rng);
+        let (x, y) = ds.batch(&[0, 1]);
+        let (loss, grads) = m.forward_backward(&x, &y);
+        assert!(loss > 0.0);
+        assert_eq!(grads.len(), m.num_vars());
+        for (v, g) in grads.iter().enumerate() {
+            assert_eq!(g.shape(), m.var(v).shape());
+        }
+    }
+
+    #[test]
+    fn evaluate_empty_indices() {
+        let mut rng = DetRng::seed_from_u64(8);
+        let mut m = tiny_model(&mut rng);
+        let ds = tiny_dataset(&mut rng);
+        let r = m.evaluate(&ds, &[], 16);
+        assert_eq!(
+            r,
+            EvalResult {
+                loss: 0.0,
+                accuracy: 0.0
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn merge_weights_bad_lambda_panics() {
+        let mut rng = DetRng::seed_from_u64(9);
+        let mut m = tiny_model(&mut rng);
+        let w = m.weights();
+        m.merge_weights(&w, 1.5);
+    }
+}

@@ -1,0 +1,175 @@
+//! Model checkpointing.
+//!
+//! The paper's workflow has models "periodically start or resume training
+//! with the collected data" (§1) — resuming needs durable weights. This
+//! module provides a minimal, dependency-free binary format:
+//!
+//! ```text
+//! magic "DLIO" | u32 version | u32 var_count |
+//!   per variable: u32 rank | u64 dims[rank] | f32 data[numel] (LE)
+//! ```
+
+use crate::model::Model;
+use dlion_tensor::{Shape, Tensor};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"DLIO";
+const VERSION: u32 = 1;
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Write all model weights to `w`.
+pub fn save_weights<W: Write>(model: &Model, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(model.num_vars() as u32).to_le_bytes())?;
+    for v in 0..model.num_vars() {
+        let t = model.var(v);
+        let dims = t.shape().dims();
+        w.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for &d in dims {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &x in t.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a weight snapshot (as written by [`save_weights`]) from `r`.
+pub fn load_weights<R: Read>(r: &mut R) -> io::Result<Vec<Tensor>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a DLion checkpoint (bad magic)"));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let version = u32::from_le_bytes(u32buf);
+    if version != VERSION {
+        return Err(bad("unsupported checkpoint version"));
+    }
+    r.read_exact(&mut u32buf)?;
+    let var_count = u32::from_le_bytes(u32buf) as usize;
+    if var_count > 1_000_000 {
+        return Err(bad("implausible variable count"));
+    }
+    let mut vars = Vec::with_capacity(var_count);
+    let mut u64buf = [0u8; 8];
+    for _ in 0..var_count {
+        r.read_exact(&mut u32buf)?;
+        let rank = u32::from_le_bytes(u32buf) as usize;
+        if rank > 8 {
+            return Err(bad("implausible tensor rank"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            r.read_exact(&mut u64buf)?;
+            dims.push(u64::from_le_bytes(u64buf) as usize);
+        }
+        let shape = Shape(dims);
+        let numel = shape.numel();
+        if numel > 500_000_000 {
+            return Err(bad("implausible tensor size"));
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            r.read_exact(&mut u32buf)?;
+            data.push(f32::from_le_bytes(u32buf));
+        }
+        vars.push(Tensor::from_vec(shape, data));
+    }
+    Ok(vars)
+}
+
+/// Restore a checkpoint into a model (shapes must match the architecture).
+pub fn restore<R: Read>(model: &mut Model, r: &mut R) -> io::Result<()> {
+    let vars = load_weights(r)?;
+    if vars.len() != model.num_vars() {
+        return Err(bad("checkpoint variable count does not match model"));
+    }
+    for (v, t) in vars.iter().enumerate() {
+        if t.shape() != model.var(v).shape() {
+            return Err(bad("checkpoint shape mismatch"));
+        }
+    }
+    model.set_weights(&vars);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSpec;
+    use dlion_tensor::DetRng;
+
+    fn model(seed: u64) -> Model {
+        let mut rng = DetRng::seed_from_u64(seed);
+        ModelSpec::Cipher.build(&Shape::d4(1, 1, 12, 12), 10, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_weights_exactly() {
+        let m = model(1);
+        let mut buf = Vec::new();
+        save_weights(&m, &mut buf).unwrap();
+        let vars = load_weights(&mut buf.as_slice()).unwrap();
+        assert_eq!(vars.len(), m.num_vars());
+        for (v, t) in vars.iter().enumerate() {
+            assert_eq!(t.data(), m.var(v).data(), "var {v} corrupted");
+            assert_eq!(t.shape(), m.var(v).shape());
+        }
+    }
+
+    #[test]
+    fn restore_resumes_training_state() {
+        let mut trained = model(1);
+        // "Train" a bit: perturb deterministically.
+        for v in 0..trained.num_vars() {
+            trained.var_mut(v).scale(0.9);
+        }
+        let mut buf = Vec::new();
+        save_weights(&trained, &mut buf).unwrap();
+        let mut fresh = model(2);
+        assert!(fresh.weight_distance(&trained.weights()) > 0.0);
+        restore(&mut fresh, &mut buf.as_slice()).unwrap();
+        assert_eq!(fresh.weight_distance(&trained.weights()), 0.0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        save_weights(&model(1), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(load_weights(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_checkpoint_rejected() {
+        let mut buf = Vec::new();
+        save_weights(&model(1), &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_weights(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_architecture_rejected() {
+        let mut buf = Vec::new();
+        save_weights(&model(1), &mut buf).unwrap();
+        let mut rng = DetRng::seed_from_u64(9);
+        let mut other =
+            crate::models::cipher_net(&Shape::d4(1, 1, 12, 12), 10, 6, 12, 24, 48, &mut rng);
+        assert!(restore(&mut other, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut buf = Vec::new();
+        save_weights(&model(1), &mut buf).unwrap();
+        buf[4] = 99; // bump version byte
+        assert!(load_weights(&mut buf.as_slice()).is_err());
+    }
+}

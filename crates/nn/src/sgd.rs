@@ -1,0 +1,106 @@
+//! Plain minibatch SGD (Eq. 3 of the paper), for standalone/local training.
+//!
+//! Distributed updates (weighted dynamic batching, Eq. 7) are applied by
+//! `dlion-core` directly through [`Model::apply_dense_update`] /
+//! [`Model::apply_sparse_update`]; this optimizer exists for single-worker
+//! baselines, examples and tests.
+
+use crate::dataset::Dataset;
+use crate::model::Model;
+use dlion_tensor::DetRng;
+
+/// Stochastic gradient descent with a fixed learning rate.
+///
+/// The paper's GBS controller deliberately *does not* decay the learning
+/// rate (it follows Smith et al., "Don't decay the learning rate, increase
+/// the batch size"), so neither does this optimizer.
+#[derive(Clone, Copy, Debug)]
+pub struct Sgd {
+    pub lr: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr }
+    }
+
+    /// One SGD step on a minibatch drawn (with replacement) from `shard`.
+    /// Returns the minibatch loss.
+    pub fn step(
+        &self,
+        model: &mut Model,
+        ds: &Dataset,
+        shard: &[usize],
+        batch_size: usize,
+        rng: &mut DetRng,
+    ) -> f64 {
+        assert!(!shard.is_empty(), "empty shard");
+        assert!(batch_size > 0);
+        let idx: Vec<usize> = (0..batch_size)
+            .map(|_| shard[rng.index(shard.len())])
+            .collect();
+        let (x, y) = ds.batch(&idx);
+        let (loss, grads) = model.forward_backward(&x, &y);
+        model.apply_dense_update(&grads, -self.lr);
+        loss
+    }
+
+    /// Train for `iters` iterations; returns the mean loss of the last
+    /// quarter of iterations (a cheap convergence proxy).
+    pub fn train(
+        &self,
+        model: &mut Model,
+        ds: &Dataset,
+        shard: &[usize],
+        batch_size: usize,
+        iters: usize,
+        rng: &mut DetRng,
+    ) -> f64 {
+        assert!(iters > 0);
+        let mut tail = Vec::new();
+        for i in 0..iters {
+            let loss = self.step(model, ds, shard, batch_size, rng);
+            if i >= iters - iters.div_ceil(4) {
+                tail.push(loss);
+            }
+        }
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSpec;
+
+    #[test]
+    fn sgd_converges_on_easy_task() {
+        let mut rng = DetRng::seed_from_u64(1);
+        let ds = Dataset::synth_vision(400, 5);
+        let mut m = ModelSpec::Cipher.build(&ds.sample_shape(), ds.classes(), &mut rng);
+        let shard: Vec<usize> = (0..ds.len()).collect();
+        let opt = Sgd::new(0.2);
+        let first = opt.step(&mut m, &ds, &shard, 32, &mut rng);
+        let tail = opt.train(&mut m, &ds, &shard, 32, 200, &mut rng);
+        assert!(tail < first, "loss should decrease: {first} -> {tail}");
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn zero_lr_panics() {
+        Sgd::new(0.0);
+    }
+
+    #[test]
+    fn step_is_deterministic() {
+        let ds = Dataset::synth_vision(100, 5);
+        let run = || {
+            let mut rng = DetRng::seed_from_u64(2);
+            let mut m = ModelSpec::Cipher.build(&ds.sample_shape(), ds.classes(), &mut rng);
+            let shard: Vec<usize> = (0..ds.len()).collect();
+            Sgd::new(0.1).step(&mut m, &ds, &shard, 8, &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+}

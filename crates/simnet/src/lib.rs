@@ -1,0 +1,53 @@
+//! # dlion-simnet
+//!
+//! A deterministic discrete-event substrate for simulating micro-cloud
+//! clusters: virtual time, an event queue with stable ordering, and models
+//! of the two resources whose heterogeneity and dynamism the DLion paper is
+//! about —
+//!
+//! * [`ComputeModel`] — per-worker compute capacity as a piecewise-constant
+//!   schedule of "capacity units" (CPU cores in the CPU cluster, GPU-scaled
+//!   units in the GPU cluster), the analogue of the paper's `stress`-based
+//!   emulation, plus the iteration-time profiler the LBS controller uses,
+//! * [`NetworkModel`] — per-link bandwidth schedules (the analogue of `tc`),
+//!   per-message latency, and a per-worker egress NIC FIFO so that a worker
+//!   sending to its n−1 peers serializes those transfers, which is what
+//!   makes dense gradient exchange a bottleneck exactly as in the paper.
+//!
+//! All state advances only through explicit calls with a caller-supplied
+//! `now`; there are no wall-clock reads, so simulations are reproducible.
+
+pub mod compute;
+pub mod event;
+pub mod network;
+pub mod schedule;
+
+pub use compute::ComputeModel;
+pub use event::EventQueue;
+pub use network::{NetworkModel, Transfer};
+pub use schedule::PiecewiseConst;
+
+/// Convert megabits per second and bytes into seconds of transfer time.
+pub fn transfer_seconds(bytes: f64, mbps: f64) -> f64 {
+    assert!(mbps > 0.0, "bandwidth must be positive");
+    bytes * 8.0 / (mbps * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_seconds_units() {
+        // 1 MB over 8 Mbps = 1 second.
+        assert!((transfer_seconds(1_000_000.0, 8.0) - 1.0).abs() < 1e-12);
+        // 5 MB over 40 Mbps = 1 second.
+        assert!((transfer_seconds(5_000_000.0, 40.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        transfer_seconds(1.0, 0.0);
+    }
+}

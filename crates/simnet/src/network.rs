@@ -1,0 +1,319 @@
+//! The micro-cloud network model.
+//!
+//! Workers are connected pairwise; each directed link `i→j` has its own
+//! bandwidth schedule (the `tc` analogue; LAN links are fast and flat, WAN
+//! links follow the Amazon inter-region matrix of Table 2). Two effects the
+//! paper's evaluation depends on are modelled explicitly:
+//!
+//! * **Egress serialization** — a worker has one NIC, so its outgoing
+//!   transfers queue FIFO. Sending a dense 5 MB gradient to all 5 peers
+//!   costs 5 back-to-back transfers, which is precisely why dense exchange
+//!   (Baseline/Hop) collapses in WAN environments.
+//! * **Time-varying bandwidth** — transfer duration integrates the link's
+//!   bandwidth schedule, so a transfer spanning a bandwidth step slows down
+//!   or speeds up mid-flight.
+//!
+//! The model also exposes [`NetworkModel::bandwidth_mbps`], the paper's
+//! *network resource monitor* (Fig. 10): strategies query it to size their
+//! partial gradients.
+
+use crate::schedule::PiecewiseConst;
+use dlion_tensor::DetRng;
+
+/// Result of enqueueing a transfer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Transfer {
+    /// When the NIC started serving this transfer (>= enqueue time).
+    pub depart: f64,
+    /// When the last byte arrives at the destination.
+    pub arrival: f64,
+}
+
+impl Transfer {
+    /// Total time from NIC service start to delivery.
+    pub fn duration(&self) -> f64 {
+        self.arrival - self.depart
+    }
+}
+
+/// Directed-link network with per-worker egress FIFOs.
+pub struct NetworkModel {
+    n: usize,
+    /// Row-major `n×n` bandwidth schedules in Mbps; diagonal unused.
+    links: Vec<PiecewiseConst>,
+    /// One-way propagation latency per link (seconds), row-major.
+    latency: Vec<f64>,
+    /// Next time each worker's NIC is free.
+    egress_free: Vec<f64>,
+    /// Optional multiplicative bandwidth jitter: relative std + RNG.
+    jitter: Option<(f64, DetRng)>,
+}
+
+impl NetworkModel {
+    /// Build from explicit per-link schedules and latencies.
+    pub fn new(n: usize, links: Vec<PiecewiseConst>, latency: Vec<f64>) -> Self {
+        assert!(n >= 2, "need at least two workers");
+        assert_eq!(links.len(), n * n, "links must be n*n");
+        assert_eq!(latency.len(), n * n, "latency must be n*n");
+        NetworkModel {
+            n,
+            links,
+            latency,
+            egress_free: vec![0.0; n],
+            jitter: None,
+        }
+    }
+
+    /// Enable per-transfer multiplicative bandwidth jitter (relative std
+    /// `rel_std`, clamped so effective bandwidth never drops below 10 % of
+    /// the scheduled value) — the paper's "bandwidths in WANs are much more
+    /// scarce and fluctuating". Deterministic given the seed.
+    pub fn with_jitter(mut self, rel_std: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rel_std),
+            "relative std must be in [0,1)"
+        );
+        if rel_std > 0.0 {
+            self.jitter = Some((rel_std, DetRng::seed_from_u64(seed)));
+        }
+        self
+    }
+
+    /// Fully symmetric network: every link has the same constant bandwidth
+    /// and latency.
+    pub fn uniform(n: usize, mbps: f64, latency: f64) -> Self {
+        let links = vec![PiecewiseConst::constant(mbps); n * n];
+        NetworkModel::new(n, links, vec![latency; n * n])
+    }
+
+    /// Build from a per-link constant bandwidth matrix (row-major, Mbps).
+    pub fn from_matrix(n: usize, mbps: &[f64], latency: f64) -> Self {
+        assert_eq!(mbps.len(), n * n);
+        let links = mbps.iter().map(|&b| PiecewiseConst::constant(b)).collect();
+        NetworkModel::new(n, links, vec![latency; n * n])
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn link_idx(&self, src: usize, dst: usize) -> usize {
+        assert!(
+            src < self.n && dst < self.n && src != dst,
+            "bad link {src}->{dst}"
+        );
+        src * self.n + dst
+    }
+
+    /// Replace the schedule of one directed link.
+    pub fn set_link(&mut self, src: usize, dst: usize, schedule: PiecewiseConst) {
+        let i = self.link_idx(src, dst);
+        self.links[i] = schedule;
+    }
+
+    /// Replace the latency of one directed link.
+    pub fn set_latency(&mut self, src: usize, dst: usize, latency: f64) {
+        let i = self.link_idx(src, dst);
+        self.latency[i] = latency;
+    }
+
+    /// The *network resource monitor*: currently available bandwidth of the
+    /// link `src→dst`, in Mbps.
+    pub fn bandwidth_mbps(&self, src: usize, dst: usize, now: f64) -> f64 {
+        self.links[self.link_idx(src, dst)].value_at(now)
+    }
+
+    /// When will `src`'s NIC next be free?
+    pub fn egress_free_at(&self, src: usize) -> f64 {
+        self.egress_free[src]
+    }
+
+    /// Egress backlog of `src` relative to `now` (seconds of queued work).
+    pub fn egress_backlog(&self, src: usize, now: f64) -> f64 {
+        (self.egress_free[src] - now).max(0.0)
+    }
+
+    /// Enqueue a transfer of `bytes` on link `src→dst` at time `now`.
+    ///
+    /// The transfer starts when the NIC frees up, proceeds at the link's
+    /// (time-varying) bandwidth, and arrives one propagation latency after
+    /// the last byte leaves. The NIC is then busy until the last byte has
+    /// left.
+    pub fn transfer(&mut self, src: usize, dst: usize, bytes: f64, now: f64) -> Transfer {
+        assert!(bytes >= 0.0);
+        let li = self.link_idx(src, dst);
+        let depart = self.egress_free[src].max(now);
+        let mut megabits = bytes * 8.0 / 1e6;
+        if let Some((std, rng)) = self.jitter.as_mut() {
+            // Jittering the *amount* by 1/factor is equivalent to jittering
+            // the bandwidth by the factor for this transfer.
+            let factor = (1.0 + rng.normal_ms(0.0, *std)).max(0.1);
+            megabits /= factor;
+        }
+        let tx = self.links[li].time_to_accumulate(depart, megabits);
+        assert!(
+            tx.is_finite(),
+            "link {src}->{dst} has zero tail bandwidth; transfer never completes"
+        );
+        let done_sending = depart + tx;
+        self.egress_free[src] = done_sending;
+        Transfer {
+            depart,
+            arrival: done_sending + self.latency[li],
+        }
+    }
+
+    /// Reset all NIC queues (e.g. between simulation runs).
+    pub fn reset(&mut self) {
+        self.egress_free.iter_mut().for_each(|t| *t = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_transfer_timing() {
+        let mut net = NetworkModel::uniform(2, 8.0, 0.05);
+        // 1 MB at 8 Mbps = 1 s + 0.05 s latency.
+        let t = net.transfer(0, 1, 1_000_000.0, 0.0);
+        assert_eq!(t.depart, 0.0);
+        assert!((t.arrival - 1.05).abs() < 1e-9);
+        assert!((t.duration() - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn egress_fifo_serializes_sender() {
+        let mut net = NetworkModel::uniform(3, 8.0, 0.0);
+        let t1 = net.transfer(0, 1, 1_000_000.0, 0.0);
+        let t2 = net.transfer(0, 2, 1_000_000.0, 0.0);
+        assert!((t1.arrival - 1.0).abs() < 1e-9);
+        assert_eq!(t2.depart, 1.0, "second transfer must wait for the NIC");
+        assert!((t2.arrival - 2.0).abs() < 1e-9);
+        // A different sender is unaffected.
+        let t3 = net.transfer(1, 2, 1_000_000.0, 0.0);
+        assert_eq!(t3.depart, 0.0);
+    }
+
+    #[test]
+    fn transfer_spanning_bandwidth_step() {
+        let mut net = NetworkModel::uniform(2, 8.0, 0.0);
+        // 8 Mbps for 1 s, then 16 Mbps.
+        net.set_link(0, 1, PiecewiseConst::steps(vec![(0.0, 8.0), (1.0, 16.0)]));
+        // 2 MB = 16 Mb: 8 Mb in the first second, 8 Mb at 16 Mbps = 0.5 s.
+        let t = net.transfer(0, 1, 2_000_000.0, 0.0);
+        assert!((t.arrival - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monitor_reads_schedule() {
+        let mut net = NetworkModel::uniform(2, 50.0, 0.0);
+        net.set_link(
+            0,
+            1,
+            PiecewiseConst::steps(vec![(0.0, 30.0), (100.0, 100.0)]),
+        );
+        assert_eq!(net.bandwidth_mbps(0, 1, 0.0), 30.0);
+        assert_eq!(net.bandwidth_mbps(0, 1, 150.0), 100.0);
+        assert_eq!(net.bandwidth_mbps(1, 0, 0.0), 50.0);
+    }
+
+    #[test]
+    fn from_matrix_asymmetric() {
+        // 2 workers: 0->1 at 10, 1->0 at 40.
+        let net = NetworkModel::from_matrix(2, &[0.0, 10.0, 40.0, 0.0], 0.0);
+        assert_eq!(net.bandwidth_mbps(0, 1, 0.0), 10.0);
+        assert_eq!(net.bandwidth_mbps(1, 0, 0.0), 40.0);
+    }
+
+    #[test]
+    fn later_enqueue_after_idle_nic() {
+        let mut net = NetworkModel::uniform(2, 8.0, 0.0);
+        net.transfer(0, 1, 1_000_000.0, 0.0); // busy until 1.0
+        let t = net.transfer(0, 1, 1_000_000.0, 5.0); // NIC idle again
+        assert_eq!(t.depart, 5.0);
+        assert_eq!(net.egress_backlog(0, 5.5), 0.5);
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_latency_only() {
+        let mut net = NetworkModel::uniform(2, 8.0, 0.07);
+        let t = net.transfer(0, 1, 0.0, 3.0);
+        assert_eq!(t.depart, 3.0);
+        assert!((t.arrival - 3.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_queues() {
+        let mut net = NetworkModel::uniform(2, 8.0, 0.0);
+        net.transfer(0, 1, 10_000_000.0, 0.0);
+        assert!(net.egress_free_at(0) > 0.0);
+        net.reset();
+        assert_eq!(net.egress_free_at(0), 0.0);
+    }
+
+    #[test]
+    fn jitter_perturbs_but_preserves_mean() {
+        let base = {
+            let mut net = NetworkModel::uniform(2, 8.0, 0.0);
+            net.transfer(0, 1, 1_000_000.0, 0.0).arrival
+        };
+        let mut net = NetworkModel::uniform(2, 8.0, 0.0).with_jitter(0.2, 7);
+        let mut durations = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..500 {
+            let tr = net.transfer(0, 1, 1_000_000.0, t);
+            durations.push(tr.arrival - tr.depart);
+            t = tr.arrival;
+        }
+        let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+        assert!(
+            (mean - base).abs() < 0.15 * base,
+            "mean {mean} vs base {base}"
+        );
+        let distinct = durations
+            .iter()
+            .filter(|&&d| (d - base).abs() > 1e-9)
+            .count();
+        assert!(distinct > 400, "jitter must actually perturb transfers");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let run = || {
+            let mut net = NetworkModel::uniform(2, 8.0, 0.0).with_jitter(0.3, 42);
+            let mut t = 0.0;
+            let mut out = Vec::new();
+            for _ in 0..20 {
+                let tr = net.transfer(0, 1, 500_000.0, t);
+                t = tr.arrival;
+                out.push(tr.arrival.to_bits());
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_jitter_disabled() {
+        let mut a = NetworkModel::uniform(2, 8.0, 0.0).with_jitter(0.0, 1);
+        let mut b = NetworkModel::uniform(2, 8.0, 0.0);
+        assert_eq!(a.transfer(0, 1, 1e6, 0.0), b.transfer(0, 1, 1e6, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad link")]
+    fn self_link_panics() {
+        let net = NetworkModel::uniform(2, 8.0, 0.0);
+        net.bandwidth_mbps(1, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never completes")]
+    fn dead_link_transfer_panics() {
+        let mut net = NetworkModel::uniform(2, 8.0, 0.0);
+        net.set_link(0, 1, PiecewiseConst::constant(0.0));
+        net.transfer(0, 1, 1.0, 0.0);
+    }
+}

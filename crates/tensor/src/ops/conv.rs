@@ -1,0 +1,507 @@
+//! 2-D convolution kernels (NCHW, stride 1, symmetric zero padding) with
+//! backward passes, plus the depthwise variant used by MobileNet-style
+//! models.
+//!
+//! The kernels are direct (no im2col): model sizes in this reproduction are
+//! small, and direct loops with rayon over independent output slices are
+//! fast enough while staying obviously deterministic.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Gradients produced by a convolution backward pass.
+pub struct ConvGrads {
+    pub dinput: Tensor,
+    pub dweight: Tensor,
+    pub dbias: Tensor,
+}
+
+fn out_hw(h: usize, w: usize, kh: usize, kw: usize, pad: usize) -> (usize, usize) {
+    assert!(
+        h + 2 * pad >= kh && w + 2 * pad >= kw,
+        "kernel larger than padded input"
+    );
+    (h + 2 * pad - kh + 1, w + 2 * pad - kw + 1)
+}
+
+/// Standard convolution: `input (N,C,H,W)` ⊛ `weight (F,C,KH,KW)` + `bias (F)`
+/// → `(N,F,OH,OW)`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize) -> Tensor {
+    let [n, c, h, w] = [
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    ];
+    let [f, cw, kh, kw] = [
+        weight.shape().dim(0),
+        weight.shape().dim(1),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    ];
+    assert_eq!(c, cw, "conv2d channel mismatch");
+    assert_eq!(bias.numel(), f, "conv2d bias size");
+    let (oh, ow) = out_hw(h, w, kh, kw, pad);
+    let id = input.data();
+    let wd = weight.data();
+    let bd = bias.data();
+    let mut out = vec![0.0f32; n * f * oh * ow];
+    out.par_chunks_mut(f * oh * ow)
+        .enumerate()
+        .for_each(|(ni, ochunk)| {
+            let ibase = ni * c * h * w;
+            for fi in 0..f {
+                let b = bd[fi];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b;
+                        for ci in 0..c {
+                            let wbase = ((fi * c + ci) * kh) * kw;
+                            let icbase = ibase + ci * h * w;
+                            for ky in 0..kh {
+                                let iy = oy + ky;
+                                if iy < pad || iy >= h + pad {
+                                    continue;
+                                }
+                                let iy = iy - pad;
+                                let wrow = wbase + ky * kw;
+                                let irow = icbase + iy * w;
+                                for kx in 0..kw {
+                                    let ix = ox + kx;
+                                    if ix < pad || ix >= w + pad {
+                                        continue;
+                                    }
+                                    acc += wd[wrow + kx] * id[irow + (ix - pad)];
+                                }
+                            }
+                        }
+                        ochunk[(fi * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        });
+    Tensor::from_vec(Shape::d4(n, f, oh, ow), out)
+}
+
+/// Backward pass of [`conv2d`]. `dout` has shape `(N,F,OH,OW)`.
+pub fn conv2d_backward(input: &Tensor, weight: &Tensor, dout: &Tensor, pad: usize) -> ConvGrads {
+    let [n, c, h, w] = [
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    ];
+    let [f, _, kh, kw] = [
+        weight.shape().dim(0),
+        weight.shape().dim(1),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    ];
+    let (oh, ow) = out_hw(h, w, kh, kw, pad);
+    assert_eq!(
+        dout.shape().dims(),
+        &[n, f, oh, ow],
+        "conv2d_backward dout shape"
+    );
+    let id = input.data();
+    let wd = weight.data();
+    let dd = dout.data();
+
+    // dinput: parallel over batch items (each writes only its own slice).
+    let mut dinput = vec![0.0f32; n * c * h * w];
+    dinput
+        .par_chunks_mut(c * h * w)
+        .enumerate()
+        .for_each(|(ni, dslice)| {
+            let dbase = ni * f * oh * ow;
+            for fi in 0..f {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = dd[dbase + (fi * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ci in 0..c {
+                            let wbase = ((fi * c + ci) * kh) * kw;
+                            for ky in 0..kh {
+                                let iy = oy + ky;
+                                if iy < pad || iy >= h + pad {
+                                    continue;
+                                }
+                                let iy = iy - pad;
+                                for kx in 0..kw {
+                                    let ix = ox + kx;
+                                    if ix < pad || ix >= w + pad {
+                                        continue;
+                                    }
+                                    dslice[(ci * h + iy) * w + (ix - pad)] +=
+                                        g * wd[wbase + ky * kw + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+    // dweight + dbias: parallel over output filters (each filter's gradient
+    // slice is reduced over the batch with a fixed-order loop).
+    let mut dweight = vec![0.0f32; f * c * kh * kw];
+    let mut dbias = vec![0.0f32; f];
+    dweight
+        .par_chunks_mut(c * kh * kw)
+        .zip(dbias.par_iter_mut())
+        .enumerate()
+        .for_each(|(fi, (wslice, dbv))| {
+            for ni in 0..n {
+                let dbase = ni * f * oh * ow + fi * oh * ow;
+                let ibase = ni * c * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = dd[dbase + oy * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        *dbv += g;
+                        for ci in 0..c {
+                            let icbase = ibase + ci * h * w;
+                            let wcbase = ci * kh * kw;
+                            for ky in 0..kh {
+                                let iy = oy + ky;
+                                if iy < pad || iy >= h + pad {
+                                    continue;
+                                }
+                                let iy = iy - pad;
+                                for kx in 0..kw {
+                                    let ix = ox + kx;
+                                    if ix < pad || ix >= w + pad {
+                                        continue;
+                                    }
+                                    wslice[wcbase + ky * kw + kx] +=
+                                        g * id[icbase + iy * w + (ix - pad)];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+    ConvGrads {
+        dinput: Tensor::from_vec(Shape::d4(n, c, h, w), dinput),
+        dweight: Tensor::from_vec(Shape::d4(f, c, kh, kw), dweight),
+        dbias: Tensor::from_vec(Shape::d1(f), dbias),
+    }
+}
+
+/// Depthwise convolution: `input (N,C,H,W)` ⊛ `weight (C,1,KH,KW)` + `bias (C)`
+/// → `(N,C,OH,OW)`; channel `c` of the output depends only on channel `c`
+/// of the input (channel multiplier 1, as in MobileNet).
+pub fn depthwise_conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize) -> Tensor {
+    let [n, c, h, w] = [
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    ];
+    let [cw, one, kh, kw] = [
+        weight.shape().dim(0),
+        weight.shape().dim(1),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    ];
+    assert_eq!(c, cw, "depthwise channel mismatch");
+    assert_eq!(one, 1, "depthwise weight must be (C,1,KH,KW)");
+    assert_eq!(bias.numel(), c);
+    let (oh, ow) = out_hw(h, w, kh, kw, pad);
+    let id = input.data();
+    let wd = weight.data();
+    let bd = bias.data();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    out.par_chunks_mut(c * oh * ow)
+        .enumerate()
+        .for_each(|(ni, ochunk)| {
+            for ci in 0..c {
+                let icbase = (ni * c + ci) * h * w;
+                let wbase = ci * kh * kw;
+                let b = bd[ci];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b;
+                        for ky in 0..kh {
+                            let iy = oy + ky;
+                            if iy < pad || iy >= h + pad {
+                                continue;
+                            }
+                            let iy = iy - pad;
+                            for kx in 0..kw {
+                                let ix = ox + kx;
+                                if ix < pad || ix >= w + pad {
+                                    continue;
+                                }
+                                acc += wd[wbase + ky * kw + kx] * id[icbase + iy * w + (ix - pad)];
+                            }
+                        }
+                        ochunk[(ci * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        });
+    Tensor::from_vec(Shape::d4(n, c, oh, ow), out)
+}
+
+/// Backward pass of [`depthwise_conv2d`].
+pub fn depthwise_conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    pad: usize,
+) -> ConvGrads {
+    let [n, c, h, w] = [
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    ];
+    let [_, _, kh, kw] = [
+        weight.shape().dim(0),
+        weight.shape().dim(1),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    ];
+    let (oh, ow) = out_hw(h, w, kh, kw, pad);
+    assert_eq!(dout.shape().dims(), &[n, c, oh, ow]);
+    let id = input.data();
+    let wd = weight.data();
+    let dd = dout.data();
+
+    let mut dinput = vec![0.0f32; n * c * h * w];
+    dinput
+        .par_chunks_mut(c * h * w)
+        .enumerate()
+        .for_each(|(ni, dslice)| {
+            for ci in 0..c {
+                let dbase = (ni * c + ci) * oh * ow;
+                let wbase = ci * kh * kw;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = dd[dbase + oy * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ky in 0..kh {
+                            let iy = oy + ky;
+                            if iy < pad || iy >= h + pad {
+                                continue;
+                            }
+                            let iy = iy - pad;
+                            for kx in 0..kw {
+                                let ix = ox + kx;
+                                if ix < pad || ix >= w + pad {
+                                    continue;
+                                }
+                                dslice[(ci * h + iy) * w + (ix - pad)] +=
+                                    g * wd[wbase + ky * kw + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+    let mut dweight = vec![0.0f32; c * kh * kw];
+    let mut dbias = vec![0.0f32; c];
+    dweight
+        .par_chunks_mut(kh * kw)
+        .zip(dbias.par_iter_mut())
+        .enumerate()
+        .for_each(|(ci, (wslice, dbv))| {
+            for ni in 0..n {
+                let dbase = (ni * c + ci) * oh * ow;
+                let icbase = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = dd[dbase + oy * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        *dbv += g;
+                        for ky in 0..kh {
+                            let iy = oy + ky;
+                            if iy < pad || iy >= h + pad {
+                                continue;
+                            }
+                            let iy = iy - pad;
+                            for kx in 0..kw {
+                                let ix = ox + kx;
+                                if ix < pad || ix >= w + pad {
+                                    continue;
+                                }
+                                wslice[ky * kw + kx] += g * id[icbase + iy * w + (ix - pad)];
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+    ConvGrads {
+        dinput: Tensor::from_vec(Shape::d4(n, c, h, w), dinput),
+        dweight: Tensor::from_vec(Shape::d4(c, 1, kh, kw), dweight),
+        dbias: Tensor::from_vec(Shape::d1(c), dbias),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    /// Numerical gradient check of a scalar function of the conv output.
+    fn num_grad(f: &mut dyn FnMut(&Tensor) -> f32, x: &Tensor, eps: f32) -> Tensor {
+        let mut g = Tensor::zeros(x.shape().clone());
+        let mut xp = x.clone();
+        for i in 0..x.numel() {
+            let orig = xp.data()[i];
+            xp.data_mut()[i] = orig + eps;
+            let fp = f(&xp);
+            xp.data_mut()[i] = orig - eps;
+            let fm = f(&xp);
+            xp.data_mut()[i] = orig;
+            g.data_mut()[i] = (fp - fm) / (2.0 * eps);
+        }
+        g
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32, what: &str) {
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert!((x - y).abs() < tol, "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 1x1x3x3 input, single 2x2 filter of ones, no padding.
+        let input = Tensor::from_fn(Shape::d4(1, 1, 3, 3), |i| i as f32);
+        let weight = Tensor::full(Shape::d4(1, 1, 2, 2), 1.0);
+        let bias = Tensor::zeros(Shape::d1(1));
+        let out = conv2d(&input, &weight, &bias, 0);
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        // windows: [0,1,3,4]=8, [1,2,4,5]=12, [3,4,6,7]=20, [4,5,7,8]=24
+        assert_eq!(out.data(), &[8.0, 12.0, 20.0, 24.0]);
+    }
+
+    #[test]
+    fn conv2d_padding_preserves_size() {
+        let input = Tensor::full(Shape::d4(2, 3, 5, 5), 1.0);
+        let weight = Tensor::full(Shape::d4(4, 3, 3, 3), 0.1);
+        let bias = Tensor::zeros(Shape::d1(4));
+        let out = conv2d(&input, &weight, &bias, 1);
+        assert_eq!(out.shape().dims(), &[2, 4, 5, 5]);
+        // Center pixel sees all 27 taps: 27 * 0.1 = 2.7.
+        assert!((out.at(&[0, 0, 2, 2]) - 2.7).abs() < 1e-5);
+        // Corner sees 12 taps (2x2 spatial x 3 channels).
+        assert!((out.at(&[0, 0, 0, 0]) - 1.2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn conv2d_bias_applied() {
+        let input = Tensor::zeros(Shape::d4(1, 1, 3, 3));
+        let weight = Tensor::zeros(Shape::d4(2, 1, 3, 3));
+        let bias = Tensor::from_vec(Shape::d1(2), vec![0.5, -1.5]);
+        let out = conv2d(&input, &weight, &bias, 1);
+        assert!(out.data()[..9].iter().all(|&x| x == 0.5));
+        assert!(out.data()[9..].iter().all(|&x| x == -1.5));
+    }
+
+    #[test]
+    fn conv2d_gradients_match_numerical() {
+        let mut rng = DetRng::seed_from_u64(10);
+        let input = Tensor::randn(Shape::d4(2, 2, 4, 4), 1.0, &mut rng);
+        let weight = Tensor::randn(Shape::d4(3, 2, 3, 3), 0.5, &mut rng);
+        let bias = Tensor::randn(Shape::d1(3), 0.5, &mut rng);
+        let pad = 1;
+        // Scalar loss: sum of squares of the output.
+        let loss = |out: &Tensor| 0.5 * out.sq_l2();
+        let out = conv2d(&input, &weight, &bias, pad);
+        let dout = out.clone(); // d(0.5*||y||^2)/dy = y
+        let grads = conv2d_backward(&input, &weight, &dout, pad);
+
+        let mut f_in = |x: &Tensor| loss(&conv2d(x, &weight, &bias, pad));
+        let ng_in = num_grad(&mut f_in, &input, 1e-2);
+        assert_close(&grads.dinput, &ng_in, 0.05, "dinput");
+
+        let mut f_w = |wt: &Tensor| loss(&conv2d(&input, wt, &bias, pad));
+        let ng_w = num_grad(&mut f_w, &weight, 1e-2);
+        assert_close(&grads.dweight, &ng_w, 0.05, "dweight");
+
+        let mut f_b = |bb: &Tensor| loss(&conv2d(&input, &weight, bb, pad));
+        let ng_b = num_grad(&mut f_b, &bias, 1e-2);
+        assert_close(&grads.dbias, &ng_b, 0.05, "dbias");
+    }
+
+    #[test]
+    fn depthwise_independent_channels() {
+        // Two channels; filter for channel 1 is zero, so output channel 1
+        // must be zero regardless of input.
+        let mut rng = DetRng::seed_from_u64(11);
+        let input = Tensor::randn(Shape::d4(1, 2, 4, 4), 1.0, &mut rng);
+        let mut weight = Tensor::zeros(Shape::d4(2, 1, 3, 3));
+        for i in 0..9 {
+            weight.data_mut()[i] = 1.0; // channel 0 filter = ones
+        }
+        let bias = Tensor::zeros(Shape::d1(2));
+        let out = depthwise_conv2d(&input, &weight, &bias, 1);
+        assert_eq!(out.shape().dims(), &[1, 2, 4, 4]);
+        assert!(
+            out.data()[16..].iter().all(|&x| x == 0.0),
+            "channel 1 must be zero"
+        );
+        assert!(out.data()[..16].iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn depthwise_gradients_match_numerical() {
+        let mut rng = DetRng::seed_from_u64(12);
+        let input = Tensor::randn(Shape::d4(2, 3, 4, 4), 1.0, &mut rng);
+        let weight = Tensor::randn(Shape::d4(3, 1, 3, 3), 0.5, &mut rng);
+        let bias = Tensor::randn(Shape::d1(3), 0.5, &mut rng);
+        let pad = 1;
+        let loss = |out: &Tensor| 0.5 * out.sq_l2();
+        let out = depthwise_conv2d(&input, &weight, &bias, pad);
+        let grads = depthwise_conv2d_backward(&input, &weight, &out, pad);
+
+        let mut f_in = |x: &Tensor| loss(&depthwise_conv2d(x, &weight, &bias, pad));
+        let ng_in = num_grad(&mut f_in, &input, 1e-2);
+        assert_close(&grads.dinput, &ng_in, 0.05, "dw dinput");
+
+        let mut f_w = |wt: &Tensor| loss(&depthwise_conv2d(&input, wt, &bias, pad));
+        let ng_w = num_grad(&mut f_w, &weight, 1e-2);
+        assert_close(&grads.dweight, &ng_w, 0.05, "dw dweight");
+
+        let mut f_b = |bb: &Tensor| loss(&depthwise_conv2d(&input, &weight, bb, pad));
+        let ng_b = num_grad(&mut f_b, &bias, 1e-2);
+        assert_close(&grads.dbias, &ng_b, 0.05, "dw dbias");
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv2d_channel_mismatch_panics() {
+        let input = Tensor::zeros(Shape::d4(1, 2, 4, 4));
+        let weight = Tensor::zeros(Shape::d4(1, 3, 3, 3));
+        let bias = Tensor::zeros(Shape::d1(1));
+        conv2d(&input, &weight, &bias, 1);
+    }
+
+    #[test]
+    fn conv2d_deterministic() {
+        let mut rng = DetRng::seed_from_u64(13);
+        let input = Tensor::randn(Shape::d4(8, 4, 8, 8), 1.0, &mut rng);
+        let weight = Tensor::randn(Shape::d4(8, 4, 3, 3), 0.5, &mut rng);
+        let bias = Tensor::randn(Shape::d1(8), 0.5, &mut rng);
+        let a = conv2d(&input, &weight, &bias, 1);
+        let b = conv2d(&input, &weight, &bias, 1);
+        assert_eq!(a.data(), b.data());
+    }
+}

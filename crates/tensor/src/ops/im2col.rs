@@ -1,0 +1,164 @@
+//! im2col convolution backend.
+//!
+//! The classic HPC formulation: lower the convolution into one large matrix
+//! multiplication by unrolling every receptive field into a row
+//! (`im2col`), then compute `out = patches · weightᵀ`. Trades memory for
+//! the much better cache behaviour of GEMM; on larger shapes it beats the
+//! direct kernel in `ops::conv`, and `conv2d_im2col` is bit-compatible in
+//! shape and numerically equivalent (verified by tests against the direct
+//! implementation).
+
+use crate::ops::matmul::matmul_nt;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Unroll `input (N,C,H,W)` into a patch matrix of shape
+/// `(N*OH*OW, C*KH*KW)` for a stride-1 convolution with zero padding `pad`.
+/// Out-of-bounds taps contribute zeros.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, pad: usize) -> Tensor {
+    let [n, c, h, w] = [
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    ];
+    assert!(
+        h + 2 * pad >= kh && w + 2 * pad >= kw,
+        "kernel larger than padded input"
+    );
+    let (oh, ow) = (h + 2 * pad - kh + 1, w + 2 * pad - kw + 1);
+    let row_len = c * kh * kw;
+    let id = input.data();
+    let mut out = vec![0.0f32; n * oh * ow * row_len];
+    out.par_chunks_mut(oh * ow * row_len)
+        .enumerate()
+        .for_each(|(ni, chunk)| {
+            let ibase = ni * c * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = &mut chunk[(oy * ow + ox) * row_len..(oy * ow + ox + 1) * row_len];
+                    let mut k = 0;
+                    for ci in 0..c {
+                        let icbase = ibase + ci * h * w;
+                        for ky in 0..kh {
+                            let iy = oy + ky;
+                            for kx in 0..kw {
+                                let ix = ox + kx;
+                                row[k] = if iy >= pad && iy < h + pad && ix >= pad && ix < w + pad {
+                                    id[icbase + (iy - pad) * w + (ix - pad)]
+                                } else {
+                                    0.0
+                                };
+                                k += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    Tensor::from_vec(Shape::d2(n * oh * ow, row_len), out)
+}
+
+/// GEMM-backed convolution, numerically equivalent to [`crate::ops::conv2d`].
+pub fn conv2d_im2col(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize) -> Tensor {
+    let [n, c, h, w] = [
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    ];
+    let [f, cw, kh, kw] = [
+        weight.shape().dim(0),
+        weight.shape().dim(1),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    ];
+    assert_eq!(c, cw, "conv2d channel mismatch");
+    assert_eq!(bias.numel(), f);
+    let (oh, ow) = (h + 2 * pad - kh + 1, w + 2 * pad - kw + 1);
+
+    let patches = im2col(input, kh, kw, pad);
+    // weight viewed as (F, C*KH*KW): patches (R, K) x weightᵀ -> (R, F).
+    let wmat = weight.clone().reshape(Shape::d2(f, c * kh * kw));
+    let prod = matmul_nt(&patches, &wmat); // (N*OH*OW, F)
+
+    // Transpose rows into NCHW order and add bias.
+    let pd = prod.data();
+    let bd = bias.data();
+    let mut out = vec![0.0f32; n * f * oh * ow];
+    out.par_chunks_mut(f * oh * ow)
+        .enumerate()
+        .for_each(|(ni, chunk)| {
+            let rbase = ni * oh * ow;
+            for fi in 0..f {
+                let b = bd[fi];
+                for p in 0..oh * ow {
+                    chunk[fi * oh * ow + p] = pd[(rbase + p) * f + fi] + b;
+                }
+            }
+        });
+    Tensor::from_vec(Shape::d4(n, f, oh, ow), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv::conv2d;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn im2col_known_values() {
+        // 1x1x3x3 ramp, 2x2 kernel, no padding: 4 patches of 4 taps.
+        let input = Tensor::from_fn(Shape::d4(1, 1, 3, 3), |i| i as f32);
+        let p = im2col(&input, 2, 2, 0);
+        assert_eq!(p.shape().dims(), &[4, 4]);
+        assert_eq!(&p.data()[0..4], &[0.0, 1.0, 3.0, 4.0]);
+        assert_eq!(&p.data()[12..16], &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let input = Tensor::full(Shape::d4(1, 1, 2, 2), 1.0);
+        let p = im2col(&input, 3, 3, 1);
+        assert_eq!(p.shape().dims(), &[4, 9]);
+        // Top-left patch: only the 2x2 bottom-right of the kernel hits data.
+        let row0 = &p.data()[0..9];
+        assert_eq!(row0.iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn matches_direct_conv_exactly_shaped() {
+        let mut rng = DetRng::seed_from_u64(1);
+        for (n, c, h, w, f, k, pad) in [
+            (2, 3, 8, 8, 5, 3, 1),
+            (1, 1, 5, 7, 2, 3, 0),
+            (3, 4, 6, 6, 8, 1, 0),
+            (1, 2, 4, 4, 3, 3, 2),
+        ] {
+            let input = Tensor::randn(Shape::d4(n, c, h, w), 1.0, &mut rng);
+            let weight = Tensor::randn(Shape::d4(f, c, k, k), 0.5, &mut rng);
+            let bias = Tensor::randn(Shape::d1(f), 0.5, &mut rng);
+            let direct = conv2d(&input, &weight, &bias, pad);
+            let gemm = conv2d_im2col(&input, &weight, &bias, pad);
+            assert_eq!(direct.shape(), gemm.shape());
+            for (i, (a, b)) in direct.data().iter().zip(gemm.data()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "({n},{c},{h},{w},{f},{k},{pad}) idx {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = DetRng::seed_from_u64(2);
+        let input = Tensor::randn(Shape::d4(4, 3, 10, 10), 1.0, &mut rng);
+        let weight = Tensor::randn(Shape::d4(6, 3, 3, 3), 0.5, &mut rng);
+        let bias = Tensor::zeros(Shape::d1(6));
+        let a = conv2d_im2col(&input, &weight, &bias, 1);
+        let b = conv2d_im2col(&input, &weight, &bias, 1);
+        assert_eq!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,217 @@
+//! Dense matrix multiplication kernels.
+//!
+//! Three variants cover everything a dense layer's forward/backward pass
+//! needs without materializing transposes:
+//!
+//! * [`matmul`]   — `C = A·B`      (`M×K · K×N`)
+//! * [`matmul_nt`] — `C = A·Bᵀ`    (`M×K · N×K`)
+//! * [`matmul_tn`] — `C = Aᵀ·B`    (`K×M · K×N`)
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Parallelize only when the work is big enough to amortize task overhead.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// `C = A·B` for `A: M×K`, `B: K×N`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank-2");
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    let row = |i: usize, out_row: &mut [f32]| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    };
+    if m * n * k >= PAR_THRESHOLD {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, r)| row(i, r));
+    } else {
+        out.chunks_mut(n).enumerate().for_each(|(i, r)| row(i, r));
+    }
+    Tensor::from_vec(Shape::d2(m, n), out)
+}
+
+/// `C = A·Bᵀ` for `A: M×K`, `B: N×K`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2);
+    assert_eq!(b.shape().rank(), 2);
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (n, k2) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    let row = |i: usize, out_row: &mut [f32]| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    };
+    if m * n * k >= PAR_THRESHOLD {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, r)| row(i, r));
+    } else {
+        out.chunks_mut(n).enumerate().for_each(|(i, r)| row(i, r));
+    }
+    Tensor::from_vec(Shape::d2(m, n), out)
+}
+
+/// `C = Aᵀ·B` for `A: K×M`, `B: K×N`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2);
+    assert_eq!(b.shape().rank(), 2);
+    let (k, m) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    let row = |i: usize, out_row: &mut [f32]| {
+        for kk in 0..k {
+            let av = ad[kk * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    };
+    if m * n * k >= PAR_THRESHOLD {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, r)| row(i, r));
+    } else {
+        out.chunks_mut(n).enumerate().for_each(|(i, r)| row(i, r));
+    }
+    Tensor::from_vec(Shape::d2(m, n), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+        let n = b.shape().dim(1);
+        let mut out = Tensor::zeros(Shape::d2(m, n));
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                *out.at_mut(&[i, j]) = acc;
+            }
+        }
+        out
+    }
+
+    fn transpose(a: &Tensor) -> Tensor {
+        let (m, n) = (a.shape().dim(0), a.shape().dim(1));
+        Tensor::from_fn(Shape::d2(n, m), |f| {
+            let (i, j) = (f / m, f % m);
+            a.at(&[j, i])
+        })
+    }
+
+    #[test]
+    fn matmul_small_exact() {
+        let a = Tensor::from_vec(Shape::d2(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(Shape::d2(3, 2), vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = DetRng::seed_from_u64(1);
+        let a = Tensor::randn(Shape::d2(5, 5), 1.0, &mut rng);
+        let eye = Tensor::from_fn(Shape::d2(5, 5), |f| if f / 5 == f % 5 { 1.0 } else { 0.0 });
+        let c = matmul(&a, &eye);
+        for (x, y) in c.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_large_parallel_path() {
+        let mut rng = DetRng::seed_from_u64(2);
+        let a = Tensor::randn(Shape::d2(33, 47), 1.0, &mut rng);
+        let b = Tensor::randn(Shape::d2(47, 29), 1.0, &mut rng);
+        let c = matmul(&a, &b);
+        let expect = naive(&a, &b);
+        for (x, y) in c.data().iter().zip(expect.data()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = DetRng::seed_from_u64(3);
+        let a = Tensor::randn(Shape::d2(7, 11), 1.0, &mut rng);
+        let b = Tensor::randn(Shape::d2(5, 11), 1.0, &mut rng);
+        let c = matmul_nt(&a, &b);
+        let expect = naive(&a, &transpose(&b));
+        for (x, y) in c.data().iter().zip(expect.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = DetRng::seed_from_u64(4);
+        let a = Tensor::randn(Shape::d2(11, 7), 1.0, &mut rng);
+        let b = Tensor::randn(Shape::d2(11, 5), 1.0, &mut rng);
+        let c = matmul_tn(&a, &b);
+        let expect = naive(&transpose(&a), &b);
+        for (x, y) in c.data().iter().zip(expect.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(Shape::d2(2, 3));
+        let b = Tensor::zeros(Shape::d2(4, 2));
+        matmul(&a, &b);
+    }
+
+    #[test]
+    fn matmul_deterministic_across_runs() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let a = Tensor::randn(Shape::d2(64, 64), 1.0, &mut rng);
+        let b = Tensor::randn(Shape::d2(64, 64), 1.0, &mut rng);
+        let c1 = matmul(&a, &b);
+        let c2 = matmul(&a, &b);
+        assert_eq!(
+            c1.data(),
+            c2.data(),
+            "parallel matmul must be deterministic"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Compute kernels: matrix multiplication, 2-D convolution (standard and
+//! depthwise), max-pooling and activations, each with a hand-written
+//! backward pass.
+//!
+//! Kernels parallelize over independent output slices with rayon, so the
+//! result is identical to the serial computation regardless of thread
+//! scheduling (each output element is produced by exactly one task with a
+//! fixed-order inner loop).
+
+pub mod activation;
+pub mod conv;
+pub mod im2col;
+pub mod matmul;
+pub mod pool;
+
+pub use activation::{relu, relu_backward, softmax_rows, softmax_xent};
+pub use conv::{conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, ConvGrads};
+pub use im2col::{conv2d_im2col, im2col};
+pub use matmul::{matmul, matmul_nt, matmul_tn};
+pub use pool::{maxpool2, maxpool2_backward};

@@ -1,0 +1,141 @@
+//! 2×2 max-pooling with stride 2 (the only pooling the paper's models use).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Forward max-pool. Returns `(output, argmax)` where `argmax` stores, for
+/// each output element, the flat index (within the whole input tensor) of
+/// the winning input element — consumed by [`maxpool2_backward`].
+///
+/// Odd trailing rows/columns are dropped (floor semantics), matching the
+/// common framework default.
+pub fn maxpool2(input: &Tensor) -> (Tensor, Vec<u32>) {
+    let [n, c, h, w] = [
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    ];
+    let (oh, ow) = (h / 2, w / 2);
+    assert!(oh > 0 && ow > 0, "input too small to pool");
+    let id = input.data();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut arg = vec![0u32; n * c * oh * ow];
+    out.par_chunks_mut(oh * ow)
+        .zip(arg.par_chunks_mut(oh * ow))
+        .enumerate()
+        .for_each(|(nc, (ochunk, achunk))| {
+            let ibase = nc * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let iy = oy * 2 + dy;
+                            let ix = ox * 2 + dx;
+                            let idx = ibase + iy * w + ix;
+                            let v = id[idx];
+                            if v > best {
+                                best = v;
+                                best_i = idx;
+                            }
+                        }
+                    }
+                    ochunk[oy * ow + ox] = best;
+                    achunk[oy * ow + ox] = best_i as u32;
+                }
+            }
+        });
+    (Tensor::from_vec(Shape::d4(n, c, oh, ow), out), arg)
+}
+
+/// Backward max-pool: routes each output gradient to the argmax position.
+pub fn maxpool2_backward(input_shape: &Shape, dout: &Tensor, argmax: &[u32]) -> Tensor {
+    assert_eq!(dout.numel(), argmax.len(), "dout/argmax length mismatch");
+    let mut dinput = Tensor::zeros(input_shape.clone());
+    let dd = dinput.data_mut();
+    for (&a, &g) in argmax.iter().zip(dout.data()) {
+        dd[a as usize] += g;
+    }
+    dinput
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_known_values() {
+        let input = Tensor::from_vec(
+            Shape::d4(1, 1, 4, 4),
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.5, //
+                -3.0, -4.0, 0.25, 0.75,
+            ],
+        );
+        let (out, arg) = maxpool2(&input);
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[4.0, 8.0, -1.0, 0.75]);
+        assert_eq!(arg, vec![5, 7, 8, 15]);
+    }
+
+    #[test]
+    fn pool_odd_dims_floor() {
+        let input = Tensor::from_fn(Shape::d4(1, 1, 5, 5), |i| i as f32);
+        let (out, _) = maxpool2(&input);
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        // Last row/col dropped; max of window (0..2, 0..2) is index 6 -> 6.0.
+        assert_eq!(out.at(&[0, 0, 0, 0]), 6.0);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let input = Tensor::from_vec(Shape::d4(1, 1, 2, 2), vec![1.0, 9.0, 2.0, 3.0]);
+        let (out, arg) = maxpool2(&input);
+        assert_eq!(out.data(), &[9.0]);
+        let dout = Tensor::from_vec(Shape::d4(1, 1, 1, 1), vec![5.0]);
+        let din = maxpool2_backward(input.shape(), &dout, &arg);
+        assert_eq!(din.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn forward_backward_gradient_check() {
+        use crate::rng::DetRng;
+        let mut rng = DetRng::seed_from_u64(21);
+        let input = Tensor::randn(Shape::d4(2, 3, 4, 4), 1.0, &mut rng);
+        let (out, arg) = maxpool2(&input);
+        // Loss = 0.5 ||out||^2, so dout = out.
+        let din = maxpool2_backward(input.shape(), &out, &arg);
+        // Numerical check with small eps (max is locally linear away from ties).
+        let eps = 1e-3;
+        let loss = |x: &Tensor| 0.5 * maxpool2(x).0.sq_l2();
+        let mut xp = input.clone();
+        for i in (0..input.numel()).step_by(7) {
+            let orig = xp.data()[i];
+            xp.data_mut()[i] = orig + eps;
+            let fp = loss(&xp);
+            xp.data_mut()[i] = orig - eps;
+            let fm = loss(&xp);
+            xp.data_mut()[i] = orig;
+            let ng = (fp - fm) / (2.0 * eps);
+            assert!(
+                (din.data()[i] - ng).abs() < 0.02,
+                "idx {i}: {} vs {ng}",
+                din.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn pool_channels_independent() {
+        let mut input = Tensor::zeros(Shape::d4(1, 2, 2, 2));
+        input.data_mut()[0] = 7.0; // channel 0
+        input.data_mut()[4] = -7.0; // channel 1 (all others 0)
+        let (out, _) = maxpool2(&input);
+        assert_eq!(out.data(), &[7.0, 0.0]);
+    }
+}

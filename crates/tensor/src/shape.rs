@@ -1,0 +1,154 @@
+//! Tensor shapes.
+//!
+//! Shapes are small (`rank <= 4` in practice: NCHW activations, FCKK conv
+//! weights, MxN matrices), so a plain `Vec<usize>` with helper methods is
+//! the simplest correct representation.
+
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: an ordered list of dimension extents.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// A scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(vec![])
+    }
+
+    /// A rank-1 shape.
+    pub fn d1(n: usize) -> Self {
+        Shape(vec![n])
+    }
+
+    /// A rank-2 shape (rows, cols).
+    pub fn d2(r: usize, c: usize) -> Self {
+        Shape(vec![r, c])
+    }
+
+    /// A rank-4 shape (e.g. NCHW).
+    pub fn d4(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape(vec![n, c, h, w])
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of dimension `i`. Panics if out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// The dims as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.0[i + 1];
+        }
+        s
+    }
+
+    /// Flat row-major offset of a multi-index. Panics on rank mismatch and
+    /// debug-asserts bounds.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..self.0.len()).rev() {
+            debug_assert!(idx[i] < self.0[i], "index out of bounds");
+            off += idx[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+
+    /// True if both shapes have the same number of elements (reshape-compatible).
+    pub fn same_numel(&self, other: &Shape) -> bool {
+        self.numel() == other.numel()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::d4(2, 3, 4, 5);
+        assert_eq!(s.rank(), 4);
+        assert_eq!(s.numel(), 120);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::d1(7).numel(), 7);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::d4(2, 3, 4, 5);
+        assert_eq!(s.strides(), vec![60, 20, 5, 1]);
+        assert_eq!(Shape::d2(3, 4).strides(), vec![4, 1]);
+        assert_eq!(Shape::d1(9).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::d4(2, 3, 4, 5);
+        assert_eq!(s.offset(&[0, 0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3, 4]), 60 + 40 + 15 + 4);
+        assert_eq!(s.offset(&[1, 0, 0, 1]), 61);
+    }
+
+    #[test]
+    #[should_panic(expected = "index rank mismatch")]
+    fn offset_rank_mismatch_panics() {
+        Shape::d2(2, 2).offset(&[1]);
+    }
+
+    #[test]
+    fn same_numel_for_reshape() {
+        assert!(Shape::d2(6, 4).same_numel(&Shape::d4(2, 3, 2, 2)));
+        assert!(!Shape::d2(6, 4).same_numel(&Shape::d1(23)));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Shape::d2(2, 3);
+        assert_eq!(format!("{s}"), "[2, 3]");
+        assert_eq!(format!("{s:?}"), "Shape[2, 3]");
+    }
+}

@@ -1,0 +1,336 @@
+//! Sparse gradient vectors and the *Max N* selection primitive.
+//!
+//! DLion's per-link prioritized gradient exchange (§3.3 of the paper) sends
+//! only the statistically significant entries of each weight variable's
+//! gradient. The *Max N* algorithm selects entries whose absolute value is
+//! within `N%` of the per-variable maximum absolute value:
+//!
+//! * `N = 100` ⇒ threshold `0·max` ⇒ **all** entries are exchanged
+//!   (equivalent to dense exchange, as the paper states),
+//! * `N = 1`  ⇒ threshold `0.99·max` ⇒ only near-maximal entries.
+//!
+//! The transmission-speed assurance module inverts a per-link byte budget
+//! into the largest admissible `N` ([`n_for_budget`]).
+
+use crate::tensor::Tensor;
+
+/// Bytes on the wire per sparse entry: a `u32` index + an `f32` value.
+pub const SPARSE_ENTRY_BYTES: usize = 8;
+/// Bytes on the wire per dense entry: an `f32` value.
+pub const DENSE_ENTRY_BYTES: usize = 4;
+
+/// A sparse view of a gradient for one weight variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseVec {
+    /// Flat indices into the dense tensor, strictly increasing.
+    pub indices: Vec<u32>,
+    /// Values at those indices.
+    pub values: Vec<f32>,
+    /// Length of the dense tensor this was taken from.
+    pub dense_len: usize,
+}
+
+impl SparseVec {
+    /// Empty sparse vector over a dense length.
+    pub fn empty(dense_len: usize) -> Self {
+        SparseVec {
+            indices: vec![],
+            values: vec![],
+            dense_len,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Fraction of dense entries represented.
+    pub fn density(&self) -> f64 {
+        if self.dense_len == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.dense_len as f64
+        }
+    }
+
+    /// Wire size in bytes (index + value per entry).
+    pub fn wire_bytes(&self) -> usize {
+        self.nnz() * SPARSE_ENTRY_BYTES
+    }
+
+    /// Select all entries of `dense` with `|v| >= thr` (thr >= 0).
+    pub fn from_dense_threshold(dense: &[f32], thr: f32) -> Self {
+        debug_assert!(thr >= 0.0);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v.abs() >= thr && v != 0.0 {
+                indices.push(i as u32);
+                values.push(v);
+            }
+        }
+        SparseVec {
+            indices,
+            values,
+            dense_len: dense.len(),
+        }
+    }
+
+    /// The full dense vector as a (degenerate) sparse vector; zero entries
+    /// are kept so the wire size reflects a dense transfer.
+    pub fn from_dense_full(dense: &[f32]) -> Self {
+        SparseVec {
+            indices: (0..dense.len() as u32).collect(),
+            values: dense.to_vec(),
+            dense_len: dense.len(),
+        }
+    }
+
+    /// Scatter-add `scale * self` into `out` (len must match `dense_len`).
+    pub fn add_into(&self, out: &mut [f32], scale: f32) {
+        assert_eq!(out.len(), self.dense_len, "dense length mismatch");
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[i as usize] += scale * v;
+        }
+    }
+
+    /// Materialize as a dense vector.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.dense_len];
+        self.add_into(&mut out, 1.0);
+        out
+    }
+}
+
+/// Max N selection over one dense gradient (§3.3).
+///
+/// Selects entries with `|g| >= (1 - n_percent/100) * max|g|`. `n_percent`
+/// is clamped into `(0, 100]`; at 100 the entire gradient is selected
+/// (dense-equivalent exchange).
+pub fn max_n_select(dense: &[f32], n_percent: f64) -> SparseVec {
+    let n = n_percent.clamp(f64::MIN_POSITIVE, 100.0);
+    if n >= 100.0 {
+        return SparseVec::from_dense_full(dense);
+    }
+    let max = dense.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if max == 0.0 {
+        return SparseVec::empty(dense.len());
+    }
+    let thr = ((1.0 - n / 100.0) * max as f64) as f32;
+    SparseVec::from_dense_threshold(dense, thr)
+}
+
+/// The `k`-th largest absolute value of `dense` (1-based `k`), or 0.0 for
+/// `k == 0` / empty input. Used to convert a byte budget into a threshold.
+pub fn kth_largest_abs(dense: &[f32], k: usize) -> f32 {
+    if k == 0 || dense.is_empty() {
+        return 0.0;
+    }
+    let k = k.min(dense.len());
+    let mut abs: Vec<f32> = dense.iter().map(|x| x.abs()).collect();
+    // k-th largest == (len - k)-th smallest (0-based).
+    let pos = abs.len() - k;
+    abs.select_nth_unstable_by(pos, |a, b| {
+        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    abs[pos]
+}
+
+/// Transmission-speed assurance (§3.3): find the largest `N ∈ [min_n, 100]`
+/// such that Max N selection of `dense` fits within `max_entries` entries.
+///
+/// Returns `(n, selection)`. The paper's module computes the per-link entry
+/// budget as `BW_net_j / Iter_com_i`; this function performs the inversion
+/// from budget to `N` exactly (via the k-th largest magnitude) rather than
+/// by trial and error.
+pub fn n_for_budget(dense: &[f32], max_entries: usize, min_n: f64) -> (f64, SparseVec) {
+    let min_n = min_n.clamp(f64::MIN_POSITIVE, 100.0);
+    let max = dense.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if max == 0.0 || dense.is_empty() {
+        return (min_n, SparseVec::empty(dense.len()));
+    }
+    if max_entries >= dense.len() {
+        // Whole gradient fits.
+        return (100.0, SparseVec::from_dense_full(dense));
+    }
+    if max_entries == 0 {
+        // Even at the minimum N we must send *something* to guarantee
+        // convergence; fall through with a budget of 1 entry.
+        let sel = max_n_select(dense, min_n);
+        return (min_n, clamp_entries(sel, 1));
+    }
+    let thr = kth_largest_abs(dense, max_entries);
+    // N that produces exactly this threshold.
+    let n = ((1.0 - (thr / max) as f64) * 100.0).clamp(min_n, 100.0);
+    let sel = max_n_select(dense, n);
+    // Ties at the threshold can overshoot the budget; trim lowest-magnitude
+    // entries to honor the hard byte budget.
+    (n, clamp_entries(sel, max_entries))
+}
+
+/// Keep only the `max_entries` largest-magnitude entries of `sel`
+/// (preserving index order).
+fn clamp_entries(sel: SparseVec, max_entries: usize) -> SparseVec {
+    if sel.nnz() <= max_entries {
+        return sel;
+    }
+    let mut order: Vec<usize> = (0..sel.nnz()).collect();
+    order.sort_by(|&a, &b| {
+        sel.values[b]
+            .abs()
+            .partial_cmp(&sel.values[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order.truncate(max_entries);
+    order.sort_unstable();
+    let indices = order.iter().map(|&i| sel.indices[i]).collect();
+    let values = order.iter().map(|&i| sel.values[i]).collect();
+    SparseVec {
+        indices,
+        values,
+        dense_len: sel.dense_len,
+    }
+}
+
+/// Max N applied per weight variable of a whole model gradient, as the paper
+/// specifies ("Max N is applied per weight variable").
+pub fn max_n_select_model(grads: &[Tensor], n_percent: f64) -> Vec<SparseVec> {
+    grads
+        .iter()
+        .map(|g| max_n_select(g.data(), n_percent))
+        .collect()
+}
+
+/// Total wire bytes for a set of per-variable sparse gradients.
+pub fn total_wire_bytes(sparse: &[SparseVec]) -> usize {
+    sparse.iter().map(|s| s.wire_bytes()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense() -> Vec<f32> {
+        vec![0.05, -1.0, 0.5, 0.0, -0.95, 0.2, 0.91, -0.4]
+    }
+
+    #[test]
+    fn max_n_100_selects_everything_including_zeros() {
+        let s = max_n_select(&dense(), 100.0);
+        assert_eq!(s.nnz(), 8, "N=100 must be dense-equivalent");
+        assert_eq!(s.to_dense(), dense());
+    }
+
+    #[test]
+    fn max_n_small_selects_near_max_only() {
+        // N = 10 -> threshold 0.9 * 1.0 = 0.9 -> {-1.0, -0.95, 0.91}
+        let s = max_n_select(&dense(), 10.0);
+        assert_eq!(s.indices, vec![1, 4, 6]);
+        assert_eq!(s.values, vec![-1.0, -0.95, 0.91]);
+    }
+
+    #[test]
+    fn max_n_monotone_in_n() {
+        let d = dense();
+        let mut prev = 0;
+        for n in [1.0, 5.0, 10.0, 50.0, 80.0, 100.0] {
+            let s = max_n_select(&d, n);
+            assert!(s.nnz() >= prev, "selection must grow with N (n={n})");
+            prev = s.nnz();
+        }
+    }
+
+    #[test]
+    fn max_n_zero_gradient() {
+        let s = max_n_select(&[0.0; 5], 50.0);
+        assert_eq!(s.nnz(), 0);
+    }
+
+    #[test]
+    fn kth_largest_abs_basic() {
+        let d = dense();
+        assert_eq!(kth_largest_abs(&d, 1), 1.0);
+        assert_eq!(kth_largest_abs(&d, 2), 0.95);
+        assert_eq!(kth_largest_abs(&d, 3), 0.91);
+        assert_eq!(kth_largest_abs(&d, 100), 0.0); // clamped to len, min |v| is 0.0
+        assert_eq!(kth_largest_abs(&d, 0), 0.0);
+        assert_eq!(kth_largest_abs(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn budget_inversion_respects_budget_and_min_n() {
+        let d = dense();
+        for budget in 0..=8 {
+            let (n, sel) = n_for_budget(&d, budget, 0.85);
+            assert!(
+                sel.nnz() <= budget.max(1),
+                "budget {budget} violated: {}",
+                sel.nnz()
+            );
+            assert!((0.85..=100.0).contains(&n), "N out of range: {n}");
+        }
+        let (n, sel) = n_for_budget(&d, 8, 0.85);
+        assert_eq!(n, 100.0);
+        assert_eq!(sel.nnz(), 8);
+    }
+
+    #[test]
+    fn budget_selects_largest_magnitudes() {
+        let d = dense();
+        let (_, sel) = n_for_budget(&d, 3, 0.85);
+        assert_eq!(sel.indices, vec![1, 4, 6], "must pick top-3 magnitudes");
+    }
+
+    #[test]
+    fn budget_zero_still_sends_one_entry() {
+        let d = dense();
+        let (_, sel) = n_for_budget(&d, 0, 0.85);
+        assert!(sel.nnz() >= 1, "convergence guarantee: never send nothing");
+    }
+
+    #[test]
+    fn scatter_add_and_roundtrip() {
+        let d = dense();
+        let s = max_n_select(&d, 100.0);
+        let mut out = vec![1.0; 8];
+        s.add_into(&mut out, 2.0);
+        for i in 0..8 {
+            assert!((out[i] - (1.0 + 2.0 * d[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn wire_bytes_accounting() {
+        let s = max_n_select(&dense(), 10.0);
+        assert_eq!(s.wire_bytes(), 3 * SPARSE_ENTRY_BYTES);
+        let model = vec![
+            Tensor::from_vec(crate::Shape::d1(8), dense()),
+            Tensor::from_vec(crate::Shape::d1(8), dense()),
+        ];
+        let sel = max_n_select_model(&model, 10.0);
+        assert_eq!(total_wire_bytes(&sel), 6 * SPARSE_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn indices_strictly_increasing() {
+        let s = max_n_select(&dense(), 60.0);
+        for w in s.indices.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        let (_, s2) = n_for_budget(&dense(), 5, 0.85);
+        for w in s2.indices.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn density_and_empty() {
+        let e = SparseVec::empty(10);
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.density(), 0.0);
+        let s = max_n_select(&dense(), 10.0);
+        assert!((s.density() - 3.0 / 8.0).abs() < 1e-12);
+        assert_eq!(SparseVec::empty(0).density(), 0.0);
+    }
+}

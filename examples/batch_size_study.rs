@@ -1,0 +1,48 @@
+//! Batch-size dynamics study (supports the GBS controller design):
+//! for several global batch sizes, train single-process SGD at the paper's
+//! fixed learning rate and report accuracy versus *updates* and versus
+//! *samples processed*. Shows where larger batches lift the noise plateau
+//! and where they just starve the update count.
+//!
+//! ```text
+//! cargo run --release --example batch_size_study [sample_budget]
+//! ```
+
+use dlion::prelude::*;
+
+fn main() {
+    let budget: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("budget"))
+        .unwrap_or(600_000);
+    let train = 24_000;
+    let ds = Dataset::synth_vision(train + 2_000, 7);
+    let test: Vec<usize> = (train..train + 1000).collect();
+
+    println!(
+        "{:>6} {:>9} {:>10} {:>10} {:>10}",
+        "batch", "updates", "acc@25%", "acc@50%", "acc@100%"
+    );
+    for batch in [32usize, 192, 768, 2400] {
+        let mut rng = DetRng::seed_from_u64(1);
+        let mut model = ModelSpec::Cipher.build(&ds.sample_shape(), ds.classes(), &mut rng);
+        let updates = budget / batch;
+        let mut marks = Vec::new();
+        for u in 0..updates {
+            let idx: Vec<usize> = (0..batch).map(|_| rng.index(train)).collect();
+            let (x, y) = ds.batch(&idx);
+            let (_, grads) = model.forward_backward(&x, &y);
+            model.apply_dense_update(&grads, -0.3);
+            if u == updates / 4 || u == updates / 2 || u == updates - 1 {
+                marks.push(model.evaluate(&ds, &test, 250).accuracy);
+            }
+        }
+        while marks.len() < 3 {
+            marks.push(f64::NAN);
+        }
+        println!(
+            "{:>6} {:>9} {:>10.3} {:>10.3} {:>10.3}",
+            batch, updates, marks[0], marks[1], marks[2]
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Dynamic resources: compute capacity and bandwidth that change while the
+//! cluster trains (§5.2.6 of the paper).
+//!
+//! Builds a custom environment whose CPU cores are cut in half mid-run
+//! (someone else's job lands on the micro-cloud — the `stress` analogue)
+//! and whose WAN links later degrade (the `tc` analogue), then shows DLion
+//! re-profiling workers, re-balancing batch sizes and shrinking its partial
+//! gradients, next to Baseline which just slows down.
+//!
+//! ```text
+//! cargo run --release --example dynamic_resources
+//! ```
+
+use dlion::microcloud::{CPU_COST_PER_SAMPLE, CPU_OVERHEAD, WAN_LATENCY};
+use dlion::prelude::*;
+
+fn build_env() -> (ComputeModel, NetworkModel) {
+    let n = 6;
+    // Workers 0-2 lose half their cores at t=250 s.
+    let caps: Vec<PiecewiseConst> = (0..n)
+        .map(|w| {
+            if w < 3 {
+                PiecewiseConst::steps(vec![(0.0, 24.0), (250.0, 12.0)])
+            } else {
+                PiecewiseConst::constant(24.0)
+            }
+        })
+        .collect();
+    let compute = ComputeModel::new(caps, CPU_COST_PER_SAMPLE, CPU_OVERHEAD);
+    // All links run at 80 Mbps until t=400 s, then drop to 25 Mbps.
+    let mut net = NetworkModel::uniform(n, 80.0, WAN_LATENCY);
+    let link = PiecewiseConst::steps(vec![(0.0, 80.0), (400.0, 25.0)]);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                net.set_link(i, j, link.clone());
+            }
+        }
+    }
+    (compute, net)
+}
+
+fn main() {
+    let duration = 800.0;
+    for system in [SystemKind::Baseline, SystemKind::DLion] {
+        let (compute, net) = build_env();
+        let mut cfg = RunConfig::paper_default(system, ClusterKind::Cpu);
+        cfg.duration = duration;
+        cfg.profile_interval = 50.0;
+        cfg.trace_links = true;
+        let m = dlion::core::run_with_models(&cfg, compute, net, "dynamic demo");
+        println!("--- {} ---", m.system);
+        println!("  final accuracy: {:.3}", m.tail_mean_acc(3));
+        println!("  iterations: {:?}", m.iterations);
+        if !m.lbs_trace.is_empty() {
+            println!("  LBS before/after the compute cut at t=250 s:");
+            for (t, parts) in &m.lbs_trace {
+                if (*t - 200.0).abs() < 55.0 || (*t - 300.0).abs() < 55.0 {
+                    println!("    t={t:>5.0}s  {parts:?}");
+                }
+            }
+        }
+        // Average partial-gradient size before and after the bandwidth drop.
+        let avg_entries = |lo: f64, hi: f64| -> f64 {
+            let xs: Vec<f64> = m
+                .link_trace
+                .iter()
+                .filter(|s| s.time >= lo && s.time < hi)
+                .map(|s| s.entries as f64)
+                .collect();
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+        println!(
+            "  mean gradient entries/message @80 Mbps: {:.0}, @25 Mbps: {:.0}\n",
+            avg_entries(100.0, 400.0),
+            avg_entries(450.0, 800.0)
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! The Amazon GPU cluster scenario (§5.2.2): MobileNet-class training where
+//! powerful GPU compute plus a 17 MB model makes the *network* the
+//! bottleneck even on a LAN.
+//!
+//! Compares the four systems of Figure 12 in Homo C (6×p2.xlarge, LAN) and
+//! Hetero SYS C (2×p2.8xlarge + 4×p2.xlarge over WAN) and prints how much
+//! of a dense exchange each link can actually sustain.
+//!
+//! ```text
+//! cargo run --release --example gpu_cluster [duration_secs]
+//! ```
+
+use dlion::core::report;
+use dlion::prelude::*;
+
+fn main() {
+    let duration: f64 = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("duration"))
+        .unwrap_or(200.0);
+
+    // Show the bottleneck arithmetic first.
+    let spec = EnvId::HomoC.spec();
+    let compute = spec.compute_model();
+    let iter = compute.iter_time(0, 32, 0.0);
+    let comm = 5.0 * dlion::simnet::transfer_seconds(17e6, 1000.0);
+    println!("GPU iteration (LBS 32): {iter:.2} s; dense 17 MB to 5 peers: {comm:.2} s");
+    println!("=> even the 1 Gbps LAN cannot keep up with dense exchange\n");
+
+    for env in [EnvId::HomoC, EnvId::HeteroSysC] {
+        println!("### {} ({} virtual s) ###", env.name(), duration);
+        for system in [
+            SystemKind::Hop,
+            SystemKind::Gaia,
+            SystemKind::Ako,
+            SystemKind::DLion,
+        ] {
+            let mut cfg = RunConfig::paper_default(system, ClusterKind::Gpu);
+            cfg.duration = duration;
+            cfg.eval_interval = (duration / 5.0).max(20.0);
+            let m = run_env(&cfg, env);
+            println!("{}", report::one_line(&m));
+        }
+        println!();
+    }
+}

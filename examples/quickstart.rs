@@ -1,0 +1,58 @@
+//! Quickstart: simulate a 6-worker micro-cloud cluster training the Cipher
+//! model, comparing DLion against the dense BSP baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart [duration_secs] [env]
+//! ```
+//!
+//! `env` is one of: homo-a, homo-b, hetero-sys-a, hetero-sys-b (default
+//! homo-b — a bandwidth-constrained WAN where DLion's techniques matter).
+
+use dlion_core::{run_env, RunConfig, SystemKind};
+use dlion_microcloud::{ClusterKind, EnvId};
+
+fn parse_env(s: &str) -> EnvId {
+    match s {
+        "homo-a" => EnvId::HomoA,
+        "homo-b" => EnvId::HomoB,
+        "hetero-sys-a" => EnvId::HeteroSysA,
+        "hetero-sys-b" => EnvId::HeteroSysB,
+        other => panic!("unknown env {other}; use homo-a|homo-b|hetero-sys-a|hetero-sys-b"),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let duration: f64 = args
+        .next()
+        .map(|v| v.parse().expect("duration"))
+        .unwrap_or(600.0);
+    let env = parse_env(&args.next().unwrap_or_else(|| "homo-b".into()));
+
+    println!("Simulating {} for {duration} virtual seconds\n", env.name());
+    for system in [SystemKind::Baseline, SystemKind::DLion] {
+        let mut cfg = RunConfig::paper_default(system, ClusterKind::Cpu);
+        cfg.duration = duration;
+        cfg.eval_interval = (duration / 10.0).max(30.0);
+        let m = run_env(&cfg, env);
+        println!("--- {} ---", m.system);
+        println!("  iterations per worker: {:?}", m.iterations);
+        println!(
+            "  gradient traffic: {:.1} MB, weight traffic: {:.1} MB",
+            m.grad_bytes / 1e6,
+            m.weight_bytes / 1e6
+        );
+        println!("  accuracy over time:");
+        for (e, t) in m.eval_times.iter().enumerate() {
+            println!(
+                "    t={t:>6.0}s  mean acc {:.3}  (per-worker std {:.4})",
+                m.mean_acc(e),
+                {
+                    let row = &m.worker_acc[e];
+                    dlion_tensor::stats::std_dev(row)
+                }
+            );
+        }
+        println!("  final accuracy: {:.3}\n", m.final_mean_acc());
+    }
+}

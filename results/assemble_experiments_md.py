@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Assemble the results section of EXPERIMENTS.md from the experiment logs.
+
+Reads results/all_run.log and results/rerun.log (later logs override earlier
+tables with the same id), pairs each table with its paper-vs-measured
+commentary, and rewrites everything between the RESULTS markers in
+EXPERIMENTS.md.
+"""
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+LOGS = [
+    ROOT / "results" / "all_run.log",
+    ROOT / "results" / "rerun.log",
+    ROOT / "results" / "ablations_rerun.log",
+]
+
+COMMENTARY = {
+    "fig5": (
+        "**Paper:** doubling GBS from epoch 0/1 lowers final accuracy; from epoch 2 on the "
+        "impact is stable. **Measured:** early doubling clearly hurts (0.29–0.32 vs 0.45) and "
+        "late doubling (epoch 8) matches never-doubling (0.456 vs 0.450). The stability point "
+        "arrives later than epoch 2 because our SGD regime stays update-bound (divergence #3). "
+        "**Verdict: shape holds** (finding 1 exact, finding 2 shifted)."
+    ),
+    "fig6": (
+        "**Paper:** LBS per worker tracks compute capacity and rescales as the GBS controller "
+        "grows the global batch. **Measured:** cores 24/24/12/12/4/4 get LBS ≈ 57/57/29/29/10/10 "
+        "at GBS 192, rescaling proportionally at every GBS step (ΣLBS = GBS throughout). "
+        "**Verdict: matches.**"
+    ),
+    "fig7": (
+        "**Paper:** larger N (more gradient entries exchanged) reaches higher accuracy. "
+        "**Measured:** 0.494 (N=1) → 0.620 (N=100), monotone. **Verdict: matches.**"
+    ),
+    "fig8": (
+        "**Paper:** different links carry different partial-gradient sizes according to their "
+        "bandwidth. **Measured:** the 100 Mbps link carries ~3.3k entries/message vs ~1.0k on "
+        "the 25 Mbps link from the same sender. **Verdict: matches.**"
+    ),
+    "fig9a": (
+        "**Paper:** a moderate DKT period (100) is fastest; too-frequent exchange wastes "
+        "network, too-rare foregoes the benefit. **Measured:** period 10 is clearly slowest "
+        "(1516 s) — the cost side reproduces — but very long periods are not penalized "
+        "(998 s at 500–1000), because our staleness-tolerant SGD regime gains less from "
+        "frequent synchronization (divergence #1). **Verdict: partial.**"
+    ),
+    "fig9b": (
+        "**Paper:** DKT_Best2all > DKT_Best2worst > No_DKT. **Measured:** 0.530 > 0.517 > "
+        "0.496 — the exact ordering. **Verdict: matches.**"
+    ),
+    "fig9c": (
+        "**Paper:** λ = 0.75 is the sweet spot; λ = 1 (replacement) starts fast but does not "
+        "end best; λ = 0 is No_DKT. **Measured:** λ = 0.75 best (0.530), λ = 1 falls back to "
+        "0.498, λ = 0 at 0.496. **Verdict: matches.**"
+    ),
+    "fig11": (
+        "**Paper:** DLion best everywhere; improvements over Baseline of 155 %/199 % in Hetero "
+        "SYS A/B and 32 % in Homo A. **Measured:** DLion best in Homo A (+6 % over Baseline) "
+        "and Hetero SYS B (+39 %); in Hetero SYS A DLion beats Baseline (+24 %), Hop (+23 %) "
+        "and Gaia (+15 %) but fully-async Ako overtakes it (divergence #1). "
+        "**Verdict: mostly holds** (11 of 12 pairwise orderings vs Baseline/Hop/Gaia)."
+    ),
+    "fig12": (
+        "**Paper:** on the GPU cluster DLion improves 2.3–4.2× over Hop/Gaia/Ako; the network "
+        "bottleneck dominates. **Measured:** DLion best in both environments; in Hetero SYS C "
+        "it reaches 0.298 vs Ako 0.125 (2.4×), Gaia 0.065 (4.6×), Hop 0.047 (6.3×). "
+        "**Verdict: matches, including the rough factors.**"
+    ),
+    "fig13": (
+        "**Paper:** DLion best under compute heterogeneity (avg +32 % over Baseline). "
+        "**Measured:** DLion beats Baseline everywhere (up to +84 % in Hetero CPU B) and wins "
+        "Homo A; Gaia/Ako edge it in the heterogeneous columns by racing the stragglers "
+        "(divergence #1). **Verdict: direction holds vs Baseline/Hop.**"
+    ),
+    "fig14": (
+        "**Paper:** dynamic batching alone speeds time-to-70 % by 22–37 %; weighted updates "
+        "add 12–13 % in heterogeneous clusters. **Measured (time-to-50 %):** in Homo A the "
+        "paper's ordering reproduces cleanly — DB alone is 33 % faster than no-DBWU and "
+        "DB+WU 45 % faster (595 s vs 732 s vs 1091 s). In the heterogeneous-CPU columns DB "
+        "remains the enabler (no-DBWU never reaches the target), but adding WU *slows* the "
+        "skewed-shard runs: the batch-size weighting under-weights the straggler's "
+        "locally-concentrated classes (an interaction absent from the paper's IID setup). "
+        "**Verdict: holds in Homo A; WU partially diverges under label skew.**"
+    ),
+    "fig15": (
+        "**Paper:** DLion best in all network environments; dense systems collapse on WANs. "
+        "**Measured:** DLion best in all three columns (0.570/0.530/0.498); Baseline drops "
+        "45 % from LAN to 50 Mbps WAN while DLion drops 7 %. **Verdict: matches.**"
+    ),
+    "fig16": (
+        "**Paper:** Max10 alone beats the four existing systems in both environments. "
+        "**Measured:** Max10 beats Baseline and Hop on the constrained WAN (0.392 vs "
+        "0.295/0.281) but trails Gaia/Ako there and everything in Hetero SYS A, where the "
+        "binding constraint is the compute straggler that Max N alone cannot address "
+        "(divergence #1). **Verdict: partial.**"
+    ),
+    "fig17": (
+        "**Paper:** DLion has much the smallest worker-accuracy deviation; Ako the biggest. "
+        "**Measured:** DLion smallest in Hetero NET B (0.014); in Hetero SYS B Gaia's "
+        "block-on-delivery is tightest while DLion's deviation (0.036) sits below "
+        "Baseline/Hop; our idealized Baseline reaches bit-identical workers in Hetero CPU B "
+        "(deviation 0.000, divergence #4). **Verdict: partial.**"
+    ),
+    "fig18": (
+        "**Paper:** DLion handles dynamically changing resources best in both orders. "
+        "**Measured:** DLion best in Dynamic SYS A (0.501) and second to Ako in Dynamic "
+        "SYS B (0.477 vs 0.521); both beat Baseline by 17–47 %. **Verdict: mostly holds.**"
+    ),
+    "fig19": (
+        "**Paper:** LBS re-balances as available cores change, with GBS pinned to 192. "
+        "**Measured:** even 32/32/... under homogeneous cores, 57/57/29/29/10/10 under "
+        "24/24/12/12/4/4, back to even at 12 cores each, and mirrored when capacities "
+        "reverse — ΣLBS = 192 in every row. **Verdict: matches.**"
+    ),
+    "fig20": (
+        "**Paper:** partial-gradient size follows bandwidth changes (30 ↔ 100 Mbps). "
+        "**Measured:** ~1.2–1.6k entries/message during 30 Mbps windows vs ~3.3–3.8k during "
+        "100 Mbps windows, switching within one window of each step. **Verdict: matches.**"
+    ),
+    "fig21": (
+        "**Paper:** DLion reaches the highest fully-converged accuracy (26 %/24 % above "
+        "Baseline/Hop), faster than Baseline/Hop, slightly slower than Gaia/Ako. "
+        "**Measured:** DLion reaches the highest converged accuracy of all systems "
+        "(0.717 vs Gaia 0.696, Ako 0.692, Baseline/Hop 0.644 — +11 % over Baseline) and "
+        "converges faster than Gaia/Ako (3250 s vs 3500/3750 s): the GBS growth pays off "
+        "exactly where the paper says it should, at convergence. **Verdict: matches.**"
+    ),
+    "table1": (
+        "**Paper:** each comparison system needs ≤ 23 changed lines inside the framework. "
+        "**Measured:** each system is one plugin file of 39–90 LoC (whole implementation, "
+        "not a diff), with synchronization shared as policy enum variants. "
+        "**Verdict: the generality claim holds.**"
+    ),
+    "table2": "The Table 2 bandwidth matrix, encoded 1:1 from the paper.",
+    "table3": (
+        "The Table 3 environment matrix as materialized by `EnvId::spec()` (Hetero NET B "
+        "added for Figure 17, per its caption)."
+    ),
+    "ablation_dkt": (
+        "Reproduction-specific ablation: DKT adds +0.03 accuracy in both environments and "
+        "reduces worker deviation in Hetero SYS B."
+    ),
+    "ablation_min_n": (
+        "Reproduction-specific ablation: on Hetero NET A the bandwidth budget never pushes N "
+        "down to the floor, so the minimum-N setting is inactive there — it only binds on "
+        "severely starved links (see `starved_link_falls_back_to_min_n` in the strategy tests)."
+    ),
+    "extension_prague": (
+        "Extension beyond the paper: Prague-style partial all-reduce (random groups). Small "
+        "groups iterate fast but see few peers; DLion remains competitive at a fraction of "
+        "the coordination."
+    ),
+    "extension_topology": (
+        "Extension beyond the paper: DLion over sparse gossip topologies. The ring/star cut "
+        "gradient traffic ~60 % but with only 1–2 inbound gradient streams per worker the "
+        "effective update mass and information propagation drop sharply — on this task the "
+        "full mesh's accuracy advantage (0.53 vs 0.22–0.25) far outweighs the bandwidth "
+        "savings, supporting the paper's all-to-all design choice."
+    ),
+    "verdicts": (
+        "Machine-checked shape verdicts over the tables above "
+        "(`cargo run -p dlion-experiments --release -- verdicts`)."
+    ),
+}
+
+tables = {}
+order = []
+for log in LOGS:
+    if not log.exists():
+        continue
+    text = log.read_text()
+    for block in re.findall(r"(^== .+?)\n\n", text, flags=re.M | re.S):
+        lines = [l.rstrip() for l in block.split("\n") if not l.startswith("  running")]
+        m = re.match(r"== (\S+)", lines[0])
+        tid = m.group(1)
+        if tid not in tables:
+            order.append(tid)
+        tables[tid] = "\n".join(lines)
+
+parts = []
+for tid in order:
+    parts.append(f"```text\n{tables[tid]}\n```\n")
+    if tid in COMMENTARY:
+        parts.append(COMMENTARY[tid] + "\n")
+body = "\n".join(parts)
+
+exp = ROOT / "EXPERIMENTS.md"
+text = exp.read_text()
+start = text.index("<!-- RESULTS START -->")
+end = text.index("<!-- RESULTS END -->")
+new = text[: start + len("<!-- RESULTS START -->")] + "\n\n" + body + "\n" + text[end:]
+exp.write_text(new)
+print(f"wrote {len(order)} tables into EXPERIMENTS.md")

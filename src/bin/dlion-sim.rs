@@ -1,0 +1,167 @@
+//! `dlion-sim` — run one micro-cloud training simulation from the command
+//! line and print its report.
+//!
+//! ```text
+//! dlion-sim [--system NAME] [--env NAME] [--duration SECS] [--seed N]
+//!           [--lr F] [--skew F] [--gpu] [--trace-links] [--curve]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release --bin dlion-sim -- --system dlion --env hetero-sys-b
+//! cargo run --release --bin dlion-sim -- --system ako --env homo-b --curve
+//! cargo run --release --bin dlion-sim -- --system dlion --gpu --env hetero-sys-c
+//! ```
+
+use dlion::core::report;
+use dlion::prelude::*;
+
+fn parse_system(s: &str) -> Option<SystemKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "baseline" => SystemKind::Baseline,
+        "ako" => SystemKind::Ako,
+        "gaia" => SystemKind::Gaia,
+        "hop" => SystemKind::Hop,
+        "dlion" => SystemKind::DLion,
+        "dlion-no-dbwu" => SystemKind::DLionNoDbwu,
+        "dlion-no-wu" => SystemKind::DLionNoWu,
+        other => {
+            if let Some(n) = other.strip_prefix("max") {
+                SystemKind::MaxNOnly(n.parse().ok()?)
+            } else if let Some(g) = other.strip_prefix("prague") {
+                SystemKind::Prague(g.trim_matches(|c| c == '(' || c == ')').parse().ok()?)
+            } else {
+                return None;
+            }
+        }
+    })
+}
+
+fn parse_env(s: &str) -> Option<EnvId> {
+    EnvId::parse(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_parsing() {
+        assert_eq!(parse_system("dlion"), Some(SystemKind::DLion));
+        assert_eq!(parse_system("Baseline"), Some(SystemKind::Baseline));
+        assert_eq!(parse_system("dlion-no-wu"), Some(SystemKind::DLionNoWu));
+        assert_eq!(parse_system("max10"), Some(SystemKind::MaxNOnly(10.0)));
+        assert_eq!(parse_system("prague3"), Some(SystemKind::Prague(3)));
+        assert_eq!(parse_system("bogus"), None);
+        assert_eq!(parse_system("maxx"), None);
+    }
+
+    #[test]
+    fn env_parsing() {
+        assert_eq!(parse_env("homo-a"), Some(EnvId::HomoA));
+        assert_eq!(parse_env("HETERO_SYS_B"), Some(EnvId::HeteroSysB));
+        assert_eq!(parse_env("dynamic-sys-a"), Some(EnvId::DynamicSysA));
+        assert_eq!(parse_env("nowhere"), None);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dlion-sim [--system baseline|ako|gaia|hop|dlion|dlion-no-wu|dlion-no-dbwu|maxN|pragueG]\n\
+         \x20                [--env homo-a|homo-b|homo-c|hetero-cpu-a|hetero-cpu-b|hetero-net-a|hetero-net-b|\n\
+         \x20                       hetero-sys-a|hetero-sys-b|hetero-sys-c|dynamic-sys-a|dynamic-sys-b]\n\
+         \x20                [--duration SECS] [--seed N] [--lr F] [--skew F] [--gpu] [--trace-links] [--curve] [--csv FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut system = SystemKind::DLion;
+    let mut env = EnvId::HeteroSysA;
+    let mut duration = 1500.0f64;
+    let mut seed = 1u64;
+    let mut lr: Option<f32> = None;
+    let mut skew: Option<f64> = None;
+    let mut gpu = false;
+    let mut trace_links = false;
+    let mut curve = false;
+    let mut csv: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--system" => system = parse_system(&next()).unwrap_or_else(|| usage()),
+            "--env" => env = parse_env(&next()).unwrap_or_else(|| usage()),
+            "--duration" => duration = next().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = next().parse().unwrap_or_else(|_| usage()),
+            "--lr" => lr = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--skew" => skew = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--gpu" => gpu = true,
+            "--trace-links" => trace_links = true,
+            "--curve" => curve = true,
+            "--csv" => csv = Some(next()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let cluster = if gpu {
+        ClusterKind::Gpu
+    } else {
+        ClusterKind::Cpu
+    };
+    let mut cfg = RunConfig::paper_default(system, cluster);
+    cfg.duration = duration;
+    cfg.seed = seed;
+    cfg.trace_links = trace_links;
+    if let Some(v) = lr {
+        cfg.lr = v;
+    }
+    if let Some(v) = skew {
+        cfg.workload.shard_skew = v;
+    }
+
+    eprintln!(
+        "simulating {} in {} for {duration} virtual seconds ...",
+        system.name(),
+        env.name()
+    );
+    let m = run_env(&cfg, env);
+    print!("{}", report::summarize(&m));
+    if let Some(path) = csv {
+        let mut f = std::fs::File::create(&path).expect("create csv");
+        m.write_timeseries_csv(&mut f).expect("write csv");
+        eprintln!("time series written to {path}");
+    }
+    if curve {
+        println!("\naccuracy over time:");
+        for (e, t) in m.eval_times.iter().enumerate() {
+            let acc = m.mean_acc(e);
+            let bar = "#".repeat((acc * 60.0).round() as usize);
+            println!("  t={t:>6.0}s  {acc:.3}  {bar}");
+        }
+    }
+    if trace_links {
+        println!("\nper-link mean gradient entries:");
+        let n = m.iterations.len();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let xs: Vec<f64> = m
+                    .link_trace
+                    .iter()
+                    .filter(|s| s.src == src && s.dst == dst)
+                    .map(|s| s.entries as f64)
+                    .collect();
+                if !xs.is_empty() {
+                    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+                    println!("  {src} -> {dst}: {mean:>8.0}");
+                }
+            }
+        }
+    }
+}

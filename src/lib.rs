@@ -1,0 +1,45 @@
+//! # dlion
+//!
+//! Umbrella crate for the DLion reproduction (HPDC '21: *DLion:
+//! Decentralized Distributed Deep Learning in Micro-Clouds*, Hong &
+//! Chandra). Re-exports the workspace's public API so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`core`] (`dlion-core`) — the DLion system, the Baseline/Ako/Gaia/Hop
+//!   comparison systems, and the cluster runner,
+//! * [`microcloud`] (`dlion-microcloud`) — the Table 2/3 environments,
+//! * [`nn`] (`dlion-nn`) — models, datasets, SGD,
+//! * [`simnet`] (`dlion-simnet`) — the discrete-event resource simulator,
+//! * [`tensor`] (`dlion-tensor`) — dense/sparse tensor math.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dlion::prelude::*;
+//!
+//! // Simulate DLion on the bandwidth-constrained Homo B environment for
+//! // two virtual minutes (tiny settings for doc-test speed).
+//! let mut cfg = RunConfig::small_test(SystemKind::DLion);
+//! cfg.duration = 60.0;
+//! let metrics = run_env(&cfg, EnvId::HomoB);
+//! assert!(metrics.total_iterations() > 0);
+//! println!("mean accuracy: {:.3}", metrics.final_mean_acc());
+//! ```
+
+pub use dlion_core as core;
+pub use dlion_microcloud as microcloud;
+pub use dlion_nn as nn;
+pub use dlion_simnet as simnet;
+pub use dlion_tensor as tensor;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dlion_core::{
+        run_env, run_with_models, ClusterRunner, DktConfig, DktMode, RunConfig, RunMetrics,
+        SystemKind, Workload,
+    };
+    pub use dlion_microcloud::{ClusterKind, EnvId};
+    pub use dlion_nn::{Dataset, Model, ModelSpec, Sgd};
+    pub use dlion_simnet::{ComputeModel, NetworkModel, PiecewiseConst};
+    pub use dlion_tensor::{DetRng, Shape, SparseVec, Tensor};
+}

@@ -1,0 +1,137 @@
+//! Integration tests for the Table 2/3 environments driving real runs:
+//! dynamic resources, custom schedules, and the GPU cluster.
+
+use dlion::microcloud::{
+    amazon_wan_network, CPU_BATCH_EXPONENT, CPU_COST_PER_SAMPLE, CPU_OVERHEAD,
+};
+use dlion::prelude::*;
+
+fn small(system: SystemKind) -> RunConfig {
+    let mut c = RunConfig::small_test(system);
+    c.workload.train_size = 3000;
+    c.workload.test_size = 500;
+    c
+}
+
+#[test]
+fn dynamic_env_changes_iteration_rate() {
+    // Dynamic SYS A: Homo B (fat) then Hetero SYS A/B. Worker 4's capacity
+    // drops from 24 to 6 cores at phase 2; its iteration rate must fall.
+    let mut cfg = small(SystemKind::Baseline);
+    cfg.duration = 1400.0;
+    cfg.eval_interval = 200.0;
+    let m = run_env(&cfg, EnvId::DynamicSysA);
+    assert!(m.total_iterations() > 50);
+    // All workers complete the run.
+    assert!(m.iterations.iter().all(|&i| i > 10), "{:?}", m.iterations);
+}
+
+#[test]
+fn dlion_rebalances_lbs_across_dynamic_phases() {
+    let mut cfg = small(SystemKind::DLion);
+    cfg.duration = 1200.0;
+    cfg.profile_interval = 50.0;
+    cfg.workload.train_size = 6000;
+    // Freeze GBS growth so the trace isolates the LBS controller.
+    cfg.gbs.warmup_cap_frac = 0.001;
+    cfg.gbs.speedup_cap_frac = 0.002;
+    let m = run_env(&cfg, EnvId::DynamicSysA);
+    // Phase 1 (0-500 s): homogeneous 24 cores -> near-equal shares.
+    let phase1: Vec<_> = m.lbs_trace.iter().filter(|(t, _)| *t < 450.0).collect();
+    let phase2: Vec<_> = m
+        .lbs_trace
+        .iter()
+        .filter(|(t, _)| (550.0..950.0).contains(t))
+        .collect();
+    assert!(!phase1.is_empty() && !phase2.is_empty());
+    let (_, p1) = phase1.last().unwrap();
+    let (_, p2) = phase2.last().unwrap();
+    let spread = |p: &Vec<usize>| *p.iter().max().unwrap() as f64 / *p.iter().min().unwrap() as f64;
+    assert!(spread(p1) < 1.5, "phase 1 should be near-equal: {p1:?}");
+    assert!(
+        spread(p2) > 2.0,
+        "phase 2 (cores 24/24/12/12/6/6) should skew: {p2:?}"
+    );
+}
+
+#[test]
+fn amazon_wan_run_completes_with_asymmetric_links() {
+    let mut cfg = small(SystemKind::DLion);
+    cfg.duration = 200.0;
+    cfg.trace_links = true;
+    let compute = ComputeModel::homogeneous(6, 24.0, CPU_COST_PER_SAMPLE, CPU_OVERHEAD)
+        .with_batch_exponent(CPU_BATCH_EXPONENT);
+    let m = dlion::core::run_with_models(&cfg, compute, amazon_wan_network(), "Amazon WAN");
+    assert!(m.total_iterations() > 50);
+    // Per-link adaptation: Virginia->Oregon (190 Mbps) must carry larger
+    // messages than Ireland->Seoul (30 Mbps).
+    let mean_entries = |src: usize, dst: usize| -> f64 {
+        let xs: Vec<f64> = m
+            .link_trace
+            .iter()
+            .filter(|s| s.src == src && s.dst == dst)
+            .map(|s| s.entries as f64)
+            .collect();
+        assert!(!xs.is_empty(), "no samples on {src}->{dst}");
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    assert!(
+        mean_entries(0, 1) > 2.0 * mean_entries(2, 4),
+        "fat link {} vs thin link {}",
+        mean_entries(0, 1),
+        mean_entries(2, 4)
+    );
+}
+
+#[test]
+fn gpu_cluster_heterogeneity_assigns_8x_lbs() {
+    // Hetero SYS C: p2.8xlarge (8 GPUs) workers should get ~8x the LBS of
+    // p2.xlarge workers under dynamic batching.
+    let mut cfg = RunConfig::paper_default(SystemKind::DLion, ClusterKind::Gpu);
+    cfg.duration = 60.0;
+    cfg.workload.train_size = 4000;
+    cfg.workload.test_size = 400;
+    cfg.eval_interval = 30.0;
+    cfg.eval_subset = 100;
+    let m = run_env(&cfg, EnvId::HeteroSysC);
+    let (_, parts) = m.lbs_trace.first().expect("initial assignment");
+    let ratio = parts[0] as f64 / parts[5] as f64;
+    // RCP inverts the measured (concave) batch-cost curve, so the share
+    // ratio is capacity^(1/beta) = 8^(1/0.65) ≈ 24, which equalizes
+    // iteration times (see core::lbs docs).
+    assert!(
+        (10.0..40.0).contains(&ratio),
+        "expected superlinear split, got {parts:?}"
+    );
+}
+
+#[test]
+fn link_bandwidth_drives_transfer_times_end_to_end() {
+    // Two runs differing only in bandwidth: the slower network must deliver
+    // fewer Baseline iterations.
+    let mk = |mbps: f64| {
+        let mut cfg = small(SystemKind::Baseline);
+        cfg.duration = 200.0;
+        let compute = ComputeModel::homogeneous(6, 24.0, CPU_COST_PER_SAMPLE, CPU_OVERHEAD)
+            .with_batch_exponent(CPU_BATCH_EXPONENT);
+        let net = NetworkModel::uniform(6, mbps, 0.05);
+        dlion::core::run_with_models(&cfg, compute, net, "custom").total_iterations()
+    };
+    let fast = mk(500.0);
+    let slow = mk(25.0);
+    assert!(
+        fast as f64 > 1.3 * slow as f64,
+        "fast {fast} vs slow {slow}"
+    );
+}
+
+#[test]
+fn environments_are_reusable_across_runs() {
+    // EnvId::spec() builds fresh models; two sequential runs from the same
+    // EnvId must be independent and identical given the same seed.
+    let cfg = small(SystemKind::Gaia);
+    let a = run_env(&cfg, EnvId::HeteroNetA);
+    let b = run_env(&cfg, EnvId::HeteroNetA);
+    assert_eq!(a.worker_acc, b.worker_acc);
+    assert_eq!(a.grad_bytes, b.grad_bytes);
+}

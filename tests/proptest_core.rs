@@ -1,0 +1,159 @@
+//! Property-based tests on core invariants that must hold for *any*
+//! configuration: the GBS controller, the LBS partitioner, the Max N
+//! planner and the synchronization policies.
+
+use dlion::core::gbs::{GbsConfig, GbsController};
+use dlion::core::lbs::{compute_rcp, partition_gbs};
+use dlion::core::maxn::MaxNPlanner;
+use dlion::core::sync::{SyncPolicy, SyncState};
+use dlion::core::weighted::{dynamic_batching_weight, update_factor};
+use dlion::tensor::{DetRng, Shape, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The GBS controller is monotone, terminates, and never exceeds the
+    /// 10% ceiling (for any growth knobs).
+    #[test]
+    fn gbs_controller_invariants(
+        initial in 32usize..512,
+        train in 2_000usize..100_000,
+        warmup_inc in 1usize..256,
+        speedup in 1.1f64..4.0,
+    ) {
+        let cfg = GbsConfig {
+            warmup_increment: warmup_inc,
+            speedup_factor: speedup,
+            warmup_cap_frac: 0.01,
+            speedup_cap_frac: 0.10,
+            adjust_period_secs: 250.0,
+        };
+        let cap = (0.10 * train as f64) as usize;
+        let mut c = GbsController::new(initial, train, cfg);
+        let mut prev = c.gbs();
+        let mut steps = 0;
+        while let Some(g) = c.maybe_adjust() {
+            prop_assert!(g >= prev, "GBS must be monotone");
+            prop_assert!(g <= cap.max(initial), "GBS {g} above cap {cap}");
+            prev = g;
+            steps += 1;
+            prop_assert!(steps < 10_000, "controller must terminate");
+        }
+        // Once Done, it stays Done.
+        prop_assert!(c.maybe_adjust().is_none());
+    }
+
+    /// LBS partitioning: sums to GBS, each worker >= 1, and monotone in RCP
+    /// (a strictly stronger worker never gets a smaller share than a weaker
+    /// one).
+    #[test]
+    fn lbs_partition_invariants(
+        gbs in 12usize..5_000,
+        rcps in prop::collection::vec(0.5f64..100.0, 2..12),
+    ) {
+        prop_assume!(gbs >= rcps.len());
+        let parts = partition_gbs(gbs, &rcps);
+        prop_assert_eq!(parts.iter().sum::<usize>(), gbs);
+        prop_assert!(parts.iter().all(|&p| p >= 1));
+        for i in 0..rcps.len() {
+            for j in 0..rcps.len() {
+                if rcps[i] >= 2.0 * rcps[j] && gbs >= 4 * rcps.len() {
+                    prop_assert!(
+                        parts[i] + 1 >= parts[j],
+                        "worker {i} (rcp {}) got {} vs worker {j} (rcp {}) got {}",
+                        rcps[i], parts[i], rcps[j], parts[j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// RCP from a clean linear profile recovers the capacity ratio.
+    #[test]
+    fn rcp_tracks_capacity(cap_a in 2.0f64..64.0, ratio in 1.0f64..8.0) {
+        let cap_b = cap_a * ratio;
+        let profile = |cap: f64| -> Vec<(f64, f64)> {
+            [8.0, 16.0, 32.0, 64.0].iter().map(|&l| (l, 0.1 + l * 1.425 / cap)).collect()
+        };
+        let ra = compute_rcp(&profile(cap_a));
+        let rb = compute_rcp(&profile(cap_b));
+        let got = rb / ra;
+        prop_assert!((got - ratio).abs() < 0.05 * ratio, "ratio {got} vs {ratio}");
+    }
+
+    /// Max N planner: the chosen N for a budget never selects more entries
+    /// than the budget allows (above the min-N floor), for random gradients.
+    #[test]
+    fn maxn_budget_safety(seed in 0u64..5_000, budget in 0usize..2_000) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let grads = vec![
+            Tensor::randn(Shape::d1(700), 1.0, &mut rng),
+            Tensor::randn(Shape::d1(300), 0.2, &mut rng),
+        ];
+        let p = MaxNPlanner::new(&grads);
+        let n = p.n_for_entry_budget(budget, 0.85);
+        let count = p.count_for_n(n);
+        prop_assert!(count <= budget || (n - 0.85).abs() < 1e-9,
+            "N={n} selects {count} > budget {budget}");
+    }
+
+    /// Bounded staleness is monotone: observing more gradients never takes
+    /// away permission to proceed.
+    #[test]
+    fn sync_monotonicity(
+        bound in 0u64..10,
+        backup in 0usize..3,
+        events in prop::collection::vec((1usize..6, 0u64..40), 0..60),
+        next_iter in 0u64..50,
+    ) {
+        let policy = SyncPolicy::BoundedStaleness { bound, backup_workers: backup };
+        let mut s = SyncState::new(0, 6);
+        let mut allowed = s.can_start(policy, next_iter);
+        for (peer, iter) in events {
+            s.on_gradient(peer, iter);
+            let now_allowed = s.can_start(policy, next_iter);
+            prop_assert!(!allowed || now_allowed, "permission must not be revoked");
+            allowed = now_allowed;
+        }
+    }
+
+    /// Asynchronous always proceeds; synchronous implies bounded(0,0)
+    /// permission implies bounded(k,b) permission.
+    #[test]
+    fn sync_policy_lattice(
+        events in prop::collection::vec((1usize..6, 0u64..30), 0..50),
+        next_iter in 0u64..32,
+        bound in 0u64..8,
+        backup in 0usize..3,
+    ) {
+        let mut s = SyncState::new(0, 6);
+        for (peer, iter) in events {
+            s.on_gradient(peer, iter);
+        }
+        prop_assert!(s.can_start(SyncPolicy::Asynchronous, next_iter));
+        if s.can_start(SyncPolicy::Synchronous, next_iter) {
+            prop_assert!(s.can_start(
+                SyncPolicy::BoundedStaleness { bound, backup_workers: backup },
+                next_iter
+            ), "BSP permission must imply bounded permission");
+        }
+    }
+
+    /// Dynamic batching weights: db_j^k * db_k^j == 1; the normalized
+    /// weighted factors over any LBS assignment sum to exactly -lr.
+    #[test]
+    fn db_weight_reciprocity_and_normalization(
+        a in 1usize..4096,
+        b in 1usize..4096,
+        lbs in prop::collection::vec(1usize..500, 2..8),
+    ) {
+        let ab = dynamic_batching_weight(a, b) as f64;
+        let ba = dynamic_batching_weight(b, a) as f64;
+        prop_assert!((ab * ba - 1.0).abs() < 1e-4);
+        let gbs: usize = lbs.iter().sum();
+        let total: f64 =
+            lbs.iter().map(|&l| update_factor(0.22, lbs.len(), l, gbs, true) as f64).sum();
+        prop_assert!((total + 0.22).abs() < 1e-5, "factors must sum to -lr: {total}");
+    }
+}
