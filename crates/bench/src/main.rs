@@ -1,0 +1,232 @@
+//! `dlion-bench` — self-contained `std::time::Instant` benchmark harness.
+//!
+//! Replaces the former criterion benches so the workspace benchmarks with
+//! zero external dependencies (this repo builds fully offline). Usage:
+//!
+//! ```text
+//! dlion-bench [kernels|maxn|e2e|all]
+//! ```
+//!
+//! Each measurement prints a human-readable line plus a machine-harvestable
+//! `json:{...}` line (collected into `results/BENCH_kernels.json`).
+//!
+//! Before/after methodology: the seed (pre-optimization) matmul kernels are
+//! compiled into this binary unconditionally (`matmul_seed_into` & co.), so
+//! `kernels` mode reports blocked-vs-seed head-to-head from one build. For
+//! *end-to-end* numbers, build the whole tree twice — the default build
+//! routes the model through the blocked kernels; adding
+//! `--features dlion-tensor/seed-kernels` reroutes it through the seed
+//! algorithms (`e2e` mode labels its output with the active backend).
+
+use dlion_core::{run_env, MaxNPlanner, RunConfig, SystemKind};
+use dlion_microcloud::{ClusterKind, EnvId};
+use dlion_tensor::ops::{
+    conv2d, conv2d_backward, conv2d_backward_direct, conv2d_backward_im2col, conv2d_direct,
+    conv2d_im2col, matmul_into, matmul_nt_into, matmul_nt_seed_into, matmul_seed_into,
+    matmul_tn_into, matmul_tn_seed_into, maxpool2, softmax_xent,
+};
+use dlion_tensor::{kernel_backend, DetRng, Shape, Tensor};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Time `f` adaptively: grow the repetition count until a batch takes at
+/// least ~0.2 s, then report seconds per call.
+fn bench<F: FnMut()>(label: &str, mut f: F) -> f64 {
+    f(); // warmup (fills scratch/pack buffers, faults pages)
+    let mut reps: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= 0.2 || reps >= 1 << 24 {
+            let per = dt / reps as f64;
+            println!("  {label:<44} {:>12.2} µs/call", per * 1e6);
+            println!(
+                "json:{{\"bench\":\"{label}\",\"us_per_call\":{:.3}}}",
+                per * 1e6
+            );
+            return per;
+        }
+        reps = reps.saturating_mul(if dt < 0.02 { 8 } else { 2 });
+    }
+}
+
+fn speedup(label: &str, before: f64, after: f64) {
+    let x = before / after;
+    println!("  {label:<44} {x:>11.2}x speedup");
+    println!("json:{{\"speedup\":\"{label}\",\"factor\":{x:.3}}}");
+}
+
+fn mm_pair(rng: &mut DetRng, m: usize, k: usize, n: usize) -> (Tensor, Tensor, Vec<f32>) {
+    let a = Tensor::randn(Shape::d2(m, k), 1.0, rng);
+    let b = Tensor::randn(Shape::d2(k, n), 1.0, rng);
+    let out = vec![0.0f32; m * n];
+    (a, b, out)
+}
+
+fn kernels() {
+    println!("== kernels ==");
+    let mut rng = DetRng::seed_from_u64(42);
+
+    // The acceptance-criterion shape plus the old criterion-bench shape.
+    for &(m, k, n) in &[(256usize, 256usize, 256usize), (64, 216, 48)] {
+        let (a, b, mut out) = mm_pair(&mut rng, m, k, n);
+        let t_new = bench(&format!("matmul {m}x{k}x{n} blocked"), || {
+            matmul_into(black_box(&a), black_box(&b), black_box(&mut out))
+        });
+        let t_old = bench(&format!("matmul {m}x{k}x{n} seed"), || {
+            matmul_seed_into(black_box(&a), black_box(&b), black_box(&mut out))
+        });
+        speedup(&format!("matmul {m}x{k}x{n}"), t_old, t_new);
+    }
+
+    // Transposed variants (backward-pass kernels), 128^3.
+    {
+        let (m, k, n) = (128usize, 128usize, 128usize);
+        let a = Tensor::randn(Shape::d2(m, k), 1.0, &mut rng);
+        let bt = Tensor::randn(Shape::d2(n, k), 1.0, &mut rng);
+        let at = Tensor::randn(Shape::d2(k, m), 1.0, &mut rng);
+        let b = Tensor::randn(Shape::d2(k, n), 1.0, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        let nt_new = bench("matmul_nt 128^3 blocked", || {
+            matmul_nt_into(black_box(&a), black_box(&bt), black_box(&mut out))
+        });
+        let nt_old = bench("matmul_nt 128^3 seed", || {
+            matmul_nt_seed_into(black_box(&a), black_box(&bt), black_box(&mut out))
+        });
+        speedup("matmul_nt 128^3", nt_old, nt_new);
+        let tn_new = bench("matmul_tn 128^3 blocked", || {
+            matmul_tn_into(black_box(&at), black_box(&b), black_box(&mut out))
+        });
+        let tn_old = bench("matmul_tn 128^3 seed", || {
+            matmul_tn_seed_into(black_box(&at), black_box(&b), black_box(&mut out))
+        });
+        speedup("matmul_tn 128^3", tn_old, tn_new);
+    }
+
+    // Convolution, old criterion-bench shape: (32,6,12,12) ⊛ (12,6,3,3) pad 1.
+    {
+        let input = Tensor::randn(Shape::d4(32, 6, 12, 12), 1.0, &mut rng);
+        let weight = Tensor::randn(Shape::d4(12, 6, 3, 3), 0.2, &mut rng);
+        let bias = Tensor::zeros(Shape::d1(12));
+        let fwd_gemm = bench("conv2d fwd im2col+GEMM", || {
+            black_box(conv2d_im2col(
+                black_box(&input),
+                black_box(&weight),
+                black_box(&bias),
+                1,
+            ));
+        });
+        let fwd_direct = bench("conv2d fwd direct (seed)", || {
+            black_box(conv2d_direct(
+                black_box(&input),
+                black_box(&weight),
+                black_box(&bias),
+                1,
+            ));
+        });
+        speedup("conv2d fwd", fwd_direct, fwd_gemm);
+        let out = conv2d(&input, &weight, &bias, 1);
+        let dout = Tensor::randn(out.shape().clone(), 1.0, &mut rng);
+        let bwd_gemm = bench("conv2d bwd im2col+GEMM", || {
+            black_box(conv2d_backward_im2col(
+                black_box(&input),
+                black_box(&weight),
+                black_box(&dout),
+                1,
+            ));
+        });
+        let bwd_direct = bench("conv2d bwd direct (seed)", || {
+            black_box(conv2d_backward_direct(
+                black_box(&input),
+                black_box(&weight),
+                black_box(&dout),
+                1,
+            ));
+        });
+        speedup("conv2d bwd", bwd_direct, bwd_gemm);
+        // Sanity: the dispatcher must be picking the winner on this shape.
+        bench("conv2d bwd dispatched", || {
+            black_box(conv2d_backward(
+                black_box(&input),
+                black_box(&weight),
+                black_box(&dout),
+                1,
+            ));
+        });
+    }
+
+    // Remaining hot ops from the old criterion suite.
+    {
+        let pool_in = Tensor::randn(Shape::d4(32, 12, 12, 12), 1.0, &mut rng);
+        bench("maxpool2 (32,12,12,12)", || {
+            black_box(maxpool2(black_box(&pool_in)));
+        });
+        let logits = Tensor::randn(Shape::d2(192, 10), 1.0, &mut rng);
+        let labels: Vec<usize> = (0..192).map(|i| i % 10).collect();
+        bench("softmax_xent (192,10)", || {
+            black_box(softmax_xent(black_box(&logits), black_box(&labels)));
+        });
+    }
+}
+
+fn maxn() {
+    println!("== maxn ==");
+    let mut rng = DetRng::seed_from_u64(7);
+    let grads: Vec<Tensor> = vec![
+        Tensor::randn(Shape::d1(200_000), 1.0, &mut rng),
+        Tensor::randn(Shape::d1(50_000), 0.2, &mut rng),
+        Tensor::randn(Shape::d2(300, 100), 2.0, &mut rng),
+    ];
+    bench("MaxNPlanner::new 280k entries", || {
+        black_box(MaxNPlanner::new(black_box(&grads)));
+    });
+    let p = MaxNPlanner::new(&grads);
+    bench("count_for_n x100", || {
+        for i in 1..=100 {
+            black_box(p.count_for_n(i as f64));
+        }
+    });
+    bench("n_for_entry_budget", || {
+        black_box(p.n_for_entry_budget(black_box(10_000), 0.85));
+    });
+}
+
+fn e2e() {
+    println!("== e2e (kernel backend: {}) ==", kernel_backend());
+    let mut cfg = RunConfig::paper_default(SystemKind::DLion, ClusterKind::Cpu);
+    cfg.seed = 1;
+    cfg.duration = 120.0;
+    cfg.workload.train_size = 1200;
+    cfg.workload.test_size = 400;
+    cfg.eval_subset = 100;
+    let t0 = Instant::now();
+    let m = run_env(&cfg, EnvId::HomoA);
+    let dt = t0.elapsed().as_secs_f64();
+    let iters: u64 = m.iterations.iter().sum();
+    println!("  run_env DLion/HomoA 120s sim: {dt:.2} s wall, {iters} iterations");
+    println!(
+        "json:{{\"bench\":\"e2e_dlion_homoa\",\"backend\":\"{}\",\"wall_s\":{dt:.3},\"iterations\":{iters}}}",
+        kernel_backend()
+    );
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match mode.as_str() {
+        "kernels" => kernels(),
+        "maxn" => maxn(),
+        "e2e" => e2e(),
+        "all" => {
+            kernels();
+            maxn();
+            e2e();
+        }
+        other => {
+            eprintln!("unknown mode `{other}`; expected kernels|maxn|e2e|all");
+            std::process::exit(2);
+        }
+    }
+}

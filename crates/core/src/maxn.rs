@@ -11,13 +11,111 @@
 //!   `BW_net_j × iteration_time` (the data the link can carry while one
 //!   iteration runs, shared across the n−1 peer links of the NIC).
 //!
-//! [`MaxNPlanner`] makes the inversion cheap: it pre-sorts each variable's
-//! gradient magnitudes once per iteration, after which counting the
-//! selection size for any `N` is a handful of binary searches, and the
-//! largest admissible `N` is found by bisection over `[min_n, 100]`.
+//! [`MaxNPlanner`] makes the inversion cheap without sorting: each
+//! variable's magnitudes are histogrammed once per iteration into buckets
+//! linear in `|g| / max|g|` (an O(E) counting pass, replacing the old
+//! O(E log E) sort). A quantile query then charges every bucket strictly
+//! above the threshold from the precomputed suffix offsets and scans only
+//! the one bucket the threshold lands in — exact, not approximate, because
+//! the bucket map is monotone in `|g|`. The largest admissible `N` is found
+//! by bisection over `[min_n, 100]`.
 
 use dlion_tensor::sparse::{max_n_select_model, SparseVec};
 use dlion_tensor::Tensor;
+
+/// Per-variable magnitude histogram: nonzero `|g|` values grouped by bucket
+/// (a counting sort without the within-bucket ordering — queries never need
+/// it).
+struct VarTable {
+    /// Nonzero magnitudes, grouped so bucket `b` occupies
+    /// `bucketed[starts[b]..starts[b + 1]]`.
+    bucketed: Vec<f32>,
+    /// Bucket start offsets; `starts.len() == n_buckets + 1`.
+    starts: Vec<usize>,
+    /// Max `|g|` (0.0 for an all-zero variable).
+    max_abs: f32,
+}
+
+impl VarTable {
+    /// Bucket of magnitude `v` under this table's linear map. Monotone in
+    /// `v`, which is what makes bucket-granular counting exact: an entry in
+    /// a bucket above the threshold's bucket is `> thr`, one below is
+    /// `< thr`, and only the threshold's own bucket needs a scan.
+    fn bucket(&self, v: f32) -> usize {
+        let nb = self.starts.len() - 1;
+        (((v as f64 / self.max_abs as f64) * nb as f64) as usize).min(nb - 1)
+    }
+
+    fn build(data: &[f32]) -> Self {
+        let mut mx = 0.0f32;
+        let mut nonzero = 0usize;
+        for &g in data {
+            let a = g.abs();
+            if a > mx {
+                mx = a;
+            }
+            if a > 0.0 {
+                nonzero += 1;
+            }
+        }
+        if mx == 0.0 {
+            return VarTable {
+                bucketed: Vec::new(),
+                starts: vec![0, 0],
+                max_abs: 0.0,
+            };
+        }
+        // ~1 expected entry per bucket keeps threshold-bucket scans O(1)
+        // for well-spread magnitudes; the cap bounds the offset table.
+        let nb = nonzero.clamp(16, 1 << 16);
+        let mut table = VarTable {
+            bucketed: Vec::new(),
+            starts: vec![0; nb + 1],
+            max_abs: mx,
+        };
+        // Counting pass, then prefix-sum into start offsets...
+        for &g in data {
+            let a = g.abs();
+            if a > 0.0 {
+                let b = table.bucket(a);
+                table.starts[b + 1] += 1;
+            }
+        }
+        for b in 1..=nb {
+            table.starts[b] += table.starts[b - 1];
+        }
+        // ...then the placement pass, using a cursor per bucket.
+        let mut cursor = table.starts.clone();
+        table.bucketed = vec![0.0; nonzero];
+        for &g in data {
+            let a = g.abs();
+            if a > 0.0 {
+                let b = table.bucket(a);
+                table.bucketed[cursor[b]] = a;
+                cursor[b] += 1;
+            }
+        }
+        table
+    }
+
+    /// Entries with `|g| >= thr` and `|g| > 0` — the Max N selection count
+    /// for one variable (matches `SparseVec::from_dense_threshold`).
+    fn count_at_threshold(&self, thr: f32) -> usize {
+        if self.max_abs == 0.0 {
+            return 0;
+        }
+        if thr <= 0.0 {
+            return self.bucketed.len();
+        }
+        let b = self.bucket(thr);
+        let above = self.bucketed.len() - self.starts[b + 1];
+        let in_bucket = self.bucketed[self.starts[b]..self.starts[b + 1]]
+            .iter()
+            .filter(|&&v| v >= thr)
+            .count();
+        above + in_bucket
+    }
+}
 
 /// Precomputed per-variable magnitude tables for one iteration's gradients.
 ///
@@ -36,29 +134,22 @@ use dlion_tensor::Tensor;
 /// assert_eq!(planner.n_for_entry_budget(usize::MAX, 0.85), 100.0);
 /// ```
 pub struct MaxNPlanner {
-    /// Per variable: |g| sorted ascending.
-    sorted_abs: Vec<Vec<f32>>,
-    /// Per variable: max |g|.
-    max_abs: Vec<f32>,
+    vars: Vec<VarTable>,
     total_entries: usize,
 }
 
 impl MaxNPlanner {
     /// Build from one model gradient (one tensor per weight variable).
+    /// O(E) in the total entry count — two counting passes, no sort.
     pub fn new(grads: &[Tensor]) -> Self {
-        let mut sorted_abs = Vec::with_capacity(grads.len());
-        let mut max_abs = Vec::with_capacity(grads.len());
+        let mut vars = Vec::with_capacity(grads.len());
         let mut total = 0;
         for g in grads {
-            let mut abs: Vec<f32> = g.data().iter().map(|x| x.abs()).collect();
-            abs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            max_abs.push(abs.last().copied().unwrap_or(0.0));
-            total += abs.len();
-            sorted_abs.push(abs);
+            total += g.data().len();
+            vars.push(VarTable::build(g.data()));
         }
         MaxNPlanner {
-            sorted_abs,
-            max_abs,
+            vars,
             total_entries: total,
         }
     }
@@ -74,19 +165,10 @@ impl MaxNPlanner {
             return self.total_entries;
         }
         let frac = 1.0 - n / 100.0;
-        let mut count = 0;
-        for (abs, &mx) in self.sorted_abs.iter().zip(&self.max_abs) {
-            if mx == 0.0 {
-                continue;
-            }
-            let thr = (frac * mx as f64) as f32;
-            // Number of entries with |g| >= thr (excluding exact zeros,
-            // matching `from_dense_threshold`).
-            let idx = abs.partition_point(|&v| v < thr);
-            let nonzero_from = abs.partition_point(|&v| v <= 0.0);
-            count += abs.len() - idx.max(nonzero_from);
-        }
-        count
+        self.vars
+            .iter()
+            .map(|v| v.count_at_threshold((frac * v.max_abs as f64) as f32))
+            .sum()
     }
 
     /// The largest `N ∈ [min_n, 100]` whose selection fits `budget_entries`
@@ -115,7 +197,7 @@ impl MaxNPlanner {
 
     /// Materialize the Max N selection of `grads` at parameter `n`.
     pub fn select(&self, grads: &[Tensor], n: f64) -> Vec<SparseVec> {
-        assert_eq!(grads.len(), self.sorted_abs.len());
+        assert_eq!(grads.len(), self.vars.len());
         max_n_select_model(grads, n)
     }
 

@@ -141,6 +141,8 @@ impl ClusterRunner {
                     waiting: false,
                     last_iter_time: 0.0,
                     last_pull_round: 0,
+                    scratch: dlion_tensor::Scratch::new(),
+                    grads: Vec::new(),
                 }
             })
             .collect();
@@ -248,12 +250,21 @@ impl ClusterRunner {
         worker.waiting = false;
         worker.computing = true;
         let batch = worker.sample_batch();
-        let (x, y) = self.data.batch(&batch);
-        let (loss, mut grads) = worker.model.forward_backward(&x, &y);
+        // Allocation-free step: the batch tensor, every activation and every
+        // gradient cycle through the worker's scratch arena; the mean
+        // gradients land in the worker's persistent `grads` tensors.
+        let (x, y) = self.data.batch_scratch(&batch, &mut worker.scratch);
+        let Worker {
+            model,
+            scratch,
+            grads,
+            ..
+        } = worker;
+        let loss = model.forward_backward_scratch(x, &y, scratch, grads);
         for g in grads.iter_mut() {
             g.clip_inplace(self.cfg.grad_clip);
         }
-        worker.pending = Some(PendingIteration { loss, grads });
+        worker.pending = Some(PendingIteration { loss });
         let dt = self.compute.iter_time(w, worker.lbs, now);
         worker.last_iter_time = dt;
         self.metrics.busy_time[w] += dt;
@@ -264,10 +275,10 @@ impl ClusterRunner {
         let lr = self.cfg.lr;
         let n = self.n;
         let gbs_now = self.current_gbs();
-        let (grads, updates, share_dkt) = {
+        let (updates, share_dkt) = {
             let worker = &mut self.workers[w];
             worker.computing = false;
-            let PendingIteration { loss, grads } = worker
+            let PendingIteration { loss } = worker
                 .pending
                 .take()
                 .expect("IterDone without pending gradients");
@@ -280,8 +291,6 @@ impl ClusterRunner {
                 gbs_now,
                 self.cfg.system.weighted_update(),
             );
-            worker.model.apply_dense_update(&grads, own_factor);
-
             let ctx = StrategyCtx {
                 worker: w,
                 n,
@@ -304,9 +313,13 @@ impl ClusterRunner {
                 lr,
             };
             let Worker {
-                strategy, model, ..
+                strategy,
+                model,
+                grads,
+                ..
             } = worker;
-            let mut updates = strategy.generate_partial_gradients(&ctx, &grads, model);
+            model.apply_dense_update(grads, own_factor);
+            let mut updates = strategy.generate_partial_gradients(&ctx, grads, model);
             // Rotate the send order each iteration so no peer is permanently
             // first (or last) in this worker's NIC queue.
             if !updates.is_empty() {
@@ -315,9 +328,8 @@ impl ClusterRunner {
             }
             worker.iteration += 1;
             let share = worker.dkt.is_share_round(worker.iteration);
-            (grads, updates, share)
+            (updates, share)
         };
-        drop(grads);
 
         for up in updates {
             if self.cfg.trace_links {

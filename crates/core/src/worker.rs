@@ -6,7 +6,7 @@ use crate::dkt::DktState;
 use crate::strategy::ExchangeStrategy;
 use crate::sync::SyncState;
 use dlion_nn::Model;
-use dlion_tensor::{DetRng, Tensor};
+use dlion_tensor::{DetRng, Scratch, Tensor};
 
 /// One simulated DLion worker.
 pub struct Worker {
@@ -23,8 +23,8 @@ pub struct Worker {
     pub lbs: usize,
     /// Completed iterations (== index of the next iteration to run).
     pub iteration: u64,
-    /// Gradients computed eagerly at iteration start, consumed at the
-    /// simulated completion time.
+    /// Loss computed eagerly at iteration start, consumed at the simulated
+    /// completion time (the gradients themselves live in [`Worker::grads`]).
     pub pending: Option<PendingIteration>,
     /// True while an iteration is "executing" in virtual time.
     pub computing: bool,
@@ -34,12 +34,17 @@ pub struct Worker {
     pub last_iter_time: f64,
     /// Last DKT round in which this worker issued a pull request.
     pub last_pull_round: u64,
+    /// Per-worker buffer arena: every activation/gradient/batch buffer of
+    /// the training step recycles through here instead of the allocator.
+    pub scratch: Scratch,
+    /// Persistent per-variable gradient tensors, overwritten each
+    /// iteration by `forward_backward_scratch` (empty until the first one).
+    pub grads: Vec<Tensor>,
 }
 
 /// The result of a gradient computation awaiting its virtual completion.
 pub struct PendingIteration {
     pub loss: f64,
-    pub grads: Vec<Tensor>,
 }
 
 impl Worker {
@@ -89,6 +94,8 @@ mod tests {
             waiting: false,
             last_iter_time: 2.0,
             last_pull_round: 0,
+            scratch: Scratch::new(),
+            grads: Vec::new(),
         }
     }
 

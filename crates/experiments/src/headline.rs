@@ -3,8 +3,8 @@
 
 use crate::opts::ExpOpts;
 use crate::output::{fmt_pm, fmt_time, Table};
-use crate::standard::{acc_best, acc_deviation, acc_final, time_to, StandardRuns};
-use dlion_core::{run_env, RunConfig, SystemKind};
+use crate::standard::{acc_best, acc_deviation, acc_final, fan_cells, time_to, StandardRuns};
+use dlion_core::{RunConfig, SystemKind};
 use dlion_microcloud::{ClusterKind, EnvId};
 
 fn env_comparison(
@@ -63,10 +63,11 @@ pub fn fig12(opts: &ExpOpts) -> Table {
         "Heterogeneous GPU cluster (MobileNet): accuracy after the compressed 2-hour run",
         &["System", "Homo C", "Hetero SYS C"],
     );
+    // Build the full (system x env x seed) grid, fan it over the pool, then
+    // read the results back in the same nested order.
+    let mut cells = Vec::new();
     for sys in systems {
-        let mut row = vec![sys.name()];
         for env in envs {
-            let mut accs = Vec::new();
             for &seed in &opts.seeds {
                 let mut cfg = RunConfig::paper_default(sys, ClusterKind::Gpu);
                 cfg.seed = seed;
@@ -80,8 +81,21 @@ pub fn fig12(opts: &ExpOpts) -> Table {
                     sys.name(),
                     env.name()
                 );
-                accs.push(run_env(&cfg, env).tail_mean_acc(3));
+                cells.push((cfg, env));
             }
+        }
+    }
+    let metrics = fan_cells(&cells);
+    let mut per_env = metrics.chunks(opts.seeds.len());
+    for sys in systems {
+        let mut row = vec![sys.name()];
+        for _env in envs {
+            let accs: Vec<f64> = per_env
+                .next()
+                .unwrap()
+                .iter()
+                .map(|m| m.tail_mean_acc(3))
+                .collect();
             row.push(fmt_pm(
                 dlion_tensor::stats::mean(&accs),
                 dlion_tensor::stats::ci95(&accs),
@@ -210,9 +224,8 @@ pub fn fig21(opts: &ExpOpts) -> Table {
         "Highest model accuracy and training time until full convergence (Homo A)",
         &["System", "Best accuracy", "Convergence time (s)"],
     );
+    let mut cells = Vec::new();
     for sys in SystemKind::headline() {
-        let mut best = Vec::new();
-        let mut times = Vec::new();
         for &seed in &opts.seeds {
             let mut cfg = RunConfig::paper_default(sys, ClusterKind::Cpu);
             cfg.seed = seed;
@@ -229,7 +242,17 @@ pub fn fig21(opts: &ExpOpts) -> Table {
                 "  running {} / Homo A to convergence / seed {seed} ...",
                 sys.name()
             );
-            let m = run_env(&cfg, EnvId::HomoA);
+            cells.push((cfg, EnvId::HomoA));
+        }
+    }
+    let metrics = fan_cells(&cells);
+    for (sys, runs) in SystemKind::headline()
+        .into_iter()
+        .zip(metrics.chunks(opts.seeds.len()))
+    {
+        let mut best = Vec::new();
+        let mut times = Vec::new();
+        for m in runs {
             best.push(m.best_mean_acc());
             times.push(m.converged_at.unwrap_or(m.duration));
         }

@@ -11,6 +11,18 @@ use dlion_microcloud::{ClusterKind, EnvId};
 use dlion_tensor::stats;
 use std::collections::HashMap;
 
+/// Fan a batch of `(config, env)` simulation cells over the worker pool.
+///
+/// Every experiment that sweeps `(system, env, seed)` builds its full cell
+/// list first and hands it here, so independent simulations run
+/// concurrently when cores are available. Results come back in input
+/// (index) order regardless of execution interleaving, so tables built
+/// from them are byte-identical to the old serial loops. On a single-core
+/// host the pool degrades to an inline serial loop.
+pub fn fan_cells(cells: &[(RunConfig, EnvId)]) -> Vec<RunMetrics> {
+    dlion_tensor::par::par_map(cells, |(cfg, env)| run_env(cfg, *env))
+}
+
 /// Memoizing runner for the standard CPU-cluster configuration.
 pub struct StandardRuns {
     opts: ExpOpts,
@@ -37,24 +49,35 @@ impl StandardRuns {
     }
 
     /// All seeds' metrics for `(system, env)`, running anything missing.
+    /// Missing seeds fan over the worker pool as one batch.
     pub fn get(&mut self, system: SystemKind, env: EnvId) -> Vec<RunMetrics> {
-        let seeds = self.opts.seeds.clone();
-        seeds
-            .into_iter()
-            .map(|seed| {
-                let key = (system.name(), env, seed);
-                if !self.memo.contains_key(&key) {
-                    let cfg = self.config(system, seed);
-                    eprintln!(
-                        "  running {} / {} / seed {seed} ...",
-                        system.name(),
-                        env.name()
-                    );
-                    let m = run_env(&cfg, env);
-                    self.memo.insert(key.clone(), m);
-                }
-                self.memo[&key].clone()
-            })
+        let missing: Vec<u64> = self
+            .opts
+            .seeds
+            .iter()
+            .copied()
+            .filter(|&seed| !self.memo.contains_key(&(system.name(), env, seed)))
+            .collect();
+        if !missing.is_empty() {
+            for &seed in &missing {
+                eprintln!(
+                    "  running {} / {} / seed {seed} ...",
+                    system.name(),
+                    env.name()
+                );
+            }
+            let cells: Vec<(RunConfig, EnvId)> = missing
+                .iter()
+                .map(|&seed| (self.config(system, seed), env))
+                .collect();
+            for (&seed, m) in missing.iter().zip(fan_cells(&cells)) {
+                self.memo.insert((system.name(), env, seed), m);
+            }
+        }
+        self.opts
+            .seeds
+            .iter()
+            .map(|&seed| self.memo[&(system.name(), env, seed)].clone())
             .collect()
     }
 }

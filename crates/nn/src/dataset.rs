@@ -131,6 +131,27 @@ impl Dataset {
         (x, y)
     }
 
+    /// [`Dataset::batch`] with the image tensor's storage served from a
+    /// scratch arena; the buffer re-enters the arena when the training step
+    /// recycles it, so steady-state batching allocates nothing but the
+    /// (small) label vector.
+    pub fn batch_scratch(
+        &self,
+        indices: &[usize],
+        s: &mut dlion_tensor::Scratch,
+    ) -> (Tensor, Vec<usize>) {
+        let row_len = self.images.numel() / self.images.shape().dim(0);
+        let mut x = s.take_uninit(indices.len() * row_len);
+        let id = self.images.data();
+        for (dst, &i) in x.chunks_mut(row_len).zip(indices) {
+            dst.copy_from_slice(&id[i * row_len..(i + 1) * row_len]);
+        }
+        let mut dims = self.images.shape().dims().to_vec();
+        dims[0] = indices.len();
+        let y = indices.iter().map(|&i| self.labels[i]).collect();
+        (Tensor::from_vec(dims, x), y)
+    }
+
     /// Randomly partition sample indices into `n_shards` near-equal shards
     /// (i.i.d. split).
     pub fn shard(&self, n_shards: usize, rng: &mut DetRng) -> ShardPlan {

@@ -6,10 +6,12 @@
 //! returns the gradient w.r.t. the layer input.
 
 use dlion_tensor::ops::{
-    conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, matmul, matmul_nt,
-    matmul_tn, maxpool2, maxpool2_backward, relu, relu_backward,
+    conv2d, conv2d_backward, conv2d_backward_s, conv2d_s, depthwise_conv2d,
+    depthwise_conv2d_backward, matmul, matmul_into, matmul_nt, matmul_nt_into, matmul_tn,
+    matmul_tn_into, maxpool2, maxpool2_backward, maxpool2_backward_into, maxpool2_into, relu,
+    relu_backward,
 };
-use dlion_tensor::{DetRng, Shape, Tensor};
+use dlion_tensor::{DetRng, Scratch, Shape, Tensor};
 
 /// A trainable layer in a [`crate::Model`].
 pub trait Layer: Send {
@@ -22,6 +24,22 @@ pub trait Layer: Send {
     /// Backward pass: given dL/d(output), fill parameter gradients and
     /// return dL/d(input). Must be called after `forward`.
     fn backward(&mut self, dout: &Tensor) -> Tensor;
+
+    /// Scratch-aware forward: consumes the input by value and serves the
+    /// output (and any cached activation) from the per-worker arena where
+    /// the layer supports it. Bit-identical to [`Layer::forward`] — buffer
+    /// recycling never changes what is computed. The default delegates to
+    /// the allocating path and does not recycle `x`: layers without a
+    /// specialized impl allocate internally, so unconditionally pooling
+    /// their inputs would only grow the arena.
+    fn forward_s(&mut self, x: Tensor, _s: &mut Scratch) -> Tensor {
+        self.forward(&x)
+    }
+
+    /// Scratch-aware backward; see [`Layer::forward_s`].
+    fn backward_s(&mut self, dout: Tensor, _s: &mut Scratch) -> Tensor {
+        self.backward(&dout)
+    }
 
     /// Number of parameter tensors (0 for activations/pools).
     fn param_count(&self) -> usize {
@@ -107,6 +125,40 @@ impl Layer for Dense {
         matmul_nt(dout, &self.w)
     }
 
+    fn forward_s(&mut self, x: Tensor, s: &mut Scratch) -> Tensor {
+        assert_eq!(x.shape().rank(), 2, "dense expects rank-2 input");
+        let (n, out) = (x.shape().dim(0), self.w.shape().dim(1));
+        let mut y = s.take_uninit(n * out);
+        matmul_into(&x, &self.w, &mut y);
+        let bd = self.b.data();
+        for row in y.chunks_mut(out) {
+            for (v, &b) in row.iter_mut().zip(bd) {
+                *v += b;
+            }
+        }
+        self.cached_x = Some(x);
+        Tensor::from_vec(Shape::d2(n, out), y)
+    }
+
+    fn backward_s(&mut self, dout: Tensor, s: &mut Scratch) -> Tensor {
+        let x = self.cached_x.take().expect("backward without forward");
+        // dW/db overwrite their persistent buffers in place.
+        matmul_tn_into(&x, &dout, self.dw.data_mut());
+        let (n, out) = (dout.shape().dim(0), dout.shape().dim(1));
+        self.db.fill_zero();
+        for r in 0..n {
+            for c in 0..out {
+                self.db.data_mut()[c] += dout.at(&[r, c]);
+            }
+        }
+        let inf = self.w.shape().dim(0);
+        let mut dx = s.take_uninit(n * inf);
+        matmul_nt_into(&dout, &self.w, &mut dx);
+        s.put_tensor(x);
+        s.put_tensor(dout);
+        Tensor::from_vec(Shape::d2(n, inf), dx)
+    }
+
     fn param_count(&self) -> usize {
         2
     }
@@ -178,6 +230,27 @@ impl Layer for Conv2d {
         let g = conv2d_backward(&x, &self.w, dout, self.pad);
         self.dw = g.dweight;
         self.db = g.dbias;
+        g.dinput
+    }
+
+    fn forward_s(&mut self, x: Tensor, s: &mut Scratch) -> Tensor {
+        let y = conv2d_s(&x, &self.w, &self.b, self.pad, s);
+        // Cache by ownership — no clone on the hot path.
+        self.cached_x = Some(x);
+        y
+    }
+
+    fn backward_s(&mut self, dout: Tensor, s: &mut Scratch) -> Tensor {
+        let x = self.cached_x.take().expect("backward without forward");
+        let g = conv2d_backward_s(&x, &self.w, &dout, self.pad, s);
+        // Copy into the persistent grad tensors and recycle the op's
+        // buffers instead of swapping allocations in and out.
+        self.dw.data_mut().copy_from_slice(g.dweight.data());
+        self.db.data_mut().copy_from_slice(g.dbias.data());
+        s.put_tensor(g.dweight);
+        s.put_tensor(g.dbias);
+        s.put_tensor(x);
+        s.put_tensor(dout);
         g.dinput
     }
 
@@ -256,6 +329,25 @@ impl Layer for DepthwiseConv2d {
         g.dinput
     }
 
+    // The depthwise kernels are direct loops with no large intermediates;
+    // the scratch overrides only avoid the input clone and recycle the
+    // consumed tensors.
+    fn forward_s(&mut self, x: Tensor, _s: &mut Scratch) -> Tensor {
+        let y = depthwise_conv2d(&x, &self.w, &self.b, self.pad);
+        self.cached_x = Some(x);
+        y
+    }
+
+    fn backward_s(&mut self, dout: Tensor, s: &mut Scratch) -> Tensor {
+        let x = self.cached_x.take().expect("backward without forward");
+        let g = depthwise_conv2d_backward(&x, &self.w, &dout, self.pad);
+        self.dw = g.dweight;
+        self.db = g.dbias;
+        s.put_tensor(x);
+        s.put_tensor(dout);
+        g.dinput
+    }
+
     fn param_count(&self) -> usize {
         2
     }
@@ -313,6 +405,28 @@ impl Layer for Relu {
         let x = self.cached_x.take().expect("backward without forward");
         relu_backward(&x, dout)
     }
+
+    fn forward_s(&mut self, x: Tensor, s: &mut Scratch) -> Tensor {
+        let mut y = s.take_uninit(x.numel());
+        for (o, &v) in y.iter_mut().zip(x.data()) {
+            *o = v.max(0.0);
+        }
+        let shape = x.shape().clone();
+        self.cached_x = Some(x);
+        Tensor::from_vec(shape, y)
+    }
+
+    fn backward_s(&mut self, mut dout: Tensor, s: &mut Scratch) -> Tensor {
+        let x = self.cached_x.take().expect("backward without forward");
+        // Mask in place: zero allocations, zero copies.
+        for (g, &v) in dout.data_mut().iter_mut().zip(x.data()) {
+            if v <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        s.put_tensor(x);
+        dout
+    }
 }
 
 // ---------------------------------------------------------------- MaxPool
@@ -322,6 +436,9 @@ impl Layer for Relu {
 pub struct MaxPool2 {
     cached_shape: Option<Shape>,
     cached_argmax: Option<Vec<u32>>,
+    /// Retired argmax storage, reused by the next scratch-path forward
+    /// (the f32 arena only pools `Vec<f32>`).
+    spare_argmax: Vec<u32>,
 }
 
 impl MaxPool2 {
@@ -346,6 +463,35 @@ impl Layer for MaxPool2 {
         let shape = self.cached_shape.take().expect("backward without forward");
         let arg = self.cached_argmax.take().expect("backward without forward");
         maxpool2_backward(&shape, dout, &arg)
+    }
+
+    fn forward_s(&mut self, x: Tensor, s: &mut Scratch) -> Tensor {
+        let [n, c, h, w] = [
+            x.shape().dim(0),
+            x.shape().dim(1),
+            x.shape().dim(2),
+            x.shape().dim(3),
+        ];
+        let (oh, ow) = (h / 2, w / 2);
+        let len = n * c * oh * ow;
+        let mut out = s.take_uninit(len);
+        let mut arg = std::mem::take(&mut self.spare_argmax);
+        arg.resize(len, 0);
+        maxpool2_into(&x, &mut out, &mut arg);
+        self.cached_shape = Some(x.shape().clone());
+        self.cached_argmax = Some(arg);
+        s.put_tensor(x);
+        Tensor::from_vec(Shape::d4(n, c, oh, ow), out)
+    }
+
+    fn backward_s(&mut self, dout: Tensor, s: &mut Scratch) -> Tensor {
+        let shape = self.cached_shape.take().expect("backward without forward");
+        let arg = self.cached_argmax.take().expect("backward without forward");
+        let mut din = s.take(shape.numel());
+        maxpool2_backward_into(&dout, &arg, &mut din);
+        self.spare_argmax = arg;
+        s.put_tensor(dout);
+        Tensor::from_vec(shape, din)
     }
 }
 
@@ -378,6 +524,20 @@ impl Layer for Flatten {
     fn backward(&mut self, dout: &Tensor) -> Tensor {
         let shape = self.cached_shape.take().expect("backward without forward");
         dout.clone().reshape(shape)
+    }
+
+    // Flatten is a pure metadata change: with owned tensors both scratch
+    // directions are allocation- and copy-free.
+    fn forward_s(&mut self, x: Tensor, _s: &mut Scratch) -> Tensor {
+        let n = x.shape().dim(0);
+        let f = x.numel() / n;
+        self.cached_shape = Some(x.shape().clone());
+        x.reshape(Shape::d2(n, f))
+    }
+
+    fn backward_s(&mut self, dout: Tensor, _s: &mut Scratch) -> Tensor {
+        let shape = self.cached_shape.take().expect("backward without forward");
+        dout.reshape(shape)
     }
 }
 
@@ -594,6 +754,87 @@ mod tests {
     fn backward_without_forward_panics() {
         let mut l = Relu::new();
         l.backward(&Tensor::zeros(Shape::d1(3)));
+    }
+
+    /// The scratch path (`forward_s`/`backward_s`) must be bit-identical to
+    /// the allocating path for every layer kind, including on the second
+    /// pass when the arena actually serves recycled buffers.
+    #[test]
+    fn scratch_path_matches_allocating_path() {
+        fn check(mut a: Box<dyn Layer>, mut b: Box<dyn Layer>, x: &Tensor, expect_reuse: bool) {
+            let mut s = Scratch::new();
+            for pass in 0..3 {
+                let ya = a.forward(x);
+                let yb = b.forward_s(x.clone(), &mut s);
+                assert_eq!(ya.shape(), yb.shape(), "{} fwd pass {pass}", a.name());
+                assert_eq!(ya.data(), yb.data(), "{} fwd pass {pass}", a.name());
+                let dxa = a.backward(&ya);
+                let dxb = b.backward_s(yb, &mut s);
+                assert_eq!(dxa.data(), dxb.data(), "{} bwd pass {pass}", a.name());
+                for p in 0..a.param_count() {
+                    assert_eq!(
+                        a.grad(p).data(),
+                        b.grad(p).data(),
+                        "{} grad {p} pass {pass}",
+                        a.name()
+                    );
+                }
+            }
+            if expect_reuse {
+                assert!(s.reuse_ratio() > 0.0, "{}: arena never reused", a.name());
+            }
+        }
+
+        let mut r1 = DetRng::seed_from_u64(77);
+        let mut r2 = DetRng::seed_from_u64(77);
+        let mut xr = DetRng::seed_from_u64(78);
+        check(
+            Box::new(Dense::new(6, 4, &mut r1)),
+            Box::new(Dense::new(6, 4, &mut r2)),
+            &Tensor::randn(Shape::d2(5, 6), 1.0, &mut xr),
+            true,
+        );
+        // Large enough that the conv dispatcher takes the im2col path.
+        check(
+            Box::new(Conv2d::new(3, 8, 3, 1, &mut r1)),
+            Box::new(Conv2d::new(3, 8, 3, 1, &mut r2)),
+            &Tensor::randn(Shape::d4(4, 3, 8, 8), 1.0, &mut xr),
+            // Under the seed-kernels build the dispatcher goes direct, and
+            // the direct path pools nothing.
+            dlion_tensor::kernel_backend() == "blocked",
+        );
+        // Small enough that it stays on the direct path (no pooled
+        // intermediates, so no reuse expected).
+        check(
+            Box::new(Conv2d::new(1, 2, 3, 1, &mut r1)),
+            Box::new(Conv2d::new(1, 2, 3, 1, &mut r2)),
+            &Tensor::randn(Shape::d4(1, 1, 4, 4), 1.0, &mut xr),
+            false,
+        );
+        check(
+            Box::new(DepthwiseConv2d::new(4, 3, 1, &mut r1)),
+            Box::new(DepthwiseConv2d::new(4, 3, 1, &mut r2)),
+            &Tensor::randn(Shape::d4(2, 4, 6, 6), 1.0, &mut xr),
+            false,
+        );
+        check(
+            Box::new(Relu::new()),
+            Box::new(Relu::new()),
+            &Tensor::randn(Shape::d2(7, 9), 1.0, &mut xr),
+            true,
+        );
+        check(
+            Box::new(MaxPool2::new()),
+            Box::new(MaxPool2::new()),
+            &Tensor::randn(Shape::d4(2, 3, 6, 6), 1.0, &mut xr),
+            true,
+        );
+        check(
+            Box::new(Flatten::new()),
+            Box::new(Flatten::new()),
+            &Tensor::randn(Shape::d4(2, 3, 2, 2), 1.0, &mut xr),
+            false,
+        );
     }
 
     #[test]

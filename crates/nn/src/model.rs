@@ -9,7 +9,7 @@
 use crate::dataset::Dataset;
 use crate::layer::Layer;
 use dlion_tensor::ops::activation::{accuracy, softmax_xent};
-use dlion_tensor::{SparseVec, Tensor};
+use dlion_tensor::{Scratch, SparseVec, Tensor};
 
 /// Loss/accuracy pair from an evaluation pass.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -118,6 +118,51 @@ impl Model {
             })
             .collect();
         (loss as f64, grads)
+    }
+
+    /// Scratch-aware forward pass to logits: consumes `x` and recycles
+    /// every intermediate activation through `s`.
+    pub fn forward_scratch(&mut self, x: Tensor, s: &mut Scratch) -> Tensor {
+        let mut cur = x;
+        for l in self.layers.iter_mut() {
+            cur = l.forward_s(cur, s);
+        }
+        cur
+    }
+
+    /// Allocation-free twin of [`Model::forward_backward`]: the input and
+    /// every intermediate tensor cycle through the per-worker arena `s`, and
+    /// the per-variable mean gradients are written into the caller-owned
+    /// `grads` vector (initialized on first use) instead of freshly cloned.
+    /// Bit-identical to the allocating path — same kernels, same order.
+    pub fn forward_backward_scratch(
+        &mut self,
+        x: Tensor,
+        labels: &[usize],
+        s: &mut Scratch,
+        grads: &mut Vec<Tensor>,
+    ) -> f64 {
+        let logits = self.forward_scratch(x, s);
+        let (loss, dlogits) = softmax_xent(&logits, labels);
+        s.put_tensor(logits);
+        let mut grad = dlogits;
+        for l in self.layers.iter_mut().rev() {
+            grad = l.backward_s(grad, s);
+        }
+        s.put_tensor(grad);
+        if grads.len() != self.num_vars() {
+            grads.clear();
+            for &(li, pi) in &self.param_map {
+                grads.push(self.layers[li].grad(pi).clone());
+            }
+        } else {
+            for (g, &(li, pi)) in grads.iter_mut().zip(&self.param_map) {
+                let src = self.layers[li].grad(pi);
+                debug_assert_eq!(g.shape(), src.shape());
+                g.data_mut().copy_from_slice(src.data());
+            }
+        }
+        loss as f64
     }
 
     /// Evaluate loss/accuracy on `indices` of `ds` (forward only), in
@@ -337,6 +382,42 @@ mod tests {
             m2.apply_sparse_update(v, &s, -0.1);
         }
         assert!(m1.weight_distance(&m2.weights()) < 1e-5);
+    }
+
+    /// The allocation-free step must produce bit-identical losses, grads
+    /// and weight trajectories to the allocating one, while actually
+    /// recycling buffers.
+    #[test]
+    fn forward_backward_scratch_matches_allocating() {
+        let mut rng = DetRng::seed_from_u64(11);
+        let mut ma = tiny_model(&mut rng);
+        let mut rngb = DetRng::seed_from_u64(11);
+        let mut mb = tiny_model(&mut rngb);
+        let ds = tiny_dataset(&mut rng);
+        let mut s = Scratch::new();
+        let mut grads_b: Vec<Tensor> = Vec::new();
+        for step in 0..10 {
+            let idx: Vec<usize> = (0..8).map(|i| (step * 8 + i) % ds.len()).collect();
+            let (xa, ya) = ds.batch(&idx);
+            let (la, ga) = ma.forward_backward(&xa, &ya);
+            let (xb, yb) = ds.batch_scratch(&idx, &mut s);
+            assert_eq!(xa.data(), xb.data());
+            assert_eq!(ya, yb);
+            let lb = mb.forward_backward_scratch(xb, &yb, &mut s, &mut grads_b);
+            assert_eq!(la.to_bits(), lb.to_bits(), "loss at step {step}");
+            assert_eq!(ga.len(), grads_b.len());
+            for (a, b) in ga.iter().zip(&grads_b) {
+                assert_eq!(a.data(), b.data(), "grads at step {step}");
+            }
+            ma.apply_dense_update(&ga, -0.2);
+            mb.apply_dense_update(&grads_b, -0.2);
+        }
+        assert_eq!(ma.weight_distance(&mb.weights()), 0.0);
+        assert!(
+            s.reuse_ratio() > 0.5,
+            "arena should serve most buffers after warmup: {}",
+            s.reuse_ratio()
+        );
     }
 
     #[test]

@@ -1,108 +1,156 @@
-//! Property-based tests for the discrete-event substrate.
+//! Property-based tests for the discrete-event substrate, driven by seeded
+//! pseudo-random cases.
 
 use dlion_simnet::{ComputeModel, EventQueue, NetworkModel, PiecewiseConst};
-use proptest::prelude::*;
+use dlion_tensor::DetRng;
 
-fn schedule_strategy() -> impl Strategy<Value = PiecewiseConst> {
-    prop::collection::vec(0.1f64..100.0, 1..8).prop_map(|vals| {
-        let points = vals
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (i as f64 * 50.0, v))
-            .collect();
-        PiecewiseConst::steps(points)
-    })
+fn schedule(rng: &mut DetRng) -> PiecewiseConst {
+    let len = 1 + rng.index(7);
+    let points = (0..len)
+        .map(|i| (i as f64 * 50.0, rng.uniform_range(0.1, 100.0)))
+        .collect();
+    PiecewiseConst::steps(points)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Integration is additive over adjacent intervals.
-    #[test]
-    fn integrate_additive(sched in schedule_strategy(),
-                          t0 in 0.0f64..500.0, a in 0.0f64..200.0, b in 0.0f64..200.0) {
+/// Integration is additive over adjacent intervals.
+#[test]
+fn integrate_additive() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(100 + case);
+        let sched = schedule(&mut rng);
+        let t0 = rng.uniform_range(0.0, 500.0);
+        let a = rng.uniform_range(0.0, 200.0);
+        let b = rng.uniform_range(0.0, 200.0);
         let whole = sched.integrate(t0, a + b);
         let split = sched.integrate(t0, a) + sched.integrate(t0 + a, b);
-        prop_assert!((whole - split).abs() < 1e-6 * (1.0 + whole.abs()));
+        assert!(
+            (whole - split).abs() < 1e-6 * (1.0 + whole.abs()),
+            "case {case}: {whole} vs {split}"
+        );
     }
+}
 
-    /// time_to_accumulate inverts integrate.
-    #[test]
-    fn accumulate_inverts_integrate(sched in schedule_strategy(),
-                                    t0 in 0.0f64..500.0, amount in 0.0f64..10_000.0) {
+/// time_to_accumulate inverts integrate.
+#[test]
+fn accumulate_inverts_integrate() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(1100 + case);
+        let sched = schedule(&mut rng);
+        let t0 = rng.uniform_range(0.0, 500.0);
+        let amount = rng.uniform_range(0.0, 10_000.0);
         let dt = sched.time_to_accumulate(t0, amount);
-        prop_assume!(dt.is_finite());
+        if !dt.is_finite() {
+            continue;
+        }
         let got = sched.integrate(t0, dt);
-        prop_assert!((got - amount).abs() < 1e-6 * (1.0 + amount));
+        assert!(
+            (got - amount).abs() < 1e-6 * (1.0 + amount),
+            "case {case}: {got} vs {amount}"
+        );
     }
+}
 
-    /// min_with is pointwise min at arbitrary times.
-    #[test]
-    fn min_with_pointwise(a in schedule_strategy(), b in schedule_strategy(),
-                          ts in prop::collection::vec(0.0f64..600.0, 1..20)) {
+/// min_with is pointwise min at arbitrary times.
+#[test]
+fn min_with_pointwise() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(2100 + case);
+        let a = schedule(&mut rng);
+        let b = schedule(&mut rng);
         let m = a.min_with(&b);
-        for t in ts {
-            prop_assert_eq!(m.value_at(t), a.value_at(t).min(b.value_at(t)));
+        for _ in 0..20 {
+            let t = rng.uniform_range(0.0, 600.0);
+            assert_eq!(
+                m.value_at(t),
+                a.value_at(t).min(b.value_at(t)),
+                "case {case} at t={t}"
+            );
         }
     }
+}
 
-    /// Transfers: arrival >= depart >= enqueue time; same-sender transfers
-    /// never overlap (FIFO NIC); more bytes never arrive earlier.
-    #[test]
-    fn transfer_ordering(bytes in prop::collection::vec(1.0f64..5e6, 1..20),
-                         mbps in 1.0f64..1000.0, latency in 0.0f64..0.2) {
+/// Transfers: arrival >= depart >= enqueue time; same-sender transfers
+/// never overlap (FIFO NIC); more bytes never arrive earlier.
+#[test]
+fn transfer_ordering() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(3100 + case);
+        let n_transfers = 1 + rng.index(19);
+        let mbps = rng.uniform_range(1.0, 1000.0);
+        let latency = rng.uniform_range(0.0, 0.2);
         let mut net = NetworkModel::uniform(3, mbps, latency);
         let mut now = 0.0;
         let mut last_send_done = 0.0;
-        for (i, &b) in bytes.iter().enumerate() {
+        for i in 0..n_transfers {
+            let b = rng.uniform_range(1.0, 5e6);
             let dst = 1 + (i % 2);
             let tr = net.transfer(0, dst, b, now);
-            prop_assert!(tr.depart >= now - 1e-9);
-            prop_assert!(tr.depart >= last_send_done - 1e-9, "NIC FIFO violated");
-            prop_assert!(tr.arrival >= tr.depart + latency - 1e-9);
+            assert!(tr.depart >= now - 1e-9, "case {case}");
+            assert!(
+                tr.depart >= last_send_done - 1e-9,
+                "case {case}: NIC FIFO violated"
+            );
+            assert!(tr.arrival >= tr.depart + latency - 1e-9, "case {case}");
             last_send_done = tr.arrival - latency;
             now += 0.01;
         }
     }
+}
 
-    #[test]
-    fn bigger_transfers_take_longer(b1 in 1.0f64..1e7, factor in 1.0f64..10.0,
-                                    mbps in 1.0f64..1000.0) {
+#[test]
+fn bigger_transfers_take_longer() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(4100 + case);
+        let b1 = rng.uniform_range(1.0, 1e7);
+        let factor = rng.uniform_range(1.0, 10.0);
+        let mbps = rng.uniform_range(1.0, 1000.0);
         let mut n1 = NetworkModel::uniform(2, mbps, 0.0);
         let mut n2 = NetworkModel::uniform(2, mbps, 0.0);
         let t1 = n1.transfer(0, 1, b1, 0.0);
         let t2 = n2.transfer(0, 1, b1 * factor, 0.0);
-        prop_assert!(t2.arrival >= t1.arrival - 1e-12);
+        assert!(t2.arrival >= t1.arrival - 1e-12, "case {case}");
     }
+}
 
-    /// Iteration time is monotone in LBS and antitone in capacity, for any
-    /// batch exponent.
-    #[test]
-    fn iter_time_monotonicity(cap in 1.0f64..400.0, beta in 0.2f64..1.0,
-                              lbs in 1usize..2000) {
+/// Iteration time is monotone in LBS and antitone in capacity, for any
+/// batch exponent.
+#[test]
+fn iter_time_monotonicity() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(5100 + case);
+        let cap = rng.uniform_range(1.0, 400.0);
+        let beta = rng.uniform_range(0.2, 1.0);
+        let lbs = 1 + rng.index(1999);
         let cm = ComputeModel::homogeneous(1, cap, 1.8, 0.1).with_batch_exponent(beta);
         let t = cm.iter_time(0, lbs, 0.0);
         let t_more = cm.iter_time(0, lbs + 1, 0.0);
-        prop_assert!(t_more >= t);
+        assert!(t_more >= t, "case {case}");
         let cm_fast = ComputeModel::homogeneous(1, cap * 2.0, 1.8, 0.1).with_batch_exponent(beta);
-        prop_assert!(cm_fast.iter_time(0, lbs, 0.0) <= t);
+        assert!(cm_fast.iter_time(0, lbs, 0.0) <= t, "case {case}");
     }
+}
 
-    /// The event queue is a stable priority queue: output times are sorted,
-    /// and equal times preserve insertion order.
-    #[test]
-    fn event_queue_stable_sort(times in prop::collection::vec(0.0f64..100.0, 0..200)) {
+/// The event queue is a stable priority queue: output times are sorted,
+/// and equal times preserve insertion order.
+#[test]
+fn event_queue_stable_sort() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(6100 + case);
+        let n_events = rng.index(200);
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
+        for i in 0..n_events {
             // Quantize times to force ties.
-            q.schedule(t.round(), i);
+            q.schedule(rng.uniform_range(0.0, 100.0).round(), i);
         }
         let mut prev_time = f64::NEG_INFINITY;
         let mut prev_seq_at_time = None::<usize>;
         while let Some((t, seq)) = q.pop() {
-            prop_assert!(t >= prev_time);
+            assert!(t >= prev_time, "case {case}");
             if t == prev_time {
-                prop_assert!(seq > prev_seq_at_time.unwrap(), "tie order violated");
+                assert!(
+                    seq > prev_seq_at_time.unwrap(),
+                    "case {case}: tie order violated"
+                );
             }
             prev_time = t;
             prev_seq_at_time = Some(seq);

@@ -6,8 +6,9 @@
 //! gradient-exchange machinery need from a numerics library:
 //!
 //! * [`Tensor`] — a dense, row-major `f32` tensor with elementwise and
-//!   BLAS-like operations (rayon-parallel where it pays off, with
-//!   deterministic reductions so simulations are bit-reproducible),
+//!   BLAS-like operations (parallelized over the in-tree deterministic
+//!   thread pool [`par`] where it pays off, with deterministic reductions
+//!   so simulations are bit-reproducible),
 //! * [`ops`] — matmul, 2-D convolution (incl. depthwise), max-pooling and
 //!   activation kernels with hand-written backward passes,
 //! * [`SparseVec`] — the sparse gradient representation exchanged between
@@ -23,13 +24,27 @@
 //! it is a pure math layer.
 
 pub mod ops;
+pub mod par;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod sparse;
 pub mod stats;
 pub mod tensor;
 
 pub use rng::DetRng;
+pub use scratch::Scratch;
+
+/// Which kernel algorithms this build routes the model through: `"blocked"`
+/// normally, `"seed"` under the `seed-kernels` feature (pre-optimization
+/// row-wise loops; used by the bench harness for before/after numbers).
+pub fn kernel_backend() -> &'static str {
+    if cfg!(feature = "seed-kernels") {
+        "seed"
+    } else {
+        "blocked"
+    }
+}
 pub use shape::Shape;
 pub use sparse::SparseVec;
 pub use tensor::Tensor;
@@ -40,15 +55,19 @@ pub use tensor::Tensor;
 /// This matters because the cluster simulator must be bit-reproducible for a
 /// given seed: figure regeneration and tests rely on it.
 pub fn deterministic_sum(xs: &[f32]) -> f32 {
-    use rayon::prelude::*;
     const CHUNK: usize = 4096;
     if xs.len() <= CHUNK {
         return xs.iter().sum();
     }
-    let partials: Vec<f32> = xs
-        .par_chunks(CHUNK)
-        .map(|c| c.iter().sum::<f32>())
-        .collect();
+    let n_chunks = xs.len().div_ceil(CHUNK);
+    let mut partials = vec![0.0f32; n_chunks];
+    // One task per chunk; each writes only its own slot, so the combine
+    // below always sees partials in index order.
+    par::par_chunks_mut(&mut partials, 1, |i, slot| {
+        let start = i * CHUNK;
+        let end = (start + CHUNK).min(xs.len());
+        slot[0] = xs[start..end].iter().sum();
+    });
     partials.iter().sum()
 }
 

@@ -2,13 +2,24 @@
 //! backward passes, plus the depthwise variant used by MobileNet-style
 //! models.
 //!
-//! The kernels are direct (no im2col): model sizes in this reproduction are
-//! small, and direct loops with rayon over independent output slices are
-//! fast enough while staying obviously deterministic.
+//! Two backends sit behind [`conv2d`] / [`conv2d_backward`]:
+//!
+//! * **direct** loops ([`conv2d_direct`], [`conv2d_backward_direct`]) — no
+//!   intermediate buffers, best for tiny shapes where im2col's patch
+//!   materialization costs more than it saves;
+//! * **im2col + blocked GEMM** (`ops::im2col`) — lowers the convolution to
+//!   the register-tiled matmul kernels, which win as soon as the implied
+//!   GEMM has enough arithmetic to amortize packing.
+//!
+//! Dispatch ([`use_im2col`]) depends only on the static shapes, so a given
+//! layer always takes the same path and runs stay bit-reproducible. The
+//! direct backward keeps its `g == 0.0` skip: upstream gradients flow
+//! through ReLU and genuinely contain zeros, unlike the dense activations
+//! that made the old matmul zero-skip a pessimization.
 
+use crate::par;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
 /// Gradients produced by a convolution backward pass.
 pub struct ConvGrads {
@@ -17,7 +28,7 @@ pub struct ConvGrads {
     pub dbias: Tensor,
 }
 
-fn out_hw(h: usize, w: usize, kh: usize, kw: usize, pad: usize) -> (usize, usize) {
+pub(crate) fn out_hw(h: usize, w: usize, kh: usize, kw: usize, pad: usize) -> (usize, usize) {
     assert!(
         h + 2 * pad >= kh && w + 2 * pad >= kw,
         "kernel larger than padded input"
@@ -25,9 +36,107 @@ fn out_hw(h: usize, w: usize, kh: usize, kw: usize, pad: usize) -> (usize, usize
     (h + 2 * pad - kh + 1, w + 2 * pad - kw + 1)
 }
 
+/// Does the im2col-lowered GEMM carry enough arithmetic to beat the direct
+/// loops? Calibrated with `dlion-bench kernels`: patch materialization is
+/// ~2 passes over the patch matrix, so the GEMM must do a multiple of that
+/// in useful MACs.
+fn use_im2col(n: usize, c: usize, f: usize, kh: usize, kw: usize, oh: usize, ow: usize) -> bool {
+    if cfg!(feature = "seed-kernels") {
+        // The seed tree convolved directly at every shape.
+        return false;
+    }
+    let macs = n * oh * ow * c * kh * kw * f;
+    macs >= 16 * 1024
+}
+
 /// Standard convolution: `input (N,C,H,W)` ⊛ `weight (F,C,KH,KW)` + `bias (F)`
-/// → `(N,F,OH,OW)`.
+/// → `(N,F,OH,OW)`. Dispatches to the GEMM backend on large shapes.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize) -> Tensor {
+    let (n, c) = (input.shape().dim(0), input.shape().dim(1));
+    let (h, w) = (input.shape().dim(2), input.shape().dim(3));
+    let (f, kh, kw) = (
+        weight.shape().dim(0),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    );
+    let (oh, ow) = out_hw(h, w, kh, kw, pad);
+    if use_im2col(n, c, f, kh, kw, oh, ow) {
+        crate::ops::im2col::conv2d_im2col(input, weight, bias, pad)
+    } else {
+        conv2d_direct(input, weight, bias, pad)
+    }
+}
+
+/// Backward pass of [`conv2d`]. `dout` has shape `(N,F,OH,OW)`. Uses the
+/// same backend selection as the forward pass.
+pub fn conv2d_backward(input: &Tensor, weight: &Tensor, dout: &Tensor, pad: usize) -> ConvGrads {
+    let (n, c) = (input.shape().dim(0), input.shape().dim(1));
+    let (h, w) = (input.shape().dim(2), input.shape().dim(3));
+    let (f, kh, kw) = (
+        weight.shape().dim(0),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    );
+    let (oh, ow) = out_hw(h, w, kh, kw, pad);
+    if use_im2col(n, c, f, kh, kw, oh, ow) {
+        crate::ops::im2col::conv2d_backward_im2col(input, weight, dout, pad)
+    } else {
+        conv2d_backward_direct(input, weight, dout, pad)
+    }
+}
+
+/// [`conv2d`] with intermediates served from a caller-owned scratch arena.
+/// The direct backend (tiny shapes) has no intermediates worth pooling and
+/// ignores `s`; dispatch is identical to [`conv2d`], so results are
+/// bit-identical.
+pub fn conv2d_s(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    pad: usize,
+    s: &mut crate::scratch::Scratch,
+) -> Tensor {
+    let (n, c) = (input.shape().dim(0), input.shape().dim(1));
+    let (h, w) = (input.shape().dim(2), input.shape().dim(3));
+    let (f, kh, kw) = (
+        weight.shape().dim(0),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    );
+    let (oh, ow) = out_hw(h, w, kh, kw, pad);
+    if use_im2col(n, c, f, kh, kw, oh, ow) {
+        crate::ops::im2col::conv2d_im2col_s(input, weight, bias, pad, s)
+    } else {
+        conv2d_direct(input, weight, bias, pad)
+    }
+}
+
+/// [`conv2d_backward`] with intermediates (and returned gradients, on the
+/// im2col path) served from a caller-owned scratch arena.
+pub fn conv2d_backward_s(
+    input: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    pad: usize,
+    s: &mut crate::scratch::Scratch,
+) -> ConvGrads {
+    let (n, c) = (input.shape().dim(0), input.shape().dim(1));
+    let (h, w) = (input.shape().dim(2), input.shape().dim(3));
+    let (f, kh, kw) = (
+        weight.shape().dim(0),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    );
+    let (oh, ow) = out_hw(h, w, kh, kw, pad);
+    if use_im2col(n, c, f, kh, kw, oh, ow) {
+        crate::ops::im2col::conv2d_backward_im2col_s(input, weight, dout, pad, s)
+    } else {
+        conv2d_backward_direct(input, weight, dout, pad)
+    }
+}
+
+/// Direct (loop-nest) convolution forward.
+pub fn conv2d_direct(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize) -> Tensor {
     let [n, c, h, w] = [
         input.shape().dim(0),
         input.shape().dim(1),
@@ -47,45 +156,48 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize) -> Ten
     let wd = weight.data();
     let bd = bias.data();
     let mut out = vec![0.0f32; n * f * oh * ow];
-    out.par_chunks_mut(f * oh * ow)
-        .enumerate()
-        .for_each(|(ni, ochunk)| {
-            let ibase = ni * c * h * w;
-            for fi in 0..f {
-                let b = bd[fi];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = b;
-                        for ci in 0..c {
-                            let wbase = ((fi * c + ci) * kh) * kw;
-                            let icbase = ibase + ci * h * w;
-                            for ky in 0..kh {
-                                let iy = oy + ky;
-                                if iy < pad || iy >= h + pad {
+    par::par_chunks_mut(&mut out, f * oh * ow, |ni, ochunk| {
+        let ibase = ni * c * h * w;
+        for fi in 0..f {
+            let b = bd[fi];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ci in 0..c {
+                        let wbase = ((fi * c + ci) * kh) * kw;
+                        let icbase = ibase + ci * h * w;
+                        for ky in 0..kh {
+                            let iy = oy + ky;
+                            if iy < pad || iy >= h + pad {
+                                continue;
+                            }
+                            let iy = iy - pad;
+                            let wrow = wbase + ky * kw;
+                            let irow = icbase + iy * w;
+                            for kx in 0..kw {
+                                let ix = ox + kx;
+                                if ix < pad || ix >= w + pad {
                                     continue;
                                 }
-                                let iy = iy - pad;
-                                let wrow = wbase + ky * kw;
-                                let irow = icbase + iy * w;
-                                for kx in 0..kw {
-                                    let ix = ox + kx;
-                                    if ix < pad || ix >= w + pad {
-                                        continue;
-                                    }
-                                    acc += wd[wrow + kx] * id[irow + (ix - pad)];
-                                }
+                                acc += wd[wrow + kx] * id[irow + (ix - pad)];
                             }
                         }
-                        ochunk[(fi * oh + oy) * ow + ox] = acc;
                     }
+                    ochunk[(fi * oh + oy) * ow + ox] = acc;
                 }
             }
-        });
+        }
+    });
     Tensor::from_vec(Shape::d4(n, f, oh, ow), out)
 }
 
-/// Backward pass of [`conv2d`]. `dout` has shape `(N,F,OH,OW)`.
-pub fn conv2d_backward(input: &Tensor, weight: &Tensor, dout: &Tensor, pad: usize) -> ConvGrads {
+/// Direct (loop-nest) convolution backward.
+pub fn conv2d_backward_direct(
+    input: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    pad: usize,
+) -> ConvGrads {
     let [n, c, h, w] = [
         input.shape().dim(0),
         input.shape().dim(1),
@@ -110,50 +222,48 @@ pub fn conv2d_backward(input: &Tensor, weight: &Tensor, dout: &Tensor, pad: usiz
 
     // dinput: parallel over batch items (each writes only its own slice).
     let mut dinput = vec![0.0f32; n * c * h * w];
-    dinput
-        .par_chunks_mut(c * h * w)
-        .enumerate()
-        .for_each(|(ni, dslice)| {
-            let dbase = ni * f * oh * ow;
-            for fi in 0..f {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = dd[dbase + (fi * oh + oy) * ow + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        for ci in 0..c {
-                            let wbase = ((fi * c + ci) * kh) * kw;
-                            for ky in 0..kh {
-                                let iy = oy + ky;
-                                if iy < pad || iy >= h + pad {
+    par::par_chunks_mut(&mut dinput, c * h * w, |ni, dslice| {
+        let dbase = ni * f * oh * ow;
+        for fi in 0..f {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dd[dbase + (fi * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ci in 0..c {
+                        let wbase = ((fi * c + ci) * kh) * kw;
+                        for ky in 0..kh {
+                            let iy = oy + ky;
+                            if iy < pad || iy >= h + pad {
+                                continue;
+                            }
+                            let iy = iy - pad;
+                            for kx in 0..kw {
+                                let ix = ox + kx;
+                                if ix < pad || ix >= w + pad {
                                     continue;
                                 }
-                                let iy = iy - pad;
-                                for kx in 0..kw {
-                                    let ix = ox + kx;
-                                    if ix < pad || ix >= w + pad {
-                                        continue;
-                                    }
-                                    dslice[(ci * h + iy) * w + (ix - pad)] +=
-                                        g * wd[wbase + ky * kw + kx];
-                                }
+                                dslice[(ci * h + iy) * w + (ix - pad)] +=
+                                    g * wd[wbase + ky * kw + kx];
                             }
                         }
                     }
                 }
             }
-        });
+        }
+    });
 
     // dweight + dbias: parallel over output filters (each filter's gradient
     // slice is reduced over the batch with a fixed-order loop).
     let mut dweight = vec![0.0f32; f * c * kh * kw];
     let mut dbias = vec![0.0f32; f];
-    dweight
-        .par_chunks_mut(c * kh * kw)
-        .zip(dbias.par_iter_mut())
-        .enumerate()
-        .for_each(|(fi, (wslice, dbv))| {
+    par::par_chunks2_mut(
+        &mut dweight,
+        c * kh * kw,
+        &mut dbias,
+        1,
+        |fi, wslice, dbv| {
             for ni in 0..n {
                 let dbase = ni * f * oh * ow + fi * oh * ow;
                 let ibase = ni * c * h * w;
@@ -163,7 +273,7 @@ pub fn conv2d_backward(input: &Tensor, weight: &Tensor, dout: &Tensor, pad: usiz
                         if g == 0.0 {
                             continue;
                         }
-                        *dbv += g;
+                        dbv[0] += g;
                         for ci in 0..c {
                             let icbase = ibase + ci * h * w;
                             let wcbase = ci * kh * kw;
@@ -186,7 +296,8 @@ pub fn conv2d_backward(input: &Tensor, weight: &Tensor, dout: &Tensor, pad: usiz
                     }
                 }
             }
-        });
+        },
+    );
 
     ConvGrads {
         dinput: Tensor::from_vec(Shape::d4(n, c, h, w), dinput),
@@ -219,35 +330,33 @@ pub fn depthwise_conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usi
     let wd = weight.data();
     let bd = bias.data();
     let mut out = vec![0.0f32; n * c * oh * ow];
-    out.par_chunks_mut(c * oh * ow)
-        .enumerate()
-        .for_each(|(ni, ochunk)| {
-            for ci in 0..c {
-                let icbase = (ni * c + ci) * h * w;
-                let wbase = ci * kh * kw;
-                let b = bd[ci];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = b;
-                        for ky in 0..kh {
-                            let iy = oy + ky;
-                            if iy < pad || iy >= h + pad {
+    par::par_chunks_mut(&mut out, c * oh * ow, |ni, ochunk| {
+        for ci in 0..c {
+            let icbase = (ni * c + ci) * h * w;
+            let wbase = ci * kh * kw;
+            let b = bd[ci];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ky in 0..kh {
+                        let iy = oy + ky;
+                        if iy < pad || iy >= h + pad {
+                            continue;
+                        }
+                        let iy = iy - pad;
+                        for kx in 0..kw {
+                            let ix = ox + kx;
+                            if ix < pad || ix >= w + pad {
                                 continue;
                             }
-                            let iy = iy - pad;
-                            for kx in 0..kw {
-                                let ix = ox + kx;
-                                if ix < pad || ix >= w + pad {
-                                    continue;
-                                }
-                                acc += wd[wbase + ky * kw + kx] * id[icbase + iy * w + (ix - pad)];
-                            }
+                            acc += wd[wbase + ky * kw + kx] * id[icbase + iy * w + (ix - pad)];
                         }
-                        ochunk[(ci * oh + oy) * ow + ox] = acc;
                     }
+                    ochunk[(ci * oh + oy) * ow + ox] = acc;
                 }
             }
-        });
+        }
+    });
     Tensor::from_vec(Shape::d4(n, c, oh, ow), out)
 }
 
@@ -277,74 +386,66 @@ pub fn depthwise_conv2d_backward(
     let dd = dout.data();
 
     let mut dinput = vec![0.0f32; n * c * h * w];
-    dinput
-        .par_chunks_mut(c * h * w)
-        .enumerate()
-        .for_each(|(ni, dslice)| {
-            for ci in 0..c {
-                let dbase = (ni * c + ci) * oh * ow;
-                let wbase = ci * kh * kw;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = dd[dbase + oy * ow + ox];
-                        if g == 0.0 {
+    par::par_chunks_mut(&mut dinput, c * h * w, |ni, dslice| {
+        for ci in 0..c {
+            let dbase = (ni * c + ci) * oh * ow;
+            let wbase = ci * kh * kw;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dd[dbase + oy * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ky in 0..kh {
+                        let iy = oy + ky;
+                        if iy < pad || iy >= h + pad {
                             continue;
                         }
-                        for ky in 0..kh {
-                            let iy = oy + ky;
-                            if iy < pad || iy >= h + pad {
+                        let iy = iy - pad;
+                        for kx in 0..kw {
+                            let ix = ox + kx;
+                            if ix < pad || ix >= w + pad {
                                 continue;
                             }
-                            let iy = iy - pad;
-                            for kx in 0..kw {
-                                let ix = ox + kx;
-                                if ix < pad || ix >= w + pad {
-                                    continue;
-                                }
-                                dslice[(ci * h + iy) * w + (ix - pad)] +=
-                                    g * wd[wbase + ky * kw + kx];
-                            }
+                            dslice[(ci * h + iy) * w + (ix - pad)] += g * wd[wbase + ky * kw + kx];
                         }
                     }
                 }
             }
-        });
+        }
+    });
 
     let mut dweight = vec![0.0f32; c * kh * kw];
     let mut dbias = vec![0.0f32; c];
-    dweight
-        .par_chunks_mut(kh * kw)
-        .zip(dbias.par_iter_mut())
-        .enumerate()
-        .for_each(|(ci, (wslice, dbv))| {
-            for ni in 0..n {
-                let dbase = (ni * c + ci) * oh * ow;
-                let icbase = (ni * c + ci) * h * w;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = dd[dbase + oy * ow + ox];
-                        if g == 0.0 {
+    par::par_chunks2_mut(&mut dweight, kh * kw, &mut dbias, 1, |ci, wslice, dbv| {
+        for ni in 0..n {
+            let dbase = (ni * c + ci) * oh * ow;
+            let icbase = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dd[dbase + oy * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    dbv[0] += g;
+                    for ky in 0..kh {
+                        let iy = oy + ky;
+                        if iy < pad || iy >= h + pad {
                             continue;
                         }
-                        *dbv += g;
-                        for ky in 0..kh {
-                            let iy = oy + ky;
-                            if iy < pad || iy >= h + pad {
+                        let iy = iy - pad;
+                        for kx in 0..kw {
+                            let ix = ox + kx;
+                            if ix < pad || ix >= w + pad {
                                 continue;
                             }
-                            let iy = iy - pad;
-                            for kx in 0..kw {
-                                let ix = ox + kx;
-                                if ix < pad || ix >= w + pad {
-                                    continue;
-                                }
-                                wslice[ky * kw + kx] += g * id[icbase + iy * w + (ix - pad)];
-                            }
+                            wslice[ky * kw + kx] += g * id[icbase + iy * w + (ix - pad)];
                         }
                     }
                 }
             }
-        });
+        }
+    });
 
     ConvGrads {
         dinput: Tensor::from_vec(Shape::d4(n, c, h, w), dinput),
@@ -439,6 +540,22 @@ mod tests {
         let mut f_b = |bb: &Tensor| loss(&conv2d(&input, &weight, bb, pad));
         let ng_b = num_grad(&mut f_b, &bias, 1e-2);
         assert_close(&grads.dbias, &ng_b, 0.05, "dbias");
+    }
+
+    #[test]
+    fn dispatched_backward_matches_direct_backend() {
+        // Shape large enough to take the im2col path; direct loops are the
+        // reference.
+        let mut rng = DetRng::seed_from_u64(14);
+        let input = Tensor::randn(Shape::d4(4, 3, 8, 8), 1.0, &mut rng);
+        let weight = Tensor::randn(Shape::d4(6, 3, 3, 3), 0.5, &mut rng);
+        let bias = Tensor::randn(Shape::d1(6), 0.5, &mut rng);
+        let out = conv2d(&input, &weight, &bias, 1);
+        let direct = conv2d_backward_direct(&input, &weight, &out, 1);
+        let dispatched = conv2d_backward(&input, &weight, &out, 1);
+        assert_close(&dispatched.dinput, &direct.dinput, 1e-3, "dinput");
+        assert_close(&dispatched.dweight, &direct.dweight, 1e-2, "dweight");
+        assert_close(&dispatched.dbias, &direct.dbias, 1e-2, "dbias");
     }
 
     #[test]

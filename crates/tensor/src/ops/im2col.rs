@@ -2,21 +2,44 @@
 //!
 //! The classic HPC formulation: lower the convolution into one large matrix
 //! multiplication by unrolling every receptive field into a row
-//! (`im2col`), then compute `out = patches · weightᵀ`. Trades memory for
-//! the much better cache behaviour of GEMM; on larger shapes it beats the
-//! direct kernel in `ops::conv`, and `conv2d_im2col` is bit-compatible in
-//! shape and numerically equivalent (verified by tests against the direct
-//! implementation).
+//! (`im2col`), then compute `out = patches · weightᵀ` with the blocked,
+//! register-tiled GEMM from `ops::matmul`. Trades memory for much better
+//! cache behaviour; on the shapes the paper's models use it beats the
+//! direct kernel in `ops::conv` as soon as the implied GEMM is non-trivial
+//! (the dispatch in `ops::conv` picks the winner per shape).
+//!
+//! The backward pass is lowered the same way:
+//!
+//! * `dW = doutᵀ_rows · patches`   (one `matmul_tn`)
+//! * `dpatches = dout_rows · W`    (one `matmul`), then scattered back to
+//!   the input layout by [`col2im`] (the exact adjoint of [`im2col`]).
 
-use crate::ops::matmul::matmul_nt;
+use crate::ops::conv::ConvGrads;
+use crate::ops::matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
+use crate::par;
+use crate::scratch::Scratch;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
 /// Unroll `input (N,C,H,W)` into a patch matrix of shape
 /// `(N*OH*OW, C*KH*KW)` for a stride-1 convolution with zero padding `pad`.
 /// Out-of-bounds taps contribute zeros.
 pub fn im2col(input: &Tensor, kh: usize, kw: usize, pad: usize) -> Tensor {
+    let [n, c, h, w] = [
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    ];
+    let (oh, ow) = (h + 2 * pad - kh + 1, w + 2 * pad - kw + 1);
+    let mut out = vec![0.0f32; n * oh * ow * c * kh * kw];
+    im2col_into(input, kh, kw, pad, &mut out);
+    Tensor::from_vec(Shape::d2(n * oh * ow, c * kh * kw), out)
+}
+
+/// [`im2col`] into a caller-owned buffer (every slot is overwritten,
+/// including the zero padding, so uninitialized scratch storage is fine).
+pub fn im2col_into(input: &Tensor, kh: usize, kw: usize, pad: usize, out: &mut [f32]) {
     let [n, c, h, w] = [
         input.shape().dim(0),
         input.shape().dim(1),
@@ -29,39 +52,117 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, pad: usize) -> Tensor {
     );
     let (oh, ow) = (h + 2 * pad - kh + 1, w + 2 * pad - kw + 1);
     let row_len = c * kh * kw;
+    assert_eq!(out.len(), n * oh * ow * row_len, "im2col out length");
     let id = input.data();
-    let mut out = vec![0.0f32; n * oh * ow * row_len];
-    out.par_chunks_mut(oh * ow * row_len)
-        .enumerate()
-        .for_each(|(ni, chunk)| {
-            let ibase = ni * c * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row = &mut chunk[(oy * ow + ox) * row_len..(oy * ow + ox + 1) * row_len];
-                    let mut k = 0;
-                    for ci in 0..c {
-                        let icbase = ibase + ci * h * w;
-                        for ky in 0..kh {
-                            let iy = oy + ky;
-                            for kx in 0..kw {
-                                let ix = ox + kx;
-                                row[k] = if iy >= pad && iy < h + pad && ix >= pad && ix < w + pad {
-                                    id[icbase + (iy - pad) * w + (ix - pad)]
-                                } else {
-                                    0.0
-                                };
-                                k += 1;
-                            }
+    par::par_chunks_mut(out, oh * ow * row_len, |ni, chunk| {
+        let ibase = ni * c * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = &mut chunk[(oy * ow + ox) * row_len..(oy * ow + ox + 1) * row_len];
+                let mut k = 0;
+                for ci in 0..c {
+                    let icbase = ibase + ci * h * w;
+                    for ky in 0..kh {
+                        let iy = oy + ky;
+                        for kx in 0..kw {
+                            let ix = ox + kx;
+                            row[k] = if iy >= pad && iy < h + pad && ix >= pad && ix < w + pad {
+                                id[icbase + (iy - pad) * w + (ix - pad)]
+                            } else {
+                                0.0
+                            };
+                            k += 1;
                         }
                     }
                 }
             }
-        });
-    Tensor::from_vec(Shape::d2(n * oh * ow, row_len), out)
+        }
+    });
+}
+
+/// Adjoint of [`im2col`]: scatter-add a patch-gradient matrix
+/// `(N*OH*OW, C*KH*KW)` back into an input-shaped `(N,C,H,W)` tensor.
+/// Parallel over batch items; within one item the scatter runs in a fixed
+/// loop order, so the accumulation is deterministic.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    dpatches: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+) -> Tensor {
+    let mut dinput = vec![0.0f32; n * c * h * w];
+    col2im_into(dpatches, n, c, h, w, kh, kw, pad, &mut dinput);
+    Tensor::from_vec(Shape::d4(n, c, h, w), dinput)
+}
+
+/// [`col2im`] into a caller-owned, **pre-zeroed** buffer (the scatter
+/// accumulates).
+#[allow(clippy::too_many_arguments)]
+pub fn col2im_into(
+    dpatches: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    pad: usize,
+    dinput: &mut [f32],
+) {
+    let (oh, ow) = (h + 2 * pad - kh + 1, w + 2 * pad - kw + 1);
+    let row_len = c * kh * kw;
+    assert_eq!(
+        dpatches.shape().dims(),
+        &[n * oh * ow, row_len],
+        "col2im patch-matrix shape"
+    );
+    assert_eq!(dinput.len(), n * c * h * w, "col2im dinput length");
+    let pd = dpatches.data();
+    par::par_chunks_mut(dinput, c * h * w, |ni, dslice| {
+        let rbase = ni * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = &pd[(rbase + oy * ow + ox) * row_len..][..row_len];
+                let mut k = 0;
+                for ci in 0..c {
+                    let icbase = ci * h * w;
+                    for ky in 0..kh {
+                        let iy = oy + ky;
+                        for kx in 0..kw {
+                            let ix = ox + kx;
+                            if iy >= pad && iy < h + pad && ix >= pad && ix < w + pad {
+                                dslice[icbase + (iy - pad) * w + (ix - pad)] += row[k];
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+            }
+        }
+    });
 }
 
 /// GEMM-backed convolution, numerically equivalent to [`crate::ops::conv2d`].
 pub fn conv2d_im2col(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize) -> Tensor {
+    conv2d_im2col_s(input, weight, bias, pad, &mut Scratch::new())
+}
+
+/// [`conv2d_im2col`] with every intermediate buffer (patch matrix, GEMM
+/// product, output) served from a caller-owned [`Scratch`] arena — the
+/// allocation-free training-step entry point. Bit-identical to the
+/// allocating wrapper: buffer reuse never changes what is computed.
+pub fn conv2d_im2col_s(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    pad: usize,
+    s: &mut Scratch,
+) -> Tensor {
     let [n, c, h, w] = [
         input.shape().dim(0),
         input.shape().dim(1),
@@ -77,34 +178,140 @@ pub fn conv2d_im2col(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize)
     assert_eq!(c, cw, "conv2d channel mismatch");
     assert_eq!(bias.numel(), f);
     let (oh, ow) = (h + 2 * pad - kh + 1, w + 2 * pad - kw + 1);
+    let rows = n * oh * ow;
+    let row_len = c * kh * kw;
 
-    let patches = im2col(input, kh, kw, pad);
+    let mut patches_buf = s.take_uninit(rows * row_len);
+    im2col_into(input, kh, kw, pad, &mut patches_buf);
+    let patches = Tensor::from_vec(Shape::d2(rows, row_len), patches_buf);
     // weight viewed as (F, C*KH*KW): patches (R, K) x weightᵀ -> (R, F).
-    let wmat = weight.clone().reshape(Shape::d2(f, c * kh * kw));
-    let prod = matmul_nt(&patches, &wmat); // (N*OH*OW, F)
+    let mut wbuf = s.take_uninit(f * row_len);
+    wbuf.copy_from_slice(weight.data());
+    let wmat = Tensor::from_vec(Shape::d2(f, row_len), wbuf);
+    let mut prod = s.take_uninit(rows * f); // (N*OH*OW, F)
+    matmul_nt_into(&patches, &wmat, &mut prod);
+    s.put_tensor(patches);
+    s.put_tensor(wmat);
 
-    // Transpose rows into NCHW order and add bias.
-    let pd = prod.data();
+    // Transpose rows into NCHW order and add bias. `out` is taken while
+    // `prod` is still live (they are the same length, so putting `prod`
+    // first would hand its storage straight back as `out`).
+    let pd = &prod[..];
     let bd = bias.data();
-    let mut out = vec![0.0f32; n * f * oh * ow];
-    out.par_chunks_mut(f * oh * ow)
-        .enumerate()
-        .for_each(|(ni, chunk)| {
-            let rbase = ni * oh * ow;
-            for fi in 0..f {
-                let b = bd[fi];
-                for p in 0..oh * ow {
-                    chunk[fi * oh * ow + p] = pd[(rbase + p) * f + fi] + b;
-                }
+    let mut out = s.take_uninit(n * f * oh * ow);
+    par::par_chunks_mut(&mut out, f * oh * ow, |ni, chunk| {
+        let rbase = ni * oh * ow;
+        for fi in 0..f {
+            let b = bd[fi];
+            for p in 0..oh * ow {
+                chunk[fi * oh * ow + p] = pd[(rbase + p) * f + fi] + b;
             }
-        });
+        }
+    });
+    s.put(prod);
     Tensor::from_vec(Shape::d4(n, f, oh, ow), out)
+}
+
+/// GEMM-backed convolution backward, numerically equivalent to
+/// [`crate::ops::conv2d_backward`]'s direct loops but dominated by two
+/// blocked GEMMs instead of branchy scatter nests.
+pub fn conv2d_backward_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    pad: usize,
+) -> ConvGrads {
+    conv2d_backward_im2col_s(input, weight, dout, pad, &mut Scratch::new())
+}
+
+/// [`conv2d_backward_im2col`] with all buffers — including the returned
+/// gradient tensors — served from a caller-owned [`Scratch`] arena; callers
+/// on the training hot path recycle the results with
+/// [`Scratch::put_tensor`] once consumed.
+pub fn conv2d_backward_im2col_s(
+    input: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    pad: usize,
+    s: &mut Scratch,
+) -> ConvGrads {
+    let [n, c, h, w] = [
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    ];
+    let [f, _, kh, kw] = [
+        weight.shape().dim(0),
+        weight.shape().dim(1),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    ];
+    let (oh, ow) = (h + 2 * pad - kh + 1, w + 2 * pad - kw + 1);
+    assert_eq!(
+        dout.shape().dims(),
+        &[n, f, oh, ow],
+        "conv2d_backward dout shape"
+    );
+    let rows = n * oh * ow;
+    let row_len = c * kh * kw;
+
+    // dout (N,F,OH,OW) -> row layout (N*OH*OW, F), inverse of the forward
+    // output transpose.
+    let dd = dout.data();
+    let mut drows_buf = s.take_uninit(rows * f);
+    par::par_chunks_mut(&mut drows_buf, oh * ow * f, |ni, chunk| {
+        let dbase = ni * f * oh * ow;
+        for p in 0..oh * ow {
+            let dst = &mut chunk[p * f..(p + 1) * f];
+            for (fi, v) in dst.iter_mut().enumerate() {
+                *v = dd[dbase + fi * oh * ow + p];
+            }
+        }
+    });
+    let drows = Tensor::from_vec(Shape::d2(rows, f), drows_buf);
+
+    // dbias: column sums of dout rows, fixed (row-major) reduction order.
+    let mut dbias = s.take(f);
+    for r in 0..rows {
+        let row = &drows.data()[r * f..(r + 1) * f];
+        for (b, &g) in dbias.iter_mut().zip(row) {
+            *b += g;
+        }
+    }
+
+    let mut patches_buf = s.take_uninit(rows * row_len);
+    im2col_into(input, kh, kw, pad, &mut patches_buf);
+    let patches = Tensor::from_vec(Shape::d2(rows, row_len), patches_buf);
+    // dW (F, K) = doutᵀ_rows · patches.
+    let mut dw_buf = s.take_uninit(f * row_len);
+    matmul_tn_into(&drows, &patches, &mut dw_buf);
+    let dweight = Tensor::from_vec(Shape::d4(f, c, kh, kw), dw_buf);
+    // dpatches (R, K) = dout_rows · W.
+    let mut wbuf = s.take_uninit(f * row_len);
+    wbuf.copy_from_slice(weight.data());
+    let wmat = Tensor::from_vec(Shape::d2(f, row_len), wbuf);
+    let mut dpatches_buf = s.take_uninit(rows * row_len);
+    matmul_into(&drows, &wmat, &mut dpatches_buf);
+    let dpatches = Tensor::from_vec(Shape::d2(rows, row_len), dpatches_buf);
+    s.put_tensor(patches);
+    s.put_tensor(wmat);
+    s.put_tensor(drows);
+    let mut dinput_buf = s.take(n * c * h * w);
+    col2im_into(&dpatches, n, c, h, w, kh, kw, pad, &mut dinput_buf);
+    s.put_tensor(dpatches);
+
+    ConvGrads {
+        dinput: Tensor::from_vec(Shape::d4(n, c, h, w), dinput_buf),
+        dweight,
+        dbias: Tensor::from_vec(Shape::d1(f), dbias),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::conv::conv2d;
+    use crate::ops::conv::{conv2d_backward_direct, conv2d_direct};
     use crate::rng::DetRng;
 
     #[test]
@@ -128,6 +335,29 @@ mod tests {
     }
 
     #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), p> == <x, col2im(p)> for any p: the defining property
+        // of an adjoint, checked exactly on small integers.
+        let input = Tensor::from_fn(Shape::d4(1, 2, 3, 3), |i| (i % 7) as f32);
+        let patches = im2col(&input, 2, 2, 1);
+        let p = Tensor::from_fn(patches.shape().clone(), |i| ((i * 3) % 5) as f32);
+        let lhs: f32 = patches
+            .data()
+            .iter()
+            .zip(p.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let back = col2im(&p, 1, 2, 3, 3, 2, 2, 1);
+        let rhs: f32 = input
+            .data()
+            .iter()
+            .zip(back.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
     fn matches_direct_conv_exactly_shaped() {
         let mut rng = DetRng::seed_from_u64(1);
         for (n, c, h, w, f, k, pad) in [
@@ -139,7 +369,7 @@ mod tests {
             let input = Tensor::randn(Shape::d4(n, c, h, w), 1.0, &mut rng);
             let weight = Tensor::randn(Shape::d4(f, c, k, k), 0.5, &mut rng);
             let bias = Tensor::randn(Shape::d1(f), 0.5, &mut rng);
-            let direct = conv2d(&input, &weight, &bias, pad);
+            let direct = conv2d_direct(&input, &weight, &bias, pad);
             let gemm = conv2d_im2col(&input, &weight, &bias, pad);
             assert_eq!(direct.shape(), gemm.shape());
             for (i, (a, b)) in direct.data().iter().zip(gemm.data()).enumerate() {
@@ -147,6 +377,37 @@ mod tests {
                     (a - b).abs() < 1e-4,
                     "({n},{c},{h},{w},{f},{k},{pad}) idx {i}: {a} vs {b}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_matches_direct_backend() {
+        let mut rng = DetRng::seed_from_u64(3);
+        for (n, c, h, w, f, k, pad) in [
+            (2, 3, 8, 8, 5, 3, 1),
+            (1, 1, 5, 7, 2, 3, 0),
+            (3, 4, 6, 6, 8, 1, 0),
+        ] {
+            let input = Tensor::randn(Shape::d4(n, c, h, w), 1.0, &mut rng);
+            let weight = Tensor::randn(Shape::d4(f, c, k, k), 0.5, &mut rng);
+            let oh = h + 2 * pad - k + 1;
+            let ow = w + 2 * pad - k + 1;
+            let dout = Tensor::randn(Shape::d4(n, f, oh, ow), 1.0, &mut rng);
+            let a = conv2d_backward_direct(&input, &weight, &dout, pad);
+            let b = conv2d_backward_im2col(&input, &weight, &dout, pad);
+            for (what, x, y) in [
+                ("dinput", &a.dinput, &b.dinput),
+                ("dweight", &a.dweight, &b.dweight),
+                ("dbias", &a.dbias, &b.dbias),
+            ] {
+                assert_eq!(x.shape(), y.shape());
+                for (i, (p, q)) in x.data().iter().zip(y.data()).enumerate() {
+                    assert!(
+                        (p - q).abs() < 1e-3,
+                        "({n},{c},{h},{w},{f},{k},{pad}) {what}[{i}]: {p} vs {q}"
+                    );
+                }
             }
         }
     }

@@ -1,112 +1,563 @@
-//! Dense matrix multiplication kernels.
+//! Dense matrix multiplication kernels: cache-blocked, register-tiled,
+//! panel-packed, parallel over row blocks.
 //!
 //! Three variants cover everything a dense layer's forward/backward pass
 //! needs without materializing transposes:
 //!
-//! * [`matmul`]   — `C = A·B`      (`M×K · K×N`)
+//! * [`matmul`]    — `C = A·B`      (`M×K · K×N`)
 //! * [`matmul_nt`] — `C = A·Bᵀ`    (`M×K · N×K`)
 //! * [`matmul_tn`] — `C = Aᵀ·B`    (`K×M · K×N`)
+//!
+//! each with a `_into` twin that writes into a caller-owned buffer so the
+//! training hot path can run allocation-free (see [`crate::Scratch`]).
+//!
+//! # Blocking / packing scheme
+//!
+//! The right-hand operand is packed once per call into column panels of
+//! [`NR`] = 16 columns (`pb[kk * NR + c] = B[kk][j0 + c]`, zero-padded on the
+//! ragged edge), so the micro-kernel streams B contiguously regardless of
+//! the variant's storage order. The micro-kernel computes an `MR×NR`
+//! (4×16) register tile: for each `k` it loads one packed B row and `MR`
+//! A scalars, updating 64 accumulators. On AVX-512 hosts the full-tile
+//! case uses explicit 512-bit `mul`/`add` intrinsics (one ZMM per row);
+//! elsewhere a constant-trip-count scalar loop autovectorizes. Row blocks
+//! of [`MC`] rows are distributed over the thread pool; each task owns a
+//! disjoint slice of `C`.
+//!
+//! # Determinism rules
+//!
+//! Every output element is produced by a *single sequential accumulation
+//! chain in strictly ascending `k`*: `c = ((0 + a_0·b_0) + a_1·b_1) + …`.
+//! Tiling changes which elements are computed together, never the order of
+//! additions within one element, and `mul_add`/split-`k` reductions are
+//! deliberately not used — so every variant is bit-identical to the naive
+//! `i,j,k` triple loop, on any thread count, on every run. (The seed
+//! kernels' `av == 0.0` skip is gone: it cost a branch per inner iteration
+//! on dense activations and made results depend on signed zeros.)
 
+use crate::par;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
+use std::cell::RefCell;
 
-/// Parallelize only when the work is big enough to amortize task overhead.
-const PAR_THRESHOLD: usize = 64 * 64;
+/// Micro-tile rows (A rows per register tile).
+pub const MR: usize = 4;
+/// Micro-tile columns (packed B panel width): one 512-bit vector, or two
+/// 256-bit ones on AVX2-only hosts.
+pub const NR: usize = 16;
+/// Rows of `C` per parallel task.
+const MC: usize = 32;
+
+/// Per-kernel parallelism thresholds on `m * n * k`, calibrated with
+/// `dlion-bench kernels` (see `results/BENCH_kernels.json`): a task must be
+/// worth ≥ ~10 µs of math before pool dispatch pays for itself. `matmul_nt`
+/// amortizes an extra transpose-pack of B, so it parallelizes slightly later.
+const PAR_FLOPS_MM: usize = 32 * 32 * 32;
+const PAR_FLOPS_NT: usize = 40 * 32 * 32;
+const PAR_FLOPS_TN: usize = 32 * 32 * 32;
+
+thread_local! {
+    /// Reusable panel-packing buffer (per thread; GEMMs never nest).
+    static PACK_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pack row-major `B: K×N` into `ceil(n/NR)` column panels, each `k × NR`
+/// contiguous, zero-padding the last panel's missing columns.
+fn pack_panels_rowmajor(bd: &[f32], k: usize, n: usize, pb: &mut Vec<f32>) {
+    let np = n.div_ceil(NR);
+    pb.clear();
+    pb.resize(np * k * NR, 0.0);
+    for jp in 0..np {
+        let j0 = jp * NR;
+        let ne = NR.min(n - j0);
+        let panel = &mut pb[jp * k * NR..(jp + 1) * k * NR];
+        for kk in 0..k {
+            let src = &bd[kk * n + j0..kk * n + j0 + ne];
+            panel[kk * NR..kk * NR + ne].copy_from_slice(src);
+        }
+    }
+}
+
+/// Pack row-major `B: N×K` (i.e. Bᵀ of the multiply) into the same panel
+/// layout as [`pack_panels_rowmajor`].
+fn pack_panels_transposed(bd: &[f32], k: usize, n: usize, pb: &mut Vec<f32>) {
+    let np = n.div_ceil(NR);
+    pb.clear();
+    pb.resize(np * k * NR, 0.0);
+    for jp in 0..np {
+        let j0 = jp * NR;
+        let ne = NR.min(n - j0);
+        let panel = &mut pb[jp * k * NR..(jp + 1) * k * NR];
+        for c in 0..ne {
+            let brow = &bd[(j0 + c) * k..(j0 + c + 1) * k];
+            for (kk, &v) in brow.iter().enumerate() {
+                panel[kk * NR + c] = v;
+            }
+        }
+    }
+}
+
+/// AVX-512 full-tile micro-kernels. Deliberately `mul` + `add`, never FMA:
+/// the determinism contract is bit-identity with the naive mul-then-add
+/// loop, and a fused multiply-add rounds once instead of twice.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::{MR, NR};
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    #[inline]
+    pub fn available() -> bool {
+        is_x86_feature_detected!("avx512f")
+    }
+
+    /// Full `MR×NR` tile, A row-major (`a[r * a_stride + kk]`).
+    ///
+    /// # Safety
+    /// AVX-512F must be available; `a` must cover `(MR-1)*a_stride + k`
+    /// elements and `panel` at least `k * NR`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn rows(
+        k: usize,
+        a: &[f32],
+        a_stride: usize,
+        panel: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        let mut c0 = _mm512_loadu_ps(acc[0].as_ptr());
+        let mut c1 = _mm512_loadu_ps(acc[1].as_ptr());
+        let mut c2 = _mm512_loadu_ps(acc[2].as_ptr());
+        let mut c3 = _mm512_loadu_ps(acc[3].as_ptr());
+        let ap = a.as_ptr();
+        for kk in 0..k {
+            let b = _mm512_loadu_ps(panel.as_ptr().add(kk * NR));
+            c0 = _mm512_add_ps(c0, _mm512_mul_ps(_mm512_set1_ps(*ap.add(kk)), b));
+            c1 = _mm512_add_ps(c1, _mm512_mul_ps(_mm512_set1_ps(*ap.add(a_stride + kk)), b));
+            c2 = _mm512_add_ps(
+                c2,
+                _mm512_mul_ps(_mm512_set1_ps(*ap.add(2 * a_stride + kk)), b),
+            );
+            c3 = _mm512_add_ps(
+                c3,
+                _mm512_mul_ps(_mm512_set1_ps(*ap.add(3 * a_stride + kk)), b),
+            );
+        }
+        _mm512_storeu_ps(acc[0].as_mut_ptr(), c0);
+        _mm512_storeu_ps(acc[1].as_mut_ptr(), c1);
+        _mm512_storeu_ps(acc[2].as_mut_ptr(), c2);
+        _mm512_storeu_ps(acc[3].as_mut_ptr(), c3);
+    }
+
+    /// Full `MR×NR` tile, A column-major (`a[kk * a_stride + r]`).
+    ///
+    /// # Safety
+    /// AVX-512F must be available; `a` must cover `(k-1)*a_stride + MR`
+    /// elements and `panel` at least `k * NR`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn cols(
+        k: usize,
+        a: &[f32],
+        a_stride: usize,
+        panel: &[f32],
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        let mut c0 = _mm512_loadu_ps(acc[0].as_ptr());
+        let mut c1 = _mm512_loadu_ps(acc[1].as_ptr());
+        let mut c2 = _mm512_loadu_ps(acc[2].as_ptr());
+        let mut c3 = _mm512_loadu_ps(acc[3].as_ptr());
+        let ap = a.as_ptr();
+        for kk in 0..k {
+            let b = _mm512_loadu_ps(panel.as_ptr().add(kk * NR));
+            let arow = ap.add(kk * a_stride);
+            c0 = _mm512_add_ps(c0, _mm512_mul_ps(_mm512_set1_ps(*arow), b));
+            c1 = _mm512_add_ps(c1, _mm512_mul_ps(_mm512_set1_ps(*arow.add(1)), b));
+            c2 = _mm512_add_ps(c2, _mm512_mul_ps(_mm512_set1_ps(*arow.add(2)), b));
+            c3 = _mm512_add_ps(c3, _mm512_mul_ps(_mm512_set1_ps(*arow.add(3)), b));
+        }
+        _mm512_storeu_ps(acc[0].as_mut_ptr(), c0);
+        _mm512_storeu_ps(acc[1].as_mut_ptr(), c1);
+        _mm512_storeu_ps(acc[2].as_mut_ptr(), c2);
+        _mm512_storeu_ps(acc[3].as_mut_ptr(), c3);
+    }
+}
+
+/// `mr × NR` register tile against a packed panel, A accessed row-major
+/// (`a[r * a_stride + kk]`). `a` must be positioned at `(row0, k=0)`.
+///
+/// The full-tile case runs with *constant* trip counts on a local copy of
+/// the accumulators: SROA then promotes the whole `MR×NR` tile into vector
+/// registers, which is the entire point of register tiling (with a runtime
+/// `mr` the tile lives in memory and every `k` step pays loads + stores).
+#[inline]
+fn micro_a_rows(
+    mr: usize,
+    k: usize,
+    a: &[f32],
+    a_stride: usize,
+    panel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    if mr == MR {
+        #[cfg(target_arch = "x86_64")]
+        if simd::available() {
+            // SAFETY: feature checked; slice bounds asserted by callers'
+            // indexing below would hold for the same accesses.
+            unsafe { simd::rows(k, a, a_stride, panel, acc) };
+            return;
+        }
+        let mut t = *acc;
+        for kk in 0..k {
+            let b8 = &panel[kk * NR..kk * NR + NR];
+            for r in 0..MR {
+                let av = a[r * a_stride + kk];
+                for c in 0..NR {
+                    t[r][c] += av * b8[c];
+                }
+            }
+        }
+        *acc = t;
+        return;
+    }
+    for kk in 0..k {
+        let b8 = &panel[kk * NR..kk * NR + NR];
+        for r in 0..mr {
+            let av = a[r * a_stride + kk];
+            for c in 0..NR {
+                acc[r][c] += av * b8[c];
+            }
+        }
+    }
+}
+
+/// Same tile with A accessed column-major (`a[kk * a_stride + r]`), for the
+/// `Aᵀ·B` variant. `a` must be positioned at `(k=0, col0)`.
+#[inline]
+fn micro_a_cols(
+    mr: usize,
+    k: usize,
+    a: &[f32],
+    a_stride: usize,
+    panel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    if mr == MR {
+        #[cfg(target_arch = "x86_64")]
+        if simd::available() {
+            // SAFETY: feature checked; same element accesses as the
+            // portable loop below.
+            unsafe { simd::cols(k, a, a_stride, panel, acc) };
+            return;
+        }
+        let mut t = *acc;
+        for kk in 0..k {
+            let b8 = &panel[kk * NR..kk * NR + NR];
+            let arow = &a[kk * a_stride..kk * a_stride + MR];
+            for r in 0..MR {
+                let av = arow[r];
+                for c in 0..NR {
+                    t[r][c] += av * b8[c];
+                }
+            }
+        }
+        *acc = t;
+        return;
+    }
+    for kk in 0..k {
+        let b8 = &panel[kk * NR..kk * NR + NR];
+        let arow = &a[kk * a_stride..kk * a_stride + mr];
+        for r in 0..mr {
+            let av = arow[r];
+            for c in 0..NR {
+                acc[r][c] += av * b8[c];
+            }
+        }
+    }
+}
+
+/// Shared driver: C rows `[0, m)` in MC-row tasks, each task sweeping its
+/// rows in MR strips against every packed panel.
+#[allow(clippy::too_many_arguments)]
+fn gemm_driver(
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    packed: &[f32],
+    parallel: bool,
+    a_at_row: &(dyn Fn(usize) -> (usize, usize) + Sync), // row -> (offset, stride)
+    col_major_a: bool,
+    ad: &[f32],
+) {
+    assert_eq!(out.len(), m * n, "gemm output buffer size");
+    let np = n.div_ceil(NR);
+    let body = |blk: usize, chunk: &mut [f32]| {
+        let i0 = blk * MC;
+        let rows = chunk.len() / n;
+        let mut r0 = 0;
+        while r0 < rows {
+            let mr = MR.min(rows - r0);
+            for jp in 0..np {
+                let j0 = jp * NR;
+                let ne = NR.min(n - j0);
+                let panel = &packed[jp * k * NR..(jp + 1) * k * NR];
+                let mut acc = [[0.0f32; NR]; MR];
+                let (off, stride) = a_at_row(i0 + r0);
+                if col_major_a {
+                    micro_a_cols(mr, k, &ad[off..], stride, panel, &mut acc);
+                } else {
+                    micro_a_rows(mr, k, &ad[off..], stride, panel, &mut acc);
+                }
+                for r in 0..mr {
+                    let dst = &mut chunk[(r0 + r) * n + j0..(r0 + r) * n + j0 + ne];
+                    dst.copy_from_slice(&acc[r][..ne]);
+                }
+            }
+            r0 += mr;
+        }
+    };
+    if parallel {
+        par::par_chunks_mut(out, MC * n, body);
+    } else {
+        out.chunks_mut(MC * n)
+            .enumerate()
+            .for_each(|(b, c)| body(b, c));
+    }
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{what} must be rank-2");
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+/// `C = A·B` for `A: M×K`, `B: K×N`, written into `out` (`len == m * n`).
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    if cfg!(feature = "seed-kernels") {
+        return matmul_seed_into(a, b, out);
+    }
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+    let (ad, bd) = (a.data(), b.data());
+    PACK_BUF.with(|p| {
+        let mut pb = std::mem::take(&mut *p.borrow_mut());
+        pack_panels_rowmajor(bd, k, n, &mut pb);
+        gemm_driver(
+            m,
+            k,
+            n,
+            out,
+            &pb,
+            m * n * k >= PAR_FLOPS_MM,
+            &|row| (row * k, k),
+            false,
+            ad,
+        );
+        *p.borrow_mut() = pb;
+    });
+}
+
+/// `C = A·Bᵀ` for `A: M×K`, `B: N×K`, written into `out` (`len == m * n`).
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    if cfg!(feature = "seed-kernels") {
+        return matmul_nt_seed_into(a, b, out);
+    }
+    let (m, k) = dims2(a, "matmul_nt lhs");
+    let (n, k2) = dims2(b, "matmul_nt rhs");
+    assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
+    let (ad, bd) = (a.data(), b.data());
+    PACK_BUF.with(|p| {
+        let mut pb = std::mem::take(&mut *p.borrow_mut());
+        pack_panels_transposed(bd, k, n, &mut pb);
+        gemm_driver(
+            m,
+            k,
+            n,
+            out,
+            &pb,
+            m * n * k >= PAR_FLOPS_NT,
+            &|row| (row * k, k),
+            false,
+            ad,
+        );
+        *p.borrow_mut() = pb;
+    });
+}
+
+/// `C = Aᵀ·B` for `A: K×M`, `B: K×N`, written into `out` (`len == m * n`).
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    if cfg!(feature = "seed-kernels") {
+        return matmul_tn_seed_into(a, b, out);
+    }
+    let (k, m) = dims2(a, "matmul_tn lhs");
+    let (k2, n) = dims2(b, "matmul_tn rhs");
+    assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
+    let (ad, bd) = (a.data(), b.data());
+    PACK_BUF.with(|p| {
+        let mut pb = std::mem::take(&mut *p.borrow_mut());
+        pack_panels_rowmajor(bd, k, n, &mut pb);
+        gemm_driver(
+            m,
+            k,
+            n,
+            out,
+            &pb,
+            m * n * k >= PAR_FLOPS_TN,
+            &|row| (row, m),
+            true,
+            ad,
+        );
+        *p.borrow_mut() = pb;
+    });
+}
 
 /// `C = A·B` for `A: M×K`, `B: K×N`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank-2");
-    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank-2");
-    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
-    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
-    assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
-    let ad = a.data();
-    let bd = b.data();
+    let (m, _) = dims2(a, "matmul lhs");
+    let (_, n) = dims2(b, "matmul rhs");
     let mut out = vec![0.0f32; m * n];
-    let row = |i: usize, out_row: &mut [f32]| {
-        let arow = &ad[i * k..(i + 1) * k];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    };
-    if m * n * k >= PAR_THRESHOLD {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, r)| row(i, r));
-    } else {
-        out.chunks_mut(n).enumerate().for_each(|(i, r)| row(i, r));
-    }
+    matmul_into(a, b, &mut out);
     Tensor::from_vec(Shape::d2(m, n), out)
 }
 
 /// `C = A·Bᵀ` for `A: M×K`, `B: N×K`.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().rank(), 2);
-    assert_eq!(b.shape().rank(), 2);
-    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
-    let (n, k2) = (b.shape().dim(0), b.shape().dim(1));
-    assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
-    let ad = a.data();
-    let bd = b.data();
+    let (m, _) = dims2(a, "matmul_nt lhs");
+    let (n, _) = dims2(b, "matmul_nt rhs");
     let mut out = vec![0.0f32; m * n];
-    let row = |i: usize, out_row: &mut [f32]| {
-        let arow = &ad[i * k..(i + 1) * k];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
-    };
-    if m * n * k >= PAR_THRESHOLD {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, r)| row(i, r));
-    } else {
-        out.chunks_mut(n).enumerate().for_each(|(i, r)| row(i, r));
-    }
+    matmul_nt_into(a, b, &mut out);
     Tensor::from_vec(Shape::d2(m, n), out)
 }
 
 /// `C = Aᵀ·B` for `A: K×M`, `B: K×N`.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().rank(), 2);
-    assert_eq!(b.shape().rank(), 2);
-    let (k, m) = (a.shape().dim(0), a.shape().dim(1));
-    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
-    assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
-    let ad = a.data();
-    let bd = b.data();
+    let (_, m) = dims2(a, "matmul_tn lhs");
+    let (_, n) = dims2(b, "matmul_tn rhs");
     let mut out = vec![0.0f32; m * n];
-    let row = |i: usize, out_row: &mut [f32]| {
-        for kk in 0..k {
-            let av = ad[kk * m + i];
-            if av == 0.0 {
-                continue;
+    matmul_tn_into(a, b, &mut out);
+    Tensor::from_vec(Shape::d2(m, n), out)
+}
+
+/// Reference kernel: the naive `i,j,k` triple loop the blocked kernels must
+/// match bit-for-bit. Kept public for tests and the bench binary.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += ad[i * k + kk] * bd[kk * n + j];
             }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(brow) {
-                *o += av * bv;
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(Shape::d2(m, n), out)
+}
+
+// ---------------------------------------------------------------------------
+// Seed (pre-optimization) kernels.
+//
+// The algorithms this repository shipped before the blocked rewrite: plain
+// row-wise loops with an `av == 0.0` skip in the axpy variants and no
+// packing or register tiling. Always compiled so the bench binary can
+// measure them head-to-head against the blocked kernels; building with
+// `--features seed-kernels` additionally reroutes the public `_into` entry
+// points through them, so one source tree produces an honest "before"
+// binary for end-to-end comparisons. (The seed kernels accumulate in
+// k-major axpy order, so under the feature the blocked kernels' exact
+// bit-match tests do not apply.)
+
+/// Seed algorithm for [`matmul_into`]: per output row, axpy each `A[i][k]`
+/// against row `k` of B, skipping zero multipliers.
+pub fn matmul_seed_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+    assert_eq!(out.len(), m * n, "gemm output buffer size");
+    let (ad, bd) = (a.data(), b.data());
+    let body = |i0: usize, rows: &mut [f32]| {
+        for (r, orow) in rows.chunks_mut(n).enumerate() {
+            let i = i0 + r;
+            orow.fill(0.0);
+            for kk in 0..k {
+                let av = ad[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
     };
-    if m * n * k >= PAR_THRESHOLD {
-        out.par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, r)| row(i, r));
+    if m * n * k >= PAR_FLOPS_MM {
+        par::par_chunks_mut(out, n, body);
     } else {
-        out.chunks_mut(n).enumerate().for_each(|(i, r)| row(i, r));
+        body(0, out);
     }
-    Tensor::from_vec(Shape::d2(m, n), out)
+}
+
+/// Seed algorithm for [`matmul_nt_into`]: per output element, a dot product
+/// of one A row with one B row.
+pub fn matmul_nt_seed_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    let (m, k) = dims2(a, "matmul_nt lhs");
+    let (n, k2) = dims2(b, "matmul_nt rhs");
+    assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
+    assert_eq!(out.len(), m * n, "gemm output buffer size");
+    let (ad, bd) = (a.data(), b.data());
+    let body = |i0: usize, rows: &mut [f32]| {
+        for (r, orow) in rows.chunks_mut(n).enumerate() {
+            let arow = &ad[(i0 + r) * k..(i0 + r + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += arow[kk] * brow[kk];
+                }
+                *o = acc;
+            }
+        }
+    };
+    if m * n * k >= PAR_FLOPS_NT {
+        par::par_chunks_mut(out, n, body);
+    } else {
+        body(0, out);
+    }
+}
+
+/// Seed algorithm for [`matmul_tn_into`]: per output row, axpy each
+/// `A[k][i]` (strided) against row `k` of B, skipping zero multipliers.
+pub fn matmul_tn_seed_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    let (k, m) = dims2(a, "matmul_tn lhs");
+    let (k2, n) = dims2(b, "matmul_tn rhs");
+    assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
+    assert_eq!(out.len(), m * n, "gemm output buffer size");
+    let (ad, bd) = (a.data(), b.data());
+    let body = |i0: usize, rows: &mut [f32]| {
+        for (r, orow) in rows.chunks_mut(n).enumerate() {
+            let i = i0 + r;
+            orow.fill(0.0);
+            for kk in 0..k {
+                let av = ad[kk * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    };
+    if m * n * k >= PAR_FLOPS_TN {
+        par::par_chunks_mut(out, n, body);
+    } else {
+        body(0, out);
+    }
 }
 
 #[cfg(test)]
@@ -115,19 +566,7 @@ mod tests {
     use crate::rng::DetRng;
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
-        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
-        let n = b.shape().dim(1);
-        let mut out = Tensor::zeros(Shape::d2(m, n));
-        for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0.0;
-                for kk in 0..k {
-                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
-                }
-                *out.at_mut(&[i, j]) = acc;
-            }
-        }
-        out
+        matmul_naive(a, b)
     }
 
     fn transpose(a: &Tensor) -> Tensor {
@@ -167,6 +606,54 @@ mod tests {
         for (x, y) in c.data().iter().zip(expect.data()) {
             assert!((x - y).abs() < 1e-4, "{x} vs {y}");
         }
+    }
+
+    /// The blocked kernels' determinism contract: bit-identical to the naive
+    /// triple loop, including shapes not divisible by MR/NR/MC.
+    #[test]
+    fn blocked_kernels_bit_match_naive() {
+        let mut rng = DetRng::seed_from_u64(20);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 17),
+            (33, 47, 29),
+            (64, 64, 64),
+            (65, 31, 70),
+        ] {
+            let a = Tensor::randn(Shape::d2(m, k), 1.0, &mut rng);
+            let b = Tensor::randn(Shape::d2(k, n), 1.0, &mut rng);
+            let c = matmul(&a, &b);
+            let expect = naive(&a, &b);
+            assert_eq!(c.data(), expect.data(), "matmul {m}x{k}x{n}");
+
+            let bt = transpose(&b);
+            let c_nt = matmul_nt(&a, &bt);
+            assert_eq!(c_nt.data(), expect.data(), "matmul_nt {m}x{k}x{n}");
+
+            let at = transpose(&a);
+            let c_tn = matmul_tn(&at, &b);
+            assert_eq!(c_tn.data(), expect.data(), "matmul_tn {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let mut rng = DetRng::seed_from_u64(21);
+        let a = Tensor::randn(Shape::d2(13, 21), 1.0, &mut rng);
+        let b = Tensor::randn(Shape::d2(21, 10), 1.0, &mut rng);
+        let mut out = vec![7.0f32; 130]; // stale contents must be overwritten
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out, matmul(&a, &b).data());
+
+        let bt = transpose(&b);
+        matmul_nt_into(&a, &bt, &mut out);
+        assert_eq!(out, matmul_nt(&a, &bt).data());
+
+        let at = transpose(&a);
+        matmul_tn_into(&at, &b, &mut out);
+        assert_eq!(out, matmul_tn(&at, &b).data());
     }
 
     #[test]

@@ -2,10 +2,39 @@
 //! depthwise), max-pooling and activations, each with a hand-written
 //! backward pass.
 //!
-//! Kernels parallelize over independent output slices with rayon, so the
-//! result is identical to the serial computation regardless of thread
-//! scheduling (each output element is produced by exactly one task with a
-//! fixed-order inner loop).
+//! # Kernel architecture
+//!
+//! The GEMM family (`ops::matmul`) is cache-blocked and register-tiled:
+//! the right-hand operand is packed into 8-column panels, the micro-kernel
+//! computes a 4×8 accumulator tile per sweep, and row blocks of the output
+//! are distributed over the in-tree thread pool (`crate::par`). Large
+//! convolutions are lowered onto those GEMMs via `ops::im2col`
+//! (forward *and* backward); tiny shapes keep the branch-free direct loops
+//! in `ops::conv`. Backend dispatch depends only on static shapes.
+//!
+//! # Determinism rules
+//!
+//! All kernels follow two rules that make results bit-identical across
+//! runs, thread counts, and schedulings:
+//!
+//! 1. every output element is written by exactly one task, and
+//! 2. every reduction into an element is a single sequential chain in a
+//!    fixed index order (ascending `k` for GEMM, the loop-nest order for
+//!    direct conv, chunk-index order for sums).
+//!
+//! In particular the blocked GEMMs are bit-identical to the naive `i,j,k`
+//! triple loop — tiling only regroups *which* elements are computed
+//! together, never the order of additions inside one element (no `mul_add`
+//! contraction, no split-`k`). Property tests in `tests/proptest_tensor.rs`
+//! enforce this with exact `f32` equality on shapes that are not multiples
+//! of the tile sizes.
+//!
+//! # Scratch / `_into` entry points
+//!
+//! Hot-path kernels have `_into` twins (e.g. `matmul_into`) that write into
+//! caller-owned buffers; together with `crate::Scratch` (a per-worker
+//! size-bucketed buffer pool) the training step runs without per-iteration
+//! heap allocation. See `crate::scratch` for the ownership story.
 
 pub mod activation;
 pub mod conv;
@@ -14,7 +43,16 @@ pub mod matmul;
 pub mod pool;
 
 pub use activation::{relu, relu_backward, softmax_rows, softmax_xent};
-pub use conv::{conv2d, conv2d_backward, depthwise_conv2d, depthwise_conv2d_backward, ConvGrads};
-pub use im2col::{conv2d_im2col, im2col};
-pub use matmul::{matmul, matmul_nt, matmul_tn};
-pub use pool::{maxpool2, maxpool2_backward};
+pub use conv::{
+    conv2d, conv2d_backward, conv2d_backward_direct, conv2d_backward_s, conv2d_direct, conv2d_s,
+    depthwise_conv2d, depthwise_conv2d_backward, ConvGrads,
+};
+pub use im2col::{
+    col2im, col2im_into, conv2d_backward_im2col, conv2d_backward_im2col_s, conv2d_im2col,
+    conv2d_im2col_s, im2col, im2col_into,
+};
+pub use matmul::{
+    matmul, matmul_into, matmul_naive, matmul_nt, matmul_nt_into, matmul_nt_seed_into,
+    matmul_seed_into, matmul_tn, matmul_tn_into, matmul_tn_seed_into,
+};
+pub use pool::{maxpool2, maxpool2_backward, maxpool2_backward_into, maxpool2_into};

@@ -1,8 +1,8 @@
 //! 2×2 max-pooling with stride 2 (the only pooling the paper's models use).
 
+use crate::par;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
 /// Forward max-pool. Returns `(output, argmax)` where `argmax` stores, for
 /// each output element, the flat index (within the whole input tensor) of
@@ -19,47 +19,65 @@ pub fn maxpool2(input: &Tensor) -> (Tensor, Vec<u32>) {
     ];
     let (oh, ow) = (h / 2, w / 2);
     assert!(oh > 0 && ow > 0, "input too small to pool");
-    let id = input.data();
     let mut out = vec![0.0f32; n * c * oh * ow];
     let mut arg = vec![0u32; n * c * oh * ow];
-    out.par_chunks_mut(oh * ow)
-        .zip(arg.par_chunks_mut(oh * ow))
-        .enumerate()
-        .for_each(|(nc, (ochunk, achunk))| {
-            let ibase = nc * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_i = 0usize;
-                    for dy in 0..2 {
-                        for dx in 0..2 {
-                            let iy = oy * 2 + dy;
-                            let ix = ox * 2 + dx;
-                            let idx = ibase + iy * w + ix;
-                            let v = id[idx];
-                            if v > best {
-                                best = v;
-                                best_i = idx;
-                            }
+    maxpool2_into(input, &mut out, &mut arg);
+    (Tensor::from_vec(Shape::d4(n, c, oh, ow), out), arg)
+}
+
+/// [`maxpool2`] into caller-owned buffers (every slot is overwritten, so
+/// uninitialized scratch storage is fine).
+pub fn maxpool2_into(input: &Tensor, out: &mut [f32], arg: &mut [u32]) {
+    let [n, c, h, w] = [
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    ];
+    let (oh, ow) = (h / 2, w / 2);
+    assert!(oh > 0 && ow > 0, "input too small to pool");
+    assert_eq!(out.len(), n * c * oh * ow, "maxpool2 out length");
+    assert_eq!(arg.len(), n * c * oh * ow, "maxpool2 argmax length");
+    let id = input.data();
+    par::par_chunks2_mut(out, oh * ow, arg, oh * ow, |nc, ochunk, achunk| {
+        let ibase = nc * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_i = 0usize;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let iy = oy * 2 + dy;
+                        let ix = ox * 2 + dx;
+                        let idx = ibase + iy * w + ix;
+                        let v = id[idx];
+                        if v > best {
+                            best = v;
+                            best_i = idx;
                         }
                     }
-                    ochunk[oy * ow + ox] = best;
-                    achunk[oy * ow + ox] = best_i as u32;
                 }
+                ochunk[oy * ow + ox] = best;
+                achunk[oy * ow + ox] = best_i as u32;
             }
-        });
-    (Tensor::from_vec(Shape::d4(n, c, oh, ow), out), arg)
+        }
+    });
 }
 
 /// Backward max-pool: routes each output gradient to the argmax position.
 pub fn maxpool2_backward(input_shape: &Shape, dout: &Tensor, argmax: &[u32]) -> Tensor {
-    assert_eq!(dout.numel(), argmax.len(), "dout/argmax length mismatch");
     let mut dinput = Tensor::zeros(input_shape.clone());
-    let dd = dinput.data_mut();
-    for (&a, &g) in argmax.iter().zip(dout.data()) {
-        dd[a as usize] += g;
-    }
+    maxpool2_backward_into(dout, argmax, dinput.data_mut());
     dinput
+}
+
+/// [`maxpool2_backward`] into a caller-owned, **pre-zeroed** buffer (the
+/// scatter accumulates).
+pub fn maxpool2_backward_into(dout: &Tensor, argmax: &[u32], dinput: &mut [f32]) {
+    assert_eq!(dout.numel(), argmax.len(), "dout/argmax length mismatch");
+    for (&a, &g) in argmax.iter().zip(dout.data()) {
+        dinput[a as usize] += g;
+    }
 }
 
 #[cfg(test)]

@@ -1,17 +1,25 @@
 //! Deterministic random number generation.
 //!
 //! All stochastic pieces of the simulation (weight init, minibatch sampling,
-//! synthetic data, bandwidth jitter) draw from [`DetRng`], a thin wrapper
-//! around a seeded [`rand::rngs::StdRng`] that adds the distributions the
-//! workloads need. A fresh `DetRng` from the same seed always produces the
-//! same stream, which keeps whole cluster simulations bit-reproducible.
+//! synthetic data, bandwidth jitter) draw from [`DetRng`], a self-contained
+//! xoshiro256++ generator (seeded through SplitMix64) plus the distributions
+//! the workloads need. A fresh `DetRng` from the same seed always produces
+//! the same stream on every platform, which keeps whole cluster simulations
+//! bit-reproducible — and the implementation has no external dependencies,
+//! so the workspace builds with no registry access.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+/// SplitMix64 step: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-/// Deterministic RNG used throughout the workspace.
+/// Deterministic RNG used throughout the workspace (xoshiro256++).
 pub struct DetRng {
-    inner: StdRng,
+    s: [u64; 4],
     /// Cached second sample from Box–Muller.
     spare_normal: Option<f64>,
 }
@@ -19,8 +27,15 @@ pub struct DetRng {
 impl DetRng {
     /// Create from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
         DetRng {
-            inner: StdRng::seed_from_u64(seed),
+            s,
             spare_normal: None,
         }
     }
@@ -28,13 +43,27 @@ impl DetRng {
     /// Derive a child RNG with a domain-separated seed; used to give each
     /// simulated worker an independent, reproducible stream.
     pub fn derive(&mut self, stream: u64) -> DetRng {
-        let s = self.inner.random::<u64>() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         DetRng::seed_from_u64(s)
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Raw u64, for seeding sub-components. (xoshiro256++ step.)
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with full 53-bit mantissa resolution.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -42,10 +71,24 @@ impl DetRng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    /// Uniform integer in `[0, n)` via Lemire's debiased multiply-shift.
+    /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.random_range(0..n)
+        let n = n as u64;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            // Rejection zone for exact uniformity over [0, n).
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as usize
     }
 
     /// Standard normal via Box–Muller (no external distribution crate).
@@ -87,11 +130,6 @@ impl DetRng {
         idx.truncate(k);
         idx
     }
-
-    /// Raw u64, for seeding sub-components.
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.random::<u64>()
-    }
 }
 
 #[cfg(test)]
@@ -114,6 +152,33 @@ mod tests {
         let xa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
         let xb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = DetRng::seed_from_u64(21);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn index_is_unbiased_over_small_range() {
+        // Lemire rejection must make all residues equally likely; check a
+        // range that does not divide 2^64 evenly.
+        let mut rng = DetRng::seed_from_u64(77);
+        let n = 6;
+        let mut counts = [0usize; 6];
+        let draws = 60_000;
+        for _ in 0..draws {
+            counts[rng.index(n)] += 1;
+        }
+        let expected = draws / n;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected as f64).abs() / expected as f64;
+            assert!(dev < 0.05, "bucket {i}: {c} vs {expected}");
+        }
     }
 
     #[test]

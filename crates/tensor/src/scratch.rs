@@ -1,0 +1,134 @@
+//! Per-worker scratch arena: recycled `f32` buffers for the training step.
+//!
+//! The simulated trainer runs `forward_backward` once per virtual iteration;
+//! without reuse every activation, im2col patch matrix and gradient is a
+//! fresh `Vec<f32>` allocation. [`Scratch`] is a size-bucketed free list:
+//! [`Scratch::take`] hands out a zeroed buffer of the requested length
+//! (reusing a previously returned one when available) and [`Scratch::put`]
+//! returns it for the next iteration.
+//!
+//! Ownership story: each simulated worker owns exactly one `Scratch`; layers
+//! never hold scratch buffers across calls — a buffer taken inside
+//! `forward`/`backward` is either returned with `put` before the call exits
+//! or handed back to the caller as part of a result tensor (in which case it
+//! re-enters the arena when the caller recycles that tensor). The arena is
+//! deliberately not thread-safe: it lives and dies with one worker, which is
+//! also what keeps reuse deterministic.
+
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Size-bucketed pool of reusable `Vec<f32>` buffers.
+#[derive(Default)]
+pub struct Scratch {
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    /// Buffers handed out since construction (diagnostics only).
+    taken: u64,
+    /// Buffers served from the pool rather than freshly allocated.
+    reused: u64,
+}
+
+impl Scratch {
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Get a zeroed buffer of exactly `len` elements.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        self.taken += 1;
+        if let Some(mut buf) = self.buckets.get_mut(&len).and_then(|b| b.pop()) {
+            self.reused += 1;
+            buf.iter_mut().for_each(|v| *v = 0.0);
+            buf
+        } else {
+            vec![0.0; len]
+        }
+    }
+
+    /// Get a buffer of `len` elements without zeroing (for outputs that are
+    /// fully overwritten, e.g. GEMM results).
+    pub fn take_uninit(&mut self, len: usize) -> Vec<f32> {
+        self.taken += 1;
+        if let Some(buf) = self.buckets.get_mut(&len).and_then(|b| b.pop()) {
+            self.reused += 1;
+            buf
+        } else {
+            vec![0.0; len]
+        }
+    }
+
+    /// Get a zeroed tensor of the given shape (storage from the pool).
+    pub fn take_tensor(&mut self, shape: impl Into<crate::Shape>) -> Tensor {
+        let shape = shape.into();
+        let buf = self.take(shape.numel());
+        Tensor::from_vec(shape, buf)
+    }
+
+    /// Return a buffer to the pool.
+    pub fn put(&mut self, buf: Vec<f32>) {
+        if buf.is_empty() {
+            return;
+        }
+        self.buckets.entry(buf.len()).or_default().push(buf);
+    }
+
+    /// Recycle a whole tensor's storage.
+    pub fn put_tensor(&mut self, t: Tensor) {
+        self.put(t.into_data());
+    }
+
+    /// Fraction of `take` calls served from the pool; 0.0 before any call.
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.taken == 0 {
+            0.0
+        } else {
+            self.reused as f64 / self.taken as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_reuses_storage() {
+        let mut s = Scratch::new();
+        let mut a = s.take(128);
+        a[0] = 7.0;
+        let ptr = a.as_ptr();
+        s.put(a);
+        let b = s.take(128);
+        assert_eq!(b.as_ptr(), ptr, "same allocation must come back");
+        assert!(b.iter().all(|&v| v == 0.0), "reused buffers are zeroed");
+        assert!(s.reuse_ratio() > 0.0);
+    }
+
+    #[test]
+    fn different_sizes_do_not_mix() {
+        let mut s = Scratch::new();
+        s.put(vec![1.0; 64]);
+        let b = s.take(32);
+        assert_eq!(b.len(), 32);
+        let c = s.take(64);
+        assert_eq!(c.len(), 64);
+    }
+
+    #[test]
+    fn take_uninit_keeps_len() {
+        let mut s = Scratch::new();
+        s.put(vec![3.0; 16]);
+        let b = s.take_uninit(16);
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let mut s = Scratch::new();
+        let t = Tensor::full(crate::Shape::d2(4, 4), 2.0);
+        s.put_tensor(t);
+        let b = s.take(16);
+        assert_eq!(b.len(), 16);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,151 +1,238 @@
 //! Property-based tests for the tensor substrate's core invariants.
+//!
+//! Each test sweeps many deterministic pseudo-random cases (seeded
+//! `DetRng`), replacing the external proptest dependency: same invariants,
+//! reproducible offline.
 
-use dlion_tensor::ops::{matmul, matmul_nt, matmul_tn};
+use dlion_tensor::ops::{
+    matmul, matmul_into, matmul_naive, matmul_nt, matmul_nt_into, matmul_tn, matmul_tn_into,
+};
 use dlion_tensor::sparse::{kth_largest_abs, max_n_select, n_for_budget};
 use dlion_tensor::stats::linear_fit;
-use dlion_tensor::{Shape, Tensor};
-use proptest::prelude::*;
+use dlion_tensor::{DetRng, Shape, Tensor};
 
-fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-100.0f32..100.0, 1..max_len)
+fn finite_vec(rng: &mut DetRng, max_len: usize) -> Vec<f32> {
+    let len = 1 + rng.index(max_len - 1);
+    (0..len)
+        .map(|_| rng.uniform_range(-100.0, 100.0) as f32)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = (a.shape().dim(0), a.shape().dim(1));
+    Tensor::from_fn(Shape::d2(n, m), |f| a.at(&[f % m, f / m]))
+}
 
-    /// Max N selects exactly the entries with |v| >= (1 - N/100) * max|v|.
-    #[test]
-    fn max_n_threshold_semantics(dense in finite_vec(256), n in 0.1f64..100.0) {
+/// Max N selects exactly the entries with |v| >= (1 - N/100) * max|v|.
+#[test]
+fn max_n_threshold_semantics() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(case);
+        let dense = finite_vec(&mut rng, 256);
+        let n = rng.uniform_range(0.1, 100.0);
         let sel = max_n_select(&dense, n);
         let max = dense.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
         let thr = ((1.0 - n / 100.0) * max as f64) as f32;
         for (&i, &v) in sel.indices.iter().zip(&sel.values) {
-            prop_assert_eq!(dense[i as usize], v);
+            assert_eq!(dense[i as usize], v);
             if n < 100.0 {
-                prop_assert!(v.abs() >= thr, "selected value below threshold");
+                assert!(
+                    v.abs() >= thr,
+                    "case {case}: selected value below threshold"
+                );
             }
         }
         // Nothing above threshold is missed (non-zero entries).
         if n < 100.0 {
             for (i, &v) in dense.iter().enumerate() {
                 if v != 0.0 && v.abs() >= thr {
-                    prop_assert!(sel.indices.binary_search(&(i as u32)).is_ok(),
-                        "entry {i} ({v}) above threshold not selected");
+                    assert!(
+                        sel.indices.binary_search(&(i as u32)).is_ok(),
+                        "case {case}: entry {i} ({v}) above threshold not selected"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Selection size is monotone non-decreasing in N.
-    #[test]
-    fn max_n_monotone(dense in finite_vec(128)) {
+/// Selection size is monotone non-decreasing in N.
+#[test]
+fn max_n_monotone() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(1000 + case);
+        let dense = finite_vec(&mut rng, 128);
         let mut prev = 0usize;
         for n in [1.0, 10.0, 25.0, 50.0, 75.0, 100.0] {
             let sel = max_n_select(&dense, n);
-            prop_assert!(sel.nnz() >= prev);
+            assert!(sel.nnz() >= prev, "case {case}: nnz not monotone in N");
             prev = sel.nnz();
         }
     }
+}
 
-    /// Budgeted selection never exceeds the entry budget (when budget >= 1)
-    /// and keeps the largest-magnitude entries.
-    #[test]
-    fn budget_respected_and_greedy(dense in finite_vec(128), budget in 1usize..64) {
+/// Budgeted selection never exceeds the entry budget (when budget >= 1)
+/// and keeps the largest-magnitude entries.
+#[test]
+fn budget_respected_and_greedy() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(2000 + case);
+        let dense = finite_vec(&mut rng, 128);
+        let budget = 1 + rng.index(63);
         let (_, sel) = n_for_budget(&dense, budget, 0.85);
-        prop_assert!(sel.nnz() <= budget);
-        // Every selected magnitude >= every unselected magnitude (allowing ties).
+        assert!(sel.nnz() <= budget, "case {case}: budget exceeded");
         let selected: std::collections::HashSet<u32> = sel.indices.iter().copied().collect();
-        let min_sel = sel.values.iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        let min_sel = sel
+            .values
+            .iter()
+            .map(|v| v.abs())
+            .fold(f32::INFINITY, f32::min);
         if sel.nnz() > 0 && sel.nnz() == budget {
             for (i, &v) in dense.iter().enumerate() {
                 if !selected.contains(&(i as u32)) {
-                    prop_assert!(v.abs() <= min_sel + 1e-6,
-                        "unselected {v} larger than selected min {min_sel}");
+                    assert!(
+                        v.abs() <= min_sel + 1e-6,
+                        "case {case}: unselected {v} larger than selected min {min_sel}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// kth_largest_abs agrees with a sort-based oracle.
-    #[test]
-    fn kth_largest_matches_sort(dense in finite_vec(128), k in 1usize..64) {
+/// kth_largest_abs agrees with a sort-based oracle.
+#[test]
+fn kth_largest_matches_sort() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(3000 + case);
+        let dense = finite_vec(&mut rng, 128);
+        let k = 1 + rng.index(63);
         let got = kth_largest_abs(&dense, k);
         let mut abs: Vec<f32> = dense.iter().map(|x| x.abs()).collect();
         abs.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let expect = abs[(k - 1).min(abs.len() - 1)];
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    /// Scatter-add followed by subtraction recovers zero where selected.
-    #[test]
-    fn sparse_roundtrip(dense in finite_vec(128), n in 1.0f64..100.0) {
+/// Scatter-add followed by subtraction recovers zero where selected.
+#[test]
+fn sparse_roundtrip() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(4000 + case);
+        let dense = finite_vec(&mut rng, 128);
+        let n = rng.uniform_range(1.0, 100.0);
         let sel = max_n_select(&dense, n);
         let mut acc = dense.clone();
         sel.add_into(&mut acc, -1.0);
-        for (&i, _) in sel.indices.iter().zip(&sel.values) {
-            prop_assert!(acc[i as usize].abs() < 1e-4);
+        for &i in sel.indices.iter() {
+            assert!(acc[i as usize].abs() < 1e-4, "case {case}");
         }
     }
+}
 
-    /// Linear regression exactly recovers noiseless lines.
-    #[test]
-    fn linear_fit_recovers_line(a in -50.0f64..50.0, b in -10.0f64..10.0,
-                                xs in prop::collection::vec(-100.0f64..100.0, 3..32)) {
+/// Linear regression exactly recovers noiseless lines.
+#[test]
+fn linear_fit_recovers_line() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(5000 + case);
+        let a = rng.uniform_range(-50.0, 50.0);
+        let b = rng.uniform_range(-10.0, 10.0);
+        let len = 3 + rng.index(29);
+        let mut xs: Vec<f64> = (0..len).map(|_| rng.uniform_range(-100.0, 100.0)).collect();
         // Need x-variance; perturb deterministically if degenerate.
-        let mut xs = xs;
         xs[0] += 1.0;
         let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
         let (ga, gb) = linear_fit(&xs, &ys);
-        prop_assert!((ga - a).abs() < 1e-6 * (1.0 + a.abs()), "intercept {ga} vs {a}");
-        prop_assert!((gb - b).abs() < 1e-6 * (1.0 + b.abs()), "slope {gb} vs {b}");
+        assert!(
+            (ga - a).abs() < 1e-6 * (1.0 + a.abs()),
+            "case {case}: intercept {ga} vs {a}"
+        );
+        assert!(
+            (gb - b).abs() < 1e-6 * (1.0 + b.abs()),
+            "case {case}: slope {gb} vs {b}"
+        );
     }
+}
 
-    /// (A·B)ᵀ-free identities: matmul_nt(A, B) == A·Bᵀ and matmul_tn(A, B) == Aᵀ·B,
-    /// checked via small random shapes against the plain matmul with explicit
-    /// transposes.
-    #[test]
-    fn matmul_transpose_identities(m in 1usize..6, k in 1usize..6, n in 1usize..6,
-                                   seed in 0u64..1000) {
-        let mut rng = dlion_tensor::DetRng::seed_from_u64(seed);
+/// The blocked kernels' central contract: `matmul`, `matmul_nt`, `matmul_tn`
+/// and all `_into` variants are *bit-identical* (exact f32 equality) to the
+/// naive `i,j,k` triple loop, across random shapes deliberately not
+/// divisible by the MR=4 / NR=16 / MC=32 tile sizes.
+#[test]
+fn blocked_kernels_exactly_match_naive_reference() {
+    for case in 0..96u64 {
+        let mut rng = DetRng::seed_from_u64(6000 + case);
+        // Bias shapes toward tile-boundary straddling: 1..70 hits every
+        // residue mod 4/8/32.
+        let m = 1 + rng.index(70);
+        let k = 1 + rng.index(70);
+        let n = 1 + rng.index(70);
         let a = Tensor::randn(Shape::d2(m, k), 1.0, &mut rng);
         let b = Tensor::randn(Shape::d2(k, n), 1.0, &mut rng);
-        let bt = {
-            let mut t = Tensor::zeros(Shape::d2(n, k));
-            for i in 0..k { for j in 0..n { *t.at_mut(&[j, i]) = b.at(&[i, j]); } }
-            t
-        };
-        let at = {
-            let mut t = Tensor::zeros(Shape::d2(k, m));
-            for i in 0..m { for j in 0..k { *t.at_mut(&[j, i]) = a.at(&[i, j]); } }
-            t
-        };
-        let c = matmul(&a, &b);
-        let c_nt = matmul_nt(&a, &bt);
-        let c_tn = matmul_tn(&at, &b);
-        for i in 0..m * n {
-            prop_assert!((c.data()[i] - c_nt.data()[i]).abs() < 1e-4);
-            prop_assert!((c.data()[i] - c_tn.data()[i]).abs() < 1e-4);
-        }
-    }
+        let expect = matmul_naive(&a, &b);
 
-    /// Shape offsets are a bijection onto 0..numel.
-    #[test]
-    fn shape_offsets_bijective(d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5) {
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), expect.data(), "case {case}: matmul {m}x{k}x{n}");
+
+        let bt = transpose(&b);
+        let c_nt = matmul_nt(&a, &bt);
+        assert_eq!(
+            c_nt.data(),
+            expect.data(),
+            "case {case}: matmul_nt {m}x{k}x{n}"
+        );
+
+        let at = transpose(&a);
+        let c_tn = matmul_tn(&at, &b);
+        assert_eq!(
+            c_tn.data(),
+            expect.data(),
+            "case {case}: matmul_tn {m}x{k}x{n}"
+        );
+
+        // _into twins write the same bits into caller-owned (stale) buffers.
+        let mut buf = vec![f32::NAN; m * n];
+        matmul_into(&a, &b, &mut buf);
+        assert_eq!(buf, expect.data(), "case {case}: matmul_into");
+        matmul_nt_into(&a, &bt, &mut buf);
+        assert_eq!(buf, expect.data(), "case {case}: matmul_nt_into");
+        matmul_tn_into(&at, &b, &mut buf);
+        assert_eq!(buf, expect.data(), "case {case}: matmul_tn_into");
+    }
+}
+
+/// Shape offsets are a bijection onto 0..numel.
+#[test]
+fn shape_offsets_bijective() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::seed_from_u64(7000 + case);
+        let (d0, d1, d2) = (1 + rng.index(4), 1 + rng.index(4), 1 + rng.index(4));
         let s = Shape(vec![d0, d1, d2]);
         let mut seen = vec![false; s.numel()];
-        for i in 0..d0 { for j in 0..d1 { for k in 0..d2 {
-            let o = s.offset(&[i, j, k]);
-            prop_assert!(!seen[o], "offset collision");
-            seen[o] = true;
-        }}}
-        prop_assert!(seen.iter().all(|&x| x));
+        for i in 0..d0 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    let o = s.offset(&[i, j, k]);
+                    assert!(!seen[o], "case {case}: offset collision");
+                    seen[o] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "case {case}");
     }
+}
 
-    /// axpy is linear: (x + a*y) + b*y == x + (a+b)*y.
-    #[test]
-    fn axpy_linearity(xs in finite_vec(64), a in -2.0f32..2.0, b in -2.0f32..2.0) {
+/// axpy is linear: (x + a*y) + b*y == x + (a+b)*y.
+#[test]
+fn axpy_linearity() {
+    for case in 0..128u64 {
+        let mut rng = DetRng::seed_from_u64(8000 + case);
+        let xs = finite_vec(&mut rng, 64);
+        let a = rng.uniform_range(-2.0, 2.0) as f32;
+        let b = rng.uniform_range(-2.0, 2.0) as f32;
         let n = xs.len();
-        let x = Tensor::from_vec(Shape::d1(n), xs.clone());
+        let x = Tensor::from_vec(Shape::d1(n), xs);
         let y = Tensor::from_fn(Shape::d1(n), |i| (i as f32 * 0.37).sin());
         let mut lhs = x.clone();
         lhs.axpy(a, &y);
@@ -153,7 +240,10 @@ proptest! {
         let mut rhs = x.clone();
         rhs.axpy(a + b, &y);
         for i in 0..n {
-            prop_assert!((lhs.data()[i] - rhs.data()[i]).abs() < 1e-3);
+            assert!(
+                (lhs.data()[i] - rhs.data()[i]).abs() < 1e-3,
+                "case {case} idx {i}"
+            );
         }
     }
 }

@@ -42,30 +42,6 @@ fn parse_env(s: &str) -> Option<EnvId> {
     EnvId::parse(s)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn system_parsing() {
-        assert_eq!(parse_system("dlion"), Some(SystemKind::DLion));
-        assert_eq!(parse_system("Baseline"), Some(SystemKind::Baseline));
-        assert_eq!(parse_system("dlion-no-wu"), Some(SystemKind::DLionNoWu));
-        assert_eq!(parse_system("max10"), Some(SystemKind::MaxNOnly(10.0)));
-        assert_eq!(parse_system("prague3"), Some(SystemKind::Prague(3)));
-        assert_eq!(parse_system("bogus"), None);
-        assert_eq!(parse_system("maxx"), None);
-    }
-
-    #[test]
-    fn env_parsing() {
-        assert_eq!(parse_env("homo-a"), Some(EnvId::HomoA));
-        assert_eq!(parse_env("HETERO_SYS_B"), Some(EnvId::HeteroSysB));
-        assert_eq!(parse_env("dynamic-sys-a"), Some(EnvId::DynamicSysA));
-        assert_eq!(parse_env("nowhere"), None);
-    }
-}
-
 fn usage() -> ! {
     eprintln!(
         "usage: dlion-sim [--system baseline|ako|gaia|hop|dlion|dlion-no-wu|dlion-no-dbwu|maxN|pragueG]\n\
@@ -163,5 +139,29 @@ fn main() {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_parsing() {
+        assert_eq!(parse_system("dlion"), Some(SystemKind::DLion));
+        assert_eq!(parse_system("Baseline"), Some(SystemKind::Baseline));
+        assert_eq!(parse_system("dlion-no-wu"), Some(SystemKind::DLionNoWu));
+        assert_eq!(parse_system("max10"), Some(SystemKind::MaxNOnly(10.0)));
+        assert_eq!(parse_system("prague3"), Some(SystemKind::Prague(3)));
+        assert_eq!(parse_system("bogus"), None);
+        assert_eq!(parse_system("maxx"), None);
+    }
+
+    #[test]
+    fn env_parsing() {
+        assert_eq!(parse_env("homo-a"), Some(EnvId::HomoA));
+        assert_eq!(parse_env("HETERO_SYS_B"), Some(EnvId::HeteroSysB));
+        assert_eq!(parse_env("dynamic-sys-a"), Some(EnvId::DynamicSysA));
+        assert_eq!(parse_env("nowhere"), None);
     }
 }

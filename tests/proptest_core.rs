@@ -1,6 +1,7 @@
 //! Property-based tests on core invariants that must hold for *any*
 //! configuration: the GBS controller, the LBS partitioner, the Max N
-//! planner and the synchronization policies.
+//! planner and the synchronization policies. Driven by seeded
+//! pseudo-random cases.
 
 use dlion::core::gbs::{GbsConfig, GbsController};
 use dlion::core::lbs::{compute_rcp, partition_gbs};
@@ -8,20 +9,17 @@ use dlion::core::maxn::MaxNPlanner;
 use dlion::core::sync::{SyncPolicy, SyncState};
 use dlion::core::weighted::{dynamic_batching_weight, update_factor};
 use dlion::tensor::{DetRng, Shape, Tensor};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The GBS controller is monotone, terminates, and never exceeds the
-    /// 10% ceiling (for any growth knobs).
-    #[test]
-    fn gbs_controller_invariants(
-        initial in 32usize..512,
-        train in 2_000usize..100_000,
-        warmup_inc in 1usize..256,
-        speedup in 1.1f64..4.0,
-    ) {
+/// The GBS controller is monotone, terminates, and never exceeds the
+/// 10% ceiling (for any growth knobs).
+#[test]
+fn gbs_controller_invariants() {
+    for case in 0..96u64 {
+        let mut rng = DetRng::seed_from_u64(100 + case);
+        let initial = 32 + rng.index(480);
+        let train = 2_000 + rng.index(98_000);
+        let warmup_inc = 1 + rng.index(255);
+        let speedup = rng.uniform_range(1.1, 4.0);
         let cfg = GbsConfig {
             warmup_increment: warmup_inc,
             speedup_factor: speedup,
@@ -34,58 +32,85 @@ proptest! {
         let mut prev = c.gbs();
         let mut steps = 0;
         while let Some(g) = c.maybe_adjust() {
-            prop_assert!(g >= prev, "GBS must be monotone");
-            prop_assert!(g <= cap.max(initial), "GBS {g} above cap {cap}");
+            assert!(g >= prev, "case {case}: GBS must be monotone");
+            assert!(
+                g <= cap.max(initial),
+                "case {case}: GBS {g} above cap {cap}"
+            );
             prev = g;
             steps += 1;
-            prop_assert!(steps < 10_000, "controller must terminate");
+            assert!(steps < 10_000, "case {case}: controller must terminate");
         }
         // Once Done, it stays Done.
-        prop_assert!(c.maybe_adjust().is_none());
+        assert!(c.maybe_adjust().is_none(), "case {case}");
     }
+}
 
-    /// LBS partitioning: sums to GBS, each worker >= 1, and monotone in RCP
-    /// (a strictly stronger worker never gets a smaller share than a weaker
-    /// one).
-    #[test]
-    fn lbs_partition_invariants(
-        gbs in 12usize..5_000,
-        rcps in prop::collection::vec(0.5f64..100.0, 2..12),
-    ) {
-        prop_assume!(gbs >= rcps.len());
+/// LBS partitioning: sums to GBS, each worker >= 1, and monotone in RCP
+/// (a strictly stronger worker never gets a smaller share than a weaker
+/// one).
+#[test]
+fn lbs_partition_invariants() {
+    for case in 0..96u64 {
+        let mut rng = DetRng::seed_from_u64(1100 + case);
+        let gbs = 12 + rng.index(4_988);
+        let k = 2 + rng.index(10);
+        let rcps: Vec<f64> = (0..k).map(|_| rng.uniform_range(0.5, 100.0)).collect();
+        if gbs < rcps.len() {
+            continue;
+        }
         let parts = partition_gbs(gbs, &rcps);
-        prop_assert_eq!(parts.iter().sum::<usize>(), gbs);
-        prop_assert!(parts.iter().all(|&p| p >= 1));
+        assert_eq!(parts.iter().sum::<usize>(), gbs, "case {case}");
+        assert!(parts.iter().all(|&p| p >= 1), "case {case}");
         for i in 0..rcps.len() {
             for j in 0..rcps.len() {
                 if rcps[i] >= 2.0 * rcps[j] && gbs >= 4 * rcps.len() {
-                    prop_assert!(
+                    assert!(
                         parts[i] + 1 >= parts[j],
-                        "worker {i} (rcp {}) got {} vs worker {j} (rcp {}) got {}",
-                        rcps[i], parts[i], rcps[j], parts[j]
+                        "case {case}: worker {i} (rcp {}) got {} vs worker {j} (rcp {}) got {}",
+                        rcps[i],
+                        parts[i],
+                        rcps[j],
+                        parts[j]
                     );
                 }
             }
         }
     }
+}
 
-    /// RCP from a clean linear profile recovers the capacity ratio.
-    #[test]
-    fn rcp_tracks_capacity(cap_a in 2.0f64..64.0, ratio in 1.0f64..8.0) {
+/// RCP from a clean linear profile recovers the capacity ratio.
+#[test]
+fn rcp_tracks_capacity() {
+    for case in 0..96u64 {
+        let mut rng = DetRng::seed_from_u64(2100 + case);
+        let cap_a = rng.uniform_range(2.0, 64.0);
+        let ratio = rng.uniform_range(1.0, 8.0);
         let cap_b = cap_a * ratio;
         let profile = |cap: f64| -> Vec<(f64, f64)> {
-            [8.0, 16.0, 32.0, 64.0].iter().map(|&l| (l, 0.1 + l * 1.425 / cap)).collect()
+            [8.0, 16.0, 32.0, 64.0]
+                .iter()
+                .map(|&l| (l, 0.1 + l * 1.425 / cap))
+                .collect()
         };
         let ra = compute_rcp(&profile(cap_a));
         let rb = compute_rcp(&profile(cap_b));
         let got = rb / ra;
-        prop_assert!((got - ratio).abs() < 0.05 * ratio, "ratio {got} vs {ratio}");
+        assert!(
+            (got - ratio).abs() < 0.05 * ratio,
+            "case {case}: ratio {got} vs {ratio}"
+        );
     }
+}
 
-    /// Max N planner: the chosen N for a budget never selects more entries
-    /// than the budget allows (above the min-N floor), for random gradients.
-    #[test]
-    fn maxn_budget_safety(seed in 0u64..5_000, budget in 0usize..2_000) {
+/// Max N planner: the chosen N for a budget never selects more entries
+/// than the budget allows (above the min-N floor), for random gradients.
+#[test]
+fn maxn_budget_safety() {
+    for case in 0..96u64 {
+        let mut crng = DetRng::seed_from_u64(3100 + case);
+        let seed = crng.next_u64() % 5_000;
+        let budget = crng.index(2_000);
         let mut rng = DetRng::seed_from_u64(seed);
         let grads = vec![
             Tensor::randn(Shape::d1(700), 1.0, &mut rng),
@@ -94,66 +119,160 @@ proptest! {
         let p = MaxNPlanner::new(&grads);
         let n = p.n_for_entry_budget(budget, 0.85);
         let count = p.count_for_n(n);
-        prop_assert!(count <= budget || (n - 0.85).abs() < 1e-9,
-            "N={n} selects {count} > budget {budget}");
+        assert!(
+            count <= budget || (n - 0.85).abs() < 1e-9,
+            "case {case}: N={n} selects {count} > budget {budget}"
+        );
+    }
+}
+
+/// The O(E) bucket planner answers every quantile query *exactly* like the
+/// old sorted-array implementation, including duplicated magnitudes, exact
+/// zeros and all-zero variables.
+#[test]
+fn maxn_planner_matches_sorted_reference() {
+    // Sorted-array reference: the seed implementation's semantics.
+    fn reference_count(grads: &[Tensor], n: f64) -> usize {
+        if n >= 100.0 {
+            // N = 100 ships the dense gradient, exact zeros included.
+            return grads.iter().map(|g| g.data().len()).sum();
+        }
+        let frac = (n / 100.0).clamp(0.0, 1.0);
+        let mut count = 0usize;
+        for g in grads {
+            let mut abs: Vec<f32> = g.data().iter().map(|v| v.abs()).collect();
+            abs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mx = abs.last().copied().unwrap_or(0.0);
+            if mx == 0.0 {
+                continue;
+            }
+            let thr = ((1.0 - frac) * mx as f64) as f32;
+            let idx = abs.partition_point(|&v| v < thr);
+            let nonzero_from = abs.partition_point(|&v| v <= 0.0);
+            count += abs.len() - idx.max(nonzero_from);
+        }
+        count
     }
 
-    /// Bounded staleness is monotone: observing more gradients never takes
-    /// away permission to proceed.
-    #[test]
-    fn sync_monotonicity(
-        bound in 0u64..10,
-        backup in 0usize..3,
-        events in prop::collection::vec((1usize..6, 0u64..40), 0..60),
-        next_iter in 0u64..50,
-    ) {
-        let policy = SyncPolicy::BoundedStaleness { bound, backup_workers: backup };
+    for case in 0..64u64 {
+        let mut rng = DetRng::seed_from_u64(4100 + case);
+        let mut grads = Vec::new();
+        let n_vars = 1 + rng.index(4);
+        for _ in 0..n_vars {
+            let len = 1 + rng.index(600);
+            let mut t = Tensor::randn(Shape::d1(len), 1.0, &mut rng);
+            // Inject exact zeros and duplicates to stress tie handling.
+            for v in t.data_mut().iter_mut() {
+                let r = rng.uniform();
+                if r < 0.1 {
+                    *v = 0.0;
+                } else if r < 0.2 {
+                    *v = 0.5;
+                }
+            }
+            grads.push(t);
+        }
+        // One all-zero variable every few cases.
+        if case % 5 == 0 {
+            grads.push(Tensor::zeros(Shape::d1(37)));
+        }
+        let p = MaxNPlanner::new(&grads);
+        for n in [0.0, 0.5, 1.0, 5.0, 17.3, 50.0, 85.0, 99.9, 100.0] {
+            assert_eq!(
+                p.count_for_n(n),
+                reference_count(&grads, n),
+                "case {case}: count_for_n({n}) diverges from sorted reference"
+            );
+        }
+    }
+}
+
+/// Bounded staleness is monotone: observing more gradients never takes
+/// away permission to proceed.
+#[test]
+fn sync_monotonicity() {
+    for case in 0..96u64 {
+        let mut rng = DetRng::seed_from_u64(5100 + case);
+        let bound = (rng.index(10)) as u64;
+        let backup = rng.index(3);
+        let next_iter = (rng.index(50)) as u64;
+        let n_events = rng.index(60);
+        let policy = SyncPolicy::BoundedStaleness {
+            bound,
+            backup_workers: backup,
+        };
         let mut s = SyncState::new(0, 6);
         let mut allowed = s.can_start(policy, next_iter);
-        for (peer, iter) in events {
+        for _ in 0..n_events {
+            let peer = 1 + rng.index(5);
+            let iter = (rng.index(40)) as u64;
             s.on_gradient(peer, iter);
             let now_allowed = s.can_start(policy, next_iter);
-            prop_assert!(!allowed || now_allowed, "permission must not be revoked");
+            assert!(
+                !allowed || now_allowed,
+                "case {case}: permission must not be revoked"
+            );
             allowed = now_allowed;
         }
     }
+}
 
-    /// Asynchronous always proceeds; synchronous implies bounded(0,0)
-    /// permission implies bounded(k,b) permission.
-    #[test]
-    fn sync_policy_lattice(
-        events in prop::collection::vec((1usize..6, 0u64..30), 0..50),
-        next_iter in 0u64..32,
-        bound in 0u64..8,
-        backup in 0usize..3,
-    ) {
+/// Asynchronous always proceeds; synchronous implies bounded(0,0)
+/// permission implies bounded(k,b) permission.
+#[test]
+fn sync_policy_lattice() {
+    for case in 0..96u64 {
+        let mut rng = DetRng::seed_from_u64(6100 + case);
+        let n_events = rng.index(50);
+        let next_iter = (rng.index(32)) as u64;
+        let bound = (rng.index(8)) as u64;
+        let backup = rng.index(3);
         let mut s = SyncState::new(0, 6);
-        for (peer, iter) in events {
+        for _ in 0..n_events {
+            let peer = 1 + rng.index(5);
+            let iter = (rng.index(30)) as u64;
             s.on_gradient(peer, iter);
         }
-        prop_assert!(s.can_start(SyncPolicy::Asynchronous, next_iter));
+        assert!(
+            s.can_start(SyncPolicy::Asynchronous, next_iter),
+            "case {case}"
+        );
         if s.can_start(SyncPolicy::Synchronous, next_iter) {
-            prop_assert!(s.can_start(
-                SyncPolicy::BoundedStaleness { bound, backup_workers: backup },
-                next_iter
-            ), "BSP permission must imply bounded permission");
+            assert!(
+                s.can_start(
+                    SyncPolicy::BoundedStaleness {
+                        bound,
+                        backup_workers: backup
+                    },
+                    next_iter
+                ),
+                "case {case}: BSP permission must imply bounded permission"
+            );
         }
     }
+}
 
-    /// Dynamic batching weights: db_j^k * db_k^j == 1; the normalized
-    /// weighted factors over any LBS assignment sum to exactly -lr.
-    #[test]
-    fn db_weight_reciprocity_and_normalization(
-        a in 1usize..4096,
-        b in 1usize..4096,
-        lbs in prop::collection::vec(1usize..500, 2..8),
-    ) {
+/// Dynamic batching weights: db_j^k * db_k^j == 1; the normalized
+/// weighted factors over any LBS assignment sum to exactly -lr.
+#[test]
+fn db_weight_reciprocity_and_normalization() {
+    for case in 0..96u64 {
+        let mut rng = DetRng::seed_from_u64(7100 + case);
+        let a = 1 + rng.index(4095);
+        let b = 1 + rng.index(4095);
+        let k = 2 + rng.index(6);
+        let lbs: Vec<usize> = (0..k).map(|_| 1 + rng.index(499)).collect();
         let ab = dynamic_batching_weight(a, b) as f64;
         let ba = dynamic_batching_weight(b, a) as f64;
-        prop_assert!((ab * ba - 1.0).abs() < 1e-4);
+        assert!((ab * ba - 1.0).abs() < 1e-4, "case {case}");
         let gbs: usize = lbs.iter().sum();
-        let total: f64 =
-            lbs.iter().map(|&l| update_factor(0.22, lbs.len(), l, gbs, true) as f64).sum();
-        prop_assert!((total + 0.22).abs() < 1e-5, "factors must sum to -lr: {total}");
+        let total: f64 = lbs
+            .iter()
+            .map(|&l| update_factor(0.22, lbs.len(), l, gbs, true) as f64)
+            .sum();
+        assert!(
+            (total + 0.22).abs() < 1e-5,
+            "case {case}: factors must sum to -lr: {total}"
+        );
     }
 }
