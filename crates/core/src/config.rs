@@ -191,6 +191,11 @@ pub struct RunConfig {
     /// Record per-link payload samples (Figures 8 and 20). Off by default:
     /// the trace grows with every gradient message.
     pub trace_links: bool,
+    /// Collect the per-run telemetry [`dlion_telemetry::Registry`]
+    /// (counters / gauges / histograms in `RunMetrics::telemetry`). Off by
+    /// default; everything recorded is virtual-time-derived, so enabling it
+    /// never perturbs results.
+    pub telemetry: bool,
     /// Clip each gradient entry into `[-clip, clip]` before use; guards the
     /// asynchronous systems against stale-gradient blow-ups.
     pub grad_clip: f32,
@@ -227,6 +232,7 @@ impl RunConfig {
             profile_noise: 0.02,
             converge: None,
             trace_links: false,
+            telemetry: false,
             grad_clip: 5.0,
             topology: Topology::FullMesh,
         }

@@ -57,6 +57,10 @@ pub struct RunMetrics {
     pub converged_at: Option<f64>,
     /// Total simulated duration.
     pub duration: f64,
+    /// Per-run telemetry (counters / gauges / histograms), populated only
+    /// when `RunConfig::telemetry` is on. All recorded quantities are
+    /// virtual-time-derived, so this is deterministic per seed.
+    pub telemetry: dlion_telemetry::Registry,
 }
 
 impl RunMetrics {
@@ -104,15 +108,16 @@ impl RunMetrics {
             .fold(0.0, f64::max)
     }
 
-    /// Mean accuracy at (or before) virtual time `t`.
+    /// Mean accuracy at (or before) virtual time `t`. `eval_times` is
+    /// sorted (evaluations happen in virtual-time order), so binary-search
+    /// for the last eval point not after `t`.
     pub fn mean_acc_at(&self, t: f64) -> f64 {
-        let mut acc = 0.0;
-        for (e, &te) in self.eval_times.iter().enumerate() {
-            if te <= t {
-                acc = self.mean_acc(e);
-            }
+        let e = self.eval_times.partition_point(|&te| te <= t);
+        if e == 0 {
+            0.0
+        } else {
+            self.mean_acc(e - 1)
         }
-        acc
     }
 
     /// First virtual time at which the mean accuracy reached `target`

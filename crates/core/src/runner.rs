@@ -22,6 +22,7 @@ use crate::GbsController;
 use dlion_microcloud::EnvId;
 use dlion_nn::{Dataset, ModelSpec};
 use dlion_simnet::{ComputeModel, EventQueue, NetworkModel};
+use dlion_telemetry::{debug, event, profile_scope, Phase};
 use dlion_tensor::DetRng;
 
 /// Simulation events.
@@ -193,6 +194,18 @@ impl ClusterRunner {
 
     /// Run the simulation to completion and return its metrics.
     pub fn run(mut self) -> RunMetrics {
+        // All trace records emitted from this thread until `_run_scope`
+        // drops carry this run's {system, env, seed} identity and draw from
+        // a fresh deterministic per-run sequence counter.
+        let _run_scope =
+            dlion_telemetry::run_scope(&self.metrics.system, &self.metrics.env, self.cfg.seed);
+        event!(0.0, "run_start";
+            "workers" => self.n,
+            "duration" => self.cfg.duration,
+            "params" => self.total_params,
+            "initial_lbs" => self.cfg.initial_lbs);
+        debug!(target: "core.runner", "run start: {} on {} (seed {}, {} workers)",
+            self.metrics.system, self.metrics.env, self.cfg.seed, self.n);
         // Initial LBS assignment ("the LBS controller is invoked to profile
         // the compute capacity of workers" before training starts).
         if self.cfg.system.dynamic_batching() {
@@ -210,9 +223,20 @@ impl ClusterRunner {
         }
 
         let mut end_time = self.cfg.duration;
-        while let Some((t, ev)) = self.queue.pop() {
+        loop {
+            let popped = {
+                let _eq = profile_scope(Phase::EventQueue);
+                self.queue.pop()
+            };
+            let Some((t, ev)) = popped else { break };
             if t > self.cfg.duration {
                 break;
+            }
+            if self.cfg.telemetry {
+                self.metrics
+                    .telemetry
+                    .gauge_max("queue_depth", self.queue.len() as f64);
+                self.metrics.telemetry.inc("events");
             }
             match ev {
                 Ev::IterDone { w } => self.on_iter_done(w, t),
@@ -239,6 +263,18 @@ impl ClusterRunner {
             self.metrics.iterations[w] = self.workers[w].iteration;
         }
         self.metrics.duration = end_time;
+        if self.cfg.telemetry {
+            self.metrics
+                .telemetry
+                .gauge_max("queue_peak", self.queue.peak_len() as f64);
+        }
+        event!(end_time, "run_end";
+            "iterations" => self.metrics.total_iterations(),
+            "grad_bytes" => self.metrics.grad_bytes,
+            "final_acc" => self.metrics.final_mean_acc(),
+            "converged" => self.metrics.converged_at.is_some());
+        debug!(target: "core.runner", "run end: {} iterations, final acc {:.4}",
+            self.metrics.total_iterations(), self.metrics.final_mean_acc());
         self.metrics
     }
 
@@ -265,9 +301,17 @@ impl ClusterRunner {
             g.clip_inplace(self.cfg.grad_clip);
         }
         worker.pending = Some(PendingIteration { loss });
-        let dt = self.compute.iter_time(w, worker.lbs, now);
+        let lbs = worker.lbs;
+        let iter = worker.iteration;
+        let dt = self.compute.iter_time(w, lbs, now);
         worker.last_iter_time = dt;
         self.metrics.busy_time[w] += dt;
+        event!(now, w: w, "iter_start";
+            "iter" => iter, "lbs" => lbs, "loss" => loss, "dt" => dt);
+        if self.cfg.telemetry {
+            self.metrics.telemetry.observe("iter_secs", dt);
+            self.metrics.telemetry.observe("loss", loss);
+        }
         self.queue.schedule(now + dt, Ev::IterDone { w });
     }
 
@@ -319,7 +363,10 @@ impl ClusterRunner {
                 ..
             } = worker;
             model.apply_dense_update(grads, own_factor);
-            let mut updates = strategy.generate_partial_gradients(&ctx, grads, model);
+            let mut updates = {
+                let _sg = profile_scope(Phase::Serialize);
+                strategy.generate_partial_gradients(&ctx, grads, model)
+            };
             // Rotate the send order each iteration so no peer is permanently
             // first (or last) in this worker's NIC queue.
             if !updates.is_empty() {
@@ -331,6 +378,15 @@ impl ClusterRunner {
             (updates, share)
         };
 
+        event!(now, w: w, "iter_done";
+            "iter" => self.workers[w].iteration,
+            "updates" => updates.len(),
+            "share_dkt" => share_dkt);
+        if self.cfg.telemetry {
+            self.metrics
+                .telemetry
+                .add("strategy_updates", updates.len() as u64);
+        }
         for up in updates {
             if self.cfg.trace_links {
                 let bytes = up.msg.wire_bytes(self.bytes_per_param, self.total_params);
@@ -354,6 +410,10 @@ impl ClusterRunner {
     }
 
     fn on_msg(&mut self, from: usize, to: usize, payload: Payload, now: f64) {
+        event!(now, w: to, "msg"; "from" => from, "kind" => payload.kind());
+        if self.cfg.telemetry {
+            self.metrics.telemetry.inc("msgs_recv");
+        }
         // Gradient delivery unblocks the sender under BlockOnDelivery.
         if matches!(payload, Payload::Grad(_)) {
             self.workers[from].sync.on_delivered();
@@ -402,6 +462,10 @@ impl ClusterRunner {
                     .model
                     .merge_weights(&weights, self.cfg.dkt.lambda);
                 self.metrics.dkt_merges += 1;
+                event!(now, w: to, "dkt_merge"; "from" => from);
+                if self.cfg.telemetry {
+                    self.metrics.telemetry.inc("dkt_merges");
+                }
             }
         }
     }
@@ -412,6 +476,10 @@ impl ClusterRunner {
         let Some(avg) = self.workers[w].dkt.avg_loss() else {
             return;
         };
+        event!(now, w: w, "dkt_round"; "avg_loss" => avg);
+        if self.cfg.telemetry {
+            self.metrics.telemetry.inc("dkt_rounds");
+        }
         self.workers[w].dkt.update_known(w, avg);
         let targets = self.neighbors[w].clone();
         for j in targets {
@@ -435,6 +503,18 @@ impl ClusterRunner {
             _ => self.metrics.control_bytes += bytes,
         }
         let t = self.net.transfer(from, to, bytes, now);
+        event!(now, w: from, "send";
+            "to" => to,
+            "kind" => payload.kind(),
+            "bytes" => bytes,
+            "arrival" => t.arrival);
+        if self.cfg.telemetry {
+            let tm = &mut self.metrics.telemetry;
+            tm.inc("msgs_sent");
+            tm.add("bytes_sent", bytes as u64);
+            tm.observe("msg_bytes", bytes);
+            tm.observe("transfer_secs", t.arrival - now);
+        }
         self.queue
             .schedule(t.arrival, Ev::Msg { from, to, payload });
     }
@@ -480,12 +560,25 @@ impl ClusterRunner {
         for (w, &lbs) in parts.iter().enumerate() {
             self.workers[w].lbs = lbs;
         }
+        event!(now, "lbs_repartition";
+            "gbs" => self.current_gbs(),
+            "min_lbs" => parts.iter().min().copied().unwrap_or(0),
+            "max_lbs" => parts.iter().max().copied().unwrap_or(0));
+        debug!(target: "core.lbs", "t={now:.1}: LBS repartition -> {parts:?}");
+        if self.cfg.telemetry {
+            self.metrics.telemetry.inc("lbs_repartitions");
+        }
         self.metrics.lbs_trace.push((now, parts));
     }
 
     fn on_gbs_tick(&mut self, now: f64) {
         let changed = self.gbs.as_mut().and_then(|g| g.maybe_adjust());
         if let Some(new_gbs) = changed {
+            event!(now, "gbs_adjust"; "gbs" => new_gbs);
+            debug!(target: "core.gbs", "t={now:.1}: GBS adjusted to {new_gbs}");
+            if self.cfg.telemetry {
+                self.metrics.telemetry.inc("gbs_adjusts");
+            }
             self.metrics.gbs_trace.push((now, new_gbs));
             self.repartition(now);
         }
@@ -510,6 +603,13 @@ impl ClusterRunner {
                 .evaluate(&self.data, &self.eval_indices, 125);
             accs.push(r.accuracy);
             losses.push(r.loss);
+        }
+        let mean = dlion_tensor::stats::mean(&accs);
+        event!(now, "eval"; "mean_acc" => mean);
+        debug!(target: "core.eval", "t={now:.1}: mean acc {mean:.4}");
+        if self.cfg.telemetry {
+            self.metrics.telemetry.inc("evals");
+            self.metrics.telemetry.gauge_max("best_mean_acc", mean);
         }
         self.metrics.eval_times.push(now);
         self.metrics.worker_acc.push(accs);
@@ -620,6 +720,26 @@ mod tests {
         assert_eq!(a.worker_acc, b.worker_acc);
         assert_eq!(a.grad_bytes, b.grad_bytes);
         assert_eq!(a.gbs_trace, b.gbs_trace);
+    }
+
+    #[test]
+    fn telemetry_registry_off_by_default_and_deterministic() {
+        let mut cfg = small(SystemKind::DLion);
+        let off = run_env(&cfg, EnvId::HomoA);
+        assert!(off.telemetry.is_empty());
+        cfg.telemetry = true;
+        let a = run_env(&cfg, EnvId::HomoA);
+        let b = run_env(&cfg, EnvId::HomoA);
+        assert!(a.telemetry.counter("msgs_sent") > 0);
+        assert!(a.telemetry.counter("events") > 0);
+        assert!(a.telemetry.histogram("iter_secs").unwrap().count() > 0);
+        assert!(a.telemetry.gauge("queue_depth").unwrap() >= 1.0);
+        // Registries are a function of virtual time only: bit-identical
+        // across reruns, and collecting them must not perturb results.
+        assert_eq!(a.telemetry, b.telemetry);
+        assert_eq!(off.worker_acc, a.worker_acc);
+        assert_eq!(off.iterations, a.iterations);
+        assert_eq!(off.grad_bytes, a.grad_bytes);
     }
 
     #[test]

@@ -49,7 +49,7 @@ fn extension_topology(opts: &ExpOpts) -> Table {
         for &seed in &opts.seeds {
             let mut cfg = base(opts, seed);
             cfg.topology = topo;
-            eprintln!("  running DLion on {} / seed {seed} ...", topo.name());
+            dlion_telemetry::debug!(target: "experiments.progress","  running DLion on {} / seed {seed} ...", topo.name());
             cells.push((cfg, EnvId::HomoB));
         }
     }
@@ -95,7 +95,7 @@ fn extension_prague(opts: &ExpOpts) -> Table {
             if !sys.dkt() {
                 cfg.dkt = DktConfig::off();
             }
-            eprintln!("  running {} / seed {seed} ...", sys.name());
+            dlion_telemetry::debug!(target: "experiments.progress","  running {} / seed {seed} ...", sys.name());
             cells.push((cfg, EnvId::HeteroSysA));
         }
     }
@@ -138,7 +138,7 @@ fn ablation_dkt(opts: &ExpOpts) -> Table {
             let cfg_on = base(opts, seed);
             let mut cfg_off = base(opts, seed);
             cfg_off.dkt = DktConfig::off();
-            eprintln!("  running DKT ablation in {} / seed {seed} ...", env.name());
+            dlion_telemetry::debug!(target: "experiments.progress","  running DKT ablation in {} / seed {seed} ...", env.name());
             cells.push((cfg_on, env));
             cells.push((cfg_off, env));
         }
@@ -178,7 +178,7 @@ fn ablation_min_n(opts: &ExpOpts) -> Table {
         for &seed in &opts.seeds {
             let mut cfg = base(opts, seed);
             cfg.min_n = min_n;
-            eprintln!("  running min_n {min_n} / seed {seed} ...");
+            dlion_telemetry::debug!(target: "experiments.progress","  running min_n {min_n} / seed {seed} ...");
             cells.push((cfg, EnvId::HeteroNetA));
         }
     }

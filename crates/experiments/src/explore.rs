@@ -86,7 +86,7 @@ pub fn fig6(opts: &ExpOpts) -> Table {
         CPU_OVERHEAD,
     );
     let net = NetworkModel::uniform(6, LAN_MBPS, LAN_LATENCY);
-    eprintln!("  running DLion LBS trace (hetero cores 24/24/12/12/4/4) ...");
+    dlion_telemetry::debug!(target: "experiments.progress","  running DLion LBS trace (hetero cores 24/24/12/12/4/4) ...");
     let m = run_with_models(&cfg, compute, net, "Hetero cores 24/24/12/12/4/4");
     let mut t = Table::new(
         "fig6",
@@ -127,7 +127,7 @@ pub fn fig7(opts: &ExpOpts) -> Table {
                 min_improvement: 0.004,
                 min_secs: opts.dur(700.0),
             });
-            eprintln!("  running Max{n} to convergence / seed {seed} ...");
+            dlion_telemetry::debug!(target: "experiments.progress","  running Max{n} to convergence / seed {seed} ...");
             cells.push((cfg, EnvId::HomoA));
         }
     }
@@ -176,7 +176,7 @@ fn fig9a(opts: &ExpOpts) -> Table {
             let mut cfg = base_dkt_cfg(opts, seed);
             cfg.duration = opts.dur(2000.0);
             cfg.dkt.period_iters = period;
-            eprintln!("  running DKT period {period} / seed {seed} ...");
+            dlion_telemetry::debug!(target: "experiments.progress","  running DKT period {period} / seed {seed} ...");
             cells.push((cfg, EnvId::HomoB));
         }
     }
@@ -219,7 +219,7 @@ fn fig9b(opts: &ExpOpts) -> Table {
         for &seed in &opts.seeds {
             let mut cfg = base_dkt_cfg(opts, seed);
             cfg.dkt.mode = mode;
-            eprintln!("  running {label} / seed {seed} ...");
+            dlion_telemetry::debug!(target: "experiments.progress","  running {label} / seed {seed} ...");
             cells.push((cfg, EnvId::HomoB));
         }
     }
@@ -251,7 +251,7 @@ fn fig9c(opts: &ExpOpts) -> Table {
                 // λ = 0 is No_DKT; skip the useless weight traffic.
                 cfg.dkt.mode = DktMode::Off;
             }
-            eprintln!("  running lambda {lambda} / seed {seed} ...");
+            dlion_telemetry::debug!(target: "experiments.progress","  running lambda {lambda} / seed {seed} ...");
             cells.push((cfg, EnvId::HomoB));
         }
     }

@@ -76,7 +76,7 @@ pub fn fig12(opts: &ExpOpts) -> Table {
                 cfg.workload.test_size = if opts.fast { 400 } else { 2000 };
                 cfg.eval_interval = 25.0;
                 cfg.eval_subset = if opts.fast { 150 } else { 250 };
-                eprintln!(
+                dlion_telemetry::debug!(target: "experiments.progress",
                     "  running {} / {} / seed {seed} (GPU) ...",
                     sys.name(),
                     env.name()
@@ -238,7 +238,7 @@ pub fn fig21(opts: &ExpOpts) -> Table {
                 min_improvement: 0.003,
                 min_secs: opts.dur(1000.0),
             });
-            eprintln!(
+            dlion_telemetry::debug!(target: "experiments.progress",
                 "  running {} / Homo A to convergence / seed {seed} ...",
                 sys.name()
             );

@@ -8,6 +8,7 @@
 //! markdown to FILE (used to assemble EXPERIMENTS.md).
 
 use dlion_experiments::{ExpOpts, Session, ALL_IDS};
+use dlion_telemetry::{info, warn};
 use std::time::Instant;
 
 fn usage() -> ! {
@@ -20,6 +21,9 @@ fn usage() -> ! {
 }
 
 fn main() {
+    // Progress goes through leveled stderr logging (`DLION_LOG` overrides;
+    // default info) — stdout stays reserved for the rendered tables.
+    dlion_telemetry::init_from_env("info");
     let mut seeds = 1usize;
     let mut fast = false;
     let mut out = "results".to_string();
@@ -59,12 +63,12 @@ fn main() {
     let total = Instant::now();
     for id in &ids {
         let started = Instant::now();
-        eprintln!("=== {id} ===");
+        info!(target: "experiments", "=== {id} ===");
         let tables = session.run(id);
         for t in &tables {
             println!("{}", t.render());
             if let Err(e) = t.write_csv(&opts.results_dir) {
-                eprintln!("warning: could not write {}.csv: {e}", t.id);
+                warn!(target: "experiments", "could not write {}.csv: {e}", t.id);
             }
             if let Some(path) = &md {
                 use std::io::Write;
@@ -76,12 +80,12 @@ fn main() {
                 writeln!(f, "{}", t.to_markdown()).expect("write markdown report");
             }
         }
-        eprintln!(
-            "=== {id} done in {:.1}s ===\n",
+        info!(target: "experiments",
+            "=== {id} done in {:.1}s ===",
             started.elapsed().as_secs_f64()
         );
     }
-    eprintln!(
+    info!(target: "experiments",
         "all done in {:.1}s; CSVs in {}",
         total.elapsed().as_secs_f64(),
         out

@@ -10,6 +10,8 @@ use dlion_core::{run_env, RunConfig, RunMetrics, SystemKind};
 use dlion_microcloud::{ClusterKind, EnvId};
 use dlion_tensor::stats;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Fan a batch of `(config, env)` simulation cells over the worker pool.
 ///
@@ -19,8 +21,25 @@ use std::collections::HashMap;
 /// (index) order regardless of execution interleaving, so tables built
 /// from them are byte-identical to the old serial loops. On a single-core
 /// host the pool degrades to an inline serial loop.
+///
+/// Sweep progress (cells completed / total, elapsed, ETA) is reported at
+/// `info` level on the `experiments.sweep` target as cells finish.
 pub fn fan_cells(cells: &[(RunConfig, EnvId)]) -> Vec<RunMetrics> {
-    dlion_tensor::par::par_map(cells, |(cfg, env)| run_env(cfg, *env))
+    let total = cells.len();
+    let done = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    dlion_tensor::par::par_map(cells, |(cfg, env)| {
+        let m = run_env(cfg, *env);
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if total > 1 {
+            let elapsed = t0.elapsed().as_secs_f64();
+            let eta = elapsed / d as f64 * (total - d) as f64;
+            dlion_telemetry::info!(target: "experiments.sweep",
+                "{d}/{total} cells done ({} / {} / seed {}); {elapsed:.0}s elapsed, ~{eta:.0}s left",
+                m.system, m.env, cfg.seed);
+        }
+        m
+    })
 }
 
 /// Memoizing runner for the standard CPU-cluster configuration.
@@ -60,7 +79,7 @@ impl StandardRuns {
             .collect();
         if !missing.is_empty() {
             for &seed in &missing {
-                eprintln!(
+                dlion_telemetry::debug!(target: "experiments.progress",
                     "  running {} / {} / seed {seed} ...",
                     system.name(),
                     env.name()

@@ -42,7 +42,7 @@ pub fn fig8(opts: &ExpOpts) -> Table {
     // Two observed links with a 4x bandwidth gap.
     net.set_link(0, 2, PiecewiseConst::constant(100.0));
     net.set_link(0, 4, PiecewiseConst::constant(25.0));
-    eprintln!("  running per-link gradient size trace (static bandwidths) ...");
+    dlion_telemetry::debug!(target: "experiments.progress","  running per-link gradient size trace (static bandwidths) ...");
     let m = run_with_models(&cfg, compute, net, "fig8 custom");
     let mut t = Table::new(
         "fig8",
@@ -93,7 +93,7 @@ pub fn fig19(opts: &ExpOpts) -> Table {
     ];
     let compute = ComputeModel::new(caps, CPU_COST_PER_SAMPLE, CPU_OVERHEAD);
     let net = NetworkModel::uniform(6, LAN_MBPS, LAN_LATENCY);
-    eprintln!("  running LBS adaptation trace (dynamic cores, GBS pinned) ...");
+    dlion_telemetry::debug!(target: "experiments.progress","  running LBS adaptation trace (dynamic cores, GBS pinned) ...");
     let m = run_with_models(&cfg, compute, net, "fig19 custom");
     let mut t = Table::new(
         "fig19",
@@ -121,7 +121,7 @@ pub fn fig20(opts: &ExpOpts) -> Table {
     for j in 1..6 {
         net.set_link(0, j, dynamic.clone());
     }
-    eprintln!("  running per-link gradient size trace (dynamic bandwidth) ...");
+    dlion_telemetry::debug!(target: "experiments.progress","  running per-link gradient size trace (dynamic bandwidth) ...");
     let m = run_with_models(&cfg, compute, net, "fig20 custom");
     let mut t = Table::new(
         "fig20",

@@ -139,6 +139,7 @@ impl EnvId {
                 .collect()
         };
 
+        dlion_telemetry::debug!(target: "microcloud.envs", "materializing env spec {self:?}");
         match self {
             EnvId::HomoA => EnvSpec::cpu("Homo A", constant(&cpu_full), constant(&lan), true),
             EnvId::HomoB => EnvSpec::cpu("Homo B", constant(&cpu_full), constant(&net_50), false),

@@ -142,12 +142,18 @@ impl Model {
         s: &mut Scratch,
         grads: &mut Vec<Tensor>,
     ) -> f64 {
-        let logits = self.forward_scratch(x, s);
+        let logits = {
+            let _p = dlion_telemetry::profile_scope(dlion_telemetry::Phase::Forward);
+            self.forward_scratch(x, s)
+        };
         let (loss, dlogits) = softmax_xent(&logits, labels);
         s.put_tensor(logits);
         let mut grad = dlogits;
-        for l in self.layers.iter_mut().rev() {
-            grad = l.backward_s(grad, s);
+        {
+            let _p = dlion_telemetry::profile_scope(dlion_telemetry::Phase::Backward);
+            for l in self.layers.iter_mut().rev() {
+                grad = l.backward_s(grad, s);
+            }
         }
         s.put_tensor(grad);
         if grads.len() != self.num_vars() {
@@ -168,6 +174,7 @@ impl Model {
     /// Evaluate loss/accuracy on `indices` of `ds` (forward only), in
     /// batches of `batch` to bound memory.
     pub fn evaluate(&mut self, ds: &Dataset, indices: &[usize], batch: usize) -> EvalResult {
+        let _p = dlion_telemetry::profile_scope(dlion_telemetry::Phase::Eval);
         assert!(batch > 0);
         if indices.is_empty() {
             return EvalResult {

@@ -42,6 +42,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: f64,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -56,6 +57,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: 0.0,
+            peak: 0,
         }
     }
 
@@ -76,6 +78,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Pop the earliest event, advancing `now`.
@@ -97,6 +100,12 @@ impl<E> EventQueue<E> {
 
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// High-water mark of the queue length over its whole lifetime — the
+    /// telemetry `queue_depth` peak without sampling on every pop.
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 }
 
@@ -180,5 +189,19 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peak_len_is_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        q.schedule(3.0, ());
+        q.pop();
+        q.pop();
+        q.schedule(4.0, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak_len(), 3);
     }
 }

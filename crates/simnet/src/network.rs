@@ -157,10 +157,16 @@ impl NetworkModel {
         );
         let done_sending = depart + tx;
         self.egress_free[src] = done_sending;
-        Transfer {
-            depart,
-            arrival: done_sending + self.latency[li],
-        }
+        let arrival = done_sending + self.latency[li];
+        dlion_telemetry::event!(now, w: src, "link_transfer";
+            "dst" => dst,
+            "bytes" => bytes,
+            "queued" => depart - now,
+            "tx_secs" => tx);
+        dlion_telemetry::trace!(target: "simnet.net",
+            "t={now:.3}: {src}->{dst} {bytes:.0} B queued {:.3}s tx {tx:.3}s",
+            depart - now);
+        Transfer { depart, arrival }
     }
 
     /// Reset all NIC queues (e.g. between simulation runs).

@@ -1,0 +1,133 @@
+//! `dlion-trace-check` — validate a `--trace-out` JSONL file.
+//!
+//! Every line must parse as a JSON object carrying the full record schema
+//! (`wall_ns`, `vtime`, `seq`, `system`, `env`, `seed`, `worker`, `kind`,
+//! `fields`), and per-run sequence numbers must be monotonic. Exits 0 and
+//! prints a summary on success; exits 1 with the first offending line
+//! otherwise. Used by the CI telemetry smoke job.
+
+use dlion_telemetry::json::{self, Json};
+use std::collections::BTreeMap;
+
+const REQUIRED_KEYS: [&str; 9] = [
+    "wall_ns", "vtime", "seq", "system", "env", "seed", "worker", "kind", "fields",
+];
+
+fn check_line(n: usize, line: &str) -> Result<Json, String> {
+    let v = json::parse(line).map_err(|e| format!("line {n}: bad JSON: {e}"))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err(format!("line {n}: not a JSON object"));
+    }
+    for key in REQUIRED_KEYS {
+        if v.get(key).is_none() {
+            return Err(format!("line {n}: missing required key {key:?}"));
+        }
+    }
+    if v.get("kind").unwrap().as_str().is_none() {
+        return Err(format!("line {n}: \"kind\" must be a string"));
+    }
+    if v.get("seq").unwrap().as_u64().is_none() {
+        return Err(format!("line {n}: \"seq\" must be a non-negative integer"));
+    }
+    if !matches!(v.get("fields"), Some(Json::Obj(_))) {
+        return Err(format!("line {n}: \"fields\" must be an object"));
+    }
+    Ok(v)
+}
+
+fn run(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut records = 0usize;
+    let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
+    // Per-run (system, env, seed) -> last seen seq, for monotonicity.
+    let mut last_seq: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = check_line(i + 1, line)?;
+        records += 1;
+        let kind = v.get("kind").unwrap().as_str().unwrap().to_string();
+        *kinds.entry(kind).or_insert(0) += 1;
+        let run_key = format!(
+            "{:?}/{:?}/{:?}",
+            v.get("system").unwrap(),
+            v.get("env").unwrap(),
+            v.get("seed").unwrap()
+        );
+        let seq = v.get("seq").unwrap().as_u64().unwrap();
+        if let Some(&prev) = last_seq.get(&run_key) {
+            if seq <= prev {
+                return Err(format!(
+                    "line {}: seq {seq} not monotonic within run {run_key} (prev {prev})",
+                    i + 1
+                ));
+            }
+        }
+        last_seq.insert(run_key, seq);
+    }
+    if records == 0 {
+        return Err(format!("{path}: no records"));
+    }
+    let mut summary = format!("{path}: {records} records, {} run(s) OK\n", last_seq.len());
+    for (kind, count) in &kinds {
+        summary.push_str(&format!("  {kind:<16} {count:>8}\n"));
+    }
+    Ok(summary)
+}
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: dlion-trace-check <trace.jsonl>");
+        std::process::exit(2);
+    };
+    match run(&path) {
+        Ok(summary) => print!("{summary}"),
+        Err(e) => {
+            eprintln!("trace check FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{"wall_ns":1,"vtime":0.5,"seq":0,"system":"DLion","env":"Homo A","seed":1,"worker":0,"kind":"iter_done","fields":{"loss":1.5}}"#;
+
+    #[test]
+    fn accepts_valid_lines() {
+        assert!(check_line(1, GOOD).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_keys_and_bad_json() {
+        assert!(check_line(1, "{\"vtime\":1}").is_err());
+        assert!(check_line(1, "not json").is_err());
+        assert!(check_line(1, "[1,2,3]").is_err());
+        let no_kind = GOOD.replace("\"kind\":\"iter_done\",", "");
+        assert!(check_line(1, &no_kind).is_err());
+    }
+
+    #[test]
+    fn file_validation_and_monotonic_seq() {
+        let dir = std::env::temp_dir().join("dlion-trace-check-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good_path = dir.join("good.jsonl");
+        let second = GOOD.replace("\"seq\":0", "\"seq\":1");
+        std::fs::write(&good_path, format!("{GOOD}\n{second}\n")).unwrap();
+        let summary = run(good_path.to_str().unwrap()).unwrap();
+        assert!(summary.contains("2 records"));
+        assert!(summary.contains("iter_done"));
+
+        let bad_path = dir.join("bad.jsonl");
+        std::fs::write(&bad_path, format!("{GOOD}\n{GOOD}\n")).unwrap();
+        let err = run(bad_path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("not monotonic"), "{err}");
+
+        let empty_path = dir.join("empty.jsonl");
+        std::fs::write(&empty_path, "").unwrap();
+        assert!(run(empty_path.to_str().unwrap()).is_err());
+    }
+}

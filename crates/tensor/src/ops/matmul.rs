@@ -331,6 +331,7 @@ fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
 
 /// `C = A·B` for `A: M×K`, `B: K×N`, written into `out` (`len == m * n`).
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    let _p = dlion_telemetry::profile_scope(dlion_telemetry::Phase::Gemm);
     if cfg!(feature = "seed-kernels") {
         return matmul_seed_into(a, b, out);
     }
@@ -358,6 +359,7 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
 
 /// `C = A·Bᵀ` for `A: M×K`, `B: N×K`, written into `out` (`len == m * n`).
 pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    let _p = dlion_telemetry::profile_scope(dlion_telemetry::Phase::Gemm);
     if cfg!(feature = "seed-kernels") {
         return matmul_nt_seed_into(a, b, out);
     }
@@ -385,6 +387,7 @@ pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
 
 /// `C = Aᵀ·B` for `A: K×M`, `B: K×N`, written into `out` (`len == m * n`).
 pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut [f32]) {
+    let _p = dlion_telemetry::profile_scope(dlion_telemetry::Phase::Gemm);
     if cfg!(feature = "seed-kernels") {
         return matmul_tn_seed_into(a, b, out);
     }

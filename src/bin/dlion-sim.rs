@@ -4,7 +4,16 @@
 //! ```text
 //! dlion-sim [--system NAME] [--env NAME] [--duration SECS] [--seed N]
 //!           [--lr F] [--skew F] [--gpu] [--trace-links] [--curve]
+//!           [--trace-out FILE] [--profile] [--telemetry]
 //! ```
+//!
+//! Observability (see DESIGN.md § Observability):
+//!
+//! * `--trace-out FILE` streams every simulation event as one JSON line,
+//! * `--profile` prints a wall-clock per-phase breakdown after the run,
+//! * `--telemetry` prints the run's counter/gauge/histogram registry,
+//! * `DLION_LOG=debug` (or `info,core.gbs=debug`, …) turns on stderr
+//!   logging; stdout stays reserved for the report/CSV.
 //!
 //! Examples:
 //!
@@ -47,7 +56,8 @@ fn usage() -> ! {
         "usage: dlion-sim [--system baseline|ako|gaia|hop|dlion|dlion-no-wu|dlion-no-dbwu|maxN|pragueG]\n\
          \x20                [--env homo-a|homo-b|homo-c|hetero-cpu-a|hetero-cpu-b|hetero-net-a|hetero-net-b|\n\
          \x20                       hetero-sys-a|hetero-sys-b|hetero-sys-c|dynamic-sys-a|dynamic-sys-b]\n\
-         \x20                [--duration SECS] [--seed N] [--lr F] [--skew F] [--gpu] [--trace-links] [--curve] [--csv FILE]"
+         \x20                [--duration SECS] [--seed N] [--lr F] [--skew F] [--gpu] [--trace-links] [--curve] [--csv FILE]\n\
+         \x20                [--trace-out FILE] [--profile] [--telemetry]"
     );
     std::process::exit(2);
 }
@@ -63,6 +73,9 @@ fn main() {
     let mut trace_links = false;
     let mut curve = false;
     let mut csv: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut profile = false;
+    let mut telemetry = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -78,6 +91,9 @@ fn main() {
             "--trace-links" => trace_links = true,
             "--curve" => curve = true,
             "--csv" => csv = Some(next()),
+            "--trace-out" => trace_out = Some(next()),
+            "--profile" => profile = true,
+            "--telemetry" => telemetry = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -92,6 +108,7 @@ fn main() {
     cfg.duration = duration;
     cfg.seed = seed;
     cfg.trace_links = trace_links;
+    cfg.telemetry = telemetry;
     if let Some(v) = lr {
         cfg.lr = v;
     }
@@ -99,17 +116,39 @@ fn main() {
         cfg.workload.shard_skew = v;
     }
 
-    eprintln!(
+    dlion::telemetry::init_from_env("info");
+    if let Some(path) = &trace_out {
+        dlion::telemetry::open_trace_file(path).expect("open trace file");
+    }
+    if profile {
+        dlion::telemetry::profiler::enable(true);
+    }
+
+    dlion::telemetry::info!(target: "dlion_sim",
         "simulating {} in {} for {duration} virtual seconds ...",
         system.name(),
         env.name()
     );
+    let t0 = std::time::Instant::now();
     let m = run_env(&cfg, env);
+    let wall_s = t0.elapsed().as_secs_f64();
+    if let Some(path) = &trace_out {
+        dlion::telemetry::stop_trace();
+        dlion::telemetry::info!(target: "dlion_sim", "trace written to {path}");
+    }
     print!("{}", report::summarize(&m));
+    if profile {
+        println!("\n{}", dlion::telemetry::profiler::render_table(wall_s));
+    }
+    if telemetry {
+        println!("\nper-run telemetry:\n{}", m.telemetry.render_table());
+    }
     if let Some(path) = csv {
-        let mut f = std::fs::File::create(&path).expect("create csv");
+        let f = std::fs::File::create(&path).expect("create csv");
+        let mut f = std::io::BufWriter::new(f);
         m.write_timeseries_csv(&mut f).expect("write csv");
-        eprintln!("time series written to {path}");
+        std::io::Write::flush(&mut f).expect("flush csv");
+        dlion::telemetry::info!(target: "dlion_sim", "time series written to {path}");
     }
     if curve {
         println!("\naccuracy over time:");

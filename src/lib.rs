@@ -10,7 +10,9 @@
 //! * [`microcloud`] (`dlion-microcloud`) — the Table 2/3 environments,
 //! * [`nn`] (`dlion-nn`) — models, datasets, SGD,
 //! * [`simnet`] (`dlion-simnet`) — the discrete-event resource simulator,
-//! * [`tensor`] (`dlion-tensor`) — dense/sparse tensor math.
+//! * [`tensor`] (`dlion-tensor`) — dense/sparse tensor math,
+//! * [`telemetry`] (`dlion-telemetry`) — logging, tracing, metrics and
+//!   profiling (see DESIGN.md § Observability).
 //!
 //! ## Quick start
 //!
@@ -30,6 +32,7 @@ pub use dlion_core as core;
 pub use dlion_microcloud as microcloud;
 pub use dlion_nn as nn;
 pub use dlion_simnet as simnet;
+pub use dlion_telemetry as telemetry;
 pub use dlion_tensor as tensor;
 
 /// The most common imports in one place.
