@@ -18,8 +18,10 @@
 //! `--features dlion-tensor/seed-kernels` reroutes it through the seed
 //! algorithms (`e2e` mode labels its output with the active backend).
 
-use dlion_core::{run_env, MaxNPlanner, RunConfig, SystemKind};
+use dlion_core::messages::{GradData, GradMsg, Payload};
+use dlion_core::{run_env, ExchangeTransport, MaxNPlanner, RunConfig, SystemKind};
 use dlion_microcloud::{ClusterKind, EnvId};
+use dlion_net::loopback_mesh;
 use dlion_tensor::ops::{
     conv2d, conv2d_backward, conv2d_backward_direct, conv2d_backward_im2col, conv2d_direct,
     conv2d_im2col, matmul_into, matmul_nt_into, matmul_nt_seed_into, matmul_seed_into,
@@ -276,6 +278,70 @@ fn telemetry() {
     println!("json:{{\"bench\":\"disabled_gate\",\"ns_per_site\":{gate_ns:.3}}}");
 }
 
+/// Wire-codec and live-transport throughput: encode/decode a 5 MB dense
+/// gradient (the paper's model scale), then push it across a real
+/// loopback TCP link through the `dlion-net` transport stack (framing,
+/// bounded send queue, reader reassembly, checksum verification).
+fn net() {
+    println!("== net ==");
+    let mut rng = DetRng::seed_from_u64(5);
+    let payload = Payload::Grad(GradMsg {
+        iteration: 1,
+        lbs: 32,
+        data: GradData::Dense(vec![Tensor::randn(Shape::d1(1_310_720), 1.0, &mut rng)]),
+        n_used: 100.0,
+    });
+    let frame = payload.to_frame();
+    let mb = frame.len() as f64 / 1e6;
+    println!("  frame size: {:.2} MB ({} bytes)", mb, frame.len());
+
+    let enc = bench("codec encode 5MB dense grad", || {
+        black_box(black_box(&payload).to_frame());
+    });
+    println!("  encode throughput: {:.0} MB/s", mb / enc);
+    let dec = bench("codec decode+verify 5MB dense grad", || {
+        black_box(Payload::from_frame(black_box(&frame)).expect("valid frame"));
+    });
+    println!("  decode throughput: {:.0} MB/s", mb / dec);
+    println!(
+        "json:{{\"bench\":\"codec_5mb_grad\",\"frame_bytes\":{},\"encode_mb_s\":{:.1},\
+         \"decode_mb_s\":{:.1}}}",
+        frame.len(),
+        mb / enc,
+        mb / dec
+    );
+
+    // Round-trip the frame over a live loopback TCP link; both directions
+    // are in flight, so one round trip moves 2 frames of payload.
+    let mut mesh = loopback_mesh(2, 5, 4, std::time::Duration::from_secs(30)).expect("mesh");
+    let mut b = mesh.pop().expect("node 1");
+    let mut a = mesh.pop().expect("node 0");
+    let echo = std::thread::spawn(move || {
+        while let Ok(Some((_, f))) = b.recv_frame_timeout(std::time::Duration::from_secs(5)) {
+            if b.send_frame(0, f).is_err() {
+                break;
+            }
+        }
+    });
+    let rtt = bench("loopback TCP 5MB grad round trip", || {
+        a.send_frame(1, frame.clone()).expect("send");
+        let (_, back) = a
+            .recv_frame_timeout(std::time::Duration::from_secs(30))
+            .expect("recv")
+            .expect("echo before timeout");
+        assert_eq!(back.len(), frame.len());
+    });
+    drop(a);
+    echo.join().expect("echo thread");
+    let tput = 2.0 * mb / rtt;
+    println!("  transport throughput: {tput:.0} MB/s (both directions)");
+    println!(
+        "json:{{\"bench\":\"tcp_loopback_5mb_grad\",\"round_trip_ms\":{:.3},\
+         \"throughput_mb_s\":{tput:.1}}}",
+        rtt * 1e3
+    );
+}
+
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     match mode.as_str() {
@@ -283,14 +349,16 @@ fn main() {
         "maxn" => maxn(),
         "e2e" => e2e(),
         "telemetry" => telemetry(),
+        "net" => net(),
         "all" => {
             kernels();
             maxn();
             e2e();
             telemetry();
+            net();
         }
         other => {
-            eprintln!("unknown mode `{other}`; expected kernels|maxn|e2e|telemetry|all");
+            eprintln!("unknown mode `{other}`; expected kernels|maxn|e2e|telemetry|net|all");
             std::process::exit(2);
         }
     }

@@ -2,6 +2,7 @@
 
 use crate::dkt::DktConfig;
 use crate::gbs::GbsConfig;
+use crate::sync::SyncPolicy;
 use crate::topology::Topology;
 use dlion_microcloud::ClusterKind;
 use dlion_nn::ModelSpec;
@@ -201,6 +202,18 @@ pub struct RunConfig {
     pub grad_clip: f32,
     /// Communication topology (extension; the paper uses the full mesh).
     pub topology: Topology,
+    /// Stop each worker after exactly this many iterations instead of at
+    /// `duration`. The run then ends once every worker reached the cap and
+    /// all in-flight messages drained. Used by the sim/live parity tests,
+    /// where both backends must execute the same fixed amount of work.
+    pub max_iters: Option<u64>,
+    /// Capture every worker's final weights into
+    /// [`crate::metrics::RunMetrics::final_weights`] (parity checks).
+    pub capture_weights: bool,
+    /// Replace the system's native `synch_training` policy (e.g. force a
+    /// Baseline run into strict BSP [`SyncPolicy::Synchronous`]). The
+    /// exchange strategy is unchanged; only the start-gating policy is.
+    pub sync_override: Option<SyncPolicy>,
 }
 
 impl RunConfig {
@@ -235,6 +248,9 @@ impl RunConfig {
             telemetry: false,
             grad_clip: 5.0,
             topology: Topology::FullMesh,
+            max_iters: None,
+            capture_weights: false,
+            sync_override: None,
         }
     }
 

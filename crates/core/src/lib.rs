@@ -29,6 +29,7 @@
 //! computation, partial-gradient generation/sending, model update on
 //! arrival, model synchronization, and batch-size update (Fig. 10).
 
+pub mod cluster;
 pub mod config;
 pub mod dkt;
 pub mod gbs;
@@ -41,16 +42,19 @@ pub mod runner;
 pub mod strategy;
 pub mod sync;
 pub mod topology;
+pub mod transport;
 pub mod weighted;
 pub mod worker;
 
+pub use cluster::{build_cluster, ClusterInit};
 pub use config::{RunConfig, SystemKind, Workload};
 pub use dkt::{DktConfig, DktMode, DktState};
 pub use gbs::{GbsConfig, GbsController, GbsPhase};
 pub use maxn::MaxNPlanner;
-pub use messages::{GradMsg, Payload};
+pub use messages::{GradMsg, Payload, WireError};
 pub use metrics::RunMetrics;
 pub use runner::{run_env, run_with_models, ClusterRunner};
 pub use strategy::{ExchangeStrategy, PeerUpdate, StrategyCtx};
 pub use sync::{SyncPolicy, SyncState};
 pub use topology::Topology;
+pub use transport::{mem_mesh, ExchangeTransport, MemTransport, TransportError};

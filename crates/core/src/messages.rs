@@ -1,19 +1,25 @@
-//! Messages exchanged between workers.
+//! Messages exchanged between workers, plus the versioned binary wire codec
+//! that puts them on a real network.
 //!
 //! The paper's prototype moves data through Redis control and data queues;
-//! here messages travel through the simulated network with byte counts that
-//! determine their transfer times. Gradient and weight payloads carry the
-//! *wire-scaled* sizes of the paper's models (5 MB Cipher / 17 MB MobileNet)
-//! so that network pressure matches the original testbed.
+//! in the simulator messages travel through the simulated network with byte
+//! counts that determine their transfer times, while the live backend
+//! (`dlion-net`) ships the same [`Payload`] values as checksummed binary
+//! frames over TCP. Gradient and weight payloads are *wire-scaled* in the
+//! simulator to the sizes of the paper's models (5 MB Cipher / 17 MB
+//! MobileNet) so that network pressure matches the original testbed; the
+//! scaling is `bytes_per_param / ENC_DENSE_ENTRY_BYTES` relative to the
+//! codec's true encoded size (see [`Payload::encoded_len`]).
 
-use dlion_tensor::{SparseVec, Tensor};
+use dlion_tensor::{Shape, SparseVec, Tensor};
 
-/// Size of a small control message (loss share, DKT request) in bytes.
-pub const CONTROL_BYTES: f64 = 64.0;
+/// Size of a small control message (loss share) in simulated bytes — the
+/// exact encoded size of a [`Payload::LossShare`] frame (header + `f64`).
+pub const CONTROL_BYTES: f64 = (FRAME_HEADER_BYTES + 8) as f64;
 
 /// Gradient payload data: either a dense full-model gradient or per-variable
 /// sparse selections.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum GradData {
     /// Full gradient, one tensor per weight variable. Costs 4 scaled bytes
     /// per parameter on the wire (values only).
@@ -25,7 +31,7 @@ pub enum GradData {
 
 /// A gradient message: payload plus the metadata the weighted model update
 /// needs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GradMsg {
     /// Sender's iteration index this gradient belongs to.
     pub iteration: u64,
@@ -56,7 +62,7 @@ impl GradMsg {
 }
 
 /// Everything a worker can put on the wire.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Payload {
     /// Partial (or full) gradients — the data queue.
     Grad(GradMsg),
@@ -77,7 +83,9 @@ impl Payload {
     pub fn wire_bytes(&self, bytes_per_param: f64, total_params: usize) -> f64 {
         match self {
             Payload::Grad(g) => g.wire_bytes(bytes_per_param, total_params),
-            Payload::LossShare { .. } | Payload::DktRequest => CONTROL_BYTES,
+            Payload::LossShare { .. } => CONTROL_BYTES,
+            // A DKT request is a bare frame: header only.
+            Payload::DktRequest => FRAME_HEADER_BYTES as f64,
             Payload::Weights { .. } => bytes_per_param * total_params as f64,
         }
     }
@@ -90,6 +98,484 @@ impl Payload {
             Payload::DktRequest => "dkt_request",
             Payload::Weights { .. } => "weights",
         }
+    }
+
+    /// Frame kind byte for the wire codec.
+    pub fn wire_kind(&self) -> u8 {
+        match self {
+            Payload::Grad(_) => KIND_GRAD,
+            Payload::LossShare { .. } => KIND_LOSS_SHARE,
+            Payload::DktRequest => KIND_DKT_REQUEST,
+            Payload::Weights { .. } => KIND_WEIGHTS,
+        }
+    }
+
+    /// Exact length in bytes of this payload's encoded frame (header + body),
+    /// computed without building the frame. `encoded_len == to_frame().len()`
+    /// always; a test in `tests/wire_codec.rs` asserts it.
+    pub fn encoded_len(&self) -> usize {
+        FRAME_HEADER_BYTES + self.body_len()
+    }
+
+    fn body_len(&self) -> usize {
+        match self {
+            Payload::Grad(g) => {
+                // iteration u64 + lbs u32 + n_used f64 + variant u8 + count u32
+                let mut len = 8 + 4 + 8 + 1 + 4;
+                match &g.data {
+                    GradData::Dense(vars) => {
+                        for t in vars {
+                            len += enc_tensor_len(t);
+                        }
+                    }
+                    GradData::Sparse(vars) => {
+                        for v in vars {
+                            // dense_len u32 + nnz u32 + entries
+                            len += 4 + 4 + v.nnz() * ENC_SPARSE_ENTRY_BYTES;
+                        }
+                    }
+                }
+                len
+            }
+            Payload::LossShare { .. } => 8,
+            Payload::DktRequest => 0,
+            Payload::Weights { weights, .. } => {
+                // sender_loss f64 + count u32
+                let mut len = 8 + 4;
+                for t in weights {
+                    len += enc_tensor_len(t);
+                }
+                len
+            }
+        }
+    }
+
+    /// Encode this payload as a complete checksummed wire frame.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(self.body_len());
+        match self {
+            Payload::Grad(g) => {
+                put_u64(&mut body, g.iteration);
+                put_u32(&mut body, g.lbs as u32);
+                put_f64(&mut body, g.n_used);
+                match &g.data {
+                    GradData::Dense(vars) => {
+                        body.push(GRAD_VARIANT_DENSE);
+                        put_u32(&mut body, vars.len() as u32);
+                        for t in vars {
+                            enc_tensor(&mut body, t);
+                        }
+                    }
+                    GradData::Sparse(vars) => {
+                        body.push(GRAD_VARIANT_SPARSE);
+                        put_u32(&mut body, vars.len() as u32);
+                        for v in vars {
+                            put_u32(&mut body, v.dense_len as u32);
+                            put_u32(&mut body, v.nnz() as u32);
+                            for &i in &v.indices {
+                                put_u32(&mut body, i);
+                            }
+                            for &x in &v.values {
+                                put_f32(&mut body, x);
+                            }
+                        }
+                    }
+                }
+            }
+            Payload::LossShare { avg_loss } => put_f64(&mut body, *avg_loss),
+            Payload::DktRequest => {}
+            Payload::Weights {
+                weights,
+                sender_loss,
+            } => {
+                put_f64(&mut body, *sender_loss);
+                put_u32(&mut body, weights.len() as u32);
+                for t in weights {
+                    enc_tensor(&mut body, t);
+                }
+            }
+        }
+        encode_frame(self.wire_kind(), &body)
+    }
+
+    /// Decode a complete frame back into a payload. Rejects transport-control
+    /// frame kinds (`>= KIND_NET_BASE`) and any malformed body; never panics.
+    pub fn from_frame(frame: &[u8]) -> Result<Payload, WireError> {
+        let (kind, body) = decode_frame(frame)?;
+        Payload::decode_body(kind, body)
+    }
+
+    /// Decode a validated frame body given its kind byte.
+    pub fn decode_body(kind: u8, body: &[u8]) -> Result<Payload, WireError> {
+        let mut c = Cursor::new(body);
+        let payload = match kind {
+            KIND_GRAD => {
+                let iteration = c.u64()?;
+                let lbs = c.u32()? as usize;
+                let n_used = c.f64()?;
+                let variant = c.u8()?;
+                let count = c.u32()? as usize;
+                let data = match variant {
+                    GRAD_VARIANT_DENSE => {
+                        let mut vars = Vec::with_capacity(count.min(MAX_DECODE_VARS));
+                        for _ in 0..count {
+                            vars.push(dec_tensor(&mut c)?);
+                        }
+                        GradData::Dense(vars)
+                    }
+                    GRAD_VARIANT_SPARSE => {
+                        let mut vars = Vec::with_capacity(count.min(MAX_DECODE_VARS));
+                        for _ in 0..count {
+                            vars.push(dec_sparse(&mut c)?);
+                        }
+                        GradData::Sparse(vars)
+                    }
+                    _ => return Err(WireError::Malformed("unknown gradient variant")),
+                };
+                Payload::Grad(GradMsg {
+                    iteration,
+                    lbs,
+                    data,
+                    n_used,
+                })
+            }
+            KIND_LOSS_SHARE => Payload::LossShare { avg_loss: c.f64()? },
+            KIND_DKT_REQUEST => Payload::DktRequest,
+            KIND_WEIGHTS => {
+                let sender_loss = c.f64()?;
+                let count = c.u32()? as usize;
+                let mut weights = Vec::with_capacity(count.min(MAX_DECODE_VARS));
+                for _ in 0..count {
+                    weights.push(dec_tensor(&mut c)?);
+                }
+                Payload::Weights {
+                    weights,
+                    sender_loss,
+                }
+            }
+            other => return Err(WireError::BadKind(other)),
+        };
+        if c.pos != body.len() {
+            return Err(WireError::Malformed("trailing bytes after payload"));
+        }
+        Ok(payload)
+    }
+}
+
+// ===================================================================
+// Wire codec
+// ===================================================================
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic  b"DLWF"
+//   4       2     version (WIRE_VERSION)
+//   6       1     kind
+//   7       1     reserved (must be 0)
+//   8       4     body_len
+//   12      8     checksum = FNV-1a-64 over bytes [0..12) ++ body
+//   20      ...   body
+//
+// The checksum covers the header prefix as well as the body, so any
+// single-byte corruption anywhere in the frame — including the kind or
+// length fields — is detected. Decoding is fully bounds-checked and never
+// panics; every failure mode maps to a `WireError`.
+
+/// Frame magic: "DLion Wire Frame".
+pub const WIRE_MAGIC: [u8; 4] = *b"DLWF";
+/// Codec version; bump on any incompatible layout change.
+pub const WIRE_VERSION: u16 = 1;
+/// Fixed frame header size in bytes (magic..checksum).
+pub const FRAME_HEADER_BYTES: usize = 20;
+/// Upper bound on a frame body — a defensive cap far above any real payload
+/// (a dense MobileNet-scale gradient is ~17 MB).
+pub const MAX_FRAME_BODY_BYTES: usize = 256 << 20;
+
+/// Encoded bytes per dense gradient/weight entry (one `f32` value).
+pub const ENC_DENSE_ENTRY_BYTES: usize = 4;
+/// Encoded bytes per sparse gradient entry (`u32` index + `f32` value).
+pub const ENC_SPARSE_ENTRY_BYTES: usize = 8;
+
+/// Payload frame kinds (1..=4). Kinds at or above [`KIND_NET_BASE`] are
+/// reserved for transport-level control frames owned by `dlion-net`.
+pub const KIND_GRAD: u8 = 1;
+pub const KIND_LOSS_SHARE: u8 = 2;
+pub const KIND_DKT_REQUEST: u8 = 3;
+pub const KIND_WEIGHTS: u8 = 4;
+/// First frame kind reserved for transport control (hello/ack/done/rcp).
+pub const KIND_NET_BASE: u8 = 0x10;
+
+const GRAD_VARIANT_DENSE: u8 = 0;
+const GRAD_VARIANT_SPARSE: u8 = 1;
+/// Cap on pre-allocation from attacker-controlled counts during decode;
+/// larger counts still decode, they just reallocate as they grow.
+const MAX_DECODE_VARS: usize = 1024;
+const MAX_TENSOR_RANK: u8 = 8;
+
+/// Decode failure; every variant is a recoverable error, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame does not start with [`WIRE_MAGIC`].
+    BadMagic,
+    /// Version field differs from [`WIRE_VERSION`].
+    BadVersion(u16),
+    /// Unknown payload frame kind.
+    BadKind(u8),
+    /// Fewer bytes available than the layout requires.
+    Truncated { need: usize, have: usize },
+    /// Checksum over header-prefix + body does not match.
+    ChecksumMismatch,
+    /// Structurally invalid contents (bad variant, index out of range, ...).
+    Malformed(&'static str),
+    /// Declared body length exceeds [`MAX_FRAME_BODY_BYTES`].
+    Oversize(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            WireError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::Oversize(n) => write!(f, "frame body of {n} bytes exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a 64-bit over a byte slice (seeded); zero-dependency checksum with
+/// good avalanche on small flips.
+fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Checksum of a frame: FNV-1a-64 over the 12-byte header prefix, continued
+/// over the body.
+pub fn frame_checksum(header_prefix: &[u8], body: &[u8]) -> u64 {
+    fnv1a64(fnv1a64(FNV_OFFSET, header_prefix), body)
+}
+
+/// Build a complete frame (header + checksum + body) around `body`.
+pub fn encode_frame(kind: u8, body: &[u8]) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_FRAME_BODY_BYTES);
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.push(kind);
+    out.push(0); // reserved
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    let sum = frame_checksum(&out[0..12], body);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Validate a frame header (first [`FRAME_HEADER_BYTES`] bytes) and return
+/// `(kind, body_len, checksum)`. Used by streaming readers that fetch the
+/// body separately; checksum verification happens in [`verify_frame_body`].
+pub fn decode_frame_header(header: &[u8]) -> Result<(u8, usize, u64), WireError> {
+    if header.len() < FRAME_HEADER_BYTES {
+        return Err(WireError::Truncated {
+            need: FRAME_HEADER_BYTES,
+            have: header.len(),
+        });
+    }
+    if header[0..4] != WIRE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = header[6];
+    if header[7] != 0 {
+        return Err(WireError::Malformed("reserved header byte not zero"));
+    }
+    let body_len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    if body_len > MAX_FRAME_BODY_BYTES {
+        return Err(WireError::Oversize(body_len));
+    }
+    let sum = u64::from_le_bytes(header[12..20].try_into().unwrap());
+    Ok((kind, body_len, sum))
+}
+
+/// Verify a frame body against the header it was read with.
+pub fn verify_frame_body(header: &[u8], body: &[u8], expect_sum: u64) -> Result<(), WireError> {
+    if frame_checksum(&header[0..12], body) != expect_sum {
+        return Err(WireError::ChecksumMismatch);
+    }
+    Ok(())
+}
+
+/// Split a complete frame into `(kind, body)` after full validation
+/// (header structure, exact length, checksum).
+pub fn decode_frame(frame: &[u8]) -> Result<(u8, &[u8]), WireError> {
+    let (kind, body_len, sum) = decode_frame_header(frame)?;
+    let have = frame.len() - FRAME_HEADER_BYTES;
+    if have < body_len {
+        return Err(WireError::Truncated {
+            need: FRAME_HEADER_BYTES + body_len,
+            have: frame.len(),
+        });
+    }
+    if have > body_len {
+        return Err(WireError::Malformed("trailing bytes after frame"));
+    }
+    let body = &frame[FRAME_HEADER_BYTES..];
+    verify_frame_body(frame, body, sum)?;
+    Ok((kind, body))
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn enc_tensor_len(t: &Tensor) -> usize {
+    1 + 4 * t.shape().dims().len() + ENC_DENSE_ENTRY_BYTES * t.numel()
+}
+
+fn enc_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    let dims = t.shape().dims();
+    out.push(dims.len() as u8);
+    for &d in dims {
+        put_u32(out, d as u32);
+    }
+    for &x in t.data() {
+        put_f32(out, x);
+    }
+}
+
+fn dec_tensor(c: &mut Cursor<'_>) -> Result<Tensor, WireError> {
+    let rank = c.u8()?;
+    if rank > MAX_TENSOR_RANK {
+        return Err(WireError::Malformed("tensor rank too large"));
+    }
+    let mut dims = Vec::with_capacity(rank as usize);
+    let mut numel: usize = 1;
+    for _ in 0..rank {
+        let d = c.u32()? as usize;
+        numel = numel
+            .checked_mul(d)
+            .ok_or(WireError::Malformed("tensor element count overflow"))?;
+        dims.push(d);
+    }
+    // Bound the allocation by the bytes actually present before reserving.
+    let need = numel
+        .checked_mul(ENC_DENSE_ENTRY_BYTES)
+        .ok_or(WireError::Malformed("tensor element count overflow"))?;
+    c.ensure(need)?;
+    let mut data = Vec::with_capacity(numel);
+    for _ in 0..numel {
+        data.push(c.f32()?);
+    }
+    Ok(Tensor::from_vec(Shape(dims), data))
+}
+
+fn dec_sparse(c: &mut Cursor<'_>) -> Result<SparseVec, WireError> {
+    let dense_len = c.u32()? as usize;
+    let nnz = c.u32()? as usize;
+    if nnz > dense_len {
+        return Err(WireError::Malformed("sparse nnz exceeds dense length"));
+    }
+    let need = nnz
+        .checked_mul(ENC_SPARSE_ENTRY_BYTES)
+        .ok_or(WireError::Malformed("sparse entry count overflow"))?;
+    c.ensure(need)?;
+    let mut indices: Vec<u32> = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        let i = c.u32()?;
+        if i as usize >= dense_len {
+            return Err(WireError::Malformed("sparse index out of range"));
+        }
+        if indices.last().is_some_and(|&prev| i <= prev) {
+            return Err(WireError::Malformed("sparse indices not increasing"));
+        }
+        indices.push(i);
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(c.f32()?);
+    }
+    Ok(SparseVec {
+        indices,
+        values,
+        dense_len,
+    })
+}
+
+/// Bounds-checked little-endian reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn ensure(&self, n: usize) -> Result<(), WireError> {
+        let have = self.buf.len() - self.pos;
+        if have < n {
+            return Err(WireError::Truncated {
+                need: self.pos + n,
+                have: self.buf.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.ensure(n)?;
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
 
@@ -163,13 +649,68 @@ mod tests {
 
     #[test]
     fn control_payloads_are_tiny() {
+        // Control byte counts are derived from the codec's real encoded
+        // sizes, not ad-hoc constants.
+        let dkt = Payload::DktRequest;
+        let loss = Payload::LossShare { avg_loss: 1.0 };
+        assert_eq!(dkt.wire_bytes(1000.0, 1_000_000), dkt.encoded_len() as f64);
         assert_eq!(
-            Payload::DktRequest.wire_bytes(1000.0, 1_000_000),
-            CONTROL_BYTES
+            loss.wire_bytes(1000.0, 1_000_000),
+            loss.encoded_len() as f64
         );
+        assert_eq!(loss.wire_bytes(1000.0, 1_000_000), CONTROL_BYTES);
+        assert_eq!(dkt.encoded_len(), FRAME_HEADER_BYTES);
+    }
+
+    #[test]
+    fn frame_round_trip_basics() {
+        for payload in [
+            Payload::Grad(dense_msg()),
+            Payload::Grad(sparse_msg()),
+            Payload::LossShare { avg_loss: -2.75 },
+            Payload::DktRequest,
+            Payload::Weights {
+                weights: vec![Tensor::from_vec(Shape::d1(3), vec![1.0, -2.0, 0.5])],
+                sender_loss: 0.25,
+            },
+        ] {
+            let frame = payload.to_frame();
+            assert_eq!(frame.len(), payload.encoded_len(), "{}", payload.kind());
+            let back = Payload::from_frame(&frame).expect("round trip");
+            assert_eq!(back.kind(), payload.kind());
+            assert_eq!(frame, back.to_frame(), "re-encode must be identical");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_net_control_kinds() {
+        let frame = encode_frame(KIND_NET_BASE, &[]);
+        let (kind, body) = decode_frame(&frame).expect("frame level ok");
+        assert_eq!(kind, KIND_NET_BASE);
         assert_eq!(
-            Payload::LossShare { avg_loss: 1.0 }.wire_bytes(1000.0, 1_000_000),
-            CONTROL_BYTES
+            Payload::decode_body(kind, body),
+            Err(WireError::BadKind(KIND_NET_BASE))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unsorted_sparse_indices() {
+        let mut body = Vec::new();
+        super::put_u64(&mut body, 0); // iteration
+        super::put_u32(&mut body, 32); // lbs
+        super::put_f64(&mut body, 1.0); // n_used
+        body.push(1); // sparse variant
+        super::put_u32(&mut body, 1); // one var
+        super::put_u32(&mut body, 10); // dense_len
+        super::put_u32(&mut body, 2); // nnz
+        super::put_u32(&mut body, 5);
+        super::put_u32(&mut body, 5); // duplicate index
+        super::put_f32(&mut body, 1.0);
+        super::put_f32(&mut body, 2.0);
+        let frame = encode_frame(KIND_GRAD, &body);
+        assert_eq!(
+            Payload::from_frame(&frame),
+            Err(WireError::Malformed("sparse indices not increasing"))
         );
     }
 

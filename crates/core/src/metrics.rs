@@ -61,6 +61,10 @@ pub struct RunMetrics {
     /// when `RunConfig::telemetry` is on. All recorded quantities are
     /// virtual-time-derived, so this is deterministic per seed.
     pub telemetry: dlion_telemetry::Registry,
+    /// `final_weights[w]`: worker w's weight tensors at the end of the run,
+    /// captured only when `RunConfig::capture_weights` is on (used by the
+    /// sim/live parity tests for bit-exact comparison).
+    pub final_weights: Vec<Vec<dlion_tensor::Tensor>>,
 }
 
 impl RunMetrics {

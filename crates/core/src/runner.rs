@@ -9,18 +9,17 @@
 //! direct knowledge transfer rounds. Virtual time advances only through the
 //! event queue, so runs are fully deterministic for a given seed.
 
+use crate::cluster::build_cluster;
 use crate::config::RunConfig;
-use crate::dkt::DktState;
 use crate::lbs::{compute_rcp, partition_gbs, PROFILE_LBS};
 use crate::messages::{GradData, Payload};
 use crate::metrics::{LinkSample, RunMetrics};
-use crate::strategy::{build_strategy, StrategyCtx};
-use crate::sync::SyncState;
+use crate::strategy::StrategyCtx;
 use crate::weighted::update_factor;
 use crate::worker::{PendingIteration, Worker};
 use crate::GbsController;
 use dlion_microcloud::EnvId;
-use dlion_nn::{Dataset, ModelSpec};
+use dlion_nn::Dataset;
 use dlion_simnet::{ComputeModel, EventQueue, NetworkModel};
 use dlion_telemetry::{debug, event, profile_scope, Phase};
 use dlion_tensor::DetRng;
@@ -61,100 +60,24 @@ pub struct ClusterRunner {
     prof_rng: DetRng,
     bytes_per_param: f64,
     total_params: usize,
+    /// IterDone + Msg events still in the queue — lets `max_iters` runs end
+    /// exactly when all work (including in-flight messages) has drained.
+    inflight: usize,
 }
 
 impl ClusterRunner {
     /// Build a cluster over explicit compute/network models.
     pub fn new(cfg: RunConfig, compute: ComputeModel, net: NetworkModel, env_name: &str) -> Self {
-        cfg.validate();
         let n = compute.n();
         assert_eq!(net.n(), n, "compute/network worker counts differ");
-        let wl = &cfg.workload;
-        assert!(
-            cfg.eval_subset <= wl.test_size,
-            "eval subset exceeds test set"
-        );
-        assert!(
-            cfg.topology.is_connected(n),
-            "topology must connect the cluster"
-        );
-        let neighbors: Vec<Vec<usize>> = (0..n).map(|w| cfg.topology.neighbors(w, n)).collect();
-
-        // One dataset holds train ∪ test so both share class prototypes.
-        let total = wl.train_size + wl.test_size;
-        let data = match wl.model {
-            ModelSpec::Cipher => Dataset::synth_vision(total, wl.data_seed),
-            ModelSpec::MobileNet => Dataset::synth_imagenet(total, wl.data_seed),
-        };
-        let eval_indices: Vec<usize> = (wl.train_size..wl.train_size + cfg.eval_subset).collect();
-
-        // Shard the training range across workers (with the configured
-        // geo-skew; 0 = i.i.d.). Only training indices participate.
-        let mut root = DetRng::seed_from_u64(cfg.seed);
-        let full_plan = {
-            // Build from a dataset view restricted to training indices.
-            let train_labels: Vec<usize> = (0..wl.train_size).map(|i| data.labels()[i]).collect();
-            let mut idx: Vec<usize> = (0..wl.train_size).collect();
-            root.shuffle(&mut idx);
-            let mut shards = vec![Vec::new(); n];
-            let mut rr = 0usize;
-            for s in idx {
-                let w = if wl.shard_skew > 0.0 && root.uniform() < wl.shard_skew {
-                    train_labels[s] % n
-                } else {
-                    rr = (rr + 1) % n;
-                    rr
-                };
-                shards[w].push(s);
-            }
-            for w in 0..n {
-                while shards[w].is_empty() {
-                    let donor = (0..n).max_by_key(|&d| shards[d].len()).expect("non-empty");
-                    let moved = shards[donor].pop().expect("donor has samples");
-                    shards[w].push(moved);
-                }
-            }
-            shards
-        };
-        let mut shards = full_plan;
-
-        // All workers start from identical weights (decentralized systems
-        // begin from a common initialization).
-        let model_seed = cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(42);
-        let sample_shape = data.sample_shape();
-        let classes = data.classes();
-        let workers: Vec<Worker> = (0..n)
-            .map(|w| {
-                let mut mrng = DetRng::seed_from_u64(model_seed);
-                let model = wl.model.build(&sample_shape, classes, &mut mrng);
-                Worker {
-                    id: w,
-                    model,
-                    strategy: build_strategy(&cfg),
-                    sync: SyncState::with_tracked(w, n, neighbors[w].clone()),
-                    dkt: DktState::new(w, n, cfg.dkt),
-                    rng: root.derive(w as u64 + 1),
-                    shard: std::mem::take(&mut shards[w]),
-                    lbs: cfg.initial_lbs,
-                    iteration: 0,
-                    pending: None,
-                    computing: false,
-                    waiting: false,
-                    last_iter_time: 0.0,
-                    last_pull_round: 0,
-                    scratch: dlion_tensor::Scratch::new(),
-                    grads: Vec::new(),
-                }
-            })
-            .collect();
-
-        let total_params = workers[0].model.num_params();
-        let bytes_per_param = workers[0].model.bytes_per_param();
+        // Shared (backend-independent) construction: workers, dataset,
+        // shards, neighbor sets — identical to what the live backend builds.
+        let init = build_cluster(&cfg, n);
 
         let gbs = cfg
             .system
             .dynamic_batching()
-            .then(|| GbsController::new(cfg.initial_lbs * n, wl.train_size, cfg.gbs));
+            .then(|| GbsController::new(cfg.initial_lbs * n, cfg.workload.train_size, cfg.gbs));
 
         let metrics = RunMetrics {
             system: cfg.system.name(),
@@ -166,20 +89,21 @@ impl ClusterRunner {
         };
 
         ClusterRunner {
-            neighbors,
-            prof_rng: root.derive(0xABCD),
+            neighbors: init.neighbors,
+            prof_rng: init.prof_rng,
             cfg,
             n,
-            workers,
+            workers: init.workers,
             net,
             compute,
             queue: EventQueue::new(),
-            data,
-            eval_indices,
+            data: init.data,
+            eval_indices: init.eval_indices,
             metrics,
             gbs,
-            bytes_per_param,
-            total_params,
+            bytes_per_param: init.bytes_per_param,
+            total_params: init.total_params,
+            inflight: 0,
         }
     }
 
@@ -212,7 +136,9 @@ impl ClusterRunner {
             self.repartition(0.0);
         }
         for w in 0..self.n {
-            self.start_iteration(w, 0.0);
+            if !self.reached_max_iters(w) {
+                self.start_iteration(w, 0.0);
+            }
         }
         self.queue.schedule(self.cfg.eval_interval, Ev::EvalTick);
         if self.cfg.system.dynamic_batching() {
@@ -238,6 +164,9 @@ impl ClusterRunner {
                     .gauge_max("queue_depth", self.queue.len() as f64);
                 self.metrics.telemetry.inc("events");
             }
+            if matches!(ev, Ev::IterDone { .. } | Ev::Msg { .. }) {
+                self.inflight -= 1;
+            }
             match ev {
                 Ev::IterDone { w } => self.on_iter_done(w, t),
                 Ev::Msg { from, to, payload } => self.on_msg(from, to, payload, t),
@@ -254,6 +183,10 @@ impl ClusterRunner {
                         .schedule(t + self.cfg.eval_interval, Ev::EvalTick);
                 }
             }
+            if self.max_iters_done() {
+                end_time = t;
+                break;
+            }
         }
         // Final evaluation at the end of the run, unless one just happened.
         if self.metrics.eval_times.last().copied().unwrap_or(-1.0) < end_time {
@@ -263,6 +196,9 @@ impl ClusterRunner {
             self.metrics.iterations[w] = self.workers[w].iteration;
         }
         self.metrics.duration = end_time;
+        if self.cfg.capture_weights {
+            self.metrics.final_weights = self.workers.iter().map(|w| w.model.weights()).collect();
+        }
         if self.cfg.telemetry {
             self.metrics
                 .telemetry
@@ -312,7 +248,28 @@ impl ClusterRunner {
             self.metrics.telemetry.observe("iter_secs", dt);
             self.metrics.telemetry.observe("loss", loss);
         }
+        self.inflight += 1;
         self.queue.schedule(now + dt, Ev::IterDone { w });
+    }
+
+    /// Has worker `w` completed the configured iteration cap (if any)?
+    fn reached_max_iters(&self, w: usize) -> bool {
+        self.cfg
+            .max_iters
+            .is_some_and(|k| self.workers[w].iteration >= k)
+    }
+
+    /// Under `max_iters`, the run ends once every worker reached the cap,
+    /// none is mid-computation, and all messages have been delivered.
+    fn max_iters_done(&self) -> bool {
+        let Some(k) = self.cfg.max_iters else {
+            return false;
+        };
+        self.inflight == 0
+            && self
+                .workers
+                .iter()
+                .all(|w| w.iteration >= k && !w.computing)
     }
 
     fn on_iter_done(&mut self, w: usize, now: f64) {
@@ -515,6 +472,7 @@ impl ClusterRunner {
             tm.observe("msg_bytes", bytes);
             tm.observe("transfer_secs", t.arrival - now);
         }
+        self.inflight += 1;
         self.queue
             .schedule(t.arrival, Ev::Msg { from, to, payload });
     }
@@ -522,6 +480,9 @@ impl ClusterRunner {
     /// Start the next iteration if the sync policy allows; otherwise mark
     /// the worker as waiting.
     fn try_start(&mut self, w: usize, now: f64) {
+        if self.reached_max_iters(w) {
+            return;
+        }
         let worker = &mut self.workers[w];
         if worker.computing {
             return;

@@ -107,8 +107,43 @@ pub trait ExchangeStrategy: Send {
     ) -> Vec<PeerUpdate>;
 }
 
+/// Wraps a strategy, replacing only its `synch_training` policy — how
+/// `RunConfig::sync_override` forces e.g. a Baseline run into strict BSP
+/// while keeping the system's gradient-exchange behavior intact.
+pub struct SyncOverride {
+    inner: Box<dyn ExchangeStrategy>,
+    policy: SyncPolicy,
+}
+
+impl ExchangeStrategy for SyncOverride {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn sync_policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    fn generate_partial_gradients(
+        &mut self,
+        ctx: &StrategyCtx,
+        grads: &[Tensor],
+        model: &Model,
+    ) -> Vec<PeerUpdate> {
+        self.inner.generate_partial_gradients(ctx, grads, model)
+    }
+}
+
 /// Build the strategy for a configured system.
 pub fn build_strategy(cfg: &RunConfig) -> Box<dyn ExchangeStrategy> {
+    let inner = build_native_strategy(cfg);
+    match cfg.sync_override {
+        Some(policy) => Box::new(SyncOverride { inner, policy }),
+        None => inner,
+    }
+}
+
+fn build_native_strategy(cfg: &RunConfig) -> Box<dyn ExchangeStrategy> {
     match cfg.system {
         SystemKind::Baseline => Box::new(baseline::Baseline::new(cfg.dlion_bound)),
         SystemKind::Ako => Box::new(ako::Ako::new()),

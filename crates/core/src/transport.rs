@@ -1,0 +1,224 @@
+//! The byte-level transport abstraction between DLion workers.
+//!
+//! The exchange logic (strategies, sync policies, DKT) is written against
+//! [`Payload`] values; a transport only moves *encoded frames* between
+//! peers. `dlion-net` implements this trait over real TCP sockets;
+//! [`MemTransport`] implements it over in-process channels, which gives the
+//! live worker driver a deterministic, socket-free harness for tests and a
+//! second data point that parity holds independent of the wire.
+
+use crate::messages::{Payload, WireError};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::Duration;
+
+/// Transport failure. Send failures are fatal for the run (a peer is gone);
+/// receive failures distinguish "no message yet" (an `Ok(None)`) from a
+/// closed mesh.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer's inbox is no longer reachable (it exited or crashed).
+    PeerGone(usize),
+    /// Every peer connection has closed.
+    Disconnected,
+    /// A frame failed wire validation.
+    Wire(WireError),
+    /// Underlying I/O error (socket transports).
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::PeerGone(p) => write!(f, "peer {p} is gone"),
+            TransportError::Disconnected => write!(f, "all peers disconnected"),
+            TransportError::Wire(e) => write!(f, "wire error: {e}"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+/// Point-to-point frame transport for one worker in a fixed-size cluster.
+///
+/// Implementations must preserve per-peer FIFO ordering (frames from a given
+/// peer arrive in send order) — the shutdown barrier and the synchronous
+/// parity argument both rely on it. Frames are the codec's checksummed
+/// byte strings; [`Payload::to_frame`] / [`Payload::from_frame`] convert.
+pub trait ExchangeTransport: Send {
+    /// This worker's id in `0..n()`.
+    fn me(&self) -> usize;
+
+    /// Cluster size.
+    fn n(&self) -> usize;
+
+    /// Queue a frame for delivery to `to`. May block briefly under
+    /// backpressure; returns an error only when the peer is unreachable.
+    fn send_frame(&mut self, to: usize, frame: Vec<u8>) -> Result<(), TransportError>;
+
+    /// Non-blocking poll: the next `(from, frame)` if one is ready.
+    fn try_recv_frame(&mut self) -> Result<Option<(usize, Vec<u8>)>, TransportError>;
+
+    /// Block up to `timeout` for the next frame; `Ok(None)` on timeout.
+    fn recv_frame_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(usize, Vec<u8>)>, TransportError>;
+}
+
+/// Encode and send a payload; returns the frame's encoded size in bytes
+/// (the live backend's byte accounting is exact, not scaled).
+pub fn send_payload(
+    t: &mut dyn ExchangeTransport,
+    to: usize,
+    payload: &Payload,
+) -> Result<usize, TransportError> {
+    let frame = payload.to_frame();
+    let len = frame.len();
+    t.send_frame(to, frame)?;
+    Ok(len)
+}
+
+/// In-process transport: a full mesh of unbounded channels. Used by tests
+/// and `dlion-live --transport mem`; the TCP transport in `dlion-net` is the
+/// real-socket counterpart.
+/// A frame tagged with its sender's worker id.
+type TaggedFrame = (usize, Vec<u8>);
+
+pub struct MemTransport {
+    me: usize,
+    txs: Vec<Option<Sender<TaggedFrame>>>,
+    rx: Receiver<TaggedFrame>,
+}
+
+/// Build a connected `n`-worker in-memory mesh; element `i` is worker `i`'s
+/// transport endpoint (move each into its worker thread).
+pub fn mem_mesh(n: usize) -> Vec<MemTransport> {
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    rxs.into_iter()
+        .enumerate()
+        .map(|(me, rx)| MemTransport {
+            me,
+            txs: txs
+                .iter()
+                .enumerate()
+                .map(|(j, tx)| (j != me).then(|| tx.clone()))
+                .collect(),
+            rx,
+        })
+        .collect()
+}
+
+impl ExchangeTransport for MemTransport {
+    fn me(&self) -> usize {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn send_frame(&mut self, to: usize, frame: Vec<u8>) -> Result<(), TransportError> {
+        let tx = self
+            .txs
+            .get(to)
+            .and_then(|t| t.as_ref())
+            .ok_or(TransportError::PeerGone(to))?;
+        tx.send((self.me, frame))
+            .map_err(|_| TransportError::PeerGone(to))
+    }
+
+    fn try_recv_frame(&mut self) -> Result<Option<(usize, Vec<u8>)>, TransportError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+
+    fn recv_frame_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(usize, Vec<u8>)>, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::Payload;
+
+    #[test]
+    fn mem_mesh_routes_frames_with_sender_ids() {
+        let mut mesh = mem_mesh(3);
+        let frame = Payload::DktRequest.to_frame();
+        let mut w2 = mesh.pop().unwrap();
+        let mut w1 = mesh.pop().unwrap();
+        let mut w0 = mesh.pop().unwrap();
+        assert_eq!(w0.me(), 0);
+        assert_eq!(w0.n(), 3);
+        w0.send_frame(2, frame.clone()).unwrap();
+        w1.send_frame(2, frame.clone()).unwrap();
+        let (from_a, f_a) = w2.try_recv_frame().unwrap().unwrap();
+        let (from_b, _) = w2.try_recv_frame().unwrap().unwrap();
+        assert_eq!((from_a, from_b), (0, 1));
+        assert_eq!(f_a, frame);
+        assert!(w2.try_recv_frame().unwrap().is_none());
+        assert!(w1
+            .recv_frame_timeout(Duration::from_millis(1))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn mem_transport_cannot_send_to_self() {
+        let mut mesh = mem_mesh(2);
+        let mut w0 = mesh.remove(0);
+        assert!(matches!(
+            w0.send_frame(0, vec![1, 2, 3]),
+            Err(TransportError::PeerGone(0))
+        ));
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_as_gone() {
+        let mut mesh = mem_mesh(2);
+        let w1 = mesh.pop().unwrap();
+        let mut w0 = mesh.pop().unwrap();
+        drop(w1);
+        assert!(matches!(
+            w0.send_frame(1, vec![0]),
+            Err(TransportError::PeerGone(1))
+        ));
+    }
+
+    #[test]
+    fn payload_send_helper_reports_exact_bytes() {
+        let mut mesh = mem_mesh(2);
+        let mut w1 = mesh.pop().unwrap();
+        let mut w0 = mesh.pop().unwrap();
+        let p = Payload::LossShare { avg_loss: 1.5 };
+        let sent = send_payload(&mut w0, 1, &p).unwrap();
+        assert_eq!(sent, p.encoded_len());
+        let (from, frame) = w1.try_recv_frame().unwrap().unwrap();
+        assert_eq!(from, 0);
+        assert_eq!(Payload::from_frame(&frame).unwrap(), p);
+    }
+}

@@ -1,0 +1,265 @@
+//! `dlion-live` — run a real N-worker training cluster on this machine
+//! and print the same report `dlion-sim` prints for simulated runs.
+//!
+//! ```text
+//! dlion-live [--workers N] [--system NAME] [--seed N] [--iters K]
+//!            [--eval-every K] [--transport tcp|mem|procs] [--port-base P]
+//!            [--train N] [--test N] [--lr F] [--queue-cap N]
+//!            [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]
+//!            [--trace-out FILE] [--telemetry] [--csv FILE]
+//! ```
+//!
+//! Transports:
+//!
+//! * `tcp` (default) — every worker is a thread of this process, the
+//!   gradients travel over real loopback TCP sockets;
+//! * `mem` — same threads, in-process channels instead of sockets;
+//! * `procs` — every worker is a separate `dlion-worker` OS process
+//!   (spawned next to this binary) meshed over `--port-base`-derived
+//!   ports; outcomes come back as JSON on the children's stdout.
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release --bin dlion-live -- --workers 3 --system dlion --iters 60
+//! cargo run --release --bin dlion-live -- --workers 2 --system baseline \
+//!     --transport procs --port-base 7300
+//! ```
+
+use dlion_core::{report, SystemKind};
+use dlion_net::{assemble_metrics, live_config, run_live, LiveOpts, TransportKind, WorkerOutcome};
+use std::io::Read;
+use std::time::Duration;
+
+fn parse_system(s: &str) -> Option<SystemKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "baseline" => SystemKind::Baseline,
+        "ako" => SystemKind::Ako,
+        "gaia" => SystemKind::Gaia,
+        "hop" => SystemKind::Hop,
+        "dlion" => SystemKind::DLion,
+        "dlion-no-dbwu" => SystemKind::DLionNoDbwu,
+        "dlion-no-wu" => SystemKind::DLionNoWu,
+        other => {
+            if let Some(n) = other.strip_prefix("max") {
+                SystemKind::MaxNOnly(n.parse().ok()?)
+            } else {
+                return None;
+            }
+        }
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dlion-live [--workers N] [--system baseline|ako|gaia|hop|dlion|dlion-no-wu|dlion-no-dbwu|maxN]\n\
+         \x20                 [--seed N] [--iters K] [--eval-every K] [--transport tcp|mem|procs]\n\
+         \x20                 [--port-base P] [--train N] [--test N] [--lr F] [--queue-cap N]\n\
+         \x20                 [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]\n\
+         \x20                 [--trace-out FILE] [--telemetry] [--csv FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut workers = 3usize;
+    let mut system = SystemKind::DLion;
+    let mut seed = 1u64;
+    let mut transport = "tcp".to_string();
+    let mut port_base = 7300u16;
+    let mut train: Option<usize> = None;
+    let mut test: Option<usize> = None;
+    let mut lr: Option<f32> = None;
+    let mut opts = LiveOpts::default();
+    let mut trace_out: Option<String> = None;
+    let mut telemetry = false;
+    let mut csv: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--workers" => workers = next().parse().unwrap_or_else(|_| usage()),
+            "--system" => system = parse_system(&next()).unwrap_or_else(|| usage()),
+            "--seed" => seed = next().parse().unwrap_or_else(|_| usage()),
+            "--iters" => opts.iters = next().parse().unwrap_or_else(|_| usage()),
+            "--eval-every" => opts.eval_every = next().parse().unwrap_or_else(|_| usage()),
+            "--transport" => transport = next(),
+            "--port-base" => port_base = next().parse().unwrap_or_else(|_| usage()),
+            "--train" => train = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--test" => test = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--lr" => lr = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--queue-cap" => opts.queue_cap = next().parse().unwrap_or_else(|_| usage()),
+            "--bw-mbps" => opts.bw_mbps = next().parse().unwrap_or_else(|_| usage()),
+            "--assumed-iter-time" => {
+                opts.assumed_iter_time = Some(next().parse().unwrap_or_else(|_| usage()))
+            }
+            "--stall-secs" => {
+                opts.stall_timeout =
+                    Duration::from_secs_f64(next().parse().unwrap_or_else(|_| usage()))
+            }
+            "--trace-out" => trace_out = Some(next()),
+            "--telemetry" => telemetry = true,
+            "--csv" => csv = Some(next()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if workers < 2 {
+        eprintln!("dlion-live: need at least 2 workers");
+        std::process::exit(2);
+    }
+
+    let mut cfg = live_config(system, seed);
+    cfg.telemetry = telemetry;
+    if let Some(v) = train {
+        cfg.workload.train_size = v;
+    }
+    if let Some(v) = test {
+        cfg.workload.test_size = v;
+    }
+    if let Some(v) = lr {
+        cfg.lr = v;
+    }
+
+    dlion_telemetry::init_from_env("info");
+    let env_label = format!("live/{workers}w");
+    dlion_telemetry::info!(target: "dlion_live",
+        "running {} on {workers} live workers ({transport}) for {} iterations ...",
+        system.name(), opts.iters);
+
+    let m = match transport.as_str() {
+        "tcp" | "mem" => {
+            if let Some(path) = &trace_out {
+                dlion_telemetry::open_trace_file(path).expect("open trace file");
+            }
+            let kind = if transport == "tcp" {
+                TransportKind::Tcp
+            } else {
+                TransportKind::Mem
+            };
+            let result = run_live(&cfg, workers, &opts, kind, &env_label);
+            if trace_out.is_some() {
+                dlion_telemetry::stop_trace();
+            }
+            match result {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("dlion-live: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "procs" => {
+            // Each worker is a `dlion-worker` process; its config flags
+            // must mirror ours exactly — both sides rebuild the identical
+            // cluster from them.
+            let exe = std::env::current_exe().expect("current exe");
+            let worker_bin = exe.with_file_name("dlion-worker");
+            let mut children = Vec::with_capacity(workers);
+            for id in 0..workers {
+                let mut cmd = std::process::Command::new(&worker_bin);
+                cmd.arg("--id")
+                    .arg(id.to_string())
+                    .arg("--workers")
+                    .arg(workers.to_string())
+                    .arg("--port-base")
+                    .arg(port_base.to_string())
+                    .arg("--system")
+                    .arg(system.name().to_lowercase())
+                    .arg("--seed")
+                    .arg(seed.to_string())
+                    .arg("--iters")
+                    .arg(opts.iters.to_string())
+                    .arg("--eval-every")
+                    .arg(opts.eval_every.to_string())
+                    .arg("--train")
+                    .arg(cfg.workload.train_size.to_string())
+                    .arg("--test")
+                    .arg(cfg.workload.test_size.to_string())
+                    .arg("--lr")
+                    .arg(cfg.lr.to_string())
+                    .arg("--queue-cap")
+                    .arg(opts.queue_cap.to_string())
+                    .arg("--bw-mbps")
+                    .arg(opts.bw_mbps.to_string())
+                    .arg("--stall-secs")
+                    .arg(opts.stall_timeout.as_secs_f64().to_string())
+                    .arg("--env-label")
+                    .arg(&env_label)
+                    .stdout(std::process::Stdio::piped());
+                if let Some(t) = opts.assumed_iter_time {
+                    cmd.arg("--assumed-iter-time").arg(t.to_string());
+                }
+                if telemetry {
+                    cmd.arg("--telemetry");
+                }
+                if let Some(path) = &trace_out {
+                    cmd.arg("--trace-out").arg(format!("{path}.w{id}"));
+                }
+                children.push(cmd.spawn().unwrap_or_else(|e| {
+                    eprintln!("dlion-live: cannot spawn {}: {e}", worker_bin.display());
+                    std::process::exit(1);
+                }));
+            }
+            let mut outcomes = Vec::with_capacity(workers);
+            for (id, mut child) in children.into_iter().enumerate() {
+                let mut stdout = String::new();
+                child
+                    .stdout
+                    .take()
+                    .expect("piped stdout")
+                    .read_to_string(&mut stdout)
+                    .expect("read worker stdout");
+                let status = child.wait().expect("wait for worker");
+                if !status.success() {
+                    eprintln!("dlion-live: worker {id} failed ({status})");
+                    std::process::exit(1);
+                }
+                let line = stdout
+                    .lines()
+                    .rev()
+                    .find_map(|l| l.strip_prefix("outcome:"))
+                    .unwrap_or_else(|| {
+                        eprintln!("dlion-live: worker {id} printed no outcome");
+                        std::process::exit(1);
+                    });
+                outcomes.push(WorkerOutcome::from_json(line).unwrap_or_else(|e| {
+                    eprintln!("dlion-live: worker {id} outcome unreadable: {e}");
+                    std::process::exit(1);
+                }));
+            }
+            if let Some(path) = &trace_out {
+                dlion_telemetry::info!(target: "dlion_live",
+                    "per-worker traces written to {path}.w0 .. {path}.w{}", workers - 1);
+            }
+            assemble_metrics(&cfg, &env_label, outcomes)
+        }
+        _ => usage(),
+    };
+
+    print!("{}", report::summarize(&m));
+    if telemetry {
+        println!("\nper-run telemetry:\n{}", m.telemetry.render_table());
+    }
+    if let Some(path) = csv {
+        let f = std::fs::File::create(&path).expect("create csv");
+        let mut f = std::io::BufWriter::new(f);
+        m.write_timeseries_csv(&mut f).expect("write csv");
+        std::io::Write::flush(&mut f).expect("flush csv");
+        dlion_telemetry::info!(target: "dlion_live", "time series written to {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_parsing() {
+        assert_eq!(parse_system("dlion"), Some(SystemKind::DLion));
+        assert_eq!(parse_system("Baseline"), Some(SystemKind::Baseline));
+        assert_eq!(parse_system("max8"), Some(SystemKind::MaxNOnly(8.0)));
+        assert_eq!(parse_system("bogus"), None);
+    }
+}

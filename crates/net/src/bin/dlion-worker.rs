@@ -1,0 +1,194 @@
+//! `dlion-worker` — one live worker as its own OS process; the unit
+//! `dlion-live --transport procs` composes a cluster from.
+//!
+//! ```text
+//! dlion-worker --id I --workers N [--port-base P] [--system NAME]
+//!              [--seed N] [--iters K] [--eval-every K] [--train N]
+//!              [--test N] [--lr F] [--queue-cap N] [--bw-mbps F]
+//!              [--assumed-iter-time S] [--stall-secs S]
+//!              [--env-label L] [--trace-out FILE] [--telemetry]
+//! ```
+//!
+//! Every worker process rebuilds the *whole* deterministic cluster from
+//! the shared flags (`build_cluster` is a pure function of the config) and
+//! takes the slot named by `--id` — so all processes agree on every
+//! worker's shard, initial weights and RNG stream without any central
+//! coordinator. It listens on `port-base + id`, meshes with its peers over
+//! TCP, trains, and prints `outcome:{json}` on stdout for the
+//! orchestrator.
+
+use dlion_core::cluster::ClusterInit;
+use dlion_core::{build_cluster, SystemKind};
+use dlion_net::{live_config, run_worker, LiveOpts, TcpTransport, WorkerEnv};
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+fn parse_system(s: &str) -> Option<SystemKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "baseline" => SystemKind::Baseline,
+        "ako" => SystemKind::Ako,
+        "gaia" => SystemKind::Gaia,
+        "hop" => SystemKind::Hop,
+        "dlion" => SystemKind::DLion,
+        "dlion-no-dbwu" => SystemKind::DLionNoDbwu,
+        "dlion-no-wu" => SystemKind::DLionNoWu,
+        other => {
+            if let Some(n) = other.strip_prefix("max") {
+                SystemKind::MaxNOnly(n.parse().ok()?)
+            } else {
+                return None;
+            }
+        }
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dlion-worker --id I --workers N [--port-base P] [--system NAME] [--seed N]\n\
+         \x20                   [--iters K] [--eval-every K] [--train N] [--test N] [--lr F]\n\
+         \x20                   [--queue-cap N] [--bw-mbps F] [--assumed-iter-time S]\n\
+         \x20                   [--stall-secs S] [--env-label L] [--trace-out FILE] [--telemetry]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut id: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut port_base = 7300u16;
+    let mut system = SystemKind::DLion;
+    let mut seed = 1u64;
+    let mut train: Option<usize> = None;
+    let mut test: Option<usize> = None;
+    let mut lr: Option<f32> = None;
+    let mut opts = LiveOpts::default();
+    let mut env_label = "live/procs".to_string();
+    let mut trace_out: Option<String> = None;
+    let mut telemetry = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--id" => id = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--workers" => workers = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--port-base" => port_base = next().parse().unwrap_or_else(|_| usage()),
+            "--system" => system = parse_system(&next()).unwrap_or_else(|| usage()),
+            "--seed" => seed = next().parse().unwrap_or_else(|_| usage()),
+            "--iters" => opts.iters = next().parse().unwrap_or_else(|_| usage()),
+            "--eval-every" => opts.eval_every = next().parse().unwrap_or_else(|_| usage()),
+            "--train" => train = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--test" => test = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--lr" => lr = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--queue-cap" => opts.queue_cap = next().parse().unwrap_or_else(|_| usage()),
+            "--bw-mbps" => opts.bw_mbps = next().parse().unwrap_or_else(|_| usage()),
+            "--assumed-iter-time" => {
+                opts.assumed_iter_time = Some(next().parse().unwrap_or_else(|_| usage()))
+            }
+            "--stall-secs" => {
+                opts.stall_timeout =
+                    Duration::from_secs_f64(next().parse().unwrap_or_else(|_| usage()))
+            }
+            "--env-label" => env_label = next(),
+            "--trace-out" => trace_out = Some(next()),
+            "--telemetry" => telemetry = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let (Some(me), Some(n)) = (id, workers) else {
+        usage()
+    };
+    if n < 2 || me >= n {
+        eprintln!("dlion-worker: need --workers >= 2 and --id < --workers");
+        std::process::exit(2);
+    }
+
+    let mut cfg = live_config(system, seed);
+    cfg.telemetry = telemetry;
+    if let Some(v) = train {
+        cfg.workload.train_size = v;
+    }
+    if let Some(v) = test {
+        cfg.workload.test_size = v;
+    }
+    if let Some(v) = lr {
+        cfg.lr = v;
+    }
+
+    dlion_telemetry::init_from_env("info");
+    if let Some(path) = &trace_out {
+        dlion_telemetry::open_trace_file(path).expect("open trace file");
+    }
+
+    let addrs: Vec<SocketAddr> = (0..n)
+        .map(|j| SocketAddr::from(([127, 0, 0, 1], port_base + j as u16)))
+        .collect();
+    let listener = TcpListener::bind(addrs[me]).unwrap_or_else(|e| {
+        eprintln!("dlion-worker: cannot bind {}: {e}", addrs[me]);
+        std::process::exit(1);
+    });
+    let mut transport = TcpTransport::establish(
+        me,
+        listener,
+        &addrs,
+        seed,
+        opts.queue_cap,
+        opts.stall_timeout,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("dlion-worker {me}: mesh setup failed: {e}");
+        std::process::exit(1);
+    });
+
+    let ClusterInit {
+        mut workers,
+        data,
+        eval_indices,
+        neighbors,
+        total_params,
+        bytes_per_param,
+        prof_rng: _,
+    } = build_cluster(&cfg, n);
+    let worker = workers.swap_remove(me);
+    let env = WorkerEnv {
+        cfg: &cfg,
+        opts: &opts,
+        data: &data,
+        eval_indices: &eval_indices,
+        neighbors: neighbors[me].clone(),
+        total_params,
+        bytes_per_param,
+        epoch: Instant::now(),
+        env_label,
+    };
+    let outcome = run_worker(worker, &env, &mut transport).unwrap_or_else(|e| {
+        eprintln!("dlion-worker {me}: {e}");
+        std::process::exit(1);
+    });
+    if trace_out.is_some() {
+        dlion_telemetry::stop_trace();
+    }
+    println!("outcome:{}", outcome.to_json());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_parsing_round_trips_names() {
+        for k in [
+            SystemKind::Baseline,
+            SystemKind::Ako,
+            SystemKind::Gaia,
+            SystemKind::Hop,
+            SystemKind::DLion,
+            SystemKind::DLionNoDbwu,
+            SystemKind::DLionNoWu,
+            SystemKind::MaxNOnly(8.0),
+        ] {
+            assert_eq!(parse_system(&k.name().to_lowercase()), Some(k));
+        }
+    }
+}

@@ -1,0 +1,779 @@
+//! The live worker driver: one DLion worker's main loop over a real
+//! transport.
+//!
+//! The loop performs, in this order, exactly the model mutations the
+//! simulator performs (see `dlion_core::runner`): drain arrived peer
+//! gradients, compute the own gradient from the current weights, record
+//! the loss for DKT, apply the own update, generate and send the
+//! strategy's partial gradients, run a DKT round on share iterations, and
+//! gate the next iteration on the worker's [`dlion_core::SyncPolicy`].
+//! Peer gradients are applied the moment their frame is popped from the
+//! inbox — the live analogue of the simulator's `Msg` event — with one
+//! exception: under BSP a peer gradient for a round this worker has not
+//! finished is deferred until its own update for that round is applied
+//! (see `LiveWorker::deferred`), which pins the float-op order to the
+//! simulator's and makes synchronous runs bit-identical to it.
+//!
+//! Two protocol additions have no simulator counterpart:
+//!
+//! * every received gradient is acknowledged with a [`crate::KIND_ACK`]
+//!   frame; the ack drives `SyncState::on_delivered` on the sender, which
+//!   is what `BlockOnDelivery` (Gaia) gates on. The simulator calls
+//!   `on_delivered` at the virtual arrival time instead.
+//! * when a worker finishes its last iteration it sends [`crate::KIND_DONE`]
+//!   to every peer and keeps receiving until it holds all peers' Dones.
+//!   Transports guarantee per-peer FIFO, so a Done from a peer proves all
+//!   of that peer's gradients have already been applied — no message can
+//!   be lost by exiting after the barrier.
+
+use crate::{LiveError, KIND_ACK, KIND_DONE, KIND_HELLO, KIND_RCP};
+use dlion_core::config::RunConfig;
+use dlion_core::lbs::{compute_rcp, partition_gbs, PROFILE_LBS};
+use dlion_core::messages::{decode_frame, encode_frame, GradData, GradMsg, Payload};
+use dlion_core::transport::send_payload;
+use dlion_core::weighted::update_factor;
+use dlion_core::worker::Worker;
+use dlion_core::SyncPolicy;
+use dlion_core::{ExchangeTransport, StrategyCtx};
+use dlion_nn::Dataset;
+use dlion_telemetry::event;
+use dlion_tensor::{DetRng, Tensor};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// How long a blocked worker waits for one frame before re-checking its
+/// stall deadline.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Knobs of a live run that have no [`RunConfig`] counterpart — they
+/// describe the *execution*, not the training problem.
+#[derive(Clone, Debug)]
+pub struct LiveOpts {
+    /// Iterations each worker runs before entering the shutdown barrier.
+    pub iters: u64,
+    /// Evaluate every this many iterations (0 = final evaluation only).
+    pub eval_every: u64,
+    /// Per-peer send queue capacity, in frames (TCP backpressure bound).
+    pub queue_cap: usize,
+    /// Bandwidth the strategies assume per link, in Mbps. Loopback is
+    /// effectively infinite; setting this to a simulated environment's
+    /// bandwidth makes budget-driven strategies (Ako's partition count,
+    /// DLion's Max N) pick the same plans as the simulator.
+    pub bw_mbps: f64,
+    /// Feed strategies this fixed iteration time instead of the measured
+    /// wall-clock one. Live wall times on a loaded CI machine are noisy;
+    /// pinning this (to the simulated environment's iteration time) makes
+    /// budget decisions deterministic. `None` = use measured time.
+    pub assumed_iter_time: Option<f64>,
+    /// Abort if no progress (no frame received, no iteration startable)
+    /// for this long.
+    pub stall_timeout: Duration,
+}
+
+impl Default for LiveOpts {
+    fn default() -> Self {
+        LiveOpts {
+            iters: 30,
+            eval_every: 0,
+            queue_cap: 64,
+            bw_mbps: 1000.0,
+            assumed_iter_time: None,
+            stall_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Everything a live worker needs besides its [`Worker`] state and its
+/// transport endpoint; shared (immutably) across the cluster's threads.
+pub struct WorkerEnv<'a> {
+    pub cfg: &'a RunConfig,
+    pub opts: &'a LiveOpts,
+    pub data: &'a Dataset,
+    pub eval_indices: &'a [usize],
+    /// This worker's communication neighbors.
+    pub neighbors: Vec<usize>,
+    pub total_params: usize,
+    pub bytes_per_param: f64,
+    /// Cluster-wide time origin: event timestamps are seconds since this.
+    pub epoch: Instant,
+    /// Run label, e.g. `live/3w`; the worker appends `/w{id}` for its
+    /// telemetry run scope so per-scope sequence numbers stay monotonic.
+    pub env_label: String,
+}
+
+/// One periodic (or final) evaluation of a worker's model.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalPoint {
+    /// Iterations completed when the evaluation ran.
+    pub iteration: u64,
+    /// Seconds since the cluster epoch.
+    pub wall: f64,
+    pub accuracy: f64,
+    pub loss: f64,
+}
+
+/// What one live worker reports back to the orchestrator. Byte counts are
+/// *exact encoded frame lengths* — unlike the simulator's scaled
+/// accounting, nothing here is extrapolated.
+#[derive(Debug, Default)]
+pub struct WorkerOutcome {
+    pub id: usize,
+    pub iterations: u64,
+    /// Wall seconds spent inside gradient computation.
+    pub busy_secs: f64,
+    /// Wall seconds from cluster epoch to this worker's exit.
+    pub wall_secs: f64,
+    pub msgs_sent: u64,
+    pub msgs_recv: u64,
+    pub grad_bytes: f64,
+    pub weight_bytes: f64,
+    pub control_bytes: f64,
+    /// Bytes of net-only control frames (hello/ack/done/rcp) — overhead
+    /// the simulator does not model, kept out of the sim-comparable
+    /// counters above.
+    pub net_overhead_bytes: f64,
+    pub dkt_merges: u64,
+    pub evals: Vec<EvalPoint>,
+    /// Final weight tensors, when `cfg.capture_weights` is on.
+    pub final_weights: Option<Vec<Tensor>>,
+}
+
+impl WorkerOutcome {
+    /// One-line JSON for crossing a process boundary (`dlion-worker` →
+    /// `dlion-live --transport procs`). Final weights are deliberately not
+    /// serialized — weight capture is an in-process (test) facility.
+    pub fn to_json(&self) -> String {
+        use dlion_telemetry::json::f64_into;
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!(
+            "{{\"id\":{},\"iterations\":{},\"msgs_sent\":{},\"msgs_recv\":{},\"dkt_merges\":{}",
+            self.id, self.iterations, self.msgs_sent, self.msgs_recv, self.dkt_merges
+        ));
+        for (key, v) in [
+            ("busy_secs", self.busy_secs),
+            ("wall_secs", self.wall_secs),
+            ("grad_bytes", self.grad_bytes),
+            ("weight_bytes", self.weight_bytes),
+            ("control_bytes", self.control_bytes),
+            ("net_overhead_bytes", self.net_overhead_bytes),
+        ] {
+            s.push_str(&format!(",\"{key}\":"));
+            f64_into(v, &mut s);
+        }
+        s.push_str(",\"evals\":[");
+        for (i, e) in self.evals.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{{\"iteration\":{},\"wall\":", e.iteration));
+            f64_into(e.wall, &mut s);
+            s.push_str(",\"accuracy\":");
+            f64_into(e.accuracy, &mut s);
+            s.push_str(",\"loss\":");
+            f64_into(e.loss, &mut s);
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parse [`WorkerOutcome::to_json`] output.
+    pub fn from_json(line: &str) -> Result<WorkerOutcome, String> {
+        let v = dlion_telemetry::json::parse(line)?;
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| format!("missing {key}"))
+        };
+        let int = |key: &str| num(key).map(|x| x as u64);
+        let mut out = WorkerOutcome {
+            id: int("id")? as usize,
+            iterations: int("iterations")?,
+            msgs_sent: int("msgs_sent")?,
+            msgs_recv: int("msgs_recv")?,
+            dkt_merges: int("dkt_merges")?,
+            busy_secs: num("busy_secs")?,
+            wall_secs: num("wall_secs")?,
+            grad_bytes: num("grad_bytes")?,
+            weight_bytes: num("weight_bytes")?,
+            control_bytes: num("control_bytes")?,
+            net_overhead_bytes: num("net_overhead_bytes")?,
+            ..Default::default()
+        };
+        let Some(dlion_telemetry::json::Json::Arr(evals)) = v.get("evals") else {
+            return Err("missing evals".into());
+        };
+        for e in evals {
+            let num = |key: &str| {
+                e.get(key)
+                    .and_then(|x| x.as_f64())
+                    .ok_or_else(|| format!("missing eval {key}"))
+            };
+            out.evals.push(EvalPoint {
+                iteration: num("iteration")? as u64,
+                wall: num("wall")?,
+                accuracy: num("accuracy")?,
+                loss: num("loss")?,
+            });
+        }
+        Ok(out)
+    }
+}
+
+struct LiveWorker<'a, 'b> {
+    worker: Worker,
+    env: &'b WorkerEnv<'a>,
+    transport: &'b mut dyn ExchangeTransport,
+    n: usize,
+    me: usize,
+    /// Live GBS: static at `initial_lbs * n`. The GBS growth controller is
+    /// simulator-only for now (see ROADMAP "Open items").
+    gbs: usize,
+    done: Vec<bool>,
+    /// Under BSP ([`SyncPolicy::Synchronous`]) only: peer gradients of an
+    /// iteration this worker has not completed yet. In the simulator a
+    /// peer's iteration-`t` gradient can never apply before this worker's
+    /// own iteration-`t` update (arrivals carry a transfer delay past the
+    /// lockstep `IterDone`), but a live peer that drains its inbox early
+    /// can run ahead and its `g_t` would land mid-round. Deferring those
+    /// frames until the local round completes restores the simulator's
+    /// apply order (own `g_t`, then peer `g_t`) — the key to bit-identical
+    /// BSP weights. `SyncState::on_gradient` is still recorded at receipt,
+    /// so iteration gating is unaffected.
+    deferred: VecDeque<(usize, GradMsg)>,
+    out: WorkerOutcome,
+}
+
+impl LiveWorker<'_, '_> {
+    fn now(&self) -> f64 {
+        self.env.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Encode and send a training payload, with exact byte accounting.
+    /// `best_effort` sends (shutdown phase) ignore unreachable peers: a
+    /// peer that already left the barrier cannot need this frame.
+    fn send(&mut self, to: usize, payload: &Payload, best_effort: bool) -> Result<(), LiveError> {
+        match send_payload(self.transport, to, payload) {
+            Ok(bytes) => {
+                let bytes = bytes as f64;
+                match payload.kind() {
+                    "grad" => self.out.grad_bytes += bytes,
+                    "weights" => self.out.weight_bytes += bytes,
+                    _ => self.out.control_bytes += bytes,
+                }
+                self.out.msgs_sent += 1;
+                event!(self.now(), w: self.me, "send";
+                    "to" => to, "kind" => payload.kind(), "bytes" => bytes);
+                Ok(())
+            }
+            Err(_) if best_effort => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Send a net-control frame (ack/done/rcp).
+    fn send_control(
+        &mut self,
+        to: usize,
+        kind: u8,
+        body: &[u8],
+        best_effort: bool,
+    ) -> Result<(), LiveError> {
+        let frame = encode_frame(kind, body);
+        self.out.net_overhead_bytes += frame.len() as f64;
+        match self.transport.send_frame(to, frame) {
+            Ok(()) => Ok(()),
+            Err(_) if best_effort => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Handle one inbound frame — the live analogue of the simulator's
+    /// `Msg` event plus the net-control protocol.
+    fn handle_frame(
+        &mut self,
+        from: usize,
+        frame: Vec<u8>,
+        during_shutdown: bool,
+    ) -> Result<(), LiveError> {
+        let (kind, _body) = decode_frame(&frame)?;
+        match kind {
+            KIND_ACK => {
+                // One of our gradient messages reached its peer
+                // (BlockOnDelivery's gate).
+                self.worker.sync.on_delivered();
+                Ok(())
+            }
+            KIND_DONE => {
+                self.done[from] = true;
+                Ok(())
+            }
+            // Rcp frames are consumed by the startup round; one arriving
+            // here would mean a peer restarted mid-run — ignore.
+            // Hello frames are consumed by the TCP handshake; MemTransport
+            // never produces them.
+            KIND_RCP | KIND_HELLO => Ok(()),
+            _ => {
+                let payload = Payload::from_frame(&frame)?;
+                self.on_payload(from, payload, during_shutdown)
+            }
+        }
+    }
+
+    fn on_payload(
+        &mut self,
+        from: usize,
+        payload: Payload,
+        during_shutdown: bool,
+    ) -> Result<(), LiveError> {
+        self.out.msgs_recv += 1;
+        event!(self.now(), w: self.me, "msg"; "from" => from, "kind" => payload.kind());
+        match payload {
+            Payload::Grad(msg) => {
+                self.worker.sync.on_gradient(from, msg.iteration);
+                let bsp = self.worker.strategy.sync_policy() == SyncPolicy::Synchronous;
+                if bsp && msg.iteration >= self.worker.iteration {
+                    // See `deferred`: hold until the local round completes.
+                    self.deferred.push_back((from, msg));
+                    Ok(())
+                } else {
+                    self.apply_grad(from, &msg, during_shutdown)
+                }
+            }
+            Payload::LossShare { avg_loss } => {
+                self.worker.dkt.update_known(from, avg_loss);
+                Ok(())
+            }
+            Payload::DktRequest => {
+                // We are the (believed) best worker: ship our weights back.
+                let weights = self.worker.model.weights();
+                let sender_loss = self.worker.dkt.avg_loss().unwrap_or(f64::INFINITY);
+                self.send(
+                    from,
+                    &Payload::Weights {
+                        weights,
+                        sender_loss,
+                    },
+                    during_shutdown,
+                )
+            }
+            Payload::Weights { weights, .. } => {
+                self.worker
+                    .model
+                    .merge_weights(&weights, self.env.cfg.dkt.lambda);
+                self.out.dkt_merges += 1;
+                event!(self.now(), w: self.me, "dkt_merge"; "from" => from);
+                Ok(())
+            }
+        }
+    }
+
+    /// Apply a peer gradient to the model and acknowledge it (the ack
+    /// drives the sender's `SyncState::on_delivered`).
+    fn apply_grad(
+        &mut self,
+        from: usize,
+        msg: &GradMsg,
+        during_shutdown: bool,
+    ) -> Result<(), LiveError> {
+        let weighted = self.env.cfg.system.weighted_update();
+        let factor = update_factor(self.env.cfg.lr, self.n, msg.lbs, self.gbs, weighted);
+        match &msg.data {
+            GradData::Dense(vars) => self.worker.model.apply_dense_update(vars, factor),
+            GradData::Sparse(vars) => {
+                for (v, s) in vars.iter().enumerate() {
+                    self.worker.model.apply_sparse_update(v, s, factor);
+                }
+            }
+        }
+        self.send_control(from, KIND_ACK, &[], during_shutdown)
+    }
+
+    /// Apply deferred BSP gradients whose round this worker has now
+    /// completed (`force` applies everything — shutdown, when no further
+    /// local round will come). Ineligible frames keep their arrival order.
+    fn flush_deferred(&mut self, force: bool, during_shutdown: bool) -> Result<(), LiveError> {
+        for _ in 0..self.deferred.len() {
+            let (from, msg) = self.deferred.pop_front().expect("len-bounded pop");
+            if force || msg.iteration < self.worker.iteration {
+                self.apply_grad(from, &msg, during_shutdown)?;
+            } else {
+                self.deferred.push_back((from, msg));
+            }
+        }
+        Ok(())
+    }
+
+    /// One training iteration: same mutation order as the simulator's
+    /// `start_iteration` + `on_iter_done` pair, executed back to back
+    /// (live compute is atomic; there is no virtual completion time).
+    fn step(&mut self) -> Result<(), LiveError> {
+        let me = self.me;
+        let n = self.n;
+        let cfg = self.env.cfg;
+        let t0 = Instant::now();
+        let batch = self.worker.sample_batch();
+        let (x, y) = self
+            .env
+            .data
+            .batch_scratch(&batch, &mut self.worker.scratch);
+        let Worker {
+            model,
+            scratch,
+            grads,
+            ..
+        } = &mut self.worker;
+        let loss = model.forward_backward_scratch(x, &y, scratch, grads);
+        for g in self.worker.grads.iter_mut() {
+            g.clip_inplace(cfg.grad_clip);
+        }
+        let measured = t0.elapsed().as_secs_f64().max(1e-6);
+        let dt = self.env.opts.assumed_iter_time.unwrap_or(measured);
+        self.worker.last_iter_time = dt;
+        self.out.busy_secs += measured;
+        event!(self.now(), w: me, "iter_start";
+            "iter" => self.worker.iteration, "lbs" => self.worker.lbs,
+            "loss" => loss, "dt" => measured);
+
+        self.worker.dkt.record_loss(loss);
+        let own_factor = update_factor(
+            cfg.lr,
+            n,
+            self.worker.lbs,
+            self.gbs,
+            cfg.system.weighted_update(),
+        );
+        let ctx = StrategyCtx {
+            worker: me,
+            n,
+            iteration: self.worker.iteration,
+            now: self.now(),
+            lbs: self.worker.lbs,
+            iter_time: dt,
+            neighbors: self.env.neighbors.clone(),
+            bw_mbps: (0..n)
+                .map(|j| if j == me { 0.0 } else { self.env.opts.bw_mbps })
+                .collect(),
+            bytes_per_param: self.env.bytes_per_param,
+            total_params: self.env.total_params,
+            lr: cfg.lr,
+        };
+        let Worker {
+            strategy,
+            model,
+            grads,
+            ..
+        } = &mut self.worker;
+        model.apply_dense_update(grads, own_factor);
+        let mut updates = strategy.generate_partial_gradients(&ctx, grads, model);
+        // Rotate the send order each iteration so no peer is permanently
+        // first (or last) in this worker's send queues.
+        if !updates.is_empty() {
+            let r = (self.worker.iteration as usize) % updates.len();
+            updates.rotate_left(r);
+        }
+        self.worker.iteration += 1;
+        let share = self.worker.dkt.is_share_round(self.worker.iteration);
+        event!(self.now(), w: me, "iter_done";
+            "iter" => self.worker.iteration,
+            "updates" => updates.len(),
+            "share_dkt" => share);
+        for up in updates {
+            self.worker.sync.on_sent(1);
+            self.send(up.peer, &Payload::Grad(up.msg), false)?;
+        }
+        if share {
+            self.dkt_round()?;
+        }
+        let every = self.env.opts.eval_every;
+        if every > 0 && self.worker.iteration.is_multiple_of(every) {
+            self.eval();
+        }
+        Ok(())
+    }
+
+    /// A DKT round (§3.4): share the recent average loss, then pull from
+    /// the best-known worker — same logic as the simulator's `dkt_round`.
+    fn dkt_round(&mut self) -> Result<(), LiveError> {
+        let Some(avg) = self.worker.dkt.avg_loss() else {
+            return Ok(());
+        };
+        event!(self.now(), w: self.me, "dkt_round"; "avg_loss" => avg);
+        self.worker.dkt.update_known(self.me, avg);
+        for j in self.env.neighbors.clone() {
+            self.send(j, &Payload::LossShare { avg_loss: avg }, false)?;
+        }
+        let round = self.worker.iteration / self.worker.dkt.cfg().period_iters;
+        if self.worker.last_pull_round < round {
+            if let Some(target) = self.worker.dkt.pull_target() {
+                self.worker.last_pull_round = round;
+                self.send(target, &Payload::DktRequest, false)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn eval(&mut self) {
+        let r = self
+            .worker
+            .model
+            .evaluate(self.env.data, self.env.eval_indices, 125);
+        let point = EvalPoint {
+            iteration: self.worker.iteration,
+            wall: self.now(),
+            accuracy: r.accuracy,
+            loss: r.loss,
+        };
+        event!(point.wall, w: self.me, "eval";
+            "iter" => point.iteration, "acc" => point.accuracy, "loss" => point.loss);
+        self.out.evals.push(point);
+    }
+
+    /// Startup LBS assignment for dynamic-batching systems: profile our
+    /// own compute by wall clock at [`PROFILE_LBS`], broadcast the RCP,
+    /// collect everyone else's, and take our Eq. 5 share of the GBS.
+    /// Frames of other kinds that race in (none should before everyone has
+    /// all RCPs, but the protocol does not depend on that) are stashed for
+    /// the main loop.
+    fn startup_lbs(&mut self, stash: &mut Vec<(usize, Vec<u8>)>) -> Result<(), LiveError> {
+        if !self.env.cfg.system.dynamic_batching() {
+            return Ok(());
+        }
+        // Profiling batches come from a private RNG stream: the worker's
+        // sampling RNG must stay at the same position as in the simulator
+        // (which profiles through its compute model, not through data).
+        let mut prng = DetRng::seed_from_u64(self.env.cfg.seed ^ 0x5052_4F46 ^ self.me as u64);
+        let mut samples = Vec::with_capacity(PROFILE_LBS.len());
+        for &lbs in PROFILE_LBS.iter() {
+            let batch: Vec<usize> = (0..lbs)
+                .map(|_| self.worker.shard[prng.index(self.worker.shard.len())])
+                .collect();
+            let (x, y) = self
+                .env
+                .data
+                .batch_scratch(&batch, &mut self.worker.scratch);
+            let Worker {
+                model,
+                scratch,
+                grads,
+                ..
+            } = &mut self.worker;
+            let t0 = Instant::now();
+            let _ = model.forward_backward_scratch(x, &y, scratch, grads);
+            samples.push((lbs as f64, t0.elapsed().as_secs_f64().max(1e-6)));
+        }
+        let rcp = compute_rcp(&samples);
+        let mut rcps = vec![0.0f64; self.n];
+        rcps[self.me] = rcp;
+        let mut have = 1usize;
+        for j in 0..self.n {
+            if j != self.me {
+                self.send_control(j, KIND_RCP, &rcp.to_le_bytes(), false)?;
+            }
+        }
+        let mut deadline = Instant::now() + self.env.opts.stall_timeout;
+        while have < self.n {
+            match self.transport.recv_frame_timeout(POLL)? {
+                Some((from, frame)) => {
+                    deadline = Instant::now() + self.env.opts.stall_timeout;
+                    let (kind, body) = decode_frame(&frame)?;
+                    if kind == KIND_RCP {
+                        let bytes: [u8; 8] = body.try_into().map_err(|_| {
+                            LiveError::Protocol(format!("bad rcp body from {from}"))
+                        })?;
+                        if rcps[from] == 0.0 {
+                            have += 1;
+                        }
+                        rcps[from] = f64::from_le_bytes(bytes);
+                    } else {
+                        stash.push((from, frame));
+                    }
+                }
+                None => {
+                    if Instant::now() > deadline {
+                        return Err(LiveError::Stalled(format!(
+                            "worker {} got {have}/{} RCPs",
+                            self.me, self.n
+                        )));
+                    }
+                }
+            }
+        }
+        let parts = partition_gbs(self.gbs, &rcps);
+        self.worker.lbs = parts[self.me];
+        event!(self.now(), w: self.me, "lbs_repartition";
+            "gbs" => self.gbs, "lbs" => parts[self.me]);
+        Ok(())
+    }
+}
+
+/// Run one live worker to completion: startup profiling (dynamic-batching
+/// systems), `opts.iters` training iterations gated by the sync policy,
+/// then the Done shutdown barrier and a final evaluation.
+pub fn run_worker(
+    worker: Worker,
+    env: &WorkerEnv<'_>,
+    transport: &mut dyn ExchangeTransport,
+) -> Result<WorkerOutcome, LiveError> {
+    assert_eq!(worker.id, transport.me(), "worker/transport id mismatch");
+    let me = worker.id;
+    let n = transport.n();
+    let system = env.cfg.system.name();
+    let scope_env = format!("{}/w{me}", env.env_label);
+    let _scope = dlion_telemetry::run_scope(&system, &scope_env, env.cfg.seed);
+
+    let mut lw = LiveWorker {
+        gbs: env.cfg.initial_lbs * n,
+        done: vec![false; n],
+        deferred: VecDeque::new(),
+        out: WorkerOutcome {
+            id: me,
+            ..Default::default()
+        },
+        n,
+        me,
+        worker,
+        env,
+        transport,
+    };
+    event!(lw.now(), w: me, "run_start";
+        "workers" => n, "iters" => env.opts.iters,
+        "params" => env.total_params, "initial_lbs" => env.cfg.initial_lbs);
+
+    let mut stash = Vec::new();
+    lw.startup_lbs(&mut stash)?;
+    for (from, frame) in stash {
+        lw.handle_frame(from, frame, false)?;
+    }
+
+    let mut last_progress = Instant::now();
+    loop {
+        // Apply everything that has arrived before deciding to compute —
+        // the freshest peer state the transport can give us.
+        while let Some((from, frame)) = lw.transport.try_recv_frame()? {
+            lw.handle_frame(from, frame, false)?;
+            last_progress = Instant::now();
+        }
+        if lw.worker.iteration >= env.opts.iters {
+            break;
+        }
+        let policy = lw.worker.strategy.sync_policy();
+        if lw.worker.sync.can_start(policy, lw.worker.iteration) {
+            lw.step()?;
+            // The round is complete: peer gradients of the round just
+            // finished (deferred under BSP) apply now, before the next
+            // compute — the simulator's own-then-peer order.
+            lw.flush_deferred(false, false)?;
+            last_progress = Instant::now();
+        } else {
+            match lw.transport.recv_frame_timeout(POLL)? {
+                Some((from, frame)) => {
+                    lw.handle_frame(from, frame, false)?;
+                    last_progress = Instant::now();
+                }
+                None => {
+                    if last_progress.elapsed() > env.opts.stall_timeout {
+                        return Err(LiveError::Stalled(format!(
+                            "worker {me} blocked at iteration {} under {policy:?}",
+                            lw.worker.iteration
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    // Shutdown barrier: announce Done to all peers (even non-neighbors —
+    // everyone waits on everyone), then drain until all Dones are in.
+    // Per-peer FIFO means a peer's Done arrives after all its gradients.
+    for j in 0..n {
+        if j != me {
+            lw.send_control(j, KIND_DONE, &[], true)?;
+        }
+    }
+    lw.done[me] = true;
+    event!(lw.now(), w: me, "barrier_enter"; "iter" => lw.worker.iteration);
+    let mut deadline = Instant::now() + env.opts.stall_timeout;
+    while !lw.done.iter().all(|&d| d) {
+        match lw.transport.recv_frame_timeout(POLL) {
+            Ok(Some((from, frame))) => {
+                lw.handle_frame(from, frame, true)?;
+                deadline = Instant::now() + env.opts.stall_timeout;
+            }
+            Ok(None) => {
+                if Instant::now() > deadline {
+                    let missing: Vec<usize> = (0..n).filter(|&j| !lw.done[j]).collect();
+                    return Err(LiveError::Stalled(format!(
+                        "worker {me} waiting for Done from {missing:?}"
+                    )));
+                }
+            }
+            // All peers closed their connections — they can only do that
+            // after completing their own barrier, so nothing is missing.
+            Err(dlion_core::TransportError::Disconnected) => break,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    // Anything still queued locally arrived before the senders' Dones.
+    while let Ok(Some((from, frame))) = lw.transport.try_recv_frame() {
+        lw.handle_frame(from, frame, true)?;
+    }
+    // No further local rounds: whatever is still deferred applies now.
+    lw.flush_deferred(true, true)?;
+
+    lw.eval();
+    lw.out.iterations = lw.worker.iteration;
+    lw.out.wall_secs = lw.now();
+    if env.cfg.capture_weights {
+        lw.out.final_weights = Some(lw.worker.model.weights());
+    }
+    event!(lw.out.wall_secs, w: me, "run_end";
+        "iterations" => lw.out.iterations,
+        "grad_bytes" => lw.out.grad_bytes,
+        "final_acc" => lw.out.evals.last().map(|e| e.accuracy).unwrap_or(0.0));
+    Ok(lw.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_json_round_trips() {
+        let out = WorkerOutcome {
+            id: 2,
+            iterations: 30,
+            busy_secs: 1.5,
+            wall_secs: 2.25,
+            msgs_sent: 60,
+            msgs_recv: 58,
+            grad_bytes: 123456.0,
+            weight_bytes: 0.0,
+            control_bytes: 28.0,
+            net_overhead_bytes: 1160.0,
+            dkt_merges: 1,
+            evals: vec![EvalPoint {
+                iteration: 30,
+                wall: 2.0,
+                accuracy: 0.375,
+                loss: 1.875,
+            }],
+            final_weights: None,
+        };
+        let back = WorkerOutcome::from_json(&out.to_json()).unwrap();
+        assert_eq!(back.id, 2);
+        assert_eq!(back.iterations, 30);
+        assert_eq!(back.msgs_sent, 60);
+        assert_eq!(back.busy_secs, 1.5);
+        assert_eq!(back.net_overhead_bytes, 1160.0);
+        assert_eq!(back.evals.len(), 1);
+        assert_eq!(back.evals[0].accuracy, 0.375);
+        assert!(back.final_weights.is_none());
+    }
+
+    #[test]
+    fn outcome_json_rejects_garbage() {
+        assert!(WorkerOutcome::from_json("not json").is_err());
+        assert!(WorkerOutcome::from_json("{\"id\":1}").is_err());
+    }
+}

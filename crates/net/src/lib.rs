@@ -1,0 +1,134 @@
+//! # dlion-net
+//!
+//! The **live execution backend**: every DLion worker runs on its own OS
+//! thread (or process, via the `dlion-worker` binary) and exchanges
+//! gradients over the length-prefixed, checksummed TCP frames defined by
+//! `dlion_core::messages` — no virtual clock, no discrete-event queue.
+//!
+//! The exchange logic is *identical* to the simulator's: both backends
+//! build their cluster through [`dlion_core::build_cluster`], both drive
+//! the same [`dlion_core::ExchangeStrategy`] plugins, the same
+//! [`dlion_core::SyncState`] gating, the same weighted update and the same
+//! DKT state machine. The only difference is what carries a
+//! [`dlion_core::Payload`] from one worker to another: a simulated
+//! `NetworkModel::transfer` there, a real socket (or in-process channel)
+//! behind [`dlion_core::ExchangeTransport`] here. The parity tests in
+//! `tests/parity.rs` pin this down to bit-identical final weights for
+//! synchronous configurations.
+//!
+//! ## Module map
+//!
+//! * [`driver`] — the per-worker training loop (compute → apply own →
+//!   send → block per sync policy), plus the startup LBS profiling round
+//!   and the Done-barrier shutdown protocol.
+//! * [`tcp`] — [`tcp::TcpTransport`]: full-mesh establishment with a
+//!   Hello handshake, per-peer writer threads with bounded backpressure
+//!   queues, reader threads feeding one shared inbox.
+//! * [`live`] — the orchestrator: build the cluster once, spawn one
+//!   thread per worker over TCP or in-memory channels, assemble the same
+//!   [`dlion_core::RunMetrics`] the simulator reports.
+//!
+//! ## Control frames
+//!
+//! The live runtime adds four frame kinds on top of the payload codec, all
+//! at or above [`KIND_NET_BASE`] so `Payload::from_frame` can never
+//! mistake one for a training payload:
+//!
+//! | kind | body | role |
+//! |------|------|------|
+//! | [`KIND_HELLO`] | `id u32, n u32, seed u64` | mesh handshake: identifies the dialing worker, sanity-checks cluster size and seed |
+//! | [`KIND_ACK`] | empty | delivery acknowledgement for one gradient message (drives `SyncState::on_delivered`, i.e. Gaia's `BlockOnDelivery`) |
+//! | [`KIND_DONE`] | empty | shutdown barrier: the sender finished all its iterations; per-peer FIFO guarantees every earlier gradient already arrived |
+//! | [`KIND_RCP`] | `rcp f64` | startup LBS profiling round: the sender's measured relative compute power (Eq. 5) |
+
+pub mod driver;
+pub mod live;
+pub mod tcp;
+
+pub use driver::{run_worker, EvalPoint, LiveOpts, WorkerEnv, WorkerOutcome};
+pub use live::{assemble_metrics, live_config, run_live, TransportKind};
+pub use tcp::{loopback_mesh, TcpTransport};
+
+use dlion_core::messages::KIND_NET_BASE;
+use dlion_core::{TransportError, WireError};
+
+/// Mesh handshake frame (dialer → acceptor): `id u32, n u32, seed u64`.
+pub const KIND_HELLO: u8 = KIND_NET_BASE;
+/// Per-gradient delivery acknowledgement (empty body).
+pub const KIND_ACK: u8 = KIND_NET_BASE + 1;
+/// Shutdown barrier: "I finished my iterations" (empty body).
+pub const KIND_DONE: u8 = KIND_NET_BASE + 2;
+/// Startup profiling: the sender's relative compute power (`f64` body).
+pub const KIND_RCP: u8 = KIND_NET_BASE + 3;
+
+/// A live-run failure. Transport and wire errors are fatal for the worker
+/// that hits them; the orchestrator surfaces the first failure.
+#[derive(Debug)]
+pub enum LiveError {
+    Transport(TransportError),
+    Wire(WireError),
+    Io(std::io::Error),
+    /// A peer violated the handshake or framing protocol.
+    Protocol(String),
+    /// No progress (no frame, no startable iteration) for the stall
+    /// timeout — a peer likely died without closing its socket.
+    Stalled(String),
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Transport(e) => write!(f, "transport: {e}"),
+            LiveError::Wire(e) => write!(f, "wire: {e}"),
+            LiveError::Io(e) => write!(f, "i/o: {e}"),
+            LiveError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            LiveError::Stalled(m) => write!(f, "stalled: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+impl From<TransportError> for LiveError {
+    fn from(e: TransportError) -> Self {
+        LiveError::Transport(e)
+    }
+}
+
+impl From<WireError> for LiveError {
+    fn from(e: WireError) -> Self {
+        LiveError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for LiveError {
+    fn from(e: std::io::Error) -> Self {
+        LiveError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlion_core::messages::Payload;
+
+    #[test]
+    fn control_kinds_are_outside_payload_space() {
+        for kind in [KIND_HELLO, KIND_ACK, KIND_DONE, KIND_RCP] {
+            assert!(kind >= KIND_NET_BASE);
+            let frame = dlion_core::messages::encode_frame(kind, &[]);
+            assert!(
+                Payload::from_frame(&frame).is_err(),
+                "payload decoder accepted control kind {kind:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = LiveError::Stalled("w2 silent for 30s".into());
+        assert!(format!("{e}").contains("w2"));
+        let e: LiveError = WireError::BadMagic.into();
+        assert!(matches!(e, LiveError::Wire(_)));
+    }
+}

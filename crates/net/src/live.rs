@@ -1,0 +1,217 @@
+//! The live orchestrator: build the cluster once (through the same
+//! [`build_cluster`] the simulator uses), run every worker on its own
+//! thread over a chosen transport, and assemble the per-worker outcomes
+//! into the same [`RunMetrics`] the simulator reports — so the report,
+//! CSV and comparison tooling work unchanged on live runs.
+
+use crate::driver::{run_worker, LiveOpts, WorkerEnv, WorkerOutcome};
+use crate::tcp::loopback_mesh;
+use crate::LiveError;
+use dlion_core::cluster::ClusterInit;
+use dlion_core::{build_cluster, ExchangeTransport, RunConfig, RunMetrics, SystemKind};
+use dlion_microcloud::ClusterKind;
+use std::time::Instant;
+
+/// Which wire the cluster runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Real TCP sockets on loopback (the default).
+    Tcp,
+    /// In-process channels ([`dlion_core::mem_mesh`]) — same driver, no
+    /// sockets; isolates "does parity hold?" from "does TCP work?".
+    Mem,
+}
+
+/// A small-workload live configuration (mirrors `RunConfig::small_test`'s
+/// dataset scale): live runs execute real SGD in real time, so the CLI and
+/// CI default to a dataset a laptop chews through in seconds.
+pub fn live_config(system: SystemKind, seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::paper_default(system, ClusterKind::Cpu);
+    cfg.workload.train_size = 1200;
+    cfg.workload.test_size = 300;
+    cfg.eval_subset = 100;
+    cfg.dkt.period_iters = 20;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Run `n` live workers to completion over the chosen transport and
+/// return the assembled metrics. `env_label` names the run in reports and
+/// telemetry (e.g. `live/3w`).
+pub fn run_live(
+    cfg: &RunConfig,
+    n: usize,
+    opts: &LiveOpts,
+    kind: TransportKind,
+    env_label: &str,
+) -> Result<RunMetrics, LiveError> {
+    let transports: Vec<Box<dyn ExchangeTransport>> = match kind {
+        TransportKind::Mem => dlion_core::mem_mesh(n)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn ExchangeTransport>)
+            .collect(),
+        TransportKind::Tcp => loopback_mesh(n, cfg.seed, opts.queue_cap, opts.stall_timeout)?
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn ExchangeTransport>)
+            .collect(),
+    };
+    let ClusterInit {
+        workers,
+        data,
+        eval_indices,
+        neighbors,
+        total_params,
+        bytes_per_param,
+        prof_rng: _, // live profiling measures real wall clock, no noise RNG
+    } = build_cluster(cfg, n);
+
+    let epoch = Instant::now();
+    let results: Vec<Result<WorkerOutcome, LiveError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .zip(transports)
+            .map(|(worker, mut transport)| {
+                let env = WorkerEnv {
+                    cfg,
+                    opts,
+                    data: &data,
+                    eval_indices: &eval_indices,
+                    neighbors: neighbors[worker.id].clone(),
+                    total_params,
+                    bytes_per_param,
+                    epoch,
+                    env_label: env_label.to_string(),
+                };
+                s.spawn(move || run_worker(worker, &env, transport.as_mut()))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(LiveError::Protocol("worker thread panicked".into())),
+            })
+            .collect()
+    });
+    let mut outcomes = Vec::with_capacity(n);
+    for r in results {
+        outcomes.push(r?);
+    }
+    Ok(assemble_metrics(cfg, env_label, outcomes))
+}
+
+/// Fold per-worker outcomes into the simulator's [`RunMetrics`] shape.
+/// Times are wall seconds since the cluster epoch; byte counts are exact
+/// encoded frame lengths.
+pub fn assemble_metrics(
+    cfg: &RunConfig,
+    env_label: &str,
+    mut outcomes: Vec<WorkerOutcome>,
+) -> RunMetrics {
+    outcomes.sort_by_key(|o| o.id);
+    let n = outcomes.len();
+    let mut m = RunMetrics {
+        system: cfg.system.name(),
+        env: env_label.to_string(),
+        seed: cfg.seed,
+        iterations: outcomes.iter().map(|o| o.iterations).collect(),
+        busy_time: outcomes.iter().map(|o| o.busy_secs).collect(),
+        ..Default::default()
+    };
+    m.duration = outcomes.iter().map(|o| o.wall_secs).fold(0.0, f64::max);
+    for o in &outcomes {
+        m.grad_bytes += o.grad_bytes;
+        m.weight_bytes += o.weight_bytes;
+        m.control_bytes += o.control_bytes;
+        m.dkt_merges += o.dkt_merges;
+    }
+    // Evaluation points are per-iteration-count, identical across workers
+    // (same `iters`/`eval_every` plus the final eval); a row's time is the
+    // latest worker's wall clock at that point.
+    let rows = outcomes.iter().map(|o| o.evals.len()).min().unwrap_or(0);
+    for e in 0..rows {
+        let t = outcomes.iter().map(|o| o.evals[e].wall).fold(0.0, f64::max);
+        m.eval_times.push(t);
+        m.worker_acc
+            .push(outcomes.iter().map(|o| o.evals[e].accuracy).collect());
+        m.worker_loss
+            .push(outcomes.iter().map(|o| o.evals[e].loss).collect());
+    }
+    if cfg.capture_weights {
+        m.final_weights = outcomes
+            .iter_mut()
+            .map(|o| o.final_weights.take().unwrap_or_default())
+            .collect();
+    }
+    if cfg.telemetry {
+        let tm = &mut m.telemetry;
+        for o in &outcomes {
+            tm.add("msgs_sent", o.msgs_sent);
+            tm.add("msgs_recv", o.msgs_recv);
+            tm.add(
+                "bytes_sent",
+                (o.grad_bytes + o.weight_bytes + o.control_bytes) as u64,
+            );
+            tm.add("net_overhead_bytes", o.net_overhead_bytes as u64);
+            tm.add("dkt_merges", o.dkt_merges);
+            tm.observe("worker_busy_secs", o.busy_secs);
+        }
+        tm.gauge_max("workers", n as f64);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::EvalPoint;
+
+    fn outcome(id: usize) -> WorkerOutcome {
+        WorkerOutcome {
+            id,
+            iterations: 10,
+            busy_secs: 1.0 + id as f64,
+            wall_secs: 5.0 + id as f64,
+            msgs_sent: 20,
+            msgs_recv: 20,
+            grad_bytes: 1000.0,
+            weight_bytes: 0.0,
+            control_bytes: 50.0,
+            net_overhead_bytes: 200.0,
+            dkt_merges: 1,
+            evals: vec![EvalPoint {
+                iteration: 10,
+                wall: 4.0 + id as f64,
+                accuracy: 0.5,
+                loss: 1.0,
+            }],
+            final_weights: None,
+        }
+    }
+
+    #[test]
+    fn metrics_assembly_sums_and_orders() {
+        let cfg = live_config(SystemKind::Baseline, 1);
+        // Out-of-order outcomes must land in id order.
+        let m = assemble_metrics(&cfg, "live/2w", vec![outcome(1), outcome(0)]);
+        assert_eq!(m.iterations, vec![10, 10]);
+        assert_eq!(m.busy_time, vec![1.0, 2.0]);
+        assert_eq!(m.grad_bytes, 2000.0);
+        assert_eq!(m.control_bytes, 100.0);
+        assert_eq!(m.dkt_merges, 2);
+        assert_eq!(m.duration, 6.0);
+        assert_eq!(m.eval_times, vec![5.0]);
+        assert_eq!(m.worker_acc, vec![vec![0.5, 0.5]]);
+        assert_eq!(m.env, "live/2w");
+        assert!(m.telemetry.is_empty());
+    }
+
+    #[test]
+    fn telemetry_aggregation_when_enabled() {
+        let mut cfg = live_config(SystemKind::Baseline, 1);
+        cfg.telemetry = true;
+        let m = assemble_metrics(&cfg, "live/2w", vec![outcome(0), outcome(1)]);
+        assert_eq!(m.telemetry.counter("msgs_sent"), 40);
+        assert_eq!(m.telemetry.counter("net_overhead_bytes"), 400);
+    }
+}

@@ -1,0 +1,367 @@
+//! [`TcpTransport`]: the real-socket implementation of
+//! [`dlion_core::ExchangeTransport`].
+//!
+//! ## Mesh establishment
+//!
+//! Worker `i` **dials** every peer `j < i` and **accepts** from every
+//! `j > i` (so each of the `n·(n-1)/2` links is created exactly once).
+//! The dialer's first frame is a [`crate::KIND_HELLO`] carrying its id,
+//! the cluster size and the run seed; the acceptor validates all three,
+//! which catches two clusters sharing a port range or workers launched
+//! with mismatched configs.
+//!
+//! ## Threads per connection
+//!
+//! Each established peer link gets:
+//!
+//! * a **writer thread** draining a bounded `sync_channel` of frames into
+//!   the socket — the channel bound is the backpressure limit: a worker
+//!   producing gradients faster than a link drains them blocks in
+//!   `send_frame` once `queue_cap` frames are queued;
+//! * a **reader thread** that reassembles length-prefixed frames
+//!   (header-validated, so a corrupt length field can never cause an
+//!   unbounded allocation) and forwards them into the transport's single
+//!   shared inbox, tagged with the peer id.
+//!
+//! Per-peer FIFO — the trait's ordering contract — holds because one
+//! writer feeds one TCP stream feeds one reader.
+//!
+//! ## Teardown
+//!
+//! Dropping the transport closes all send queues; each writer drains what
+//! is already queued, shuts down its write side and exits, and `Drop`
+//! joins the writers so queued frames (a worker's final Done, most
+//! importantly) are flushed even if the owner exits immediately after.
+//! Readers exit on EOF/error and are detached; once every reader is gone
+//! the peer sees `TransportError::Disconnected`.
+
+use crate::{LiveError, KIND_HELLO};
+use dlion_core::messages::{decode_frame, decode_frame_header, encode_frame, FRAME_HEADER_BYTES};
+use dlion_core::{ExchangeTransport, TransportError};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, SyncSender, TryRecvError,
+};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Read one full frame; `Ok(None)` on clean EOF at a frame boundary.
+/// The header is validated *before* the body is read, so `body_len` is
+/// bounded by the codec's `MAX_FRAME_BODY_BYTES`.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    match stream.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let (_, body_len, _) = decode_frame_header(&header)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("bad header: {e}")))?;
+    let mut frame = vec![0u8; FRAME_HEADER_BYTES + body_len];
+    frame[..FRAME_HEADER_BYTES].copy_from_slice(&header);
+    stream.read_exact(&mut frame[FRAME_HEADER_BYTES..])?;
+    Ok(Some(frame))
+}
+
+fn hello_frame(me: usize, n: usize, seed: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16);
+    body.extend_from_slice(&(me as u32).to_le_bytes());
+    body.extend_from_slice(&(n as u32).to_le_bytes());
+    body.extend_from_slice(&seed.to_le_bytes());
+    encode_frame(KIND_HELLO, &body)
+}
+
+fn parse_hello(frame: &[u8]) -> Result<(usize, usize, u64), LiveError> {
+    let (kind, body) = decode_frame(frame)?;
+    if kind != KIND_HELLO || body.len() != 16 {
+        return Err(LiveError::Protocol(format!(
+            "expected hello, got kind {kind:#x} with {} body bytes",
+            frame.len().saturating_sub(FRAME_HEADER_BYTES)
+        )));
+    }
+    let id = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
+    let n = u32::from_le_bytes(body[4..8].try_into().unwrap()) as usize;
+    let seed = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    Ok((id, n, seed))
+}
+
+struct Peer {
+    tx: SyncSender<Vec<u8>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+/// One worker's endpoint of a fully-connected TCP mesh.
+pub struct TcpTransport {
+    me: usize,
+    peers: Vec<Option<Peer>>,
+    inbox: Receiver<(usize, Vec<u8>)>,
+}
+
+impl TcpTransport {
+    /// Establish this worker's side of the mesh. `addrs[j]` must be the
+    /// address worker `j` listens on; `listener` must be bound to
+    /// `addrs[me]`. Blocks until all `n-1` links are up (dials retry
+    /// until `timeout` — peers may not have bound yet).
+    pub fn establish(
+        me: usize,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        seed: u64,
+        queue_cap: usize,
+        timeout: Duration,
+    ) -> Result<TcpTransport, LiveError> {
+        let n = addrs.len();
+        assert!(me < n, "worker id out of range");
+        assert!(queue_cap > 0, "queue capacity must be positive");
+        let deadline = Instant::now() + timeout;
+        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+
+        // Dial the lower-numbered peers, announcing who we are.
+        for (j, addr) in addrs.iter().enumerate().take(me) {
+            let stream = loop {
+                match TcpStream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() > deadline {
+                            return Err(LiveError::Protocol(format!(
+                                "worker {me} cannot reach worker {j} at {addr}: {e}"
+                            )));
+                        }
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            };
+            stream.set_nodelay(true)?;
+            (&stream).write_all(&hello_frame(me, n, seed))?;
+            streams[j] = Some(stream);
+        }
+
+        // Accept the higher-numbered peers; each identifies itself first.
+        listener.set_nonblocking(true)?;
+        let mut accepted = 0usize;
+        while accepted < n - 1 - me {
+            let (mut stream, _) = match listener.accept() {
+                Ok(x) => x,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(LiveError::Stalled(format!(
+                            "worker {me} accepted {accepted}/{} dials",
+                            n - 1 - me
+                        )));
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            stream.set_nonblocking(false)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(timeout))?;
+            let frame = read_frame(&mut stream)?
+                .ok_or_else(|| LiveError::Protocol("peer closed before hello".into()))?;
+            let (id, peer_n, peer_seed) = parse_hello(&frame)?;
+            if peer_n != n || peer_seed != seed {
+                return Err(LiveError::Protocol(format!(
+                    "worker {id} disagrees on cluster shape (n {peer_n} vs {n}, \
+                     seed {peer_seed} vs {seed})"
+                )));
+            }
+            if !(me < id && id < n) || streams[id].is_some() {
+                return Err(LiveError::Protocol(format!(
+                    "unexpected or duplicate hello from worker {id}"
+                )));
+            }
+            stream.set_read_timeout(None)?;
+            streams[id] = Some(stream);
+            accepted += 1;
+        }
+
+        // Wire up the per-peer writer and reader threads.
+        let (inbox_tx, inbox) = channel::<(usize, Vec<u8>)>();
+        let mut peers: Vec<Option<Peer>> = Vec::with_capacity(n);
+        for (j, slot) in streams.into_iter().enumerate() {
+            let Some(stream) = slot else {
+                peers.push(None);
+                continue;
+            };
+            let (tx, rx) = sync_channel::<Vec<u8>>(queue_cap);
+            let mut wstream = stream.try_clone()?;
+            let writer = thread::spawn(move || {
+                while let Ok(frame) = rx.recv() {
+                    if wstream.write_all(&frame).is_err() {
+                        break;
+                    }
+                }
+                let _ = wstream.shutdown(Shutdown::Write);
+            });
+            let mut rstream = stream;
+            let itx = inbox_tx.clone();
+            // Readers are detached: they exit on EOF (peer shut down its
+            // write side) or when the inbox receiver is dropped.
+            thread::spawn(move || {
+                while let Ok(Some(frame)) = read_frame(&mut rstream) {
+                    if itx.send((j, frame)).is_err() {
+                        break;
+                    }
+                }
+            });
+            peers.push(Some(Peer {
+                tx,
+                writer: Some(writer),
+            }));
+        }
+        drop(inbox_tx);
+        Ok(TcpTransport { me, peers, inbox })
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Take the senders down first so writers see a closed queue, then
+        // join them: every already-queued frame (a final Done in
+        // particular) hits the socket before the worker is gone.
+        for peer in self.peers.iter_mut().flatten() {
+            let (tx, _) = sync_channel::<Vec<u8>>(1);
+            drop(std::mem::replace(&mut peer.tx, tx));
+            if let Some(handle) = peer.writer.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl ExchangeTransport for TcpTransport {
+    fn me(&self) -> usize {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn send_frame(&mut self, to: usize, frame: Vec<u8>) -> Result<(), TransportError> {
+        let peer = self
+            .peers
+            .get(to)
+            .and_then(|p| p.as_ref())
+            .ok_or(TransportError::PeerGone(to))?;
+        peer.tx
+            .send(frame)
+            .map_err(|_| TransportError::PeerGone(to))
+    }
+
+    fn try_recv_frame(&mut self) -> Result<Option<(usize, Vec<u8>)>, TransportError> {
+        match self.inbox.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+
+    fn recv_frame_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(usize, Vec<u8>)>, TransportError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+}
+
+/// Build an `n`-worker loopback mesh: bind `n` ephemeral listeners, then
+/// establish every endpoint concurrently (establishment blocks on peers,
+/// so it cannot be done sequentially). Element `i` of the result is
+/// worker `i`'s transport.
+pub fn loopback_mesh(
+    n: usize,
+    seed: u64,
+    queue_cap: usize,
+    timeout: Duration,
+) -> Result<Vec<TcpTransport>, LiveError> {
+    assert!(n > 0);
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr())
+        .collect::<std::io::Result<_>>()?;
+    let mut endpoints: Vec<Result<TcpTransport, LiveError>> = thread::scope(|s| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(me, listener)| {
+                let addrs = &addrs;
+                s.spawn(move || {
+                    TcpTransport::establish(me, listener, addrs, seed, queue_cap, timeout)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(LiveError::Protocol("mesh setup thread panicked".into())),
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for e in endpoints.drain(..) {
+        out.push(e?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlion_core::messages::Payload;
+    use dlion_core::transport::send_payload;
+
+    #[test]
+    fn hello_round_trips() {
+        let f = hello_frame(3, 8, 42);
+        assert_eq!(parse_hello(&f).unwrap(), (3, 8, 42));
+        let grad = Payload::DktRequest.to_frame();
+        assert!(parse_hello(&grad).is_err());
+    }
+
+    #[test]
+    fn two_node_mesh_exchanges_payloads() {
+        let mut mesh = loopback_mesh(2, 7, 8, Duration::from_secs(10)).unwrap();
+        let mut b = mesh.pop().unwrap();
+        let mut a = mesh.pop().unwrap();
+        let p = Payload::LossShare { avg_loss: 1.25 };
+        let bytes = send_payload(&mut a, 1, &p).unwrap();
+        assert_eq!(bytes, p.encoded_len());
+        let (from, frame) = b
+            .recv_frame_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("frame should arrive");
+        assert_eq!(from, 0);
+        assert_eq!(Payload::from_frame(&frame).unwrap(), p);
+    }
+
+    #[test]
+    fn mismatched_seed_is_rejected() {
+        let listeners: Vec<TcpListener> = (0..2)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let mut it = listeners.into_iter();
+        let (l0, l1) = (it.next().unwrap(), it.next().unwrap());
+        let a0 = addrs.clone();
+        let h0 = thread::spawn(move || {
+            TcpTransport::establish(0, l0, &a0, 1, 4, Duration::from_secs(5))
+        });
+        let h1 = thread::spawn(move || {
+            TcpTransport::establish(1, l1, &addrs, 2, 4, Duration::from_secs(5))
+        });
+        // The acceptor (worker 0) must reject the dialer's wrong seed.
+        assert!(matches!(h0.join().unwrap(), Err(LiveError::Protocol(_))));
+        let _ = h1.join(); // dialer may succeed or see a reset; either is fine
+    }
+}

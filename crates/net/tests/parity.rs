@@ -1,0 +1,160 @@
+//! Sim/live parity: the discrete-event simulator and the live wire
+//! backend run the *same* exchange logic, so configurations whose model
+//! mutation order is timing-independent must produce bit-identical
+//! weights, and asynchronous configurations must agree on all discrete
+//! counts (iterations, messages) with losses in the same regime.
+//!
+//! Why strict BSP (`SyncPolicy::Synchronous`) for the bit-exact test: it
+//! forces every worker through the deterministic apply order `own g_t,
+//! peer g_t, own g_{t+1}, ...` — a worker cannot start iteration `t+1`
+//! before the peer's iteration-`t` gradient arrived, and the peer cannot
+//! run ahead, so at most one peer gradient is in flight and float
+//! addition order is pinned on both backends. (Bound-0 bounded staleness
+//! is *not* enough: its initial window lets iteration 1 start before the
+//! peer's gradient lands, making the order timing-dependent.)
+
+use dlion_core::{run_with_models, RunConfig, RunMetrics, SyncPolicy, SystemKind};
+use dlion_net::{live_config, run_live, LiveOpts, TransportKind};
+use dlion_simnet::{ComputeModel, NetworkModel};
+use dlion_tensor::Tensor;
+use std::time::Duration;
+
+/// The simulated environment the live run is compared against: 2 uniform
+/// workers, 1 Gbps links. `iter_time = 0.05 + 0.001 * lbs` seconds.
+const BW_MBPS: f64 = 1000.0;
+const ITER_TIME: f64 = 0.05 + 0.001 * 32.0;
+
+fn parity_cfg(system: SystemKind, iters: u64) -> RunConfig {
+    let mut cfg = live_config(system, 1);
+    cfg.duration = 10_000.0; // never the stopping condition; max_iters is
+    cfg.eval_interval = 10_000.0;
+    cfg.max_iters = Some(iters);
+    cfg.capture_weights = true;
+    cfg
+}
+
+fn sim_run(cfg: &RunConfig, n: usize) -> RunMetrics {
+    run_with_models(
+        cfg,
+        ComputeModel::homogeneous(n, 1.0, 0.001, 0.05),
+        NetworkModel::uniform(n, BW_MBPS, 0.001),
+        "parity",
+    )
+}
+
+fn live_opts(iters: u64) -> LiveOpts {
+    LiveOpts {
+        iters,
+        eval_every: 0,
+        bw_mbps: BW_MBPS,
+        assumed_iter_time: Some(ITER_TIME),
+        stall_timeout: Duration::from_secs(120),
+        ..Default::default()
+    }
+}
+
+/// Weight tensors as raw bit patterns (f32 `==` would treat NaN unequal
+/// to itself; the comparison must be exact bit equality).
+fn weight_bits(weights: &[Vec<Tensor>]) -> Vec<Vec<Vec<u32>>> {
+    weights
+        .iter()
+        .map(|ws| {
+            ws.iter()
+                .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+                .collect()
+        })
+        .collect()
+}
+
+fn bsp_weights(kind: TransportKind) -> (RunMetrics, RunMetrics) {
+    const ITERS: u64 = 6;
+    let mut cfg = parity_cfg(SystemKind::Baseline, ITERS);
+    cfg.sync_override = Some(SyncPolicy::Synchronous);
+    let sim = sim_run(&cfg, 2);
+    let live = run_live(&cfg, 2, &live_opts(ITERS), kind, "live/parity").expect("live run");
+    assert_eq!(sim.iterations, vec![ITERS, ITERS]);
+    assert_eq!(live.iterations, vec![ITERS, ITERS]);
+    (sim, live)
+}
+
+#[test]
+fn bsp_baseline_reaches_bit_identical_weights_over_channels() {
+    let (sim, live) = bsp_weights(TransportKind::Mem);
+    assert_eq!(sim.final_weights.len(), 2);
+    assert_eq!(
+        weight_bits(&sim.final_weights),
+        weight_bits(&live.final_weights),
+        "sim and live BSP weights diverged (mem transport)"
+    );
+    // The run did real work: weights moved away from initialization on
+    // both backends, identically.
+    assert!(sim.grad_bytes > 0.0 && live.grad_bytes > 0.0);
+}
+
+#[test]
+fn bsp_baseline_reaches_bit_identical_weights_over_tcp() {
+    let (sim, live) = bsp_weights(TransportKind::Tcp);
+    assert_eq!(
+        weight_bits(&sim.final_weights),
+        weight_bits(&live.final_weights),
+        "sim and live BSP weights diverged (TCP transport)"
+    );
+}
+
+#[test]
+fn async_ako_matches_iteration_and_message_counts() {
+    const ITERS: u64 = 8;
+    let mut cfg = parity_cfg(SystemKind::Ako, ITERS);
+    cfg.telemetry = true;
+    let sim = sim_run(&cfg, 2);
+    let live =
+        run_live(&cfg, 2, &live_opts(ITERS), TransportKind::Mem, "live/ako").expect("live run");
+    assert_eq!(sim.iterations, vec![ITERS, ITERS]);
+    assert_eq!(live.iterations, sim.iterations);
+    // One gradient message per peer per iteration, on both backends; Ako
+    // has no DKT, so these are the only payload messages.
+    assert_eq!(sim.telemetry.counter("msgs_sent"), 2 * ITERS);
+    assert_eq!(live.telemetry.counter("msgs_sent"), 2 * ITERS);
+    assert_eq!(live.telemetry.counter("msgs_recv"), 2 * ITERS);
+    // Async timing differs between backends, so weights differ — but the
+    // training signal must be in the same regime.
+    let sim_loss = sim.worker_loss.last().expect("sim eval")[0];
+    let live_loss = live.worker_loss.last().expect("live eval")[0];
+    assert!(sim_loss.is_finite() && live_loss.is_finite());
+    assert!(
+        (sim_loss - live_loss).abs() < 1.0,
+        "losses diverged: sim {sim_loss} vs live {live_loss}"
+    );
+}
+
+#[test]
+fn gaia_block_on_delivery_completes_with_matching_counts() {
+    const ITERS: u64 = 6;
+    let mut cfg = parity_cfg(SystemKind::Gaia, ITERS);
+    cfg.telemetry = true;
+    let sim = sim_run(&cfg, 3);
+    let live =
+        run_live(&cfg, 3, &live_opts(ITERS), TransportKind::Mem, "live/gaia").expect("live run");
+    assert_eq!(sim.iterations, vec![ITERS; 3]);
+    assert_eq!(live.iterations, sim.iterations);
+    // Gaia sends one (significance-filtered) message per peer per
+    // iteration; delivery acks gate progress but never drop messages.
+    assert_eq!(sim.telemetry.counter("msgs_sent"), 3 * 2 * ITERS);
+    assert_eq!(live.telemetry.counter("msgs_sent"), 3 * 2 * ITERS);
+}
+
+#[test]
+fn dlion_live_runs_all_three_techniques() {
+    const ITERS: u64 = 25;
+    let mut cfg = parity_cfg(SystemKind::DLion, ITERS);
+    cfg.telemetry = true;
+    let live =
+        run_live(&cfg, 3, &live_opts(ITERS), TransportKind::Mem, "live/dlion").expect("live run");
+    assert_eq!(live.iterations, vec![ITERS; 3]);
+    // Startup LBS profiling partitioned the static GBS across workers.
+    assert!(live.telemetry.counter("msgs_sent") > 0);
+    // DKT ran (period 20 < 25 iterations): losses were shared.
+    assert!(live.control_bytes > 0.0, "no DKT loss shares on the wire");
+    let acc = live.worker_acc.last().expect("final eval");
+    assert!(acc.iter().all(|&a| a > 0.0), "no accuracy: {acc:?}");
+}

@@ -1,0 +1,106 @@
+//! TCP mesh transport behaviour: routing, per-peer FIFO, bounded-queue
+//! backpressure, and the drop-time flush that the Done shutdown barrier
+//! relies on.
+
+use dlion_core::messages::encode_frame;
+use dlion_core::ExchangeTransport;
+use dlion_net::{loopback_mesh, KIND_ACK};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+fn frame(tag: u8, seq: u32) -> Vec<u8> {
+    let mut body = vec![tag];
+    body.extend_from_slice(&seq.to_le_bytes());
+    encode_frame(KIND_ACK, &body)
+}
+
+fn body_of(frame: &[u8]) -> (u8, u32) {
+    let (_, body) = dlion_core::messages::decode_frame(frame).expect("valid frame");
+    (body[0], u32::from_le_bytes(body[1..5].try_into().unwrap()))
+}
+
+#[test]
+fn three_node_mesh_routes_all_pairs_in_fifo_order() {
+    const K: u32 = 50;
+    let mesh = loopback_mesh(3, 7, 8, TIMEOUT).expect("mesh");
+    std::thread::scope(|s| {
+        for mut t in mesh {
+            s.spawn(move || {
+                let me = t.me();
+                // Send K tagged frames to each peer...
+                for seq in 0..K {
+                    for j in 0..t.n() {
+                        if j != me {
+                            t.send_frame(j, frame(me as u8, seq)).expect("send");
+                        }
+                    }
+                }
+                // ...and expect K frames from each peer, in order per peer.
+                let mut next = vec![0u32; t.n()];
+                let mut got = 0;
+                while got < K as usize * (t.n() - 1) {
+                    let (from, f) = t
+                        .recv_frame_timeout(TIMEOUT)
+                        .expect("recv")
+                        .expect("frame before timeout");
+                    let (tag, seq) = body_of(&f);
+                    assert_eq!(tag as usize, from, "frame routed from wrong peer");
+                    assert_eq!(seq, next[from], "per-peer FIFO order violated");
+                    next[from] += 1;
+                    got += 1;
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn tiny_send_queue_applies_backpressure_without_loss() {
+    const K: u32 = 200;
+    // queue_cap 1: the sender must block on the writer thread, not drop.
+    let mut mesh = loopback_mesh(2, 11, 1, TIMEOUT).expect("mesh");
+    let mut receiver = mesh.pop().expect("node 1");
+    let mut sender = mesh.pop().expect("node 0");
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            for seq in 0..K {
+                sender.send_frame(1, frame(0, seq)).expect("send");
+            }
+        });
+        // Drain slowly enough that the queue saturates.
+        for expect in 0..K {
+            if expect % 37 == 0 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let (from, f) = receiver
+                .recv_frame_timeout(TIMEOUT)
+                .expect("recv")
+                .expect("frame before timeout");
+            assert_eq!(from, 0);
+            assert_eq!(body_of(&f), (0, expect));
+        }
+    });
+}
+
+#[test]
+fn dropping_a_transport_flushes_queued_frames() {
+    let mut mesh = loopback_mesh(2, 13, 64, TIMEOUT).expect("mesh");
+    let mut receiver = mesh.pop().expect("node 1");
+    let mut sender = mesh.pop().expect("node 0");
+    // Queue frames and drop the endpoint immediately: the writer thread
+    // must flush them before the socket closes (the Done barrier depends
+    // on exactly this).
+    for seq in 0..10 {
+        sender.send_frame(1, frame(0, seq)).expect("send");
+    }
+    drop(sender);
+    for expect in 0..10 {
+        let (from, f) = receiver
+            .recv_frame_timeout(TIMEOUT)
+            .expect("recv")
+            .expect("frame before timeout");
+        assert_eq!(from, 0);
+        assert_eq!(body_of(&f), (0, expect));
+    }
+}

@@ -8,6 +8,8 @@
 //! * [`core`] (`dlion-core`) — the DLion system, the Baseline/Ako/Gaia/Hop
 //!   comparison systems, and the cluster runner,
 //! * [`microcloud`] (`dlion-microcloud`) — the Table 2/3 environments,
+//! * [`net`] (`dlion-net`) — the live wire-transport backend (TCP mesh,
+//!   `dlion-live`/`dlion-worker`; see DESIGN.md §4d),
 //! * [`nn`] (`dlion-nn`) — models, datasets, SGD,
 //! * [`simnet`] (`dlion-simnet`) — the discrete-event resource simulator,
 //! * [`tensor`] (`dlion-tensor`) — dense/sparse tensor math,
@@ -30,6 +32,7 @@
 
 pub use dlion_core as core;
 pub use dlion_microcloud as microcloud;
+pub use dlion_net as net;
 pub use dlion_nn as nn;
 pub use dlion_simnet as simnet;
 pub use dlion_telemetry as telemetry;
