@@ -313,7 +313,12 @@ fn net() {
 
     // Round-trip the frame over a live loopback TCP link; both directions
     // are in flight, so one round trip moves 2 frames of payload.
-    let mut mesh = loopback_mesh(2, 5, 4, std::time::Duration::from_secs(30)).expect("mesh");
+    let tcp_opts = dlion_net::TcpOpts {
+        queue_cap: 4,
+        establish_timeout: std::time::Duration::from_secs(30),
+        peer_timeout: None,
+    };
+    let mut mesh = loopback_mesh(2, 5, &tcp_opts).expect("mesh");
     let mut b = mesh.pop().expect("node 1");
     let mut a = mesh.pop().expect("node 0");
     let echo = std::thread::spawn(move || {

@@ -1,0 +1,162 @@
+//! Shared command-line parsing for the `dlion-*` binaries.
+//!
+//! All three CLIs (`dlion-sim`, `dlion-live`, `dlion-worker`) used to
+//! carry their own hand-rolled flag loop that exited the process on the
+//! first malformed value. This module gives them one vocabulary:
+//! [`Args`] walks the argument list, and every failure is a typed
+//! [`UsageError`] carrying the offending flag and a reason — `main`
+//! prints exactly one coherent message (error + usage) instead of
+//! panicking or silently swallowing which flag was wrong.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::str::FromStr;
+
+/// A command-line problem tied to the flag that caused it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UsageError {
+    /// The flag (or stray token) that could not be handled.
+    pub flag: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl UsageError {
+    pub fn new(flag: impl Into<String>, reason: impl Into<String>) -> Self {
+        UsageError {
+            flag: flag.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The error for a flag the binary does not know.
+    pub fn unknown(flag: impl Into<String>) -> Self {
+        UsageError::new(flag, "unknown flag")
+    }
+}
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.flag, self.reason)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Cursor over the raw argument list. Typical use:
+///
+/// ```
+/// # use dlion_core::args::{Args, UsageError};
+/// fn parse(mut args: Args) -> Result<u64, UsageError> {
+///     let mut seed = 1u64;
+///     while let Some(flag) = args.next_flag() {
+///         match flag.as_str() {
+///             "--seed" => seed = args.parse(&flag)?,
+///             _ => return Err(UsageError::unknown(flag)),
+///         }
+///     }
+///     Ok(seed)
+/// }
+/// assert_eq!(parse(Args::new(["--seed".into(), "7".into()])), Ok(7));
+/// assert!(parse(Args::new(["--seed".into()])).is_err());
+/// ```
+pub struct Args {
+    argv: VecDeque<String>,
+}
+
+impl Args {
+    /// The process's arguments, program name skipped.
+    pub fn from_env() -> Self {
+        Args {
+            argv: std::env::args().skip(1).collect(),
+        }
+    }
+
+    pub fn new(argv: impl IntoIterator<Item = String>) -> Self {
+        Args {
+            argv: argv.into_iter().collect(),
+        }
+    }
+
+    /// The next flag token, if any.
+    pub fn next_flag(&mut self) -> Option<String> {
+        self.argv.pop_front()
+    }
+
+    /// The value following `flag`; errors if the list is exhausted.
+    pub fn value(&mut self, flag: &str) -> Result<String, UsageError> {
+        self.argv
+            .pop_front()
+            .ok_or_else(|| UsageError::new(flag, "missing value"))
+    }
+
+    /// Parse `flag`'s value with its type's `FromStr`.
+    pub fn parse<T>(&mut self, flag: &str) -> Result<T, UsageError>
+    where
+        T: FromStr,
+        T::Err: fmt::Display,
+    {
+        let raw = self.value(flag)?;
+        raw.parse()
+            .map_err(|e| UsageError::new(flag, format!("bad value '{raw}': {e}")))
+    }
+
+    /// Parse `flag`'s value with a custom parser returning `Err(reason)`
+    /// on failure (system names, peer lists, fault plans, ...).
+    pub fn parse_with<T>(
+        &mut self,
+        flag: &str,
+        parser: impl FnOnce(&str) -> Result<T, String>,
+    ) -> Result<T, UsageError> {
+        let raw = self.value(flag)?;
+        parser(&raw).map_err(|reason| UsageError::new(flag, reason))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::new(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn walks_flags_and_values() {
+        let mut a = args(&["--iters", "30", "--label", "x"]);
+        assert_eq!(a.next_flag().as_deref(), Some("--iters"));
+        assert_eq!(a.parse::<u64>("--iters").unwrap(), 30);
+        assert_eq!(a.next_flag().as_deref(), Some("--label"));
+        assert_eq!(a.value("--label").unwrap(), "x");
+        assert_eq!(a.next_flag(), None);
+    }
+
+    #[test]
+    fn errors_carry_the_offending_flag() {
+        let mut a = args(&["--iters"]);
+        a.next_flag();
+        let e = a.parse::<u64>("--iters").unwrap_err();
+        assert_eq!(e.flag, "--iters");
+        assert!(e.reason.contains("missing"));
+
+        let mut a = args(&["--iters", "soon"]);
+        a.next_flag();
+        let e = a.parse::<u64>("--iters").unwrap_err();
+        assert_eq!(e.flag, "--iters");
+        assert!(e.reason.contains("soon"), "{e}");
+        assert!(format!("{e}").starts_with("--iters:"));
+    }
+
+    #[test]
+    fn custom_parser_reasons_surface() {
+        let mut a = args(&["--system", "bogus"]);
+        a.next_flag();
+        let e = a
+            .parse_with("--system", |s| {
+                Err::<u8, _>(format!("unknown system '{s}'"))
+            })
+            .unwrap_err();
+        assert_eq!(e, UsageError::new("--system", "unknown system 'bogus'"));
+        assert_eq!(UsageError::unknown("--bad").reason, "unknown flag");
+    }
+}

@@ -37,6 +37,30 @@ pub enum SystemKind {
 }
 
 impl SystemKind {
+    /// Parse a CLI system name (the lowercase of [`SystemKind::name`],
+    /// plus the `maxN` / `pragueG` parameterized forms). All binaries
+    /// share this one parser.
+    pub fn parse(s: &str) -> Option<SystemKind> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "baseline" => SystemKind::Baseline,
+            "ako" => SystemKind::Ako,
+            "gaia" => SystemKind::Gaia,
+            "hop" => SystemKind::Hop,
+            "dlion" => SystemKind::DLion,
+            "dlion-no-dbwu" => SystemKind::DLionNoDbwu,
+            "dlion-no-wu" => SystemKind::DLionNoWu,
+            other => {
+                if let Some(n) = other.strip_prefix("max") {
+                    SystemKind::MaxNOnly(n.parse().ok()?)
+                } else if let Some(g) = other.strip_prefix("prague") {
+                    SystemKind::Prague(g.trim_matches(|c| c == '(' || c == ')').parse().ok()?)
+                } else {
+                    return None;
+                }
+            }
+        })
+    }
+
     /// Paper-style display name.
     pub fn name(self) -> String {
         match self {

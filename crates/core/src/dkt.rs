@@ -126,6 +126,12 @@ impl DktState {
         self.known[who] = Some(loss);
     }
 
+    /// Drop everything known about `who` (the live backend forgets a
+    /// departed worker so it can never be chosen as a pull target).
+    pub fn forget(&mut self, who: usize) {
+        self.known[who] = None;
+    }
+
     /// The worker currently believed best (smallest loss), if any losses are
     /// known. Ties break toward the lower id for determinism.
     pub fn best_worker(&self) -> Option<usize> {

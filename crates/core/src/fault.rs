@@ -1,0 +1,236 @@
+//! Deterministic fault injection: which workers leave a run, and when.
+//!
+//! Micro-clouds lose and regain capacity over time (PAPER §2); the
+//! simulator expresses that with [`dlion_simnet::PiecewiseConst`]
+//! dynamism schedules, and the live backend expresses it with worker
+//! churn — a `dlion-worker` departing (and optionally rejoining)
+//! mid-run. A [`FaultPlan`] is the shared description both backends
+//! consume: the live driver reads it directly (`dlion-live --kill`),
+//! and [`FaultPlan::to_capacity_schedules`] lowers the same plan onto
+//! the simulator's compute-capacity schedules.
+//!
+//! Kill specs are written `W@I` ("worker W leaves when it reaches
+//! iteration I") with an optional `+R` suffix ("…and rejoins after R
+//! seconds of dead time"), comma-separated: `1@20`, `1@20+0.5,3@40`.
+//! Iteration-indexed kills are what makes live churn *reproducible*:
+//! the departing worker announces its exact departure iteration, so
+//! every survivor renormalizes at the same round regardless of
+//! wall-clock timing (see `dlion-net`'s driver).
+
+use dlion_simnet::PiecewiseConst;
+
+/// One worker's scheduled departure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KillSpec {
+    /// Worker id that leaves.
+    pub worker: usize,
+    /// The worker departs when its completed-iteration count reaches
+    /// this value (it finishes rounds `0..at_iter`, then leaves).
+    pub at_iter: u64,
+    /// Seconds of dead time before the worker rejoins; `None` = the
+    /// departure is permanent.
+    pub rejoin_after: Option<f64>,
+}
+
+/// A run's worth of scheduled departures (empty = no faults).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    pub kills: Vec<KillSpec>,
+}
+
+impl FaultPlan {
+    /// Parse a comma-separated kill list: `W@I` or `W@I+R`.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut kills = Vec::new();
+        for spec in s.split(',').filter(|p| !p.is_empty()) {
+            let (worker, rest) = spec
+                .split_once('@')
+                .ok_or_else(|| format!("kill spec '{spec}' is not worker@iter"))?;
+            let worker: usize = worker
+                .parse()
+                .map_err(|_| format!("bad worker id in kill spec '{spec}'"))?;
+            let (iter, rejoin) = match rest.split_once('+') {
+                Some((i, r)) => {
+                    let r: f64 = r
+                        .parse()
+                        .map_err(|_| format!("bad rejoin delay in kill spec '{spec}'"))?;
+                    if r < 0.0 || !r.is_finite() {
+                        return Err(format!("rejoin delay must be finite and >= 0 in '{spec}'"));
+                    }
+                    (i, Some(r))
+                }
+                None => (rest, None),
+            };
+            let at_iter: u64 = iter
+                .parse()
+                .map_err(|_| format!("bad iteration in kill spec '{spec}'"))?;
+            kills.push(KillSpec {
+                worker,
+                at_iter,
+                rejoin_after: rejoin,
+            });
+        }
+        Ok(FaultPlan { kills })
+    }
+
+    /// Render back to the `--kill` argument syntax (process spawning).
+    pub fn render(&self) -> String {
+        self.kills
+            .iter()
+            .map(|k| match k.rejoin_after {
+                Some(r) => format!("{}@{}+{r}", k.worker, k.at_iter),
+                None => format!("{}@{}", k.worker, k.at_iter),
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+
+    /// The kill scheduled for `worker`, if any.
+    pub fn kill_of(&self, worker: usize) -> Option<KillSpec> {
+        self.kills.iter().copied().find(|k| k.worker == worker)
+    }
+
+    /// Sanity-check a plan against a cluster of `n` workers running
+    /// `iters` iterations: ids in range, at most one kill per worker,
+    /// kills after at least one completed round and before the run ends
+    /// (a kill at `iters` would never fire), and at least one survivor.
+    pub fn validate(&self, n: usize, iters: u64) -> Result<(), String> {
+        let mut seen = vec![false; n];
+        for k in &self.kills {
+            if k.worker >= n {
+                return Err(format!("kill names worker {} of {n}", k.worker));
+            }
+            if seen[k.worker] {
+                return Err(format!("worker {} is killed twice", k.worker));
+            }
+            seen[k.worker] = true;
+            if k.at_iter == 0 {
+                return Err(format!(
+                    "worker {} killed at iteration 0 (must complete at least one round)",
+                    k.worker
+                ));
+            }
+            if k.at_iter >= iters {
+                return Err(format!(
+                    "worker {} killed at iteration {} >= run length {iters}",
+                    k.worker, k.at_iter
+                ));
+            }
+        }
+        let permanent = self
+            .kills
+            .iter()
+            .filter(|k| k.rejoin_after.is_none())
+            .count();
+        if n > 0 && permanent >= n {
+            return Err("plan kills every worker".into());
+        }
+        Ok(())
+    }
+
+    /// Lower this plan onto the simulator's dynamism vocabulary: one
+    /// compute-capacity schedule per worker, `base` capacity while the
+    /// worker is up and `0` while it is gone. `iter_time` converts the
+    /// plan's iteration indices to the simulator's virtual seconds.
+    pub fn to_capacity_schedules(
+        &self,
+        n: usize,
+        base: f64,
+        iter_time: f64,
+    ) -> Vec<PiecewiseConst> {
+        (0..n)
+            .map(|w| match self.kill_of(w) {
+                None => PiecewiseConst::constant(base),
+                Some(k) => {
+                    let down = k.at_iter as f64 * iter_time;
+                    let mut points = vec![(0.0, base), (down, 0.0)];
+                    if let Some(r) = k.rejoin_after {
+                        points.push((down + r, base));
+                    }
+                    PiecewiseConst::steps(points)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_kills_and_rejoins() {
+        let p = FaultPlan::parse("1@20").unwrap();
+        assert_eq!(
+            p.kills,
+            vec![KillSpec {
+                worker: 1,
+                at_iter: 20,
+                rejoin_after: None
+            }]
+        );
+        let p = FaultPlan::parse("1@20+0.5,3@40").unwrap();
+        assert_eq!(p.kills.len(), 2);
+        assert_eq!(p.kill_of(1).unwrap().rejoin_after, Some(0.5));
+        assert_eq!(p.kill_of(3).unwrap().at_iter, 40);
+        assert_eq!(p.kill_of(0), None);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_round_trips_through_render() {
+        for s in ["1@20", "1@20+0.5,3@40", "2@5+0"] {
+            let p = FaultPlan::parse(s).unwrap();
+            assert_eq!(FaultPlan::parse(&p.render()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for s in ["1", "@5", "x@5", "1@y", "1@5+z", "1@5+-1"] {
+            assert!(FaultPlan::parse(s).is_err(), "accepted '{s}'");
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_plans() {
+        let ok = FaultPlan::parse("1@5").unwrap();
+        assert!(ok.validate(3, 10).is_ok());
+        assert!(ok.validate(1, 10).is_err(), "worker out of range");
+        assert!(ok.validate(3, 5).is_err(), "kill at/after run end");
+        assert!(FaultPlan::parse("1@0").unwrap().validate(3, 10).is_err());
+        assert!(FaultPlan::parse("1@2,1@3")
+            .unwrap()
+            .validate(3, 10)
+            .is_err());
+        assert!(FaultPlan::parse("0@2,1@3")
+            .unwrap()
+            .validate(2, 10)
+            .is_err());
+        // A rejoining worker is not a permanent loss.
+        assert!(FaultPlan::parse("0@2+1,1@3")
+            .unwrap()
+            .validate(2, 10)
+            .is_ok());
+    }
+
+    #[test]
+    fn lowers_to_capacity_schedules() {
+        let p = FaultPlan::parse("1@10+2").unwrap();
+        let scheds = p.to_capacity_schedules(3, 4.0, 0.5);
+        assert_eq!(scheds.len(), 3);
+        assert_eq!(scheds[0].value_at(100.0), 4.0);
+        // Worker 1 loses capacity at 10 * 0.5 = 5s, regains it at 7s.
+        assert_eq!(scheds[1].value_at(4.9), 4.0);
+        assert_eq!(scheds[1].value_at(5.1), 0.0);
+        assert_eq!(scheds[1].value_at(7.1), 4.0);
+        // Without rejoin the capacity stays at zero.
+        let p = FaultPlan::parse("1@10").unwrap();
+        let scheds = p.to_capacity_schedules(2, 4.0, 0.5);
+        assert_eq!(scheds[1].value_at(1e9), 0.0);
+    }
+}

@@ -29,9 +29,11 @@
 //! computation, partial-gradient generation/sending, model update on
 //! arrival, model synchronization, and batch-size update (Fig. 10).
 
+pub mod args;
 pub mod cluster;
 pub mod config;
 pub mod dkt;
+pub mod fault;
 pub mod gbs;
 pub mod lbs;
 pub mod maxn;
@@ -46,9 +48,11 @@ pub mod transport;
 pub mod weighted;
 pub mod worker;
 
+pub use args::{Args, UsageError};
 pub use cluster::{build_cluster, ClusterInit};
 pub use config::{RunConfig, SystemKind, Workload};
 pub use dkt::{DktConfig, DktMode, DktState};
+pub use fault::{FaultPlan, KillSpec};
 pub use gbs::{GbsConfig, GbsController, GbsPhase};
 pub use maxn::MaxNPlanner;
 pub use messages::{GradMsg, Payload, WireError};

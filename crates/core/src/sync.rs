@@ -37,10 +37,26 @@ pub struct SyncState {
     /// unused). `None` until the first gradient arrives.
     received: Vec<Option<u64>>,
     /// The peers whose progress this worker waits on (its communication
-    /// neighbors; all other workers under the full mesh).
+    /// neighbors; all other workers under the full mesh). [`demote`]
+    /// removes a departed peer so gating stops waiting on it.
+    ///
+    /// [`demote`]: SyncState::demote
     tracked: Vec<usize>,
     /// Number of this worker's own gradient messages still in flight.
     undelivered_sends: usize,
+    /// Outstanding sends per destination. Maintained only through the
+    /// per-peer API ([`on_sent_to`] / [`on_delivered_from`], used by the
+    /// live backend); the simulator's aggregate [`on_sent`] /
+    /// [`on_delivered`] leave it untouched. [`demote`] forgives a dead
+    /// peer's entries so `BlockOnDelivery` cannot deadlock on acks that
+    /// will never come.
+    ///
+    /// [`on_sent_to`]: SyncState::on_sent_to
+    /// [`on_delivered_from`]: SyncState::on_delivered_from
+    /// [`on_sent`]: SyncState::on_sent
+    /// [`on_delivered`]: SyncState::on_delivered
+    /// [`demote`]: SyncState::demote
+    undelivered_to: Vec<usize>,
     me: usize,
 }
 
@@ -58,6 +74,7 @@ impl SyncState {
             received: vec![None; n],
             tracked,
             undelivered_sends: 0,
+            undelivered_to: vec![0; n],
             me,
         }
     }
@@ -78,6 +95,40 @@ impl SyncState {
     pub fn on_delivered(&mut self) {
         assert!(self.undelivered_sends > 0, "delivery without send");
         self.undelivered_sends -= 1;
+    }
+
+    /// Per-peer variant of [`on_sent`](SyncState::on_sent): one message
+    /// put on the wire toward `to`.
+    pub fn on_sent_to(&mut self, to: usize) {
+        self.undelivered_sends += 1;
+        self.undelivered_to[to] += 1;
+    }
+
+    /// Per-peer variant of [`on_delivered`](SyncState::on_delivered):
+    /// `from` acknowledged one of our messages. An ack from a peer with
+    /// no outstanding sends (its balance was forgiven by
+    /// [`demote`](SyncState::demote), then the ack raced in) is ignored.
+    pub fn on_delivered_from(&mut self, from: usize) {
+        if self.undelivered_to[from] > 0 {
+            self.undelivered_to[from] -= 1;
+            self.undelivered_sends -= 1;
+        }
+    }
+
+    /// Stop waiting on `peer`: remove it from the tracked set (gating
+    /// under `Synchronous` / `BoundedStaleness` no longer counts it) and
+    /// forgive its outstanding deliveries (`BlockOnDelivery` no longer
+    /// waits for its acks). Idempotent; the live backend calls this when
+    /// a peer departs — the Hop-style demotion to an absent worker.
+    pub fn demote(&mut self, peer: usize) {
+        self.tracked.retain(|&j| j != peer);
+        self.undelivered_sends -= self.undelivered_to[peer];
+        self.undelivered_to[peer] = 0;
+    }
+
+    /// Is `peer` currently in the tracked (gating) set?
+    pub fn is_tracked(&self, peer: usize) -> bool {
+        self.tracked.contains(&peer)
     }
 
     pub fn undelivered(&self) -> usize {
@@ -252,5 +303,38 @@ mod tests {
     fn spurious_delivery_panics() {
         let mut s = SyncState::new(0, 2);
         s.on_delivered();
+    }
+
+    #[test]
+    fn demote_unblocks_synchronous_gating() {
+        let mut s = SyncState::new(0, 3);
+        s.on_gradient(1, 0);
+        assert!(!s.can_start(SyncPolicy::Synchronous, 1));
+        // Worker 2 departs: only worker 1's progress gates us now.
+        s.demote(2);
+        assert!(!s.is_tracked(2));
+        assert!(s.is_tracked(1));
+        assert!(s.can_start(SyncPolicy::Synchronous, 1));
+        s.demote(2); // idempotent
+        assert!(s.can_start(SyncPolicy::Synchronous, 1));
+    }
+
+    #[test]
+    fn demote_forgives_outstanding_deliveries() {
+        let mut s = SyncState::new(0, 3);
+        s.on_sent_to(1);
+        s.on_sent_to(1);
+        s.on_sent_to(2);
+        assert_eq!(s.undelivered(), 3);
+        assert!(!s.can_start(SyncPolicy::BlockOnDelivery, 1));
+        // Worker 1 dies holding two unacked messages; forgiving them
+        // must not touch worker 2's balance.
+        s.demote(1);
+        assert_eq!(s.undelivered(), 1);
+        s.on_delivered_from(2);
+        assert!(s.can_start(SyncPolicy::BlockOnDelivery, 1));
+        // A late ack from the demoted peer is ignored, not a panic.
+        s.on_delivered_from(1);
+        assert_eq!(s.undelivered(), 0);
     }
 }

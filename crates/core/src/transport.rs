@@ -11,13 +11,29 @@ use crate::messages::{Payload, WireError};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::time::Duration;
 
-/// Transport failure. Send failures are fatal for the run (a peer is gone);
-/// receive failures distinguish "no message yet" (an `Ok(None)`) from a
-/// closed mesh.
+/// Transport failure. Every [`ExchangeTransport`] method reports its
+/// failures through this type — there are no stringly-typed errors on
+/// the transport boundary. The per-peer variants
+/// ([`PeerGone`](TransportError::PeerGone),
+/// [`PeerDisconnected`](TransportError::PeerDisconnected),
+/// [`PeerTimeout`](TransportError::PeerTimeout)) are *liveness
+/// notifications* a churn-tolerant driver can recover from by demoting
+/// the named peer; the rest are fatal for the worker.
 #[derive(Debug)]
 pub enum TransportError {
-    /// The peer's inbox is no longer reachable (it exited or crashed).
+    /// Send-side: `to` is not a reachable peer (unknown id, self, or a
+    /// link that already closed).
     PeerGone(usize),
+    /// Receive-side: one peer's link closed (EOF or I/O error on its
+    /// connection) while the rest of the mesh stays up. Reported at most
+    /// once per incident; later receive calls keep serving the other
+    /// peers' frames.
+    PeerDisconnected { peer: usize },
+    /// Receive-side: no frame from `peer` within the transport's
+    /// configured per-peer receive timeout — the peer may have wedged
+    /// without closing its socket. Reported at most once per silence;
+    /// hearing from the peer again re-arms the timeout.
+    PeerTimeout { peer: usize },
     /// Every peer connection has closed.
     Disconnected,
     /// A frame failed wire validation.
@@ -30,6 +46,12 @@ impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransportError::PeerGone(p) => write!(f, "peer {p} is gone"),
+            TransportError::PeerDisconnected { peer } => {
+                write!(f, "peer {peer} disconnected")
+            }
+            TransportError::PeerTimeout { peer } => {
+                write!(f, "peer {peer} exceeded the receive timeout")
+            }
             TransportError::Disconnected => write!(f, "all peers disconnected"),
             TransportError::Wire(e) => write!(f, "wire error: {e}"),
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
@@ -51,6 +73,27 @@ impl From<WireError> for TransportError {
 /// peer arrive in send order) — the shutdown barrier and the synchronous
 /// parity argument both rely on it. Frames are the codec's checksummed
 /// byte strings; [`Payload::to_frame`] / [`Payload::from_frame`] convert.
+///
+/// # Error contract
+///
+/// Every method returns [`TransportError`]; implementations must not
+/// panic on peer failure.
+///
+/// * [`send_frame`](ExchangeTransport::send_frame) fails with
+///   [`TransportError::PeerGone`] when `to` cannot accept frames
+///   (unknown id, `to == me`, or the link closed). Sending never fails
+///   because of a *receive*-side condition.
+/// * The receive methods return `Ok(None)` for "no frame available",
+///   and `Ok(Some(..))` frames stay strictly FIFO per peer. A per-peer
+///   liveness loss surfaces **once** as
+///   [`TransportError::PeerDisconnected`] (link closed) or
+///   [`TransportError::PeerTimeout`] (silent past the configured
+///   timeout); these are notifications, not terminal states — callers
+///   that keep receiving continue to get the surviving peers' frames.
+/// * [`TransportError::Disconnected`] means the whole mesh is gone and
+///   no further frame can ever arrive.
+/// * [`TransportError::Wire`] / [`TransportError::Io`] indicate frame
+///   corruption or OS-level failure and are fatal.
 pub trait ExchangeTransport: Send {
     /// This worker's id in `0..n()`.
     fn me(&self) -> usize;

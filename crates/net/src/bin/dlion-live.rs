@@ -3,9 +3,11 @@
 //!
 //! ```text
 //! dlion-live [--workers N] [--system NAME] [--seed N] [--iters K]
-//!            [--eval-every K] [--transport tcp|mem|procs] [--port-base P]
+//!            [--eval-every K] [--transport tcp|mem|procs]
+//!            [--peers HOST:PORT,...] [--port-base P]
 //!            [--train N] [--test N] [--lr F] [--queue-cap N]
 //!            [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]
+//!            [--peer-timeout S] [--kill W@I[+R],...]
 //!            [--trace-out FILE] [--telemetry] [--csv FILE]
 //! ```
 //!
@@ -15,131 +17,189 @@
 //!   gradients travel over real loopback TCP sockets;
 //! * `mem` — same threads, in-process channels instead of sockets;
 //! * `procs` — every worker is a separate `dlion-worker` OS process
-//!   (spawned next to this binary) meshed over `--port-base`-derived
-//!   ports; outcomes come back as JSON on the children's stdout.
+//!   (spawned next to this binary) meshed over explicit `--peers`
+//!   addresses (or the `--port-base` loopback sugar); outcomes come back
+//!   as JSON on the children's stdout.
+//!
+//! `--kill W@I[+R]` injects deterministic churn: worker `W` departs after
+//! completing iteration `I`, and rejoins `R` seconds later (omit `+R` to
+//! keep it dead). Survivors demote the departed peer and renormalize
+//! their weighted averaging; the run completes and the report covers the
+//! surviving membership.
 //!
 //! Examples:
 //!
 //! ```text
 //! cargo run --release --bin dlion-live -- --workers 3 --system dlion --iters 60
+//! cargo run --release --bin dlion-live -- --workers 3 --system baseline \
+//!     --iters 40 --kill 1@20
 //! cargo run --release --bin dlion-live -- --workers 2 --system baseline \
 //!     --transport procs --port-base 7300
 //! ```
 
-use dlion_core::{report, SystemKind};
-use dlion_net::{assemble_metrics, live_config, run_live, LiveOpts, TransportKind, WorkerOutcome};
+use dlion_core::{report, Args, FaultPlan, SystemKind, UsageError};
+use dlion_net::{
+    assemble_metrics, live_config, loopback_addrs, parse_peers, run_live, LiveOpts, TransportKind,
+    WorkerOutcome,
+};
 use std::io::Read;
+use std::net::SocketAddr;
 use std::time::Duration;
 
-fn parse_system(s: &str) -> Option<SystemKind> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "baseline" => SystemKind::Baseline,
-        "ako" => SystemKind::Ako,
-        "gaia" => SystemKind::Gaia,
-        "hop" => SystemKind::Hop,
-        "dlion" => SystemKind::DLion,
-        "dlion-no-dbwu" => SystemKind::DLionNoDbwu,
-        "dlion-no-wu" => SystemKind::DLionNoWu,
-        other => {
-            if let Some(n) = other.strip_prefix("max") {
-                SystemKind::MaxNOnly(n.parse().ok()?)
-            } else {
-                return None;
+#[derive(Debug)]
+struct Cli {
+    workers: usize,
+    system: SystemKind,
+    seed: u64,
+    transport: String,
+    peers: Option<Vec<SocketAddr>>,
+    port_base: u16,
+    train: Option<usize>,
+    test: Option<usize>,
+    lr: Option<f32>,
+    opts: LiveOpts,
+    trace_out: Option<String>,
+    telemetry: bool,
+    csv: Option<String>,
+}
+
+fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
+    let mut cli = Cli {
+        workers: 3,
+        system: SystemKind::DLion,
+        seed: 1,
+        transport: "tcp".to_string(),
+        peers: None,
+        port_base: 7300,
+        train: None,
+        test: None,
+        lr: None,
+        opts: LiveOpts::default(),
+        trace_out: None,
+        telemetry: false,
+        csv: None,
+    };
+    let mut workers_given = false;
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--workers" => {
+                cli.workers = args.parse(&flag)?;
+                workers_given = true;
             }
+            "--system" => {
+                cli.system = args.parse_with(&flag, |s| {
+                    SystemKind::parse(s).ok_or_else(|| format!("unknown system '{s}'"))
+                })?
+            }
+            "--seed" => cli.seed = args.parse(&flag)?,
+            "--iters" => cli.opts.iters = args.parse(&flag)?,
+            "--eval-every" => cli.opts.eval_every = args.parse(&flag)?,
+            "--transport" => cli.transport = args.value(&flag)?,
+            "--peers" => cli.peers = Some(args.parse_with(&flag, parse_peers)?),
+            "--port-base" => cli.port_base = args.parse(&flag)?,
+            "--train" => cli.train = Some(args.parse(&flag)?),
+            "--test" => cli.test = Some(args.parse(&flag)?),
+            "--lr" => cli.lr = Some(args.parse(&flag)?),
+            "--queue-cap" => cli.opts.queue_cap = args.parse(&flag)?,
+            "--bw-mbps" => cli.opts.bw_mbps = args.parse(&flag)?,
+            "--assumed-iter-time" => cli.opts.assumed_iter_time = Some(args.parse(&flag)?),
+            "--stall-secs" => cli.opts.stall_timeout = Duration::from_secs_f64(args.parse(&flag)?),
+            "--peer-timeout" => {
+                cli.opts.peer_timeout = Some(Duration::from_secs_f64(args.parse(&flag)?))
+            }
+            "--kill" => cli.opts.fault = args.parse_with(&flag, FaultPlan::parse)?,
+            "--trace-out" => cli.trace_out = Some(args.value(&flag)?),
+            "--telemetry" => cli.telemetry = true,
+            "--csv" => cli.csv = Some(args.value(&flag)?),
+            "--help" | "-h" => return Err(UsageError::new(flag, "help requested")),
+            _ => return Err(UsageError::unknown(flag)),
         }
-    })
+    }
+    if !matches!(cli.transport.as_str(), "tcp" | "mem" | "procs") {
+        return Err(UsageError::new(
+            "--transport",
+            format!("'{}' is not tcp, mem or procs", cli.transport),
+        ));
+    }
+    if let Some(peers) = &cli.peers {
+        if cli.transport != "procs" {
+            return Err(UsageError::new(
+                "--peers",
+                "explicit addresses need --transport procs (tcp/mem run in-process)",
+            ));
+        }
+        if workers_given && cli.workers != peers.len() {
+            return Err(UsageError::new(
+                "--peers",
+                format!("{} addresses but --workers {}", peers.len(), cli.workers),
+            ));
+        }
+        cli.workers = peers.len();
+    }
+    if cli.workers < 2 {
+        return Err(UsageError::new("--workers", "need at least 2 workers"));
+    }
+    cli.opts
+        .fault
+        .validate(cli.workers, cli.opts.iters)
+        .map_err(|reason| UsageError::new("--kill", reason))?;
+    Ok(cli)
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dlion-live [--workers N] [--system baseline|ako|gaia|hop|dlion|dlion-no-wu|dlion-no-dbwu|maxN]\n\
          \x20                 [--seed N] [--iters K] [--eval-every K] [--transport tcp|mem|procs]\n\
-         \x20                 [--port-base P] [--train N] [--test N] [--lr F] [--queue-cap N]\n\
-         \x20                 [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]\n\
+         \x20                 [--peers HOST:PORT,...] [--port-base P] [--train N] [--test N] [--lr F]\n\
+         \x20                 [--queue-cap N] [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]\n\
+         \x20                 [--peer-timeout S] [--kill W@I[+R],...]\n\
          \x20                 [--trace-out FILE] [--telemetry] [--csv FILE]"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut workers = 3usize;
-    let mut system = SystemKind::DLion;
-    let mut seed = 1u64;
-    let mut transport = "tcp".to_string();
-    let mut port_base = 7300u16;
-    let mut train: Option<usize> = None;
-    let mut test: Option<usize> = None;
-    let mut lr: Option<f32> = None;
-    let mut opts = LiveOpts::default();
-    let mut trace_out: Option<String> = None;
-    let mut telemetry = false;
-    let mut csv: Option<String> = None;
+    let cli = parse_cli(Args::from_env()).unwrap_or_else(|e| {
+        eprintln!("dlion-live: {e}");
+        usage();
+    });
+    let workers = cli.workers;
 
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        let mut next = || args.next().unwrap_or_else(|| usage());
-        match a.as_str() {
-            "--workers" => workers = next().parse().unwrap_or_else(|_| usage()),
-            "--system" => system = parse_system(&next()).unwrap_or_else(|| usage()),
-            "--seed" => seed = next().parse().unwrap_or_else(|_| usage()),
-            "--iters" => opts.iters = next().parse().unwrap_or_else(|_| usage()),
-            "--eval-every" => opts.eval_every = next().parse().unwrap_or_else(|_| usage()),
-            "--transport" => transport = next(),
-            "--port-base" => port_base = next().parse().unwrap_or_else(|_| usage()),
-            "--train" => train = Some(next().parse().unwrap_or_else(|_| usage())),
-            "--test" => test = Some(next().parse().unwrap_or_else(|_| usage())),
-            "--lr" => lr = Some(next().parse().unwrap_or_else(|_| usage())),
-            "--queue-cap" => opts.queue_cap = next().parse().unwrap_or_else(|_| usage()),
-            "--bw-mbps" => opts.bw_mbps = next().parse().unwrap_or_else(|_| usage()),
-            "--assumed-iter-time" => {
-                opts.assumed_iter_time = Some(next().parse().unwrap_or_else(|_| usage()))
-            }
-            "--stall-secs" => {
-                opts.stall_timeout =
-                    Duration::from_secs_f64(next().parse().unwrap_or_else(|_| usage()))
-            }
-            "--trace-out" => trace_out = Some(next()),
-            "--telemetry" => telemetry = true,
-            "--csv" => csv = Some(next()),
-            "--help" | "-h" => usage(),
-            _ => usage(),
-        }
-    }
-    if workers < 2 {
-        eprintln!("dlion-live: need at least 2 workers");
-        std::process::exit(2);
-    }
-
-    let mut cfg = live_config(system, seed);
-    cfg.telemetry = telemetry;
-    if let Some(v) = train {
+    let mut cfg = live_config(cli.system, cli.seed);
+    cfg.telemetry = cli.telemetry;
+    if let Some(v) = cli.train {
         cfg.workload.train_size = v;
     }
-    if let Some(v) = test {
+    if let Some(v) = cli.test {
         cfg.workload.test_size = v;
     }
-    if let Some(v) = lr {
+    if let Some(v) = cli.lr {
         cfg.lr = v;
     }
+    let opts = &cli.opts;
 
     dlion_telemetry::init_from_env("info");
     let env_label = format!("live/{workers}w");
     dlion_telemetry::info!(target: "dlion_live",
-        "running {} on {workers} live workers ({transport}) for {} iterations ...",
-        system.name(), opts.iters);
+        "running {} on {workers} live workers ({}) for {} iterations ...",
+        cli.system.name(), cli.transport, opts.iters);
+    if !opts.fault.is_empty() {
+        dlion_telemetry::info!(target: "dlion_live",
+            "fault plan: {}", opts.fault.render());
+    }
 
-    let m = match transport.as_str() {
+    let m = match cli.transport.as_str() {
         "tcp" | "mem" => {
-            if let Some(path) = &trace_out {
+            if let Some(path) = &cli.trace_out {
                 dlion_telemetry::open_trace_file(path).expect("open trace file");
             }
-            let kind = if transport == "tcp" {
+            let kind = if cli.transport == "tcp" {
                 TransportKind::Tcp
             } else {
                 TransportKind::Mem
             };
-            let result = run_live(&cfg, workers, &opts, kind, &env_label);
-            if trace_out.is_some() {
+            let result = run_live(&cfg, workers, opts, kind, &env_label);
+            if cli.trace_out.is_some() {
                 dlion_telemetry::stop_trace();
             }
             match result {
@@ -153,7 +213,17 @@ fn main() {
         "procs" => {
             // Each worker is a `dlion-worker` process; its config flags
             // must mirror ours exactly — both sides rebuild the identical
-            // cluster from them.
+            // cluster from them. Addressing goes through one resolved
+            // `--peers` list so every child agrees on the mesh.
+            let addrs = cli
+                .peers
+                .clone()
+                .unwrap_or_else(|| loopback_addrs(workers, cli.port_base));
+            let peers_arg = addrs
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
             let exe = std::env::current_exe().expect("current exe");
             let worker_bin = exe.with_file_name("dlion-worker");
             let mut children = Vec::with_capacity(workers);
@@ -161,14 +231,12 @@ fn main() {
                 let mut cmd = std::process::Command::new(&worker_bin);
                 cmd.arg("--id")
                     .arg(id.to_string())
-                    .arg("--workers")
-                    .arg(workers.to_string())
-                    .arg("--port-base")
-                    .arg(port_base.to_string())
+                    .arg("--peers")
+                    .arg(&peers_arg)
                     .arg("--system")
-                    .arg(system.name().to_lowercase())
+                    .arg(cli.system.name().to_lowercase())
                     .arg("--seed")
-                    .arg(seed.to_string())
+                    .arg(cli.seed.to_string())
                     .arg("--iters")
                     .arg(opts.iters.to_string())
                     .arg("--eval-every")
@@ -191,10 +259,16 @@ fn main() {
                 if let Some(t) = opts.assumed_iter_time {
                     cmd.arg("--assumed-iter-time").arg(t.to_string());
                 }
-                if telemetry {
+                if let Some(t) = opts.peer_timeout {
+                    cmd.arg("--peer-timeout").arg(t.as_secs_f64().to_string());
+                }
+                if !opts.fault.is_empty() {
+                    cmd.arg("--kill").arg(opts.fault.render());
+                }
+                if cli.telemetry {
                     cmd.arg("--telemetry");
                 }
-                if let Some(path) = &trace_out {
+                if let Some(path) = &cli.trace_out {
                     cmd.arg("--trace-out").arg(format!("{path}.w{id}"));
                 }
                 children.push(cmd.spawn().unwrap_or_else(|e| {
@@ -229,20 +303,20 @@ fn main() {
                     std::process::exit(1);
                 }));
             }
-            if let Some(path) = &trace_out {
+            if let Some(path) = &cli.trace_out {
                 dlion_telemetry::info!(target: "dlion_live",
                     "per-worker traces written to {path}.w0 .. {path}.w{}", workers - 1);
             }
             assemble_metrics(&cfg, &env_label, outcomes)
         }
-        _ => usage(),
+        _ => unreachable!("transport validated in parse_cli"),
     };
 
     print!("{}", report::summarize(&m));
-    if telemetry {
+    if cli.telemetry {
         println!("\nper-run telemetry:\n{}", m.telemetry.render_table());
     }
-    if let Some(path) = csv {
+    if let Some(path) = cli.csv {
         let f = std::fs::File::create(&path).expect("create csv");
         let mut f = std::io::BufWriter::new(f);
         m.write_timeseries_csv(&mut f).expect("write csv");
@@ -255,11 +329,45 @@ fn main() {
 mod tests {
     use super::*;
 
+    fn cli(list: &[&str]) -> Result<Cli, UsageError> {
+        parse_cli(Args::new(list.iter().map(|s| s.to_string())))
+    }
+
     #[test]
-    fn system_parsing() {
-        assert_eq!(parse_system("dlion"), Some(SystemKind::DLion));
-        assert_eq!(parse_system("Baseline"), Some(SystemKind::Baseline));
-        assert_eq!(parse_system("max8"), Some(SystemKind::MaxNOnly(8.0)));
-        assert_eq!(parse_system("bogus"), None);
+    fn defaults_hold_and_kill_plan_parses() {
+        let c = cli(&["--kill", "1@10+0.5", "--iters", "40"]).unwrap();
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.transport, "tcp");
+        assert_eq!(c.opts.fault.kills.len(), 1);
+        assert_eq!(c.opts.fault.kills[0].worker, 1);
+    }
+
+    #[test]
+    fn kill_plan_is_validated_against_workers_and_iters() {
+        // Kill iteration beyond the run length is rejected up front.
+        let e = cli(&["--iters", "10", "--kill", "1@50"]).unwrap_err();
+        assert_eq!(e.flag, "--kill");
+        let e = cli(&["--workers", "2", "--kill", "2@5"]).unwrap_err();
+        assert_eq!(e.flag, "--kill");
+    }
+
+    #[test]
+    fn peers_imply_procs_and_set_worker_count() {
+        let c = cli(&[
+            "--transport",
+            "procs",
+            "--peers",
+            "10.0.0.1:7300,10.0.0.2:7300",
+        ])
+        .unwrap();
+        assert_eq!(c.workers, 2);
+        let e = cli(&["--peers", "10.0.0.1:7300,10.0.0.2:7300"]).unwrap_err();
+        assert_eq!(e.flag, "--peers");
+    }
+
+    #[test]
+    fn unknown_system_names_the_flag() {
+        let e = cli(&["--system", "bogus"]).unwrap_err();
+        assert_eq!(e.flag, "--system");
     }
 }

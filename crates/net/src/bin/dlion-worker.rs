@@ -1,145 +1,186 @@
 //! `dlion-worker` — one live worker as its own OS process; the unit
-//! `dlion-live --transport procs` composes a cluster from.
+//! `dlion-live --transport procs` composes a cluster from, and the unit
+//! you start by hand on each machine of a real multi-host micro-cloud.
 //!
 //! ```text
-//! dlion-worker --id I --workers N [--port-base P] [--system NAME]
-//!              [--seed N] [--iters K] [--eval-every K] [--train N]
-//!              [--test N] [--lr F] [--queue-cap N] [--bw-mbps F]
-//!              [--assumed-iter-time S] [--stall-secs S]
+//! dlion-worker --id I --peers HOST:PORT,HOST:PORT,...
+//!              [--system NAME] [--seed N] [--iters K] [--eval-every K]
+//!              [--train N] [--test N] [--lr F] [--queue-cap N]
+//!              [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]
+//!              [--peer-timeout S] [--kill W@I[+R],...]
 //!              [--env-label L] [--trace-out FILE] [--telemetry]
 //! ```
+//!
+//! `--peers` is the primary addressing interface: the comma-separated
+//! list names every worker's listen address, in worker-id order, and this
+//! process binds the entry at `--id`. `--workers N [--port-base P]` is
+//! loopback sugar for `--peers 127.0.0.1:P,127.0.0.1:P+1,...` — handy on
+//! one machine, meaningless across several.
 //!
 //! Every worker process rebuilds the *whole* deterministic cluster from
 //! the shared flags (`build_cluster` is a pure function of the config) and
 //! takes the slot named by `--id` — so all processes agree on every
 //! worker's shard, initial weights and RNG stream without any central
-//! coordinator. It listens on `port-base + id`, meshes with its peers over
-//! TCP, trains, and prints `outcome:{json}` on stdout for the
-//! orchestrator.
+//! coordinator. It meshes with its peers over TCP, trains, and prints
+//! `outcome:{json}` on stdout for the orchestrator. With a `--kill` plan
+//! naming this worker, it departs at the planned iteration (exit code 0,
+//! outcome marked departed) — the chaos harness for churn testing.
 
 use dlion_core::cluster::ClusterInit;
-use dlion_core::{build_cluster, SystemKind};
-use dlion_net::{live_config, run_worker, LiveOpts, TcpTransport, WorkerEnv};
+use dlion_core::{build_cluster, Args, FaultPlan, SystemKind, UsageError};
+use dlion_net::{
+    live_config, loopback_addrs, parse_peers, run_worker, LiveOpts, TcpOpts, TcpTransport,
+    WorkerEnv,
+};
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
 
-fn parse_system(s: &str) -> Option<SystemKind> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "baseline" => SystemKind::Baseline,
-        "ako" => SystemKind::Ako,
-        "gaia" => SystemKind::Gaia,
-        "hop" => SystemKind::Hop,
-        "dlion" => SystemKind::DLion,
-        "dlion-no-dbwu" => SystemKind::DLionNoDbwu,
-        "dlion-no-wu" => SystemKind::DLionNoWu,
-        other => {
-            if let Some(n) = other.strip_prefix("max") {
-                SystemKind::MaxNOnly(n.parse().ok()?)
-            } else {
-                return None;
+#[derive(Debug)]
+struct Cli {
+    id: usize,
+    addrs: Vec<SocketAddr>,
+    system: SystemKind,
+    seed: u64,
+    train: Option<usize>,
+    test: Option<usize>,
+    lr: Option<f32>,
+    opts: LiveOpts,
+    env_label: String,
+    trace_out: Option<String>,
+    telemetry: bool,
+}
+
+fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
+    let mut id: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut port_base = 7300u16;
+    let mut peers: Option<Vec<SocketAddr>> = None;
+    let mut cli = Cli {
+        id: 0,
+        addrs: Vec::new(),
+        system: SystemKind::DLion,
+        seed: 1,
+        train: None,
+        test: None,
+        lr: None,
+        opts: LiveOpts::default(),
+        env_label: "live/procs".to_string(),
+        trace_out: None,
+        telemetry: false,
+    };
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--id" => id = Some(args.parse(&flag)?),
+            "--workers" => workers = Some(args.parse(&flag)?),
+            "--port-base" => port_base = args.parse(&flag)?,
+            "--peers" => peers = Some(args.parse_with(&flag, parse_peers)?),
+            "--system" => {
+                cli.system = args.parse_with(&flag, |s| {
+                    SystemKind::parse(s).ok_or_else(|| format!("unknown system '{s}'"))
+                })?
             }
+            "--seed" => cli.seed = args.parse(&flag)?,
+            "--iters" => cli.opts.iters = args.parse(&flag)?,
+            "--eval-every" => cli.opts.eval_every = args.parse(&flag)?,
+            "--train" => cli.train = Some(args.parse(&flag)?),
+            "--test" => cli.test = Some(args.parse(&flag)?),
+            "--lr" => cli.lr = Some(args.parse(&flag)?),
+            "--queue-cap" => cli.opts.queue_cap = args.parse(&flag)?,
+            "--bw-mbps" => cli.opts.bw_mbps = args.parse(&flag)?,
+            "--assumed-iter-time" => cli.opts.assumed_iter_time = Some(args.parse(&flag)?),
+            "--stall-secs" => cli.opts.stall_timeout = Duration::from_secs_f64(args.parse(&flag)?),
+            "--peer-timeout" => {
+                cli.opts.peer_timeout = Some(Duration::from_secs_f64(args.parse(&flag)?))
+            }
+            "--kill" => cli.opts.fault = args.parse_with(&flag, FaultPlan::parse)?,
+            "--env-label" => cli.env_label = args.value(&flag)?,
+            "--trace-out" => cli.trace_out = Some(args.value(&flag)?),
+            "--telemetry" => cli.telemetry = true,
+            "--help" | "-h" => return Err(UsageError::new(flag, "help requested")),
+            _ => return Err(UsageError::unknown(flag)),
         }
-    })
+    }
+    cli.id = id.ok_or_else(|| UsageError::new("--id", "required"))?;
+    cli.addrs = match peers {
+        Some(addrs) => {
+            if let Some(w) = workers {
+                if w != addrs.len() {
+                    return Err(UsageError::new(
+                        "--peers",
+                        format!("{} addresses but --workers {w}", addrs.len()),
+                    ));
+                }
+            }
+            addrs
+        }
+        None => {
+            let n = workers
+                .ok_or_else(|| UsageError::new("--workers", "required unless --peers is given"))?;
+            if n < 2 {
+                return Err(UsageError::new("--workers", "need at least 2 workers"));
+            }
+            loopback_addrs(n, port_base)
+        }
+    };
+    if cli.id >= cli.addrs.len() {
+        return Err(UsageError::new("--id", "must be < the number of peers"));
+    }
+    cli.opts
+        .fault
+        .validate(cli.addrs.len(), cli.opts.iters)
+        .map_err(|reason| UsageError::new("--kill", reason))?;
+    Ok(cli)
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dlion-worker --id I --workers N [--port-base P] [--system NAME] [--seed N]\n\
-         \x20                   [--iters K] [--eval-every K] [--train N] [--test N] [--lr F]\n\
-         \x20                   [--queue-cap N] [--bw-mbps F] [--assumed-iter-time S]\n\
-         \x20                   [--stall-secs S] [--env-label L] [--trace-out FILE] [--telemetry]"
+        "usage: dlion-worker --id I (--peers HOST:PORT,... | --workers N [--port-base P])\n\
+         \x20                   [--system NAME] [--seed N] [--iters K] [--eval-every K]\n\
+         \x20                   [--train N] [--test N] [--lr F] [--queue-cap N] [--bw-mbps F]\n\
+         \x20                   [--assumed-iter-time S] [--stall-secs S] [--peer-timeout S]\n\
+         \x20                   [--kill W@I[+R],...] [--env-label L] [--trace-out FILE] [--telemetry]"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut id: Option<usize> = None;
-    let mut workers: Option<usize> = None;
-    let mut port_base = 7300u16;
-    let mut system = SystemKind::DLion;
-    let mut seed = 1u64;
-    let mut train: Option<usize> = None;
-    let mut test: Option<usize> = None;
-    let mut lr: Option<f32> = None;
-    let mut opts = LiveOpts::default();
-    let mut env_label = "live/procs".to_string();
-    let mut trace_out: Option<String> = None;
-    let mut telemetry = false;
+    let cli = parse_cli(Args::from_env()).unwrap_or_else(|e| {
+        eprintln!("dlion-worker: {e}");
+        usage();
+    });
+    let (me, n) = (cli.id, cli.addrs.len());
 
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        let mut next = || args.next().unwrap_or_else(|| usage());
-        match a.as_str() {
-            "--id" => id = Some(next().parse().unwrap_or_else(|_| usage())),
-            "--workers" => workers = Some(next().parse().unwrap_or_else(|_| usage())),
-            "--port-base" => port_base = next().parse().unwrap_or_else(|_| usage()),
-            "--system" => system = parse_system(&next()).unwrap_or_else(|| usage()),
-            "--seed" => seed = next().parse().unwrap_or_else(|_| usage()),
-            "--iters" => opts.iters = next().parse().unwrap_or_else(|_| usage()),
-            "--eval-every" => opts.eval_every = next().parse().unwrap_or_else(|_| usage()),
-            "--train" => train = Some(next().parse().unwrap_or_else(|_| usage())),
-            "--test" => test = Some(next().parse().unwrap_or_else(|_| usage())),
-            "--lr" => lr = Some(next().parse().unwrap_or_else(|_| usage())),
-            "--queue-cap" => opts.queue_cap = next().parse().unwrap_or_else(|_| usage()),
-            "--bw-mbps" => opts.bw_mbps = next().parse().unwrap_or_else(|_| usage()),
-            "--assumed-iter-time" => {
-                opts.assumed_iter_time = Some(next().parse().unwrap_or_else(|_| usage()))
-            }
-            "--stall-secs" => {
-                opts.stall_timeout =
-                    Duration::from_secs_f64(next().parse().unwrap_or_else(|_| usage()))
-            }
-            "--env-label" => env_label = next(),
-            "--trace-out" => trace_out = Some(next()),
-            "--telemetry" => telemetry = true,
-            "--help" | "-h" => usage(),
-            _ => usage(),
-        }
-    }
-    let (Some(me), Some(n)) = (id, workers) else {
-        usage()
-    };
-    if n < 2 || me >= n {
-        eprintln!("dlion-worker: need --workers >= 2 and --id < --workers");
-        std::process::exit(2);
-    }
-
-    let mut cfg = live_config(system, seed);
-    cfg.telemetry = telemetry;
-    if let Some(v) = train {
+    let mut cfg = live_config(cli.system, cli.seed);
+    cfg.telemetry = cli.telemetry;
+    if let Some(v) = cli.train {
         cfg.workload.train_size = v;
     }
-    if let Some(v) = test {
+    if let Some(v) = cli.test {
         cfg.workload.test_size = v;
     }
-    if let Some(v) = lr {
+    if let Some(v) = cli.lr {
         cfg.lr = v;
     }
 
     dlion_telemetry::init_from_env("info");
-    if let Some(path) = &trace_out {
+    if let Some(path) = &cli.trace_out {
         dlion_telemetry::open_trace_file(path).expect("open trace file");
     }
 
-    let addrs: Vec<SocketAddr> = (0..n)
-        .map(|j| SocketAddr::from(([127, 0, 0, 1], port_base + j as u16)))
-        .collect();
-    let listener = TcpListener::bind(addrs[me]).unwrap_or_else(|e| {
-        eprintln!("dlion-worker: cannot bind {}: {e}", addrs[me]);
+    let listener = TcpListener::bind(cli.addrs[me]).unwrap_or_else(|e| {
+        eprintln!("dlion-worker: cannot bind {}: {e}", cli.addrs[me]);
         std::process::exit(1);
     });
-    let mut transport = TcpTransport::establish(
-        me,
-        listener,
-        &addrs,
-        seed,
-        opts.queue_cap,
-        opts.stall_timeout,
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("dlion-worker {me}: mesh setup failed: {e}");
-        std::process::exit(1);
-    });
+    let tcp_opts = TcpOpts {
+        queue_cap: cli.opts.queue_cap,
+        establish_timeout: cli.opts.stall_timeout,
+        peer_timeout: cli.opts.peer_timeout,
+    };
+    let mut transport = TcpTransport::establish(me, listener, &cli.addrs, cli.seed, &tcp_opts)
+        .unwrap_or_else(|e| {
+            eprintln!("dlion-worker {me}: mesh setup failed: {e}");
+            std::process::exit(1);
+        });
 
     let ClusterInit {
         mut workers,
@@ -153,20 +194,20 @@ fn main() {
     let worker = workers.swap_remove(me);
     let env = WorkerEnv {
         cfg: &cfg,
-        opts: &opts,
+        opts: &cli.opts,
         data: &data,
         eval_indices: &eval_indices,
         neighbors: neighbors[me].clone(),
         total_params,
         bytes_per_param,
         epoch: Instant::now(),
-        env_label,
+        env_label: cli.env_label,
     };
     let outcome = run_worker(worker, &env, &mut transport).unwrap_or_else(|e| {
         eprintln!("dlion-worker {me}: {e}");
         std::process::exit(1);
     });
-    if trace_out.is_some() {
+    if cli.trace_out.is_some() {
         dlion_telemetry::stop_trace();
     }
     println!("outcome:{}", outcome.to_json());
@@ -176,19 +217,44 @@ fn main() {
 mod tests {
     use super::*;
 
+    fn cli(list: &[&str]) -> Result<Cli, UsageError> {
+        parse_cli(Args::new(list.iter().map(|s| s.to_string())))
+    }
+
     #[test]
-    fn system_parsing_round_trips_names() {
-        for k in [
-            SystemKind::Baseline,
-            SystemKind::Ako,
-            SystemKind::Gaia,
-            SystemKind::Hop,
-            SystemKind::DLion,
-            SystemKind::DLionNoDbwu,
-            SystemKind::DLionNoWu,
-            SystemKind::MaxNOnly(8.0),
-        ] {
-            assert_eq!(parse_system(&k.name().to_lowercase()), Some(k));
-        }
+    fn workers_port_base_is_loopback_sugar() {
+        let c = cli(&["--id", "1", "--workers", "3", "--port-base", "7400"]).unwrap();
+        assert_eq!(c.addrs, loopback_addrs(3, 7400));
+        assert_eq!(c.id, 1);
+    }
+
+    #[test]
+    fn peers_list_is_primary() {
+        let c = cli(&["--id", "0", "--peers", "10.0.0.1:7300,10.0.0.2:7300"]).unwrap();
+        assert_eq!(c.addrs.len(), 2);
+        assert_eq!(c.addrs[1], "10.0.0.2:7300".parse().unwrap());
+    }
+
+    #[test]
+    fn errors_name_the_offending_flag() {
+        assert_eq!(cli(&["--workers", "2"]).unwrap_err().flag, "--id");
+        assert_eq!(
+            cli(&["--id", "0", "--workers", "two"]).unwrap_err().flag,
+            "--workers"
+        );
+        assert_eq!(
+            cli(&["--id", "5", "--workers", "3"]).unwrap_err().flag,
+            "--id"
+        );
+        assert_eq!(cli(&["--id", "0", "--bogus"]).unwrap_err().flag, "--bogus");
+    }
+
+    #[test]
+    fn kill_plans_validate_against_cluster_shape() {
+        let ok = cli(&["--id", "0", "--workers", "3", "--kill", "1@10"]).unwrap();
+        assert_eq!(ok.opts.fault.kills.len(), 1);
+        // Worker 7 does not exist in a 3-worker cluster.
+        let e = cli(&["--id", "0", "--workers", "3", "--kill", "7@10"]).unwrap_err();
+        assert_eq!(e.flag, "--kill");
     }
 }

@@ -9,24 +9,57 @@
 //! gate the next iteration on the worker's [`dlion_core::SyncPolicy`].
 //! Peer gradients are applied the moment their frame is popped from the
 //! inbox — the live analogue of the simulator's `Msg` event — with one
-//! exception: under BSP a peer gradient for a round this worker has not
-//! finished is deferred until its own update for that round is applied
-//! (see `LiveWorker::deferred`), which pins the float-op order to the
-//! simulator's and makes synchronous runs bit-identical to it.
+//! exception: under BSP *every* peer gradient is deferred and applied at a
+//! single flush point right before the next compute, in `(iteration,
+//! sender)` order (see `LiveWorker::deferred`). Gating guarantees the
+//! flushed round is complete at that point, so the float-op order is a
+//! pure function of the round schedule — synchronous runs are
+//! bit-identical to the simulator and to each other, regardless of
+//! arrival interleaving.
+//!
+//! ## Worker churn
+//!
+//! The driver survives peers leaving (and optionally rejoining) mid-run:
+//!
+//! * A **planned departure** ([`dlion_core::FaultPlan`], `--kill`) makes
+//!   the victim broadcast [`crate::KIND_LEAVE`] carrying its completed
+//!   iteration count `K` and exit (or go silent until its rejoin time).
+//!   Per-peer FIFO puts the Leave after every gradient the victim sent.
+//! * A **crash** surfaces on each survivor as
+//!   [`dlion_core::TransportError::PeerDisconnected`] (reader EOF) or
+//!   [`dlion_core::TransportError::PeerTimeout`] from the transport.
+//! * Either way the survivor **demotes** the peer — Hop's
+//!   backup-worker demotion applied to an absent worker:
+//!   [`dlion_core::SyncState::demote`] stops iteration gating (and
+//!   `BlockOnDelivery` ack-waiting) on it, `DktState::forget` removes it
+//!   as a pull target, and the update-factor ledger (`departed_at`)
+//!   renormalizes averaging over the workers that actually contribute:
+//!   the departed peer counts in the divisor for rounds `< K` (its
+//!   gradients for those rounds exist and are applied) and is excluded
+//!   from `K` on. With a planned kill the ledger is seeded from the
+//!   fault plan itself, so every survivor renormalizes at the same round
+//!   no matter when the Leave frame lands — kill plans are deterministic.
+//! * A departed worker **rejoins** by sending a late
+//!   [`crate::KIND_HELLO`]; any survivor that sees it re-activates the
+//!   peer and replies [`crate::KIND_CATCHUP`] with its current
+//!   iteration. The rejoiner then uses the ordinary DKT pull path
+//!   (`DktRequest` → full `Weights`, merged with λ = 1) to catch up, and
+//!   resumes at the donor's iteration as an untracked backup member:
+//!   nobody gates on it, it gates on nobody.
 //!
 //! Two protocol additions have no simulator counterpart:
 //!
 //! * every received gradient is acknowledged with a [`crate::KIND_ACK`]
-//!   frame; the ack drives `SyncState::on_delivered` on the sender, which
-//!   is what `BlockOnDelivery` (Gaia) gates on. The simulator calls
+//!   frame; the ack drives `SyncState::on_delivered_from` on the sender,
+//!   which is what `BlockOnDelivery` (Gaia) gates on. The simulator calls
 //!   `on_delivered` at the virtual arrival time instead.
 //! * when a worker finishes its last iteration it sends [`crate::KIND_DONE`]
-//!   to every peer and keeps receiving until it holds all peers' Dones.
-//!   Transports guarantee per-peer FIFO, so a Done from a peer proves all
-//!   of that peer's gradients have already been applied — no message can
-//!   be lost by exiting after the barrier.
+//!   to every peer and keeps receiving until it holds a Done from every
+//!   peer that has not departed. Transports guarantee per-peer FIFO, so a
+//!   Done from a peer proves all of that peer's gradients have already
+//!   been applied — no message can be lost by exiting after the barrier.
 
-use crate::{LiveError, KIND_ACK, KIND_DONE, KIND_HELLO, KIND_RCP};
+use crate::{LiveError, KIND_ACK, KIND_CATCHUP, KIND_DONE, KIND_HELLO, KIND_LEAVE, KIND_RCP};
 use dlion_core::config::RunConfig;
 use dlion_core::lbs::{compute_rcp, partition_gbs, PROFILE_LBS};
 use dlion_core::messages::{decode_frame, encode_frame, GradData, GradMsg, Payload};
@@ -34,7 +67,7 @@ use dlion_core::transport::send_payload;
 use dlion_core::weighted::update_factor;
 use dlion_core::worker::Worker;
 use dlion_core::SyncPolicy;
-use dlion_core::{ExchangeTransport, StrategyCtx};
+use dlion_core::{ExchangeTransport, FaultPlan, StrategyCtx, TransportError};
 use dlion_nn::Dataset;
 use dlion_telemetry::event;
 use dlion_tensor::{DetRng, Tensor};
@@ -68,6 +101,13 @@ pub struct LiveOpts {
     /// Abort if no progress (no frame received, no iteration startable)
     /// for this long.
     pub stall_timeout: Duration,
+    /// Deterministic fault injection: which workers leave, when, and
+    /// whether they rejoin (`--kill`). Every worker receives the full
+    /// plan, so survivors seed their renormalization ledger from it.
+    pub fault: FaultPlan,
+    /// Per-peer receive timeout for the TCP transport (`None` = never) —
+    /// surfaces a wedged-but-connected peer as a departure.
+    pub peer_timeout: Option<Duration>,
 }
 
 impl Default for LiveOpts {
@@ -79,6 +119,8 @@ impl Default for LiveOpts {
             bw_mbps: 1000.0,
             assumed_iter_time: None,
             stall_timeout: Duration::from_secs(60),
+            fault: FaultPlan::default(),
+            peer_timeout: None,
         }
     }
 }
@@ -128,11 +170,15 @@ pub struct WorkerOutcome {
     pub grad_bytes: f64,
     pub weight_bytes: f64,
     pub control_bytes: f64,
-    /// Bytes of net-only control frames (hello/ack/done/rcp) — overhead
-    /// the simulator does not model, kept out of the sim-comparable
-    /// counters above.
+    /// Bytes of net-only control frames (hello/ack/done/rcp/leave/
+    /// catchup) — overhead the simulator does not model, kept out of the
+    /// sim-comparable counters above.
     pub net_overhead_bytes: f64,
     pub dkt_merges: u64,
+    /// This worker left the run early (planned kill without a completed
+    /// rejoin). A departed worker reports no final evaluation and its
+    /// outcome is excluded from cluster-level convergence metrics.
+    pub departed: bool,
     pub evals: Vec<EvalPoint>,
     /// Final weight tensors, when `cfg.capture_weights` is on.
     pub final_weights: Option<Vec<Tensor>>,
@@ -146,8 +192,9 @@ impl WorkerOutcome {
         use dlion_telemetry::json::f64_into;
         let mut s = String::with_capacity(256);
         s.push_str(&format!(
-            "{{\"id\":{},\"iterations\":{},\"msgs_sent\":{},\"msgs_recv\":{},\"dkt_merges\":{}",
-            self.id, self.iterations, self.msgs_sent, self.msgs_recv, self.dkt_merges
+            "{{\"id\":{},\"iterations\":{},\"msgs_sent\":{},\"msgs_recv\":{},\"dkt_merges\":{},\"departed\":{}",
+            self.id, self.iterations, self.msgs_sent, self.msgs_recv, self.dkt_merges,
+            self.departed
         ));
         for (key, v) in [
             ("busy_secs", self.busy_secs),
@@ -198,6 +245,10 @@ impl WorkerOutcome {
             weight_bytes: num("weight_bytes")?,
             control_bytes: num("control_bytes")?,
             net_overhead_bytes: num("net_overhead_bytes")?,
+            departed: matches!(
+                v.get("departed"),
+                Some(dlion_telemetry::json::Json::Bool(true))
+            ),
             ..Default::default()
         };
         let Some(dlion_telemetry::json::Json::Arr(evals)) = v.get("evals") else {
@@ -220,6 +271,14 @@ impl WorkerOutcome {
     }
 }
 
+/// Decode the `u64` body of a Leave/Catchup control frame.
+fn u64_body(body: &[u8], from: usize) -> Result<u64, LiveError> {
+    let bytes: [u8; 8] = body
+        .try_into()
+        .map_err(|_| LiveError::Protocol(format!("bad u64 control body from {from}")))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
 struct LiveWorker<'a, 'b> {
     worker: Worker,
     env: &'b WorkerEnv<'a>,
@@ -230,16 +289,30 @@ struct LiveWorker<'a, 'b> {
     /// simulator-only for now (see ROADMAP "Open items").
     gbs: usize,
     done: Vec<bool>,
-    /// Under BSP ([`SyncPolicy::Synchronous`]) only: peer gradients of an
-    /// iteration this worker has not completed yet. In the simulator a
-    /// peer's iteration-`t` gradient can never apply before this worker's
-    /// own iteration-`t` update (arrivals carry a transfer delay past the
-    /// lockstep `IterDone`), but a live peer that drains its inbox early
-    /// can run ahead and its `g_t` would land mid-round. Deferring those
-    /// frames until the local round completes restores the simulator's
-    /// apply order (own `g_t`, then peer `g_t`) — the key to bit-identical
-    /// BSP weights. `SyncState::on_gradient` is still recorded at receipt,
-    /// so iteration gating is unaffected.
+    /// Which peers are currently members of the run. A departed peer is
+    /// demoted everywhere (sync gating, DKT, sends, the Done barrier);
+    /// a rejoin re-activates it as an untracked backup member.
+    active: Vec<bool>,
+    /// Renormalization ledger: `Some(K)` means worker `j` contributes
+    /// gradients only for rounds `< K`, so rounds `>= K` average over the
+    /// remaining workers. Seeded from the fault plan for planned kills
+    /// (making renormalization independent of message timing), set from
+    /// the Leave frame or a received-round guess for unplanned crashes.
+    departed_at: Vec<Option<u64>>,
+    /// Every worker's LBS share, for renormalizing the weighted (Eq. 7)
+    /// denominator when someone departs. All `initial_lbs` unless the
+    /// startup profiling round repartitioned.
+    lbs_of: Vec<usize>,
+    /// Under BSP ([`SyncPolicy::Synchronous`]) only: *all* peer gradients
+    /// are parked here on receipt and applied at one flush point, right
+    /// before the next compute, ordered by `(iteration, sender)`. Gating
+    /// guarantees every gradient of a round has arrived before the round
+    /// after it can start, so the flushed batch is complete and the apply
+    /// order is a pure function of the schedule — this is what makes BSP
+    /// runs bit-identical across transports, interleavings, and (with a
+    /// fault plan) across repeated churn runs.
+    /// `SyncState::on_gradient` is still recorded at receipt, so
+    /// iteration gating is unaffected.
     deferred: VecDeque<(usize, GradMsg)>,
     out: WorkerOutcome,
 }
@@ -249,9 +322,106 @@ impl LiveWorker<'_, '_> {
         self.env.epoch.elapsed().as_secs_f64()
     }
 
+    /// The averaging denominator for round `round`: how many workers (and
+    /// how much total batch) contribute gradients to it, per the
+    /// `departed_at` ledger.
+    fn counted_for(&self, round: u64) -> (usize, usize) {
+        if self.departed_at.iter().all(|d| d.is_none()) {
+            return (self.n, self.gbs);
+        }
+        let mut n = 0usize;
+        let mut gbs = 0usize;
+        for j in 0..self.n {
+            let counted = match self.departed_at[j] {
+                None => true,
+                Some(k) => round < k,
+            };
+            if counted {
+                n += 1;
+                gbs += self.lbs_of[j];
+            }
+        }
+        (n.max(1), gbs.max(1))
+    }
+
+    /// Demote a departed peer: it no longer gates us, receives from us,
+    /// or serves as a DKT target, and rounds from `completed` on are
+    /// averaged without it. Idempotent.
+    fn note_departed(&mut self, peer: usize, completed: Option<u64>) {
+        if peer == self.me || !self.active[peer] {
+            return;
+        }
+        self.active[peer] = false;
+        let k = completed.or(self.departed_at[peer]).unwrap_or_else(|| {
+            // Crash without a Leave: everything received so far is all
+            // there will be.
+            self.worker.sync.received_from(peer).map_or(0, |r| r + 1)
+        });
+        if self.departed_at[peer].is_none() {
+            self.departed_at[peer] = Some(k);
+        }
+        self.worker.sync.demote(peer);
+        self.worker.dkt.forget(peer);
+        event!(self.now(), w: self.me, "peer_departed";
+            "peer" => peer, "completed" => k, "iter" => self.worker.iteration);
+    }
+
+    /// Re-activate a rejoining peer and invite it to catch up from our
+    /// current iteration. It stays out of the sync tracked set — a
+    /// backup member nobody gates on.
+    fn promote(&mut self, from: usize) -> Result<(), LiveError> {
+        if self.active[from] {
+            return Ok(());
+        }
+        self.active[from] = true;
+        self.done[from] = false;
+        event!(self.now(), w: self.me, "peer_rejoined";
+            "peer" => from, "iter" => self.worker.iteration);
+        self.send_control(
+            from,
+            KIND_CATCHUP,
+            &self.worker.iteration.to_le_bytes(),
+            true,
+        )
+    }
+
+    /// Receive with per-peer liveness folded in: a disconnect/timeout of
+    /// a live peer demotes it (a notification, not an error); one from a
+    /// peer that already completed the barrier is expected and ignored.
+    fn recv(&mut self, timeout: Duration) -> Result<Option<(usize, Vec<u8>)>, LiveError> {
+        match self.transport.recv_frame_timeout(timeout) {
+            Ok(x) => Ok(x),
+            Err(TransportError::PeerDisconnected { peer })
+            | Err(TransportError::PeerTimeout { peer }) => {
+                if !self.done[peer] {
+                    self.note_departed(peer, None);
+                }
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Non-blocking [`recv`](Self::recv).
+    fn poll(&mut self) -> Result<Option<(usize, Vec<u8>)>, LiveError> {
+        match self.transport.try_recv_frame() {
+            Ok(x) => Ok(x),
+            Err(TransportError::PeerDisconnected { peer })
+            | Err(TransportError::PeerTimeout { peer }) => {
+                if !self.done[peer] {
+                    self.note_departed(peer, None);
+                }
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// Encode and send a training payload, with exact byte accounting.
     /// `best_effort` sends (shutdown phase) ignore unreachable peers: a
-    /// peer that already left the barrier cannot need this frame.
+    /// peer that already left the barrier cannot need this frame. A
+    /// normal send hitting a dead link demotes the peer instead of
+    /// failing the worker.
     fn send(&mut self, to: usize, payload: &Payload, best_effort: bool) -> Result<(), LiveError> {
         match send_payload(self.transport, to, payload) {
             Ok(bytes) => {
@@ -267,11 +437,15 @@ impl LiveWorker<'_, '_> {
                 Ok(())
             }
             Err(_) if best_effort => Ok(()),
+            Err(TransportError::PeerGone(_)) | Err(TransportError::PeerDisconnected { .. }) => {
+                self.note_departed(to, None);
+                Ok(())
+            }
             Err(e) => Err(e.into()),
         }
     }
 
-    /// Send a net-control frame (ack/done/rcp).
+    /// Send a net-control frame (ack/done/rcp/leave/catchup/hello).
     fn send_control(
         &mut self,
         to: usize,
@@ -284,6 +458,10 @@ impl LiveWorker<'_, '_> {
         match self.transport.send_frame(to, frame) {
             Ok(()) => Ok(()),
             Err(_) if best_effort => Ok(()),
+            Err(TransportError::PeerGone(_)) | Err(TransportError::PeerDisconnected { .. }) => {
+                self.note_departed(to, None);
+                Ok(())
+            }
             Err(e) => Err(e.into()),
         }
     }
@@ -296,23 +474,37 @@ impl LiveWorker<'_, '_> {
         frame: Vec<u8>,
         during_shutdown: bool,
     ) -> Result<(), LiveError> {
-        let (kind, _body) = decode_frame(&frame)?;
+        let (kind, body) = decode_frame(&frame)?;
         match kind {
             KIND_ACK => {
                 // One of our gradient messages reached its peer
                 // (BlockOnDelivery's gate).
-                self.worker.sync.on_delivered();
+                self.worker.sync.on_delivered_from(from);
                 Ok(())
             }
             KIND_DONE => {
                 self.done[from] = true;
                 Ok(())
             }
-            // Rcp frames are consumed by the startup round; one arriving
-            // here would mean a peer restarted mid-run — ignore.
-            // Hello frames are consumed by the TCP handshake; MemTransport
-            // never produces them.
-            KIND_RCP | KIND_HELLO => Ok(()),
+            KIND_LEAVE => {
+                let k = u64_body(body, from)?;
+                self.note_departed(from, Some(k));
+                Ok(())
+            }
+            KIND_HELLO => {
+                // A Hello after establishment is a rejoin announcement.
+                // During shutdown we are leaving ourselves — the rejoiner
+                // gives up once it holds everyone's Done.
+                if during_shutdown {
+                    Ok(())
+                } else {
+                    self.promote(from)
+                }
+            }
+            // Catchup replies are consumed by the rejoin loop; a stray
+            // one (we took another donor's offer first) is ignored.
+            // Rcp frames are consumed by the startup round.
+            KIND_CATCHUP | KIND_RCP => Ok(()),
             _ => {
                 let payload = Payload::from_frame(&frame)?;
                 self.on_payload(from, payload, during_shutdown)
@@ -331,9 +523,8 @@ impl LiveWorker<'_, '_> {
         match payload {
             Payload::Grad(msg) => {
                 self.worker.sync.on_gradient(from, msg.iteration);
-                let bsp = self.worker.strategy.sync_policy() == SyncPolicy::Synchronous;
-                if bsp && msg.iteration >= self.worker.iteration {
-                    // See `deferred`: hold until the local round completes.
+                if self.worker.strategy.sync_policy() == SyncPolicy::Synchronous {
+                    // See `deferred`: applied at the next flush point.
                     self.deferred.push_back((from, msg));
                     Ok(())
                 } else {
@@ -369,7 +560,8 @@ impl LiveWorker<'_, '_> {
     }
 
     /// Apply a peer gradient to the model and acknowledge it (the ack
-    /// drives the sender's `SyncState::on_delivered`).
+    /// drives the sender's `SyncState::on_delivered_from`). The update
+    /// factor averages over the workers counted for the gradient's round.
     fn apply_grad(
         &mut self,
         from: usize,
@@ -377,7 +569,8 @@ impl LiveWorker<'_, '_> {
         during_shutdown: bool,
     ) -> Result<(), LiveError> {
         let weighted = self.env.cfg.system.weighted_update();
-        let factor = update_factor(self.env.cfg.lr, self.n, msg.lbs, self.gbs, weighted);
+        let (n_counted, gbs_counted) = self.counted_for(msg.iteration);
+        let factor = update_factor(self.env.cfg.lr, n_counted, msg.lbs, gbs_counted, weighted);
         match &msg.data {
             GradData::Dense(vars) => self.worker.model.apply_dense_update(vars, factor),
             GradData::Sparse(vars) => {
@@ -386,20 +579,33 @@ impl LiveWorker<'_, '_> {
                 }
             }
         }
-        self.send_control(from, KIND_ACK, &[], during_shutdown)
+        let ack_best_effort = during_shutdown || !self.active[from];
+        self.send_control(from, KIND_ACK, &[], ack_best_effort)
     }
 
-    /// Apply deferred BSP gradients whose round this worker has now
-    /// completed (`force` applies everything — shutdown, when no further
-    /// local round will come). Ineligible frames keep their arrival order.
+    /// The single BSP flush point: apply every deferred gradient whose
+    /// round this worker has completed, in `(iteration, sender)` order
+    /// (`force` applies everything — shutdown, when no further local
+    /// round will come).
     fn flush_deferred(&mut self, force: bool, during_shutdown: bool) -> Result<(), LiveError> {
+        if self.deferred.is_empty() {
+            return Ok(());
+        }
+        let mut batch: Vec<(usize, GradMsg)> = Vec::new();
         for _ in 0..self.deferred.len() {
             let (from, msg) = self.deferred.pop_front().expect("len-bounded pop");
             if force || msg.iteration < self.worker.iteration {
-                self.apply_grad(from, &msg, during_shutdown)?;
+                batch.push((from, msg));
             } else {
                 self.deferred.push_back((from, msg));
             }
+        }
+        // Canonical apply order: by round, then by sender id. Gating
+        // ensures the batch for each eligible round is complete here, so
+        // this order is independent of arrival interleaving.
+        batch.sort_by_key(|(from, msg)| (msg.iteration, *from));
+        for (from, msg) in batch {
+            self.apply_grad(from, &msg, during_shutdown)?;
         }
         Ok(())
     }
@@ -436,11 +642,12 @@ impl LiveWorker<'_, '_> {
             "loss" => loss, "dt" => measured);
 
         self.worker.dkt.record_loss(loss);
+        let (n_counted, gbs_counted) = self.counted_for(self.worker.iteration);
         let own_factor = update_factor(
             cfg.lr,
-            n,
+            n_counted,
             self.worker.lbs,
-            self.gbs,
+            gbs_counted,
             cfg.system.weighted_update(),
         );
         let ctx = StrategyCtx {
@@ -479,7 +686,10 @@ impl LiveWorker<'_, '_> {
             "updates" => updates.len(),
             "share_dkt" => share);
         for up in updates {
-            self.worker.sync.on_sent(1);
+            if !self.active[up.peer] {
+                continue;
+            }
+            self.worker.sync.on_sent_to(up.peer);
             self.send(up.peer, &Payload::Grad(up.msg), false)?;
         }
         if share {
@@ -501,13 +711,18 @@ impl LiveWorker<'_, '_> {
         event!(self.now(), w: self.me, "dkt_round"; "avg_loss" => avg);
         self.worker.dkt.update_known(self.me, avg);
         for j in self.env.neighbors.clone() {
+            if !self.active[j] {
+                continue;
+            }
             self.send(j, &Payload::LossShare { avg_loss: avg }, false)?;
         }
         let round = self.worker.iteration / self.worker.dkt.cfg().period_iters;
         if self.worker.last_pull_round < round {
             if let Some(target) = self.worker.dkt.pull_target() {
-                self.worker.last_pull_round = round;
-                self.send(target, &Payload::DktRequest, false)?;
+                if self.active[target] {
+                    self.worker.last_pull_round = round;
+                    self.send(target, &Payload::DktRequest, false)?;
+                }
             }
         }
         Ok(())
@@ -534,7 +749,9 @@ impl LiveWorker<'_, '_> {
     /// collect everyone else's, and take our Eq. 5 share of the GBS.
     /// Frames of other kinds that race in (none should before everyone has
     /// all RCPs, but the protocol does not depend on that) are stashed for
-    /// the main loop.
+    /// the main loop. A peer that dies during profiling is demoted and its
+    /// RCP replaced with the mean of the collected ones, so the partition
+    /// stays well-formed.
     fn startup_lbs(&mut self, stash: &mut Vec<(usize, Vec<u8>)>) -> Result<(), LiveError> {
         if !self.env.cfg.system.dynamic_batching() {
             return Ok(());
@@ -572,8 +789,8 @@ impl LiveWorker<'_, '_> {
             }
         }
         let mut deadline = Instant::now() + self.env.opts.stall_timeout;
-        while have < self.n {
-            match self.transport.recv_frame_timeout(POLL)? {
+        while have < (0..self.n).filter(|&j| self.active[j]).count() {
+            match self.recv(POLL)? {
                 Some((from, frame)) => {
                     deadline = Instant::now() + self.env.opts.stall_timeout;
                     let (kind, body) = decode_frame(&frame)?;
@@ -585,6 +802,9 @@ impl LiveWorker<'_, '_> {
                             have += 1;
                         }
                         rcps[from] = f64::from_le_bytes(bytes);
+                    } else if kind == KIND_LEAVE {
+                        let k = u64_body(body, from)?;
+                        self.note_departed(from, Some(k));
                     } else {
                         stash.push((from, frame));
                     }
@@ -599,17 +819,178 @@ impl LiveWorker<'_, '_> {
                 }
             }
         }
+        // A peer that departed mid-profiling never sent its RCP;
+        // `partition_gbs` needs every entry positive.
+        let known: Vec<f64> = rcps.iter().copied().filter(|&r| r > 0.0).collect();
+        let mean = known.iter().sum::<f64>() / known.len() as f64;
+        for r in rcps.iter_mut() {
+            if *r == 0.0 {
+                *r = mean;
+            }
+        }
         let parts = partition_gbs(self.gbs, &rcps);
         self.worker.lbs = parts[self.me];
+        self.lbs_of = parts.clone();
         event!(self.now(), w: self.me, "lbs_repartition";
             "gbs" => self.gbs, "lbs" => parts[self.me]);
         Ok(())
+    }
+
+    /// Announce a planned departure: Leave (with our completed-iteration
+    /// count) to every live peer, so survivors demote us at the right
+    /// round instead of stalling on gradients that will never come.
+    fn depart(&mut self) -> Result<(), LiveError> {
+        let completed = self.worker.iteration;
+        event!(self.now(), w: self.me, "depart"; "completed" => completed);
+        for j in 0..self.n {
+            if j != self.me && self.active[j] {
+                self.send_control(j, KIND_LEAVE, &completed.to_le_bytes(), true)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Have all peers either finished or departed? (A rejoiner with no
+    /// one left to rejoin gives up.)
+    fn all_peers_finished(&self) -> bool {
+        (0..self.n)
+            .filter(|&j| j != self.me)
+            .all(|j| self.done[j] || !self.active[j])
+    }
+
+    /// Play dead for `delay`, then rejoin: announce with a late Hello,
+    /// take the first Catchup invitation, pull the donor's full weights
+    /// through the regular DKT path (merged with λ = 1 — a copy), and
+    /// resume at the donor's iteration as a free-running backup member.
+    /// Returns `false` (give up, stay departed) if no survivor answers
+    /// before the stall deadline or everyone has already finished.
+    fn await_rejoin(&mut self, delay: Duration) -> Result<bool, LiveError> {
+        // Dead time: discard traffic, but keep liveness bookkeeping so
+        // the give-up checks below are accurate.
+        let until = Instant::now() + delay;
+        while Instant::now() < until {
+            let left = until.saturating_duration_since(Instant::now()).min(POLL);
+            if let Some((from, frame)) = self.recv(left)? {
+                let (kind, body) = decode_frame(&frame)?;
+                match kind {
+                    KIND_DONE => self.done[from] = true,
+                    KIND_LEAVE => {
+                        let k = u64_body(body, from)?;
+                        self.note_departed(from, Some(k));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Stale pre-departure gradients are superseded by the pull.
+        self.deferred.clear();
+        if self.all_peers_finished() {
+            return Ok(false);
+        }
+        let hello = crate::hello_body(self.me, self.n, self.env.cfg.seed);
+        for j in 0..self.n {
+            if j != self.me && self.active[j] && !self.done[j] {
+                self.send_control(j, KIND_HELLO, &hello, true)?;
+            }
+        }
+        event!(self.now(), w: self.me, "rejoin_hello"; "iter" => self.worker.iteration);
+
+        // Wait for the first Catchup invitation.
+        let deadline = Instant::now() + self.env.opts.stall_timeout;
+        let (donor, target) = loop {
+            if Instant::now() > deadline || self.all_peers_finished() {
+                return Ok(false);
+            }
+            if let Some((from, frame)) = self.recv(POLL)? {
+                let (kind, body) = decode_frame(&frame)?;
+                match kind {
+                    KIND_CATCHUP => break (from, u64_body(body, from)?),
+                    KIND_DONE => self.done[from] = true,
+                    KIND_LEAVE => {
+                        let k = u64_body(body, from)?;
+                        self.note_departed(from, Some(k));
+                    }
+                    _ => {}
+                }
+            }
+        };
+
+        // Pull the donor's full weights (the regular DKT transfer path).
+        self.send(donor, &Payload::DktRequest, true)?;
+        let deadline = Instant::now() + self.env.opts.stall_timeout;
+        loop {
+            if Instant::now() > deadline || self.all_peers_finished() {
+                return Ok(false);
+            }
+            let Some((from, frame)) = self.recv(POLL)? else {
+                continue;
+            };
+            let (kind, body) = decode_frame(&frame)?;
+            match kind {
+                KIND_DONE => self.done[from] = true,
+                KIND_LEAVE => {
+                    let k = u64_body(body, from)?;
+                    self.note_departed(from, Some(k));
+                }
+                KIND_ACK | KIND_RCP | KIND_HELLO | KIND_CATCHUP => {}
+                _ => {
+                    let payload = Payload::from_frame(&frame)?;
+                    if let Payload::Weights { weights, .. } = payload {
+                        if from == donor {
+                            // λ = 1: take the donor's weights wholesale.
+                            self.worker.model.merge_weights(&weights, 1.0);
+                            self.out.dkt_merges += 1;
+                            self.worker.iteration = target;
+                            let period = self.worker.dkt.cfg().period_iters;
+                            self.worker.last_pull_round = target / period;
+                            // Free-run from here: we are a backup member,
+                            // gated on no one (and no one gates on us).
+                            for j in 0..self.n {
+                                if j != self.me {
+                                    self.worker.sync.demote(j);
+                                }
+                            }
+                            self.deferred.retain(|(_, m)| m.iteration >= target);
+                            event!(self.now(), w: self.me, "rejoined";
+                                "donor" => donor, "iter" => target);
+                            return Ok(true);
+                        }
+                        // A stray (non-donor) weights payload: a regular
+                        // DKT merge we are happy to take.
+                        self.on_payload(
+                            from,
+                            Payload::Weights {
+                                weights,
+                                sender_loss: 0.0,
+                            },
+                            false,
+                        )?;
+                    } else {
+                        self.on_payload(from, payload, false)?;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalize an early exit (kill without rejoin): no final evaluation,
+    /// no weights — the outcome is marked departed and excluded from
+    /// cluster convergence metrics.
+    fn finish_departed(mut self) -> WorkerOutcome {
+        self.out.departed = true;
+        self.out.iterations = self.worker.iteration;
+        self.out.wall_secs = self.now();
+        event!(self.out.wall_secs, w: self.me, "run_end";
+            "iterations" => self.out.iterations, "departed" => true);
+        self.out
     }
 }
 
 /// Run one live worker to completion: startup profiling (dynamic-batching
 /// systems), `opts.iters` training iterations gated by the sync policy,
-/// then the Done shutdown barrier and a final evaluation.
+/// then the Done shutdown barrier and a final evaluation. A worker named
+/// in `opts.fault` leaves at its planned iteration (and rejoins through
+/// the late-Hello → Catchup → DKT-pull path if the plan says so).
 pub fn run_worker(
     worker: Worker,
     env: &WorkerEnv<'_>,
@@ -622,9 +1003,20 @@ pub fn run_worker(
     let scope_env = format!("{}/w{me}", env.env_label);
     let _scope = dlion_telemetry::run_scope(&system, &scope_env, env.cfg.seed);
 
+    let mut departed_at = vec![None; n];
+    for kill in &env.opts.fault.kills {
+        if kill.worker < n {
+            departed_at[kill.worker] = Some(kill.at_iter);
+        }
+    }
+    let mut pending_kill = env.opts.fault.kill_of(me);
+
     let mut lw = LiveWorker {
         gbs: env.cfg.initial_lbs * n,
         done: vec![false; n],
+        active: vec![true; n],
+        departed_at,
+        lbs_of: vec![env.cfg.initial_lbs; n],
         deferred: VecDeque::new(),
         out: WorkerOutcome {
             id: me,
@@ -650,23 +1042,38 @@ pub fn run_worker(
     loop {
         // Apply everything that has arrived before deciding to compute —
         // the freshest peer state the transport can give us.
-        while let Some((from, frame)) = lw.transport.try_recv_frame()? {
+        while let Some((from, frame)) = lw.poll()? {
             lw.handle_frame(from, frame, false)?;
             last_progress = Instant::now();
+        }
+        if let Some(kill) = pending_kill {
+            if lw.worker.iteration >= kill.at_iter {
+                pending_kill = None;
+                lw.depart()?;
+                let rejoined = match kill.rejoin_after {
+                    None => false,
+                    Some(secs) => lw.await_rejoin(Duration::from_secs_f64(secs))?,
+                };
+                if !rejoined {
+                    return Ok(lw.finish_departed());
+                }
+                last_progress = Instant::now();
+                continue;
+            }
         }
         if lw.worker.iteration >= env.opts.iters {
             break;
         }
         let policy = lw.worker.strategy.sync_policy();
         if lw.worker.sync.can_start(policy, lw.worker.iteration) {
-            lw.step()?;
-            // The round is complete: peer gradients of the round just
-            // finished (deferred under BSP) apply now, before the next
-            // compute — the simulator's own-then-peer order.
+            // The single BSP flush point: every gradient of the rounds
+            // before the one we are about to compute applies now, in
+            // canonical order (gating says those rounds are complete).
             lw.flush_deferred(false, false)?;
+            lw.step()?;
             last_progress = Instant::now();
         } else {
-            match lw.transport.recv_frame_timeout(POLL)? {
+            match lw.recv(POLL)? {
                 Some((from, frame)) => {
                     lw.handle_frame(from, frame, false)?;
                     last_progress = Instant::now();
@@ -684,8 +1091,9 @@ pub fn run_worker(
     }
 
     // Shutdown barrier: announce Done to all peers (even non-neighbors —
-    // everyone waits on everyone), then drain until all Dones are in.
-    // Per-peer FIFO means a peer's Done arrives after all its gradients.
+    // everyone waits on everyone), then drain until every *member* peer's
+    // Done is in; departed peers owe us nothing. Per-peer FIFO means a
+    // peer's Done arrives after all its gradients.
     for j in 0..n {
         if j != me {
             lw.send_control(j, KIND_DONE, &[], true)?;
@@ -694,15 +1102,16 @@ pub fn run_worker(
     lw.done[me] = true;
     event!(lw.now(), w: me, "barrier_enter"; "iter" => lw.worker.iteration);
     let mut deadline = Instant::now() + env.opts.stall_timeout;
-    while !lw.done.iter().all(|&d| d) {
-        match lw.transport.recv_frame_timeout(POLL) {
+    while !(0..n).all(|j| lw.done[j] || !lw.active[j]) {
+        match lw.recv(POLL) {
             Ok(Some((from, frame))) => {
                 lw.handle_frame(from, frame, true)?;
                 deadline = Instant::now() + env.opts.stall_timeout;
             }
             Ok(None) => {
                 if Instant::now() > deadline {
-                    let missing: Vec<usize> = (0..n).filter(|&j| !lw.done[j]).collect();
+                    let missing: Vec<usize> =
+                        (0..n).filter(|&j| !lw.done[j] && lw.active[j]).collect();
                     return Err(LiveError::Stalled(format!(
                         "worker {me} waiting for Done from {missing:?}"
                     )));
@@ -710,12 +1119,12 @@ pub fn run_worker(
             }
             // All peers closed their connections — they can only do that
             // after completing their own barrier, so nothing is missing.
-            Err(dlion_core::TransportError::Disconnected) => break,
-            Err(e) => return Err(e.into()),
+            Err(LiveError::Transport(TransportError::Disconnected)) => break,
+            Err(e) => return Err(e),
         }
     }
     // Anything still queued locally arrived before the senders' Dones.
-    while let Ok(Some((from, frame))) = lw.transport.try_recv_frame() {
+    while let Ok(Some((from, frame))) = lw.poll() {
         lw.handle_frame(from, frame, true)?;
     }
     // No further local rounds: whatever is still deferred applies now.
@@ -752,6 +1161,7 @@ mod tests {
             control_bytes: 28.0,
             net_overhead_bytes: 1160.0,
             dkt_merges: 1,
+            departed: false,
             evals: vec![EvalPoint {
                 iteration: 30,
                 wall: 2.0,
@@ -768,7 +1178,22 @@ mod tests {
         assert_eq!(back.net_overhead_bytes, 1160.0);
         assert_eq!(back.evals.len(), 1);
         assert_eq!(back.evals[0].accuracy, 0.375);
+        assert!(!back.departed);
         assert!(back.final_weights.is_none());
+    }
+
+    #[test]
+    fn departed_outcome_round_trips() {
+        let out = WorkerOutcome {
+            id: 1,
+            iterations: 20,
+            departed: true,
+            ..Default::default()
+        };
+        let back = WorkerOutcome::from_json(&out.to_json()).unwrap();
+        assert!(back.departed);
+        assert_eq!(back.iterations, 20);
+        assert!(back.evals.is_empty());
     }
 
     #[test]

@@ -30,16 +30,18 @@
 //!
 //! ## Control frames
 //!
-//! The live runtime adds four frame kinds on top of the payload codec, all
+//! The live runtime adds six frame kinds on top of the payload codec, all
 //! at or above [`KIND_NET_BASE`] so `Payload::from_frame` can never
 //! mistake one for a training payload:
 //!
 //! | kind | body | role |
 //! |------|------|------|
-//! | [`KIND_HELLO`] | `id u32, n u32, seed u64` | mesh handshake: identifies the dialing worker, sanity-checks cluster size and seed |
-//! | [`KIND_ACK`] | empty | delivery acknowledgement for one gradient message (drives `SyncState::on_delivered`, i.e. Gaia's `BlockOnDelivery`) |
+//! | [`KIND_HELLO`] | `id u32, n u32, seed u64` | mesh handshake: identifies the dialing worker, sanity-checks cluster size and seed; a *late* Hello (after establishment) announces a rejoin |
+//! | [`KIND_ACK`] | empty | delivery acknowledgement for one gradient message (drives `SyncState::on_delivered_from`, i.e. Gaia's `BlockOnDelivery`) |
 //! | [`KIND_DONE`] | empty | shutdown barrier: the sender finished all its iterations; per-peer FIFO guarantees every earlier gradient already arrived |
 //! | [`KIND_RCP`] | `rcp f64` | startup LBS profiling round: the sender's measured relative compute power (Eq. 5) |
+//! | [`KIND_LEAVE`] | `completed_iters u64` | planned departure: the sender is leaving after completing that many iterations; receivers demote it from sync gating and averaging from the next round on |
+//! | [`KIND_CATCHUP`] | `iteration u64` | rejoin reply to a late Hello: the responder's current iteration, inviting the rejoiner to DKT-pull full weights and resume there |
 
 pub mod driver;
 pub mod live;
@@ -47,12 +49,15 @@ pub mod tcp;
 
 pub use driver::{run_worker, EvalPoint, LiveOpts, WorkerEnv, WorkerOutcome};
 pub use live::{assemble_metrics, live_config, run_live, TransportKind};
-pub use tcp::{loopback_mesh, TcpTransport};
+pub use tcp::{
+    loopback_addrs, loopback_mesh, loopback_mesh_addrs, parse_peers, TcpOpts, TcpTransport,
+};
 
 use dlion_core::messages::KIND_NET_BASE;
 use dlion_core::{TransportError, WireError};
 
 /// Mesh handshake frame (dialer → acceptor): `id u32, n u32, seed u64`.
+/// Arriving *after* establishment it is a rejoin announcement.
 pub const KIND_HELLO: u8 = KIND_NET_BASE;
 /// Per-gradient delivery acknowledgement (empty body).
 pub const KIND_ACK: u8 = KIND_NET_BASE + 1;
@@ -60,6 +65,19 @@ pub const KIND_ACK: u8 = KIND_NET_BASE + 1;
 pub const KIND_DONE: u8 = KIND_NET_BASE + 2;
 /// Startup profiling: the sender's relative compute power (`f64` body).
 pub const KIND_RCP: u8 = KIND_NET_BASE + 3;
+/// Planned departure: the sender's completed-iteration count (`u64` body).
+pub const KIND_LEAVE: u8 = KIND_NET_BASE + 4;
+/// Rejoin reply: the responder's current iteration (`u64` body).
+pub const KIND_CATCHUP: u8 = KIND_NET_BASE + 5;
+
+/// Encode the 16-byte Hello body: `id u32 LE, n u32 LE, seed u64 LE`.
+pub fn hello_body(me: usize, n: usize, seed: u64) -> [u8; 16] {
+    let mut body = [0u8; 16];
+    body[0..4].copy_from_slice(&(me as u32).to_le_bytes());
+    body[4..8].copy_from_slice(&(n as u32).to_le_bytes());
+    body[8..16].copy_from_slice(&seed.to_le_bytes());
+    body
+}
 
 /// A live-run failure. Transport and wire errors are fatal for the worker
 /// that hits them; the orchestrator surfaces the first failure.
@@ -114,7 +132,14 @@ mod tests {
 
     #[test]
     fn control_kinds_are_outside_payload_space() {
-        for kind in [KIND_HELLO, KIND_ACK, KIND_DONE, KIND_RCP] {
+        for kind in [
+            KIND_HELLO,
+            KIND_ACK,
+            KIND_DONE,
+            KIND_RCP,
+            KIND_LEAVE,
+            KIND_CATCHUP,
+        ] {
             assert!(kind >= KIND_NET_BASE);
             let frame = dlion_core::messages::encode_frame(kind, &[]);
             assert!(

@@ -5,7 +5,7 @@
 //! CSV and comparison tooling work unchanged on live runs.
 
 use crate::driver::{run_worker, LiveOpts, WorkerEnv, WorkerOutcome};
-use crate::tcp::loopback_mesh;
+use crate::tcp::{loopback_mesh, TcpOpts};
 use crate::LiveError;
 use dlion_core::cluster::ClusterInit;
 use dlion_core::{build_cluster, ExchangeTransport, RunConfig, RunMetrics, SystemKind};
@@ -50,10 +50,17 @@ pub fn run_live(
             .into_iter()
             .map(|t| Box::new(t) as Box<dyn ExchangeTransport>)
             .collect(),
-        TransportKind::Tcp => loopback_mesh(n, cfg.seed, opts.queue_cap, opts.stall_timeout)?
-            .into_iter()
-            .map(|t| Box::new(t) as Box<dyn ExchangeTransport>)
-            .collect(),
+        TransportKind::Tcp => {
+            let tcp_opts = TcpOpts {
+                queue_cap: opts.queue_cap,
+                establish_timeout: opts.stall_timeout,
+                peer_timeout: opts.peer_timeout,
+            };
+            loopback_mesh(n, cfg.seed, &tcp_opts)?
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn ExchangeTransport>)
+                .collect()
+        }
     };
     let ClusterInit {
         workers,
@@ -125,17 +132,23 @@ pub fn assemble_metrics(
         m.control_bytes += o.control_bytes;
         m.dkt_merges += o.dkt_merges;
     }
-    // Evaluation points are per-iteration-count, identical across workers
-    // (same `iters`/`eval_every` plus the final eval); a row's time is the
-    // latest worker's wall clock at that point.
-    let rows = outcomes.iter().map(|o| o.evals.len()).min().unwrap_or(0);
+    // Evaluation points are per-iteration-count, identical across the
+    // workers that finished (same `iters`/`eval_every` plus the final
+    // eval); a row's time is the latest worker's wall clock at that
+    // point. Departed workers report no evaluations and are excluded —
+    // convergence metrics describe the surviving membership.
+    let survivors: Vec<&WorkerOutcome> = outcomes.iter().filter(|o| !o.departed).collect();
+    let rows = survivors.iter().map(|o| o.evals.len()).min().unwrap_or(0);
     for e in 0..rows {
-        let t = outcomes.iter().map(|o| o.evals[e].wall).fold(0.0, f64::max);
+        let t = survivors
+            .iter()
+            .map(|o| o.evals[e].wall)
+            .fold(0.0, f64::max);
         m.eval_times.push(t);
         m.worker_acc
-            .push(outcomes.iter().map(|o| o.evals[e].accuracy).collect());
+            .push(survivors.iter().map(|o| o.evals[e].accuracy).collect());
         m.worker_loss
-            .push(outcomes.iter().map(|o| o.evals[e].loss).collect());
+            .push(survivors.iter().map(|o| o.evals[e].loss).collect());
     }
     if cfg.capture_weights {
         m.final_weights = outcomes
@@ -179,6 +192,7 @@ mod tests {
             control_bytes: 50.0,
             net_overhead_bytes: 200.0,
             dkt_merges: 1,
+            departed: false,
             evals: vec![EvalPoint {
                 iteration: 10,
                 wall: 4.0 + id as f64,
@@ -204,6 +218,21 @@ mod tests {
         assert_eq!(m.worker_acc, vec![vec![0.5, 0.5]]);
         assert_eq!(m.env, "live/2w");
         assert!(m.telemetry.is_empty());
+    }
+
+    #[test]
+    fn departed_workers_excluded_from_eval_rows() {
+        let cfg = live_config(SystemKind::Baseline, 1);
+        let mut dead = outcome(1);
+        dead.departed = true;
+        dead.evals.clear(); // a departed worker reports no evaluations
+        let m = assemble_metrics(&cfg, "live/3w", vec![outcome(0), dead, outcome(2)]);
+        // Eval rows cover survivors only — the empty departed outcome
+        // must not zero them out.
+        assert_eq!(m.eval_times.len(), 1);
+        assert_eq!(m.worker_acc, vec![vec![0.5, 0.5]]);
+        // Per-worker scalar columns still cover everyone.
+        assert_eq!(m.iterations.len(), 3);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! The dialer's first frame is a [`crate::KIND_HELLO`] carrying its id,
 //! the cluster size and the run seed; the acceptor validates all three,
 //! which catches two clusters sharing a port range or workers launched
-//! with mismatched configs.
+//! with mismatched configs. Addresses come in as a `&[SocketAddr]` peer
+//! list — the transport is host-agnostic; only [`loopback_addrs`] and
+//! [`loopback_mesh`] know about `127.0.0.1`.
 //!
 //! ## Threads per connection
 //!
@@ -26,25 +28,64 @@
 //! Per-peer FIFO — the trait's ordering contract — holds because one
 //! writer feeds one TCP stream feeds one reader.
 //!
+//! ## Per-peer liveness
+//!
+//! When a reader hits EOF or an I/O error it marks the link dead (later
+//! sends fail with `PeerGone`) and pushes a *gone* note into the inbox;
+//! the receive methods surface it once as
+//! [`TransportError::PeerDisconnected`] — strictly after every frame the
+//! peer managed to send, because notes travel through the same FIFO
+//! inbox. [`TcpOpts::peer_timeout`] additionally arms a per-peer silence
+//! alarm surfaced as [`TransportError::PeerTimeout`].
+//!
+//! After establishment the listener moves to an **acceptor thread** that
+//! keeps accepting for the rest of the run: a departed worker (or its
+//! replacement process, via [`TcpTransport::reconnect`]) can dial back
+//! in, re-wire the link, and its validated Hello frame is surfaced to
+//! the driver like any received frame — the late-Hello entry point of
+//! the rejoin protocol.
+//!
 //! ## Teardown
 //!
-//! Dropping the transport closes all send queues; each writer drains what
-//! is already queued, shuts down its write side and exits, and `Drop`
-//! joins the writers so queued frames (a worker's final Done, most
+//! Dropping the transport stops the acceptor, closes all send queues,
+//! and joins the writers so queued frames (a worker's final Done, most
 //! importantly) are flushed even if the owner exits immediately after.
-//! Readers exit on EOF/error and are detached; once every reader is gone
-//! the peer sees `TransportError::Disconnected`.
+//! Readers exit on EOF/error and are detached.
 
 use crate::{LiveError, KIND_HELLO};
 use dlion_core::messages::{decode_frame, decode_frame_header, encode_frame, FRAME_HEADER_BYTES};
 use dlion_core::{ExchangeTransport, TransportError};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{
-    channel, sync_channel, Receiver, RecvTimeoutError, SyncSender, TryRecvError,
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
 };
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Transport tuning knobs (everything beyond the address list).
+#[derive(Clone, Debug)]
+pub struct TcpOpts {
+    /// Per-peer send queue capacity, in frames (backpressure bound).
+    pub queue_cap: usize,
+    /// How long mesh establishment may wait for peers to appear.
+    pub establish_timeout: Duration,
+    /// Surface [`TransportError::PeerTimeout`] when a connected peer has
+    /// sent nothing for this long (`None` = never).
+    pub peer_timeout: Option<Duration>,
+}
+
+impl Default for TcpOpts {
+    fn default() -> Self {
+        TcpOpts {
+            queue_cap: 64,
+            establish_timeout: Duration::from_secs(60),
+            peer_timeout: None,
+        }
+    }
+}
 
 /// Read one full frame; `Ok(None)` on clean EOF at a frame boundary.
 /// The header is validated *before* the body is read, so `body_len` is
@@ -65,14 +106,10 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
 }
 
 fn hello_frame(me: usize, n: usize, seed: u64) -> Vec<u8> {
-    let mut body = Vec::with_capacity(16);
-    body.extend_from_slice(&(me as u32).to_le_bytes());
-    body.extend_from_slice(&(n as u32).to_le_bytes());
-    body.extend_from_slice(&seed.to_le_bytes());
-    encode_frame(KIND_HELLO, &body)
+    encode_frame(KIND_HELLO, &crate::hello_body(me, n, seed))
 }
 
-fn parse_hello(frame: &[u8]) -> Result<(usize, usize, u64), LiveError> {
+pub(crate) fn parse_hello(frame: &[u8]) -> Result<(usize, usize, u64), LiveError> {
     let (kind, body) = decode_frame(frame)?;
     if kind != KIND_HELLO || body.len() != 16 {
         return Err(LiveError::Protocol(format!(
@@ -86,52 +123,130 @@ fn parse_hello(frame: &[u8]) -> Result<(usize, usize, u64), LiveError> {
     Ok((id, n, seed))
 }
 
+/// What reader/acceptor threads push into the shared inbox. Liveness
+/// changes ride the same FIFO channel as frames, so a *gone* note can
+/// never overtake the frames the peer sent before dying.
+enum Note {
+    Frame(usize, Vec<u8>),
+    /// The peer's link closed (reader saw EOF or an I/O error).
+    Gone(usize),
+    /// The peer (re)connected through the acceptor; carries its
+    /// validated hello frame, which is surfaced to the caller.
+    Joined(usize, Vec<u8>),
+}
+
 struct Peer {
     tx: SyncSender<Vec<u8>>,
     writer: Option<JoinHandle<()>>,
+    /// Cleared by the reader on EOF/error; a dead slot rejects sends and
+    /// may be replaced by the acceptor on reconnect.
+    alive: bool,
+}
+
+/// State shared between the transport handle, its reader threads and the
+/// acceptor thread.
+struct Mesh {
+    peers: Mutex<Vec<Option<Peer>>>,
+    /// Writer handles of links replaced by a reconnect; joined on drop.
+    retired: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Mesh {
+    /// Mark `j` dead: sends start failing, the writer drains and exits.
+    fn kill_link(&self, j: usize) {
+        let mut peers = self.peers.lock().unwrap();
+        if let Some(p) = peers[j].as_mut() {
+            p.alive = false;
+            // Swap the sender for one whose receiver is already gone, so
+            // the writer's queue closes and `send_frame` fails fast.
+            let (dead_tx, _) = sync_channel(1);
+            drop(std::mem::replace(&mut p.tx, dead_tx));
+        }
+    }
+
+    /// Wire a connected stream as the link to peer `j` (writer + reader
+    /// threads). The reader pushes frames and, on EOF, a gone-note into
+    /// `inbox_tx`.
+    fn wire(
+        self: &Arc<Self>,
+        j: usize,
+        stream: TcpStream,
+        queue_cap: usize,
+        inbox_tx: &Sender<Note>,
+    ) -> std::io::Result<Peer> {
+        let (tx, rx) = sync_channel::<Vec<u8>>(queue_cap);
+        let mut wstream = stream.try_clone()?;
+        let writer = thread::spawn(move || {
+            while let Ok(frame) = rx.recv() {
+                if wstream.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            let _ = wstream.shutdown(Shutdown::Write);
+        });
+        let mut rstream = stream;
+        let itx = inbox_tx.clone();
+        let mesh = Arc::clone(self);
+        // Readers are detached: they exit on EOF/error (announcing the
+        // loss) or when the inbox receiver is dropped.
+        thread::spawn(move || {
+            while let Ok(Some(frame)) = read_frame(&mut rstream) {
+                if itx.send(Note::Frame(j, frame)).is_err() {
+                    return;
+                }
+            }
+            mesh.kill_link(j);
+            let _ = itx.send(Note::Gone(j));
+        });
+        Ok(Peer {
+            tx,
+            writer: Some(writer),
+            alive: true,
+        })
+    }
 }
 
 /// One worker's endpoint of a fully-connected TCP mesh.
 pub struct TcpTransport {
     me: usize,
-    peers: Vec<Option<Peer>>,
-    inbox: Receiver<(usize, Vec<u8>)>,
+    n: usize,
+    mesh: Arc<Mesh>,
+    inbox: Receiver<Note>,
+    accept_stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    peer_timeout: Option<Duration>,
+    // Receiver-local liveness bookkeeping (only the owner thread touches
+    // these, through the receive methods).
+    last_heard: Vec<Instant>,
+    gone_reported: Vec<bool>,
+    timeout_reported: Vec<bool>,
 }
 
 impl TcpTransport {
     /// Establish this worker's side of the mesh. `addrs[j]` must be the
     /// address worker `j` listens on; `listener` must be bound to
     /// `addrs[me]`. Blocks until all `n-1` links are up (dials retry
-    /// until `timeout` — peers may not have bound yet).
+    /// until `opts.establish_timeout` — peers may not have bound yet).
     pub fn establish(
         me: usize,
         listener: TcpListener,
         addrs: &[SocketAddr],
         seed: u64,
-        queue_cap: usize,
-        timeout: Duration,
+        opts: &TcpOpts,
     ) -> Result<TcpTransport, LiveError> {
         let n = addrs.len();
         assert!(me < n, "worker id out of range");
-        assert!(queue_cap > 0, "queue capacity must be positive");
-        let deadline = Instant::now() + timeout;
+        assert!(opts.queue_cap > 0, "queue capacity must be positive");
+        let deadline = Instant::now() + opts.establish_timeout;
         let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
 
         // Dial the lower-numbered peers, announcing who we are.
         for (j, addr) in addrs.iter().enumerate().take(me) {
-            let stream = loop {
-                match TcpStream::connect(addr) {
-                    Ok(s) => break s,
-                    Err(e) => {
-                        if Instant::now() > deadline {
-                            return Err(LiveError::Protocol(format!(
-                                "worker {me} cannot reach worker {j} at {addr}: {e}"
-                            )));
-                        }
-                        thread::sleep(Duration::from_millis(10));
-                    }
-                }
-            };
+            let stream = dial(*addr, deadline).map_err(|e| {
+                LiveError::Protocol(format!(
+                    "worker {me} cannot reach worker {j} at {addr}: {e}"
+                ))
+            })?;
             stream.set_nodelay(true)?;
             (&stream).write_all(&hello_frame(me, n, seed))?;
             streams[j] = Some(stream);
@@ -157,7 +272,7 @@ impl TcpTransport {
             };
             stream.set_nonblocking(false)?;
             stream.set_nodelay(true)?;
-            stream.set_read_timeout(Some(timeout))?;
+            stream.set_read_timeout(Some(opts.establish_timeout))?;
             let frame = read_frame(&mut stream)?
                 .ok_or_else(|| LiveError::Protocol("peer closed before hello".into()))?;
             let (id, peer_n, peer_seed) = parse_hello(&frame)?;
@@ -177,56 +292,236 @@ impl TcpTransport {
             accepted += 1;
         }
 
-        // Wire up the per-peer writer and reader threads.
-        let (inbox_tx, inbox) = channel::<(usize, Vec<u8>)>();
-        let mut peers: Vec<Option<Peer>> = Vec::with_capacity(n);
-        for (j, slot) in streams.into_iter().enumerate() {
-            let Some(stream) = slot else {
-                peers.push(None);
+        TcpTransport::assemble(me, n, seed, streams, Some(listener), opts)
+    }
+
+    /// Re-dial a mesh this worker previously left (or crashed out of):
+    /// connect to every reachable peer and announce with a Hello. Each
+    /// peer's acceptor re-wires its side of the link and surfaces the
+    /// Hello to its driver — the rejoin entry point. Peers that cannot
+    /// be reached stay unconnected (sends to them fail with `PeerGone`);
+    /// at least one must be reachable. The worker's own listening
+    /// address is re-bound on a best-effort basis, so yet-later joiners
+    /// can reach it too.
+    pub fn reconnect(
+        me: usize,
+        addrs: &[SocketAddr],
+        seed: u64,
+        opts: &TcpOpts,
+    ) -> Result<TcpTransport, LiveError> {
+        let n = addrs.len();
+        assert!(me < n, "worker id out of range");
+        let deadline = Instant::now() + opts.establish_timeout;
+        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut reached = 0usize;
+        for (j, addr) in addrs.iter().enumerate() {
+            if j == me {
+                continue;
+            }
+            let Ok(stream) = dial(*addr, deadline) else {
                 continue;
             };
-            let (tx, rx) = sync_channel::<Vec<u8>>(queue_cap);
-            let mut wstream = stream.try_clone()?;
-            let writer = thread::spawn(move || {
-                while let Ok(frame) = rx.recv() {
-                    if wstream.write_all(&frame).is_err() {
-                        break;
-                    }
-                }
-                let _ = wstream.shutdown(Shutdown::Write);
-            });
-            let mut rstream = stream;
-            let itx = inbox_tx.clone();
-            // Readers are detached: they exit on EOF (peer shut down its
-            // write side) or when the inbox receiver is dropped.
-            thread::spawn(move || {
-                while let Ok(Some(frame)) = read_frame(&mut rstream) {
-                    if itx.send((j, frame)).is_err() {
-                        break;
-                    }
-                }
-            });
-            peers.push(Some(Peer {
-                tx,
-                writer: Some(writer),
-            }));
+            stream.set_nodelay(true)?;
+            if (&stream).write_all(&hello_frame(me, n, seed)).is_err() {
+                continue;
+            }
+            streams[j] = Some(stream);
+            reached += 1;
         }
+        if reached == 0 {
+            return Err(LiveError::Protocol(format!(
+                "worker {me} reconnect reached no peers"
+            )));
+        }
+        let listener = TcpListener::bind(addrs[me]).ok();
+        TcpTransport::assemble(me, n, seed, streams, listener, opts)
+    }
+
+    /// Wire established streams into threads and spawn the acceptor.
+    fn assemble(
+        me: usize,
+        n: usize,
+        seed: u64,
+        streams: Vec<Option<TcpStream>>,
+        listener: Option<TcpListener>,
+        opts: &TcpOpts,
+    ) -> Result<TcpTransport, LiveError> {
+        let (inbox_tx, inbox) = channel::<Note>();
+        let mesh = Arc::new(Mesh {
+            peers: Mutex::new((0..n).map(|_| None).collect()),
+            retired: Mutex::new(Vec::new()),
+        });
+        {
+            let mut peers = mesh.peers.lock().unwrap();
+            for (j, slot) in streams.into_iter().enumerate() {
+                if let Some(stream) = slot {
+                    peers[j] = Some(mesh.wire(j, stream, opts.queue_cap, &inbox_tx)?);
+                }
+            }
+        }
+        let accept_stop = Arc::new(AtomicBool::new(false));
+        let acceptor = listener.map(|listener| {
+            let mesh = Arc::clone(&mesh);
+            let stop = Arc::clone(&accept_stop);
+            let itx = inbox_tx.clone();
+            let queue_cap = opts.queue_cap;
+            thread::spawn(move || acceptor_loop(me, n, seed, listener, mesh, itx, stop, queue_cap))
+        });
+        // The transport holds no inbox sender itself: when all readers
+        // die *and* the acceptor stops, the inbox reports Disconnected.
         drop(inbox_tx);
-        Ok(TcpTransport { me, peers, inbox })
+        let now = Instant::now();
+        Ok(TcpTransport {
+            me,
+            n,
+            mesh,
+            inbox,
+            accept_stop,
+            acceptor,
+            peer_timeout: opts.peer_timeout,
+            last_heard: vec![now; n],
+            gone_reported: vec![false; n],
+            timeout_reported: vec![false; n],
+        })
+    }
+
+    /// Fold an inbox note into the receiver-local liveness state.
+    /// `None` = swallowed (duplicate gone-note), keep polling.
+    fn on_note(&mut self, note: Note) -> Option<Result<(usize, Vec<u8>), TransportError>> {
+        match note {
+            Note::Frame(j, f) => {
+                self.last_heard[j] = Instant::now();
+                self.timeout_reported[j] = false;
+                Some(Ok((j, f)))
+            }
+            Note::Joined(j, hello) => {
+                self.last_heard[j] = Instant::now();
+                self.gone_reported[j] = false;
+                self.timeout_reported[j] = false;
+                Some(Ok((j, hello)))
+            }
+            Note::Gone(j) => {
+                if self.gone_reported[j] {
+                    None
+                } else {
+                    self.gone_reported[j] = true;
+                    Some(Err(TransportError::PeerDisconnected { peer: j }))
+                }
+            }
+        }
+    }
+
+    /// A connected-but-silent peer past the timeout, if any (each
+    /// silence is reported once; a frame re-arms it).
+    fn silent_peer(&mut self) -> Option<usize> {
+        let timeout = self.peer_timeout?;
+        let peers = self.mesh.peers.lock().unwrap();
+        for j in 0..self.n {
+            if j == self.me || self.gone_reported[j] || self.timeout_reported[j] {
+                continue;
+            }
+            let connected = peers[j].as_ref().is_some_and(|p| p.alive);
+            if connected && self.last_heard[j].elapsed() > timeout {
+                self.timeout_reported[j] = true;
+                return Some(j);
+            }
+        }
+        None
+    }
+}
+
+/// Dial with retries until `deadline` (peers may not have bound yet).
+fn dial(addr: SocketAddr, deadline: Instant) -> std::io::Result<TcpStream> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() > deadline {
+                    return Err(e);
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Post-establishment accept loop: re-wire links for departed peers that
+/// dial back in. Invalid or duplicate hellos drop the connection.
+#[allow(clippy::too_many_arguments)]
+fn acceptor_loop(
+    me: usize,
+    n: usize,
+    seed: u64,
+    listener: TcpListener,
+    mesh: Arc<Mesh>,
+    inbox_tx: Sender<Note>,
+    stop: Arc<AtomicBool>,
+    queue_cap: usize,
+) {
+    let _ = listener.set_nonblocking(true);
+    while !stop.load(Ordering::Relaxed) {
+        let (mut stream, _) = match listener.accept() {
+            Ok(x) => x,
+            Err(_) => {
+                thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        let hello = (|| -> Option<(usize, Vec<u8>)> {
+            stream.set_nonblocking(false).ok()?;
+            stream.set_nodelay(true).ok()?;
+            stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+            let frame = read_frame(&mut stream).ok()??;
+            let (id, peer_n, peer_seed) = parse_hello(&frame).ok()?;
+            if id == me || id >= n || peer_n != n || peer_seed != seed {
+                return None;
+            }
+            stream.set_read_timeout(None).ok()?;
+            Some((id, frame))
+        })();
+        let Some((id, frame)) = hello else {
+            continue;
+        };
+        let mut peers = mesh.peers.lock().unwrap();
+        if peers[id].as_ref().is_some_and(|p| p.alive) {
+            continue; // duplicate connection for a live link
+        }
+        if let Some(mut old) = peers[id].take() {
+            if let Some(h) = old.writer.take() {
+                mesh.retired.lock().unwrap().push(h);
+            }
+        }
+        match mesh.wire(id, stream, queue_cap, &inbox_tx) {
+            Ok(peer) => {
+                peers[id] = Some(peer);
+                drop(peers);
+                let _ = inbox_tx.send(Note::Joined(id, frame));
+            }
+            Err(_) => continue,
+        }
     }
 }
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
-        // Take the senders down first so writers see a closed queue, then
-        // join them: every already-queued frame (a final Done in
-        // particular) hits the socket before the worker is gone.
-        for peer in self.peers.iter_mut().flatten() {
+        self.accept_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Take the senders down so writers see a closed queue, then join
+        // them: every already-queued frame (a final Done in particular)
+        // hits the socket before the worker is gone.
+        let mut peers = self.mesh.peers.lock().unwrap();
+        for peer in peers.iter_mut().flatten() {
             let (tx, _) = sync_channel::<Vec<u8>>(1);
             drop(std::mem::replace(&mut peer.tx, tx));
             if let Some(handle) = peer.writer.take() {
                 let _ = handle.join();
             }
+        }
+        drop(peers);
+        for handle in self.mesh.retired.lock().unwrap().drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -237,25 +532,33 @@ impl ExchangeTransport for TcpTransport {
     }
 
     fn n(&self) -> usize {
-        self.peers.len()
+        self.n
     }
 
     fn send_frame(&mut self, to: usize, frame: Vec<u8>) -> Result<(), TransportError> {
-        let peer = self
-            .peers
-            .get(to)
-            .and_then(|p| p.as_ref())
-            .ok_or(TransportError::PeerGone(to))?;
-        peer.tx
-            .send(frame)
-            .map_err(|_| TransportError::PeerGone(to))
+        // Clone the sender out of the lock: a blocking backpressure send
+        // must not hold the mesh mutex against readers and the acceptor.
+        let tx = {
+            let peers = self.mesh.peers.lock().unwrap();
+            match peers.get(to).and_then(|p| p.as_ref()) {
+                Some(p) if p.alive => p.tx.clone(),
+                _ => return Err(TransportError::PeerGone(to)),
+            }
+        };
+        tx.send(frame).map_err(|_| TransportError::PeerGone(to))
     }
 
     fn try_recv_frame(&mut self) -> Result<Option<(usize, Vec<u8>)>, TransportError> {
-        match self.inbox.try_recv() {
-            Ok(m) => Ok(Some(m)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(TransportError::Disconnected),
+        loop {
+            match self.inbox.try_recv() {
+                Ok(note) => match self.on_note(note) {
+                    Some(Ok(m)) => return Ok(Some(m)),
+                    Some(Err(e)) => return Err(e),
+                    None => continue,
+                },
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => return Err(TransportError::Disconnected),
+            }
         }
     }
 
@@ -263,24 +566,65 @@ impl ExchangeTransport for TcpTransport {
         &mut self,
         timeout: Duration,
     ) -> Result<Option<(usize, Vec<u8>)>, TransportError> {
-        match self.inbox.recv_timeout(timeout) {
-            Ok(m) => Ok(Some(m)),
-            Err(RecvTimeoutError::Timeout) => Ok(None),
-            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.inbox.recv_timeout(left) {
+                Ok(note) => match self.on_note(note) {
+                    Some(Ok(m)) => return Ok(Some(m)),
+                    Some(Err(e)) => return Err(e),
+                    None => continue,
+                },
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(peer) = self.silent_peer() {
+                        return Err(TransportError::PeerTimeout { peer });
+                    }
+                    return Ok(None);
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Disconnected),
+            }
         }
     }
 }
 
-/// Build an `n`-worker loopback mesh: bind `n` ephemeral listeners, then
-/// establish every endpoint concurrently (establishment blocks on peers,
-/// so it cannot be done sequentially). Element `i` of the result is
-/// worker `i`'s transport.
-pub fn loopback_mesh(
+/// The loopback sugar: `--port-base P` for `n` workers means worker `j`
+/// listens on `127.0.0.1:P+j`. The only place (besides the ephemeral
+/// [`loopback_mesh`] test helper) that hardcodes a loopback address —
+/// everything else takes an explicit peer list.
+pub fn loopback_addrs(n: usize, port_base: u16) -> Vec<SocketAddr> {
+    (0..n)
+        .map(|j| SocketAddr::from(([127, 0, 0, 1], port_base + j as u16)))
+        .collect()
+}
+
+/// Parse a `host:port,host:port,…` peer list (`--peers`).
+pub fn parse_peers(s: &str) -> Result<Vec<SocketAddr>, String> {
+    let addrs: Result<Vec<SocketAddr>, String> = s
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.parse()
+                .map_err(|_| format!("bad peer address '{p}' (want host:port)"))
+        })
+        .collect();
+    let addrs = addrs?;
+    if addrs.len() < 2 {
+        return Err("need at least two peer addresses".into());
+    }
+    Ok(addrs)
+}
+
+/// Build an `n`-worker loopback mesh on ephemeral ports: bind `n`
+/// listeners, then establish every endpoint concurrently (establishment
+/// blocks on peers, so it cannot be done sequentially). Element `i` of
+/// the result is worker `i`'s transport; the second return is the
+/// address list (a departed worker can [`TcpTransport::reconnect`] with
+/// it).
+pub fn loopback_mesh_addrs(
     n: usize,
     seed: u64,
-    queue_cap: usize,
-    timeout: Duration,
-) -> Result<Vec<TcpTransport>, LiveError> {
+    opts: &TcpOpts,
+) -> Result<(Vec<TcpTransport>, Vec<SocketAddr>), LiveError> {
     assert!(n > 0);
     let listeners: Vec<TcpListener> = (0..n)
         .map(|_| TcpListener::bind("127.0.0.1:0"))
@@ -295,9 +639,7 @@ pub fn loopback_mesh(
             .enumerate()
             .map(|(me, listener)| {
                 let addrs = &addrs;
-                s.spawn(move || {
-                    TcpTransport::establish(me, listener, addrs, seed, queue_cap, timeout)
-                })
+                s.spawn(move || TcpTransport::establish(me, listener, addrs, seed, opts))
             })
             .collect();
         handles
@@ -312,7 +654,12 @@ pub fn loopback_mesh(
     for e in endpoints.drain(..) {
         out.push(e?);
     }
-    Ok(out)
+    Ok((out, addrs))
+}
+
+/// [`loopback_mesh_addrs`] without the address list.
+pub fn loopback_mesh(n: usize, seed: u64, opts: &TcpOpts) -> Result<Vec<TcpTransport>, LiveError> {
+    loopback_mesh_addrs(n, seed, opts).map(|(mesh, _)| mesh)
 }
 
 #[cfg(test)]
@@ -330,8 +677,30 @@ mod tests {
     }
 
     #[test]
+    fn loopback_addrs_expand_port_base() {
+        let addrs = loopback_addrs(3, 7300);
+        assert_eq!(addrs[0], "127.0.0.1:7300".parse().unwrap());
+        assert_eq!(addrs[2], "127.0.0.1:7302".parse().unwrap());
+    }
+
+    #[test]
+    fn peer_list_parsing() {
+        let addrs = parse_peers("10.0.0.1:7300,10.0.0.2:7300").unwrap();
+        assert_eq!(addrs.len(), 2);
+        assert_eq!(addrs[1], "10.0.0.2:7300".parse().unwrap());
+        assert!(parse_peers("10.0.0.1:7300").is_err(), "single peer");
+        assert!(parse_peers("nonsense").is_err());
+        assert!(parse_peers("10.0.0.1:notaport,10.0.0.2:1").is_err());
+    }
+
+    #[test]
     fn two_node_mesh_exchanges_payloads() {
-        let mut mesh = loopback_mesh(2, 7, 8, Duration::from_secs(10)).unwrap();
+        let opts = TcpOpts {
+            queue_cap: 8,
+            establish_timeout: Duration::from_secs(10),
+            peer_timeout: None,
+        };
+        let mut mesh = loopback_mesh(2, 7, &opts).unwrap();
         let mut b = mesh.pop().unwrap();
         let mut a = mesh.pop().unwrap();
         let p = Payload::LossShare { avg_loss: 1.25 };
@@ -354,12 +723,14 @@ mod tests {
         let mut it = listeners.into_iter();
         let (l0, l1) = (it.next().unwrap(), it.next().unwrap());
         let a0 = addrs.clone();
-        let h0 = thread::spawn(move || {
-            TcpTransport::establish(0, l0, &a0, 1, 4, Duration::from_secs(5))
-        });
-        let h1 = thread::spawn(move || {
-            TcpTransport::establish(1, l1, &addrs, 2, 4, Duration::from_secs(5))
-        });
+        let opts = TcpOpts {
+            queue_cap: 4,
+            establish_timeout: Duration::from_secs(5),
+            peer_timeout: None,
+        };
+        let o2 = opts.clone();
+        let h0 = thread::spawn(move || TcpTransport::establish(0, l0, &a0, 1, &opts));
+        let h1 = thread::spawn(move || TcpTransport::establish(1, l1, &addrs, 2, &o2));
         // The acceptor (worker 0) must reject the dialer's wrong seed.
         assert!(matches!(h0.join().unwrap(), Err(LiveError::Protocol(_))));
         let _ = h1.join(); // dialer may succeed or see a reset; either is fine

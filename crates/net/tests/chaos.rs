@@ -1,0 +1,132 @@
+//! Churn on the live backend: a worker killed mid-run must not hang the
+//! survivors, must not perturb their determinism, and — when the fault
+//! plan says so — must be able to rejoin through the DKT catch-up path.
+//!
+//! Why the survivor weights stay deterministic: every worker seeds the
+//! same departure ledger from the shared `FaultPlan` before the run
+//! starts, so all survivors renormalize the weighted average at the same
+//! round regardless of when the Leave frame (or the socket EOF) actually
+//! lands. The Leave only drives *gating* (stop waiting for the dead
+//! peer), never the arithmetic.
+
+use dlion_core::{FaultPlan, RunConfig, SyncPolicy, SystemKind};
+use dlion_net::{live_config, run_live, LiveOpts, TransportKind};
+use dlion_tensor::Tensor;
+use std::time::Duration;
+
+const BW_MBPS: f64 = 1000.0;
+const ITER_TIME: f64 = 0.05 + 0.001 * 32.0;
+
+fn chaos_cfg(system: SystemKind, iters: u64) -> RunConfig {
+    let mut cfg = live_config(system, 1);
+    cfg.duration = 10_000.0;
+    cfg.eval_interval = 10_000.0;
+    cfg.max_iters = Some(iters);
+    cfg.capture_weights = true;
+    cfg
+}
+
+fn chaos_opts(iters: u64, kill: &str) -> LiveOpts {
+    LiveOpts {
+        iters,
+        eval_every: 0,
+        bw_mbps: BW_MBPS,
+        assumed_iter_time: Some(ITER_TIME),
+        stall_timeout: Duration::from_secs(120),
+        fault: FaultPlan::parse(kill).expect("valid fault plan"),
+        ..Default::default()
+    }
+}
+
+fn weight_bits(weights: &[Vec<Tensor>]) -> Vec<Vec<Vec<u32>>> {
+    weights
+        .iter()
+        .map(|ws| {
+            ws.iter()
+                .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+                .collect()
+        })
+        .collect()
+}
+
+/// A 3-worker BSP cluster loses worker 1 after it completes iteration 3;
+/// the survivors must renormalize, finish all their iterations, and get
+/// through the Done barrier without waiting on the dead peer.
+fn departed_peer_run(kind: TransportKind) {
+    const ITERS: u64 = 8;
+    let mut cfg = chaos_cfg(SystemKind::Baseline, ITERS);
+    cfg.sync_override = Some(SyncPolicy::Synchronous);
+    let m = run_live(&cfg, 3, &chaos_opts(ITERS, "1@3"), kind, "live/chaos").expect("live run");
+    // Survivors ran to completion; the victim stopped where the plan says.
+    assert_eq!(m.iterations, vec![ITERS, 3, ITERS]);
+    // Convergence metrics cover exactly the two survivors.
+    let acc = m.worker_acc.last().expect("final eval");
+    assert_eq!(acc.len(), 2);
+    assert!(acc.iter().all(|&a| a > 0.0), "no accuracy: {acc:?}");
+}
+
+#[test]
+fn done_barrier_completes_with_departed_peer_mem() {
+    departed_peer_run(TransportKind::Mem);
+}
+
+#[test]
+fn done_barrier_completes_with_departed_peer_tcp() {
+    departed_peer_run(TransportKind::Tcp);
+}
+
+#[test]
+fn identical_kill_plans_reproduce_survivor_weights() {
+    const ITERS: u64 = 8;
+    let mut cfg = chaos_cfg(SystemKind::Baseline, ITERS);
+    cfg.sync_override = Some(SyncPolicy::Synchronous);
+    let opts = chaos_opts(ITERS, "1@3");
+    let runs = [
+        run_live(&cfg, 3, &opts, TransportKind::Mem, "live/chaos").expect("mem run 1"),
+        run_live(&cfg, 3, &opts, TransportKind::Mem, "live/chaos").expect("mem run 2"),
+        run_live(&cfg, 3, &opts, TransportKind::Tcp, "live/chaos").expect("tcp run"),
+    ];
+    // Survivor weights are bit-identical across runs AND transports; the
+    // departed worker captures none (its slot is empty).
+    let bits: Vec<_> = runs.iter().map(|m| weight_bits(&m.final_weights)).collect();
+    assert!(!bits[0][0].is_empty() && !bits[0][2].is_empty());
+    assert!(bits[0][1].is_empty(), "departed worker captured weights");
+    for (i, b) in bits.iter().enumerate().skip(1) {
+        assert_eq!(
+            (&bits[0][0], &bits[0][2]),
+            (&b[0], &b[2]),
+            "survivor weights diverged between run 0 and run {i}"
+        );
+    }
+}
+
+#[test]
+fn killed_worker_rejoins_via_dkt_catchup() {
+    const ITERS: u64 = 12;
+    let mut cfg = chaos_cfg(SystemKind::Baseline, ITERS);
+    cfg.sync_override = Some(SyncPolicy::Synchronous);
+    // `+0`: depart after iteration 3, rejoin immediately — late Hello,
+    // Catchup invitation, full-weight DKT pull, free-run to the end.
+    let m = run_live(
+        &cfg,
+        3,
+        &chaos_opts(ITERS, "1@3+0"),
+        TransportKind::Mem,
+        "live/chaos",
+    )
+    .expect("live run");
+    // The rejoiner resumed at the donor's iteration and finished the run
+    // as a member again: not departed, so it evaluates with the others.
+    assert_eq!(m.iterations[0], ITERS);
+    assert_eq!(m.iterations[2], ITERS);
+    assert_eq!(m.iterations[1], ITERS, "rejoiner did not finish the run");
+    let acc = m.worker_acc.last().expect("final eval");
+    assert_eq!(acc.len(), 3, "rejoiner missing from convergence metrics");
+    // The catch-up pull is a DKT weight transfer: at least one merge, and
+    // full-weight bytes moved on the wire.
+    assert!(m.dkt_merges >= 1, "no DKT merge recorded for the catch-up");
+    assert!(
+        m.weight_bytes > 0.0,
+        "no weights travelled for the catch-up"
+    );
+}

@@ -1,13 +1,23 @@
 //! TCP mesh transport behaviour: routing, per-peer FIFO, bounded-queue
-//! backpressure, and the drop-time flush that the Done shutdown barrier
-//! relies on.
+//! backpressure, the drop-time flush that the Done shutdown barrier
+//! relies on, and the liveness contract — a dead peer surfaces as
+//! `PeerDisconnected` (once), a silent one as `PeerTimeout` (once per
+//! silence), and a rejoining one as its Hello frame.
 
 use dlion_core::messages::encode_frame;
-use dlion_core::ExchangeTransport;
-use dlion_net::{loopback_mesh, KIND_ACK};
+use dlion_core::{ExchangeTransport, TransportError};
+use dlion_net::{loopback_mesh, loopback_mesh_addrs, TcpOpts, TcpTransport, KIND_ACK, KIND_HELLO};
 use std::time::Duration;
 
 const TIMEOUT: Duration = Duration::from_secs(20);
+
+fn opts(queue_cap: usize) -> TcpOpts {
+    TcpOpts {
+        queue_cap,
+        establish_timeout: TIMEOUT,
+        peer_timeout: None,
+    }
+}
 
 fn frame(tag: u8, seq: u32) -> Vec<u8> {
     let mut body = vec![tag];
@@ -23,7 +33,7 @@ fn body_of(frame: &[u8]) -> (u8, u32) {
 #[test]
 fn three_node_mesh_routes_all_pairs_in_fifo_order() {
     const K: u32 = 50;
-    let mesh = loopback_mesh(3, 7, 8, TIMEOUT).expect("mesh");
+    let mesh = loopback_mesh(3, 7, &opts(8)).expect("mesh");
     std::thread::scope(|s| {
         for mut t in mesh {
             s.spawn(move || {
@@ -59,7 +69,7 @@ fn three_node_mesh_routes_all_pairs_in_fifo_order() {
 fn tiny_send_queue_applies_backpressure_without_loss() {
     const K: u32 = 200;
     // queue_cap 1: the sender must block on the writer thread, not drop.
-    let mut mesh = loopback_mesh(2, 11, 1, TIMEOUT).expect("mesh");
+    let mut mesh = loopback_mesh(2, 11, &opts(1)).expect("mesh");
     let mut receiver = mesh.pop().expect("node 1");
     let mut sender = mesh.pop().expect("node 0");
     std::thread::scope(|s| {
@@ -85,7 +95,7 @@ fn tiny_send_queue_applies_backpressure_without_loss() {
 
 #[test]
 fn dropping_a_transport_flushes_queued_frames() {
-    let mut mesh = loopback_mesh(2, 13, 64, TIMEOUT).expect("mesh");
+    let mut mesh = loopback_mesh(2, 13, &opts(64)).expect("mesh");
     let mut receiver = mesh.pop().expect("node 1");
     let mut sender = mesh.pop().expect("node 0");
     // Queue frames and drop the endpoint immediately: the writer thread
@@ -103,4 +113,112 @@ fn dropping_a_transport_flushes_queued_frames() {
         assert_eq!(from, 0);
         assert_eq!(body_of(&f), (0, expect));
     }
+}
+
+#[test]
+fn dead_peer_surfaces_as_peer_disconnected_once() {
+    let mut mesh = loopback_mesh(3, 17, &opts(8)).expect("mesh");
+    let t2 = mesh.pop().expect("node 2");
+    let mut t1 = mesh.pop().expect("node 1");
+    let mut t0 = mesh.pop().expect("node 0");
+    // Worker 1 sends a frame, then "crashes" (drop closes its sockets).
+    t1.send_frame(0, frame(1, 0)).expect("send");
+    drop(t1);
+    // The frame sent before the crash still arrives (gone-notes cannot
+    // overtake frames)...
+    let (from, f) = t0
+        .recv_frame_timeout(TIMEOUT)
+        .expect("recv")
+        .expect("frame before timeout");
+    assert_eq!((from, body_of(&f)), (1, (1, 0)));
+    // ...then the disconnect is reported exactly once, not on every poll.
+    match t0.recv_frame_timeout(TIMEOUT) {
+        Err(TransportError::PeerDisconnected { peer: 1 }) => {}
+        other => panic!("expected PeerDisconnected from 1, got {other:?}"),
+    }
+    assert!(matches!(
+        t0.recv_frame_timeout(Duration::from_millis(100)),
+        Ok(None)
+    ));
+    // Sends to the dead peer fail fast instead of blocking.
+    assert!(matches!(
+        t0.send_frame(1, frame(0, 0)),
+        Err(TransportError::PeerGone(1))
+    ));
+    // The surviving link keeps working.
+    drop(t2);
+}
+
+#[test]
+fn silent_peer_surfaces_as_peer_timeout_once_and_rearms() {
+    let topts = TcpOpts {
+        queue_cap: 8,
+        establish_timeout: TIMEOUT,
+        peer_timeout: Some(Duration::from_millis(100)),
+    };
+    let mut mesh = loopback_mesh(2, 19, &topts).expect("mesh");
+    let mut t1 = mesh.pop().expect("node 1");
+    let mut t0 = mesh.pop().expect("node 0");
+    // Nothing from peer 1 past the 100ms window: a timeout, exactly once.
+    std::thread::sleep(Duration::from_millis(150));
+    match t0.recv_frame_timeout(Duration::from_millis(50)) {
+        Err(TransportError::PeerTimeout { peer: 1 }) => {}
+        other => panic!("expected PeerTimeout from 1, got {other:?}"),
+    }
+    assert!(matches!(
+        t0.recv_frame_timeout(Duration::from_millis(50)),
+        Ok(None)
+    ));
+    // Contact re-arms the detector: a frame clears the reported flag...
+    t1.send_frame(0, frame(1, 7)).expect("send");
+    let (from, f) = t0
+        .recv_frame_timeout(TIMEOUT)
+        .expect("recv")
+        .expect("frame before timeout");
+    assert_eq!((from, body_of(&f)), (1, (1, 7)));
+    // ...and a fresh silence is reported again.
+    std::thread::sleep(Duration::from_millis(150));
+    assert!(matches!(
+        t0.recv_frame_timeout(Duration::from_millis(50)),
+        Err(TransportError::PeerTimeout { peer: 1 })
+    ));
+}
+
+#[test]
+fn departed_peer_can_reconnect_and_surfaces_its_hello() {
+    const SEED: u64 = 23;
+    let (mut mesh, addrs) = loopback_mesh_addrs(3, SEED, &opts(8)).expect("mesh");
+    let t2 = mesh.pop().expect("node 2");
+    let t1 = mesh.pop().expect("node 1");
+    let mut t0 = mesh.pop().expect("node 0");
+    // Worker 1 crashes out of the mesh...
+    drop(t1);
+    match t0.recv_frame_timeout(TIMEOUT) {
+        Err(TransportError::PeerDisconnected { peer: 1 }) => {}
+        other => panic!("expected PeerDisconnected from 1, got {other:?}"),
+    }
+    // ...and dials back in through the survivors' acceptors.
+    let mut t1b = TcpTransport::reconnect(1, &addrs, SEED, &opts(8)).expect("reconnect");
+    // Worker 0 sees the rejoin as the validated Hello frame, from 1.
+    let (from, hello) = t0
+        .recv_frame_timeout(TIMEOUT)
+        .expect("recv")
+        .expect("hello before timeout");
+    assert_eq!(from, 1);
+    let (kind, _) = dlion_core::messages::decode_frame(&hello).expect("valid frame");
+    assert_eq!(kind, KIND_HELLO);
+    // The re-wired link carries traffic both ways again.
+    t0.send_frame(1, frame(0, 1)).expect("send to rejoined");
+    let (from, f) = t1b
+        .recv_frame_timeout(TIMEOUT)
+        .expect("recv")
+        .expect("frame before timeout");
+    assert_eq!((from, body_of(&f)), (0, (0, 1)));
+    t1b.send_frame(0, frame(1, 2)).expect("send from rejoined");
+    let (from, f) = t0
+        .recv_frame_timeout(TIMEOUT)
+        .expect("recv")
+        .expect("frame before timeout");
+    assert_eq!((from, body_of(&f)), (1, (1, 2)));
+    drop(t2);
 }

@@ -26,29 +26,67 @@
 use dlion::core::report;
 use dlion::prelude::*;
 
-fn parse_system(s: &str) -> Option<SystemKind> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "baseline" => SystemKind::Baseline,
-        "ako" => SystemKind::Ako,
-        "gaia" => SystemKind::Gaia,
-        "hop" => SystemKind::Hop,
-        "dlion" => SystemKind::DLion,
-        "dlion-no-dbwu" => SystemKind::DLionNoDbwu,
-        "dlion-no-wu" => SystemKind::DLionNoWu,
-        other => {
-            if let Some(n) = other.strip_prefix("max") {
-                SystemKind::MaxNOnly(n.parse().ok()?)
-            } else if let Some(g) = other.strip_prefix("prague") {
-                SystemKind::Prague(g.trim_matches(|c| c == '(' || c == ')').parse().ok()?)
-            } else {
-                return None;
-            }
-        }
-    })
+#[derive(Debug)]
+struct Cli {
+    system: SystemKind,
+    env: EnvId,
+    duration: f64,
+    seed: u64,
+    lr: Option<f32>,
+    skew: Option<f64>,
+    gpu: bool,
+    trace_links: bool,
+    curve: bool,
+    csv: Option<String>,
+    trace_out: Option<String>,
+    profile: bool,
+    telemetry: bool,
 }
 
-fn parse_env(s: &str) -> Option<EnvId> {
-    EnvId::parse(s)
+fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
+    let mut cli = Cli {
+        system: SystemKind::DLion,
+        env: EnvId::HeteroSysA,
+        duration: 1500.0,
+        seed: 1,
+        lr: None,
+        skew: None,
+        gpu: false,
+        trace_links: false,
+        curve: false,
+        csv: None,
+        trace_out: None,
+        profile: false,
+        telemetry: false,
+    };
+    while let Some(flag) = args.next_flag() {
+        match flag.as_str() {
+            "--system" => {
+                cli.system = args.parse_with(&flag, |s| {
+                    SystemKind::parse(s).ok_or_else(|| format!("unknown system '{s}'"))
+                })?
+            }
+            "--env" => {
+                cli.env = args.parse_with(&flag, |s| {
+                    EnvId::parse(s).ok_or_else(|| format!("unknown environment '{s}'"))
+                })?
+            }
+            "--duration" => cli.duration = args.parse(&flag)?,
+            "--seed" => cli.seed = args.parse(&flag)?,
+            "--lr" => cli.lr = Some(args.parse(&flag)?),
+            "--skew" => cli.skew = Some(args.parse(&flag)?),
+            "--gpu" => cli.gpu = true,
+            "--trace-links" => cli.trace_links = true,
+            "--curve" => cli.curve = true,
+            "--csv" => cli.csv = Some(args.value(&flag)?),
+            "--trace-out" => cli.trace_out = Some(args.value(&flag)?),
+            "--profile" => cli.profile = true,
+            "--telemetry" => cli.telemetry = true,
+            "--help" | "-h" => return Err(UsageError::new(flag, "help requested")),
+            _ => return Err(UsageError::unknown(flag)),
+        }
+    }
+    Ok(cli)
 }
 
 fn usage() -> ! {
@@ -63,41 +101,24 @@ fn usage() -> ! {
 }
 
 fn main() {
-    let mut system = SystemKind::DLion;
-    let mut env = EnvId::HeteroSysA;
-    let mut duration = 1500.0f64;
-    let mut seed = 1u64;
-    let mut lr: Option<f32> = None;
-    let mut skew: Option<f64> = None;
-    let mut gpu = false;
-    let mut trace_links = false;
-    let mut curve = false;
-    let mut csv: Option<String> = None;
-    let mut trace_out: Option<String> = None;
-    let mut profile = false;
-    let mut telemetry = false;
-
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        let mut next = || args.next().unwrap_or_else(|| usage());
-        match a.as_str() {
-            "--system" => system = parse_system(&next()).unwrap_or_else(|| usage()),
-            "--env" => env = parse_env(&next()).unwrap_or_else(|| usage()),
-            "--duration" => duration = next().parse().unwrap_or_else(|_| usage()),
-            "--seed" => seed = next().parse().unwrap_or_else(|_| usage()),
-            "--lr" => lr = Some(next().parse().unwrap_or_else(|_| usage())),
-            "--skew" => skew = Some(next().parse().unwrap_or_else(|_| usage())),
-            "--gpu" => gpu = true,
-            "--trace-links" => trace_links = true,
-            "--curve" => curve = true,
-            "--csv" => csv = Some(next()),
-            "--trace-out" => trace_out = Some(next()),
-            "--profile" => profile = true,
-            "--telemetry" => telemetry = true,
-            "--help" | "-h" => usage(),
-            _ => usage(),
-        }
-    }
+    let Cli {
+        system,
+        env,
+        duration,
+        seed,
+        lr,
+        skew,
+        gpu,
+        trace_links,
+        curve,
+        csv,
+        trace_out,
+        profile,
+        telemetry,
+    } = parse_cli(Args::from_env()).unwrap_or_else(|e| {
+        eprintln!("dlion-sim: {e}");
+        usage();
+    });
 
     let cluster = if gpu {
         ClusterKind::Gpu
@@ -185,22 +206,23 @@ fn main() {
 mod tests {
     use super::*;
 
-    #[test]
-    fn system_parsing() {
-        assert_eq!(parse_system("dlion"), Some(SystemKind::DLion));
-        assert_eq!(parse_system("Baseline"), Some(SystemKind::Baseline));
-        assert_eq!(parse_system("dlion-no-wu"), Some(SystemKind::DLionNoWu));
-        assert_eq!(parse_system("max10"), Some(SystemKind::MaxNOnly(10.0)));
-        assert_eq!(parse_system("prague3"), Some(SystemKind::Prague(3)));
-        assert_eq!(parse_system("bogus"), None);
-        assert_eq!(parse_system("maxx"), None);
+    fn cli(list: &[&str]) -> Result<Cli, UsageError> {
+        parse_cli(Args::new(list.iter().map(|s| s.to_string())))
     }
 
     #[test]
-    fn env_parsing() {
-        assert_eq!(parse_env("homo-a"), Some(EnvId::HomoA));
-        assert_eq!(parse_env("HETERO_SYS_B"), Some(EnvId::HeteroSysB));
-        assert_eq!(parse_env("dynamic-sys-a"), Some(EnvId::DynamicSysA));
-        assert_eq!(parse_env("nowhere"), None);
+    fn flags_parse_through_shared_args() {
+        let c = cli(&["--system", "prague3", "--env", "dynamic-sys-a", "--gpu"]).unwrap();
+        assert_eq!(c.system, SystemKind::Prague(3));
+        assert_eq!(c.env, EnvId::DynamicSysA);
+        assert!(c.gpu);
+    }
+
+    #[test]
+    fn bad_values_name_the_flag() {
+        assert_eq!(cli(&["--system", "bogus"]).unwrap_err().flag, "--system");
+        assert_eq!(cli(&["--env", "nowhere"]).unwrap_err().flag, "--env");
+        assert_eq!(cli(&["--duration", "long"]).unwrap_err().flag, "--duration");
+        assert_eq!(cli(&["--what"]).unwrap_err().flag, "--what");
     }
 }

@@ -41,8 +41,8 @@ pub use dlion_tensor as tensor;
 /// The most common imports in one place.
 pub mod prelude {
     pub use dlion_core::{
-        run_env, run_with_models, ClusterRunner, DktConfig, DktMode, RunConfig, RunMetrics,
-        SystemKind, Workload,
+        run_env, run_with_models, Args, ClusterRunner, DktConfig, DktMode, FaultPlan, RunConfig,
+        RunMetrics, SystemKind, UsageError, Workload,
     };
     pub use dlion_microcloud::{ClusterKind, EnvId};
     pub use dlion_nn::{Dataset, Model, ModelSpec, Sgd};
