@@ -316,7 +316,7 @@ fn net() {
     let tcp_opts = dlion_net::TcpOpts {
         queue_cap: 4,
         establish_timeout: std::time::Duration::from_secs(30),
-        peer_timeout: None,
+        ..Default::default()
     };
     let mut mesh = loopback_mesh(2, 5, &tcp_opts).expect("mesh");
     let mut b = mesh.pop().expect("node 1");

@@ -67,6 +67,26 @@ pub fn compute_rcp(samples: &[(f64, f64)]) -> f64 {
     }
 }
 
+/// Derive an RCP from a measured throughput (samples/second), by
+/// synthesizing the probe curve [`compute_rcp`] fits: at rate `ρ`, a
+/// batch of `l` samples takes `l/ρ` seconds.
+///
+/// The live backend re-estimates RCPs from an EWMA of each worker's
+/// *actual* iteration throughput rather than re-running the startup
+/// profiling batches — profiling steps real wall time off the training
+/// loop and would perturb the very throughput being measured.
+pub fn rcp_from_rate(rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "throughput must be positive, got {rate}"
+    );
+    let samples: Vec<(f64, f64)> = PROFILE_LBS
+        .iter()
+        .map(|&l| (l as f64, l as f64 / rate))
+        .collect();
+    compute_rcp(&samples)
+}
+
 /// Split `gbs` across workers proportionally to their RCPs (Eq. 5), with
 /// largest-remainder rounding so the parts sum exactly to `gbs` and every
 /// worker gets at least 1 sample.
@@ -148,6 +168,23 @@ mod tests {
     fn rcp_degenerate_profile() {
         let rcp = compute_rcp(&[(8.0, 1.0), (16.0, 1.0), (32.0, 1.0)]);
         assert_eq!(rcp, 32.0);
+    }
+
+    #[test]
+    fn rcp_from_rate_is_monotone_and_deterministic() {
+        let slow = rcp_from_rate(100.0);
+        let fast = rcp_from_rate(400.0);
+        assert!(slow >= 1.0);
+        assert!(fast > slow, "{fast} vs {slow}");
+        // A pure throughput curve has no fixed overhead: RCP ≈ rate × unit.
+        assert!((slow / 100.0 - RCP_UNIT_SECS).abs() < 0.5, "{slow}");
+        assert_eq!(rcp_from_rate(123.456), rcp_from_rate(123.456));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rcp_from_rate_rejects_zero() {
+        rcp_from_rate(0.0);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! arrival, model synchronization, and batch-size update (Fig. 10).
 
 pub mod args;
+pub mod clock;
 pub mod cluster;
 pub mod config;
 pub mod dkt;
@@ -49,6 +50,7 @@ pub mod weighted;
 pub mod worker;
 
 pub use args::{Args, UsageError};
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use cluster::{build_cluster, ClusterInit};
 pub use config::{RunConfig, SystemKind, Workload};
 pub use dkt::{DktConfig, DktMode, DktState};

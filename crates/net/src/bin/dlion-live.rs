@@ -8,6 +8,7 @@
 //!            [--train N] [--test N] [--lr F] [--queue-cap N]
 //!            [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]
 //!            [--peer-timeout S] [--kill W@I[+R],...]
+//!            [--gbs-adjust-period S] [--gbs-static]
 //!            [--trace-out FILE] [--telemetry] [--csv FILE]
 //! ```
 //!
@@ -57,6 +58,7 @@ struct Cli {
     train: Option<usize>,
     test: Option<usize>,
     lr: Option<f32>,
+    gbs_adjust_period: Option<f64>,
     opts: LiveOpts,
     trace_out: Option<String>,
     telemetry: bool,
@@ -74,6 +76,7 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
         train: None,
         test: None,
         lr: None,
+        gbs_adjust_period: None,
         opts: LiveOpts::default(),
         trace_out: None,
         telemetry: false,
@@ -108,6 +111,8 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
                 cli.opts.peer_timeout = Some(Duration::from_secs_f64(args.parse(&flag)?))
             }
             "--kill" => cli.opts.fault = args.parse_with(&flag, FaultPlan::parse)?,
+            "--gbs-adjust-period" => cli.gbs_adjust_period = Some(args.parse(&flag)?),
+            "--gbs-static" => cli.opts.gbs_static = true,
             "--trace-out" => cli.trace_out = Some(args.value(&flag)?),
             "--telemetry" => cli.telemetry = true,
             "--csv" => cli.csv = Some(args.value(&flag)?),
@@ -153,6 +158,7 @@ fn usage() -> ! {
          \x20                 [--peers HOST:PORT,...] [--port-base P] [--train N] [--test N] [--lr F]\n\
          \x20                 [--queue-cap N] [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]\n\
          \x20                 [--peer-timeout S] [--kill W@I[+R],...]\n\
+         \x20                 [--gbs-adjust-period S] [--gbs-static]\n\
          \x20                 [--trace-out FILE] [--telemetry] [--csv FILE]"
     );
     std::process::exit(2);
@@ -175,6 +181,9 @@ fn main() {
     }
     if let Some(v) = cli.lr {
         cfg.lr = v;
+    }
+    if let Some(v) = cli.gbs_adjust_period {
+        cfg.gbs.adjust_period_secs = v;
     }
     let opts = &cli.opts;
 
@@ -264,6 +273,12 @@ fn main() {
                 }
                 if !opts.fault.is_empty() {
                     cmd.arg("--kill").arg(opts.fault.render());
+                }
+                if let Some(p) = cli.gbs_adjust_period {
+                    cmd.arg("--gbs-adjust-period").arg(p.to_string());
+                }
+                if opts.gbs_static {
+                    cmd.arg("--gbs-static");
                 }
                 if cli.telemetry {
                     cmd.arg("--telemetry");
@@ -369,5 +384,17 @@ mod tests {
     fn unknown_system_names_the_flag() {
         let e = cli(&["--system", "bogus"]).unwrap_err();
         assert_eq!(e.flag, "--system");
+    }
+
+    #[test]
+    fn gbs_flags_parse() {
+        let c = cli(&["--gbs-adjust-period", "0.25", "--gbs-static"]).unwrap();
+        assert_eq!(c.gbs_adjust_period, Some(0.25));
+        assert!(c.opts.gbs_static);
+        let d = cli(&[]).unwrap();
+        assert_eq!(d.gbs_adjust_period, None);
+        assert!(!d.opts.gbs_static);
+        let e = cli(&["--gbs-adjust-period", "soon"]).unwrap_err();
+        assert_eq!(e.flag, "--gbs-adjust-period");
     }
 }

@@ -8,6 +8,7 @@
 //!              [--train N] [--test N] [--lr F] [--queue-cap N]
 //!              [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]
 //!              [--peer-timeout S] [--kill W@I[+R],...]
+//!              [--gbs-adjust-period S] [--gbs-static]
 //!              [--env-label L] [--trace-out FILE] [--telemetry]
 //! ```
 //!
@@ -33,7 +34,8 @@ use dlion_net::{
     WorkerEnv,
 };
 use std::net::{SocketAddr, TcpListener};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 #[derive(Debug)]
 struct Cli {
@@ -44,6 +46,7 @@ struct Cli {
     train: Option<usize>,
     test: Option<usize>,
     lr: Option<f32>,
+    gbs_adjust_period: Option<f64>,
     opts: LiveOpts,
     env_label: String,
     trace_out: Option<String>,
@@ -63,6 +66,7 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
         train: None,
         test: None,
         lr: None,
+        gbs_adjust_period: None,
         opts: LiveOpts::default(),
         env_label: "live/procs".to_string(),
         trace_out: None,
@@ -93,6 +97,8 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
                 cli.opts.peer_timeout = Some(Duration::from_secs_f64(args.parse(&flag)?))
             }
             "--kill" => cli.opts.fault = args.parse_with(&flag, FaultPlan::parse)?,
+            "--gbs-adjust-period" => cli.gbs_adjust_period = Some(args.parse(&flag)?),
+            "--gbs-static" => cli.opts.gbs_static = true,
             "--env-label" => cli.env_label = args.value(&flag)?,
             "--trace-out" => cli.trace_out = Some(args.value(&flag)?),
             "--telemetry" => cli.telemetry = true,
@@ -138,7 +144,8 @@ fn usage() -> ! {
          \x20                   [--system NAME] [--seed N] [--iters K] [--eval-every K]\n\
          \x20                   [--train N] [--test N] [--lr F] [--queue-cap N] [--bw-mbps F]\n\
          \x20                   [--assumed-iter-time S] [--stall-secs S] [--peer-timeout S]\n\
-         \x20                   [--kill W@I[+R],...] [--env-label L] [--trace-out FILE] [--telemetry]"
+         \x20                   [--kill W@I[+R],...] [--gbs-adjust-period S] [--gbs-static]\n\
+         \x20                   [--env-label L] [--trace-out FILE] [--telemetry]"
     );
     std::process::exit(2);
 }
@@ -161,6 +168,9 @@ fn main() {
     if let Some(v) = cli.lr {
         cfg.lr = v;
     }
+    if let Some(v) = cli.gbs_adjust_period {
+        cfg.gbs.adjust_period_secs = v;
+    }
 
     dlion_telemetry::init_from_env("info");
     if let Some(path) = &cli.trace_out {
@@ -175,6 +185,7 @@ fn main() {
         queue_cap: cli.opts.queue_cap,
         establish_timeout: cli.opts.stall_timeout,
         peer_timeout: cli.opts.peer_timeout,
+        clock: Arc::clone(&cli.opts.clock),
     };
     let mut transport = TcpTransport::establish(me, listener, &cli.addrs, cli.seed, &tcp_opts)
         .unwrap_or_else(|e| {
@@ -200,7 +211,7 @@ fn main() {
         neighbors: neighbors[me].clone(),
         total_params,
         bytes_per_param,
-        epoch: Instant::now(),
+        clock: Arc::clone(&cli.opts.clock),
         env_label: cli.env_label,
     };
     let outcome = run_worker(worker, &env, &mut transport).unwrap_or_else(|e| {

@@ -60,8 +60,10 @@
 //!   been applied — no message can be lost by exiting after the barrier.
 
 use crate::{LiveError, KIND_ACK, KIND_CATCHUP, KIND_DONE, KIND_HELLO, KIND_LEAVE, KIND_RCP};
+use dlion_core::clock::{Clock, SystemClock};
 use dlion_core::config::RunConfig;
-use dlion_core::lbs::{compute_rcp, partition_gbs, PROFILE_LBS};
+use dlion_core::gbs::GbsController;
+use dlion_core::lbs::{compute_rcp, partition_gbs, rcp_from_rate, PROFILE_LBS};
 use dlion_core::messages::{decode_frame, encode_frame, GradData, GradMsg, Payload};
 use dlion_core::transport::send_payload;
 use dlion_core::weighted::update_factor;
@@ -71,16 +73,23 @@ use dlion_core::{ExchangeTransport, FaultPlan, StrategyCtx, TransportError};
 use dlion_nn::Dataset;
 use dlion_telemetry::event;
 use dlion_tensor::{DetRng, Tensor};
-use std::collections::VecDeque;
-use std::time::{Duration, Instant};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// How long a blocked worker waits for one frame before re-checking its
 /// stall deadline.
 const POLL: Duration = Duration::from_millis(20);
 
+/// Smoothing factor of the per-worker throughput EWMA feeding the live
+/// GBS/LBS controller: heavy enough smoothing to ride out scheduler
+/// jitter, light enough to track a genuine capacity change within a few
+/// adjustment periods.
+const EWMA_ALPHA: f64 = 0.2;
+
 /// Knobs of a live run that have no [`RunConfig`] counterpart — they
 /// describe the *execution*, not the training problem.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct LiveOpts {
     /// Iterations each worker runs before entering the shutdown barrier.
     pub iters: u64,
@@ -108,6 +117,15 @@ pub struct LiveOpts {
     /// Per-peer receive timeout for the TCP transport (`None` = never) —
     /// surfaces a wedged-but-connected peer as a departure.
     pub peer_timeout: Option<Duration>,
+    /// Freeze the GBS at its initial value (`--gbs-static`) even for
+    /// dynamic-batching systems — the pre-controller live behaviour.
+    /// Startup profiling still assigns proportional LBS shares.
+    pub gbs_static: bool,
+    /// The cluster's time source. [`SystemClock`] for real runs; tests
+    /// inject a [`dlion_core::ManualClock`] so timing-driven logic (GBS
+    /// periods, stall deadlines, rejoin delays) runs deterministically
+    /// and without real sleeps.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for LiveOpts {
@@ -121,7 +139,25 @@ impl Default for LiveOpts {
             stall_timeout: Duration::from_secs(60),
             fault: FaultPlan::default(),
             peer_timeout: None,
+            gbs_static: false,
+            clock: Arc::new(SystemClock::new()),
         }
+    }
+}
+
+impl std::fmt::Debug for LiveOpts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveOpts")
+            .field("iters", &self.iters)
+            .field("eval_every", &self.eval_every)
+            .field("queue_cap", &self.queue_cap)
+            .field("bw_mbps", &self.bw_mbps)
+            .field("assumed_iter_time", &self.assumed_iter_time)
+            .field("stall_timeout", &self.stall_timeout)
+            .field("fault", &self.fault)
+            .field("peer_timeout", &self.peer_timeout)
+            .field("gbs_static", &self.gbs_static)
+            .finish_non_exhaustive()
     }
 }
 
@@ -136,8 +172,9 @@ pub struct WorkerEnv<'a> {
     pub neighbors: Vec<usize>,
     pub total_params: usize,
     pub bytes_per_param: f64,
-    /// Cluster-wide time origin: event timestamps are seconds since this.
-    pub epoch: Instant,
+    /// Cluster-wide time source: event timestamps are its `now()`, whose
+    /// epoch is the clock's creation. All workers share one clock.
+    pub clock: Arc<dyn Clock>,
     /// Run label, e.g. `live/3w`; the worker appends `/w{id}` for its
     /// telemetry run scope so per-scope sequence numbers stay monotonic.
     pub env_label: String,
@@ -180,6 +217,16 @@ pub struct WorkerOutcome {
     /// outcome is excluded from cluster-level convergence metrics.
     pub departed: bool,
     pub evals: Vec<EvalPoint>,
+    /// Every GBS change this worker's controller applied, as
+    /// `(nominal round time, new GBS)` — the live analogue of
+    /// [`dlion_core::RunMetrics::gbs_trace`]. The time is the round's
+    /// scheduled boundary `round × adjust_period`, not the wall instant
+    /// the exchange completed, so identical schedules produce
+    /// bit-identical traces.
+    pub gbs_trace: Vec<(f64, usize)>,
+    /// Every LBS repartition, as `(nominal time, per-worker shares)`;
+    /// a worker that was not a member of the round holds share 0.
+    pub lbs_trace: Vec<(f64, Vec<usize>)>,
     /// Final weight tensors, when `cfg.capture_weights` is on.
     pub final_weights: Option<Vec<Tensor>>,
 }
@@ -219,6 +266,31 @@ impl WorkerOutcome {
             s.push_str(",\"loss\":");
             f64_into(e.loss, &mut s);
             s.push('}');
+        }
+        s.push_str("],\"gbs_trace\":[");
+        for (i, (t, g)) in self.gbs_trace.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            f64_into(*t, &mut s);
+            s.push_str(&format!(",{g}]"));
+        }
+        s.push_str("],\"lbs_trace\":[");
+        for (i, (t, parts)) in self.lbs_trace.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            f64_into(*t, &mut s);
+            s.push_str(",[");
+            for (j, p) in parts.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&p.to_string());
+            }
+            s.push_str("]]");
         }
         s.push_str("]}");
         s
@@ -267,6 +339,35 @@ impl WorkerOutcome {
                 loss: num("loss")?,
             });
         }
+        use dlion_telemetry::json::Json;
+        if let Some(Json::Arr(rows)) = v.get("gbs_trace") {
+            for row in rows {
+                let pair = match row {
+                    Json::Arr(p) if p.len() == 2 => p,
+                    _ => return Err("bad gbs_trace row".into()),
+                };
+                let t = pair[0].as_f64().ok_or("bad gbs_trace time")?;
+                let g = pair[1].as_f64().ok_or("bad gbs_trace value")?;
+                out.gbs_trace.push((t, g as usize));
+            }
+        }
+        if let Some(Json::Arr(rows)) = v.get("lbs_trace") {
+            for row in rows {
+                let pair = match row {
+                    Json::Arr(p) if p.len() == 2 => p,
+                    _ => return Err("bad lbs_trace row".into()),
+                };
+                let t = pair[0].as_f64().ok_or("bad lbs_trace time")?;
+                let Json::Arr(ps) = &pair[1] else {
+                    return Err("bad lbs_trace shares".into());
+                };
+                let mut parts = Vec::with_capacity(ps.len());
+                for p in ps {
+                    parts.push(p.as_f64().ok_or("bad lbs_trace share")? as usize);
+                }
+                out.lbs_trace.push((t, parts));
+            }
+        }
         Ok(out)
     }
 }
@@ -279,15 +380,66 @@ fn u64_body(body: &[u8], from: usize) -> Result<u64, LiveError> {
     Ok(u64::from_le_bytes(bytes))
 }
 
+/// Encode an RCP frame body: the adjustment round it belongs to, the
+/// sender's iteration when the round was opened, and the RCP itself.
+/// Round 0 is the startup profiling exchange.
+fn rcp_body(round: u64, at_iter: u64, rcp: f64) -> [u8; 24] {
+    let mut b = [0u8; 24];
+    b[0..8].copy_from_slice(&round.to_le_bytes());
+    b[8..16].copy_from_slice(&at_iter.to_le_bytes());
+    b[16..24].copy_from_slice(&rcp.to_le_bytes());
+    b
+}
+
+/// Decode [`rcp_body`].
+fn parse_rcp(body: &[u8], from: usize) -> Result<(u64, u64, f64), LiveError> {
+    if body.len() != 24 {
+        return Err(LiveError::Protocol(format!(
+            "bad rcp body from {from}: {} bytes",
+            body.len()
+        )));
+    }
+    let round = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    let at_iter = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    let rcp = f64::from_le_bytes(body[16..24].try_into().unwrap());
+    Ok((round, at_iter, rcp))
+}
+
 struct LiveWorker<'a, 'b> {
     worker: Worker,
     env: &'b WorkerEnv<'a>,
     transport: &'b mut dyn ExchangeTransport,
     n: usize,
     me: usize,
-    /// Live GBS: static at `initial_lbs * n`. The GBS growth controller is
-    /// simulator-only for now (see ROADMAP "Open items").
+    /// The GBS currently in force: `initial_lbs * n` until the growth
+    /// controller (below) adjusts it.
     gbs: usize,
+    /// The §3.2 GBS growth controller. `None` freezes the GBS at its
+    /// initial value: non-dynamic-batching systems and `--gbs-static`.
+    /// Every member runs its own copy; agreement holds because
+    /// [`GbsController::maybe_adjust`] is a pure function of its call
+    /// count, and the round protocol (see [`LiveWorker::gbs_adjust_round`])
+    /// makes every member execute the same rounds.
+    gbs_ctl: Option<GbsController>,
+    /// Adjustment rounds completed so far (round `r` has nominal time
+    /// `r × adjust_period` on the training clock; round 0 is startup).
+    gbs_round: u64,
+    /// The training clock: accumulated per-iteration wall times (`dt`).
+    /// The adjustment schedule runs on this rather than raw `clock.now()`
+    /// so a run's round-to-iteration alignment is a pure function of its
+    /// iteration times — pinnable via `assumed_iter_time`.
+    train_secs: f64,
+    /// EWMA of this worker's measured throughput, in samples/sec;
+    /// `0` until the first iteration completes.
+    ewma_rate: f64,
+    /// Round-tagged RCPs received from peers; rounds may pre-arrive
+    /// (a faster peer opened a round we have not reached yet).
+    rcp_pending: BTreeMap<u64, Vec<Option<f64>>>,
+    /// The contributor set of the last repartition; a membership change
+    /// (departure, rejoin) forces a repartition even on a round where
+    /// the GBS itself did not move — the departed worker's share must be
+    /// re-split over the survivors.
+    last_contributors: Vec<usize>,
     done: Vec<bool>,
     /// Which peers are currently members of the run. A departed peer is
     /// demoted everywhere (sync gating, DKT, sends, the Done barrier);
@@ -319,7 +471,7 @@ struct LiveWorker<'a, 'b> {
 
 impl LiveWorker<'_, '_> {
     fn now(&self) -> f64 {
-        self.env.epoch.elapsed().as_secs_f64()
+        self.env.clock.now()
     }
 
     /// The averaging denominator for round `round`: how many workers (and
@@ -501,10 +653,14 @@ impl LiveWorker<'_, '_> {
                     self.promote(from)
                 }
             }
+            KIND_RCP => {
+                let (round, _, rcp) = parse_rcp(body, from)?;
+                self.note_rcp(round, from, rcp);
+                Ok(())
+            }
             // Catchup replies are consumed by the rejoin loop; a stray
             // one (we took another donor's offer first) is ignored.
-            // Rcp frames are consumed by the startup round.
-            KIND_CATCHUP | KIND_RCP => Ok(()),
+            KIND_CATCHUP => Ok(()),
             _ => {
                 let payload = Payload::from_frame(&frame)?;
                 self.on_payload(from, payload, during_shutdown)
@@ -617,7 +773,7 @@ impl LiveWorker<'_, '_> {
         let me = self.me;
         let n = self.n;
         let cfg = self.env.cfg;
-        let t0 = Instant::now();
+        let t0 = self.env.clock.now();
         let batch = self.worker.sample_batch();
         let (x, y) = self
             .env
@@ -633,10 +789,19 @@ impl LiveWorker<'_, '_> {
         for g in self.worker.grads.iter_mut() {
             g.clip_inplace(cfg.grad_clip);
         }
-        let measured = t0.elapsed().as_secs_f64().max(1e-6);
+        let measured = (self.env.clock.now() - t0).max(1e-6);
         let dt = self.env.opts.assumed_iter_time.unwrap_or(measured);
         self.worker.last_iter_time = dt;
         self.out.busy_secs += measured;
+        // Feed the live batching controller: the training clock schedules
+        // adjustment rounds, the throughput EWMA becomes our RCP.
+        self.train_secs += dt;
+        let rate = self.worker.lbs as f64 / dt;
+        self.ewma_rate = if self.ewma_rate > 0.0 {
+            EWMA_ALPHA * rate + (1.0 - EWMA_ALPHA) * self.ewma_rate
+        } else {
+            rate
+        };
         event!(self.now(), w: me, "iter_start";
             "iter" => self.worker.iteration, "lbs" => self.worker.lbs,
             "loss" => loss, "dt" => measured);
@@ -775,9 +940,9 @@ impl LiveWorker<'_, '_> {
                 grads,
                 ..
             } = &mut self.worker;
-            let t0 = Instant::now();
+            let t0 = self.env.clock.now();
             let _ = model.forward_backward_scratch(x, &y, scratch, grads);
-            samples.push((lbs as f64, t0.elapsed().as_secs_f64().max(1e-6)));
+            samples.push((lbs as f64, (self.env.clock.now() - t0).max(1e-6)));
         }
         let rcp = compute_rcp(&samples);
         let mut rcps = vec![0.0f64; self.n];
@@ -785,23 +950,28 @@ impl LiveWorker<'_, '_> {
         let mut have = 1usize;
         for j in 0..self.n {
             if j != self.me {
-                self.send_control(j, KIND_RCP, &rcp.to_le_bytes(), false)?;
+                self.send_control(j, KIND_RCP, &rcp_body(0, 0, rcp), false)?;
             }
         }
-        let mut deadline = Instant::now() + self.env.opts.stall_timeout;
+        let stall = self.env.opts.stall_timeout.as_secs_f64();
+        let mut deadline = self.env.clock.now() + stall;
         while have < (0..self.n).filter(|&j| self.active[j]).count() {
             match self.recv(POLL)? {
                 Some((from, frame)) => {
-                    deadline = Instant::now() + self.env.opts.stall_timeout;
+                    deadline = self.env.clock.now() + stall;
                     let (kind, body) = decode_frame(&frame)?;
                     if kind == KIND_RCP {
-                        let bytes: [u8; 8] = body.try_into().map_err(|_| {
-                            LiveError::Protocol(format!("bad rcp body from {from}"))
-                        })?;
+                        let (round, _, peer_rcp) = parse_rcp(body, from)?;
+                        if round > 0 {
+                            // A fast peer already opened a periodic round;
+                            // park it for the main loop.
+                            self.note_rcp(round, from, peer_rcp);
+                            continue;
+                        }
                         if rcps[from] == 0.0 {
                             have += 1;
                         }
-                        rcps[from] = f64::from_le_bytes(bytes);
+                        rcps[from] = peer_rcp;
                     } else if kind == KIND_LEAVE {
                         let k = u64_body(body, from)?;
                         self.note_departed(from, Some(k));
@@ -810,7 +980,7 @@ impl LiveWorker<'_, '_> {
                     }
                 }
                 None => {
-                    if Instant::now() > deadline {
+                    if self.env.clock.now() > deadline {
                         return Err(LiveError::Stalled(format!(
                             "worker {} got {have}/{} RCPs",
                             self.me, self.n
@@ -831,8 +1001,186 @@ impl LiveWorker<'_, '_> {
         let parts = partition_gbs(self.gbs, &rcps);
         self.worker.lbs = parts[self.me];
         self.lbs_of = parts.clone();
+        self.last_contributors = (0..self.n).filter(|&j| self.active[j]).collect();
+        self.out.lbs_trace.push((0.0, parts.clone()));
         event!(self.now(), w: self.me, "lbs_repartition";
-            "gbs" => self.gbs, "lbs" => parts[self.me]);
+            "gbs" => self.gbs, "lbs" => parts[self.me], "round" => 0u64);
+        Ok(())
+    }
+
+    /// Record a peer's RCP for a periodic adjustment round. Rounds we have
+    /// already completed (including startup's round 0) are stale; rounds
+    /// ahead of us pre-arrive when a faster peer opens them first.
+    fn note_rcp(&mut self, round: u64, from: usize, rcp: f64) {
+        if self.gbs_ctl.is_none() || round <= self.gbs_round {
+            return;
+        }
+        let n = self.n;
+        self.rcp_pending
+            .entry(round)
+            .or_insert_with(|| vec![None; n])[from] = Some(rcp);
+    }
+
+    /// Must peer `j` answer a round triggered at local iteration
+    /// `trigger_iter`? The `departed_at` ledger — seeded from the fault
+    /// plan — decides, so participation under a kill plan is a pure
+    /// function of the plan, not of Leave-frame timing.
+    fn rcp_expected(&self, j: usize, trigger_iter: u64) -> bool {
+        j != self.me
+            && self.active[j]
+            && !self.done[j]
+            && self.departed_at[j].is_none_or(|k| trigger_iter < k)
+    }
+
+    /// Execute every adjustment round whose boundary the *local* training
+    /// clock has crossed. A peer's RCP for a not-yet-due round stays parked
+    /// in `rcp_pending` until we cross the boundary ourselves: opening a
+    /// round early (at whatever iteration the echo happened to arrive)
+    /// would make the trigger iteration — and hence the EWMA sample fed
+    /// into our broadcast RCP — depend on real-time thread interleaving,
+    /// destroying run-to-run determinism under a pinned iteration time.
+    /// The opener blocks in its collect loop (still serving frames), so a
+    /// slower peer keeps stepping until its own clock crosses and answers.
+    fn run_due_gbs_rounds(&mut self) -> Result<(), LiveError> {
+        if self.gbs_ctl.is_none() {
+            return Ok(());
+        }
+        loop {
+            let next = self.gbs_round + 1;
+            if self.train_secs < next as f64 * self.env.cfg.gbs.adjust_period_secs {
+                return Ok(());
+            }
+            // A peer may have raced ahead and opened a later round; once we
+            // are due at all, fast-forward to the newest round seen so the
+            // cluster converges on one round instead of trading stale ones.
+            let target = self
+                .rcp_pending
+                .keys()
+                .next_back()
+                .copied()
+                .filter(|&r| self.train_secs >= r as f64 * self.env.cfg.gbs.adjust_period_secs)
+                .map_or(next, |r| r.max(next));
+            self.gbs_adjust_round(target)?;
+        }
+    }
+
+    /// One GBS adjustment round (§3.2, live): broadcast our RCP — derived
+    /// from the measured-throughput EWMA — collect every expected peer's,
+    /// advance the growth controller, and repartition the new GBS over the
+    /// round's contributors. `round` may be several periods ahead of
+    /// `gbs_round` (a long iteration crossed several boundaries, or a
+    /// stalled peer was skipped over); the controller is
+    /// fast-forwarded through the skipped boundaries so every member's GBS
+    /// stays a pure function of the round number.
+    fn gbs_adjust_round(&mut self, round: u64) -> Result<(), LiveError> {
+        let period = self.env.cfg.gbs.adjust_period_secs;
+        let trigger_iter = self.worker.iteration;
+        // Rounds only trigger after at least one step, so the EWMA is
+        // primed. Peers use the broadcast value verbatim — that is how
+        // every member partitions from the same RCP vector.
+        let my_rcp = rcp_from_rate(self.ewma_rate);
+        for j in 0..self.n {
+            if self.rcp_expected(j, trigger_iter) {
+                self.send_control(j, KIND_RCP, &rcp_body(round, trigger_iter, my_rcp), true)?;
+            }
+        }
+        // Blocking collect: the round's partition must not be computed
+        // until every expected peer has answered (departures and Dones
+        // observed mid-collect shrink the expectation). The stall deadline
+        // only breaks genuinely wedged clusters.
+        let stall = self.env.opts.stall_timeout.as_secs_f64();
+        let mut deadline = self.env.clock.now() + stall;
+        loop {
+            let entry = self.rcp_pending.get(&round);
+            let missing = (0..self.n).any(|j| {
+                self.rcp_expected(j, trigger_iter) && entry.is_none_or(|e| e[j].is_none())
+            });
+            if !missing {
+                break;
+            }
+            match self.recv(POLL)? {
+                Some((from, frame)) => {
+                    deadline = self.env.clock.now() + stall;
+                    self.handle_frame(from, frame, false)?;
+                }
+                None => {
+                    if self.env.clock.now() > deadline {
+                        break;
+                    }
+                }
+            }
+        }
+        // Contributors: everyone whose RCP we hold and whom the ledger
+        // still counts at this round — plus ourselves under the same
+        // ledger test, so every member derives the round's share list
+        // from the plan-seeded ledger alone, never from frame timing.
+        let entry = self
+            .rcp_pending
+            .remove(&round)
+            .unwrap_or_else(|| vec![None; self.n]);
+        let contributors: Vec<usize> = (0..self.n)
+            .filter(|&j| {
+                (j == self.me || entry[j].is_some())
+                    && self.departed_at[j].is_none_or(|k| trigger_iter < k)
+            })
+            .collect();
+
+        // Fast-forward the controller over every boundary up to `round`,
+        // recording changes at their *nominal* times (`r × period`) — the
+        // trace is bit-identical across runs and transports.
+        let ctl = self.gbs_ctl.as_mut().expect("round requires a controller");
+        let mut changed = false;
+        while self.gbs_round < round {
+            self.gbs_round += 1;
+            let t = self.gbs_round as f64 * period;
+            let before = ctl.phase();
+            if let Some(new_gbs) = ctl.maybe_adjust() {
+                self.gbs = new_gbs;
+                changed = true;
+                self.out.gbs_trace.push((t, new_gbs));
+                event!(self.env.clock.now(), w: self.me, "gbs_adjust";
+                    "gbs" => new_gbs, "round" => self.gbs_round, "t" => t);
+            }
+            let after = ctl.phase();
+            if after != before {
+                event!(self.env.clock.now(), w: self.me, "gbs_phase";
+                    "from" => format!("{before:?}"), "to" => format!("{after:?}"),
+                    "gbs" => ctl.gbs(), "round" => self.gbs_round);
+            }
+        }
+
+        // Repartition when the GBS moved or the membership did (a departed
+        // worker's share must be re-split over the survivors even on a
+        // round where the GBS held still).
+        if !contributors.is_empty() && (changed || contributors != self.last_contributors) {
+            let rcps: Vec<f64> = contributors
+                .iter()
+                .map(|&j| {
+                    if j == self.me {
+                        my_rcp
+                    } else {
+                        entry[j].expect("contributors hold an entry")
+                    }
+                })
+                .collect();
+            let parts = partition_gbs(self.gbs, &rcps);
+            let mut row = vec![0usize; self.n];
+            for (slot, &j) in contributors.iter().enumerate() {
+                row[j] = parts[slot];
+                self.lbs_of[j] = parts[slot];
+            }
+            if contributors.contains(&self.me) {
+                self.worker.lbs = row[self.me];
+            }
+            event!(self.env.clock.now(), w: self.me, "lbs_repartition";
+                "gbs" => self.gbs, "lbs" => row[self.me], "round" => round,
+                "members" => contributors.len());
+            self.out.lbs_trace.push((round as f64 * period, row));
+        }
+        self.last_contributors = contributors;
+        // Anything at or below the completed round is stale now.
+        let done_round = self.gbs_round;
+        self.rcp_pending.retain(|&r, _| r > done_round);
         Ok(())
     }
 
@@ -867,9 +1215,10 @@ impl LiveWorker<'_, '_> {
     fn await_rejoin(&mut self, delay: Duration) -> Result<bool, LiveError> {
         // Dead time: discard traffic, but keep liveness bookkeeping so
         // the give-up checks below are accurate.
-        let until = Instant::now() + delay;
-        while Instant::now() < until {
-            let left = until.saturating_duration_since(Instant::now()).min(POLL);
+        let clock = Arc::clone(&self.env.clock);
+        let until = clock.now() + delay.as_secs_f64();
+        while clock.now() < until {
+            let left = Duration::from_secs_f64((until - clock.now()).max(0.0)).min(POLL);
             if let Some((from, frame)) = self.recv(left)? {
                 let (kind, body) = decode_frame(&frame)?;
                 match kind {
@@ -896,9 +1245,10 @@ impl LiveWorker<'_, '_> {
         event!(self.now(), w: self.me, "rejoin_hello"; "iter" => self.worker.iteration);
 
         // Wait for the first Catchup invitation.
-        let deadline = Instant::now() + self.env.opts.stall_timeout;
+        let stall = self.env.opts.stall_timeout.as_secs_f64();
+        let deadline = clock.now() + stall;
         let (donor, target) = loop {
-            if Instant::now() > deadline || self.all_peers_finished() {
+            if clock.now() > deadline || self.all_peers_finished() {
                 return Ok(false);
             }
             if let Some((from, frame)) = self.recv(POLL)? {
@@ -917,9 +1267,9 @@ impl LiveWorker<'_, '_> {
 
         // Pull the donor's full weights (the regular DKT transfer path).
         self.send(donor, &Payload::DktRequest, true)?;
-        let deadline = Instant::now() + self.env.opts.stall_timeout;
+        let deadline = clock.now() + stall;
         loop {
-            if Instant::now() > deadline || self.all_peers_finished() {
+            if clock.now() > deadline || self.all_peers_finished() {
                 return Ok(false);
             }
             let Some((from, frame)) = self.recv(POLL)? else {
@@ -1011,8 +1361,24 @@ pub fn run_worker(
     }
     let mut pending_kill = env.opts.fault.kill_of(me);
 
+    // Same construction as the simulator's (`ClusterRunner::new`), with
+    // one extra gate: `--gbs-static` freezes the GBS at its initial value
+    // while keeping startup profiling — the pre-controller behaviour.
+    let gbs_ctl = (env.cfg.system.dynamic_batching() && !env.opts.gbs_static).then(|| {
+        GbsController::new(
+            env.cfg.initial_lbs * n,
+            env.cfg.workload.train_size,
+            env.cfg.gbs,
+        )
+    });
     let mut lw = LiveWorker {
         gbs: env.cfg.initial_lbs * n,
+        gbs_ctl,
+        gbs_round: 0,
+        train_secs: 0.0,
+        ewma_rate: 0.0,
+        rcp_pending: BTreeMap::new(),
+        last_contributors: Vec::new(),
         done: vec![false; n],
         active: vec![true; n],
         departed_at,
@@ -1038,14 +1404,20 @@ pub fn run_worker(
         lw.handle_frame(from, frame, false)?;
     }
 
-    let mut last_progress = Instant::now();
+    let stall = env.opts.stall_timeout.as_secs_f64();
+    let mut last_progress = env.clock.now();
     loop {
         // Apply everything that has arrived before deciding to compute —
         // the freshest peer state the transport can give us.
         while let Some((from, frame)) = lw.poll()? {
             lw.handle_frame(from, frame, false)?;
-            last_progress = Instant::now();
+            last_progress = env.clock.now();
         }
+        // Any adjustment round that is due (training clock crossed a
+        // boundary, or a peer opened one — its RCP just arrived above)
+        // runs to completion before the next compute, so the new LBS is
+        // in force for it.
+        lw.run_due_gbs_rounds()?;
         if let Some(kill) = pending_kill {
             if lw.worker.iteration >= kill.at_iter {
                 pending_kill = None;
@@ -1057,7 +1429,14 @@ pub fn run_worker(
                 if !rejoined {
                     return Ok(lw.finish_departed());
                 }
-                last_progress = Instant::now();
+                // A rejoined backup member opens no further batching
+                // rounds: every survivor's ledger excludes it from RCP
+                // exchange, so a stale round it opened would block on
+                // answers nobody sends. Its LBS stays frozen at the
+                // pre-departure share.
+                lw.gbs_ctl = None;
+                lw.rcp_pending.clear();
+                last_progress = env.clock.now();
                 continue;
             }
         }
@@ -1071,15 +1450,15 @@ pub fn run_worker(
             // canonical order (gating says those rounds are complete).
             lw.flush_deferred(false, false)?;
             lw.step()?;
-            last_progress = Instant::now();
+            last_progress = env.clock.now();
         } else {
             match lw.recv(POLL)? {
                 Some((from, frame)) => {
                     lw.handle_frame(from, frame, false)?;
-                    last_progress = Instant::now();
+                    last_progress = env.clock.now();
                 }
                 None => {
-                    if last_progress.elapsed() > env.opts.stall_timeout {
+                    if env.clock.now() - last_progress > stall {
                         return Err(LiveError::Stalled(format!(
                             "worker {me} blocked at iteration {} under {policy:?}",
                             lw.worker.iteration
@@ -1101,15 +1480,15 @@ pub fn run_worker(
     }
     lw.done[me] = true;
     event!(lw.now(), w: me, "barrier_enter"; "iter" => lw.worker.iteration);
-    let mut deadline = Instant::now() + env.opts.stall_timeout;
+    let mut deadline = env.clock.now() + stall;
     while !(0..n).all(|j| lw.done[j] || !lw.active[j]) {
         match lw.recv(POLL) {
             Ok(Some((from, frame))) => {
                 lw.handle_frame(from, frame, true)?;
-                deadline = Instant::now() + env.opts.stall_timeout;
+                deadline = env.clock.now() + stall;
             }
             Ok(None) => {
-                if Instant::now() > deadline {
+                if env.clock.now() > deadline {
                     let missing: Vec<usize> =
                         (0..n).filter(|&j| !lw.done[j] && lw.active[j]).collect();
                     return Err(LiveError::Stalled(format!(
@@ -1168,10 +1547,15 @@ mod tests {
                 accuracy: 0.375,
                 loss: 1.875,
             }],
+            gbs_trace: vec![(0.25, 160), (0.5, 240)],
+            lbs_trace: vec![(0.0, vec![32, 32, 32]), (0.25, vec![54, 53, 53])],
             final_weights: None,
         };
         let back = WorkerOutcome::from_json(&out.to_json()).unwrap();
         assert_eq!(back.id, 2);
+        assert_eq!(back.gbs_trace, vec![(0.25, 160), (0.5, 240)]);
+        assert_eq!(back.lbs_trace.len(), 2);
+        assert_eq!(back.lbs_trace[1], (0.25, vec![54, 53, 53]));
         assert_eq!(back.iterations, 30);
         assert_eq!(back.msgs_sent, 60);
         assert_eq!(back.busy_secs, 1.5);

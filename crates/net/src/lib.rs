@@ -39,7 +39,7 @@
 //! | [`KIND_HELLO`] | `id u32, n u32, seed u64` | mesh handshake: identifies the dialing worker, sanity-checks cluster size and seed; a *late* Hello (after establishment) announces a rejoin |
 //! | [`KIND_ACK`] | empty | delivery acknowledgement for one gradient message (drives `SyncState::on_delivered_from`, i.e. Gaia's `BlockOnDelivery`) |
 //! | [`KIND_DONE`] | empty | shutdown barrier: the sender finished all its iterations; per-peer FIFO guarantees every earlier gradient already arrived |
-//! | [`KIND_RCP`] | `rcp f64` | startup LBS profiling round: the sender's measured relative compute power (Eq. 5) |
+//! | [`KIND_RCP`] | `round u64, at_iter u64, rcp f64` | LBS/GBS exchange: the sender's measured relative compute power (Eq. 5) for adjustment round `round` (0 = startup profiling), opened at the sender's iteration `at_iter` |
 //! | [`KIND_LEAVE`] | `completed_iters u64` | planned departure: the sender is leaving after completing that many iterations; receivers demote it from sync gating and averaging from the next round on |
 //! | [`KIND_CATCHUP`] | `iteration u64` | rejoin reply to a late Hello: the responder's current iteration, inviting the rejoiner to DKT-pull full weights and resume there |
 
@@ -63,7 +63,8 @@ pub const KIND_HELLO: u8 = KIND_NET_BASE;
 pub const KIND_ACK: u8 = KIND_NET_BASE + 1;
 /// Shutdown barrier: "I finished my iterations" (empty body).
 pub const KIND_DONE: u8 = KIND_NET_BASE + 2;
-/// Startup profiling: the sender's relative compute power (`f64` body).
+/// RCP exchange (startup profiling and periodic GBS adjustment rounds):
+/// `round u64 | at_iter u64 | rcp f64` body.
 pub const KIND_RCP: u8 = KIND_NET_BASE + 3;
 /// Planned departure: the sender's completed-iteration count (`u64` body).
 pub const KIND_LEAVE: u8 = KIND_NET_BASE + 4;

@@ -10,7 +10,7 @@ use crate::LiveError;
 use dlion_core::cluster::ClusterInit;
 use dlion_core::{build_cluster, ExchangeTransport, RunConfig, RunMetrics, SystemKind};
 use dlion_microcloud::ClusterKind;
-use std::time::Instant;
+use std::sync::Arc;
 
 /// Which wire the cluster runs over.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +55,7 @@ pub fn run_live(
                 queue_cap: opts.queue_cap,
                 establish_timeout: opts.stall_timeout,
                 peer_timeout: opts.peer_timeout,
+                clock: Arc::clone(&opts.clock),
             };
             loopback_mesh(n, cfg.seed, &tcp_opts)?
                 .into_iter()
@@ -72,7 +73,6 @@ pub fn run_live(
         prof_rng: _, // live profiling measures real wall clock, no noise RNG
     } = build_cluster(cfg, n);
 
-    let epoch = Instant::now();
     let results: Vec<Result<WorkerOutcome, LiveError>> = std::thread::scope(|s| {
         let handles: Vec<_> = workers
             .into_iter()
@@ -86,7 +86,7 @@ pub fn run_live(
                     neighbors: neighbors[worker.id].clone(),
                     total_params,
                     bytes_per_param,
-                    epoch,
+                    clock: Arc::clone(&opts.clock),
                     env_label: env_label.to_string(),
                 };
                 s.spawn(move || run_worker(worker, &env, transport.as_mut()))
@@ -132,6 +132,14 @@ pub fn assemble_metrics(
         m.control_bytes += o.control_bytes;
         m.dkt_merges += o.dkt_merges;
     }
+    // The GBS/LBS trajectory is cluster-wide state every member records
+    // identically (nominal round times, agreed partitions), so any one
+    // full member's copy is *the* trace — take the first worker that
+    // finished the run.
+    if let Some(rep) = outcomes.iter().find(|o| !o.departed) {
+        m.gbs_trace = rep.gbs_trace.clone();
+        m.lbs_trace = rep.lbs_trace.clone();
+    }
     // Evaluation points are per-iteration-count, identical across the
     // workers that finished (same `iters`/`eval_every` plus the final
     // eval); a row's time is the latest worker's wall clock at that
@@ -169,6 +177,10 @@ pub fn assemble_metrics(
             tm.add("dkt_merges", o.dkt_merges);
             tm.observe("worker_busy_secs", o.busy_secs);
         }
+        // Cluster-wide controller activity is counted once, like the
+        // simulator's — not once per worker.
+        tm.add("gbs_adjusts", m.gbs_trace.len() as u64);
+        tm.add("lbs_repartitions", m.lbs_trace.len() as u64);
         tm.gauge_max("workers", n as f64);
     }
     m
@@ -199,6 +211,8 @@ mod tests {
                 accuracy: 0.5,
                 loss: 1.0,
             }],
+            gbs_trace: vec![(0.25, 160)],
+            lbs_trace: vec![(0.0, vec![32, 32]), (0.25, vec![80, 80])],
             final_weights: None,
         }
     }
@@ -217,6 +231,9 @@ mod tests {
         assert_eq!(m.eval_times, vec![5.0]);
         assert_eq!(m.worker_acc, vec![vec![0.5, 0.5]]);
         assert_eq!(m.env, "live/2w");
+        // Cluster-wide trajectory: one representative copy, not a sum.
+        assert_eq!(m.gbs_trace, vec![(0.25, 160)]);
+        assert_eq!(m.lbs_trace.len(), 2);
         assert!(m.telemetry.is_empty());
     }
 
@@ -242,5 +259,7 @@ mod tests {
         let m = assemble_metrics(&cfg, "live/2w", vec![outcome(0), outcome(1)]);
         assert_eq!(m.telemetry.counter("msgs_sent"), 40);
         assert_eq!(m.telemetry.counter("net_overhead_bytes"), 400);
+        assert_eq!(m.telemetry.counter("gbs_adjusts"), 1);
+        assert_eq!(m.telemetry.counter("lbs_repartitions"), 2);
     }
 }

@@ -53,6 +53,7 @@
 //! Readers exit on EOF/error and are detached.
 
 use crate::{LiveError, KIND_HELLO};
+use dlion_core::clock::{Clock, SystemClock};
 use dlion_core::messages::{decode_frame, decode_frame_header, encode_frame, FRAME_HEADER_BYTES};
 use dlion_core::{ExchangeTransport, TransportError};
 use std::io::{ErrorKind, Read, Write};
@@ -66,7 +67,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Transport tuning knobs (everything beyond the address list).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct TcpOpts {
     /// Per-peer send queue capacity, in frames (backpressure bound).
     pub queue_cap: usize,
@@ -75,6 +76,11 @@ pub struct TcpOpts {
     /// Surface [`TransportError::PeerTimeout`] when a connected peer has
     /// sent nothing for this long (`None` = never).
     pub peer_timeout: Option<Duration>,
+    /// Time source for the peer-silence watchdog. Establishment and
+    /// socket I/O keep real deadlines (they block on real kernels), but
+    /// the silence alarm compares against this clock so tests can fire a
+    /// timeout without actually sleeping through it.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for TcpOpts {
@@ -83,7 +89,18 @@ impl Default for TcpOpts {
             queue_cap: 64,
             establish_timeout: Duration::from_secs(60),
             peer_timeout: None,
+            clock: Arc::new(SystemClock::new()),
         }
+    }
+}
+
+impl std::fmt::Debug for TcpOpts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpOpts")
+            .field("queue_cap", &self.queue_cap)
+            .field("establish_timeout", &self.establish_timeout)
+            .field("peer_timeout", &self.peer_timeout)
+            .finish_non_exhaustive()
     }
 }
 
@@ -215,9 +232,10 @@ pub struct TcpTransport {
     accept_stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     peer_timeout: Option<Duration>,
+    clock: Arc<dyn Clock>,
     // Receiver-local liveness bookkeeping (only the owner thread touches
-    // these, through the receive methods).
-    last_heard: Vec<Instant>,
+    // these, through the receive methods). Times are `clock.now()`.
+    last_heard: Vec<f64>,
     gone_reported: Vec<bool>,
     timeout_reported: Vec<bool>,
 }
@@ -370,7 +388,7 @@ impl TcpTransport {
         // The transport holds no inbox sender itself: when all readers
         // die *and* the acceptor stops, the inbox reports Disconnected.
         drop(inbox_tx);
-        let now = Instant::now();
+        let now = opts.clock.now();
         Ok(TcpTransport {
             me,
             n,
@@ -379,6 +397,7 @@ impl TcpTransport {
             accept_stop,
             acceptor,
             peer_timeout: opts.peer_timeout,
+            clock: Arc::clone(&opts.clock),
             last_heard: vec![now; n],
             gone_reported: vec![false; n],
             timeout_reported: vec![false; n],
@@ -390,12 +409,12 @@ impl TcpTransport {
     fn on_note(&mut self, note: Note) -> Option<Result<(usize, Vec<u8>), TransportError>> {
         match note {
             Note::Frame(j, f) => {
-                self.last_heard[j] = Instant::now();
+                self.last_heard[j] = self.clock.now();
                 self.timeout_reported[j] = false;
                 Some(Ok((j, f)))
             }
             Note::Joined(j, hello) => {
-                self.last_heard[j] = Instant::now();
+                self.last_heard[j] = self.clock.now();
                 self.gone_reported[j] = false;
                 self.timeout_reported[j] = false;
                 Some(Ok((j, hello)))
@@ -414,14 +433,15 @@ impl TcpTransport {
     /// A connected-but-silent peer past the timeout, if any (each
     /// silence is reported once; a frame re-arms it).
     fn silent_peer(&mut self) -> Option<usize> {
-        let timeout = self.peer_timeout?;
+        let timeout = self.peer_timeout?.as_secs_f64();
+        let now = self.clock.now();
         let peers = self.mesh.peers.lock().unwrap();
         for j in 0..self.n {
             if j == self.me || self.gone_reported[j] || self.timeout_reported[j] {
                 continue;
             }
             let connected = peers[j].as_ref().is_some_and(|p| p.alive);
-            if connected && self.last_heard[j].elapsed() > timeout {
+            if connected && now - self.last_heard[j] > timeout {
                 self.timeout_reported[j] = true;
                 return Some(j);
             }
@@ -698,7 +718,7 @@ mod tests {
         let opts = TcpOpts {
             queue_cap: 8,
             establish_timeout: Duration::from_secs(10),
-            peer_timeout: None,
+            ..Default::default()
         };
         let mut mesh = loopback_mesh(2, 7, &opts).unwrap();
         let mut b = mesh.pop().unwrap();
@@ -726,7 +746,7 @@ mod tests {
         let opts = TcpOpts {
             queue_cap: 4,
             establish_timeout: Duration::from_secs(5),
-            peer_timeout: None,
+            ..Default::default()
         };
         let o2 = opts.clone();
         let h0 = thread::spawn(move || TcpTransport::establish(0, l0, &a0, 1, &opts));

@@ -9,9 +9,10 @@
 //! lands. The Leave only drives *gating* (stop waiting for the dead
 //! peer), never the arithmetic.
 
-use dlion_core::{FaultPlan, RunConfig, SyncPolicy, SystemKind};
+use dlion_core::{FaultPlan, ManualClock, RunConfig, SyncPolicy, SystemKind};
 use dlion_net::{live_config, run_live, LiveOpts, TransportKind};
 use dlion_tensor::Tensor;
+use std::sync::Arc;
 use std::time::Duration;
 
 const BW_MBPS: f64 = 1000.0;
@@ -98,6 +99,88 @@ fn identical_kill_plans_reproduce_survivor_weights() {
             "survivor weights diverged between run 0 and run {i}"
         );
     }
+}
+
+/// One DLion GBS-growth chaos run: worker 1 is killed after iteration 17,
+/// mid-way through the §3.2 speed-up phase (rounds trigger at iterations
+/// 5, 10, 15, 20, 25, 30 under the pinned 0.05s iteration).
+fn gbs_chaos_run(kind: TransportKind) -> dlion_core::RunMetrics {
+    const ITERS: u64 = 30;
+    let mut cfg = chaos_cfg(SystemKind::DLion, ITERS);
+    cfg.workload.train_size = 12_000; // warm-up cap 120, speed-up cap 1200
+    cfg.gbs.adjust_period_secs = 0.25;
+    cfg.profile_interval = 1e9;
+    cfg.profile_noise = 0.0;
+    let opts = LiveOpts {
+        iters: ITERS,
+        eval_every: 0,
+        bw_mbps: BW_MBPS,
+        assumed_iter_time: Some(0.05),
+        stall_timeout: Duration::from_secs(120),
+        fault: FaultPlan::parse("1@17").expect("valid fault plan"),
+        clock: Arc::new(ManualClock::new()),
+        ..Default::default()
+    };
+    let m = run_live(&cfg, 3, &opts, kind, "live/gbs-chaos").expect("live run");
+    assert_eq!(m.iterations, vec![ITERS, 17, ITERS]);
+    m
+}
+
+#[test]
+fn gbs_growth_survives_a_mid_speedup_kill() {
+    let m = gbs_chaos_run(TransportKind::Mem);
+    // The kill does not derail the growth schedule: rounds keep firing on
+    // their nominal boundaries and the trajectory is the full §3.2 curve.
+    assert_eq!(
+        m.gbs_trace,
+        vec![
+            (0.25, 160),
+            (0.5, 240),
+            (0.75, 360),
+            (1.0, 540),
+            (1.25, 810),
+            (1.5, 1200)
+        ]
+    );
+    // Repartitions: startup + one per GBS change. Until the kill (rounds
+    // triggered at iterations < 17) the victim holds a share; from round 4
+    // on (trigger 20 >= 17, per the fault-plan ledger) the survivors split
+    // the *full* GBS between themselves and the victim's share is zero.
+    let times: Vec<f64> = m.lbs_trace.iter().map(|&(t, _)| t).collect();
+    assert_eq!(times, vec![0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5]);
+    for (t, parts) in &m.lbs_trace {
+        let gbs = m
+            .gbs_trace
+            .iter()
+            .rev()
+            .find(|&&(tt, _)| tt <= *t)
+            .map_or(96, |&(_, g)| g);
+        assert_eq!(
+            parts.iter().sum::<usize>(),
+            gbs,
+            "row must cover the full GBS at t={t}"
+        );
+        if *t < 1.0 {
+            assert!(parts[1] >= 1, "victim starved before its kill at t={t}");
+        } else {
+            assert_eq!(parts[1], 0, "dead worker still holds a share at t={t}");
+            assert!(parts[0] >= 1 && parts[2] >= 1, "survivor starved at t={t}");
+        }
+    }
+}
+
+#[test]
+fn gbs_chaos_trajectory_is_deterministic_across_runs_and_transports() {
+    let a = gbs_chaos_run(TransportKind::Mem);
+    let b = gbs_chaos_run(TransportKind::Mem);
+    let c = gbs_chaos_run(TransportKind::Tcp);
+    // The fault-plan ledger (not Leave-frame timing) decides who answers
+    // each round, so the whole batching trajectory — times, GBS values,
+    // every LBS row — is bit-identical across repeats and transports.
+    assert_eq!(a.gbs_trace, b.gbs_trace);
+    assert_eq!(a.lbs_trace, b.lbs_trace);
+    assert_eq!(a.gbs_trace, c.gbs_trace, "mem vs TCP GBS diverged");
+    assert_eq!(a.lbs_trace, c.lbs_trace, "mem vs TCP LBS rows diverged");
 }
 
 #[test]

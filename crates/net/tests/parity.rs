@@ -13,10 +13,11 @@
 //! is *not* enough: its initial window lets iteration 1 start before the
 //! peer's gradient lands, making the order timing-dependent.)
 
-use dlion_core::{run_with_models, RunConfig, RunMetrics, SyncPolicy, SystemKind};
+use dlion_core::{run_with_models, ManualClock, RunConfig, RunMetrics, SyncPolicy, SystemKind};
 use dlion_net::{live_config, run_live, LiveOpts, TransportKind};
 use dlion_simnet::{ComputeModel, NetworkModel};
 use dlion_tensor::Tensor;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The simulated environment the live run is compared against: 2 uniform
@@ -141,6 +142,132 @@ fn gaia_block_on_delivery_completes_with_matching_counts() {
     // iteration; delivery acks gate progress but never drop messages.
     assert_eq!(sim.telemetry.counter("msgs_sent"), 3 * 2 * ITERS);
     assert_eq!(live.telemetry.counter("msgs_sent"), 3 * 2 * ITERS);
+}
+
+/// The GBS-growth parity fixture: 3 workers, LBS 32 (GBS 96) over a
+/// 12_000-sample training set (warm-up cap 120, speed-up cap 1200),
+/// adjusting every 0.25s of training time. With a pinned 0.05s iteration
+/// the rounds trigger at iterations 5, 10, 15, ... and the §3.2 schedule
+/// is 96 → 160 (warm-up, crossing 1%) → 240 → 360 → 540 → 810 → 1200
+/// (speed-up ×1.5, clamped at 10%) → Done.
+const GBS_PERIOD: f64 = 0.25;
+const GBS_DT: f64 = 0.05;
+const GBS_ITERS: u64 = 42; // 2.1s of training: rounds 1..=8 all fire
+
+fn gbs_parity_cfg() -> RunConfig {
+    let mut cfg = parity_cfg(SystemKind::DLion, GBS_ITERS);
+    cfg.telemetry = true;
+    cfg.workload.train_size = 12_000;
+    cfg.gbs.adjust_period_secs = GBS_PERIOD;
+    // Only the growth controller repartitions: no mid-run re-profiling,
+    // no profiling noise.
+    cfg.profile_interval = 1e9;
+    cfg.profile_noise = 0.0;
+    cfg
+}
+
+fn gbs_live_opts() -> LiveOpts {
+    LiveOpts {
+        iters: GBS_ITERS,
+        eval_every: 0,
+        bw_mbps: BW_MBPS,
+        // Pins the training clock: round r triggers at the first iteration
+        // i with i * 0.05 >= r * 0.25, identically on every worker.
+        assumed_iter_time: Some(GBS_DT),
+        stall_timeout: Duration::from_secs(120),
+        clock: Arc::new(ManualClock::new()),
+        ..Default::default()
+    }
+}
+
+const GBS_EXPECTED: [(f64, usize); 6] = [
+    (0.25, 160),
+    (0.5, 240),
+    (0.75, 360),
+    (1.0, 540),
+    (1.25, 810),
+    (1.5, 1200),
+];
+
+/// The GBS in force at time `t` per a trace (initial 96 before any round).
+fn gbs_at(trace: &[(f64, usize)], t: f64) -> usize {
+    trace
+        .iter()
+        .rev()
+        .find(|&&(tt, _)| tt <= t)
+        .map_or(96, |&(_, g)| g)
+}
+
+#[test]
+fn live_gbs_growth_matches_simulator_trajectory() {
+    let cfg = gbs_parity_cfg();
+    let sim = sim_run(&cfg, 3);
+    let live =
+        run_live(&cfg, 3, &gbs_live_opts(), TransportKind::Mem, "live/gbs").expect("live run");
+    assert_eq!(live.iterations, vec![GBS_ITERS; 3]);
+    // The GBS trajectory — values AND adjustment times — is the §3.2
+    // schedule, bit-identical between the backends: live rounds record
+    // their nominal time (round × period), exactly the simulator's tick.
+    assert_eq!(live.gbs_trace, GBS_EXPECTED.to_vec());
+    assert_eq!(sim.gbs_trace, live.gbs_trace, "sim and live GBS diverged");
+    // Both backends repartition at the same moments: run start plus every
+    // GBS change. Shares differ (live RCPs come from the measured-
+    // throughput EWMA, the simulator profiles its compute model) but
+    // every row sums exactly to the GBS in force at its time.
+    let times = |m: &RunMetrics| -> Vec<f64> { m.lbs_trace.iter().map(|&(t, _)| t).collect() };
+    assert_eq!(times(&sim), times(&live), "repartition times diverged");
+    assert_eq!(
+        times(&live).first(),
+        Some(&0.0),
+        "missing startup partition"
+    );
+    for (t, parts) in &live.lbs_trace {
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|&p| p >= 1), "starved worker at t={t}");
+        assert_eq!(
+            parts.iter().sum::<usize>(),
+            gbs_at(&live.gbs_trace, *t),
+            "row does not sum to the GBS in force at t={t}"
+        );
+    }
+    // The same counters the simulator reports, fed from the live events.
+    assert_eq!(live.telemetry.counter("gbs_adjusts"), 6);
+    assert_eq!(live.telemetry.counter("lbs_repartitions"), 7);
+    assert_eq!(
+        sim.telemetry.counter("gbs_adjusts"),
+        live.telemetry.counter("gbs_adjusts")
+    );
+}
+
+#[test]
+fn live_gbs_trajectory_is_bit_identical_across_runs() {
+    let cfg = gbs_parity_cfg();
+    let a =
+        run_live(&cfg, 3, &gbs_live_opts(), TransportKind::Mem, "live/gbs").expect("live run a");
+    let b =
+        run_live(&cfg, 3, &gbs_live_opts(), TransportKind::Mem, "live/gbs").expect("live run b");
+    // Not just the same values — the same bits, including every LBS row:
+    // the round protocol makes the trajectory a pure function of the
+    // pinned iteration time, independent of frame interleaving.
+    assert_eq!(a.gbs_trace, b.gbs_trace);
+    assert_eq!(a.lbs_trace, b.lbs_trace);
+    assert_eq!(a.iterations, b.iterations);
+}
+
+#[test]
+fn gbs_static_freezes_the_schedule() {
+    let cfg = gbs_parity_cfg();
+    let opts = LiveOpts {
+        gbs_static: true,
+        ..gbs_live_opts()
+    };
+    let live = run_live(&cfg, 3, &opts, TransportKind::Mem, "live/gbs-static").expect("live run");
+    assert_eq!(live.iterations, vec![GBS_ITERS; 3]);
+    // The pre-controller behaviour: startup profiling still splits the
+    // initial GBS once, but no adjustment round ever fires.
+    assert!(live.gbs_trace.is_empty(), "static run adjusted the GBS");
+    assert_eq!(live.lbs_trace.len(), 1, "static run repartitioned");
+    assert_eq!(live.lbs_trace[0].1.iter().sum::<usize>(), 96);
 }
 
 #[test]

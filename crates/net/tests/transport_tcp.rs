@@ -5,8 +5,9 @@
 //! silence), and a rejoining one as its Hello frame.
 
 use dlion_core::messages::encode_frame;
-use dlion_core::{ExchangeTransport, TransportError};
+use dlion_core::{ExchangeTransport, ManualClock, TransportError};
 use dlion_net::{loopback_mesh, loopback_mesh_addrs, TcpOpts, TcpTransport, KIND_ACK, KIND_HELLO};
+use std::sync::Arc;
 use std::time::Duration;
 
 const TIMEOUT: Duration = Duration::from_secs(20);
@@ -15,7 +16,7 @@ fn opts(queue_cap: usize) -> TcpOpts {
     TcpOpts {
         queue_cap,
         establish_timeout: TIMEOUT,
-        peer_timeout: None,
+        ..Default::default()
     }
 }
 
@@ -151,22 +152,27 @@ fn dead_peer_surfaces_as_peer_disconnected_once() {
 
 #[test]
 fn silent_peer_surfaces_as_peer_timeout_once_and_rearms() {
+    // The silence watchdog reads the injected clock, so the test declares
+    // "100ms of silence have passed" instead of sleeping through it —
+    // no real waits, no flakiness on a loaded machine.
+    let clock = Arc::new(ManualClock::new());
     let topts = TcpOpts {
         queue_cap: 8,
         establish_timeout: TIMEOUT,
         peer_timeout: Some(Duration::from_millis(100)),
+        clock: Arc::clone(&clock) as Arc<dyn dlion_core::Clock>,
     };
     let mut mesh = loopback_mesh(2, 19, &topts).expect("mesh");
     let mut t1 = mesh.pop().expect("node 1");
     let mut t0 = mesh.pop().expect("node 0");
     // Nothing from peer 1 past the 100ms window: a timeout, exactly once.
-    std::thread::sleep(Duration::from_millis(150));
-    match t0.recv_frame_timeout(Duration::from_millis(50)) {
+    clock.advance(0.15);
+    match t0.recv_frame_timeout(Duration::from_millis(10)) {
         Err(TransportError::PeerTimeout { peer: 1 }) => {}
         other => panic!("expected PeerTimeout from 1, got {other:?}"),
     }
     assert!(matches!(
-        t0.recv_frame_timeout(Duration::from_millis(50)),
+        t0.recv_frame_timeout(Duration::from_millis(10)),
         Ok(None)
     ));
     // Contact re-arms the detector: a frame clears the reported flag...
@@ -177,9 +183,9 @@ fn silent_peer_surfaces_as_peer_timeout_once_and_rearms() {
         .expect("frame before timeout");
     assert_eq!((from, body_of(&f)), (1, (1, 7)));
     // ...and a fresh silence is reported again.
-    std::thread::sleep(Duration::from_millis(150));
+    clock.advance(0.15);
     assert!(matches!(
-        t0.recv_frame_timeout(Duration::from_millis(50)),
+        t0.recv_frame_timeout(Duration::from_millis(10)),
         Err(TransportError::PeerTimeout { peer: 1 })
     ));
 }

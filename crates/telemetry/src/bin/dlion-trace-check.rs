@@ -2,9 +2,12 @@
 //!
 //! Every line must parse as a JSON object carrying the full record schema
 //! (`wall_ns`, `vtime`, `seq`, `system`, `env`, `seed`, `worker`, `kind`,
-//! `fields`), and per-run sequence numbers must be monotonic. Exits 0 and
-//! prints a summary on success; exits 1 with the first offending line
-//! otherwise. Used by the CI telemetry smoke job.
+//! `fields`), and per-run sequence numbers must be monotonic. Each
+//! (repeatable) `--require KIND` additionally demands at least one record
+//! of that kind — how CI asserts a run actually exercised a subsystem
+//! (e.g. `--require gbs_adjust` for the live batching controller). Exits 0
+//! and prints a summary on success; exits 1 with the first offending line
+//! (or the missing kind) otherwise. Used by the CI telemetry smoke jobs.
 
 use dlion_telemetry::json::{self, Json};
 use std::collections::BTreeMap;
@@ -35,7 +38,7 @@ fn check_line(n: usize, line: &str) -> Result<Json, String> {
     Ok(v)
 }
 
-fn run(path: &str) -> Result<String, String> {
+fn run(path: &str, required: &[String]) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut records = 0usize;
     let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
@@ -69,6 +72,13 @@ fn run(path: &str) -> Result<String, String> {
     if records == 0 {
         return Err(format!("{path}: no records"));
     }
+    for kind in required {
+        if !kinds.contains_key(kind) {
+            return Err(format!(
+                "{path}: no {kind:?} records (required via --require)"
+            ));
+        }
+    }
     let mut summary = format!("{path}: {records} records, {} run(s) OK\n", last_seq.len());
     for (kind, count) in &kinds {
         summary.push_str(&format!("  {kind:<16} {count:>8}\n"));
@@ -77,11 +87,25 @@ fn run(path: &str) -> Result<String, String> {
 }
 
 fn main() {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: dlion-trace-check <trace.jsonl>");
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let usage = || -> ! {
+        eprintln!("usage: dlion-trace-check <trace.jsonl> [--require KIND]...");
         std::process::exit(2);
     };
-    match run(&path) {
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require" => match args.next() {
+                Some(kind) => required.push(kind),
+                None => usage(),
+            },
+            _ if path.is_none() && !arg.starts_with("--") => path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    match run(&path, &required) {
         Ok(summary) => print!("{summary}"),
         Err(e) => {
             eprintln!("trace check FAILED: {e}");
@@ -117,17 +141,31 @@ mod tests {
         let good_path = dir.join("good.jsonl");
         let second = GOOD.replace("\"seq\":0", "\"seq\":1");
         std::fs::write(&good_path, format!("{GOOD}\n{second}\n")).unwrap();
-        let summary = run(good_path.to_str().unwrap()).unwrap();
+        let summary = run(good_path.to_str().unwrap(), &[]).unwrap();
         assert!(summary.contains("2 records"));
         assert!(summary.contains("iter_done"));
 
         let bad_path = dir.join("bad.jsonl");
         std::fs::write(&bad_path, format!("{GOOD}\n{GOOD}\n")).unwrap();
-        let err = run(bad_path.to_str().unwrap()).unwrap_err();
+        let err = run(bad_path.to_str().unwrap(), &[]).unwrap_err();
         assert!(err.contains("not monotonic"), "{err}");
 
         let empty_path = dir.join("empty.jsonl");
         std::fs::write(&empty_path, "").unwrap();
-        assert!(run(empty_path.to_str().unwrap()).is_err());
+        assert!(run(empty_path.to_str().unwrap(), &[]).is_err());
+    }
+
+    #[test]
+    fn required_kinds_must_be_present() {
+        let dir = std::env::temp_dir().join("dlion-trace-check-require");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        std::fs::write(&path, format!("{GOOD}\n")).unwrap();
+        let p = path.to_str().unwrap();
+        // The kind in the file satisfies the requirement...
+        assert!(run(p, &["iter_done".to_string()]).is_ok());
+        // ...an absent one fails, naming the kind.
+        let err = run(p, &["iter_done".to_string(), "gbs_adjust".to_string()]).unwrap_err();
+        assert!(err.contains("gbs_adjust"), "{err}");
     }
 }
