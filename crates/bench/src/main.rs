@@ -18,7 +18,7 @@
 //! `--features dlion-tensor/seed-kernels` reroutes it through the seed
 //! algorithms (`e2e` mode labels its output with the active backend).
 
-use dlion_core::messages::{GradData, GradMsg, Payload};
+use dlion_core::messages::{GradData, GradMsg, Payload, WireCfg, WireFormat, FRAME_HEADER_BYTES};
 use dlion_core::{run_env, ExchangeTransport, MaxNPlanner, RunConfig, SystemKind};
 use dlion_microcloud::{ClusterKind, EnvId};
 use dlion_net::loopback_mesh;
@@ -310,6 +310,123 @@ fn net() {
         mb / enc,
         mb / dec
     );
+
+    // Chunked streaming: encode into a sink chunk by chunk (the live
+    // writer-thread path) and decode the reassembled stream back through
+    // the pooled, allocation-free receiver path.
+    let cfg = WireCfg::default();
+    let mut scratch = Vec::new();
+    let mut out: Vec<u8> = Vec::with_capacity(payload.wire_len(&cfg));
+    let enc_c = bench("chunked encode 5MB dense grad", || {
+        out.clear();
+        black_box(
+            payload
+                .write_wire(&mut out, &cfg, &mut scratch)
+                .expect("stream"),
+        );
+    });
+    println!("  chunked encode throughput: {:.0} MB/s", mb / enc_c);
+    let stream = payload.to_wire(&cfg);
+    let mut dec_scratch = Vec::new();
+    let mut pool: Vec<Vec<f32>> = Vec::new();
+    let dec_c = bench("chunked decode+verify 5MB dense grad (pooled)", || {
+        let (kind, body) = dlion_core::messages::decode_wire(black_box(&stream), &mut dec_scratch)
+            .expect("valid stream");
+        let p = Payload::decode_body_pooled(kind, body, &mut pool).expect("valid body");
+        black_box(&p);
+        p.recycle(&mut pool);
+    });
+    println!("  chunked decode throughput: {:.0} MB/s", mb / dec_c);
+    println!(
+        "json:{{\"bench\":\"chunked_5mb_grad\",\"stream_bytes\":{},\"encode_mb_s\":{:.1},\
+         \"decode_mb_s\":{:.1}}}",
+        stream.len(),
+        mb / enc_c,
+        mb / dec_c
+    );
+
+    // First-byte-on-wire latency: how long after `write_wire` starts does
+    // the first body chunk reach the sink? One chunk's serialize time, vs
+    // the full-frame serialize the plain codec needs before byte one.
+    struct FirstChunk {
+        start: Instant,
+        bytes: usize,
+        first_chunk_s: Option<f64>,
+    }
+    impl std::io::Write for FirstChunk {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.bytes += buf.len();
+            if self.first_chunk_s.is_none() && self.bytes > FRAME_HEADER_BYTES {
+                self.first_chunk_s = Some(self.start.elapsed().as_secs_f64());
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let mut first = f64::INFINITY;
+    for _ in 0..32 {
+        let mut sink = FirstChunk {
+            start: Instant::now(),
+            bytes: 0,
+            first_chunk_s: None,
+        };
+        payload
+            .write_wire(&mut sink, &cfg, &mut scratch)
+            .expect("stream");
+        first = first.min(sink.first_chunk_s.expect("one chunk written"));
+    }
+    println!(
+        "  first byte on wire after: {:.3} ms (vs {:.3} ms full-serialize)",
+        first * 1e3,
+        enc * 1e3
+    );
+    println!(
+        "json:{{\"bench\":\"first_byte_5mb_grad\",\"first_chunk_ms\":{:.3},\
+         \"full_serialize_ms\":{:.3}}}",
+        first * 1e3,
+        enc * 1e3
+    );
+
+    // Quantized wire formats over the same 5 MB-equivalent payload.
+    for (name, format) in [("fp16", WireFormat::Fp16), ("int8", WireFormat::Int8)] {
+        let qcfg = WireCfg {
+            format,
+            ..WireCfg::default()
+        };
+        let q_enc = bench(&format!("codec encode 5MB grad as {name}"), || {
+            out.clear();
+            black_box(
+                payload
+                    .write_wire(&mut out, &qcfg, &mut scratch)
+                    .expect("stream"),
+            );
+        });
+        let qstream = payload.to_wire(&qcfg);
+        let q_dec = bench(&format!("codec decode 5MB grad as {name}"), || {
+            let (kind, body) =
+                dlion_core::messages::decode_wire(black_box(&qstream), &mut dec_scratch)
+                    .expect("valid stream");
+            let p = Payload::decode_body_pooled(kind, body, &mut pool).expect("valid body");
+            black_box(&p);
+            p.recycle(&mut pool);
+        });
+        println!(
+            "  {name}: {} wire bytes ({:.0}% of dense), encode {:.0} MB/s, decode {:.0} MB/s",
+            qstream.len(),
+            100.0 * qstream.len() as f64 / stream.len() as f64,
+            mb / q_enc,
+            mb / q_dec
+        );
+        println!(
+            "json:{{\"bench\":\"quantized_5mb_grad_{name}\",\"stream_bytes\":{},\
+             \"encode_mb_s\":{:.1},\"decode_mb_s\":{:.1}}}",
+            qstream.len(),
+            mb / q_enc,
+            mb / q_dec
+        );
+    }
 
     // Round-trip the frame over a live loopback TCP link; both directions
     // are in flight, so one round trip moves 2 frames of payload.

@@ -2,6 +2,7 @@
 
 use crate::dkt::DktConfig;
 use crate::gbs::GbsConfig;
+use crate::messages::WireFormat;
 use crate::sync::SyncPolicy;
 use crate::topology::Topology;
 use dlion_microcloud::ClusterKind;
@@ -238,6 +239,11 @@ pub struct RunConfig {
     /// Baseline run into strict BSP [`SyncPolicy::Synchronous`]). The
     /// exchange strategy is unchanged; only the start-gating policy is.
     pub sync_override: Option<SyncPolicy>,
+    /// Gradient wire encoding (`--wire dense|fp16|int8|topk:N`): the
+    /// quantized-wire ablation axis. Dense keeps bit-exact f32 on the
+    /// wire; the lossy formats are applied at send so sim and live runs
+    /// see the same receiver-side gradients.
+    pub wire: WireFormat,
 }
 
 impl RunConfig {
@@ -275,6 +281,7 @@ impl RunConfig {
             max_iters: None,
             capture_weights: false,
             sync_override: None,
+            wire: WireFormat::Dense,
         }
     }
 
@@ -300,6 +307,9 @@ impl RunConfig {
         assert!(self.gaia_s > 0.0);
         assert!(self.profile_interval > 0.0);
         assert!(self.grad_clip > 0.0);
+        if let WireFormat::TopK(n) = self.wire {
+            assert!(n > 0.0 && n <= 100.0, "topk N must be in (0, 100]");
+        }
         self.dkt.validate();
     }
 }

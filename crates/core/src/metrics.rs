@@ -46,6 +46,11 @@ pub struct RunMetrics {
     pub grad_bytes: f64,
     pub weight_bytes: f64,
     pub control_bytes: f64,
+    /// Bytes on the wire by *encoded* representation (`grad_dense`,
+    /// `grad_sparse`, `grad_fp16`, `grad_int8`, `weights`, `control`) —
+    /// the quantized-wire ablation column. Sim rows use exact encoded
+    /// frame lengths so they compare one-for-one with live runs.
+    pub wire_bytes_by_kind: std::collections::BTreeMap<String, f64>,
     /// Iterations completed per worker.
     pub iterations: Vec<u64>,
     /// Virtual seconds each worker spent computing gradients (the rest is

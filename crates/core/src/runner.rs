@@ -12,7 +12,9 @@
 use crate::cluster::build_cluster;
 use crate::config::RunConfig;
 use crate::lbs::{compute_rcp, partition_gbs, PROFILE_LBS};
-use crate::messages::{GradData, Payload};
+use crate::messages::{
+    apply_wire_format, wire_label, GradData, Payload, WireCfg, WireFormat, DEFAULT_CHUNK_BYTES,
+};
 use crate::metrics::{LinkSample, RunMetrics};
 use crate::strategy::StrategyCtx;
 use crate::weighted::update_factor;
@@ -204,6 +206,20 @@ impl ClusterRunner {
                 .telemetry
                 .gauge_max("queue_peak", self.queue.peak_len() as f64);
         }
+        let wires = |label: &str| {
+            self.metrics
+                .wire_bytes_by_kind
+                .get(label)
+                .copied()
+                .unwrap_or(0.0)
+        };
+        event!(end_time, "wire_bytes_by_kind";
+            "grad_dense" => wires("grad_dense"),
+            "grad_sparse" => wires("grad_sparse"),
+            "grad_fp16" => wires("grad_fp16"),
+            "grad_int8" => wires("grad_int8"),
+            "weights" => wires("weights"),
+            "control" => wires("control"));
         event!(end_time, "run_end";
             "iterations" => self.metrics.total_iterations(),
             "grad_bytes" => self.metrics.grad_bytes,
@@ -452,13 +468,28 @@ impl ClusterRunner {
     }
 
     /// Put a payload on the wire and schedule its arrival.
-    fn send(&mut self, from: usize, to: usize, payload: Payload, now: f64) {
-        let bytes = payload.wire_bytes(self.bytes_per_param, self.total_params);
+    fn send(&mut self, from: usize, to: usize, mut payload: Payload, now: f64) {
+        // Lossy wire formats change the numbers the receiver trains on:
+        // apply them here, exactly where the live codec quantizes, so a
+        // sim run and a live run see the same gradients.
+        apply_wire_format(&mut payload, self.cfg.wire);
+        let scale = wire_byte_scale(&payload, self.cfg.wire);
+        let bytes = scale * payload.wire_bytes(self.bytes_per_param, self.total_params);
         match payload.kind() {
             "grad" => self.metrics.grad_bytes += bytes,
             "weights" => self.metrics.weight_bytes += bytes,
             _ => self.metrics.control_bytes += bytes,
         }
+        let label = wire_label(&payload, self.cfg.wire);
+        let encoded = payload.wire_len(&WireCfg {
+            format: self.cfg.wire,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+        }) as f64;
+        *self
+            .metrics
+            .wire_bytes_by_kind
+            .entry(label.to_string())
+            .or_insert(0.0) += encoded;
         let t = self.net.transfer(from, to, bytes, now);
         event!(now, w: from, "send";
             "to" => to,
@@ -596,6 +627,25 @@ impl ClusterRunner {
             .fold(0.0f64, f64::max);
         self.metrics.eval_times.iter().any(|&t| t <= cutoff)
             && best_now - best_before < cv.min_improvement
+    }
+}
+
+/// Virtual-network byte scale for a payload under a wire format: the
+/// network model prices a dense gradient at `bytes_per_param` (f32), so
+/// fp16 halves its transfer and int8 quarters it. Sparse gradients,
+/// weights and control payloads are unaffected — they always travel
+/// full-precision.
+fn wire_byte_scale(payload: &Payload, format: WireFormat) -> f64 {
+    let Payload::Grad(g) = payload else {
+        return 1.0;
+    };
+    if !matches!(g.data, GradData::Dense(_)) {
+        return 1.0;
+    }
+    match format {
+        WireFormat::Fp16 => 0.5,
+        WireFormat::Int8 => 0.25,
+        WireFormat::Dense | WireFormat::TopK(_) => 1.0,
     }
 }
 

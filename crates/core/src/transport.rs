@@ -7,8 +7,9 @@
 //! live worker driver a deterministic, socket-free harness for tests and a
 //! second data point that parity holds independent of the wire.
 
-use crate::messages::{Payload, WireError};
+use crate::messages::{Payload, WireCfg, WireError};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Transport failure. Every [`ExchangeTransport`] method reports its
@@ -113,6 +114,30 @@ pub trait ExchangeTransport: Send {
         &mut self,
         timeout: Duration,
     ) -> Result<Option<(usize, Vec<u8>)>, TransportError>;
+
+    /// Encode `payload` under `cfg` and deliver it to `to`, returning the
+    /// exact number of bytes put on the wire (`payload.wire_len(cfg)`).
+    ///
+    /// The default implementation materializes the wire stream and hands
+    /// it to [`send_frame`](ExchangeTransport::send_frame) — correct for
+    /// in-memory transports, where "the wire" is a channel. Socket
+    /// transports override this to *stream*: the TCP transport hands the
+    /// `Arc<Payload>` to its per-peer writer thread, which serializes
+    /// chunk *k+1* while chunk *k* is in the socket buffer, so a 5 MB
+    /// gradient never exists as one materialized `Vec<u8>` on the send
+    /// path. Receivers decode both layouts with [`Payload::from_wire`] /
+    /// `decode_wire`.
+    fn send_wire(
+        &mut self,
+        to: usize,
+        payload: Arc<Payload>,
+        cfg: &WireCfg,
+    ) -> Result<usize, TransportError> {
+        let stream = payload.to_wire(cfg);
+        let len = stream.len();
+        self.send_frame(to, stream)?;
+        Ok(len)
+    }
 }
 
 /// Encode and send a payload; returns the frame's encoded size in bytes
@@ -250,6 +275,37 @@ mod tests {
             w0.send_frame(1, vec![0]),
             Err(TransportError::PeerGone(1))
         ));
+    }
+
+    #[test]
+    fn send_wire_delivers_chunked_streams_and_reports_wire_len() {
+        use crate::messages::{GradData, GradMsg, WireFormat};
+        use dlion_tensor::{Shape, Tensor};
+        let mut mesh = mem_mesh(2);
+        let mut w1 = mesh.pop().unwrap();
+        let mut w0 = mesh.pop().unwrap();
+        let p = Arc::new(Payload::Grad(GradMsg {
+            iteration: 1,
+            lbs: 32,
+            data: GradData::Dense(vec![Tensor::from_vec(
+                Shape::d1(400),
+                (0..400).map(|i| i as f32 * 0.5).collect(),
+            )]),
+            n_used: 100.0,
+        }));
+        let cfg = WireCfg {
+            format: WireFormat::Fp16,
+            chunk_bytes: 128,
+        };
+        assert!(p.wire_is_chunked(&cfg));
+        let sent = w0.send_wire(1, p.clone(), &cfg).unwrap();
+        assert_eq!(sent, p.wire_len(&cfg));
+        let (from, stream) = w1.try_recv_frame().unwrap().unwrap();
+        assert_eq!(from, 0);
+        assert_eq!(stream.len(), sent);
+        let mut scratch = Vec::new();
+        let back = Payload::from_wire(&stream, &mut scratch).unwrap();
+        assert_eq!(back.kind(), "grad");
     }
 
     #[test]

@@ -9,9 +9,9 @@
 //! proptest dependency.
 
 use dlion_core::messages::{
-    decode_frame, encode_frame, GradData, GradMsg, Payload, WireError, CONTROL_BYTES,
-    ENC_DENSE_ENTRY_BYTES, ENC_SPARSE_ENTRY_BYTES, FRAME_HEADER_BYTES, KIND_GRAD,
-    MAX_FRAME_BODY_BYTES, WIRE_MAGIC, WIRE_VERSION,
+    decode_frame, encode_frame, GradData, GradMsg, Payload, WireCfg, WireError, WireFormat,
+    CHUNK_HEADER_BYTES, CONTROL_BYTES, ENC_DENSE_ENTRY_BYTES, ENC_SPARSE_ENTRY_BYTES,
+    FRAME_HEADER_BYTES, KIND_GRAD, MAX_FRAME_BODY_BYTES, WIRE_MAGIC, WIRE_VERSION,
 };
 use dlion_tensor::{DetRng, Shape, SparseVec, Tensor};
 
@@ -276,6 +276,161 @@ fn simulated_bytes_match_encoded_lengths_at_native_scale() {
                 real - sim <= max_framing && real >= sim,
                 "case {case} sparse={sparse}: sim {sim} vs real {real}"
             );
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Satellite: chunked streams and quantized formats.
+// ------------------------------------------------------------------
+
+/// A dense gradient payload big enough to span several chunks at the
+/// test chunk size, with only finite values (for the quantization-bound
+/// checks below).
+fn big_dense_payload(rng: &mut DetRng, n: usize) -> Payload {
+    let data: Vec<f32> = (0..n)
+        .map(|_| rng.uniform_range(-8.0, 8.0) as f32)
+        .collect();
+    Payload::Grad(GradMsg {
+        iteration: 7,
+        lbs: 32,
+        n_used: 100.0,
+        data: GradData::Dense(vec![Tensor::from_vec(Shape::d1(n), data)]),
+    })
+}
+
+#[test]
+fn wire_len_matches_streamed_bytes_for_every_kind_and_format() {
+    let mut scratch = Vec::new();
+    for case in 0..48u64 {
+        let mut rng = DetRng::seed_from_u64(5000 + case);
+        let p = rand_payload(&mut rng);
+        for format in [WireFormat::Dense, WireFormat::Fp16, WireFormat::Int8] {
+            for chunk_bytes in [64usize, 1 << 12, usize::MAX] {
+                let cfg = WireCfg {
+                    format,
+                    chunk_bytes,
+                };
+                let stream = p.to_wire(&cfg);
+                assert_eq!(
+                    stream.len(),
+                    p.wire_len(&cfg),
+                    "case {case} {format:?} chunk={chunk_bytes}: wire_len"
+                );
+                let mut out = Vec::new();
+                let written = p.write_wire(&mut out, &cfg, &mut scratch).unwrap();
+                assert_eq!(written, stream.len(), "case {case}: write_wire count");
+                assert_eq!(out, stream, "case {case}: streamed bytes differ");
+                let mut dec_scratch = Vec::new();
+                Payload::from_wire(&stream, &mut dec_scratch)
+                    .unwrap_or_else(|e| panic!("case {case}: decode failed: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn chunked_streams_reject_truncation_and_bit_flips() {
+    let mut rng = DetRng::seed_from_u64(6000);
+    let cfg = WireCfg {
+        format: WireFormat::Dense,
+        chunk_bytes: 1 << 10,
+    };
+    let stream = big_dense_payload(&mut rng, 3000).to_wire(&cfg);
+    assert!(stream.len() > 10 * cfg.chunk_bytes, "must span many chunks");
+    let mut scratch = Vec::new();
+    for len in 0..stream.len() {
+        assert!(
+            Payload::from_wire(&stream[..len], &mut scratch).is_err(),
+            "truncation to {len}/{} decoded",
+            stream.len()
+        );
+    }
+    for pos in 0..stream.len() {
+        for flip in [0x01u8, 0x80] {
+            let mut bad = stream.clone();
+            bad[pos] ^= flip;
+            assert!(
+                Payload::from_wire(&bad, &mut scratch).is_err(),
+                "flip {flip:#x} at byte {pos} decoded"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunked_streams_reject_reordered_chunks() {
+    // Swapping two full chunks wholesale keeps every per-chunk payload
+    // intact — only the index-seeded chunk checksums can catch it.
+    let mut rng = DetRng::seed_from_u64(6100);
+    let cfg = WireCfg {
+        format: WireFormat::Dense,
+        chunk_bytes: 512,
+    };
+    let p = big_dense_payload(&mut rng, 1500);
+    let stream = p.to_wire(&cfg);
+    // Chunk 0 and chunk 1 are both full-size: each occupies
+    // CHUNK_HEADER_BYTES + chunk_bytes right after the frame header.
+    let c = CHUNK_HEADER_BYTES + cfg.chunk_bytes;
+    let a = FRAME_HEADER_BYTES;
+    let b = a + c;
+    assert!(stream.len() > b + c, "need at least two full chunks");
+    let mut bad = stream.clone();
+    let (first, second) = (stream[a..a + c].to_vec(), stream[b..b + c].to_vec());
+    bad[a..a + c].copy_from_slice(&second);
+    bad[b..b + c].copy_from_slice(&first);
+    let mut scratch = Vec::new();
+    assert!(
+        Payload::from_wire(&bad, &mut scratch).is_err(),
+        "reordered chunks decoded"
+    );
+    // Sanity: the untouched stream still decodes.
+    assert!(Payload::from_wire(&stream, &mut scratch).is_ok());
+}
+
+#[test]
+fn quantized_round_trip_errors_are_bounded() {
+    let mut scratch = Vec::new();
+    for case in 0..16u64 {
+        let mut rng = DetRng::seed_from_u64(7000 + case);
+        let p = big_dense_payload(&mut rng, 500);
+        let Payload::Grad(GradMsg {
+            data: GradData::Dense(orig),
+            ..
+        }) = &p
+        else {
+            unreachable!()
+        };
+        for format in [WireFormat::Fp16, WireFormat::Int8] {
+            let cfg = WireCfg {
+                format,
+                chunk_bytes: 256,
+            };
+            let stream = p.to_wire(&cfg);
+            let back = Payload::from_wire(&stream, &mut scratch).unwrap();
+            let Payload::Grad(GradMsg {
+                data: GradData::Dense(vars),
+                ..
+            }) = &back
+            else {
+                panic!("case {case}: decoded to a different payload kind")
+            };
+            for (t0, t1) in orig.iter().zip(vars) {
+                let tol_of = |x: f32| match format {
+                    // Half precision: 11-bit significand → relative
+                    // error ≤ 2^-11, plus an absolute floor for the
+                    // subnormal range.
+                    WireFormat::Fp16 => x.abs() / 1024.0 + 1e-6,
+                    // Int8: error ≤ half a quantization step.
+                    _ => t0.max_abs() / 127.0 / 2.0 + 1e-6,
+                };
+                for (x, y) in t0.data().iter().zip(t1.data()) {
+                    assert!(
+                        (x - y).abs() <= tol_of(*x),
+                        "case {case} {format:?}: {x} -> {y}"
+                    );
+                }
+            }
         }
     }
 }

@@ -8,6 +8,7 @@
 //!            [--train N] [--test N] [--lr F] [--queue-cap N]
 //!            [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]
 //!            [--peer-timeout S] [--kill W@I[+R],...]
+//!            [--wire dense|fp16|int8|topk[:N]] [--chunk-bytes B]
 //!            [--gbs-adjust-period S] [--gbs-static]
 //!            [--trace-out FILE] [--telemetry] [--csv FILE]
 //! ```
@@ -38,6 +39,7 @@
 //!     --transport procs --port-base 7300
 //! ```
 
+use dlion_core::messages::WireFormat;
 use dlion_core::{report, Args, FaultPlan, SystemKind, UsageError};
 use dlion_net::{
     assemble_metrics, live_config, loopback_addrs, parse_peers, run_live, LiveOpts, TransportKind,
@@ -111,6 +113,13 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
                 cli.opts.peer_timeout = Some(Duration::from_secs_f64(args.parse(&flag)?))
             }
             "--kill" => cli.opts.fault = args.parse_with(&flag, FaultPlan::parse)?,
+            "--wire" => cli.opts.wire = args.parse_with(&flag, WireFormat::parse)?,
+            "--chunk-bytes" => {
+                cli.opts.chunk_bytes = args.parse(&flag)?;
+                if cli.opts.chunk_bytes == 0 {
+                    return Err(UsageError::new("--chunk-bytes", "must be positive"));
+                }
+            }
             "--gbs-adjust-period" => cli.gbs_adjust_period = Some(args.parse(&flag)?),
             "--gbs-static" => cli.opts.gbs_static = true,
             "--trace-out" => cli.trace_out = Some(args.value(&flag)?),
@@ -158,6 +167,7 @@ fn usage() -> ! {
          \x20                 [--peers HOST:PORT,...] [--port-base P] [--train N] [--test N] [--lr F]\n\
          \x20                 [--queue-cap N] [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]\n\
          \x20                 [--peer-timeout S] [--kill W@I[+R],...]\n\
+         \x20                 [--wire dense|fp16|int8|topk[:N]] [--chunk-bytes B]\n\
          \x20                 [--gbs-adjust-period S] [--gbs-static]\n\
          \x20                 [--trace-out FILE] [--telemetry] [--csv FILE]"
     );
@@ -185,6 +195,7 @@ fn main() {
     if let Some(v) = cli.gbs_adjust_period {
         cfg.gbs.adjust_period_secs = v;
     }
+    cfg.wire = cli.opts.wire;
     let opts = &cli.opts;
 
     dlion_telemetry::init_from_env("info");
@@ -262,6 +273,10 @@ fn main() {
                     .arg(opts.bw_mbps.to_string())
                     .arg("--stall-secs")
                     .arg(opts.stall_timeout.as_secs_f64().to_string())
+                    .arg("--wire")
+                    .arg(opts.wire.render())
+                    .arg("--chunk-bytes")
+                    .arg(opts.chunk_bytes.to_string())
                     .arg("--env-label")
                     .arg(&env_label)
                     .stdout(std::process::Stdio::piped());
@@ -384,6 +399,21 @@ mod tests {
     fn unknown_system_names_the_flag() {
         let e = cli(&["--system", "bogus"]).unwrap_err();
         assert_eq!(e.flag, "--system");
+    }
+
+    #[test]
+    fn wire_flags_parse() {
+        let c = cli(&["--wire", "fp16", "--chunk-bytes", "65536"]).unwrap();
+        assert_eq!(c.opts.wire, WireFormat::Fp16);
+        assert_eq!(c.opts.chunk_bytes, 65536);
+        let c = cli(&["--wire", "topk:5"]).unwrap();
+        assert_eq!(c.opts.wire, WireFormat::TopK(5.0));
+        let d = cli(&[]).unwrap();
+        assert_eq!(d.opts.wire, WireFormat::Dense);
+        let e = cli(&["--wire", "fp32"]).unwrap_err();
+        assert_eq!(e.flag, "--wire");
+        let e = cli(&["--chunk-bytes", "0"]).unwrap_err();
+        assert_eq!(e.flag, "--chunk-bytes");
     }
 
     #[test]

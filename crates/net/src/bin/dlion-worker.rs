@@ -8,6 +8,7 @@
 //!              [--train N] [--test N] [--lr F] [--queue-cap N]
 //!              [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]
 //!              [--peer-timeout S] [--kill W@I[+R],...]
+//!              [--wire dense|fp16|int8|topk[:N]] [--chunk-bytes B]
 //!              [--gbs-adjust-period S] [--gbs-static]
 //!              [--env-label L] [--trace-out FILE] [--telemetry]
 //! ```
@@ -28,6 +29,7 @@
 //! outcome marked departed) — the chaos harness for churn testing.
 
 use dlion_core::cluster::ClusterInit;
+use dlion_core::messages::WireFormat;
 use dlion_core::{build_cluster, Args, FaultPlan, SystemKind, UsageError};
 use dlion_net::{
     live_config, loopback_addrs, parse_peers, run_worker, LiveOpts, TcpOpts, TcpTransport,
@@ -97,6 +99,13 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
                 cli.opts.peer_timeout = Some(Duration::from_secs_f64(args.parse(&flag)?))
             }
             "--kill" => cli.opts.fault = args.parse_with(&flag, FaultPlan::parse)?,
+            "--wire" => cli.opts.wire = args.parse_with(&flag, WireFormat::parse)?,
+            "--chunk-bytes" => {
+                cli.opts.chunk_bytes = args.parse(&flag)?;
+                if cli.opts.chunk_bytes == 0 {
+                    return Err(UsageError::new("--chunk-bytes", "must be positive"));
+                }
+            }
             "--gbs-adjust-period" => cli.gbs_adjust_period = Some(args.parse(&flag)?),
             "--gbs-static" => cli.opts.gbs_static = true,
             "--env-label" => cli.env_label = args.value(&flag)?,
@@ -144,7 +153,8 @@ fn usage() -> ! {
          \x20                   [--system NAME] [--seed N] [--iters K] [--eval-every K]\n\
          \x20                   [--train N] [--test N] [--lr F] [--queue-cap N] [--bw-mbps F]\n\
          \x20                   [--assumed-iter-time S] [--stall-secs S] [--peer-timeout S]\n\
-         \x20                   [--kill W@I[+R],...] [--gbs-adjust-period S] [--gbs-static]\n\
+         \x20                   [--kill W@I[+R],...] [--wire dense|fp16|int8|topk[:N]]\n\
+         \x20                   [--chunk-bytes B] [--gbs-adjust-period S] [--gbs-static]\n\
          \x20                   [--env-label L] [--trace-out FILE] [--telemetry]"
     );
     std::process::exit(2);
@@ -171,6 +181,7 @@ fn main() {
     if let Some(v) = cli.gbs_adjust_period {
         cfg.gbs.adjust_period_secs = v;
     }
+    cfg.wire = cli.opts.wire;
 
     dlion_telemetry::init_from_env("info");
     if let Some(path) = &cli.trace_out {
@@ -258,6 +269,25 @@ mod tests {
             "--id"
         );
         assert_eq!(cli(&["--id", "0", "--bogus"]).unwrap_err().flag, "--bogus");
+    }
+
+    #[test]
+    fn wire_flags_parse() {
+        let c = cli(&[
+            "--id",
+            "0",
+            "--workers",
+            "2",
+            "--wire",
+            "int8",
+            "--chunk-bytes",
+            "8192",
+        ])
+        .unwrap();
+        assert_eq!(c.opts.wire, WireFormat::Int8);
+        assert_eq!(c.opts.chunk_bytes, 8192);
+        let e = cli(&["--id", "0", "--workers", "2", "--wire", "f64"]).unwrap_err();
+        assert_eq!(e.flag, "--wire");
     }
 
     #[test]

@@ -64,8 +64,10 @@ use dlion_core::clock::{Clock, SystemClock};
 use dlion_core::config::RunConfig;
 use dlion_core::gbs::GbsController;
 use dlion_core::lbs::{compute_rcp, partition_gbs, rcp_from_rate, PROFILE_LBS};
-use dlion_core::messages::{decode_frame, encode_frame, GradData, GradMsg, Payload};
-use dlion_core::transport::send_payload;
+use dlion_core::messages::{
+    apply_wire_format, decode_frame, decode_frame_header, decode_wire, encode_frame, wire_label,
+    GradData, GradMsg, Payload, WireCfg, WireFormat, DEFAULT_CHUNK_BYTES,
+};
 use dlion_core::weighted::update_factor;
 use dlion_core::worker::Worker;
 use dlion_core::SyncPolicy;
@@ -121,6 +123,13 @@ pub struct LiveOpts {
     /// dynamic-batching systems — the pre-controller live behaviour.
     /// Startup profiling still assigns proportional LBS shares.
     pub gbs_static: bool,
+    /// Gradient wire format (`--wire`): how dense gradient bodies are
+    /// encoded on the wire. Weights and control payloads always travel
+    /// full-precision regardless.
+    pub wire: WireFormat,
+    /// Chunk size for streamed frames (`--chunk-bytes`): bodies larger
+    /// than this go out as chunked streams, verified chunk-by-chunk.
+    pub chunk_bytes: usize,
     /// The cluster's time source. [`SystemClock`] for real runs; tests
     /// inject a [`dlion_core::ManualClock`] so timing-driven logic (GBS
     /// periods, stall deadlines, rejoin delays) runs deterministically
@@ -140,6 +149,8 @@ impl Default for LiveOpts {
             fault: FaultPlan::default(),
             peer_timeout: None,
             gbs_static: false,
+            wire: WireFormat::Dense,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
             clock: Arc::new(SystemClock::new()),
         }
     }
@@ -157,6 +168,8 @@ impl std::fmt::Debug for LiveOpts {
             .field("fault", &self.fault)
             .field("peer_timeout", &self.peer_timeout)
             .field("gbs_static", &self.gbs_static)
+            .field("wire", &self.wire)
+            .field("chunk_bytes", &self.chunk_bytes)
             .finish_non_exhaustive()
     }
 }
@@ -211,6 +224,11 @@ pub struct WorkerOutcome {
     /// catchup) — overhead the simulator does not model, kept out of the
     /// sim-comparable counters above.
     pub net_overhead_bytes: f64,
+    /// Exact encoded bytes sent, bucketed by wire label (`grad_dense`,
+    /// `grad_sparse`, `grad_fp16`, `grad_int8`, `weights`, `control`) —
+    /// the per-format view of the three counters above, comparable with
+    /// the simulator's `RunMetrics::wire_bytes_by_kind`.
+    pub wire_bytes_by_kind: BTreeMap<String, f64>,
     pub dkt_merges: u64,
     /// This worker left the run early (planned kill without a completed
     /// rejoin). A departed worker reports no final evaluation and its
@@ -254,6 +272,15 @@ impl WorkerOutcome {
             s.push_str(&format!(",\"{key}\":"));
             f64_into(v, &mut s);
         }
+        s.push_str(",\"wire_bytes_by_kind\":{");
+        for (i, (label, v)) in self.wire_bytes_by_kind.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{label}\":"));
+            f64_into(*v, &mut s);
+        }
+        s.push('}');
         s.push_str(",\"evals\":[");
         for (i, e) in self.evals.iter().enumerate() {
             if i > 0 {
@@ -323,6 +350,14 @@ impl WorkerOutcome {
             ),
             ..Default::default()
         };
+        if let Some(dlion_telemetry::json::Json::Obj(buckets)) = v.get("wire_bytes_by_kind") {
+            for (label, val) in buckets {
+                let b = val
+                    .as_f64()
+                    .ok_or_else(|| format!("bad wire_bytes_by_kind[{label}]"))?;
+                out.wire_bytes_by_kind.insert(label.clone(), b);
+            }
+        }
         let Some(dlion_telemetry::json::Json::Arr(evals)) = v.get("evals") else {
             return Err("missing evals".into());
         };
@@ -466,6 +501,16 @@ struct LiveWorker<'a, 'b> {
     /// `SyncState::on_gradient` is still recorded at receipt, so
     /// iteration gating is unaffected.
     deferred: VecDeque<(usize, GradMsg)>,
+    /// Wire encoding in force for every training payload this worker
+    /// sends ([`LiveOpts::wire`] + [`LiveOpts::chunk_bytes`]).
+    wire_cfg: WireCfg,
+    /// Reusable reassembly buffer for inbound chunked streams
+    /// (`decode_wire` scratch).
+    wire_scratch: Vec<u8>,
+    /// Recycled dense-value buffers: applied gradients return their
+    /// storage here, and `decode_body_pooled` draws from it — steady-state
+    /// decode does not allocate.
+    pool: Vec<Vec<f32>>,
     out: WorkerOutcome,
 }
 
@@ -569,23 +614,43 @@ impl LiveWorker<'_, '_> {
         }
     }
 
-    /// Encode and send a training payload, with exact byte accounting.
-    /// `best_effort` sends (shutdown phase) ignore unreachable peers: a
-    /// peer that already left the barrier cannot need this frame. A
-    /// normal send hitting a dead link demotes the peer instead of
-    /// failing the worker.
-    fn send(&mut self, to: usize, payload: &Payload, best_effort: bool) -> Result<(), LiveError> {
-        match send_payload(self.transport, to, payload) {
+    /// Encode and send a training payload, with exact byte accounting per
+    /// wire label. Top-k sparsification happens here, *above* the codec
+    /// (the transport then encodes a sparse body); fp16/int8 quantization
+    /// happens inside the codec on the wire. `best_effort` sends (shutdown
+    /// phase) ignore unreachable peers: a peer that already left the
+    /// barrier cannot need this frame. A normal send hitting a dead link
+    /// demotes the peer instead of failing the worker.
+    fn send(
+        &mut self,
+        to: usize,
+        mut payload: Payload,
+        best_effort: bool,
+    ) -> Result<(), LiveError> {
+        if matches!(self.wire_cfg.format, WireFormat::TopK(_)) {
+            apply_wire_format(&mut payload, self.wire_cfg.format);
+        }
+        let kind = payload.kind();
+        let label = wire_label(&payload, self.wire_cfg.format);
+        match self
+            .transport
+            .send_wire(to, Arc::new(payload), &self.wire_cfg)
+        {
             Ok(bytes) => {
                 let bytes = bytes as f64;
-                match payload.kind() {
+                match kind {
                     "grad" => self.out.grad_bytes += bytes,
                     "weights" => self.out.weight_bytes += bytes,
                     _ => self.out.control_bytes += bytes,
                 }
+                *self
+                    .out
+                    .wire_bytes_by_kind
+                    .entry(label.to_string())
+                    .or_insert(0.0) += bytes;
                 self.out.msgs_sent += 1;
                 event!(self.now(), w: self.me, "send";
-                    "to" => to, "kind" => payload.kind(), "bytes" => bytes);
+                    "to" => to, "kind" => kind, "bytes" => bytes);
                 Ok(())
             }
             Err(_) if best_effort => Ok(()),
@@ -618,15 +683,17 @@ impl LiveWorker<'_, '_> {
         }
     }
 
-    /// Handle one inbound frame — the live analogue of the simulator's
-    /// `Msg` event plus the net-control protocol.
+    /// Handle one inbound wire stream (plain frame or chunked) — the live
+    /// analogue of the simulator's `Msg` event plus the net-control
+    /// protocol. Chunked bodies reassemble into the worker's reusable
+    /// scratch; payload decode draws storage from the recycle pool.
     fn handle_frame(
         &mut self,
         from: usize,
         frame: Vec<u8>,
         during_shutdown: bool,
     ) -> Result<(), LiveError> {
-        let (kind, body) = decode_frame(&frame)?;
+        let (kind, body) = decode_wire(&frame, &mut self.wire_scratch)?;
         match kind {
             KIND_ACK => {
                 // One of our gradient messages reached its peer
@@ -662,7 +729,7 @@ impl LiveWorker<'_, '_> {
             // one (we took another donor's offer first) is ignored.
             KIND_CATCHUP => Ok(()),
             _ => {
-                let payload = Payload::from_frame(&frame)?;
+                let payload = Payload::decode_body_pooled(kind, body, &mut self.pool)?;
                 self.on_payload(from, payload, during_shutdown)
             }
         }
@@ -684,7 +751,9 @@ impl LiveWorker<'_, '_> {
                     self.deferred.push_back((from, msg));
                     Ok(())
                 } else {
-                    self.apply_grad(from, &msg, during_shutdown)
+                    let r = self.apply_grad(from, &msg, during_shutdown);
+                    Payload::Grad(msg).recycle(&mut self.pool);
+                    r
                 }
             }
             Payload::LossShare { avg_loss } => {
@@ -697,7 +766,7 @@ impl LiveWorker<'_, '_> {
                 let sender_loss = self.worker.dkt.avg_loss().unwrap_or(f64::INFINITY);
                 self.send(
                     from,
-                    &Payload::Weights {
+                    Payload::Weights {
                         weights,
                         sender_loss,
                     },
@@ -710,6 +779,9 @@ impl LiveWorker<'_, '_> {
                     .merge_weights(&weights, self.env.cfg.dkt.lambda);
                 self.out.dkt_merges += 1;
                 event!(self.now(), w: self.me, "dkt_merge"; "from" => from);
+                for t in weights {
+                    self.pool.push(t.into_data());
+                }
                 Ok(())
             }
         }
@@ -762,6 +834,7 @@ impl LiveWorker<'_, '_> {
         batch.sort_by_key(|(from, msg)| (msg.iteration, *from));
         for (from, msg) in batch {
             self.apply_grad(from, &msg, during_shutdown)?;
+            Payload::Grad(msg).recycle(&mut self.pool);
         }
         Ok(())
     }
@@ -855,7 +928,7 @@ impl LiveWorker<'_, '_> {
                 continue;
             }
             self.worker.sync.on_sent_to(up.peer);
-            self.send(up.peer, &Payload::Grad(up.msg), false)?;
+            self.send(up.peer, Payload::Grad(up.msg), false)?;
         }
         if share {
             self.dkt_round()?;
@@ -879,14 +952,14 @@ impl LiveWorker<'_, '_> {
             if !self.active[j] {
                 continue;
             }
-            self.send(j, &Payload::LossShare { avg_loss: avg }, false)?;
+            self.send(j, Payload::LossShare { avg_loss: avg }, false)?;
         }
         let round = self.worker.iteration / self.worker.dkt.cfg().period_iters;
         if self.worker.last_pull_round < round {
             if let Some(target) = self.worker.dkt.pull_target() {
                 if self.active[target] {
                     self.worker.last_pull_round = round;
-                    self.send(target, &Payload::DktRequest, false)?;
+                    self.send(target, Payload::DktRequest, false)?;
                 }
             }
         }
@@ -959,8 +1032,13 @@ impl LiveWorker<'_, '_> {
             match self.recv(POLL)? {
                 Some((from, frame)) => {
                     deadline = self.env.clock.now() + stall;
-                    let (kind, body) = decode_frame(&frame)?;
+                    // Peek the kind from the validated header only:
+                    // control frames (RCP/Leave) are always plain, and a
+                    // racing chunked payload is stashed raw for the main
+                    // loop without paying for its reassembly here.
+                    let kind = decode_frame_header(&frame)?.kind;
                     if kind == KIND_RCP {
+                        let (_, body) = decode_frame(&frame)?;
                         let (round, _, peer_rcp) = parse_rcp(body, from)?;
                         if round > 0 {
                             // A fast peer already opened a periodic round;
@@ -973,6 +1051,7 @@ impl LiveWorker<'_, '_> {
                         }
                         rcps[from] = peer_rcp;
                     } else if kind == KIND_LEAVE {
+                        let (_, body) = decode_frame(&frame)?;
                         let k = u64_body(body, from)?;
                         self.note_departed(from, Some(k));
                     } else {
@@ -1220,10 +1299,13 @@ impl LiveWorker<'_, '_> {
         while clock.now() < until {
             let left = Duration::from_secs_f64((until - clock.now()).max(0.0)).min(POLL);
             if let Some((from, frame)) = self.recv(left)? {
-                let (kind, body) = decode_frame(&frame)?;
-                match kind {
+                // Control frames are always plain; a chunked payload
+                // stream is dead traffic here, so peek the kind from
+                // the header without reassembling it.
+                match decode_frame_header(&frame)?.kind {
                     KIND_DONE => self.done[from] = true,
                     KIND_LEAVE => {
+                        let (_, body) = decode_frame(&frame)?;
                         let k = u64_body(body, from)?;
                         self.note_departed(from, Some(k));
                     }
@@ -1252,11 +1334,14 @@ impl LiveWorker<'_, '_> {
                 return Ok(false);
             }
             if let Some((from, frame)) = self.recv(POLL)? {
-                let (kind, body) = decode_frame(&frame)?;
-                match kind {
-                    KIND_CATCHUP => break (from, u64_body(body, from)?),
+                match decode_frame_header(&frame)?.kind {
+                    KIND_CATCHUP => {
+                        let (_, body) = decode_frame(&frame)?;
+                        break (from, u64_body(body, from)?);
+                    }
                     KIND_DONE => self.done[from] = true,
                     KIND_LEAVE => {
+                        let (_, body) = decode_frame(&frame)?;
                         let k = u64_body(body, from)?;
                         self.note_departed(from, Some(k));
                     }
@@ -1266,7 +1351,7 @@ impl LiveWorker<'_, '_> {
         };
 
         // Pull the donor's full weights (the regular DKT transfer path).
-        self.send(donor, &Payload::DktRequest, true)?;
+        self.send(donor, Payload::DktRequest, true)?;
         let deadline = clock.now() + stall;
         loop {
             if clock.now() > deadline || self.all_peers_finished() {
@@ -1275,20 +1360,26 @@ impl LiveWorker<'_, '_> {
             let Some((from, frame)) = self.recv(POLL)? else {
                 continue;
             };
-            let (kind, body) = decode_frame(&frame)?;
-            match kind {
+            match decode_frame_header(&frame)?.kind {
                 KIND_DONE => self.done[from] = true,
                 KIND_LEAVE => {
+                    let (_, body) = decode_frame(&frame)?;
                     let k = u64_body(body, from)?;
                     self.note_departed(from, Some(k));
                 }
                 KIND_ACK | KIND_RCP | KIND_HELLO | KIND_CATCHUP => {}
                 _ => {
-                    let payload = Payload::from_frame(&frame)?;
+                    // Payload frames (the donor's Weights in particular)
+                    // may arrive as chunked streams.
+                    let (kind, body) = decode_wire(&frame, &mut self.wire_scratch)?;
+                    let payload = Payload::decode_body_pooled(kind, body, &mut self.pool)?;
                     if let Payload::Weights { weights, .. } = payload {
                         if from == donor {
                             // λ = 1: take the donor's weights wholesale.
                             self.worker.model.merge_weights(&weights, 1.0);
+                            for t in weights {
+                                self.pool.push(t.into_data());
+                            }
                             self.out.dkt_merges += 1;
                             self.worker.iteration = target;
                             let period = self.worker.dkt.cfg().period_iters;
@@ -1330,9 +1421,29 @@ impl LiveWorker<'_, '_> {
         self.out.departed = true;
         self.out.iterations = self.worker.iteration;
         self.out.wall_secs = self.now();
+        self.emit_wire_bytes_event();
         event!(self.out.wall_secs, w: self.me, "run_end";
             "iterations" => self.out.iterations, "departed" => true);
         self.out
+    }
+
+    /// Trace the encoded bytes-on-the-wire ledger, one fixed key per
+    /// wire label so sim and live rows line up column-for-column.
+    fn emit_wire_bytes_event(&self) {
+        let b = |label: &str| {
+            self.out
+                .wire_bytes_by_kind
+                .get(label)
+                .copied()
+                .unwrap_or(0.0)
+        };
+        event!(self.now(), w: self.me, "wire_bytes_by_kind";
+            "grad_dense" => b("grad_dense"),
+            "grad_sparse" => b("grad_sparse"),
+            "grad_fp16" => b("grad_fp16"),
+            "grad_int8" => b("grad_int8"),
+            "weights" => b("weights"),
+            "control" => b("control"));
     }
 }
 
@@ -1384,6 +1495,12 @@ pub fn run_worker(
         departed_at,
         lbs_of: vec![env.cfg.initial_lbs; n],
         deferred: VecDeque::new(),
+        wire_cfg: WireCfg {
+            format: env.opts.wire,
+            chunk_bytes: env.opts.chunk_bytes,
+        },
+        wire_scratch: Vec::new(),
+        pool: Vec::new(),
         out: WorkerOutcome {
             id: me,
             ..Default::default()
@@ -1515,6 +1632,7 @@ pub fn run_worker(
     if env.cfg.capture_weights {
         lw.out.final_weights = Some(lw.worker.model.weights());
     }
+    lw.emit_wire_bytes_event();
     event!(lw.out.wall_secs, w: me, "run_end";
         "iterations" => lw.out.iterations,
         "grad_bytes" => lw.out.grad_bytes,
@@ -1549,6 +1667,12 @@ mod tests {
             }],
             gbs_trace: vec![(0.25, 160), (0.5, 240)],
             lbs_trace: vec![(0.0, vec![32, 32, 32]), (0.25, vec![54, 53, 53])],
+            wire_bytes_by_kind: [
+                ("grad_dense".to_string(), 123456.0),
+                ("control".to_string(), 28.0),
+            ]
+            .into_iter()
+            .collect(),
             final_weights: None,
         };
         let back = WorkerOutcome::from_json(&out.to_json()).unwrap();
@@ -1563,6 +1687,8 @@ mod tests {
         assert_eq!(back.evals.len(), 1);
         assert_eq!(back.evals[0].accuracy, 0.375);
         assert!(!back.departed);
+        assert_eq!(back.wire_bytes_by_kind.get("grad_dense"), Some(&123456.0));
+        assert_eq!(back.wire_bytes_by_kind.get("control"), Some(&28.0));
         assert!(back.final_weights.is_none());
     }
 

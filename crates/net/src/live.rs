@@ -131,6 +131,9 @@ pub fn assemble_metrics(
         m.weight_bytes += o.weight_bytes;
         m.control_bytes += o.control_bytes;
         m.dkt_merges += o.dkt_merges;
+        for (label, bytes) in &o.wire_bytes_by_kind {
+            *m.wire_bytes_by_kind.entry(label.clone()).or_insert(0.0) += bytes;
+        }
     }
     // The GBS/LBS trajectory is cluster-wide state every member records
     // identically (nominal round times, agreed partitions), so any one
@@ -213,6 +216,12 @@ mod tests {
             }],
             gbs_trace: vec![(0.25, 160)],
             lbs_trace: vec![(0.0, vec![32, 32]), (0.25, vec![80, 80])],
+            wire_bytes_by_kind: [
+                ("grad_dense".to_string(), 1000.0),
+                ("control".to_string(), 50.0),
+            ]
+            .into_iter()
+            .collect(),
             final_weights: None,
         }
     }
@@ -234,6 +243,8 @@ mod tests {
         // Cluster-wide trajectory: one representative copy, not a sum.
         assert_eq!(m.gbs_trace, vec![(0.25, 160)]);
         assert_eq!(m.lbs_trace.len(), 2);
+        assert_eq!(m.wire_bytes_by_kind.get("grad_dense"), Some(&2000.0));
+        assert_eq!(m.wire_bytes_by_kind.get("control"), Some(&100.0));
         assert!(m.telemetry.is_empty());
     }
 

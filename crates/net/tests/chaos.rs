@@ -101,6 +101,40 @@ fn identical_kill_plans_reproduce_survivor_weights() {
     }
 }
 
+#[test]
+fn kill_with_chunked_frames_leaves_survivors_consistent() {
+    // A tiny chunk size makes every gradient a multi-chunk stream, so the
+    // victim's death lands mid-transfer with high probability. Survivors
+    // must apply no partial frame: their weights stay bit-identical to
+    // the unchunked chaos run on both transports.
+    const ITERS: u64 = 8;
+    let mut cfg = chaos_cfg(SystemKind::Baseline, ITERS);
+    cfg.sync_override = Some(SyncPolicy::Synchronous);
+    let plain = run_live(
+        &cfg,
+        3,
+        &chaos_opts(ITERS, "1@3"),
+        TransportKind::Mem,
+        "live/chaos",
+    )
+    .expect("plain run");
+    let plain_bits = weight_bits(&plain.final_weights);
+    for kind in [TransportKind::Mem, TransportKind::Tcp] {
+        let opts = LiveOpts {
+            chunk_bytes: 2048,
+            ..chaos_opts(ITERS, "1@3")
+        };
+        let m = run_live(&cfg, 3, &opts, kind, "live/chaos-chunk").expect("chunked run");
+        assert_eq!(m.iterations, vec![ITERS, 3, ITERS]);
+        let bits = weight_bits(&m.final_weights);
+        assert_eq!(
+            (&plain_bits[0], &plain_bits[2]),
+            (&bits[0], &bits[2]),
+            "survivor weights diverged under chunked frames ({kind:?})"
+        );
+    }
+}
+
 /// One DLion GBS-growth chaos run: worker 1 is killed after iteration 17,
 /// mid-way through the §3.2 speed-up phase (rounds trigger at iterations
 /// 5, 10, 15, 20, 25, 30 under the pinned 0.05s iteration).

@@ -13,6 +13,7 @@
 //! is *not* enough: its initial window lets iteration 1 start before the
 //! peer's gradient lands, making the order timing-dependent.)
 
+use dlion_core::messages::WireFormat;
 use dlion_core::{run_with_models, ManualClock, RunConfig, RunMetrics, SyncPolicy, SystemKind};
 use dlion_net::{live_config, run_live, LiveOpts, TransportKind};
 use dlion_simnet::{ComputeModel, NetworkModel};
@@ -100,6 +101,105 @@ fn bsp_baseline_reaches_bit_identical_weights_over_tcp() {
         weight_bits(&live.final_weights),
         "sim and live BSP weights diverged (TCP transport)"
     );
+}
+
+#[test]
+fn bsp_chunked_dense_stays_bit_identical_over_mem_and_tcp() {
+    // Forcing a tiny chunk size makes every gradient frame a multi-chunk
+    // stream; the values the receiver applies must not change by a bit,
+    // on either transport.
+    const ITERS: u64 = 6;
+    let mut cfg = parity_cfg(SystemKind::Baseline, ITERS);
+    cfg.sync_override = Some(SyncPolicy::Synchronous);
+    let sim = sim_run(&cfg, 2);
+    for kind in [TransportKind::Mem, TransportKind::Tcp] {
+        let opts = LiveOpts {
+            chunk_bytes: 4096,
+            ..live_opts(ITERS)
+        };
+        let live = run_live(&cfg, 2, &opts, kind, "live/parity-chunk").expect("live run");
+        assert_eq!(live.iterations, vec![ITERS, ITERS]);
+        assert_eq!(
+            weight_bits(&sim.final_weights),
+            weight_bits(&live.final_weights),
+            "sim and chunked live BSP weights diverged ({kind:?})"
+        );
+        // The chunked ledger accounts real stream bytes: more than the
+        // plain body (chunk headers), in the dense bucket.
+        let dense = live
+            .wire_bytes_by_kind
+            .get("grad_dense")
+            .copied()
+            .unwrap_or(0.0);
+        assert!(dense > 0.0, "no dense grad bytes recorded ({kind:?})");
+    }
+}
+
+#[test]
+fn quantized_wire_formats_keep_counts_and_bound_loss_delta() {
+    const ITERS: u64 = 8;
+    let mut cfg = parity_cfg(SystemKind::Baseline, ITERS);
+    cfg.sync_override = Some(SyncPolicy::Synchronous);
+    cfg.telemetry = true;
+    let dense = run_live(
+        &cfg,
+        2,
+        &live_opts(ITERS),
+        TransportKind::Mem,
+        "live/wire-d",
+    )
+    .expect("dense run");
+    let dense_loss = dense.worker_loss.last().expect("dense eval")[0];
+    for format in [WireFormat::Fp16, WireFormat::Int8] {
+        let mut qcfg = cfg.clone();
+        qcfg.wire = format;
+        let sim = sim_run(&qcfg, 2);
+        let opts = LiveOpts {
+            wire: format,
+            ..live_opts(ITERS)
+        };
+        let live =
+            run_live(&qcfg, 2, &opts, TransportKind::Mem, "live/wire-q").expect("quantized run");
+        // Identical iteration and message counts: quantization changes
+        // values, never the protocol.
+        assert_eq!(live.iterations, vec![ITERS, ITERS], "{format:?}");
+        assert_eq!(
+            live.telemetry.counter("msgs_sent"),
+            dense.telemetry.counter("msgs_sent"),
+            "{format:?}: message count changed"
+        );
+        // The sim quantizes at send exactly like the live codec, so even
+        // the lossy formats stay bit-identical between backends under
+        // strict BSP.
+        assert_eq!(
+            weight_bits(&sim.final_weights),
+            weight_bits(&live.final_weights),
+            "{format:?}: sim and live diverged"
+        );
+        // Bounded loss delta against the dense reference.
+        let loss = live.worker_loss.last().expect("quantized eval")[0];
+        assert!(loss.is_finite() && dense_loss.is_finite());
+        assert!(
+            (loss - dense_loss).abs() < 1.0,
+            "{format:?}: loss {loss} vs dense {dense_loss}"
+        );
+        // Bytes land in the right ledger bucket, and beat dense volume.
+        let label = match format {
+            WireFormat::Fp16 => "grad_fp16",
+            _ => "grad_int8",
+        };
+        let q_bytes = live.wire_bytes_by_kind.get(label).copied().unwrap_or(0.0);
+        let d_bytes = dense
+            .wire_bytes_by_kind
+            .get("grad_dense")
+            .copied()
+            .unwrap_or(0.0);
+        assert!(q_bytes > 0.0, "{format:?}: empty wire ledger bucket");
+        assert!(
+            q_bytes < 0.55 * d_bytes,
+            "{format:?}: {q_bytes} not smaller than dense {d_bytes}"
+        );
+    }
 }
 
 #[test]

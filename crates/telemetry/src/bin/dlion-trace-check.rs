@@ -5,7 +5,8 @@
 //! `fields`), and per-run sequence numbers must be monotonic. Each
 //! (repeatable) `--require KIND` additionally demands at least one record
 //! of that kind — how CI asserts a run actually exercised a subsystem
-//! (e.g. `--require gbs_adjust` for the live batching controller). Exits 0
+//! (e.g. `--require gbs_adjust` for the live batching controller, or
+//! `--require wire_bytes_by_kind` for the quantized-wire smoke). Exits 0
 //! and prints a summary on success; exits 1 with the first offending line
 //! (or the missing kind) otherwise. Used by the CI telemetry smoke jobs.
 

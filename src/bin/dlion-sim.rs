@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! dlion-sim [--system NAME] [--env NAME] [--duration SECS] [--seed N]
-//!           [--lr F] [--skew F] [--gpu] [--trace-links] [--curve]
+//!           [--lr F] [--skew F] [--wire dense|fp16|int8|topk[:N]]
+//!           [--gpu] [--trace-links] [--curve]
 //!           [--trace-out FILE] [--profile] [--telemetry]
 //! ```
 //!
@@ -23,6 +24,7 @@
 //! cargo run --release --bin dlion-sim -- --system dlion --gpu --env hetero-sys-c
 //! ```
 
+use dlion::core::messages::WireFormat;
 use dlion::core::report;
 use dlion::prelude::*;
 
@@ -34,6 +36,7 @@ struct Cli {
     seed: u64,
     lr: Option<f32>,
     skew: Option<f64>,
+    wire: WireFormat,
     gpu: bool,
     trace_links: bool,
     curve: bool,
@@ -51,6 +54,7 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
         seed: 1,
         lr: None,
         skew: None,
+        wire: WireFormat::Dense,
         gpu: false,
         trace_links: false,
         curve: false,
@@ -75,6 +79,7 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
             "--seed" => cli.seed = args.parse(&flag)?,
             "--lr" => cli.lr = Some(args.parse(&flag)?),
             "--skew" => cli.skew = Some(args.parse(&flag)?),
+            "--wire" => cli.wire = args.parse_with(&flag, WireFormat::parse)?,
             "--gpu" => cli.gpu = true,
             "--trace-links" => cli.trace_links = true,
             "--curve" => cli.curve = true,
@@ -94,7 +99,8 @@ fn usage() -> ! {
         "usage: dlion-sim [--system baseline|ako|gaia|hop|dlion|dlion-no-wu|dlion-no-dbwu|maxN|pragueG]\n\
          \x20                [--env homo-a|homo-b|homo-c|hetero-cpu-a|hetero-cpu-b|hetero-net-a|hetero-net-b|\n\
          \x20                       hetero-sys-a|hetero-sys-b|hetero-sys-c|dynamic-sys-a|dynamic-sys-b]\n\
-         \x20                [--duration SECS] [--seed N] [--lr F] [--skew F] [--gpu] [--trace-links] [--curve] [--csv FILE]\n\
+         \x20                [--duration SECS] [--seed N] [--lr F] [--skew F] [--wire dense|fp16|int8|topk[:N]]\n\
+         \x20                [--gpu] [--trace-links] [--curve] [--csv FILE]\n\
          \x20                [--trace-out FILE] [--profile] [--telemetry]"
     );
     std::process::exit(2);
@@ -108,6 +114,7 @@ fn main() {
         seed,
         lr,
         skew,
+        wire,
         gpu,
         trace_links,
         curve,
@@ -130,6 +137,7 @@ fn main() {
     cfg.seed = seed;
     cfg.trace_links = trace_links;
     cfg.telemetry = telemetry;
+    cfg.wire = wire;
     if let Some(v) = lr {
         cfg.lr = v;
     }
@@ -216,6 +224,9 @@ mod tests {
         assert_eq!(c.system, SystemKind::Prague(3));
         assert_eq!(c.env, EnvId::DynamicSysA);
         assert!(c.gpu);
+        assert_eq!(c.wire, WireFormat::Dense);
+        let c = cli(&["--wire", "topk:15"]).unwrap();
+        assert_eq!(c.wire, WireFormat::TopK(15.0));
     }
 
     #[test]
@@ -223,6 +234,7 @@ mod tests {
         assert_eq!(cli(&["--system", "bogus"]).unwrap_err().flag, "--system");
         assert_eq!(cli(&["--env", "nowhere"]).unwrap_err().flag, "--env");
         assert_eq!(cli(&["--duration", "long"]).unwrap_err().flag, "--duration");
+        assert_eq!(cli(&["--wire", "fp8"]).unwrap_err().flag, "--wire");
         assert_eq!(cli(&["--what"]).unwrap_err().flag, "--what");
     }
 }
