@@ -276,6 +276,55 @@ fn telemetry() {
     }) * 1e9
         / 1024.0;
     println!("json:{{\"bench\":\"disabled_gate\",\"ns_per_site\":{gate_ns:.3}}}");
+
+    // Health-plane overhead on a live 3-worker cluster (in-memory
+    // transport, so the measurement is the reporting machinery itself —
+    // stats encoding, KIND_STATS fan-out, aggregation, training-clock
+    // bookkeeping — not socket noise). Off must be ~free (the plane is a
+    // handful of `Option` checks when disabled), on must stay <1% e2e.
+    let live_cfg = {
+        let mut cfg = dlion_net::live_config(SystemKind::DLion, 1);
+        cfg.duration = 10_000.0;
+        cfg.eval_interval = 10_000.0;
+        cfg.workload.train_size = 4800;
+        cfg.max_iters = Some(120);
+        cfg
+    };
+    let live_once = |health: Option<f64>| {
+        let opts = dlion_net::LiveOpts {
+            iters: 120,
+            eval_every: 0,
+            assumed_iter_time: Some(0.05),
+            health_interval: health,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        dlion_net::run_live(
+            &live_cfg,
+            3,
+            &opts,
+            dlion_net::TransportKind::Mem,
+            "bench/health",
+        )
+        .expect("live run");
+        t0.elapsed().as_secs_f64()
+    };
+    live_once(None); // warmup
+    let (mut h_off, mut h_on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        h_off = h_off.min(live_once(None));
+        // 0.1s of training clock per report: 20 rounds over the 40-iter
+        // run — a denser cadence than any real deployment would pick.
+        h_on = h_on.min(live_once(Some(0.1)));
+    }
+    let h_pct = (h_on / h_off - 1.0) * 100.0;
+    println!("  live 3w health off: {h_off:.3} s wall");
+    println!("  live 3w health on (interval 0.1): {h_on:.3} s wall");
+    println!("  health-plane overhead: {h_pct:.1}%");
+    println!(
+        "json:{{\"bench\":\"health_plane_overhead\",\"off_wall_s\":{h_off:.3},\
+         \"on_wall_s\":{h_on:.3},\"enabled_overhead_pct\":{h_pct:.2}}}"
+    );
 }
 
 /// Wire-codec and live-transport throughput: encode/decode a 5 MB dense

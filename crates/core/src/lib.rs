@@ -58,9 +58,9 @@ pub use fault::{FaultPlan, KillSpec};
 pub use gbs::{GbsConfig, GbsController, GbsPhase};
 pub use maxn::MaxNPlanner;
 pub use messages::{GradMsg, Payload, WireError};
-pub use metrics::RunMetrics;
+pub use metrics::{HealthSummary, RunMetrics};
 pub use runner::{run_env, run_with_models, ClusterRunner};
 pub use strategy::{ExchangeStrategy, PeerUpdate, StrategyCtx};
 pub use sync::{SyncPolicy, SyncState};
 pub use topology::Topology;
-pub use transport::{mem_mesh, ExchangeTransport, MemTransport, TransportError};
+pub use transport::{mem_mesh, ExchangeTransport, LinkHealth, MemTransport, TransportError};

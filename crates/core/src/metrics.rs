@@ -24,6 +24,73 @@ pub struct LinkSample {
     pub n_used: f64,
 }
 
+/// The cluster-health view of one run (DESIGN.md §4h): per-worker
+/// iteration rates and straggler scores — the slowest/median ratio is the
+/// same signal §3.2's LBS repartitioning acts on — plus the silence
+/// ledger. Built by the sim at the end of `run()` and by the live
+/// orchestrator's `HealthAggregator` from worker outcomes, with rates
+/// taken from the *training clock* (virtual time in the sim, accumulated
+/// per-iteration `dt` live), so under a pinned iteration time the summary
+/// is bit-identical across repeat runs and transports.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HealthSummary {
+    /// Per-worker iteration rate on the training clock, iterations/sec
+    /// (0 when the worker never completed an iteration).
+    pub rates: Vec<f64>,
+    /// Per-worker straggler score: `median_rate / own_rate`. 1 = exactly
+    /// median, > 1 = slower than the median (0 when the rate is unknown).
+    pub scores: Vec<f64>,
+    /// The slowest worker (highest score; 0 when nobody has a rate).
+    pub straggler: usize,
+    /// The straggler's score — the paper's slowest/median ratio.
+    pub straggler_score: f64,
+    /// Workers flagged silent by the health plane (stopped reporting
+    /// before the end of the run, or departed).
+    pub silent: Vec<bool>,
+    /// Health reports each worker emitted (0 in the sim, which computes
+    /// the summary without a reporting protocol).
+    pub reports: Vec<u64>,
+}
+
+impl HealthSummary {
+    /// Build a summary from per-worker rates plus the silence/report
+    /// ledgers. The median is taken over workers with a known (> 0) rate.
+    pub fn compute(rates: Vec<f64>, silent: Vec<bool>, reports: Vec<u64>) -> HealthSummary {
+        let mut known: Vec<f64> = rates.iter().copied().filter(|&r| r > 0.0).collect();
+        known.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+        let median = if known.is_empty() {
+            0.0
+        } else if known.len() % 2 == 1 {
+            known[known.len() / 2]
+        } else {
+            0.5 * (known[known.len() / 2 - 1] + known[known.len() / 2])
+        };
+        let scores: Vec<f64> = rates
+            .iter()
+            .map(|&r| if r > 0.0 { median / r } else { 0.0 })
+            .collect();
+        let straggler = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map_or(0, |(w, _)| w);
+        let straggler_score = scores.get(straggler).copied().unwrap_or(0.0);
+        HealthSummary {
+            rates,
+            scores,
+            straggler,
+            straggler_score,
+            silent,
+            reports,
+        }
+    }
+
+    /// How many workers the health plane flagged silent.
+    pub fn silent_count(&self) -> usize {
+        self.silent.iter().filter(|&&s| s).count()
+    }
+}
+
 /// Everything recorded during one simulated run.
 #[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
@@ -66,6 +133,9 @@ pub struct RunMetrics {
     /// when `RunConfig::telemetry` is on. All recorded quantities are
     /// virtual-time-derived, so this is deterministic per seed.
     pub telemetry: dlion_telemetry::Registry,
+    /// Cluster health summary (straggler scores, silence ledger) — the
+    /// final `cluster_health` view, always populated by both backends.
+    pub health: HealthSummary,
     /// `final_weights[w]`: worker w's weight tensors at the end of the run,
     /// captured only when `RunConfig::capture_weights` is on (used by the
     /// sim/live parity tests for bit-exact comparison).
@@ -308,5 +378,39 @@ mod tests {
         assert_eq!(m.final_acc_std(), 0.0);
         assert_eq!(m.best_mean_acc(), 0.0);
         assert_eq!(m.time_to_accuracy(0.5), None);
+    }
+
+    #[test]
+    fn health_summary_scores_the_slowest_against_the_median() {
+        // Worker 2 runs at a third of the others' rate: score 3, straggler.
+        let h = HealthSummary::compute(vec![20.0, 20.0, 20.0 / 3.0], vec![false; 3], vec![4, 4, 4]);
+        assert_eq!(h.straggler, 2);
+        assert!((h.straggler_score - 3.0).abs() < 1e-12);
+        assert!((h.scores[0] - 1.0).abs() < 1e-12);
+        assert_eq!(h.silent_count(), 0);
+    }
+
+    #[test]
+    fn health_summary_median_skips_unknown_rates() {
+        // A worker that never stepped (rate 0) neither drags the median
+        // down nor becomes the straggler.
+        let h = HealthSummary::compute(
+            vec![10.0, 0.0, 10.0, 5.0],
+            vec![false, true, false, false],
+            vec![3, 0, 3, 3],
+        );
+        assert_eq!(h.scores[1], 0.0);
+        assert_eq!(h.straggler, 3);
+        assert!((h.straggler_score - 2.0).abs() < 1e-12);
+        assert_eq!(h.silent_count(), 1);
+    }
+
+    #[test]
+    fn health_summary_empty_cluster_is_safe() {
+        let h = HealthSummary::compute(Vec::new(), Vec::new(), Vec::new());
+        assert_eq!(h.straggler, 0);
+        assert_eq!(h.straggler_score, 0.0);
+        assert_eq!(h.silent_count(), 0);
+        assert_eq!(h, HealthSummary::default());
     }
 }

@@ -65,6 +65,31 @@ pub fn summarize(m: &RunMetrics) -> String {
             last.iter().sum::<usize>()
         ));
     }
+    // Health: only when a rate is known (any worker finished an
+    // iteration with a training clock), so empty runs stay terse.
+    if m.health.rates.iter().any(|&r| r > 0.0) {
+        s.push_str(&format!(
+            "cluster health: straggler w{} (score {:.2}); rates {}{}\n",
+            m.health.straggler,
+            m.health.straggler_score,
+            m.health
+                .rates
+                .iter()
+                .map(|r| format!("{r:.2}"))
+                .collect::<Vec<_>>()
+                .join("/"),
+            if m.health.silent_count() > 0 {
+                format!(
+                    "; silent {:?}",
+                    (0..m.health.silent.len())
+                        .filter(|&w| m.health.silent[w])
+                        .collect::<Vec<_>>()
+                )
+            } else {
+                String::new()
+            }
+        ));
+    }
     s
 }
 
@@ -100,6 +125,11 @@ mod tests {
             dkt_merges: 4,
             duration: 200.0,
             lbs_trace: vec![(0.0, vec![16, 16])],
+            health: crate::metrics::HealthSummary::compute(
+                vec![20.0, 20.0 / 3.0],
+                vec![false, true],
+                vec![4, 1],
+            ),
             ..Default::default()
         }
     }
@@ -113,6 +143,10 @@ mod tests {
         assert!(s.contains("gradients 50.0 MB"));
         assert!(s.contains("4 merges"));
         assert!(s.contains("GBS 32"));
+        // Two workers at 20 and 20/3 it/s: median is their mean (13.33),
+        // so the straggler's median/own score is exactly 2.
+        assert!(s.contains("straggler w1 (score 2.00)"), "{s}");
+        assert!(s.contains("silent [1]"), "{s}");
     }
 
     #[test]

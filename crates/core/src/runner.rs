@@ -220,6 +220,34 @@ impl ClusterRunner {
             "grad_int8" => wires("grad_int8"),
             "weights" => wires("weights"),
             "control" => wires("control"));
+        // Cluster health summary (DESIGN.md §4h): iteration rates on the
+        // virtual clock. The sim has no reporting protocol (reports = 0)
+        // and no silence (a capacity-starved worker merely idles), but the
+        // per-worker `cluster_health` rows carry the same fixed keys as
+        // the live aggregator's, so sim and live views line up
+        // column-for-column.
+        let rates: Vec<f64> = (0..self.n)
+            .map(|w| {
+                let busy = self.metrics.busy_time[w];
+                if busy > 0.0 {
+                    self.metrics.iterations[w] as f64 / busy
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        self.metrics.health =
+            crate::metrics::HealthSummary::compute(rates, vec![false; self.n], vec![0; self.n]);
+        for w in 0..self.n {
+            event!(end_time, w: w, "cluster_health";
+                "iterations" => self.metrics.iterations[w],
+                "rounds" => self.metrics.health.reports[w],
+                "rate" => self.metrics.health.rates[w],
+                "score" => self.metrics.health.scores[w],
+                "silent" => self.metrics.health.silent[w],
+                "departed" => false,
+                "straggler" => self.metrics.health.straggler);
+        }
         event!(end_time, "run_end";
             "iterations" => self.metrics.total_iterations(),
             "grad_bytes" => self.metrics.grad_bytes,

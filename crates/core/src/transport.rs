@@ -8,9 +8,50 @@
 //! second data point that parity holds independent of the wire.
 
 use crate::messages::{Payload, WireCfg, WireError};
+use dlion_telemetry::Histogram;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Advisory per-link transport health (DESIGN.md §4h): send-queue depth
+/// and frame-lifecycle latency histograms collected by an instrumented
+/// transport. All quantities are wall-clock-derived, so they feed the
+/// health plane's *advisory* view (dashboards, `frame_latency` trace
+/// events) — never the deterministic `cluster_health` counters.
+#[derive(Clone, Debug)]
+pub struct LinkHealth {
+    /// The peer this link reaches.
+    pub peer: usize,
+    /// Frames currently queued for the peer (send-side backpressure).
+    pub queue_depth: usize,
+    /// High-water mark of `queue_depth` over the link's lifetime.
+    pub queue_depth_hw: usize,
+    /// Frames that completed the send path on this link.
+    pub frames: u64,
+    /// Seconds a frame waited in the send queue (enqueue → writer pickup).
+    pub queue_wait: Histogram,
+    /// Seconds the writer spent serializing + pushing a frame into the
+    /// socket (encode and socket write overlap for chunked streams).
+    pub write_time: Histogram,
+    /// Seconds the reader spent pulling + verifying a frame off the wire.
+    pub read_time: Histogram,
+}
+
+impl LinkHealth {
+    /// Empty instrumentation record for `peer`, with the health plane's
+    /// standard exponential buckets (1 µs first bucket, ×4 growth).
+    pub fn new(peer: usize) -> LinkHealth {
+        LinkHealth {
+            peer,
+            queue_depth: 0,
+            queue_depth_hw: 0,
+            frames: 0,
+            queue_wait: Histogram::exponential(1e-6, 4.0, 24),
+            write_time: Histogram::exponential(1e-6, 4.0, 24),
+            read_time: Histogram::exponential(1e-6, 4.0, 24),
+        }
+    }
+}
 
 /// Transport failure. Every [`ExchangeTransport`] method reports its
 /// failures through this type — there are no stringly-typed errors on
@@ -137,6 +178,15 @@ pub trait ExchangeTransport: Send {
         let len = stream.len();
         self.send_frame(to, stream)?;
         Ok(len)
+    }
+
+    /// Snapshot this endpoint's per-link health instrumentation (one
+    /// entry per connected peer). The default returns nothing — only
+    /// instrumented transports (TCP with health reporting on) override
+    /// it; `MemTransport`'s channels have no meaningful queue or wire
+    /// latency to report.
+    fn link_health(&mut self) -> Vec<LinkHealth> {
+        Vec::new()
     }
 }
 

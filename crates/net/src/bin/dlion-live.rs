@@ -10,6 +10,7 @@
 //!            [--peer-timeout S] [--kill W@I[+R],...]
 //!            [--wire dense|fp16|int8|topk[:N]] [--chunk-bytes B]
 //!            [--gbs-adjust-period S] [--gbs-static]
+//!            [--health-interval S] [--straggle W:F,...]
 //!            [--trace-out FILE] [--telemetry] [--csv FILE]
 //! ```
 //!
@@ -42,8 +43,8 @@
 use dlion_core::messages::WireFormat;
 use dlion_core::{report, Args, FaultPlan, SystemKind, UsageError};
 use dlion_net::{
-    assemble_metrics, live_config, loopback_addrs, parse_peers, run_live, LiveOpts, TransportKind,
-    WorkerOutcome,
+    assemble_metrics, live_config, loopback_addrs, parse_peers, parse_straggle, run_live, LiveOpts,
+    TransportKind, WorkerOutcome,
 };
 use std::io::Read;
 use std::net::SocketAddr;
@@ -122,6 +123,8 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
             }
             "--gbs-adjust-period" => cli.gbs_adjust_period = Some(args.parse(&flag)?),
             "--gbs-static" => cli.opts.gbs_static = true,
+            "--health-interval" => cli.opts.health_interval = Some(args.parse(&flag)?),
+            "--straggle" => cli.opts.straggle = args.parse_with(&flag, parse_straggle)?,
             "--trace-out" => cli.trace_out = Some(args.value(&flag)?),
             "--telemetry" => cli.telemetry = true,
             "--csv" => cli.csv = Some(args.value(&flag)?),
@@ -157,6 +160,17 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
         .fault
         .validate(cli.workers, cli.opts.iters)
         .map_err(|reason| UsageError::new("--kill", reason))?;
+    for &(w, _) in &cli.opts.straggle {
+        if w >= cli.workers {
+            return Err(UsageError::new(
+                "--straggle",
+                format!(
+                    "worker {w} does not exist in a {}-worker cluster",
+                    cli.workers
+                ),
+            ));
+        }
+    }
     Ok(cli)
 }
 
@@ -169,6 +183,7 @@ fn usage() -> ! {
          \x20                 [--peer-timeout S] [--kill W@I[+R],...]\n\
          \x20                 [--wire dense|fp16|int8|topk[:N]] [--chunk-bytes B]\n\
          \x20                 [--gbs-adjust-period S] [--gbs-static]\n\
+         \x20                 [--health-interval S] [--straggle W:F,...]\n\
          \x20                 [--trace-out FILE] [--telemetry] [--csv FILE]"
     );
     std::process::exit(2);
@@ -295,6 +310,18 @@ fn main() {
                 if opts.gbs_static {
                     cmd.arg("--gbs-static");
                 }
+                if let Some(s) = opts.health_interval {
+                    cmd.arg("--health-interval").arg(s.to_string());
+                }
+                if !opts.straggle.is_empty() {
+                    let spec = opts
+                        .straggle
+                        .iter()
+                        .map(|(w, f)| format!("{w}:{f}"))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    cmd.arg("--straggle").arg(spec);
+                }
                 if cli.telemetry {
                     cmd.arg("--telemetry");
                 }
@@ -414,6 +441,19 @@ mod tests {
         assert_eq!(e.flag, "--wire");
         let e = cli(&["--chunk-bytes", "0"]).unwrap_err();
         assert_eq!(e.flag, "--chunk-bytes");
+    }
+
+    #[test]
+    fn health_flags_parse_and_validate() {
+        let c = cli(&["--health-interval", "0.2", "--straggle", "2:3"]).unwrap();
+        assert_eq!(c.opts.health_interval, Some(0.2));
+        assert_eq!(c.opts.straggle, vec![(2, 3.0)]);
+        let d = cli(&[]).unwrap();
+        assert_eq!(d.opts.health_interval, None);
+        assert!(d.opts.straggle.is_empty());
+        // Worker 5 does not exist in the default 3-worker cluster.
+        let e = cli(&["--straggle", "5:2"]).unwrap_err();
+        assert_eq!(e.flag, "--straggle");
     }
 
     #[test]

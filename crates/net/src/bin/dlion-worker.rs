@@ -10,6 +10,7 @@
 //!              [--peer-timeout S] [--kill W@I[+R],...]
 //!              [--wire dense|fp16|int8|topk[:N]] [--chunk-bytes B]
 //!              [--gbs-adjust-period S] [--gbs-static]
+//!              [--health-interval S] [--straggle W:F,...]
 //!              [--env-label L] [--trace-out FILE] [--telemetry]
 //! ```
 //!
@@ -32,8 +33,8 @@ use dlion_core::cluster::ClusterInit;
 use dlion_core::messages::WireFormat;
 use dlion_core::{build_cluster, Args, FaultPlan, SystemKind, UsageError};
 use dlion_net::{
-    live_config, loopback_addrs, parse_peers, run_worker, LiveOpts, TcpOpts, TcpTransport,
-    WorkerEnv,
+    live_config, loopback_addrs, parse_peers, parse_straggle, run_worker, LiveOpts, TcpOpts,
+    TcpTransport, WorkerEnv,
 };
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
@@ -106,6 +107,8 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
                     return Err(UsageError::new("--chunk-bytes", "must be positive"));
                 }
             }
+            "--health-interval" => cli.opts.health_interval = Some(args.parse(&flag)?),
+            "--straggle" => cli.opts.straggle = args.parse_with(&flag, parse_straggle)?,
             "--gbs-adjust-period" => cli.gbs_adjust_period = Some(args.parse(&flag)?),
             "--gbs-static" => cli.opts.gbs_static = true,
             "--env-label" => cli.env_label = args.value(&flag)?,
@@ -155,6 +158,7 @@ fn usage() -> ! {
          \x20                   [--assumed-iter-time S] [--stall-secs S] [--peer-timeout S]\n\
          \x20                   [--kill W@I[+R],...] [--wire dense|fp16|int8|topk[:N]]\n\
          \x20                   [--chunk-bytes B] [--gbs-adjust-period S] [--gbs-static]\n\
+         \x20                   [--health-interval S] [--straggle W:F,...]\n\
          \x20                   [--env-label L] [--trace-out FILE] [--telemetry]"
     );
     std::process::exit(2);
@@ -197,6 +201,7 @@ fn main() {
         establish_timeout: cli.opts.stall_timeout,
         peer_timeout: cli.opts.peer_timeout,
         clock: Arc::clone(&cli.opts.clock),
+        instrument: cli.opts.health_interval.is_some(),
     };
     let mut transport = TcpTransport::establish(me, listener, &cli.addrs, cli.seed, &tcp_opts)
         .unwrap_or_else(|e| {
@@ -288,6 +293,27 @@ mod tests {
         assert_eq!(c.opts.chunk_bytes, 8192);
         let e = cli(&["--id", "0", "--workers", "2", "--wire", "f64"]).unwrap_err();
         assert_eq!(e.flag, "--wire");
+    }
+
+    #[test]
+    fn health_flags_parse() {
+        let c = cli(&[
+            "--id",
+            "0",
+            "--workers",
+            "3",
+            "--health-interval",
+            "0.2",
+            "--straggle",
+            "2:3,0:1.5",
+        ])
+        .unwrap();
+        assert_eq!(c.opts.health_interval, Some(0.2));
+        assert_eq!(c.opts.straggle, vec![(2, 3.0), (0, 1.5)]);
+        let e = cli(&["--id", "0", "--workers", "2", "--straggle", "2x3"]).unwrap_err();
+        assert_eq!(e.flag, "--straggle");
+        let e = cli(&["--id", "0", "--workers", "2", "--straggle", "1:0"]).unwrap_err();
+        assert_eq!(e.flag, "--straggle");
     }
 
     #[test]

@@ -59,7 +59,10 @@
 //!   Done from a peer proves all of that peer's gradients have already
 //!   been applied — no message can be lost by exiting after the barrier.
 
-use crate::{LiveError, KIND_ACK, KIND_CATCHUP, KIND_DONE, KIND_HELLO, KIND_LEAVE, KIND_RCP};
+use crate::health::{parse_stats, stats_body, HealthAggregator, WorkerStats, WIRE_LABELS};
+use crate::{
+    LiveError, KIND_ACK, KIND_CATCHUP, KIND_DONE, KIND_HELLO, KIND_LEAVE, KIND_RCP, KIND_STATS,
+};
 use dlion_core::clock::{Clock, SystemClock};
 use dlion_core::config::RunConfig;
 use dlion_core::gbs::GbsController;
@@ -73,11 +76,11 @@ use dlion_core::worker::Worker;
 use dlion_core::SyncPolicy;
 use dlion_core::{ExchangeTransport, FaultPlan, StrategyCtx, TransportError};
 use dlion_nn::Dataset;
-use dlion_telemetry::event;
+use dlion_telemetry::{event, Histogram};
 use dlion_tensor::{DetRng, Tensor};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a blocked worker waits for one frame before re-checking its
 /// stall deadline.
@@ -135,6 +138,21 @@ pub struct LiveOpts {
     /// periods, stall deadlines, rejoin delays) runs deterministically
     /// and without real sleeps.
     pub clock: Arc<dyn Clock>,
+    /// Emit a [`crate::KIND_STATS`] health report every this many
+    /// *training-clock* seconds (`--health-interval`; `None` = health
+    /// plane off). Reports ride the same nominal-time schedule as GBS
+    /// rounds, so with a pinned `assumed_iter_time` the report cadence —
+    /// and every deterministic counter derived from it — is a pure
+    /// function of the iteration schedule, testable on a `ManualClock`
+    /// with zero sleeps.
+    pub health_interval: Option<f64>,
+    /// Deterministic straggler injection (`--straggle W:F`): worker `W`'s
+    /// effective iteration time is multiplied by `F` on the training
+    /// clock (its `dt`, after `assumed_iter_time` pinning). Under a
+    /// pinned time this makes `W` a reproducible straggler — its
+    /// iteration rate drops by exactly `F` — without perturbing anyone
+    /// else: a factor of 1.0 is an exact float no-op.
+    pub straggle: Vec<(usize, f64)>,
 }
 
 impl Default for LiveOpts {
@@ -152,6 +170,8 @@ impl Default for LiveOpts {
             wire: WireFormat::Dense,
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             clock: Arc::new(SystemClock::new()),
+            health_interval: None,
+            straggle: Vec::new(),
         }
     }
 }
@@ -170,8 +190,30 @@ impl std::fmt::Debug for LiveOpts {
             .field("gbs_static", &self.gbs_static)
             .field("wire", &self.wire)
             .field("chunk_bytes", &self.chunk_bytes)
+            .field("health_interval", &self.health_interval)
+            .field("straggle", &self.straggle)
             .finish_non_exhaustive()
     }
+}
+
+/// Parse a `--straggle` spec: comma-separated `W:F` pairs, e.g.
+/// `2:3` or `0:1.5,2:4` — worker `W` runs `F`× slower on the training
+/// clock. Factors must be positive.
+pub fn parse_straggle(s: &str) -> Result<Vec<(usize, f64)>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let (w, f) = part
+            .split_once(':')
+            .ok_or_else(|| format!("expected W:F, got '{part}'"))?;
+        let w: usize = w.parse().map_err(|_| format!("bad worker id '{w}'"))?;
+        let f: f64 = f.parse().map_err(|_| format!("bad factor '{f}'"))?;
+        // NaN factors must also be rejected, hence not `f <= 0.0`.
+        if f.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(format!("factor must be positive, got {f}"));
+        }
+        out.push((w, f));
+    }
+    Ok(out)
 }
 
 /// Everything a live worker needs besides its [`Worker`] state and its
@@ -245,6 +287,26 @@ pub struct WorkerOutcome {
     /// Every LBS repartition, as `(nominal time, per-worker shares)`;
     /// a worker that was not a member of the round holds share 0.
     pub lbs_trace: Vec<(f64, Vec<usize>)>,
+    /// Accumulated training-clock seconds (Σ effective per-iteration
+    /// `dt`). With a pinned `assumed_iter_time` this — and the iteration
+    /// rate `iterations / train_secs` the health plane scores stragglers
+    /// by — is bit-identical across runs and transports.
+    pub train_secs: f64,
+    /// Health report rounds this worker emitted (0 = plane off).
+    pub health_rounds: u64,
+    /// `KIND_STATS` frames received from peers. Advisory: the count near
+    /// the shutdown barrier depends on arrival timing.
+    pub health_frames_recv: u64,
+    /// Peers this worker flagged silent, in id order. Deterministic: the
+    /// set equals the peers that departed (ledger-driven), independent of
+    /// when their Leave frames or socket EOFs landed.
+    pub silent_flagged: Vec<usize>,
+    /// Advisory high-water marks: deepest send queue seen at a health
+    /// tick / end of run, deepest BSP deferred-gradient backlog, largest
+    /// chunked-stream reassembly scratch.
+    pub sendq_hw: u64,
+    pub deferred_hw: u64,
+    pub scratch_hw: u64,
     /// Final weight tensors, when `cfg.capture_weights` is on.
     pub final_weights: Option<Vec<Tensor>>,
 }
@@ -261,9 +323,27 @@ impl WorkerOutcome {
             self.id, self.iterations, self.msgs_sent, self.msgs_recv, self.dkt_merges,
             self.departed
         ));
+        s.push_str(&format!(
+            ",\"health_rounds\":{},\"health_frames_recv\":{},\"sendq_hw\":{},\
+             \"deferred_hw\":{},\"scratch_hw\":{}",
+            self.health_rounds,
+            self.health_frames_recv,
+            self.sendq_hw,
+            self.deferred_hw,
+            self.scratch_hw
+        ));
+        s.push_str(",\"silent_flagged\":[");
+        for (i, p) in self.silent_flagged.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&p.to_string());
+        }
+        s.push(']');
         for (key, v) in [
             ("busy_secs", self.busy_secs),
             ("wall_secs", self.wall_secs),
+            ("train_secs", self.train_secs),
             ("grad_bytes", self.grad_bytes),
             ("weight_bytes", self.weight_bytes),
             ("control_bytes", self.control_bytes),
@@ -350,6 +430,21 @@ impl WorkerOutcome {
             ),
             ..Default::default()
         };
+        // Health-plane fields default to zero so pre-health outcome lines
+        // (older workers, hand-written fixtures) still parse.
+        let opt = |key: &str| v.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0);
+        out.train_secs = opt("train_secs");
+        out.health_rounds = opt("health_rounds") as u64;
+        out.health_frames_recv = opt("health_frames_recv") as u64;
+        out.sendq_hw = opt("sendq_hw") as u64;
+        out.deferred_hw = opt("deferred_hw") as u64;
+        out.scratch_hw = opt("scratch_hw") as u64;
+        if let Some(dlion_telemetry::json::Json::Arr(ids)) = v.get("silent_flagged") {
+            for p in ids {
+                out.silent_flagged
+                    .push(p.as_f64().ok_or("bad silent_flagged id")? as usize);
+            }
+        }
         if let Some(dlion_telemetry::json::Json::Obj(buckets)) = v.get("wire_bytes_by_kind") {
             for (label, val) in buckets {
                 let b = val
@@ -467,6 +562,18 @@ struct LiveWorker<'a, 'b> {
     /// EWMA of this worker's measured throughput, in samples/sec;
     /// `0` until the first iteration completes.
     ewma_rate: f64,
+    /// This worker's [`LiveOpts::straggle`] factor (1.0 = none): the
+    /// effective `dt` multiplier applied in [`LiveWorker::step`].
+    straggle: f64,
+    /// Health report rounds completed (round `r` fires when `train_secs`
+    /// crosses `r × health_interval`; same scheme as `gbs_round`).
+    health_round: u64,
+    /// Peer-report view and silence ledger of the health plane. Allocated
+    /// even when the plane is off — then it just never records.
+    health: HealthAggregator,
+    /// Decode+apply latency of inbound frames, per sending peer
+    /// (advisory; recorded only while the health plane is on).
+    apply_lat: Vec<Histogram>,
     /// Round-tagged RCPs received from peers; rounds may pre-arrive
     /// (a faster peer opened a round we have not reached yet).
     rcp_pending: BTreeMap<u64, Vec<Option<f64>>>,
@@ -547,6 +654,13 @@ impl LiveWorker<'_, '_> {
     fn note_departed(&mut self, peer: usize, completed: Option<u64>) {
         if peer == self.me || !self.active[peer] {
             return;
+        }
+        // The health plane flags the peer silent *before* any demotion
+        // action (the flag is one-shot — a ledger-driven flag at an
+        // earlier health tick wins, and this is a no-op).
+        if self.env.opts.health_interval.is_some() && self.health.flag_silent(peer) {
+            event!(self.now(), w: self.me, "health_silence";
+                "peer" => peer, "iter" => self.worker.iteration);
         }
         self.active[peer] = false;
         let k = completed.or(self.departed_at[peer]).unwrap_or_else(|| {
@@ -693,8 +807,11 @@ impl LiveWorker<'_, '_> {
         frame: Vec<u8>,
         during_shutdown: bool,
     ) -> Result<(), LiveError> {
+        // Frame-lifecycle instrumentation, last leg: reassembly + decode +
+        // apply, recorded per sending peer while the health plane is on.
+        let t0 = self.env.opts.health_interval.is_some().then(Instant::now);
         let (kind, body) = decode_wire(&frame, &mut self.wire_scratch)?;
-        match kind {
+        let result = match kind {
             KIND_ACK => {
                 // One of our gradient messages reached its peer
                 // (BlockOnDelivery's gate).
@@ -728,11 +845,21 @@ impl LiveWorker<'_, '_> {
             // Catchup replies are consumed by the rejoin loop; a stray
             // one (we took another donor's offer first) is ignored.
             KIND_CATCHUP => Ok(()),
+            KIND_STATS => {
+                let stats = parse_stats(body, from)?;
+                self.out.health_frames_recv += 1;
+                self.health.record(from, stats);
+                Ok(())
+            }
             _ => {
                 let payload = Payload::decode_body_pooled(kind, body, &mut self.pool)?;
                 self.on_payload(from, payload, during_shutdown)
             }
+        };
+        if let (Some(t0), Some(h)) = (t0, self.apply_lat.get_mut(from)) {
+            h.record(t0.elapsed().as_secs_f64());
         }
+        result
     }
 
     fn on_payload(
@@ -749,6 +876,7 @@ impl LiveWorker<'_, '_> {
                 if self.worker.strategy.sync_policy() == SyncPolicy::Synchronous {
                     // See `deferred`: applied at the next flush point.
                     self.deferred.push_back((from, msg));
+                    self.out.deferred_hw = self.out.deferred_hw.max(self.deferred.len() as u64);
                     Ok(())
                 } else {
                     let r = self.apply_grad(from, &msg, during_shutdown);
@@ -863,7 +991,10 @@ impl LiveWorker<'_, '_> {
             g.clip_inplace(cfg.grad_clip);
         }
         let measured = (self.env.clock.now() - t0).max(1e-6);
-        let dt = self.env.opts.assumed_iter_time.unwrap_or(measured);
+        // `--straggle` skews the *effective* iteration time; ×1.0 is an
+        // exact float no-op, so unskewed workers are byte-identical to a
+        // run without the flag.
+        let dt = self.env.opts.assumed_iter_time.unwrap_or(measured) * self.straggle;
         self.worker.last_iter_time = dt;
         self.out.busy_secs += measured;
         // Feed the live batching controller: the training clock schedules
@@ -1263,6 +1394,123 @@ impl LiveWorker<'_, '_> {
         Ok(())
     }
 
+    /// Emit every health report whose training-clock boundary has been
+    /// crossed — the same nominal-time scheduling as
+    /// [`LiveWorker::run_due_gbs_rounds`], so with a pinned iteration
+    /// time the report count and round numbers are pure functions of the
+    /// iteration schedule (and hence `ManualClock`-testable without
+    /// sleeps). Each tick also runs the ledger-based silence check.
+    fn run_due_health_rounds(&mut self) -> Result<(), LiveError> {
+        let Some(interval) = self.env.opts.health_interval else {
+            return Ok(());
+        };
+        while self.train_secs >= (self.health_round + 1) as f64 * interval {
+            self.health_round += 1;
+            self.out.health_rounds = self.health_round;
+            self.flag_planned_silent();
+            let stats = self.current_stats();
+            let body = stats_body(&stats);
+            for j in 0..self.n {
+                if j != self.me && self.active[j] && !self.done[j] {
+                    self.send_control(j, KIND_STATS, &body, true)?;
+                }
+            }
+            // Nominal round time, like GBS traces — though the *values*
+            // of the load fields (deferred, sendq) stay advisory.
+            event!(self.health_round as f64 * interval, w: self.me, "worker_health";
+                "round" => self.health_round,
+                "iter" => stats.iteration,
+                "rate" => stats.ewma_rate,
+                "gbs_round" => stats.gbs_round,
+                "deferred" => stats.deferred,
+                "sendq" => stats.sendq_depth,
+                "scratch_hw" => stats.scratch_hw);
+        }
+        Ok(())
+    }
+
+    /// Ledger-based silence detection: a peer whose planned kill
+    /// iteration we have crossed locally will send nothing new — flag it
+    /// even before its Leave frame or socket EOF lands. One-shot per
+    /// peer (shared flag with [`LiveWorker::note_departed`]).
+    fn flag_planned_silent(&mut self) {
+        for j in 0..self.n {
+            if j == self.me {
+                continue;
+            }
+            let overdue = self.departed_at[j].is_some_and(|k| self.worker.iteration >= k);
+            if overdue && self.health.flag_silent(j) {
+                event!(self.now(), w: self.me, "health_silence";
+                    "peer" => j, "iter" => self.worker.iteration);
+            }
+        }
+    }
+
+    /// Snapshot this worker's health report, folding the advisory
+    /// high-water marks into the outcome as a side effect.
+    fn current_stats(&mut self) -> WorkerStats {
+        let mut sendq_depth = 0usize;
+        for link in self.transport.link_health() {
+            sendq_depth = sendq_depth.max(link.queue_depth);
+        }
+        self.out.sendq_hw = self.out.sendq_hw.max(sendq_depth as u64);
+        let scratch_hw = self.wire_scratch.capacity() as u64;
+        self.out.scratch_hw = self.out.scratch_hw.max(scratch_hw);
+        let mut bytes_by_kind = [0.0f64; 6];
+        for (slot, label) in bytes_by_kind.iter_mut().zip(WIRE_LABELS) {
+            *slot = self
+                .out
+                .wire_bytes_by_kind
+                .get(label)
+                .copied()
+                .unwrap_or(0.0);
+        }
+        WorkerStats {
+            round: self.health_round,
+            iteration: self.worker.iteration,
+            gbs_round: self.gbs_round,
+            deferred: self.deferred.len() as u32,
+            sendq_depth: sendq_depth as u32,
+            scratch_hw,
+            ewma_rate: self.ewma_rate,
+            msgs_sent: self.out.msgs_sent,
+            msgs_recv: self.out.msgs_recv,
+            bytes_by_kind,
+        }
+    }
+
+    /// Fold the health plane's end-of-run state into the outcome and
+    /// trace per-link frame-lifecycle latency (advisory wall-clock
+    /// quantiles, in µs, over the whole run).
+    fn finish_health(&mut self) {
+        self.out.train_secs = self.train_secs;
+        self.out.health_rounds = self.health_round;
+        self.out.silent_flagged = self.health.silent_peers();
+        self.out.scratch_hw = self.out.scratch_hw.max(self.wire_scratch.capacity() as u64);
+        if self.env.opts.health_interval.is_none() {
+            return;
+        }
+        let now = self.now();
+        for link in self.transport.link_health() {
+            self.out.sendq_hw = self.out.sendq_hw.max(link.queue_depth_hw as u64);
+            if link.frames == 0 {
+                continue;
+            }
+            let us = |h: &Histogram, q: f64| h.quantile(q) * 1e6;
+            let apply_p99 = self.apply_lat.get(link.peer).map_or(0.0, |h| us(h, 0.99));
+            event!(now, w: self.me, "frame_latency";
+                "peer" => link.peer,
+                "frames" => link.frames,
+                "depth_hw" => link.queue_depth_hw,
+                "queue_p50_us" => us(&link.queue_wait, 0.5),
+                "queue_p99_us" => us(&link.queue_wait, 0.99),
+                "write_p50_us" => us(&link.write_time, 0.5),
+                "write_p99_us" => us(&link.write_time, 0.99),
+                "read_p99_us" => us(&link.read_time, 0.99),
+                "apply_p99_us" => apply_p99);
+        }
+    }
+
     /// Announce a planned departure: Leave (with our completed-iteration
     /// count) to every live peer, so survivors demote us at the right
     /// round instead of stalling on gradients that will never come.
@@ -1421,6 +1669,7 @@ impl LiveWorker<'_, '_> {
         self.out.departed = true;
         self.out.iterations = self.worker.iteration;
         self.out.wall_secs = self.now();
+        self.finish_health();
         self.emit_wire_bytes_event();
         event!(self.out.wall_secs, w: self.me, "run_end";
             "iterations" => self.out.iterations, "departed" => true);
@@ -1482,12 +1731,22 @@ pub fn run_worker(
             env.cfg.gbs,
         )
     });
+    let straggle = env
+        .opts
+        .straggle
+        .iter()
+        .find(|(w, _)| *w == me)
+        .map_or(1.0, |&(_, f)| f);
     let mut lw = LiveWorker {
         gbs: env.cfg.initial_lbs * n,
         gbs_ctl,
         gbs_round: 0,
         train_secs: 0.0,
         ewma_rate: 0.0,
+        straggle,
+        health_round: 0,
+        health: HealthAggregator::new(n),
+        apply_lat: vec![Histogram::default(); n],
         rcp_pending: BTreeMap::new(),
         last_contributors: Vec::new(),
         done: vec![false; n],
@@ -1535,6 +1794,7 @@ pub fn run_worker(
         // runs to completion before the next compute, so the new LBS is
         // in force for it.
         lw.run_due_gbs_rounds()?;
+        lw.run_due_health_rounds()?;
         if let Some(kill) = pending_kill {
             if lw.worker.iteration >= kill.at_iter {
                 pending_kill = None;
@@ -1632,6 +1892,7 @@ pub fn run_worker(
     if env.cfg.capture_weights {
         lw.out.final_weights = Some(lw.worker.model.weights());
     }
+    lw.finish_health();
     lw.emit_wire_bytes_event();
     event!(lw.out.wall_secs, w: me, "run_end";
         "iterations" => lw.out.iterations,
@@ -1673,10 +1934,24 @@ mod tests {
             ]
             .into_iter()
             .collect(),
+            train_secs: 1.5,
+            health_rounds: 6,
+            health_frames_recv: 12,
+            silent_flagged: vec![1],
+            sendq_hw: 4,
+            deferred_hw: 2,
+            scratch_hw: 1 << 16,
             final_weights: None,
         };
         let back = WorkerOutcome::from_json(&out.to_json()).unwrap();
         assert_eq!(back.id, 2);
+        assert_eq!(back.train_secs, 1.5);
+        assert_eq!(back.health_rounds, 6);
+        assert_eq!(back.health_frames_recv, 12);
+        assert_eq!(back.silent_flagged, vec![1]);
+        assert_eq!(back.sendq_hw, 4);
+        assert_eq!(back.deferred_hw, 2);
+        assert_eq!(back.scratch_hw, 1 << 16);
         assert_eq!(back.gbs_trace, vec![(0.25, 160), (0.5, 240)]);
         assert_eq!(back.lbs_trace.len(), 2);
         assert_eq!(back.lbs_trace[1], (0.25, vec![54, 53, 53]));
@@ -1710,5 +1985,20 @@ mod tests {
     fn outcome_json_rejects_garbage() {
         assert!(WorkerOutcome::from_json("not json").is_err());
         assert!(WorkerOutcome::from_json("{\"id\":1}").is_err());
+    }
+
+    #[test]
+    fn pre_health_outcome_lines_still_parse() {
+        // A line without any health-plane fields (the pre-health wire
+        // format) must default them rather than fail.
+        let line = "{\"id\":0,\"iterations\":5,\"msgs_sent\":1,\"msgs_recv\":1,\
+                    \"dkt_merges\":0,\"departed\":false,\"busy_secs\":1.0,\
+                    \"wall_secs\":2.0,\"grad_bytes\":10.0,\"weight_bytes\":0.0,\
+                    \"control_bytes\":0.0,\"net_overhead_bytes\":0.0,\
+                    \"evals\":[]}";
+        let out = WorkerOutcome::from_json(line).unwrap();
+        assert_eq!(out.train_secs, 0.0);
+        assert_eq!(out.health_rounds, 0);
+        assert!(out.silent_flagged.is_empty());
     }
 }

@@ -27,11 +27,14 @@
 //! * [`live`] — the orchestrator: build the cluster once, spawn one
 //!   thread per worker over TCP or in-memory channels, assemble the same
 //!   [`dlion_core::RunMetrics`] the simulator reports.
+//! * [`health`] — the cluster health plane: the [`KIND_STATS`] report
+//!   codec and the [`health::HealthAggregator`] that merges per-worker
+//!   reports into straggler scores and a silence ledger.
 //!
 //! ## Control frames
 //!
-//! The live runtime adds six frame kinds on top of the payload codec, all
-//! at or above [`KIND_NET_BASE`] so `Payload::from_frame` can never
+//! The live runtime adds seven frame kinds on top of the payload codec,
+//! all at or above [`KIND_NET_BASE`] so `Payload::from_frame` can never
 //! mistake one for a training payload:
 //!
 //! | kind | body | role |
@@ -42,12 +45,15 @@
 //! | [`KIND_RCP`] | `round u64, at_iter u64, rcp f64` | LBS/GBS exchange: the sender's measured relative compute power (Eq. 5) for adjustment round `round` (0 = startup profiling), opened at the sender's iteration `at_iter` |
 //! | [`KIND_LEAVE`] | `completed_iters u64` | planned departure: the sender is leaving after completing that many iterations; receivers demote it from sync gating and averaging from the next round on |
 //! | [`KIND_CATCHUP`] | `iteration u64` | rejoin reply to a late Hello: the responder's current iteration, inviting the rejoiner to DKT-pull full weights and resume there |
+//! | [`KIND_STATS`] | [`health::WorkerStats`], 112 bytes | periodic health report (`--health-interval`): iteration, samples/sec EWMA, send-queue depth, deferred backlog, scratch high-water, GBS round, byte ledger — the cluster health plane's wire format (see [`health`]) |
 
 pub mod driver;
+pub mod health;
 pub mod live;
 pub mod tcp;
 
-pub use driver::{run_worker, EvalPoint, LiveOpts, WorkerEnv, WorkerOutcome};
+pub use driver::{parse_straggle, run_worker, EvalPoint, LiveOpts, WorkerEnv, WorkerOutcome};
+pub use health::{parse_stats, stats_body, HealthAggregator, WorkerStats, STATS_BODY_BYTES};
 pub use live::{assemble_metrics, live_config, run_live, TransportKind};
 pub use tcp::{
     loopback_addrs, loopback_mesh, loopback_mesh_addrs, parse_peers, TcpOpts, TcpTransport,
@@ -70,6 +76,9 @@ pub const KIND_RCP: u8 = KIND_NET_BASE + 3;
 pub const KIND_LEAVE: u8 = KIND_NET_BASE + 4;
 /// Rejoin reply: the responder's current iteration (`u64` body).
 pub const KIND_CATCHUP: u8 = KIND_NET_BASE + 5;
+/// Periodic worker health report ([`health::WorkerStats`] body), emitted
+/// every `--health-interval` training-clock seconds.
+pub const KIND_STATS: u8 = KIND_NET_BASE + 6;
 
 /// Encode the 16-byte Hello body: `id u32 LE, n u32 LE, seed u64 LE`.
 pub fn hello_body(me: usize, n: usize, seed: u64) -> [u8; 16] {
@@ -140,6 +149,7 @@ mod tests {
             KIND_RCP,
             KIND_LEAVE,
             KIND_CATCHUP,
+            KIND_STATS,
         ] {
             assert!(kind >= KIND_NET_BASE);
             let frame = dlion_core::messages::encode_frame(kind, &[]);

@@ -8,8 +8,11 @@ use crate::driver::{run_worker, LiveOpts, WorkerEnv, WorkerOutcome};
 use crate::tcp::{loopback_mesh, TcpOpts};
 use crate::LiveError;
 use dlion_core::cluster::ClusterInit;
-use dlion_core::{build_cluster, ExchangeTransport, RunConfig, RunMetrics, SystemKind};
+use dlion_core::{
+    build_cluster, ExchangeTransport, HealthSummary, RunConfig, RunMetrics, SystemKind,
+};
 use dlion_microcloud::ClusterKind;
+use dlion_telemetry::event;
 use std::sync::Arc;
 
 /// Which wire the cluster runs over.
@@ -56,6 +59,9 @@ pub fn run_live(
                 establish_timeout: opts.stall_timeout,
                 peer_timeout: opts.peer_timeout,
                 clock: Arc::clone(&opts.clock),
+                // The health plane wants per-link lifecycle latency; when
+                // it is off the transport pays zero instrumentation cost.
+                instrument: opts.health_interval.is_some(),
             };
             loopback_mesh(n, cfg.seed, &tcp_opts)?
                 .into_iter()
@@ -167,6 +173,45 @@ pub fn assemble_metrics(
             .map(|o| o.final_weights.take().unwrap_or_default())
             .collect();
     }
+    // Cluster health view (the orchestrator side of the health plane):
+    // iteration rates on the *training clock*, straggler scores against
+    // the median, the union of the workers' silence ledgers. All inputs
+    // are deterministic under a pinned iteration time, so this summary —
+    // unlike wall-clock durations — is bit-comparable across repeat runs
+    // and across Mem vs TCP transports.
+    let rates: Vec<f64> = outcomes
+        .iter()
+        .map(|o| {
+            if o.train_secs > 0.0 {
+                o.iterations as f64 / o.train_secs
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let silent: Vec<bool> = (0..n)
+        .map(|j| outcomes.iter().any(|o| o.silent_flagged.contains(&j)))
+        .collect();
+    let reports: Vec<u64> = outcomes.iter().map(|o| o.health_rounds).collect();
+    m.health = HealthSummary::compute(rates, silent, reports);
+    // With health reporting on, trace one `cluster_health` event per
+    // worker — the same fixed keys the simulator emits, at the cluster's
+    // final training-clock time, so sim and live health traces line up.
+    if outcomes.iter().any(|o| o.health_rounds > 0) {
+        let _scope = dlion_telemetry::run_scope(&m.system, env_label, cfg.seed);
+        let vt = outcomes.iter().map(|o| o.train_secs).fold(0.0, f64::max);
+        for o in &outcomes {
+            let w = o.id;
+            event!(vt, w: w, "cluster_health";
+                "iterations" => o.iterations,
+                "rounds" => m.health.reports[w],
+                "rate" => m.health.rates[w],
+                "score" => m.health.scores[w],
+                "silent" => m.health.silent[w],
+                "departed" => o.departed,
+                "straggler" => m.health.straggler);
+        }
+    }
     if cfg.telemetry {
         let tm = &mut m.telemetry;
         for o in &outcomes {
@@ -222,7 +267,8 @@ mod tests {
             ]
             .into_iter()
             .collect(),
-            final_weights: None,
+            train_secs: 0.5,
+            ..Default::default()
         }
     }
 
@@ -261,6 +307,22 @@ mod tests {
         assert_eq!(m.worker_acc, vec![vec![0.5, 0.5]]);
         // Per-worker scalar columns still cover everyone.
         assert_eq!(m.iterations.len(), 3);
+    }
+
+    #[test]
+    fn health_summary_scores_rates_and_unions_silence() {
+        let cfg = live_config(SystemKind::Baseline, 1);
+        let mut slow = outcome(2);
+        slow.train_secs = 1.5; // rate 6.67 vs the others' 20
+        let mut flagger = outcome(0);
+        flagger.silent_flagged = vec![1];
+        flagger.health_rounds = 5;
+        let m = assemble_metrics(&cfg, "live/3w", vec![flagger, outcome(1), slow]);
+        assert_eq!(m.health.straggler, 2);
+        assert!((m.health.straggler_score - 3.0).abs() < 1e-12);
+        assert!((m.health.rates[0] - 20.0).abs() < 1e-12);
+        assert_eq!(m.health.silent, vec![false, true, false]);
+        assert_eq!(m.health.reports, vec![5, 0, 0]);
     }
 
     #[test]

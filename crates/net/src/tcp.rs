@@ -58,10 +58,12 @@ use dlion_core::messages::{
     chunk_checksum, decode_frame, decode_frame_header, encode_frame, verify_chunked_header,
     Payload, WireCfg, CHUNK_HEADER_BYTES, FRAME_HEADER_BYTES,
 };
+use dlion_core::transport::LinkHealth;
 use dlion_core::{ExchangeTransport, TransportError};
+use dlion_telemetry::Histogram;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
 };
@@ -84,6 +86,11 @@ pub struct TcpOpts {
     /// the silence alarm compares against this clock so tests can fire a
     /// timeout without actually sleeping through it.
     pub clock: Arc<dyn Clock>,
+    /// Record per-link frame-lifecycle latency (enqueue→writer-pickup,
+    /// serialize+socket write, body read) and send-queue depth, surfaced
+    /// through [`ExchangeTransport::link_health`]. Off by default: the
+    /// health plane (`--health-interval`) turns it on.
+    pub instrument: bool,
 }
 
 impl Default for TcpOpts {
@@ -93,6 +100,7 @@ impl Default for TcpOpts {
             establish_timeout: Duration::from_secs(60),
             peer_timeout: None,
             clock: Arc::new(SystemClock::new()),
+            instrument: false,
         }
     }
 }
@@ -103,13 +111,18 @@ impl std::fmt::Debug for TcpOpts {
             .field("queue_cap", &self.queue_cap)
             .field("establish_timeout", &self.establish_timeout)
             .field("peer_timeout", &self.peer_timeout)
+            .field("instrument", &self.instrument)
             .finish_non_exhaustive()
     }
 }
 
 /// Read one full wire stream (plain frame or chunked); `Ok(None)` on clean
-/// EOF at a frame boundary. The header is validated *before* any body byte
-/// is read, so `body_len` is bounded by the codec's `MAX_FRAME_BODY_BYTES`.
+/// EOF at a frame boundary. The second return is the time spent reading
+/// the *body* (header completion → frame completion) — the transfer
+/// portion of the frame lifecycle, excluding however long the reader
+/// blocked waiting for the header to appear. The header is validated
+/// *before* any body byte is read, so `body_len` is bounded by the
+/// codec's `MAX_FRAME_BODY_BYTES`.
 ///
 /// Chunked streams are verified **incrementally**: each chunk's
 /// index-seeded checksum is checked the moment its bytes arrive, so a
@@ -120,20 +133,21 @@ impl std::fmt::Debug for TcpOpts {
 /// headers included; receivers decode it with `decode_wire`, which
 /// re-verifies end-to-end, so in-memory and TCP transports deliver
 /// byte-identical streams to the driver.
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<(Vec<u8>, Duration)>> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     match stream.read_exact(&mut header) {
         Ok(()) => {}
         Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
     }
+    let t0 = Instant::now();
     let bad = |msg: String| std::io::Error::new(ErrorKind::InvalidData, msg);
     let h = decode_frame_header(&header).map_err(|e| bad(format!("bad header: {e}")))?;
     if !h.is_chunked() {
         let mut frame = vec![0u8; FRAME_HEADER_BYTES + h.body_len];
         frame[..FRAME_HEADER_BYTES].copy_from_slice(&header);
         stream.read_exact(&mut frame[FRAME_HEADER_BYTES..])?;
-        return Ok(Some(frame));
+        return Ok(Some((frame, t0.elapsed())));
     }
     verify_chunked_header(&header, h.checksum).map_err(|e| bad(format!("bad header: {e}")))?;
     let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + h.body_len + CHUNK_HEADER_BYTES);
@@ -161,7 +175,7 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
         received += chunk_len;
         index += 1;
     }
-    Ok(Some(frame))
+    Ok(Some((frame, t0.elapsed())))
 }
 
 fn hello_frame(me: usize, n: usize, seed: u64) -> Vec<u8> {
@@ -200,10 +214,51 @@ enum Note {
 /// reusable scratch buffer, so chunk *k+1* is being encoded while chunk
 /// *k* is in the kernel's socket buffer, and the full body never exists
 /// as one materialized `Vec<u8>`. Both job kinds ride the same bounded
-/// queue, so per-peer FIFO (the trait contract) is preserved.
+/// queue, so per-peer FIFO (the trait contract) is preserved. Each job
+/// carries its enqueue instant; when instrumentation is on, the writer
+/// turns it into the link's queue-wait sample.
 enum Job {
-    Frame(Vec<u8>),
-    Stream(Arc<Payload>, WireCfg),
+    Frame(Vec<u8>, Instant),
+    Stream(Arc<Payload>, WireCfg, Instant),
+}
+
+/// Per-link lifecycle instrumentation (one slot per peer, allocated only
+/// under [`TcpOpts::instrument`]). The depth counter is atomic so
+/// `enqueue` never takes a lock on the hot path; the histograms are
+/// touched once per frame by the writer/reader threads.
+struct LinkStats {
+    /// Frames currently sitting in the send queue.
+    depth: AtomicUsize,
+    /// Deepest the send queue ever got.
+    depth_hw: AtomicUsize,
+    lat: Mutex<LinkLat>,
+}
+
+struct LinkLat {
+    /// Frames this writer pushed onto the socket.
+    frames: u64,
+    /// Enqueue → writer pickup (time spent queued behind other frames).
+    queue_wait: Histogram,
+    /// Writer pickup → socket write complete (serialize + kernel hand-off;
+    /// for streamed payloads, encode and write overlap chunk-by-chunk).
+    write_time: Histogram,
+    /// Inbound body transfer time (see [`read_frame`]).
+    read_time: Histogram,
+}
+
+impl LinkStats {
+    fn new() -> LinkStats {
+        LinkStats {
+            depth: AtomicUsize::new(0),
+            depth_hw: AtomicUsize::new(0),
+            lat: Mutex::new(LinkLat {
+                frames: 0,
+                queue_wait: Histogram::default(),
+                write_time: Histogram::default(),
+                read_time: Histogram::default(),
+            }),
+        }
+    }
 }
 
 struct Peer {
@@ -220,6 +275,9 @@ struct Mesh {
     peers: Mutex<Vec<Option<Peer>>>,
     /// Writer handles of links replaced by a reconnect; joined on drop.
     retired: Mutex<Vec<JoinHandle<()>>>,
+    /// Frame-lifecycle instrumentation, one slot per peer
+    /// ([`TcpOpts::instrument`]; `None` = zero overhead).
+    lat: Option<Arc<Vec<LinkStats>>>,
 }
 
 impl Mesh {
@@ -247,17 +305,27 @@ impl Mesh {
     ) -> std::io::Result<Peer> {
         let (tx, rx) = sync_channel::<Job>(queue_cap);
         let mut wstream = stream.try_clone()?;
+        let wlat = self.lat.clone();
         let writer = thread::spawn(move || {
             // Reusable per-peer scratch: one chunk large, reused across
             // every streamed payload on this link.
             let mut scratch: Vec<u8> = Vec::new();
             while let Ok(job) = rx.recv() {
-                let ok = match job {
-                    Job::Frame(frame) => wstream.write_all(&frame).is_ok(),
-                    Job::Stream(payload, cfg) => {
-                        payload.write_wire(&mut wstream, &cfg, &mut scratch).is_ok()
-                    }
+                let picked = Instant::now();
+                let (ok, enqueued) = match job {
+                    Job::Frame(frame, at) => (wstream.write_all(&frame).is_ok(), at),
+                    Job::Stream(payload, cfg, at) => (
+                        payload.write_wire(&mut wstream, &cfg, &mut scratch).is_ok(),
+                        at,
+                    ),
                 };
+                if let Some(stats) = wlat.as_deref().map(|l| &l[j]) {
+                    stats.depth.fetch_sub(1, Ordering::Relaxed);
+                    let mut lat = stats.lat.lock().unwrap();
+                    lat.frames += 1;
+                    lat.queue_wait.record((picked - enqueued).as_secs_f64());
+                    lat.write_time.record(picked.elapsed().as_secs_f64());
+                }
                 if !ok {
                     break;
                 }
@@ -270,7 +338,15 @@ impl Mesh {
         // Readers are detached: they exit on EOF/error (announcing the
         // loss) or when the inbox receiver is dropped.
         thread::spawn(move || {
-            while let Ok(Some(frame)) = read_frame(&mut rstream) {
+            while let Ok(Some((frame, took))) = read_frame(&mut rstream) {
+                if let Some(stats) = mesh.lat.as_deref().map(|l| &l[j]) {
+                    stats
+                        .lat
+                        .lock()
+                        .unwrap()
+                        .read_time
+                        .record(took.as_secs_f64());
+                }
                 if itx.send(Note::Frame(j, frame)).is_err() {
                     return;
                 }
@@ -354,7 +430,7 @@ impl TcpTransport {
             stream.set_nonblocking(false)?;
             stream.set_nodelay(true)?;
             stream.set_read_timeout(Some(opts.establish_timeout))?;
-            let frame = read_frame(&mut stream)?
+            let (frame, _) = read_frame(&mut stream)?
                 .ok_or_else(|| LiveError::Protocol("peer closed before hello".into()))?;
             let (id, peer_n, peer_seed) = parse_hello(&frame)?;
             if peer_n != n || peer_seed != seed {
@@ -431,6 +507,9 @@ impl TcpTransport {
         let mesh = Arc::new(Mesh {
             peers: Mutex::new((0..n).map(|_| None).collect()),
             retired: Mutex::new(Vec::new()),
+            lat: opts
+                .instrument
+                .then(|| Arc::new((0..n).map(|_| LinkStats::new()).collect())),
         });
         {
             let mut peers = mesh.peers.lock().unwrap();
@@ -504,7 +583,19 @@ impl TcpTransport {
                 _ => return Err(TransportError::PeerGone(to)),
             }
         };
-        tx.send(job).map_err(|_| TransportError::PeerGone(to))
+        // Count the frame in before the (possibly blocking) send, so the
+        // depth includes the frame we may be backpressured on; the writer
+        // decrements at pickup, and a failed send rolls back here.
+        if let Some(stats) = self.mesh.lat.as_deref().map(|l| &l[to]) {
+            let depth = stats.depth.fetch_add(1, Ordering::Relaxed) + 1;
+            stats.depth_hw.fetch_max(depth, Ordering::Relaxed);
+        }
+        tx.send(job).map_err(|_| {
+            if let Some(stats) = self.mesh.lat.as_deref().map(|l| &l[to]) {
+                stats.depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            TransportError::PeerGone(to)
+        })
     }
 
     /// A connected-but-silent peer past the timeout, if any (each
@@ -568,7 +659,7 @@ fn acceptor_loop(
             stream.set_nonblocking(false).ok()?;
             stream.set_nodelay(true).ok()?;
             stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
-            let frame = read_frame(&mut stream).ok()??;
+            let (frame, _) = read_frame(&mut stream).ok()??;
             let (id, peer_n, peer_seed) = parse_hello(&frame).ok()?;
             if id == me || id >= n || peer_n != n || peer_seed != seed {
                 return None;
@@ -633,7 +724,7 @@ impl ExchangeTransport for TcpTransport {
     }
 
     fn send_frame(&mut self, to: usize, frame: Vec<u8>) -> Result<(), TransportError> {
-        self.enqueue(to, Job::Frame(frame))
+        self.enqueue(to, Job::Frame(frame, Instant::now()))
     }
 
     /// Streamed send: the payload crosses to the writer thread as an
@@ -648,8 +739,33 @@ impl ExchangeTransport for TcpTransport {
         cfg: &WireCfg,
     ) -> Result<usize, TransportError> {
         let len = payload.wire_len(cfg);
-        self.enqueue(to, Job::Stream(payload, *cfg))?;
+        self.enqueue(to, Job::Stream(payload, *cfg, Instant::now()))?;
         Ok(len)
+    }
+
+    /// Snapshot the per-link instrumentation (empty unless
+    /// [`TcpOpts::instrument`] was set). Depths are instantaneous;
+    /// histograms are cumulative since establishment.
+    fn link_health(&mut self) -> Vec<LinkHealth> {
+        let Some(lat) = self.mesh.lat.as_deref() else {
+            return Vec::new();
+        };
+        (0..self.n)
+            .filter(|&j| j != self.me)
+            .map(|j| {
+                let stats = &lat[j];
+                let l = stats.lat.lock().unwrap();
+                LinkHealth {
+                    peer: j,
+                    queue_depth: stats.depth.load(Ordering::Relaxed),
+                    queue_depth_hw: stats.depth_hw.load(Ordering::Relaxed),
+                    frames: l.frames,
+                    queue_wait: l.queue_wait.clone(),
+                    write_time: l.write_time.clone(),
+                    read_time: l.read_time.clone(),
+                }
+            })
+            .collect()
     }
 
     fn try_recv_frame(&mut self) -> Result<Option<(usize, Vec<u8>)>, TransportError> {
@@ -860,6 +976,50 @@ mod tests {
             let back = Payload::from_wire(&stream, &mut scratch).unwrap();
             assert_eq!(back.kind(), "grad");
         }
+    }
+
+    #[test]
+    fn instrumented_mesh_records_frame_lifecycle() {
+        let opts = TcpOpts {
+            queue_cap: 8,
+            establish_timeout: Duration::from_secs(10),
+            instrument: true,
+            ..Default::default()
+        };
+        let mut mesh = loopback_mesh(2, 7, &opts).unwrap();
+        let mut b = mesh.pop().unwrap();
+        let mut a = mesh.pop().unwrap();
+        let p = Payload::LossShare { avg_loss: 1.25 };
+        send_payload(&mut a, 1, &p).unwrap();
+        b.recv_frame_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("frame should arrive");
+        // Receiver-side read_time is recorded before the frame reaches the
+        // inbox, so it is visible as soon as the recv returns.
+        let bl = b.link_health();
+        assert_eq!(bl.len(), 1);
+        assert_eq!(bl[0].peer, 0);
+        assert_eq!(bl[0].read_time.count(), 1);
+        // The sender's writer records after the socket write, which races
+        // with the receiver's read — poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let al = a.link_health();
+            assert_eq!(al[0].peer, 1);
+            if al[0].frames >= 1 {
+                assert_eq!(al[0].queue_wait.count(), al[0].frames);
+                assert_eq!(al[0].write_time.count(), al[0].frames);
+                assert_eq!(al[0].queue_depth, 0);
+                assert!(al[0].queue_depth_hw >= 1);
+                break;
+            }
+            assert!(Instant::now() < deadline, "writer never recorded");
+            thread::sleep(Duration::from_millis(5));
+        }
+        // Uninstrumented transports report nothing.
+        let mut plain = loopback_mesh(2, 7, &TcpOpts::default()).unwrap();
+        assert!(plain[0].link_health().is_empty());
+        assert!(plain[1].link_health().is_empty());
     }
 
     #[test]

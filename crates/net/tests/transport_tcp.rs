@@ -161,6 +161,7 @@ fn silent_peer_surfaces_as_peer_timeout_once_and_rearms() {
         establish_timeout: TIMEOUT,
         peer_timeout: Some(Duration::from_millis(100)),
         clock: Arc::clone(&clock) as Arc<dyn dlion_core::Clock>,
+        instrument: false,
     };
     let mut mesh = loopback_mesh(2, 19, &topts).expect("mesh");
     let mut t1 = mesh.pop().expect("node 1");

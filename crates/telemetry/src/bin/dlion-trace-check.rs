@@ -6,15 +6,63 @@
 //! (repeatable) `--require KIND` additionally demands at least one record
 //! of that kind — how CI asserts a run actually exercised a subsystem
 //! (e.g. `--require gbs_adjust` for the live batching controller, or
-//! `--require wire_bytes_by_kind` for the quantized-wire smoke). Exits 0
-//! and prints a summary on success; exits 1 with the first offending line
-//! (or the missing kind) otherwise. Used by the CI telemetry smoke jobs.
+//! `--require cluster_health` for the health plane). Event kinds with a
+//! pinned field schema (the health-plane events below) are additionally
+//! checked field-for-field on every record. `--summary` prints a per-kind
+//! table with record counts and first/last vtime instead of the one-line
+//! report. Exits 0 on success; exits 1 with the first offending line (or
+//! the missing kind) otherwise. Used by the CI telemetry smoke jobs.
 
 use dlion_telemetry::json::{self, Json};
 use std::collections::BTreeMap;
 
 const REQUIRED_KEYS: [&str; 9] = [
     "wall_ns", "vtime", "seq", "system", "env", "seed", "worker", "kind", "fields",
+];
+
+/// Event kinds whose `fields` layout is pinned: every record of the kind
+/// must carry exactly these keys. The health plane's events are fixed-key
+/// by design (DESIGN.md §4h) so traces stay diffable across runs.
+const SCHEMAS: [(&str, &[&str]); 4] = [
+    (
+        "cluster_health",
+        &[
+            "iterations",
+            "rounds",
+            "rate",
+            "score",
+            "silent",
+            "departed",
+            "straggler",
+        ],
+    ),
+    (
+        "worker_health",
+        &[
+            "round",
+            "iter",
+            "rate",
+            "gbs_round",
+            "deferred",
+            "sendq",
+            "scratch_hw",
+        ],
+    ),
+    (
+        "frame_latency",
+        &[
+            "peer",
+            "frames",
+            "depth_hw",
+            "queue_p50_us",
+            "queue_p99_us",
+            "write_p50_us",
+            "write_p99_us",
+            "read_p99_us",
+            "apply_p99_us",
+        ],
+    ),
+    ("health_silence", &["peer", "iter"]),
 ];
 
 fn check_line(n: usize, line: &str) -> Result<Json, String> {
@@ -36,13 +84,39 @@ fn check_line(n: usize, line: &str) -> Result<Json, String> {
     if !matches!(v.get("fields"), Some(Json::Obj(_))) {
         return Err(format!("line {n}: \"fields\" must be an object"));
     }
+    let kind = v.get("kind").unwrap().as_str().unwrap();
+    if let Some((_, keys)) = SCHEMAS.iter().find(|(k, _)| *k == kind) {
+        let fields = v.get("fields").unwrap();
+        for key in *keys {
+            if fields.get(key).is_none() {
+                return Err(format!("line {n}: {kind:?} record missing field {key:?}"));
+            }
+        }
+        let Json::Obj(members) = fields else {
+            unreachable!("checked above")
+        };
+        if members.len() != keys.len() {
+            return Err(format!(
+                "line {n}: {kind:?} record has {} fields, schema pins {}",
+                members.len(),
+                keys.len()
+            ));
+        }
+    }
     Ok(v)
 }
 
-fn run(path: &str, required: &[String]) -> Result<String, String> {
+/// Per-kind aggregate for the summary table.
+struct KindStats {
+    count: usize,
+    first_vt: f64,
+    last_vt: f64,
+}
+
+fn run(path: &str, required: &[String], summary: bool) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut records = 0usize;
-    let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
+    let mut kinds: BTreeMap<String, KindStats> = BTreeMap::new();
     // Per-run (system, env, seed) -> last seen seq, for monotonicity.
     let mut last_seq: BTreeMap<String, u64> = BTreeMap::new();
     for (i, line) in text.lines().enumerate() {
@@ -52,7 +126,15 @@ fn run(path: &str, required: &[String]) -> Result<String, String> {
         let v = check_line(i + 1, line)?;
         records += 1;
         let kind = v.get("kind").unwrap().as_str().unwrap().to_string();
-        *kinds.entry(kind).or_insert(0) += 1;
+        let vt = v.get("vtime").and_then(|x| x.as_f64()).unwrap_or(0.0);
+        let entry = kinds.entry(kind).or_insert(KindStats {
+            count: 0,
+            first_vt: vt,
+            last_vt: vt,
+        });
+        entry.count += 1;
+        entry.first_vt = entry.first_vt.min(vt);
+        entry.last_vt = entry.last_vt.max(vt);
         let run_key = format!(
             "{:?}/{:?}/{:?}",
             v.get("system").unwrap(),
@@ -80,19 +162,33 @@ fn run(path: &str, required: &[String]) -> Result<String, String> {
             ));
         }
     }
-    let mut summary = format!("{path}: {records} records, {} run(s) OK\n", last_seq.len());
-    for (kind, count) in &kinds {
-        summary.push_str(&format!("  {kind:<16} {count:>8}\n"));
+    let mut out = format!("{path}: {records} records, {} run(s) OK\n", last_seq.len());
+    if summary {
+        out.push_str(&format!(
+            "  {:<20} {:>8} {:>12} {:>12}\n",
+            "kind", "count", "first_vtime", "last_vtime"
+        ));
+        for (kind, s) in &kinds {
+            out.push_str(&format!(
+                "  {kind:<20} {:>8} {:>12.6} {:>12.6}\n",
+                s.count, s.first_vt, s.last_vt
+            ));
+        }
+    } else {
+        for (kind, s) in &kinds {
+            out.push_str(&format!("  {kind:<16} {:>8}\n", s.count));
+        }
     }
-    Ok(summary)
+    Ok(out)
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
     let mut required: Vec<String> = Vec::new();
+    let mut summary = false;
     let usage = || -> ! {
-        eprintln!("usage: dlion-trace-check <trace.jsonl> [--require KIND]...");
+        eprintln!("usage: dlion-trace-check <trace.jsonl> [--require KIND]... [--summary]");
         std::process::exit(2);
     };
     while let Some(arg) = args.next() {
@@ -101,12 +197,13 @@ fn main() {
                 Some(kind) => required.push(kind),
                 None => usage(),
             },
+            "--summary" => summary = true,
             _ if path.is_none() && !arg.starts_with("--") => path = Some(arg),
             _ => usage(),
         }
     }
     let Some(path) = path else { usage() };
-    match run(&path, &required) {
+    match run(&path, &required, summary) {
         Ok(summary) => print!("{summary}"),
         Err(e) => {
             eprintln!("trace check FAILED: {e}");
@@ -142,18 +239,58 @@ mod tests {
         let good_path = dir.join("good.jsonl");
         let second = GOOD.replace("\"seq\":0", "\"seq\":1");
         std::fs::write(&good_path, format!("{GOOD}\n{second}\n")).unwrap();
-        let summary = run(good_path.to_str().unwrap(), &[]).unwrap();
+        let summary = run(good_path.to_str().unwrap(), &[], false).unwrap();
         assert!(summary.contains("2 records"));
         assert!(summary.contains("iter_done"));
 
         let bad_path = dir.join("bad.jsonl");
         std::fs::write(&bad_path, format!("{GOOD}\n{GOOD}\n")).unwrap();
-        let err = run(bad_path.to_str().unwrap(), &[]).unwrap_err();
+        let err = run(bad_path.to_str().unwrap(), &[], false).unwrap_err();
         assert!(err.contains("not monotonic"), "{err}");
 
         let empty_path = dir.join("empty.jsonl");
         std::fs::write(&empty_path, "").unwrap();
-        assert!(run(empty_path.to_str().unwrap(), &[]).is_err());
+        assert!(run(empty_path.to_str().unwrap(), &[], false).is_err());
+    }
+
+    #[test]
+    fn summary_mode_reports_vtime_span_per_kind() {
+        let dir = std::env::temp_dir().join("dlion-trace-check-summary");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let second = GOOD
+            .replace("\"seq\":0", "\"seq\":1")
+            .replace("\"vtime\":0.5", "\"vtime\":2.25");
+        std::fs::write(&path, format!("{GOOD}\n{second}\n")).unwrap();
+        let summary = run(path.to_str().unwrap(), &[], true).unwrap();
+        assert!(summary.contains("first_vtime"), "{summary}");
+        assert!(summary.contains("0.500000"), "{summary}");
+        assert!(summary.contains("2.250000"), "{summary}");
+    }
+
+    #[test]
+    fn health_schemas_are_pinned_field_for_field() {
+        let silence = GOOD
+            .replace("\"kind\":\"iter_done\"", "\"kind\":\"health_silence\"")
+            .replace("{\"loss\":1.5}", "{\"peer\":1,\"iter\":10}");
+        assert!(check_line(1, &silence).is_ok());
+        // A missing schema key fails, naming the key...
+        let missing = silence.replace("\"iter\":10", "\"later\":10");
+        let err = check_line(1, &missing).unwrap_err();
+        assert!(err.contains("\"iter\""), "{err}");
+        // ...and so does an extra field (schemas pin the exact key set).
+        let extra = silence.replace("\"iter\":10", "\"iter\":10,\"extra\":1");
+        let err = check_line(1, &extra).unwrap_err();
+        assert!(err.contains("schema pins"), "{err}");
+        // Unpinned kinds still take any fields object.
+        assert!(check_line(1, GOOD).is_ok());
+        let ch = GOOD
+            .replace("\"kind\":\"iter_done\"", "\"kind\":\"cluster_health\"")
+            .replace(
+                "{\"loss\":1.5}",
+                "{\"iterations\":24,\"rounds\":6,\"rate\":20,\"score\":1,\"silent\":0,\"departed\":0,\"straggler\":0}",
+            );
+        assert!(check_line(1, &ch).is_ok());
     }
 
     #[test]
@@ -164,9 +301,14 @@ mod tests {
         std::fs::write(&path, format!("{GOOD}\n")).unwrap();
         let p = path.to_str().unwrap();
         // The kind in the file satisfies the requirement...
-        assert!(run(p, &["iter_done".to_string()]).is_ok());
+        assert!(run(p, &["iter_done".to_string()], false).is_ok());
         // ...an absent one fails, naming the kind.
-        let err = run(p, &["iter_done".to_string(), "gbs_adjust".to_string()]).unwrap_err();
+        let err = run(
+            p,
+            &["iter_done".to_string(), "gbs_adjust".to_string()],
+            false,
+        )
+        .unwrap_err();
         assert!(err.contains("gbs_adjust"), "{err}");
     }
 }

@@ -10,7 +10,10 @@
 //!
 //! Observability (see DESIGN.md § Observability):
 //!
-//! * `--trace-out FILE` streams every simulation event as one JSON line,
+//! * `--trace-out FILE` streams every simulation event as one JSON line
+//!   (including the end-of-run per-worker `cluster_health` events, on
+//!   virtual time — parity-comparable with a live run's and renderable
+//!   with `dlion-top FILE --once`),
 //! * `--profile` prints a wall-clock per-phase breakdown after the run,
 //! * `--telemetry` prints the run's counter/gauge/histogram registry,
 //! * `DLION_LOG=debug` (or `info,core.gbs=debug`, …) turns on stderr
