@@ -484,7 +484,7 @@ fn net() {
         establish_timeout: std::time::Duration::from_secs(30),
         ..Default::default()
     };
-    let mut mesh = loopback_mesh(2, 5, &tcp_opts).expect("mesh");
+    let mut mesh = loopback_mesh(2, 5, &tcp_opts, None).expect("mesh");
     let mut b = mesh.pop().expect("node 1");
     let mut a = mesh.pop().expect("node 0");
     let echo = std::thread::spawn(move || {

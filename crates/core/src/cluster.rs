@@ -14,6 +14,8 @@ use crate::sync::SyncState;
 use crate::worker::Worker;
 use dlion_nn::{Dataset, ModelSpec};
 use dlion_tensor::DetRng;
+use dlion_topo::TopologySchedule;
+use std::sync::Arc;
 
 /// Everything a backend needs to run a cluster: fully initialized workers
 /// plus the shared dataset and evaluation subset.
@@ -23,7 +25,11 @@ pub struct ClusterInit {
     pub data: Dataset,
     /// Test-set indices used for periodic evaluation.
     pub eval_indices: Vec<usize>,
-    /// Per-worker communication neighbor sets (from the configured topology).
+    /// The per-round neighbor oracle both backends consult. Pure in
+    /// `(topology, n, seed, round, worker)`, so sim and live agree.
+    pub schedule: Arc<dyn TopologySchedule>,
+    /// Per-worker round-0 neighbor sets (the initial gating sets; rounds
+    /// beyond 0 come from [`ClusterInit::schedule`]).
     pub neighbors: Vec<Vec<usize>>,
     pub total_params: usize,
     pub bytes_per_param: f64,
@@ -44,11 +50,13 @@ pub fn build_cluster(cfg: &RunConfig, n: usize) -> ClusterInit {
         cfg.eval_subset <= wl.test_size,
         "eval subset exceeds test set"
     );
-    assert!(
-        cfg.topology.is_connected(n),
-        "topology must connect the cluster"
-    );
-    let neighbors: Vec<Vec<usize>> = (0..n).map(|w| cfg.topology.neighbors(w, n)).collect();
+    // CLI layers validate earlier and print usage; this is the backstop
+    // for programmatic configs.
+    let schedule = cfg
+        .topology
+        .build(n, cfg.seed)
+        .unwrap_or_else(|e| panic!("invalid topology for {n} workers: {e}"));
+    let neighbors: Vec<Vec<usize>> = (0..n).map(|w| schedule.neighbors(w, 0)).collect();
 
     // One dataset holds train ∪ test so both share class prototypes.
     let total = wl.train_size + wl.test_size;
@@ -126,6 +134,7 @@ pub fn build_cluster(cfg: &RunConfig, n: usize) -> ClusterInit {
         workers,
         data,
         eval_indices,
+        schedule,
         neighbors,
         total_params,
         bytes_per_param,

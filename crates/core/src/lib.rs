@@ -62,5 +62,5 @@ pub use metrics::{HealthSummary, RunMetrics};
 pub use runner::{run_env, run_with_models, ClusterRunner};
 pub use strategy::{ExchangeStrategy, PeerUpdate, StrategyCtx};
 pub use sync::{SyncPolicy, SyncState};
-pub use topology::Topology;
+pub use topology::{TopoError, Topology, TopologySchedule};
 pub use transport::{mem_mesh, ExchangeTransport, LinkHealth, MemTransport, TransportError};

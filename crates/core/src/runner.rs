@@ -13,10 +13,13 @@ use crate::cluster::build_cluster;
 use crate::config::RunConfig;
 use crate::lbs::{compute_rcp, partition_gbs, PROFILE_LBS};
 use crate::messages::{
-    apply_wire_format, wire_label, GradData, Payload, WireCfg, WireFormat, DEFAULT_CHUNK_BYTES,
+    apply_wire_format, wire_label, GradData, GradMsg, Payload, WireCfg, WireFormat,
+    DEFAULT_CHUNK_BYTES,
 };
 use crate::metrics::{LinkSample, RunMetrics};
 use crate::strategy::StrategyCtx;
+use crate::sync::SyncPolicy;
+use crate::topology::TopologySchedule;
 use crate::weighted::update_factor;
 use crate::worker::{PendingIteration, Worker};
 use crate::GbsController;
@@ -25,6 +28,7 @@ use dlion_nn::Dataset;
 use dlion_simnet::{ComputeModel, EventQueue, NetworkModel};
 use dlion_telemetry::{debug, event, profile_scope, Phase};
 use dlion_tensor::DetRng;
+use std::sync::Arc;
 
 /// Simulation events.
 enum Ev {
@@ -57,14 +61,21 @@ pub struct ClusterRunner {
     eval_indices: Vec<usize>,
     metrics: RunMetrics,
     gbs: Option<GbsController>,
-    /// Per-worker communication neighbor sets (from the configured topology).
-    neighbors: Vec<Vec<usize>>,
+    /// Per-round neighbor oracle (from the configured topology); both the
+    /// gradient fan-out and the Eq. 7 divisor follow the round's set.
+    schedule: Arc<dyn TopologySchedule>,
     prof_rng: DetRng,
     bytes_per_param: f64,
     total_params: usize,
     /// IterDone + Msg events still in the queue — lets `max_iters` runs end
     /// exactly when all work (including in-flight messages) has drained.
     inflight: usize,
+    /// Per-worker parked peer gradients under strict BSP, applied at the
+    /// next round start in `(round, sender)` order. Mirrors the live
+    /// driver's deferred queue: arrival order (which depends on the
+    /// previous round's gating-release order) must not decide float
+    /// addition order, or sim and live bits diverge beyond 2 workers.
+    deferred: Vec<Vec<(usize, GradMsg)>>,
 }
 
 impl ClusterRunner {
@@ -91,7 +102,7 @@ impl ClusterRunner {
         };
 
         ClusterRunner {
-            neighbors: init.neighbors,
+            schedule: init.schedule,
             prof_rng: init.prof_rng,
             cfg,
             n,
@@ -106,6 +117,7 @@ impl ClusterRunner {
             bytes_per_param: init.bytes_per_param,
             total_params: init.total_params,
             inflight: 0,
+            deferred: vec![Vec::new(); n],
         }
     }
 
@@ -190,6 +202,13 @@ impl ClusterRunner {
                 break;
             }
         }
+        // Strict BSP parks peer gradients until the next round start; at
+        // the end of the run there is no next round, so flush the
+        // remainder in the same canonical order before the final eval and
+        // weight capture — the live driver's shutdown flush does the same.
+        for w in 0..self.n {
+            self.flush_deferred(w, true);
+        }
         // Final evaluation at the end of the run, unless one just happened.
         if self.metrics.eval_times.last().copied().unwrap_or(-1.0) < end_time {
             self.eval_all(end_time);
@@ -261,6 +280,10 @@ impl ClusterRunner {
     // ------------------------------------------------------------ events
 
     fn start_iteration(&mut self, w: usize, now: f64) {
+        // Strict BSP applies the previous round's parked peer gradients
+        // here, so the forward pass below sees the same model the live
+        // driver computes on.
+        self.flush_deferred(w, false);
         let worker = &mut self.workers[w];
         debug_assert!(!worker.computing);
         worker.waiting = false;
@@ -319,7 +342,19 @@ impl ClusterRunner {
     fn on_iter_done(&mut self, w: usize, now: f64) {
         let lr = self.cfg.lr;
         let n = self.n;
-        let gbs_now = self.current_gbs();
+        // The round this completion belongs to, and the neighbor set the
+        // topology plane declares for it. Gradient fan-out, the Eq. 7
+        // divisor, and the next round's gating set all follow it.
+        let round = self.workers[w].iteration;
+        let round_nbrs = self.schedule.neighbors(w, round);
+        let (n_counted, gbs_counted) = self.group_divisor(w, &round_nbrs);
+        if round == 0 || self.schedule.rotates() {
+            event!(now, w: w, "topology_round";
+                "round" => round,
+                "topology" => self.schedule.name(),
+                "neighbors" => round_nbrs.len(),
+                "links" => self.schedule.link_count(round));
+        }
         let (updates, share_dkt) = {
             let worker = &mut self.workers[w];
             worker.computing = false;
@@ -328,12 +363,12 @@ impl ClusterRunner {
                 .take()
                 .expect("IterDone without pending gradients");
             worker.dkt.record_loss(loss);
-            // Self term of the (normalized) Eq. 7.
+            // Self term of the (normalized, group-wise) Eq. 7.
             let own_factor = update_factor(
                 lr,
-                n,
+                n_counted,
                 worker.lbs,
-                gbs_now,
+                gbs_counted,
                 self.cfg.system.weighted_update(),
             );
             let ctx = StrategyCtx {
@@ -343,7 +378,7 @@ impl ClusterRunner {
                 now,
                 lbs: worker.lbs,
                 iter_time: worker.last_iter_time,
-                neighbors: self.neighbors[w].clone(),
+                neighbors: round_nbrs.clone(),
                 bw_mbps: (0..n)
                     .map(|j| {
                         if j == w {
@@ -375,6 +410,10 @@ impl ClusterRunner {
                 updates.rotate_left(r);
             }
             worker.iteration += 1;
+            // Gate the next round on the peers that owed us gradients this
+            // round: per-round schedules are symmetric, so the round's
+            // neighbor set is exactly the set of senders to expect.
+            worker.sync.retarget(&round_nbrs);
             let share = worker.dkt.is_share_round(worker.iteration);
             (updates, share)
         };
@@ -424,18 +463,16 @@ impl ClusterRunner {
         }
         match payload {
             Payload::Grad(msg) => {
-                let weighted = self.cfg.system.weighted_update();
-                let gbs_now = self.current_gbs();
-                let worker = &mut self.workers[to];
-                worker.sync.on_gradient(from, msg.iteration);
-                let factor = update_factor(self.cfg.lr, self.n, msg.lbs, gbs_now, weighted);
-                match &msg.data {
-                    GradData::Dense(vars) => worker.model.apply_dense_update(vars, factor),
-                    GradData::Sparse(vars) => {
-                        for (v, s) in vars.iter().enumerate() {
-                            worker.model.apply_sparse_update(v, s, factor);
-                        }
-                    }
+                self.workers[to].sync.on_gradient(from, msg.iteration);
+                if self.workers[to].strategy.sync_policy() == SyncPolicy::Synchronous {
+                    // Strict BSP: park the gradient; the flush at the next
+                    // round start (or run end) applies the round's batch in
+                    // `(round, sender)` order — the same canonical order the
+                    // live driver uses, so arrival interleaving never leaks
+                    // into the float addition order.
+                    self.deferred[to].push((from, msg));
+                } else {
+                    self.apply_peer_grad(to, &msg);
                 }
                 if self.workers[to].waiting {
                     self.try_start(to, now);
@@ -482,7 +519,7 @@ impl ClusterRunner {
             self.metrics.telemetry.inc("dkt_rounds");
         }
         self.workers[w].dkt.update_known(w, avg);
-        let targets = self.neighbors[w].clone();
+        let targets = self.schedule.neighbors(w, self.workers[w].iteration);
         for j in targets {
             self.send(w, j, Payload::LossShare { avg_loss: avg }, now);
         }
@@ -560,6 +597,60 @@ impl ClusterRunner {
         self.gbs
             .as_ref()
             .map_or(self.cfg.initial_lbs * self.n, |g| g.gbs())
+    }
+
+    /// Group-wise Eq. 7 divisor for a round: the contributors to worker
+    /// `w`'s model in that round are `w` itself plus the round's declared
+    /// neighbors, so both the plain `1/n` and the weighted `LBS/GBS`
+    /// denominators count only that group. On a full mesh this equals the
+    /// global `(n, GBS)` pair exactly (shards partition the GBS), keeping
+    /// full-mesh runs bit-identical to the pre-topology-plane behavior.
+    /// Apply one peer gradient to worker `w`'s model, averaging over the
+    /// gradient round's group (the set is symmetric, so sender and
+    /// receiver agree on it).
+    fn apply_peer_grad(&mut self, w: usize, msg: &GradMsg) {
+        let weighted = self.cfg.system.weighted_update();
+        let nbrs = self.schedule.neighbors(w, msg.iteration);
+        let (n_counted, gbs_counted) = self.group_divisor(w, &nbrs);
+        let factor = update_factor(self.cfg.lr, n_counted, msg.lbs, gbs_counted, weighted);
+        let worker = &mut self.workers[w];
+        match &msg.data {
+            GradData::Dense(vars) => worker.model.apply_dense_update(vars, factor),
+            GradData::Sparse(vars) => {
+                for (v, s) in vars.iter().enumerate() {
+                    worker.model.apply_sparse_update(v, s, factor);
+                }
+            }
+        }
+    }
+
+    /// Apply parked strict-BSP gradients for rounds strictly before worker
+    /// `w`'s current round (all of them when `force`), in `(round,
+    /// sender)` order — the live driver's canonical flush order. Without
+    /// this the event queue's pop order (which depends on the previous
+    /// round's gating-release order) would leak into the float addition
+    /// order and break sim-vs-live bit parity at n > 2.
+    fn flush_deferred(&mut self, w: usize, force: bool) {
+        if self.deferred[w].is_empty() {
+            return;
+        }
+        let cur = self.workers[w].iteration;
+        let parked = std::mem::take(&mut self.deferred[w]);
+        let (mut batch, keep): (Vec<_>, Vec<_>) = parked
+            .into_iter()
+            .partition(|(_, m)| force || m.iteration < cur);
+        self.deferred[w] = keep;
+        batch.sort_by_key(|&(from, ref msg)| (msg.iteration, from));
+        for (_, msg) in &batch {
+            self.apply_peer_grad(w, msg);
+        }
+    }
+
+    fn group_divisor(&self, w: usize, nbrs: &[usize]) -> (usize, usize) {
+        let n_counted = nbrs.len() + 1;
+        let gbs_counted: usize =
+            nbrs.iter().map(|&j| self.workers[j].lbs).sum::<usize>() + self.workers[w].lbs;
+        (n_counted, gbs_counted.max(1))
     }
 
     /// Profile every worker and reassign LBS shares (Eq. 5).

@@ -57,6 +57,10 @@ pub struct SyncState {
     /// [`on_delivered`]: SyncState::on_delivered
     /// [`demote`]: SyncState::demote
     undelivered_to: Vec<usize>,
+    /// Peers permanently removed by [`demote`](SyncState::demote). A
+    /// per-round [`retarget`](SyncState::retarget) never re-admits them,
+    /// even when a rotating topology re-declares the peer as a neighbor.
+    demoted: Vec<bool>,
     me: usize,
 }
 
@@ -75,8 +79,21 @@ impl SyncState {
             tracked,
             undelivered_sends: 0,
             undelivered_to: vec![0; n],
+            demoted: vec![false; n],
             me,
         }
+    }
+
+    /// Point gating at a new round's neighbor set (rotating topologies).
+    /// Demoted peers stay excluded; received-iteration history is kept,
+    /// so a peer that was a neighbor two rounds ago still counts as
+    /// caught-up when the schedule rotates it back in.
+    pub fn retarget(&mut self, neighbors: &[usize]) {
+        self.tracked = neighbors
+            .iter()
+            .copied()
+            .filter(|&j| j != self.me && !self.demoted[j])
+            .collect();
     }
 
     /// Record a gradient received from `from` for `iteration`.
@@ -121,6 +138,7 @@ impl SyncState {
     /// waits for its acks). Idempotent; the live backend calls this when
     /// a peer departs — the Hop-style demotion to an absent worker.
     pub fn demote(&mut self, peer: usize) {
+        self.demoted[peer] = true;
         self.tracked.retain(|&j| j != peer);
         self.undelivered_sends -= self.undelivered_to[peer];
         self.undelivered_to[peer] = 0;
@@ -295,6 +313,43 @@ mod tests {
         assert!(!s.can_start(p, 1));
         // ...only the tracked neighbor unblocks.
         s.on_gradient(5, 0);
+        assert!(s.can_start(p, 1));
+    }
+
+    #[test]
+    fn retarget_follows_rotation_but_never_readmits_demoted() {
+        let p = SyncPolicy::Synchronous;
+        let mut s = SyncState::with_tracked(0, 6, vec![1, 5]);
+        s.on_gradient(1, 0);
+        s.on_gradient(5, 0);
+        assert!(s.can_start(p, 1));
+        // The schedule rotates: round 1 pairs worker 0 with {2, 3}.
+        s.retarget(&[2, 3]);
+        assert!(!s.is_tracked(1));
+        assert!(!s.can_start(p, 2), "new neighbors haven't sent round 1");
+        s.on_gradient(2, 1);
+        s.on_gradient(3, 1);
+        assert!(s.can_start(p, 2));
+        // Worker 3 departs; a later rotation that re-declares it must
+        // not re-admit it into the gating set.
+        s.demote(3);
+        s.retarget(&[3, 4]);
+        assert!(!s.is_tracked(3));
+        assert!(s.is_tracked(4));
+        // Self is filtered defensively too.
+        s.retarget(&[0, 1]);
+        assert!(!s.is_tracked(0));
+        assert!(s.is_tracked(1));
+    }
+
+    #[test]
+    fn retarget_keeps_received_history_across_rotations() {
+        let p = SyncPolicy::Synchronous;
+        let mut s = SyncState::with_tracked(0, 4, vec![1]);
+        s.on_gradient(1, 0);
+        s.on_gradient(2, 0); // untracked this round, but recorded
+        s.retarget(&[2]);
+        // Worker 2's earlier gradient still counts once it is tracked.
         assert!(s.can_start(p, 1));
     }
 

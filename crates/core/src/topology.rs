@@ -1,138 +1,34 @@
-//! Communication topologies — an extension beyond the paper.
+//! Communication topologies — re-exported from the `dlion-topo` crate.
 //!
-//! DLion's prototype exchanges gradients all-to-all. Decentralized gossip
-//! literature (including AD-PSGD, which the paper cites) shows sparser
-//! topologies can cut traffic at some convergence cost. This module lets
-//! any strategy run over a restricted neighbor set: the runner gives each
-//! worker its neighbors, strategies only generate messages for them, and
-//! synchronization policies only wait on them.
+//! The topology plane lives in its own crate so both backends (and the
+//! binaries' CLI layers) share one validated, per-round neighbor oracle;
+//! see `crates/topo` for the spec grammar and schedule implementations.
+//! Core keeps the `Topology` name every config and test already uses.
 
-/// Which peers each worker talks to.
-///
-/// ```
-/// use dlion_core::Topology;
-///
-/// assert_eq!(Topology::Ring.neighbors(0, 6), vec![1, 5]);
-/// assert_eq!(Topology::FullMesh.link_count(6), 30);
-/// assert!(Topology::Star { hub: 2 }.is_connected(6));
-/// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Topology {
-    /// Everyone talks to everyone (the paper's setting).
-    FullMesh,
-    /// Worker `w` talks to `w±1 (mod n)`.
-    Ring,
-    /// Every worker talks only to the hub; the hub talks to everyone.
-    /// (Approximates a parameter-server layout inside the decentralized
-    /// framework.)
-    Star { hub: usize },
-}
-
-impl Topology {
-    /// Neighbor ids of worker `w` in an `n`-worker cluster, in id order.
-    pub fn neighbors(&self, w: usize, n: usize) -> Vec<usize> {
-        assert!(w < n && n >= 2);
-        match *self {
-            Topology::FullMesh => (0..n).filter(|&j| j != w).collect(),
-            Topology::Ring => {
-                if n == 2 {
-                    return vec![1 - w];
-                }
-                let prev = (w + n - 1) % n;
-                let next = (w + 1) % n;
-                let mut v = vec![prev, next];
-                v.sort_unstable();
-                v.dedup();
-                v
-            }
-            Topology::Star { hub } => {
-                assert!(hub < n, "hub out of range");
-                if w == hub {
-                    (0..n).filter(|&j| j != hub).collect()
-                } else {
-                    vec![hub]
-                }
-            }
-        }
-    }
-
-    /// Total directed links in the topology.
-    pub fn link_count(&self, n: usize) -> usize {
-        (0..n).map(|w| self.neighbors(w, n).len()).sum()
-    }
-
-    /// True if the undirected reachability graph is connected (required for
-    /// decentralized training to converge to a common model).
-    pub fn is_connected(&self, n: usize) -> bool {
-        let mut seen = vec![false; n];
-        let mut stack = vec![0usize];
-        seen[0] = true;
-        while let Some(w) = stack.pop() {
-            for j in self.neighbors(w, n) {
-                if !seen[j] {
-                    seen[j] = true;
-                    stack.push(j);
-                }
-            }
-        }
-        seen.into_iter().all(|s| s)
-    }
-
-    pub fn name(&self) -> String {
-        match self {
-            Topology::FullMesh => "full-mesh".into(),
-            Topology::Ring => "ring".into(),
-            Topology::Star { hub } => format!("star(hub={hub})"),
-        }
-    }
-}
+pub use dlion_topo::{TopoError, Topology, TopologySchedule};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The old assert paths (`hub out of range`, `w < n`) are now typed
+    /// construction-time validation: accessors are total, `validate`
+    /// carries the reason.
     #[test]
-    fn full_mesh_neighbors() {
-        let t = Topology::FullMesh;
-        assert_eq!(t.neighbors(2, 4), vec![0, 1, 3]);
-        assert_eq!(t.link_count(6), 30);
-        assert!(t.is_connected(6));
+    fn bad_specs_validate_instead_of_panicking() {
+        let bad = Topology::Star { hub: 9 };
+        assert_eq!(bad.neighbors(0, 4), Vec::<usize>::new());
+        let err = bad.validate(4, 0).unwrap_err();
+        assert!(err.reason.contains("hub 9 out of range"), "{err}");
+        assert!(Topology::Ring.validate(6, 0).is_ok());
     }
 
     #[test]
-    fn ring_neighbors() {
-        let t = Topology::Ring;
-        assert_eq!(t.neighbors(0, 6), vec![1, 5]);
-        assert_eq!(t.neighbors(3, 6), vec![2, 4]);
-        assert_eq!(t.neighbors(5, 6), vec![0, 4]);
-        assert_eq!(t.link_count(6), 12);
-        assert!(t.is_connected(6));
-        // Two workers: one neighbor each.
-        assert_eq!(t.neighbors(0, 2), vec![1]);
-        assert_eq!(t.neighbors(1, 2), vec![0]);
-        // Three workers: ring == full mesh.
-        assert_eq!(t.neighbors(0, 3), vec![1, 2]);
-    }
-
-    #[test]
-    fn star_neighbors() {
-        let t = Topology::Star { hub: 2 };
-        assert_eq!(t.neighbors(2, 5), vec![0, 1, 3, 4]);
-        assert_eq!(t.neighbors(0, 5), vec![2]);
-        assert_eq!(t.link_count(5), 8);
-        assert!(t.is_connected(5));
-    }
-
-    #[test]
-    fn ring_cheaper_than_mesh() {
-        for n in [3usize, 6, 10] {
-            assert!(Topology::Ring.link_count(n) <= Topology::FullMesh.link_count(n));
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "hub out of range")]
-    fn bad_hub_panics() {
-        Topology::Star { hub: 9 }.neighbors(0, 4);
+    fn core_reexport_matches_topo_crate() {
+        assert_eq!(Topology::Ring.neighbors(0, 6), vec![1, 5]);
+        assert_eq!(Topology::FullMesh.link_count(6), 30);
+        assert!(Topology::Star { hub: 2 }.is_connected(6));
+        let sched = Topology::KRegular { k: 2 }.build(6, 7).unwrap();
+        assert_eq!(sched.neighbors(0, 0).len(), 2);
     }
 }

@@ -31,18 +31,30 @@ pub fn ablations(opts: &ExpOpts) -> Vec<Table> {
 }
 
 /// Topology extension: DLion over sparse gossip graphs on the constrained
-/// WAN — traffic vs. accuracy.
-fn extension_topology(opts: &ExpOpts) -> Table {
+/// WAN — the figure-style sweep of topology vs. final loss vs. gradient
+/// wire bytes (DESIGN.md §4i). Covers the static graphs and the rotating
+/// schedules (k-regular gossip, Moshpit-style groups, hierarchical
+/// aggregators).
+pub fn extension_topology(opts: &ExpOpts) -> Table {
     use dlion_core::Topology;
     let mut t = Table::new(
         "extension_topology",
         "DLion over sparse communication topologies (Homo B, 1500 s)",
-        &["Topology", "Accuracy", "Gradient MB sent", "Iterations"],
+        &[
+            "Topology",
+            "Accuracy",
+            "Final loss",
+            "Gradient MB sent",
+            "Iterations",
+        ],
     );
     let topos = [
         Topology::FullMesh,
         Topology::Ring,
         Topology::Star { hub: 0 },
+        Topology::KRegular { k: 2 },
+        Topology::Groups { g: 2 },
+        Topology::Hier { g: 2 },
     ];
     let mut cells = Vec::new();
     for topo in topos {
@@ -56,16 +68,27 @@ fn extension_topology(opts: &ExpOpts) -> Table {
     let metrics = fan_cells(&cells);
     for (topo, runs) in topos.into_iter().zip(metrics.chunks(opts.seeds.len())) {
         let mut accs = Vec::new();
+        let mut losses = Vec::new();
         let mut bytes = Vec::new();
         let mut iters = Vec::new();
         for m in runs {
             accs.push(m.tail_mean_acc(3));
-            bytes.push(m.grad_bytes / 1e6);
+            losses.push(m.worker_loss.last().map_or(0.0, |row| stats::mean(row)));
+            // Source the traffic from the wire ledger so the column matches
+            // what `wire_bytes_by_kind` traces report, format for format.
+            let grad_wire: f64 = m
+                .wire_bytes_by_kind
+                .iter()
+                .filter(|(k, _)| k.starts_with("grad_"))
+                .map(|(_, v)| v)
+                .sum();
+            bytes.push(grad_wire / 1e6);
             iters.push(m.total_iterations() as f64);
         }
         t.row(vec![
             topo.name(),
             fmt_pm(stats::mean(&accs), stats::ci95(&accs)),
+            format!("{:.3}", stats::mean(&losses)),
             format!("{:.0}", stats::mean(&bytes)),
             format!("{:.0}", stats::mean(&iters)),
         ]);

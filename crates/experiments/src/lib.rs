@@ -24,7 +24,7 @@ pub use output::Table;
 
 /// All experiment ids, in paper order (plus reproduction-specific
 /// ablations and, last, the shape-check verdicts over the written CSVs).
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 22] = [
     "fig5",
     "fig6",
     "fig7",
@@ -45,6 +45,7 @@ pub const ALL_IDS: [&str; 21] = [
     "table2",
     "table3",
     "ablations",
+    "topology",
     "verdicts",
 ];
 
@@ -88,6 +89,7 @@ impl Session {
             "table2" => vec![tables::table2()],
             "table3" => vec![tables::table3()],
             "ablations" => ablations::ablations(opts),
+            "topology" => vec![ablations::extension_topology(opts)],
             "verdicts" => vec![verdicts::verdicts(&opts.results_dir)],
             other => panic!("unknown experiment id: {other}"),
         }

@@ -10,6 +10,7 @@
 //!            [--peer-timeout S] [--kill W@I[+R],...]
 //!            [--wire dense|fp16|int8|topk[:N]] [--chunk-bytes B]
 //!            [--gbs-adjust-period S] [--gbs-static]
+//!            [--topology full|ring|star:H|kregular:K|groups:G|hier:G]
 //!            [--health-interval S] [--straggle W:F,...]
 //!            [--trace-out FILE] [--telemetry] [--csv FILE]
 //! ```
@@ -41,7 +42,7 @@
 //! ```
 
 use dlion_core::messages::WireFormat;
-use dlion_core::{report, Args, FaultPlan, SystemKind, UsageError};
+use dlion_core::{report, Args, FaultPlan, SystemKind, Topology, UsageError};
 use dlion_net::{
     assemble_metrics, live_config, loopback_addrs, parse_peers, parse_straggle, run_live, LiveOpts,
     TransportKind, WorkerOutcome,
@@ -62,6 +63,7 @@ struct Cli {
     test: Option<usize>,
     lr: Option<f32>,
     gbs_adjust_period: Option<f64>,
+    topology: Topology,
     opts: LiveOpts,
     trace_out: Option<String>,
     telemetry: bool,
@@ -80,6 +82,7 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
         test: None,
         lr: None,
         gbs_adjust_period: None,
+        topology: Topology::FullMesh,
         opts: LiveOpts::default(),
         trace_out: None,
         telemetry: false,
@@ -122,6 +125,7 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
                 }
             }
             "--gbs-adjust-period" => cli.gbs_adjust_period = Some(args.parse(&flag)?),
+            "--topology" => cli.topology = args.parse_with(&flag, Topology::parse)?,
             "--gbs-static" => cli.opts.gbs_static = true,
             "--health-interval" => cli.opts.health_interval = Some(args.parse(&flag)?),
             "--straggle" => cli.opts.straggle = args.parse_with(&flag, parse_straggle)?,
@@ -171,6 +175,9 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
             ));
         }
     }
+    cli.topology
+        .validate(cli.workers, cli.seed)
+        .map_err(|e| UsageError::new("--topology", e.reason))?;
     Ok(cli)
 }
 
@@ -183,6 +190,7 @@ fn usage() -> ! {
          \x20                 [--peer-timeout S] [--kill W@I[+R],...]\n\
          \x20                 [--wire dense|fp16|int8|topk[:N]] [--chunk-bytes B]\n\
          \x20                 [--gbs-adjust-period S] [--gbs-static]\n\
+         \x20                 [--topology full|ring|star:H|kregular:K|groups:G|hier:G]\n\
          \x20                 [--health-interval S] [--straggle W:F,...]\n\
          \x20                 [--trace-out FILE] [--telemetry] [--csv FILE]"
     );
@@ -211,6 +219,7 @@ fn main() {
         cfg.gbs.adjust_period_secs = v;
     }
     cfg.wire = cli.opts.wire;
+    cfg.topology = cli.topology;
     let opts = &cli.opts;
 
     dlion_telemetry::init_from_env("info");
@@ -303,6 +312,9 @@ fn main() {
                 }
                 if !opts.fault.is_empty() {
                     cmd.arg("--kill").arg(opts.fault.render());
+                }
+                if cli.topology != Topology::FullMesh {
+                    cmd.arg("--topology").arg(cli.topology.render());
                 }
                 if let Some(p) = cli.gbs_adjust_period {
                     cmd.arg("--gbs-adjust-period").arg(p.to_string());
@@ -454,6 +466,22 @@ mod tests {
         // Worker 5 does not exist in the default 3-worker cluster.
         let e = cli(&["--straggle", "5:2"]).unwrap_err();
         assert_eq!(e.flag, "--straggle");
+    }
+
+    #[test]
+    fn topology_flag_parses_and_validates_against_workers() {
+        let c = cli(&["--workers", "4", "--topology", "ring"]).unwrap();
+        assert_eq!(c.topology, Topology::Ring);
+        let c = cli(&["--workers", "6", "--topology", "kregular:2"]).unwrap();
+        assert_eq!(c.topology, Topology::KRegular { k: 2 });
+        let d = cli(&[]).unwrap();
+        assert_eq!(d.topology, Topology::FullMesh);
+        // Hub 5 does not exist in the default 3-worker cluster; the
+        // typed validation names the flag instead of panicking later.
+        let e = cli(&["--topology", "star:5"]).unwrap_err();
+        assert_eq!(e.flag, "--topology");
+        let e = cli(&["--topology", "mesh9"]).unwrap_err();
+        assert_eq!(e.flag, "--topology");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!              [--train N] [--test N] [--lr F] [--queue-cap N]
 //!              [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]
 //!              [--peer-timeout S] [--kill W@I[+R],...]
+//!              [--topology full|ring|star:H|kregular:K|groups:G|hier:G]
 //!              [--wire dense|fp16|int8|topk[:N]] [--chunk-bytes B]
 //!              [--gbs-adjust-period S] [--gbs-static]
 //!              [--health-interval S] [--straggle W:F,...]
@@ -31,10 +32,10 @@
 
 use dlion_core::cluster::ClusterInit;
 use dlion_core::messages::WireFormat;
-use dlion_core::{build_cluster, Args, FaultPlan, SystemKind, UsageError};
+use dlion_core::{build_cluster, Args, FaultPlan, SystemKind, Topology, UsageError};
 use dlion_net::{
-    live_config, loopback_addrs, parse_peers, parse_straggle, run_worker, LiveOpts, TcpOpts,
-    TcpTransport, WorkerEnv,
+    link_masks, live_config, loopback_addrs, parse_peers, parse_straggle, run_worker, LiveOpts,
+    TcpOpts, TcpTransport, WorkerEnv,
 };
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
@@ -50,6 +51,7 @@ struct Cli {
     test: Option<usize>,
     lr: Option<f32>,
     gbs_adjust_period: Option<f64>,
+    topology: Topology,
     opts: LiveOpts,
     env_label: String,
     trace_out: Option<String>,
@@ -70,6 +72,7 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
         test: None,
         lr: None,
         gbs_adjust_period: None,
+        topology: Topology::FullMesh,
         opts: LiveOpts::default(),
         env_label: "live/procs".to_string(),
         trace_out: None,
@@ -100,6 +103,7 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
                 cli.opts.peer_timeout = Some(Duration::from_secs_f64(args.parse(&flag)?))
             }
             "--kill" => cli.opts.fault = args.parse_with(&flag, FaultPlan::parse)?,
+            "--topology" => cli.topology = args.parse_with(&flag, Topology::parse)?,
             "--wire" => cli.opts.wire = args.parse_with(&flag, WireFormat::parse)?,
             "--chunk-bytes" => {
                 cli.opts.chunk_bytes = args.parse(&flag)?;
@@ -147,6 +151,11 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
         .fault
         .validate(cli.addrs.len(), cli.opts.iters)
         .map_err(|reason| UsageError::new("--kill", reason))?;
+    // Typed construction-time validation: a bad spec (hub out of range,
+    // odd k on an odd ring, ...) prints usage instead of panicking later.
+    cli.topology
+        .validate(cli.addrs.len(), cli.seed)
+        .map_err(|e| UsageError::new("--topology", e.reason))?;
     Ok(cli)
 }
 
@@ -156,7 +165,8 @@ fn usage() -> ! {
          \x20                   [--system NAME] [--seed N] [--iters K] [--eval-every K]\n\
          \x20                   [--train N] [--test N] [--lr F] [--queue-cap N] [--bw-mbps F]\n\
          \x20                   [--assumed-iter-time S] [--stall-secs S] [--peer-timeout S]\n\
-         \x20                   [--kill W@I[+R],...] [--wire dense|fp16|int8|topk[:N]]\n\
+         \x20                   [--kill W@I[+R],...] [--topology SPEC]\n\
+         \x20                   [--wire dense|fp16|int8|topk[:N]]\n\
          \x20                   [--chunk-bytes B] [--gbs-adjust-period S] [--gbs-static]\n\
          \x20                   [--health-interval S] [--straggle W:F,...]\n\
          \x20                   [--env-label L] [--trace-out FILE] [--telemetry]"
@@ -186,6 +196,7 @@ fn main() {
         cfg.gbs.adjust_period_secs = v;
     }
     cfg.wire = cli.opts.wire;
+    cfg.topology = cli.topology;
 
     dlion_telemetry::init_from_env("info");
     if let Some(path) = &cli.trace_out {
@@ -203,28 +214,34 @@ fn main() {
         clock: Arc::clone(&cli.opts.clock),
         instrument: cli.opts.health_interval.is_some(),
     };
-    let mut transport = TcpTransport::establish(me, listener, &cli.addrs, cli.seed, &tcp_opts)
-        .unwrap_or_else(|e| {
-            eprintln!("dlion-worker {me}: mesh setup failed: {e}");
-            std::process::exit(1);
-        });
 
     let ClusterInit {
         mut workers,
         data,
         eval_indices,
-        neighbors,
+        schedule,
+        neighbors: _,
         total_params,
         bytes_per_param,
         prof_rng: _,
     } = build_cluster(&cfg, n);
+    // Every process computes the same symmetric masks from the shared
+    // flags, so both endpoints of every kept link agree it exists.
+    let masks = link_masks(&schedule, &cfg, &cli.opts, n);
+    let mut transport =
+        TcpTransport::establish_linked(me, listener, &cli.addrs, cli.seed, &tcp_opts, &masks[me])
+            .unwrap_or_else(|e| {
+                eprintln!("dlion-worker {me}: mesh setup failed: {e}");
+                std::process::exit(1);
+            });
     let worker = workers.swap_remove(me);
     let env = WorkerEnv {
         cfg: &cfg,
         opts: &cli.opts,
         data: &data,
         eval_indices: &eval_indices,
-        neighbors: neighbors[me].clone(),
+        schedule,
+        links: masks[me].clone(),
         total_params,
         bytes_per_param,
         clock: Arc::clone(&cli.opts.clock),

@@ -74,6 +74,7 @@ use dlion_core::messages::{
 use dlion_core::weighted::update_factor;
 use dlion_core::worker::Worker;
 use dlion_core::SyncPolicy;
+use dlion_core::TopologySchedule;
 use dlion_core::{ExchangeTransport, FaultPlan, StrategyCtx, TransportError};
 use dlion_nn::Dataset;
 use dlion_telemetry::{event, Histogram};
@@ -223,8 +224,16 @@ pub struct WorkerEnv<'a> {
     pub opts: &'a LiveOpts,
     pub data: &'a Dataset,
     pub eval_indices: &'a [usize],
-    /// This worker's communication neighbors.
-    pub neighbors: Vec<usize>,
+    /// The per-round neighbor oracle (shared with the simulator via
+    /// [`dlion_core::ClusterInit`]): gradient fan-out, the Eq. 7 divisor,
+    /// and next-round gating all follow `schedule.neighbors(me, round)`.
+    pub schedule: Arc<dyn TopologySchedule>,
+    /// Which peers this worker holds a physical connection to: the union
+    /// of every round's neighbor sets, or the full mesh when a blocking
+    /// control plane (dynamic batching, health reports, fault rejoin)
+    /// needs all-to-all control frames. Unlinked peers are skipped by the
+    /// Done barrier — they can never send us anything.
+    pub links: Vec<bool>,
     pub total_params: usize,
     pub bytes_per_param: f64,
     /// Cluster-wide time source: event timestamps are its `now()`, whose
@@ -626,16 +635,16 @@ impl LiveWorker<'_, '_> {
         self.env.clock.now()
     }
 
-    /// The averaging denominator for round `round`: how many workers (and
-    /// how much total batch) contribute gradients to it, per the
-    /// `departed_at` ledger.
+    /// The averaging denominator for round `round`: ourselves plus the
+    /// round's declared neighbors, minus anyone the `departed_at` ledger
+    /// says stopped contributing before that round. Group-wise by
+    /// construction — a departed neighbor renormalizes only the groups it
+    /// was in, and on a full mesh with no departures this reduces to the
+    /// global `(n, GBS)` pair exactly (shares partition the GBS).
     fn counted_for(&self, round: u64) -> (usize, usize) {
-        if self.departed_at.iter().all(|d| d.is_none()) {
-            return (self.n, self.gbs);
-        }
-        let mut n = 0usize;
-        let mut gbs = 0usize;
-        for j in 0..self.n {
+        let mut n = 1usize;
+        let mut gbs = self.lbs_of[self.me];
+        for j in self.env.schedule.neighbors(self.me, round) {
             let counted = match self.departed_at[j] {
                 None => true,
                 Some(k) => round < k,
@@ -645,7 +654,7 @@ impl LiveWorker<'_, '_> {
                 gbs += self.lbs_of[j];
             }
         }
-        (n.max(1), gbs.max(1))
+        (n, gbs.max(1))
     }
 
     /// Demote a departed peer: it no longer gates us, receives from us,
@@ -675,6 +684,21 @@ impl LiveWorker<'_, '_> {
         self.worker.dkt.forget(peer);
         event!(self.now(), w: self.me, "peer_departed";
             "peer" => peer, "completed" => k, "iter" => self.worker.iteration);
+        // A departure can cut the communication graph: a partitioned
+        // component would train on silently while the others' gradients
+        // never reach it. Warn loudly instead of hanging quietly (the
+        // union-window check covers rotating group schedules, whose
+        // single-round graphs are disconnected by design).
+        if !self
+            .env
+            .schedule
+            .is_connected_over(&self.active, self.worker.iteration)
+        {
+            event!(self.now(), w: self.me, "topology_partitioned";
+                "peer" => peer,
+                "iter" => self.worker.iteration,
+                "alive" => self.active.iter().filter(|&&a| a).count());
+        }
     }
 
     /// Re-activate a rejoining peer and invite it to catch up from our
@@ -940,25 +964,62 @@ impl LiveWorker<'_, '_> {
     }
 
     /// The single BSP flush point: apply every deferred gradient whose
-    /// round this worker has completed, in `(iteration, sender)` order
-    /// (`force` applies everything — shutdown, when no further local
-    /// round will come).
+    /// round this worker has completed AND whose batch is complete, in
+    /// `(iteration, sender)` order (`force` applies everything —
+    /// shutdown, when no further local round will come).
+    ///
+    /// A round's batch is complete once every sender counted for it —
+    /// the round's declared neighbors minus peers the departure ledger
+    /// says left before it — is present. Without that hold-back, two
+    /// same-round gradients arriving across separate flush ticks would
+    /// apply in arrival order, and float addition order (hence the final
+    /// bits) would depend on frame racing instead of on `(round,
+    /// sender)`. The hold-back cannot stall: a counted sender's gradient
+    /// is guaranteed delivered (per-peer FIFO puts it before any Leave
+    /// or EOF), and sync gating blocks the next local round on the same
+    /// set anyway.
     fn flush_deferred(&mut self, force: bool, during_shutdown: bool) -> Result<(), LiveError> {
         if self.deferred.is_empty() {
             return Ok(());
         }
         let mut batch: Vec<(usize, GradMsg)> = Vec::new();
-        for _ in 0..self.deferred.len() {
-            let (from, msg) = self.deferred.pop_front().expect("len-bounded pop");
-            if force || msg.iteration < self.worker.iteration {
-                batch.push((from, msg));
-            } else {
-                self.deferred.push_back((from, msg));
+        let mut rounds: Vec<u64> = self
+            .deferred
+            .iter()
+            .map(|(_, m)| m.iteration)
+            .filter(|&r| force || r < self.worker.iteration)
+            .collect();
+        rounds.sort_unstable();
+        rounds.dedup();
+        for r in rounds {
+            let complete = force
+                || self
+                    .env
+                    .schedule
+                    .neighbors(self.me, r)
+                    .into_iter()
+                    .filter(|&j| match self.departed_at[j] {
+                        None => true,
+                        Some(k) => r < k,
+                    })
+                    .all(|j| {
+                        self.deferred
+                            .iter()
+                            .any(|&(from, ref m)| from == j && m.iteration == r)
+                    });
+            if !complete {
+                continue;
+            }
+            for _ in 0..self.deferred.len() {
+                let (from, msg) = self.deferred.pop_front().expect("len-bounded pop");
+                if msg.iteration == r {
+                    batch.push((from, msg));
+                } else {
+                    self.deferred.push_back((from, msg));
+                }
             }
         }
-        // Canonical apply order: by round, then by sender id. Gating
-        // ensures the batch for each eligible round is complete here, so
-        // this order is independent of arrival interleaving.
+        // Canonical apply order: by round, then by sender id.
         batch.sort_by_key(|(from, msg)| (msg.iteration, *from));
         for (from, msg) in batch {
             self.apply_grad(from, &msg, during_shutdown)?;
@@ -1010,8 +1071,20 @@ impl LiveWorker<'_, '_> {
             "iter" => self.worker.iteration, "lbs" => self.worker.lbs,
             "loss" => loss, "dt" => measured);
 
+        // The round this step completes and its declared neighbor set —
+        // the fan-out targets, the divisor group, and (after the
+        // increment below) the next round's gating set.
+        let round = self.worker.iteration;
+        let round_nbrs = self.env.schedule.neighbors(me, round);
+        if round == 0 || self.env.schedule.rotates() {
+            event!(self.now(), w: me, "topology_round";
+                "round" => round,
+                "topology" => self.env.schedule.name(),
+                "neighbors" => round_nbrs.len(),
+                "links" => self.env.schedule.link_count(round));
+        }
         self.worker.dkt.record_loss(loss);
-        let (n_counted, gbs_counted) = self.counted_for(self.worker.iteration);
+        let (n_counted, gbs_counted) = self.counted_for(round);
         let own_factor = update_factor(
             cfg.lr,
             n_counted,
@@ -1026,7 +1099,7 @@ impl LiveWorker<'_, '_> {
             now: self.now(),
             lbs: self.worker.lbs,
             iter_time: dt,
-            neighbors: self.env.neighbors.clone(),
+            neighbors: round_nbrs.clone(),
             bw_mbps: (0..n)
                 .map(|j| if j == me { 0.0 } else { self.env.opts.bw_mbps })
                 .collect(),
@@ -1049,6 +1122,10 @@ impl LiveWorker<'_, '_> {
             updates.rotate_left(r);
         }
         self.worker.iteration += 1;
+        // Same rotation rule as the simulator: gate the next round on the
+        // peers that owed us gradients this round (per-round sets are
+        // symmetric, so they are exactly this round's senders).
+        self.worker.sync.retarget(&round_nbrs);
         let share = self.worker.dkt.is_share_round(self.worker.iteration);
         event!(self.now(), w: me, "iter_done";
             "iter" => self.worker.iteration,
@@ -1079,7 +1156,7 @@ impl LiveWorker<'_, '_> {
         };
         event!(self.now(), w: self.me, "dkt_round"; "avg_loss" => avg);
         self.worker.dkt.update_known(self.me, avg);
-        for j in self.env.neighbors.clone() {
+        for j in self.env.schedule.neighbors(self.me, self.worker.iteration) {
             if !self.active[j] {
                 continue;
             }
@@ -1525,12 +1602,13 @@ impl LiveWorker<'_, '_> {
         Ok(())
     }
 
-    /// Have all peers either finished or departed? (A rejoiner with no
-    /// one left to rejoin gives up.)
+    /// Have all peers either finished or departed? Peers we never held a
+    /// link to can send us nothing, so they count as finished. (A
+    /// rejoiner with no one left to rejoin gives up.)
     fn all_peers_finished(&self) -> bool {
         (0..self.n)
             .filter(|&j| j != self.me)
-            .all(|j| self.done[j] || !self.active[j])
+            .all(|j| self.done[j] || !self.active[j] || !self.env.links[j])
     }
 
     /// Play dead for `delay`, then rejoin: announce with a late Hello,
@@ -1846,19 +1924,21 @@ pub fn run_worker(
         }
     }
 
-    // Shutdown barrier: announce Done to all peers (even non-neighbors —
-    // everyone waits on everyone), then drain until every *member* peer's
-    // Done is in; departed peers owe us nothing. Per-peer FIFO means a
-    // peer's Done arrives after all its gradients.
+    // Shutdown barrier: announce Done to every *linked* peer (even ones
+    // outside the current round's neighbor set — everyone waits on
+    // everyone reachable), then drain until every linked member peer's
+    // Done is in; departed peers owe us nothing, and a peer we never held
+    // a connection to cannot send one. Per-peer FIFO means a peer's Done
+    // arrives after all its gradients.
     for j in 0..n {
-        if j != me {
+        if j != me && env.links[j] {
             lw.send_control(j, KIND_DONE, &[], true)?;
         }
     }
     lw.done[me] = true;
     event!(lw.now(), w: me, "barrier_enter"; "iter" => lw.worker.iteration);
     let mut deadline = env.clock.now() + stall;
-    while !(0..n).all(|j| lw.done[j] || !lw.active[j]) {
+    while !(0..n).all(|j| lw.done[j] || !lw.active[j] || !env.links[j]) {
         match lw.recv(POLL) {
             Ok(Some((from, frame))) => {
                 lw.handle_frame(from, frame, true)?;
@@ -1866,8 +1946,9 @@ pub fn run_worker(
             }
             Ok(None) => {
                 if env.clock.now() > deadline {
-                    let missing: Vec<usize> =
-                        (0..n).filter(|&j| !lw.done[j] && lw.active[j]).collect();
+                    let missing: Vec<usize> = (0..n)
+                        .filter(|&j| !lw.done[j] && lw.active[j] && env.links[j])
+                        .collect();
                     return Err(LiveError::Stalled(format!(
                         "worker {me} waiting for Done from {missing:?}"
                     )));

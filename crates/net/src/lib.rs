@@ -54,7 +54,7 @@ pub mod tcp;
 
 pub use driver::{parse_straggle, run_worker, EvalPoint, LiveOpts, WorkerEnv, WorkerOutcome};
 pub use health::{parse_stats, stats_body, HealthAggregator, WorkerStats, STATS_BODY_BYTES};
-pub use live::{assemble_metrics, live_config, run_live, TransportKind};
+pub use live::{assemble_metrics, link_masks, live_config, run_live, TransportKind};
 pub use tcp::{
     loopback_addrs, loopback_mesh, loopback_mesh_addrs, parse_peers, TcpOpts, TcpTransport,
 };

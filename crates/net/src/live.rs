@@ -10,6 +10,7 @@ use crate::LiveError;
 use dlion_core::cluster::ClusterInit;
 use dlion_core::{
     build_cluster, ExchangeTransport, HealthSummary, RunConfig, RunMetrics, SystemKind,
+    TopologySchedule,
 };
 use dlion_microcloud::ClusterKind;
 use dlion_telemetry::event;
@@ -38,6 +39,34 @@ pub fn live_config(system: SystemKind, seed: u64) -> RunConfig {
     cfg
 }
 
+/// Per-worker physical link masks for a run of `opts.iters` rounds: the
+/// union of the schedule's per-round neighbor sets (so a ring cluster
+/// holds two connections per worker, not `n-1`), widened back to the full
+/// mesh whenever a blocking all-to-all control plane is active — dynamic
+/// batching broadcasts RCPs to everyone, health reports and fault
+/// rejoin/Leave announcements likewise assume every peer is reachable.
+/// Masks are symmetric (per-round neighbor sets are), so both endpoints
+/// agree on whether a connection exists.
+pub fn link_masks(
+    schedule: &Arc<dyn TopologySchedule>,
+    cfg: &RunConfig,
+    opts: &LiveOpts,
+    n: usize,
+) -> Vec<Vec<bool>> {
+    let all_to_all = cfg.system.dynamic_batching()
+        || opts.health_interval.is_some()
+        || !opts.fault.kills.is_empty();
+    (0..n)
+        .map(|w| {
+            if all_to_all {
+                (0..n).map(|j| j != w).collect()
+            } else {
+                schedule.union_links(w, opts.iters)
+            }
+        })
+        .collect()
+}
+
 /// Run `n` live workers to completion over the chosen transport and
 /// return the assembled metrics. `env_label` names the run in reports and
 /// telemetry (e.g. `live/3w`).
@@ -48,6 +77,18 @@ pub fn run_live(
     kind: TransportKind,
     env_label: &str,
 ) -> Result<RunMetrics, LiveError> {
+    let ClusterInit {
+        workers,
+        data,
+        eval_indices,
+        schedule,
+        neighbors: _, // round-0 sets; the driver consults the schedule
+        total_params,
+        bytes_per_param,
+        prof_rng: _, // live profiling measures real wall clock, no noise RNG
+    } = build_cluster(cfg, n);
+    let masks = link_masks(&schedule, cfg, opts, n);
+
     let transports: Vec<Box<dyn ExchangeTransport>> = match kind {
         TransportKind::Mem => dlion_core::mem_mesh(n)
             .into_iter()
@@ -63,21 +104,14 @@ pub fn run_live(
                 // it is off the transport pays zero instrumentation cost.
                 instrument: opts.health_interval.is_some(),
             };
-            loopback_mesh(n, cfg.seed, &tcp_opts)?
+            // Only the links the mask names are dialed: topology is a
+            // connection-count saving, not just a send-count one.
+            loopback_mesh(n, cfg.seed, &tcp_opts, Some(&masks))?
                 .into_iter()
                 .map(|t| Box::new(t) as Box<dyn ExchangeTransport>)
                 .collect()
         }
     };
-    let ClusterInit {
-        workers,
-        data,
-        eval_indices,
-        neighbors,
-        total_params,
-        bytes_per_param,
-        prof_rng: _, // live profiling measures real wall clock, no noise RNG
-    } = build_cluster(cfg, n);
 
     let results: Vec<Result<WorkerOutcome, LiveError>> = std::thread::scope(|s| {
         let handles: Vec<_> = workers
@@ -89,7 +123,8 @@ pub fn run_live(
                     opts,
                     data: &data,
                     eval_indices: &eval_indices,
-                    neighbors: neighbors[worker.id].clone(),
+                    schedule: Arc::clone(&schedule),
+                    links: masks[worker.id].clone(),
                     total_params,
                     bytes_per_param,
                     clock: Arc::clone(&opts.clock),

@@ -391,14 +391,35 @@ impl TcpTransport {
         seed: u64,
         opts: &TcpOpts,
     ) -> Result<TcpTransport, LiveError> {
+        let links: Vec<bool> = (0..addrs.len()).map(|j| j != me).collect();
+        TcpTransport::establish_linked(me, listener, addrs, seed, opts, &links)
+    }
+
+    /// [`TcpTransport::establish`] over a partial topology: only the
+    /// peers `links` names are dialed/accepted (the mask must be the
+    /// same, symmetric one on every worker — both endpoints of a link
+    /// have to agree it exists). Unconnected slots behave like a departed
+    /// peer: sends fail with `PeerGone`, nothing is ever received.
+    pub fn establish_linked(
+        me: usize,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        seed: u64,
+        opts: &TcpOpts,
+        links: &[bool],
+    ) -> Result<TcpTransport, LiveError> {
         let n = addrs.len();
         assert!(me < n, "worker id out of range");
+        assert_eq!(links.len(), n, "link mask length mismatch");
         assert!(opts.queue_cap > 0, "queue capacity must be positive");
         let deadline = Instant::now() + opts.establish_timeout;
         let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
 
-        // Dial the lower-numbered peers, announcing who we are.
+        // Dial the lower-numbered linked peers, announcing who we are.
         for (j, addr) in addrs.iter().enumerate().take(me) {
+            if !links[j] {
+                continue;
+            }
             let stream = dial(*addr, deadline).map_err(|e| {
                 LiveError::Protocol(format!(
                     "worker {me} cannot reach worker {j} at {addr}: {e}"
@@ -409,17 +430,18 @@ impl TcpTransport {
             streams[j] = Some(stream);
         }
 
-        // Accept the higher-numbered peers; each identifies itself first.
+        // Accept the higher-numbered linked peers; each identifies
+        // itself first.
         listener.set_nonblocking(true)?;
+        let expect = (me + 1..n).filter(|&j| links[j]).count();
         let mut accepted = 0usize;
-        while accepted < n - 1 - me {
+        while accepted < expect {
             let (mut stream, _) = match listener.accept() {
                 Ok(x) => x,
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     if Instant::now() > deadline {
                         return Err(LiveError::Stalled(format!(
-                            "worker {me} accepted {accepted}/{} dials",
-                            n - 1 - me
+                            "worker {me} accepted {accepted}/{expect} dials"
                         )));
                     }
                     thread::sleep(Duration::from_millis(5));
@@ -439,7 +461,7 @@ impl TcpTransport {
                      seed {peer_seed} vs {seed})"
                 )));
             }
-            if !(me < id && id < n) || streams[id].is_some() {
+            if !(me < id && id < n && links[id]) || streams[id].is_some() {
                 return Err(LiveError::Protocol(format!(
                     "unexpected or duplicate hello from worker {id}"
                 )));
@@ -845,7 +867,23 @@ pub fn loopback_mesh_addrs(
     seed: u64,
     opts: &TcpOpts,
 ) -> Result<(Vec<TcpTransport>, Vec<SocketAddr>), LiveError> {
+    loopback_mesh_addrs_linked(n, seed, opts, None)
+}
+
+/// [`loopback_mesh_addrs`] over a partial topology: `links[i][j]` says
+/// whether workers `i` and `j` hold a connection (must be symmetric;
+/// `None` = full mesh). Only masked links are dialed — a ring cluster
+/// opens `n` sockets, not `n(n-1)/2`.
+pub fn loopback_mesh_addrs_linked(
+    n: usize,
+    seed: u64,
+    opts: &TcpOpts,
+    links: Option<&[Vec<bool>]>,
+) -> Result<(Vec<TcpTransport>, Vec<SocketAddr>), LiveError> {
     assert!(n > 0);
+    if let Some(masks) = links {
+        assert_eq!(masks.len(), n, "one link mask per worker");
+    }
     let listeners: Vec<TcpListener> = (0..n)
         .map(|_| TcpListener::bind("127.0.0.1:0"))
         .collect::<std::io::Result<_>>()?;
@@ -859,7 +897,12 @@ pub fn loopback_mesh_addrs(
             .enumerate()
             .map(|(me, listener)| {
                 let addrs = &addrs;
-                s.spawn(move || TcpTransport::establish(me, listener, addrs, seed, opts))
+                s.spawn(move || match links {
+                    None => TcpTransport::establish(me, listener, addrs, seed, opts),
+                    Some(masks) => {
+                        TcpTransport::establish_linked(me, listener, addrs, seed, opts, &masks[me])
+                    }
+                })
             })
             .collect();
         handles
@@ -877,9 +920,14 @@ pub fn loopback_mesh_addrs(
     Ok((out, addrs))
 }
 
-/// [`loopback_mesh_addrs`] without the address list.
-pub fn loopback_mesh(n: usize, seed: u64, opts: &TcpOpts) -> Result<Vec<TcpTransport>, LiveError> {
-    loopback_mesh_addrs(n, seed, opts).map(|(mesh, _)| mesh)
+/// [`loopback_mesh_addrs_linked`] without the address list.
+pub fn loopback_mesh(
+    n: usize,
+    seed: u64,
+    opts: &TcpOpts,
+    links: Option<&[Vec<bool>]>,
+) -> Result<Vec<TcpTransport>, LiveError> {
+    loopback_mesh_addrs_linked(n, seed, opts, links).map(|(mesh, _)| mesh)
 }
 
 #[cfg(test)]
@@ -920,7 +968,7 @@ mod tests {
             establish_timeout: Duration::from_secs(10),
             ..Default::default()
         };
-        let mut mesh = loopback_mesh(2, 7, &opts).unwrap();
+        let mut mesh = loopback_mesh(2, 7, &opts, None).unwrap();
         let mut b = mesh.pop().unwrap();
         let mut a = mesh.pop().unwrap();
         let p = Payload::LossShare { avg_loss: 1.25 };
@@ -943,7 +991,7 @@ mod tests {
             establish_timeout: Duration::from_secs(10),
             ..Default::default()
         };
-        let mut mesh = loopback_mesh(2, 7, &opts).unwrap();
+        let mut mesh = loopback_mesh(2, 7, &opts, None).unwrap();
         let mut b = mesh.pop().unwrap();
         let mut a = mesh.pop().unwrap();
         let payload = Arc::new(Payload::Grad(GradMsg {
@@ -986,7 +1034,7 @@ mod tests {
             instrument: true,
             ..Default::default()
         };
-        let mut mesh = loopback_mesh(2, 7, &opts).unwrap();
+        let mut mesh = loopback_mesh(2, 7, &opts, None).unwrap();
         let mut b = mesh.pop().unwrap();
         let mut a = mesh.pop().unwrap();
         let p = Payload::LossShare { avg_loss: 1.25 };
@@ -1017,7 +1065,7 @@ mod tests {
             thread::sleep(Duration::from_millis(5));
         }
         // Uninstrumented transports report nothing.
-        let mut plain = loopback_mesh(2, 7, &TcpOpts::default()).unwrap();
+        let mut plain = loopback_mesh(2, 7, &TcpOpts::default(), None).unwrap();
         assert!(plain[0].link_health().is_empty());
         assert!(plain[1].link_health().is_empty());
     }

@@ -34,7 +34,7 @@ fn body_of(frame: &[u8]) -> (u8, u32) {
 #[test]
 fn three_node_mesh_routes_all_pairs_in_fifo_order() {
     const K: u32 = 50;
-    let mesh = loopback_mesh(3, 7, &opts(8)).expect("mesh");
+    let mesh = loopback_mesh(3, 7, &opts(8), None).expect("mesh");
     std::thread::scope(|s| {
         for mut t in mesh {
             s.spawn(move || {
@@ -70,7 +70,7 @@ fn three_node_mesh_routes_all_pairs_in_fifo_order() {
 fn tiny_send_queue_applies_backpressure_without_loss() {
     const K: u32 = 200;
     // queue_cap 1: the sender must block on the writer thread, not drop.
-    let mut mesh = loopback_mesh(2, 11, &opts(1)).expect("mesh");
+    let mut mesh = loopback_mesh(2, 11, &opts(1), None).expect("mesh");
     let mut receiver = mesh.pop().expect("node 1");
     let mut sender = mesh.pop().expect("node 0");
     std::thread::scope(|s| {
@@ -96,7 +96,7 @@ fn tiny_send_queue_applies_backpressure_without_loss() {
 
 #[test]
 fn dropping_a_transport_flushes_queued_frames() {
-    let mut mesh = loopback_mesh(2, 13, &opts(64)).expect("mesh");
+    let mut mesh = loopback_mesh(2, 13, &opts(64), None).expect("mesh");
     let mut receiver = mesh.pop().expect("node 1");
     let mut sender = mesh.pop().expect("node 0");
     // Queue frames and drop the endpoint immediately: the writer thread
@@ -118,7 +118,7 @@ fn dropping_a_transport_flushes_queued_frames() {
 
 #[test]
 fn dead_peer_surfaces_as_peer_disconnected_once() {
-    let mut mesh = loopback_mesh(3, 17, &opts(8)).expect("mesh");
+    let mut mesh = loopback_mesh(3, 17, &opts(8), None).expect("mesh");
     let t2 = mesh.pop().expect("node 2");
     let mut t1 = mesh.pop().expect("node 1");
     let mut t0 = mesh.pop().expect("node 0");
@@ -163,7 +163,7 @@ fn silent_peer_surfaces_as_peer_timeout_once_and_rearms() {
         clock: Arc::clone(&clock) as Arc<dyn dlion_core::Clock>,
         instrument: false,
     };
-    let mut mesh = loopback_mesh(2, 19, &topts).expect("mesh");
+    let mut mesh = loopback_mesh(2, 19, &topts, None).expect("mesh");
     let mut t1 = mesh.pop().expect("node 1");
     let mut t0 = mesh.pop().expect("node 0");
     // Nothing from peer 1 past the 100ms window: a timeout, exactly once.

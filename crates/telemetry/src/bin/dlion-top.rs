@@ -13,7 +13,9 @@
 //!
 //! The dashboard consumes the health plane's fixed-key events
 //! (`worker_health`, `health_silence`, `cluster_health`, `frame_latency`)
-//! plus `peer_departed`; all other kinds count toward the record total but
+//! plus `peer_departed` and the topology plane's `topology_round` (active
+//! topology name in the header, per-worker neighbor count in the NBRS
+//! column); all other kinds count toward the record total but
 //! render nothing. Lines that do not parse are skipped silently — a live
 //! tail can observe a torn final line that the next refresh completes.
 
@@ -66,6 +68,10 @@ struct State {
     /// The cluster-level straggler verdict, once `cluster_health` arrives.
     straggler: Option<usize>,
     links: BTreeMap<(usize, usize), LinkRow>,
+    /// Active topology name from the latest `topology_round` event.
+    topology: Option<String>,
+    /// Per-worker (round, neighbor count) from its latest `topology_round`.
+    neighbors: BTreeMap<usize, (u64, u64)>,
 }
 
 fn num(fields: &Json, key: &str) -> f64 {
@@ -125,6 +131,17 @@ impl State {
                 );
                 self.straggler = Some(num(fields, "straggler") as usize);
             }
+            "topology_round" => {
+                if let Some(name) = fields.get("topology").and_then(|t| t.as_str()) {
+                    self.topology = Some(name.to_string());
+                }
+                let round = num(fields, "round") as u64;
+                let nbrs = num(fields, "neighbors") as u64;
+                let entry = self.neighbors.entry(worker).or_insert((round, nbrs));
+                if round >= entry.0 {
+                    *entry = (round, nbrs);
+                }
+            }
             "frame_latency" => {
                 self.links.insert(
                     (worker, num(fields, "peer") as usize),
@@ -164,28 +181,47 @@ impl State {
     /// Render the dashboard. Pure — the unit tests and `--once` snapshot
     /// mode exercise exactly what the refresh loop prints.
     fn render(&self) -> String {
-        let mut out = format!("dlion-top — {} records\n\n", self.records);
+        let mut out = format!("dlion-top — {} records\n", self.records);
+        if let Some(t) = &self.topology {
+            out.push_str(&format!("topology: {t}\n"));
+        }
+        out.push('\n');
         out.push_str(&format!(
-            "{:<6} {:>6} {:>7} {:>11} {:>5} {:>6} {:>6} {:>10}  {}\n",
-            "WORKER", "ROUND", "ITER", "RATE(sps)", "GBS", "DEFER", "SENDQ", "SCRATCH", "STATUS"
+            "{:<6} {:>6} {:>7} {:>11} {:>5} {:>5} {:>6} {:>6} {:>10}  {}\n",
+            "WORKER",
+            "ROUND",
+            "ITER",
+            "RATE(sps)",
+            "GBS",
+            "NBRS",
+            "DEFER",
+            "SENDQ",
+            "SCRATCH",
+            "STATUS"
         ));
         let ids: BTreeSet<usize> = self
             .workers
             .keys()
             .chain(self.cluster.keys())
+            .chain(self.neighbors.keys())
             .chain(self.silent.iter())
             .chain(self.departed.iter())
             .copied()
             .collect();
         for w in &ids {
             let row = self.workers.get(w).cloned().unwrap_or_default();
+            let nbrs = self
+                .neighbors
+                .get(w)
+                .map_or("-".to_string(), |(_, n)| n.to_string());
             out.push_str(&format!(
-                "w{:<5} {:>6} {:>7} {:>11.1} {:>5} {:>6} {:>6} {:>10}  {}\n",
+                "w{:<5} {:>6} {:>7} {:>11.1} {:>5} {:>5} {:>6} {:>6} {:>10}  {}\n",
                 w,
                 row.round,
                 row.iter,
                 row.rate,
                 row.gbs_round,
+                nbrs,
                 row.deferred,
                 row.sendq,
                 row.scratch_hw,
@@ -340,6 +376,37 @@ mod tests {
         assert!(out.contains("STRAGGLER"), "{out}");
         assert!(out.contains("w0->w2"), "{out}");
         assert!(out.contains("7 records"), "{out}");
+    }
+
+    #[test]
+    fn topology_rounds_show_name_and_neighbor_counts() {
+        let mut s = State::default();
+        s.ingest(&line(
+            0,
+            "topology_round",
+            r#"{"round":0,"topology":"kregular:2","neighbors":2,"links":6}"#,
+        ));
+        s.ingest(&line(
+            1,
+            "topology_round",
+            r#"{"round":0,"topology":"kregular:2","neighbors":2,"links":6}"#,
+        ));
+        // A newer round replaces the count; a stale one must not.
+        s.ingest(&line(
+            1,
+            "topology_round",
+            r#"{"round":3,"topology":"kregular:2","neighbors":1,"links":6}"#,
+        ));
+        s.ingest(&line(
+            1,
+            "topology_round",
+            r#"{"round":2,"topology":"kregular:2","neighbors":4,"links":6}"#,
+        ));
+        let out = s.render();
+        assert!(out.contains("topology: kregular:2"), "{out}");
+        assert!(out.contains("NBRS"), "{out}");
+        assert_eq!(s.neighbors[&0], (0, 2));
+        assert_eq!(s.neighbors[&1], (3, 1));
     }
 
     #[test]

@@ -21,9 +21,10 @@ const REQUIRED_KEYS: [&str; 9] = [
 ];
 
 /// Event kinds whose `fields` layout is pinned: every record of the kind
-/// must carry exactly these keys. The health plane's events are fixed-key
-/// by design (DESIGN.md §4h) so traces stay diffable across runs.
-const SCHEMAS: [(&str, &[&str]); 4] = [
+/// must carry exactly these keys. The health plane's events (DESIGN.md
+/// §4h) and the topology plane's round event (DESIGN.md §4i) are
+/// fixed-key by design so traces stay diffable across runs.
+const SCHEMAS: [(&str, &[&str]); 5] = [
     (
         "cluster_health",
         &[
@@ -63,6 +64,10 @@ const SCHEMAS: [(&str, &[&str]); 4] = [
         ],
     ),
     ("health_silence", &["peer", "iter"]),
+    (
+        "topology_round",
+        &["round", "topology", "neighbors", "links"],
+    ),
 ];
 
 fn check_line(n: usize, line: &str) -> Result<Json, String> {
@@ -291,6 +296,23 @@ mod tests {
                 "{\"iterations\":24,\"rounds\":6,\"rate\":20,\"score\":1,\"silent\":0,\"departed\":0,\"straggler\":0}",
             );
         assert!(check_line(1, &ch).is_ok());
+    }
+
+    #[test]
+    fn topology_round_schema_is_pinned_field_for_field() {
+        let tr = GOOD
+            .replace("\"kind\":\"iter_done\"", "\"kind\":\"topology_round\"")
+            .replace(
+                "{\"loss\":1.5}",
+                "{\"round\":3,\"topology\":\"kregular:2\",\"neighbors\":2,\"links\":6}",
+            );
+        assert!(check_line(1, &tr).is_ok());
+        let missing = tr.replace("\"links\":6", "\"edges\":6");
+        let err = check_line(1, &missing).unwrap_err();
+        assert!(err.contains("\"links\""), "{err}");
+        let extra = tr.replace("\"links\":6", "\"links\":6,\"hub\":0");
+        let err = check_line(1, &extra).unwrap_err();
+        assert!(err.contains("schema pins"), "{err}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! dlion-sim [--system NAME] [--env NAME] [--duration SECS] [--seed N]
 //!           [--lr F] [--skew F] [--wire dense|fp16|int8|topk[:N]]
+//!           [--topology full|ring|star:H|kregular:K|groups:G|hier:G]
 //!           [--gpu] [--trace-links] [--curve]
 //!           [--trace-out FILE] [--profile] [--telemetry]
 //! ```
@@ -40,6 +41,7 @@ struct Cli {
     lr: Option<f32>,
     skew: Option<f64>,
     wire: WireFormat,
+    topology: Topology,
     gpu: bool,
     trace_links: bool,
     curve: bool,
@@ -58,6 +60,7 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
         lr: None,
         skew: None,
         wire: WireFormat::Dense,
+        topology: Topology::FullMesh,
         gpu: false,
         trace_links: false,
         curve: false,
@@ -83,6 +86,7 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
             "--lr" => cli.lr = Some(args.parse(&flag)?),
             "--skew" => cli.skew = Some(args.parse(&flag)?),
             "--wire" => cli.wire = args.parse_with(&flag, WireFormat::parse)?,
+            "--topology" => cli.topology = args.parse_with(&flag, Topology::parse)?,
             "--gpu" => cli.gpu = true,
             "--trace-links" => cli.trace_links = true,
             "--curve" => cli.curve = true,
@@ -94,6 +98,12 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
             _ => return Err(UsageError::unknown(flag)),
         }
     }
+    // Typed construction-time validation against the environment's worker
+    // count: a bad spec prints usage instead of panicking mid-build.
+    let n = cli.env.spec().capacity.len();
+    cli.topology
+        .validate(n, cli.seed)
+        .map_err(|e| UsageError::new("--topology", e.reason))?;
     Ok(cli)
 }
 
@@ -103,6 +113,7 @@ fn usage() -> ! {
          \x20                [--env homo-a|homo-b|homo-c|hetero-cpu-a|hetero-cpu-b|hetero-net-a|hetero-net-b|\n\
          \x20                       hetero-sys-a|hetero-sys-b|hetero-sys-c|dynamic-sys-a|dynamic-sys-b]\n\
          \x20                [--duration SECS] [--seed N] [--lr F] [--skew F] [--wire dense|fp16|int8|topk[:N]]\n\
+         \x20                [--topology full|ring|star:H|kregular:K|groups:G|hier:G]\n\
          \x20                [--gpu] [--trace-links] [--curve] [--csv FILE]\n\
          \x20                [--trace-out FILE] [--profile] [--telemetry]"
     );
@@ -118,6 +129,7 @@ fn main() {
         lr,
         skew,
         wire,
+        topology,
         gpu,
         trace_links,
         curve,
@@ -141,6 +153,7 @@ fn main() {
     cfg.trace_links = trace_links;
     cfg.telemetry = telemetry;
     cfg.wire = wire;
+    cfg.topology = topology;
     if let Some(v) = lr {
         cfg.lr = v;
     }
@@ -239,5 +252,26 @@ mod tests {
         assert_eq!(cli(&["--duration", "long"]).unwrap_err().flag, "--duration");
         assert_eq!(cli(&["--wire", "fp8"]).unwrap_err().flag, "--wire");
         assert_eq!(cli(&["--what"]).unwrap_err().flag, "--what");
+    }
+
+    #[test]
+    fn topology_flag_parses_and_validates_against_env_size() {
+        let c = cli(&["--topology", "kregular:2"]).unwrap();
+        assert_eq!(c.topology, Topology::KRegular { k: 2 });
+        let c = cli(&["--topology", "hier:3"]).unwrap();
+        assert_eq!(c.topology, Topology::Hier { g: 3 });
+        // Hub 9 does not exist in a 6-worker environment; a typed usage
+        // error names the flag instead of panicking in the runner.
+        let e = cli(&["--topology", "star:9"]).unwrap_err();
+        assert_eq!(e.flag, "--topology");
+        assert_eq!(
+            cli(&["--topology", "mesh5"]).unwrap_err().flag,
+            "--topology"
+        );
+        // Degree 6 does not fit 6 workers (k must be < n).
+        assert_eq!(
+            cli(&["--topology", "kregular:6"]).unwrap_err().flag,
+            "--topology"
+        );
     }
 }
