@@ -27,10 +27,9 @@ pub struct ClusterInit {
     pub eval_indices: Vec<usize>,
     /// The per-round neighbor oracle both backends consult. Pure in
     /// `(topology, n, seed, round, worker)`, so sim and live agree.
+    /// (Round-0 neighbor sets are `schedule.neighbors(w, 0)`; workers are
+    /// built with them as their initial gating sets.)
     pub schedule: Arc<dyn TopologySchedule>,
-    /// Per-worker round-0 neighbor sets (the initial gating sets; rounds
-    /// beyond 0 come from [`ClusterInit::schedule`]).
-    pub neighbors: Vec<Vec<usize>>,
     pub total_params: usize,
     pub bytes_per_param: f64,
     /// RNG stream for compute-profiling noise (the LBS controller's
@@ -135,7 +134,6 @@ pub fn build_cluster(cfg: &RunConfig, n: usize) -> ClusterInit {
         data,
         eval_indices,
         schedule,
-        neighbors,
         total_params,
         bytes_per_param,
     }

@@ -4,9 +4,9 @@ use crate::dkt::DktConfig;
 use crate::gbs::GbsConfig;
 use crate::messages::WireFormat;
 use crate::sync::SyncPolicy;
-use crate::topology::Topology;
 use dlion_microcloud::ClusterKind;
 use dlion_nn::ModelSpec;
+use dlion_topo::Topology;
 
 /// The five systems of the evaluation (§5.1.4) plus the Max N-only variant
 /// of Figure 16 and the ablations of Figure 14.

@@ -44,12 +44,11 @@ pub mod report;
 pub mod runner;
 pub mod strategy;
 pub mod sync;
-pub mod topology;
 pub mod transport;
 pub mod weighted;
 pub mod worker;
 
-pub use args::{Args, UsageError};
+pub use args::{Args, RunSpec, UsageError};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use cluster::{build_cluster, ClusterInit};
 pub use config::{RunConfig, SystemKind, Workload};
@@ -62,5 +61,7 @@ pub use metrics::{HealthSummary, RunMetrics};
 pub use runner::{run_env, run_with_models, ClusterRunner};
 pub use strategy::{ExchangeStrategy, PeerUpdate, StrategyCtx};
 pub use sync::{SyncPolicy, SyncState};
-pub use topology::{TopoError, Topology, TopologySchedule};
+// Topology types live in `dlion-topo` since PR 8; core re-exports them so
+// `dlion_core::Topology` keeps working for every consumer.
+pub use dlion_topo::{TopoError, Topology, TopologySchedule};
 pub use transport::{mem_mesh, ExchangeTransport, LinkHealth, MemTransport, TransportError};

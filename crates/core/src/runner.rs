@@ -19,7 +19,6 @@ use crate::messages::{
 use crate::metrics::{LinkSample, RunMetrics};
 use crate::strategy::StrategyCtx;
 use crate::sync::SyncPolicy;
-use crate::topology::TopologySchedule;
 use crate::weighted::update_factor;
 use crate::worker::{PendingIteration, Worker};
 use crate::GbsController;
@@ -28,6 +27,7 @@ use dlion_nn::Dataset;
 use dlion_simnet::{ComputeModel, EventQueue, NetworkModel};
 use dlion_telemetry::{debug, event, profile_scope, Phase};
 use dlion_tensor::DetRng;
+use dlion_topo::TopologySchedule;
 use std::sync::Arc;
 
 /// Simulation events.

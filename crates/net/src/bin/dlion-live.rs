@@ -2,8 +2,8 @@
 //! and print the same report `dlion-sim` prints for simulated runs.
 //!
 //! ```text
-//! dlion-live [--workers N] [--system NAME] [--seed N] [--iters K]
-//!            [--eval-every K] [--transport tcp|mem|procs]
+//! dlion-live [--workers N] [--virtual R] [--system NAME] [--seed N]
+//!            [--iters K] [--eval-every K] [--transport tcp|mem|procs]
 //!            [--peers HOST:PORT,...] [--port-base P]
 //!            [--train N] [--test N] [--lr F] [--queue-cap N]
 //!            [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]
@@ -15,15 +15,30 @@
 //!            [--trace-out FILE] [--telemetry] [--csv FILE]
 //! ```
 //!
+//! All shared flags live in [`RunSpec`]; this binary only adds the
+//! transport selector and the procs-mode addressing flags. Procs-mode
+//! children inherit the whole configuration through
+//! [`RunSpec::to_argv`], so a new shared flag propagates without this
+//! file naming it.
+//!
 //! Transports:
 //!
 //! * `tcp` (default) — every worker is a thread of this process, the
 //!   gradients travel over real loopback TCP sockets;
 //! * `mem` — same threads, in-process channels instead of sockets;
-//! * `procs` — every worker is a separate `dlion-worker` OS process
+//! * `procs` — the cluster spans separate `dlion-worker` OS processes
 //!   (spawned next to this binary) meshed over explicit `--peers`
 //!   addresses (or the `--port-base` loopback sugar); outcomes come back
 //!   as JSON on the children's stdout.
+//!
+//! `--virtual R` multiplexes R virtual ranks onto every host endpoint:
+//! `--workers 64 --virtual 16 --transport procs` runs the 64-rank
+//! cluster on 4 OS processes, one socket mesh between them. With
+//! `tcp`/`mem` the ranks share one process but still route through the
+//! per-host `RankHost` pumps, so the wire behaviour matches procs mode.
+//! Strict-BSP runs stay bit-identical to the flat (and simulated)
+//! cluster — rank multiplexing changes where ranks live, not what they
+//! compute.
 //!
 //! `--kill W@I[+R]` injects deterministic churn: worker `W` departs after
 //! completing iteration `I`, and rejoins `R` seconds later (omit `+R` to
@@ -35,103 +50,46 @@
 //!
 //! ```text
 //! cargo run --release --bin dlion-live -- --workers 3 --system dlion --iters 60
-//! cargo run --release --bin dlion-live -- --workers 3 --system baseline \
-//!     --iters 40 --kill 1@20
-//! cargo run --release --bin dlion-live -- --workers 2 --system baseline \
+//! cargo run --release --bin dlion-live -- --workers 8 --virtual 4 --iters 40
+//! cargo run --release --bin dlion-live -- --workers 6 --virtual 3 --system baseline \
 //!     --transport procs --port-base 7300
 //! ```
 
-use dlion_core::messages::WireFormat;
-use dlion_core::{report, Args, FaultPlan, SystemKind, Topology, UsageError};
+use dlion_core::{report, Args, RunSpec, UsageError};
 use dlion_net::{
-    assemble_metrics, live_config, loopback_addrs, parse_peers, parse_straggle, run_live, LiveOpts,
-    TransportKind, WorkerOutcome,
+    assemble_metrics, live_config, loopback_addrs, parse_peers, run_live_virtual, LiveOpts,
+    TransportKind, VirtualPlan, WorkerOutcome,
 };
 use std::io::Read;
 use std::net::SocketAddr;
-use std::time::Duration;
 
 #[derive(Debug)]
 struct Cli {
-    workers: usize,
-    system: SystemKind,
-    seed: u64,
+    spec: RunSpec,
     transport: String,
     peers: Option<Vec<SocketAddr>>,
     port_base: u16,
-    train: Option<usize>,
-    test: Option<usize>,
-    lr: Option<f32>,
-    gbs_adjust_period: Option<f64>,
-    topology: Topology,
-    opts: LiveOpts,
-    trace_out: Option<String>,
-    telemetry: bool,
-    csv: Option<String>,
 }
 
 fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
     let mut cli = Cli {
-        workers: 3,
-        system: SystemKind::DLion,
-        seed: 1,
+        spec: RunSpec::default(),
         transport: "tcp".to_string(),
         peers: None,
         port_base: 7300,
-        train: None,
-        test: None,
-        lr: None,
-        gbs_adjust_period: None,
-        topology: Topology::FullMesh,
-        opts: LiveOpts::default(),
-        trace_out: None,
-        telemetry: false,
-        csv: None,
     };
     let mut workers_given = false;
     while let Some(flag) = args.next_flag() {
+        if flag == "--workers" {
+            workers_given = true; // apply_flag consumes it below
+        }
+        if cli.spec.apply_flag(&flag, &mut args)? {
+            continue;
+        }
         match flag.as_str() {
-            "--workers" => {
-                cli.workers = args.parse(&flag)?;
-                workers_given = true;
-            }
-            "--system" => {
-                cli.system = args.parse_with(&flag, |s| {
-                    SystemKind::parse(s).ok_or_else(|| format!("unknown system '{s}'"))
-                })?
-            }
-            "--seed" => cli.seed = args.parse(&flag)?,
-            "--iters" => cli.opts.iters = args.parse(&flag)?,
-            "--eval-every" => cli.opts.eval_every = args.parse(&flag)?,
             "--transport" => cli.transport = args.value(&flag)?,
             "--peers" => cli.peers = Some(args.parse_with(&flag, parse_peers)?),
             "--port-base" => cli.port_base = args.parse(&flag)?,
-            "--train" => cli.train = Some(args.parse(&flag)?),
-            "--test" => cli.test = Some(args.parse(&flag)?),
-            "--lr" => cli.lr = Some(args.parse(&flag)?),
-            "--queue-cap" => cli.opts.queue_cap = args.parse(&flag)?,
-            "--bw-mbps" => cli.opts.bw_mbps = args.parse(&flag)?,
-            "--assumed-iter-time" => cli.opts.assumed_iter_time = Some(args.parse(&flag)?),
-            "--stall-secs" => cli.opts.stall_timeout = Duration::from_secs_f64(args.parse(&flag)?),
-            "--peer-timeout" => {
-                cli.opts.peer_timeout = Some(Duration::from_secs_f64(args.parse(&flag)?))
-            }
-            "--kill" => cli.opts.fault = args.parse_with(&flag, FaultPlan::parse)?,
-            "--wire" => cli.opts.wire = args.parse_with(&flag, WireFormat::parse)?,
-            "--chunk-bytes" => {
-                cli.opts.chunk_bytes = args.parse(&flag)?;
-                if cli.opts.chunk_bytes == 0 {
-                    return Err(UsageError::new("--chunk-bytes", "must be positive"));
-                }
-            }
-            "--gbs-adjust-period" => cli.gbs_adjust_period = Some(args.parse(&flag)?),
-            "--topology" => cli.topology = args.parse_with(&flag, Topology::parse)?,
-            "--gbs-static" => cli.opts.gbs_static = true,
-            "--health-interval" => cli.opts.health_interval = Some(args.parse(&flag)?),
-            "--straggle" => cli.opts.straggle = args.parse_with(&flag, parse_straggle)?,
-            "--trace-out" => cli.trace_out = Some(args.value(&flag)?),
-            "--telemetry" => cli.telemetry = true,
-            "--csv" => cli.csv = Some(args.value(&flag)?),
             "--help" | "-h" => return Err(UsageError::new(flag, "help requested")),
             _ => return Err(UsageError::unknown(flag)),
         }
@@ -149,41 +107,33 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
                 "explicit addresses need --transport procs (tcp/mem run in-process)",
             ));
         }
-        if workers_given && cli.workers != peers.len() {
-            return Err(UsageError::new(
-                "--peers",
-                format!("{} addresses but --workers {}", peers.len(), cli.workers),
-            ));
-        }
-        cli.workers = peers.len();
-    }
-    if cli.workers < 2 {
-        return Err(UsageError::new("--workers", "need at least 2 workers"));
-    }
-    cli.opts
-        .fault
-        .validate(cli.workers, cli.opts.iters)
-        .map_err(|reason| UsageError::new("--kill", reason))?;
-    for &(w, _) in &cli.opts.straggle {
-        if w >= cli.workers {
-            return Err(UsageError::new(
-                "--straggle",
-                format!(
-                    "worker {w} does not exist in a {}-worker cluster",
-                    cli.workers
-                ),
-            ));
+        // Peer addresses are HOSTS: with `--virtual R` each carries R
+        // ranks, so the list either matches the spec's host count or
+        // (without an explicit --workers) defines it.
+        if workers_given {
+            if peers.len() != cli.spec.host_count() {
+                return Err(UsageError::new(
+                    "--peers",
+                    format!(
+                        "{} addresses but --workers {} --virtual {} needs {} hosts",
+                        peers.len(),
+                        cli.spec.workers,
+                        cli.spec.virtual_ranks,
+                        cli.spec.host_count()
+                    ),
+                ));
+            }
+        } else {
+            cli.spec.workers = peers.len() * cli.spec.virtual_ranks;
         }
     }
-    cli.topology
-        .validate(cli.workers, cli.seed)
-        .map_err(|e| UsageError::new("--topology", e.reason))?;
+    cli.spec.validate()?;
     Ok(cli)
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dlion-live [--workers N] [--system baseline|ako|gaia|hop|dlion|dlion-no-wu|dlion-no-dbwu|maxN]\n\
+        "usage: dlion-live [--workers N] [--virtual R] [--system baseline|ako|gaia|hop|dlion|dlion-no-wu|dlion-no-dbwu|maxN]\n\
          \x20                 [--seed N] [--iters K] [--eval-every K] [--transport tcp|mem|procs]\n\
          \x20                 [--peers HOST:PORT,...] [--port-base P] [--train N] [--test N] [--lr F]\n\
          \x20                 [--queue-cap N] [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]\n\
@@ -197,36 +147,119 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Append each per-host child trace into the parent's file so one
+/// `dlion-trace-check` invocation covers the whole procs-mode run. The
+/// checker's seq monotonicity is per run scope (`system/env/seed`), and
+/// every child writes under its own `…/w{rank}` scopes, so plain
+/// concatenation stays valid.
+fn merge_child_traces(path: &str, hosts: usize) {
+    use std::io::Write;
+    let mut out = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .expect("open merged trace");
+    for h in 0..hosts {
+        let part = format!("{path}.w{h}");
+        let bytes = std::fs::read(&part).expect("read child trace");
+        out.write_all(&bytes).expect("append child trace");
+        let _ = std::fs::remove_file(&part);
+    }
+    out.flush().expect("flush merged trace");
+}
+
+fn run_procs(cli: &Cli, env_label: &str) -> Vec<WorkerOutcome> {
+    let spec = &cli.spec;
+    let hosts = spec.host_count();
+    let addrs = cli
+        .peers
+        .clone()
+        .unwrap_or_else(|| loopback_addrs(hosts, cli.port_base));
+    let peers_arg = addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    // The children rebuild the identical cluster from the same spec;
+    // to_argv hands the whole configuration over without this binary
+    // naming each flag. Output paths stay with the parent (children get
+    // per-host trace files instead, merged after the run).
+    let mut child_spec = spec.clone();
+    child_spec.trace_out = None;
+    child_spec.csv = None;
+    let child_argv = child_spec.to_argv();
+    let exe = std::env::current_exe().expect("current exe");
+    let worker_bin = exe.with_file_name("dlion-worker");
+    let mut children = Vec::with_capacity(hosts);
+    for id in 0..hosts {
+        let mut cmd = std::process::Command::new(&worker_bin);
+        cmd.args(&child_argv)
+            .arg("--id")
+            .arg(id.to_string())
+            .arg("--peers")
+            .arg(&peers_arg)
+            .arg("--env-label")
+            .arg(env_label)
+            .stdout(std::process::Stdio::piped());
+        if let Some(path) = &spec.trace_out {
+            cmd.arg("--trace-out").arg(format!("{path}.w{id}"));
+        }
+        children.push(cmd.spawn().unwrap_or_else(|e| {
+            eprintln!("dlion-live: cannot spawn {}: {e}", worker_bin.display());
+            std::process::exit(1);
+        }));
+    }
+    // Each child prints one outcome line per hosted rank (R of them
+    // under --virtual R); the cluster is whole when the rank count
+    // matches the spec.
+    let mut outcomes = Vec::with_capacity(spec.workers);
+    for (id, mut child) in children.into_iter().enumerate() {
+        let mut stdout = String::new();
+        child
+            .stdout
+            .take()
+            .expect("piped stdout")
+            .read_to_string(&mut stdout)
+            .expect("read worker stdout");
+        let status = child.wait().expect("wait for worker");
+        if !status.success() {
+            eprintln!("dlion-live: worker host {id} failed ({status})");
+            std::process::exit(1);
+        }
+        for line in stdout.lines().filter_map(|l| l.strip_prefix("outcome:")) {
+            outcomes.push(WorkerOutcome::from_json(line).unwrap_or_else(|e| {
+                eprintln!("dlion-live: worker host {id} outcome unreadable: {e}");
+                std::process::exit(1);
+            }));
+        }
+    }
+    if outcomes.len() != spec.workers {
+        eprintln!(
+            "dlion-live: expected {} rank outcomes, got {}",
+            spec.workers,
+            outcomes.len()
+        );
+        std::process::exit(1);
+    }
+    outcomes
+}
+
 fn main() {
     let cli = parse_cli(Args::from_env()).unwrap_or_else(|e| {
         eprintln!("dlion-live: {e}");
         usage();
     });
-    let workers = cli.workers;
+    let spec = &cli.spec;
+    let workers = spec.workers;
 
-    let mut cfg = live_config(cli.system, cli.seed);
-    cfg.telemetry = cli.telemetry;
-    if let Some(v) = cli.train {
-        cfg.workload.train_size = v;
-    }
-    if let Some(v) = cli.test {
-        cfg.workload.test_size = v;
-    }
-    if let Some(v) = cli.lr {
-        cfg.lr = v;
-    }
-    if let Some(v) = cli.gbs_adjust_period {
-        cfg.gbs.adjust_period_secs = v;
-    }
-    cfg.wire = cli.opts.wire;
-    cfg.topology = cli.topology;
-    let opts = &cli.opts;
+    let mut cfg = live_config(spec.system, spec.seed);
+    spec.configure(&mut cfg);
+    let opts = LiveOpts::from_spec(spec);
 
     dlion_telemetry::init_from_env("info");
     let env_label = format!("live/{workers}w");
     dlion_telemetry::info!(target: "dlion_live",
-        "running {} on {workers} live workers ({}) for {} iterations ...",
-        cli.system.name(), cli.transport, opts.iters);
+        "running {} on {workers} live workers ({}, {} per host) for {} iterations ...",
+        spec.system.name(), cli.transport, spec.virtual_ranks, opts.iters);
     if !opts.fault.is_empty() {
         dlion_telemetry::info!(target: "dlion_live",
             "fault plan: {}", opts.fault.render());
@@ -234,7 +267,7 @@ fn main() {
 
     let m = match cli.transport.as_str() {
         "tcp" | "mem" => {
-            if let Some(path) = &cli.trace_out {
+            if let Some(path) = &spec.trace_out {
                 dlion_telemetry::open_trace_file(path).expect("open trace file");
             }
             let kind = if cli.transport == "tcp" {
@@ -242,8 +275,12 @@ fn main() {
             } else {
                 TransportKind::Mem
             };
-            let result = run_live(&cfg, workers, opts, kind, &env_label);
-            if cli.trace_out.is_some() {
+            let plan = VirtualPlan {
+                ranks_per_host: spec.virtual_ranks,
+                migrate: vec![],
+            };
+            let result = run_live_virtual(&cfg, workers, &plan, &opts, kind, &env_label);
+            if spec.trace_out.is_some() {
                 dlion_telemetry::stop_trace();
             }
             match result {
@@ -255,138 +292,31 @@ fn main() {
             }
         }
         "procs" => {
-            // Each worker is a `dlion-worker` process; its config flags
-            // must mirror ours exactly — both sides rebuild the identical
-            // cluster from them. Addressing goes through one resolved
-            // `--peers` list so every child agrees on the mesh.
-            let addrs = cli
-                .peers
-                .clone()
-                .unwrap_or_else(|| loopback_addrs(workers, cli.port_base));
-            let peers_arg = addrs
-                .iter()
-                .map(|a| a.to_string())
-                .collect::<Vec<_>>()
-                .join(",");
-            let exe = std::env::current_exe().expect("current exe");
-            let worker_bin = exe.with_file_name("dlion-worker");
-            let mut children = Vec::with_capacity(workers);
-            for id in 0..workers {
-                let mut cmd = std::process::Command::new(&worker_bin);
-                cmd.arg("--id")
-                    .arg(id.to_string())
-                    .arg("--peers")
-                    .arg(&peers_arg)
-                    .arg("--system")
-                    .arg(cli.system.name().to_lowercase())
-                    .arg("--seed")
-                    .arg(cli.seed.to_string())
-                    .arg("--iters")
-                    .arg(opts.iters.to_string())
-                    .arg("--eval-every")
-                    .arg(opts.eval_every.to_string())
-                    .arg("--train")
-                    .arg(cfg.workload.train_size.to_string())
-                    .arg("--test")
-                    .arg(cfg.workload.test_size.to_string())
-                    .arg("--lr")
-                    .arg(cfg.lr.to_string())
-                    .arg("--queue-cap")
-                    .arg(opts.queue_cap.to_string())
-                    .arg("--bw-mbps")
-                    .arg(opts.bw_mbps.to_string())
-                    .arg("--stall-secs")
-                    .arg(opts.stall_timeout.as_secs_f64().to_string())
-                    .arg("--wire")
-                    .arg(opts.wire.render())
-                    .arg("--chunk-bytes")
-                    .arg(opts.chunk_bytes.to_string())
-                    .arg("--env-label")
-                    .arg(&env_label)
-                    .stdout(std::process::Stdio::piped());
-                if let Some(t) = opts.assumed_iter_time {
-                    cmd.arg("--assumed-iter-time").arg(t.to_string());
-                }
-                if let Some(t) = opts.peer_timeout {
-                    cmd.arg("--peer-timeout").arg(t.as_secs_f64().to_string());
-                }
-                if !opts.fault.is_empty() {
-                    cmd.arg("--kill").arg(opts.fault.render());
-                }
-                if cli.topology != Topology::FullMesh {
-                    cmd.arg("--topology").arg(cli.topology.render());
-                }
-                if let Some(p) = cli.gbs_adjust_period {
-                    cmd.arg("--gbs-adjust-period").arg(p.to_string());
-                }
-                if opts.gbs_static {
-                    cmd.arg("--gbs-static");
-                }
-                if let Some(s) = opts.health_interval {
-                    cmd.arg("--health-interval").arg(s.to_string());
-                }
-                if !opts.straggle.is_empty() {
-                    let spec = opts
-                        .straggle
-                        .iter()
-                        .map(|(w, f)| format!("{w}:{f}"))
-                        .collect::<Vec<_>>()
-                        .join(",");
-                    cmd.arg("--straggle").arg(spec);
-                }
-                if cli.telemetry {
-                    cmd.arg("--telemetry");
-                }
-                if let Some(path) = &cli.trace_out {
-                    cmd.arg("--trace-out").arg(format!("{path}.w{id}"));
-                }
-                children.push(cmd.spawn().unwrap_or_else(|e| {
-                    eprintln!("dlion-live: cannot spawn {}: {e}", worker_bin.display());
-                    std::process::exit(1);
-                }));
+            let outcomes = run_procs(&cli, &env_label);
+            // The parent owns the merged trace: cluster-level events
+            // (cluster_health rollups from assemble_metrics) land in
+            // `path` first, then the per-host files are appended.
+            if let Some(path) = &spec.trace_out {
+                dlion_telemetry::open_trace_file(path).expect("open trace file");
             }
-            let mut outcomes = Vec::with_capacity(workers);
-            for (id, mut child) in children.into_iter().enumerate() {
-                let mut stdout = String::new();
-                child
-                    .stdout
-                    .take()
-                    .expect("piped stdout")
-                    .read_to_string(&mut stdout)
-                    .expect("read worker stdout");
-                let status = child.wait().expect("wait for worker");
-                if !status.success() {
-                    eprintln!("dlion-live: worker {id} failed ({status})");
-                    std::process::exit(1);
-                }
-                let line = stdout
-                    .lines()
-                    .rev()
-                    .find_map(|l| l.strip_prefix("outcome:"))
-                    .unwrap_or_else(|| {
-                        eprintln!("dlion-live: worker {id} printed no outcome");
-                        std::process::exit(1);
-                    });
-                outcomes.push(WorkerOutcome::from_json(line).unwrap_or_else(|e| {
-                    eprintln!("dlion-live: worker {id} outcome unreadable: {e}");
-                    std::process::exit(1);
-                }));
-            }
-            if let Some(path) = &cli.trace_out {
+            let m = assemble_metrics(&cfg, &env_label, outcomes);
+            if let Some(path) = &spec.trace_out {
+                dlion_telemetry::stop_trace();
+                merge_child_traces(path, spec.host_count());
                 dlion_telemetry::info!(target: "dlion_live",
-                    "per-worker traces written to {path}.w0 .. {path}.w{}", workers - 1);
+                    "merged per-host traces into {path}");
             }
-            assemble_metrics(&cfg, &env_label, outcomes)
+            m
         }
         _ => unreachable!("transport validated in parse_cli"),
     };
 
     print!("{}", report::summarize(&m));
-    if cli.telemetry {
+    if spec.telemetry {
         println!("\nper-run telemetry:\n{}", m.telemetry.render_table());
     }
-    if let Some(path) = cli.csv {
-        let f = std::fs::File::create(&path).expect("create csv");
+    if let Some(path) = &spec.csv {
+        let f = std::fs::File::create(path).expect("create csv");
         let mut f = std::io::BufWriter::new(f);
         m.write_timeseries_csv(&mut f).expect("write csv");
         std::io::Write::flush(&mut f).expect("flush csv");
@@ -397,6 +327,8 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlion_core::messages::WireFormat;
+    use dlion_core::Topology;
 
     fn cli(list: &[&str]) -> Result<Cli, UsageError> {
         parse_cli(Args::new(list.iter().map(|s| s.to_string())))
@@ -405,10 +337,11 @@ mod tests {
     #[test]
     fn defaults_hold_and_kill_plan_parses() {
         let c = cli(&["--kill", "1@10+0.5", "--iters", "40"]).unwrap();
-        assert_eq!(c.workers, 3);
+        assert_eq!(c.spec.workers, 3);
+        assert_eq!(c.spec.virtual_ranks, 1);
         assert_eq!(c.transport, "tcp");
-        assert_eq!(c.opts.fault.kills.len(), 1);
-        assert_eq!(c.opts.fault.kills[0].worker, 1);
+        assert_eq!(c.spec.fault.kills.len(), 1);
+        assert_eq!(c.spec.fault.kills[0].worker, 1);
     }
 
     #[test]
@@ -429,9 +362,56 @@ mod tests {
             "10.0.0.1:7300,10.0.0.2:7300",
         ])
         .unwrap();
-        assert_eq!(c.workers, 2);
+        assert_eq!(c.spec.workers, 2);
         let e = cli(&["--peers", "10.0.0.1:7300,10.0.0.2:7300"]).unwrap_err();
         assert_eq!(e.flag, "--peers");
+    }
+
+    #[test]
+    fn virtual_ranks_multiply_the_peer_list() {
+        // Two host addresses × 3 ranks per host = a 6-rank cluster.
+        let c = cli(&[
+            "--transport",
+            "procs",
+            "--virtual",
+            "3",
+            "--peers",
+            "10.0.0.1:7300,10.0.0.2:7300",
+        ])
+        .unwrap();
+        assert_eq!(c.spec.workers, 6);
+        assert_eq!(c.spec.host_count(), 2);
+        // With --workers explicit the peer list must match the HOST
+        // count, not the rank count.
+        let c = cli(&[
+            "--transport",
+            "procs",
+            "--workers",
+            "6",
+            "--virtual",
+            "3",
+            "--peers",
+            "10.0.0.1:7300,10.0.0.2:7300",
+        ])
+        .unwrap();
+        assert_eq!(c.spec.workers, 6);
+        let e = cli(&[
+            "--transport",
+            "procs",
+            "--workers",
+            "6",
+            "--virtual",
+            "2",
+            "--peers",
+            "10.0.0.1:7300,10.0.0.2:7300",
+        ])
+        .unwrap_err();
+        assert_eq!(e.flag, "--peers");
+        // In-process transports take --virtual directly.
+        let c = cli(&["--workers", "8", "--virtual", "4"]).unwrap();
+        assert_eq!((c.spec.workers, c.spec.virtual_ranks), (8, 4));
+        let e = cli(&["--workers", "4", "--virtual", "5"]).unwrap_err();
+        assert_eq!(e.flag, "--virtual");
     }
 
     #[test]
@@ -443,12 +423,12 @@ mod tests {
     #[test]
     fn wire_flags_parse() {
         let c = cli(&["--wire", "fp16", "--chunk-bytes", "65536"]).unwrap();
-        assert_eq!(c.opts.wire, WireFormat::Fp16);
-        assert_eq!(c.opts.chunk_bytes, 65536);
+        assert_eq!(c.spec.wire, WireFormat::Fp16);
+        assert_eq!(c.spec.chunk_bytes, 65536);
         let c = cli(&["--wire", "topk:5"]).unwrap();
-        assert_eq!(c.opts.wire, WireFormat::TopK(5.0));
+        assert_eq!(c.spec.wire, WireFormat::TopK(5.0));
         let d = cli(&[]).unwrap();
-        assert_eq!(d.opts.wire, WireFormat::Dense);
+        assert_eq!(d.spec.wire, WireFormat::Dense);
         let e = cli(&["--wire", "fp32"]).unwrap_err();
         assert_eq!(e.flag, "--wire");
         let e = cli(&["--chunk-bytes", "0"]).unwrap_err();
@@ -458,11 +438,11 @@ mod tests {
     #[test]
     fn health_flags_parse_and_validate() {
         let c = cli(&["--health-interval", "0.2", "--straggle", "2:3"]).unwrap();
-        assert_eq!(c.opts.health_interval, Some(0.2));
-        assert_eq!(c.opts.straggle, vec![(2, 3.0)]);
+        assert_eq!(c.spec.health_interval, Some(0.2));
+        assert_eq!(c.spec.straggle, vec![(2, 3.0)]);
         let d = cli(&[]).unwrap();
-        assert_eq!(d.opts.health_interval, None);
-        assert!(d.opts.straggle.is_empty());
+        assert_eq!(d.spec.health_interval, None);
+        assert!(d.spec.straggle.is_empty());
         // Worker 5 does not exist in the default 3-worker cluster.
         let e = cli(&["--straggle", "5:2"]).unwrap_err();
         assert_eq!(e.flag, "--straggle");
@@ -471,11 +451,11 @@ mod tests {
     #[test]
     fn topology_flag_parses_and_validates_against_workers() {
         let c = cli(&["--workers", "4", "--topology", "ring"]).unwrap();
-        assert_eq!(c.topology, Topology::Ring);
+        assert_eq!(c.spec.topology, Topology::Ring);
         let c = cli(&["--workers", "6", "--topology", "kregular:2"]).unwrap();
-        assert_eq!(c.topology, Topology::KRegular { k: 2 });
+        assert_eq!(c.spec.topology, Topology::KRegular { k: 2 });
         let d = cli(&[]).unwrap();
-        assert_eq!(d.topology, Topology::FullMesh);
+        assert_eq!(d.spec.topology, Topology::FullMesh);
         // Hub 5 does not exist in the default 3-worker cluster; the
         // typed validation names the flag instead of panicking later.
         let e = cli(&["--topology", "star:5"]).unwrap_err();
@@ -487,11 +467,11 @@ mod tests {
     #[test]
     fn gbs_flags_parse() {
         let c = cli(&["--gbs-adjust-period", "0.25", "--gbs-static"]).unwrap();
-        assert_eq!(c.gbs_adjust_period, Some(0.25));
-        assert!(c.opts.gbs_static);
+        assert_eq!(c.spec.gbs_adjust_period, Some(0.25));
+        assert!(c.spec.gbs_static);
         let d = cli(&[]).unwrap();
-        assert_eq!(d.gbs_adjust_period, None);
-        assert!(!d.opts.gbs_static);
+        assert_eq!(d.spec.gbs_adjust_period, None);
+        assert!(!d.spec.gbs_static);
         let e = cli(&["--gbs-adjust-period", "soon"]).unwrap_err();
         assert_eq!(e.flag, "--gbs-adjust-period");
     }

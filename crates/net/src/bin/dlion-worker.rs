@@ -1,172 +1,131 @@
-//! `dlion-worker` — one live worker as its own OS process; the unit
+//! `dlion-worker` — one live *host* as its own OS process; the unit
 //! `dlion-live --transport procs` composes a cluster from, and the unit
 //! you start by hand on each machine of a real multi-host micro-cloud.
 //!
 //! ```text
-//! dlion-worker --id I --peers HOST:PORT,HOST:PORT,...
-//!              [--system NAME] [--seed N] [--iters K] [--eval-every K]
-//!              [--train N] [--test N] [--lr F] [--queue-cap N]
-//!              [--bw-mbps F] [--assumed-iter-time S] [--stall-secs S]
-//!              [--peer-timeout S] [--kill W@I[+R],...]
-//!              [--topology full|ring|star:H|kregular:K|groups:G|hier:G]
-//!              [--wire dense|fp16|int8|topk[:N]] [--chunk-bytes B]
-//!              [--gbs-adjust-period S] [--gbs-static]
-//!              [--health-interval S] [--straggle W:F,...]
-//!              [--env-label L] [--trace-out FILE] [--telemetry]
+//! dlion-worker --id I (--peers HOST:PORT,... | --workers N [--port-base P])
+//!              [--virtual R] [shared RunSpec flags...] [--env-label L]
 //! ```
 //!
-//! `--peers` is the primary addressing interface: the comma-separated
-//! list names every worker's listen address, in worker-id order, and this
-//! process binds the entry at `--id`. `--workers N [--port-base P]` is
-//! loopback sugar for `--peers 127.0.0.1:P,127.0.0.1:P+1,...` — handy on
-//! one machine, meaningless across several.
+//! With the default `--virtual 1` each process hosts exactly one worker
+//! (rank) and `--id` is that worker's id. With `--virtual R` the process
+//! is a **RankHost** carrying `R` virtual ranks (ranks `I·R ..
+//! min((I+1)·R, workers)`) over a single transport endpoint, and `--id`
+//! names the host; the cluster then spans `ceil(workers / R)` processes.
+//! Either way the process prints one `outcome:{json}` line per rank it
+//! hosted.
 //!
-//! Every worker process rebuilds the *whole* deterministic cluster from
-//! the shared flags (`build_cluster` is a pure function of the config) and
-//! takes the slot named by `--id` — so all processes agree on every
-//! worker's shard, initial weights and RNG stream without any central
-//! coordinator. It meshes with its peers over TCP, trains, and prints
-//! `outcome:{json}` on stdout for the orchestrator. With a `--kill` plan
-//! naming this worker, it departs at the planned iteration (exit code 0,
-//! outcome marked departed) — the chaos harness for churn testing.
+//! `--peers` is the primary addressing interface: the comma-separated
+//! list names every *host's* listen address, in host-id order, and this
+//! process binds the entry at `--id`. `--workers N [--port-base P]` is
+//! loopback sugar for `--peers 127.0.0.1:P,127.0.0.1:P+1,...` over the
+//! host count — handy on one machine, meaningless across several.
+//!
+//! Every process rebuilds the *whole* deterministic cluster from the
+//! shared [`RunSpec`] flags (`build_cluster` is a pure function of the
+//! config) and takes the rank slots its host id names — so all processes
+//! agree on every worker's shard, initial weights and RNG stream without
+//! any central coordinator. With a `--kill` plan naming a hosted rank,
+//! that rank departs at the planned iteration (exit code 0, outcome
+//! marked departed) — the chaos harness for churn testing.
 
+use dlion_core::args::RunSpec;
 use dlion_core::cluster::ClusterInit;
-use dlion_core::messages::WireFormat;
-use dlion_core::{build_cluster, Args, FaultPlan, SystemKind, Topology, UsageError};
+use dlion_core::{build_cluster, Args, UsageError};
 use dlion_net::{
-    link_masks, live_config, loopback_addrs, parse_peers, parse_straggle, run_worker, LiveOpts,
-    TcpOpts, TcpTransport, WorkerEnv,
+    link_masks, live_config, loopback_addrs, parse_peers, run_worker, LiveError, LiveOpts,
+    RankHost, RankLayout, TcpOpts, TcpTransport, WorkerEnv, WorkerOutcome,
 };
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
-use std::time::Duration;
 
 #[derive(Debug)]
 struct Cli {
+    /// Host id: the index into `addrs` this process binds.
     id: usize,
+    /// Per-host listen addresses, in host-id order.
     addrs: Vec<SocketAddr>,
-    system: SystemKind,
-    seed: u64,
-    train: Option<usize>,
-    test: Option<usize>,
-    lr: Option<f32>,
-    gbs_adjust_period: Option<f64>,
-    topology: Topology,
-    opts: LiveOpts,
+    spec: RunSpec,
     env_label: String,
-    trace_out: Option<String>,
-    telemetry: bool,
 }
 
 fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
     let mut id: Option<usize> = None;
-    let mut workers: Option<usize> = None;
+    let mut workers_given = false;
     let mut port_base = 7300u16;
     let mut peers: Option<Vec<SocketAddr>> = None;
-    let mut cli = Cli {
-        id: 0,
-        addrs: Vec::new(),
-        system: SystemKind::DLion,
-        seed: 1,
-        train: None,
-        test: None,
-        lr: None,
-        gbs_adjust_period: None,
-        topology: Topology::FullMesh,
-        opts: LiveOpts::default(),
-        env_label: "live/procs".to_string(),
-        trace_out: None,
-        telemetry: false,
-    };
+    let mut spec = RunSpec::default();
+    let mut env_label = "live/procs".to_string();
     while let Some(flag) = args.next_flag() {
+        if flag == "--workers" {
+            workers_given = true;
+        }
+        if spec.apply_flag(&flag, &mut args)? {
+            continue;
+        }
         match flag.as_str() {
             "--id" => id = Some(args.parse(&flag)?),
-            "--workers" => workers = Some(args.parse(&flag)?),
             "--port-base" => port_base = args.parse(&flag)?,
             "--peers" => peers = Some(args.parse_with(&flag, parse_peers)?),
-            "--system" => {
-                cli.system = args.parse_with(&flag, |s| {
-                    SystemKind::parse(s).ok_or_else(|| format!("unknown system '{s}'"))
-                })?
-            }
-            "--seed" => cli.seed = args.parse(&flag)?,
-            "--iters" => cli.opts.iters = args.parse(&flag)?,
-            "--eval-every" => cli.opts.eval_every = args.parse(&flag)?,
-            "--train" => cli.train = Some(args.parse(&flag)?),
-            "--test" => cli.test = Some(args.parse(&flag)?),
-            "--lr" => cli.lr = Some(args.parse(&flag)?),
-            "--queue-cap" => cli.opts.queue_cap = args.parse(&flag)?,
-            "--bw-mbps" => cli.opts.bw_mbps = args.parse(&flag)?,
-            "--assumed-iter-time" => cli.opts.assumed_iter_time = Some(args.parse(&flag)?),
-            "--stall-secs" => cli.opts.stall_timeout = Duration::from_secs_f64(args.parse(&flag)?),
-            "--peer-timeout" => {
-                cli.opts.peer_timeout = Some(Duration::from_secs_f64(args.parse(&flag)?))
-            }
-            "--kill" => cli.opts.fault = args.parse_with(&flag, FaultPlan::parse)?,
-            "--topology" => cli.topology = args.parse_with(&flag, Topology::parse)?,
-            "--wire" => cli.opts.wire = args.parse_with(&flag, WireFormat::parse)?,
-            "--chunk-bytes" => {
-                cli.opts.chunk_bytes = args.parse(&flag)?;
-                if cli.opts.chunk_bytes == 0 {
-                    return Err(UsageError::new("--chunk-bytes", "must be positive"));
-                }
-            }
-            "--health-interval" => cli.opts.health_interval = Some(args.parse(&flag)?),
-            "--straggle" => cli.opts.straggle = args.parse_with(&flag, parse_straggle)?,
-            "--gbs-adjust-period" => cli.gbs_adjust_period = Some(args.parse(&flag)?),
-            "--gbs-static" => cli.opts.gbs_static = true,
-            "--env-label" => cli.env_label = args.value(&flag)?,
-            "--trace-out" => cli.trace_out = Some(args.value(&flag)?),
-            "--telemetry" => cli.telemetry = true,
+            "--env-label" => env_label = args.value(&flag)?,
             "--help" | "-h" => return Err(UsageError::new(flag, "help requested")),
             _ => return Err(UsageError::unknown(flag)),
         }
     }
-    cli.id = id.ok_or_else(|| UsageError::new("--id", "required"))?;
-    cli.addrs = match peers {
+    let id = id.ok_or_else(|| UsageError::new("--id", "required"))?;
+    let addrs = match peers {
         Some(addrs) => {
-            if let Some(w) = workers {
-                if w != addrs.len() {
-                    return Err(UsageError::new(
-                        "--peers",
-                        format!("{} addresses but --workers {w}", addrs.len()),
-                    ));
-                }
+            // --peers names hosts; with --workers given too, the host
+            // count (not the rank count) must match the list.
+            if workers_given && addrs.len() != spec.host_count() {
+                return Err(UsageError::new(
+                    "--peers",
+                    format!(
+                        "{} addresses but the spec spans {} hosts ({} workers / {} per host)",
+                        addrs.len(),
+                        spec.host_count(),
+                        spec.workers,
+                        spec.virtual_ranks
+                    ),
+                ));
+            }
+            if !workers_given {
+                // The peer list itself sizes the cluster: one host per
+                // address, `virtual` ranks per host.
+                spec.workers = addrs.len() * spec.virtual_ranks;
             }
             addrs
         }
         None => {
-            let n = workers
-                .ok_or_else(|| UsageError::new("--workers", "required unless --peers is given"))?;
-            if n < 2 {
-                return Err(UsageError::new("--workers", "need at least 2 workers"));
+            if !workers_given {
+                return Err(UsageError::new(
+                    "--workers",
+                    "required unless --peers is given",
+                ));
             }
-            loopback_addrs(n, port_base)
+            loopback_addrs(spec.host_count(), port_base)
         }
     };
-    if cli.id >= cli.addrs.len() {
-        return Err(UsageError::new("--id", "must be < the number of peers"));
+    spec.validate()?;
+    if id >= addrs.len() {
+        return Err(UsageError::new("--id", "must be < the number of hosts"));
     }
-    cli.opts
-        .fault
-        .validate(cli.addrs.len(), cli.opts.iters)
-        .map_err(|reason| UsageError::new("--kill", reason))?;
-    // Typed construction-time validation: a bad spec (hub out of range,
-    // odd k on an odd ring, ...) prints usage instead of panicking later.
-    cli.topology
-        .validate(cli.addrs.len(), cli.seed)
-        .map_err(|e| UsageError::new("--topology", e.reason))?;
-    Ok(cli)
+    Ok(Cli {
+        id,
+        addrs,
+        spec,
+        env_label,
+    })
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dlion-worker --id I (--peers HOST:PORT,... | --workers N [--port-base P])\n\
-         \x20                   [--system NAME] [--seed N] [--iters K] [--eval-every K]\n\
-         \x20                   [--train N] [--test N] [--lr F] [--queue-cap N] [--bw-mbps F]\n\
-         \x20                   [--assumed-iter-time S] [--stall-secs S] [--peer-timeout S]\n\
-         \x20                   [--kill W@I[+R],...] [--topology SPEC]\n\
-         \x20                   [--wire dense|fp16|int8|topk[:N]]\n\
+         \x20                   [--virtual R] [--system NAME] [--seed N] [--iters K]\n\
+         \x20                   [--eval-every K] [--train N] [--test N] [--lr F]\n\
+         \x20                   [--queue-cap N] [--bw-mbps F] [--assumed-iter-time S]\n\
+         \x20                   [--stall-secs S] [--peer-timeout S] [--kill W@I[+R],...]\n\
+         \x20                   [--topology SPEC] [--wire dense|fp16|int8|topk[:N]]\n\
          \x20                   [--chunk-bytes B] [--gbs-adjust-period S] [--gbs-static]\n\
          \x20                   [--health-interval S] [--straggle W:F,...]\n\
          \x20                   [--env-label L] [--trace-out FILE] [--telemetry]"
@@ -179,87 +138,133 @@ fn main() {
         eprintln!("dlion-worker: {e}");
         usage();
     });
-    let (me, n) = (cli.id, cli.addrs.len());
+    let spec = &cli.spec;
+    let (host, n) = (cli.id, spec.workers);
 
-    let mut cfg = live_config(cli.system, cli.seed);
-    cfg.telemetry = cli.telemetry;
-    if let Some(v) = cli.train {
-        cfg.workload.train_size = v;
-    }
-    if let Some(v) = cli.test {
-        cfg.workload.test_size = v;
-    }
-    if let Some(v) = cli.lr {
-        cfg.lr = v;
-    }
-    if let Some(v) = cli.gbs_adjust_period {
-        cfg.gbs.adjust_period_secs = v;
-    }
-    cfg.wire = cli.opts.wire;
-    cfg.topology = cli.topology;
+    let mut cfg = live_config(spec.system, spec.seed);
+    spec.configure(&mut cfg);
+    let opts = LiveOpts::from_spec(spec);
 
     dlion_telemetry::init_from_env("info");
-    if let Some(path) = &cli.trace_out {
+    if let Some(path) = &spec.trace_out {
         dlion_telemetry::open_trace_file(path).expect("open trace file");
     }
 
-    let listener = TcpListener::bind(cli.addrs[me]).unwrap_or_else(|e| {
-        eprintln!("dlion-worker: cannot bind {}: {e}", cli.addrs[me]);
+    let listener = TcpListener::bind(cli.addrs[host]).unwrap_or_else(|e| {
+        eprintln!("dlion-worker: cannot bind {}: {e}", cli.addrs[host]);
         std::process::exit(1);
     });
-    let tcp_opts = TcpOpts {
-        queue_cap: cli.opts.queue_cap,
-        establish_timeout: cli.opts.stall_timeout,
-        peer_timeout: cli.opts.peer_timeout,
-        clock: Arc::clone(&cli.opts.clock),
-        instrument: cli.opts.health_interval.is_some(),
-    };
 
     let ClusterInit {
-        mut workers,
+        workers,
         data,
         eval_indices,
         schedule,
-        neighbors: _,
         total_params,
         bytes_per_param,
         prof_rng: _,
     } = build_cluster(&cfg, n);
     // Every process computes the same symmetric masks from the shared
     // flags, so both endpoints of every kept link agree it exists.
-    let masks = link_masks(&schedule, &cfg, &cli.opts, n);
-    let mut transport =
-        TcpTransport::establish_linked(me, listener, &cli.addrs, cli.seed, &tcp_opts, &masks[me])
-            .unwrap_or_else(|e| {
-                eprintln!("dlion-worker {me}: mesh setup failed: {e}");
-                std::process::exit(1);
-            });
-    let worker = workers.swap_remove(me);
-    let env = WorkerEnv {
-        cfg: &cfg,
-        opts: &cli.opts,
-        data: &data,
-        eval_indices: &eval_indices,
-        schedule,
-        links: masks[me].clone(),
-        total_params,
-        bytes_per_param,
-        clock: Arc::clone(&cli.opts.clock),
-        env_label: cli.env_label,
+    let masks = link_masks(&schedule, &cfg, &opts, n);
+    let layout = RankLayout::even(n, spec.virtual_ranks);
+    let host_masks = layout.host_links(&masks);
+    let tcp_opts = TcpOpts {
+        // A host link multiplexes up to R×R rank pairs plus their route
+        // markers; scale the per-link backpressure budget to match.
+        queue_cap: if spec.virtual_ranks > 1 {
+            opts.queue_cap * spec.virtual_ranks * spec.virtual_ranks * 2
+        } else {
+            opts.queue_cap
+        },
+        establish_timeout: opts.stall_timeout,
+        peer_timeout: opts.peer_timeout,
+        clock: Arc::clone(&opts.clock),
+        instrument: opts.health_interval.is_some(),
+        // Flat runs (--virtual 1) speak the classic 16-byte Hello.
+        ranks: (spec.virtual_ranks > 1).then(|| Arc::new(layout.hello_blocks())),
     };
-    let outcome = run_worker(worker, &env, &mut transport).unwrap_or_else(|e| {
-        eprintln!("dlion-worker {me}: {e}");
+    let mut transport = TcpTransport::establish_linked(
+        host,
+        listener,
+        &cli.addrs,
+        spec.seed,
+        &tcp_opts,
+        &host_masks[host],
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("dlion-worker {host}: mesh setup failed: {e}");
         std::process::exit(1);
     });
-    if cli.trace_out.is_some() {
+
+    // Pick out this host's rank slots; every other slot stays behind.
+    let mut slots: Vec<Option<dlion_core::worker::Worker>> =
+        workers.into_iter().map(Some).collect();
+    let make_env = |rank: usize| WorkerEnv {
+        cfg: &cfg,
+        opts: &opts,
+        data: &data,
+        eval_indices: &eval_indices,
+        schedule: Arc::clone(&schedule),
+        links: masks[rank].clone(),
+        total_params,
+        bytes_per_param,
+        clock: Arc::clone(&opts.clock),
+        env_label: cli.env_label.clone(),
+    };
+    let results: Vec<Result<WorkerOutcome, LiveError>> = if spec.virtual_ranks == 1 {
+        // Classic flat path: the process IS its one rank — the worker
+        // drives the socket mesh directly (no route markers, and the
+        // transport's link-health instrumentation feeds the health
+        // plane unwrapped).
+        let worker = slots[host].take().expect("host is its own rank");
+        let env = make_env(host);
+        vec![run_worker(worker, &env, &mut transport)]
+    } else {
+        let (rank_host, endpoints) = RankHost::new(host, Box::new(transport), &layout);
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .map(|mut ep| {
+                    let rank = ep.rank();
+                    let worker = slots[rank].take().expect("rank hosted once");
+                    let env = make_env(rank);
+                    s.spawn(move || run_worker(worker, &env, &mut ep))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Err(LiveError::Protocol("rank thread panicked".into())),
+                })
+                .collect()
+        });
+        drop(rank_host); // joins the pump, flushing final frames
+        results
+    };
+    if spec.trace_out.is_some() {
         dlion_telemetry::stop_trace();
     }
-    println!("outcome:{}", outcome.to_json());
+    let mut failed = false;
+    for r in results {
+        match r {
+            Ok(outcome) => println!("outcome:{}", outcome.to_json()),
+            Err(e) => {
+                eprintln!("dlion-worker {host}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlion_core::messages::WireFormat;
 
     fn cli(list: &[&str]) -> Result<Cli, UsageError> {
         parse_cli(Args::new(list.iter().map(|s| s.to_string())))
@@ -276,7 +281,50 @@ mod tests {
     fn peers_list_is_primary() {
         let c = cli(&["--id", "0", "--peers", "10.0.0.1:7300,10.0.0.2:7300"]).unwrap();
         assert_eq!(c.addrs.len(), 2);
+        assert_eq!(c.spec.workers, 2);
         assert_eq!(c.addrs[1], "10.0.0.2:7300".parse().unwrap());
+    }
+
+    #[test]
+    fn virtual_ranks_shrink_the_host_list() {
+        // 6 ranks over 3 per host = 2 host processes.
+        let c = cli(&[
+            "--id",
+            "1",
+            "--workers",
+            "6",
+            "--virtual",
+            "3",
+            "--port-base",
+            "7500",
+        ])
+        .unwrap();
+        assert_eq!(c.spec.host_count(), 2);
+        assert_eq!(c.addrs, loopback_addrs(2, 7500));
+        // A peer list sizes hosts, and with --virtual it implies ranks.
+        let c = cli(&[
+            "--id",
+            "0",
+            "--virtual",
+            "2",
+            "--peers",
+            "10.0.0.1:7300,10.0.0.2:7300",
+        ])
+        .unwrap();
+        assert_eq!(c.spec.workers, 4);
+        // Host/list mismatch is caught when both are given.
+        let e = cli(&[
+            "--id",
+            "0",
+            "--workers",
+            "6",
+            "--virtual",
+            "3",
+            "--peers",
+            "10.0.0.1:7300,10.0.0.2:7300,10.0.0.3:7300",
+        ])
+        .unwrap_err();
+        assert_eq!(e.flag, "--peers");
     }
 
     #[test]
@@ -306,8 +354,8 @@ mod tests {
             "8192",
         ])
         .unwrap();
-        assert_eq!(c.opts.wire, WireFormat::Int8);
-        assert_eq!(c.opts.chunk_bytes, 8192);
+        assert_eq!(c.spec.wire, WireFormat::Int8);
+        assert_eq!(c.spec.chunk_bytes, 8192);
         let e = cli(&["--id", "0", "--workers", "2", "--wire", "f64"]).unwrap_err();
         assert_eq!(e.flag, "--wire");
     }
@@ -325,8 +373,8 @@ mod tests {
             "2:3,0:1.5",
         ])
         .unwrap();
-        assert_eq!(c.opts.health_interval, Some(0.2));
-        assert_eq!(c.opts.straggle, vec![(2, 3.0), (0, 1.5)]);
+        assert_eq!(c.spec.health_interval, Some(0.2));
+        assert_eq!(c.spec.straggle, vec![(2, 3.0), (0, 1.5)]);
         let e = cli(&["--id", "0", "--workers", "2", "--straggle", "2x3"]).unwrap_err();
         assert_eq!(e.flag, "--straggle");
         let e = cli(&["--id", "0", "--workers", "2", "--straggle", "1:0"]).unwrap_err();
@@ -336,7 +384,7 @@ mod tests {
     #[test]
     fn kill_plans_validate_against_cluster_shape() {
         let ok = cli(&["--id", "0", "--workers", "3", "--kill", "1@10"]).unwrap();
-        assert_eq!(ok.opts.fault.kills.len(), 1);
+        assert_eq!(ok.spec.fault.kills.len(), 1);
         // Worker 7 does not exist in a 3-worker cluster.
         let e = cli(&["--id", "0", "--workers", "3", "--kill", "7@10"]).unwrap_err();
         assert_eq!(e.flag, "--kill");

@@ -63,6 +63,7 @@ use crate::health::{parse_stats, stats_body, HealthAggregator, WorkerStats, WIRE
 use crate::{
     LiveError, KIND_ACK, KIND_CATCHUP, KIND_DONE, KIND_HELLO, KIND_LEAVE, KIND_RCP, KIND_STATS,
 };
+use dlion_core::args::RunSpec;
 use dlion_core::clock::{Clock, SystemClock};
 use dlion_core::config::RunConfig;
 use dlion_core::gbs::GbsController;
@@ -197,24 +198,32 @@ impl std::fmt::Debug for LiveOpts {
     }
 }
 
-/// Parse a `--straggle` spec: comma-separated `W:F` pairs, e.g.
-/// `2:3` or `0:1.5,2:4` — worker `W` runs `F`× slower on the training
-/// clock. Factors must be positive.
-pub fn parse_straggle(s: &str) -> Result<Vec<(usize, f64)>, String> {
-    let mut out = Vec::new();
-    for part in s.split(',') {
-        let (w, f) = part
-            .split_once(':')
-            .ok_or_else(|| format!("expected W:F, got '{part}'"))?;
-        let w: usize = w.parse().map_err(|_| format!("bad worker id '{w}'"))?;
-        let f: f64 = f.parse().map_err(|_| format!("bad factor '{f}'"))?;
-        // NaN factors must also be rejected, hence not `f <= 0.0`.
-        if f.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-            return Err(format!("factor must be positive, got {f}"));
+// The `--straggle` spec parser moved into `dlion_core::args` with the
+// rest of the shared CLI surface (the `RunSpec` builder); re-exported
+// here so `dlion_net::parse_straggle` keeps working.
+pub use dlion_core::args::parse_straggle;
+
+impl LiveOpts {
+    /// The live-execution knobs a [`RunSpec`] carries. The clock stays at
+    /// its default (`SystemClock`); tests inject manual clocks directly.
+    pub fn from_spec(spec: &RunSpec) -> LiveOpts {
+        LiveOpts {
+            iters: spec.iters,
+            eval_every: spec.eval_every,
+            queue_cap: spec.queue_cap,
+            bw_mbps: spec.bw_mbps,
+            assumed_iter_time: spec.assumed_iter_time,
+            stall_timeout: Duration::from_secs_f64(spec.stall_secs),
+            fault: spec.fault.clone(),
+            peer_timeout: spec.peer_timeout.map(Duration::from_secs_f64),
+            gbs_static: spec.gbs_static,
+            wire: spec.wire,
+            chunk_bytes: spec.chunk_bytes,
+            health_interval: spec.health_interval,
+            straggle: spec.straggle.clone(),
+            ..LiveOpts::default()
         }
-        out.push((w, f));
     }
-    Ok(out)
 }
 
 /// Everything a live worker needs besides its [`Worker`] state and its

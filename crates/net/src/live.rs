@@ -5,6 +5,7 @@
 //! CSV and comparison tooling work unchanged on live runs.
 
 use crate::driver::{run_worker, LiveOpts, WorkerEnv, WorkerOutcome};
+use crate::rankhost::{RankEndpoint, RankHost, RankLayout};
 use crate::tcp::{loopback_mesh, TcpOpts};
 use crate::LiveError;
 use dlion_core::cluster::ClusterInit;
@@ -82,7 +83,6 @@ pub fn run_live(
         data,
         eval_indices,
         schedule,
-        neighbors: _, // round-0 sets; the driver consults the schedule
         total_params,
         bytes_per_param,
         prof_rng: _, // live profiling measures real wall clock, no noise RNG
@@ -103,6 +103,7 @@ pub fn run_live(
                 // The health plane wants per-link lifecycle latency; when
                 // it is off the transport pays zero instrumentation cost.
                 instrument: opts.health_interval.is_some(),
+                ranks: None,
             };
             // Only the links the mask names are dialed: topology is a
             // connection-count saving, not just a send-count one.
@@ -141,6 +142,161 @@ pub fn run_live(
             })
             .collect()
     });
+    let mut outcomes = Vec::with_capacity(n);
+    for r in results {
+        outcomes.push(r?);
+    }
+    Ok(assemble_metrics(cfg, env_label, outcomes))
+}
+
+/// Placement plan for a virtual-rank run (`--virtual R`): how many ranks
+/// each host (OS process / transport endpoint) carries, plus optional
+/// mid-run migrations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VirtualPlan {
+    /// Ranks per host; the last host takes the remainder. `1` is a flat
+    /// run (one rank per host — [`run_live_virtual`] delegates to
+    /// [`run_live`] when no migrations are planned).
+    pub ranks_per_host: usize,
+    /// `(rank, destination host)`: when the rank departs (a `--kill
+    /// r@i` with a rejoin window), it re-homes onto the destination
+    /// host instead of rejoining where it started — the mid-run
+    /// migration path. Requires a matching kill in `opts.fault`, since
+    /// re-homing piggybacks on the Leave frame.
+    pub migrate: Vec<(usize, usize)>,
+}
+
+impl VirtualPlan {
+    pub fn flat() -> VirtualPlan {
+        VirtualPlan {
+            ranks_per_host: 1,
+            migrate: Vec::new(),
+        }
+    }
+}
+
+/// Run `n` virtual ranks multiplexed over `ceil(n / ranks_per_host)`
+/// host transports — e.g. a 64-rank cluster on 4 OS processes' worth of
+/// endpoints. Every rank still runs the full [`run_worker`] driver on
+/// its own thread; only the wire is shared (see [`crate::rankhost`]).
+/// Under strict BSP the result is bit-identical to [`run_live`] with
+/// one transport per worker, and to the simulator.
+pub fn run_live_virtual(
+    cfg: &RunConfig,
+    n: usize,
+    plan: &VirtualPlan,
+    opts: &LiveOpts,
+    kind: TransportKind,
+    env_label: &str,
+) -> Result<RunMetrics, LiveError> {
+    if plan.ranks_per_host == 0 {
+        return Err(LiveError::Protocol("--virtual must be at least 1".into()));
+    }
+    if plan.ranks_per_host == 1 && plan.migrate.is_empty() {
+        return run_live(cfg, n, opts, kind, env_label);
+    }
+    let ClusterInit {
+        workers,
+        data,
+        eval_indices,
+        schedule,
+        total_params,
+        bytes_per_param,
+        prof_rng: _,
+    } = build_cluster(cfg, n);
+    let masks = link_masks(&schedule, cfg, opts, n);
+    let layout = RankLayout::even(n, plan.ranks_per_host);
+    let hosts = layout.n_hosts();
+    for &(rank, dest) in &plan.migrate {
+        if rank >= n || dest >= hosts {
+            return Err(LiveError::Protocol(format!(
+                "migration {rank}->{dest} outside {n} ranks / {hosts} hosts"
+            )));
+        }
+        if layout.host_of[rank] == dest {
+            return Err(LiveError::Protocol(format!(
+                "rank {rank} already lives on host {dest}"
+            )));
+        }
+    }
+
+    let host_transports: Vec<Box<dyn ExchangeTransport>> = match kind {
+        TransportKind::Mem => dlion_core::mem_mesh(hosts)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn ExchangeTransport>)
+            .collect(),
+        TransportKind::Tcp => {
+            let tcp_opts = TcpOpts {
+                // A host link multiplexes up to R×R rank pairs, each
+                // frame preceded by its route marker — scale the
+                // per-link backpressure budget accordingly.
+                queue_cap: opts.queue_cap * plan.ranks_per_host * plan.ranks_per_host * 2,
+                establish_timeout: opts.stall_timeout,
+                peer_timeout: opts.peer_timeout,
+                clock: Arc::clone(&opts.clock),
+                instrument: opts.health_interval.is_some(),
+                ranks: Some(Arc::new(layout.hello_blocks())),
+            };
+            // Host pairs without any cross-host rank link are not dialed.
+            let host_masks = layout.host_links(&masks);
+            loopback_mesh(hosts, cfg.seed, &tcp_opts, Some(&host_masks))?
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn ExchangeTransport>)
+                .collect()
+        }
+    };
+
+    // One RankHost per transport endpoint; collect every rank's endpoint
+    // in rank order so workers zip up with their wire.
+    let mut rank_hosts = Vec::with_capacity(hosts);
+    let mut endpoints: Vec<Option<RankEndpoint>> = (0..n).map(|_| None).collect();
+    for (h, transport) in host_transports.into_iter().enumerate() {
+        let (host, eps) = RankHost::new(h, transport, &layout);
+        for ep in eps {
+            let r = ep.rank();
+            endpoints[r] = Some(ep);
+        }
+        rank_hosts.push(host);
+    }
+    for &(rank, dest) in &plan.migrate {
+        endpoints[rank]
+            .as_mut()
+            .expect("validated above")
+            .arm_rehome(rank_hosts[dest].handle());
+    }
+
+    let results: Vec<Result<WorkerOutcome, LiveError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .zip(endpoints)
+            .map(|(worker, ep)| {
+                let mut ep = ep.expect("every rank has an endpoint");
+                let env = WorkerEnv {
+                    cfg,
+                    opts,
+                    data: &data,
+                    eval_indices: &eval_indices,
+                    schedule: Arc::clone(&schedule),
+                    links: masks[worker.id].clone(),
+                    total_params,
+                    bytes_per_param,
+                    clock: Arc::clone(&opts.clock),
+                    env_label: env_label.to_string(),
+                };
+                s.spawn(move || run_worker(worker, &env, &mut ep))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(LiveError::Protocol("worker thread panicked".into())),
+            })
+            .collect()
+    });
+    // All endpoints retired inside the scope; this joins the pumps and
+    // flushes/closes the host links.
+    drop(rank_hosts);
     let mut outcomes = Vec::with_capacity(n);
     for r in results {
         outcomes.push(r?);

@@ -71,6 +71,21 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+/// The virtual-rank block a host announces in its Hello (the `(host,
+/// rank)` addressing extension): "endpoint `id` speaks for ranks
+/// `base..base+count` of a `total`-rank cluster". Legacy 16-byte hellos
+/// carry no block; ranked 28-byte hellos append one (see
+/// [`crate::hello_body_ranked`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankHello {
+    /// First global rank homed on this host.
+    pub base: u32,
+    /// How many consecutive ranks the host speaks for.
+    pub count: u32,
+    /// Total virtual ranks in the cluster (every host must agree).
+    pub total: u32,
+}
+
 /// Transport tuning knobs (everything beyond the address list).
 #[derive(Clone)]
 pub struct TcpOpts {
@@ -91,6 +106,12 @@ pub struct TcpOpts {
     /// through [`ExchangeTransport::link_health`]. Off by default: the
     /// health plane (`--health-interval`) turns it on.
     pub instrument: bool,
+    /// Virtual-rank layout, indexed by host id (`None` = classic
+    /// one-rank-per-endpoint mode). When set, hellos go out ranked
+    /// (28-byte body) and incoming hellos must carry the matching block —
+    /// a host that disagrees on the rank layout is rejected exactly like
+    /// one that disagrees on `n` or the seed.
+    pub ranks: Option<Arc<Vec<RankHello>>>,
 }
 
 impl Default for TcpOpts {
@@ -101,6 +122,7 @@ impl Default for TcpOpts {
             peer_timeout: None,
             clock: Arc::new(SystemClock::new()),
             instrument: false,
+            ranks: None,
         }
     }
 }
@@ -112,6 +134,7 @@ impl std::fmt::Debug for TcpOpts {
             .field("establish_timeout", &self.establish_timeout)
             .field("peer_timeout", &self.peer_timeout)
             .field("instrument", &self.instrument)
+            .field("ranks", &self.ranks)
             .finish_non_exhaustive()
     }
 }
@@ -178,13 +201,24 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<(Vec<u8>, Durati
     Ok(Some((frame, t0.elapsed())))
 }
 
-fn hello_frame(me: usize, n: usize, seed: u64) -> Vec<u8> {
-    encode_frame(KIND_HELLO, &crate::hello_body(me, n, seed))
+fn hello_frame(me: usize, n: usize, seed: u64, ranks: Option<RankHello>) -> Vec<u8> {
+    match ranks {
+        None => encode_frame(KIND_HELLO, &crate::hello_body(me, n, seed)),
+        Some(r) => encode_frame(
+            KIND_HELLO,
+            &crate::hello_body_ranked(me, n, seed, r.base, r.count, r.total),
+        ),
+    }
 }
 
-pub(crate) fn parse_hello(frame: &[u8]) -> Result<(usize, usize, u64), LiveError> {
+/// Decode a Hello. Accepts both wire shapes: the legacy 16-byte body
+/// (`id, n, seed` → rank block `None`) and the ranked 28-byte body that
+/// appends `base, count, total`.
+pub(crate) fn parse_hello(
+    frame: &[u8],
+) -> Result<(usize, usize, u64, Option<RankHello>), LiveError> {
     let (kind, body) = decode_frame(frame)?;
-    if kind != KIND_HELLO || body.len() != 16 {
+    if kind != KIND_HELLO || !(body.len() == 16 || body.len() == 28) {
         return Err(LiveError::Protocol(format!(
             "expected hello, got kind {kind:#x} with {} body bytes",
             frame.len().saturating_sub(FRAME_HEADER_BYTES)
@@ -193,7 +227,31 @@ pub(crate) fn parse_hello(frame: &[u8]) -> Result<(usize, usize, u64), LiveError
     let id = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
     let n = u32::from_le_bytes(body[4..8].try_into().unwrap()) as usize;
     let seed = u64::from_le_bytes(body[8..16].try_into().unwrap());
-    Ok((id, n, seed))
+    let ranks = (body.len() == 28).then(|| RankHello {
+        base: u32::from_le_bytes(body[16..20].try_into().unwrap()),
+        count: u32::from_le_bytes(body[20..24].try_into().unwrap()),
+        total: u32::from_le_bytes(body[24..28].try_into().unwrap()),
+    });
+    Ok((id, n, seed, ranks))
+}
+
+/// Validate a received hello's rank block against the local layout:
+/// either both sides run classic mode, or both run virtual mode and
+/// agree on host `id`'s block. `Err` carries the reason.
+fn check_hello_ranks(
+    id: usize,
+    got: Option<RankHello>,
+    layout: Option<&Arc<Vec<RankHello>>>,
+) -> Result<(), String> {
+    match (got, layout.map(|l| l[id])) {
+        (None, None) => Ok(()),
+        (Some(g), Some(want)) if g == want => Ok(()),
+        (Some(g), Some(want)) => Err(format!(
+            "host {id} disagrees on its rank block ({g:?} vs {want:?})"
+        )),
+        (Some(_), None) => Err(format!("host {id} sent a ranked hello to a flat cluster")),
+        (None, Some(_)) => Err(format!("host {id} sent a flat hello to a ranked cluster")),
+    }
 }
 
 /// What reader/acceptor threads push into the shared inbox. Liveness
@@ -426,7 +484,8 @@ impl TcpTransport {
                 ))
             })?;
             stream.set_nodelay(true)?;
-            (&stream).write_all(&hello_frame(me, n, seed))?;
+            let my_ranks = opts.ranks.as_ref().map(|l| l[me]);
+            (&stream).write_all(&hello_frame(me, n, seed, my_ranks))?;
             streams[j] = Some(stream);
         }
 
@@ -454,7 +513,7 @@ impl TcpTransport {
             stream.set_read_timeout(Some(opts.establish_timeout))?;
             let (frame, _) = read_frame(&mut stream)?
                 .ok_or_else(|| LiveError::Protocol("peer closed before hello".into()))?;
-            let (id, peer_n, peer_seed) = parse_hello(&frame)?;
+            let (id, peer_n, peer_seed, peer_ranks) = parse_hello(&frame)?;
             if peer_n != n || peer_seed != seed {
                 return Err(LiveError::Protocol(format!(
                     "worker {id} disagrees on cluster shape (n {peer_n} vs {n}, \
@@ -466,6 +525,7 @@ impl TcpTransport {
                     "unexpected or duplicate hello from worker {id}"
                 )));
             }
+            check_hello_ranks(id, peer_ranks, opts.ranks.as_ref()).map_err(LiveError::Protocol)?;
             stream.set_read_timeout(None)?;
             streams[id] = Some(stream);
             accepted += 1;
@@ -474,14 +534,20 @@ impl TcpTransport {
         TcpTransport::assemble(me, n, seed, streams, Some(listener), opts)
     }
 
-    /// Re-dial a mesh this worker previously left (or crashed out of):
+    /// Re-dial a mesh this endpoint previously left (or crashed out of):
     /// connect to every reachable peer and announce with a Hello. Each
     /// peer's acceptor re-wires its side of the link and surfaces the
     /// Hello to its driver — the rejoin entry point. Peers that cannot
     /// be reached stay unconnected (sends to them fail with `PeerGone`);
-    /// at least one must be reachable. The worker's own listening
+    /// at least one must be reachable. The endpoint's own listening
     /// address is re-bound on a best-effort basis, so yet-later joiners
     /// can reach it too.
+    ///
+    /// Reconnection is per **host link**, not per rank: `addrs` is the
+    /// host list, and with [`TcpOpts::ranks`] set the announced Hello
+    /// carries this host's whole rank block — a rejoining `RankHost`
+    /// restores *all* of its virtual ranks over the one re-dialed socket
+    /// per peer host instead of dialing once per rank.
     pub fn reconnect(
         me: usize,
         addrs: &[SocketAddr],
@@ -501,7 +567,11 @@ impl TcpTransport {
                 continue;
             };
             stream.set_nodelay(true)?;
-            if (&stream).write_all(&hello_frame(me, n, seed)).is_err() {
+            let my_ranks = opts.ranks.as_ref().map(|l| l[me]);
+            if (&stream)
+                .write_all(&hello_frame(me, n, seed, my_ranks))
+                .is_err()
+            {
                 continue;
             }
             streams[j] = Some(stream);
@@ -547,7 +617,10 @@ impl TcpTransport {
             let stop = Arc::clone(&accept_stop);
             let itx = inbox_tx.clone();
             let queue_cap = opts.queue_cap;
-            thread::spawn(move || acceptor_loop(me, n, seed, listener, mesh, itx, stop, queue_cap))
+            let ranks = opts.ranks.clone();
+            thread::spawn(move || {
+                acceptor_loop(me, n, seed, listener, mesh, itx, stop, queue_cap, ranks)
+            })
         });
         // The transport holds no inbox sender itself: when all readers
         // die *and* the acceptor stops, the inbox reports Disconnected.
@@ -667,6 +740,7 @@ fn acceptor_loop(
     inbox_tx: Sender<Note>,
     stop: Arc<AtomicBool>,
     queue_cap: usize,
+    ranks: Option<Arc<Vec<RankHello>>>,
 ) {
     let _ = listener.set_nonblocking(true);
     while !stop.load(Ordering::Relaxed) {
@@ -682,10 +756,11 @@ fn acceptor_loop(
             stream.set_nodelay(true).ok()?;
             stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
             let (frame, _) = read_frame(&mut stream).ok()??;
-            let (id, peer_n, peer_seed) = parse_hello(&frame).ok()?;
+            let (id, peer_n, peer_seed, peer_ranks) = parse_hello(&frame).ok()?;
             if id == me || id >= n || peer_n != n || peer_seed != seed {
                 return None;
             }
+            check_hello_ranks(id, peer_ranks, ranks.as_ref()).ok()?;
             stream.set_read_timeout(None).ok()?;
             Some((id, frame))
         })();
@@ -839,22 +914,11 @@ pub fn loopback_addrs(n: usize, port_base: u16) -> Vec<SocketAddr> {
         .collect()
 }
 
-/// Parse a `host:port,host:port,…` peer list (`--peers`).
-pub fn parse_peers(s: &str) -> Result<Vec<SocketAddr>, String> {
-    let addrs: Result<Vec<SocketAddr>, String> = s
-        .split(',')
-        .filter(|p| !p.is_empty())
-        .map(|p| {
-            p.parse()
-                .map_err(|_| format!("bad peer address '{p}' (want host:port)"))
-        })
-        .collect();
-    let addrs = addrs?;
-    if addrs.len() < 2 {
-        return Err("need at least two peer addresses".into());
-    }
-    Ok(addrs)
-}
+// `--peers` parsing lives with the rest of the CLI vocabulary in
+// `dlion_core::args`; re-exported here because peer lists are transport
+// addressing and callers historically found the parser next to the mesh
+// builders.
+pub use dlion_core::args::parse_peers;
 
 /// Build an `n`-worker loopback mesh on ephemeral ports: bind `n`
 /// listeners, then establish every endpoint concurrently (establishment
@@ -938,10 +1002,41 @@ mod tests {
 
     #[test]
     fn hello_round_trips() {
-        let f = hello_frame(3, 8, 42);
-        assert_eq!(parse_hello(&f).unwrap(), (3, 8, 42));
+        let f = hello_frame(3, 8, 42, None);
+        assert_eq!(parse_hello(&f).unwrap(), (3, 8, 42, None));
         let grad = Payload::DktRequest.to_frame();
         assert!(parse_hello(&grad).is_err());
+    }
+
+    #[test]
+    fn ranked_hello_round_trips_and_validates() {
+        let block = RankHello {
+            base: 4,
+            count: 4,
+            total: 8,
+        };
+        let f = hello_frame(1, 2, 42, Some(block));
+        assert_eq!(parse_hello(&f).unwrap(), (1, 2, 42, Some(block)));
+        // Both sides flat, both sides agreeing: fine.
+        assert!(check_hello_ranks(1, None, None).is_ok());
+        let layout = Arc::new(vec![
+            RankHello {
+                base: 0,
+                count: 4,
+                total: 8,
+            },
+            block,
+        ]);
+        assert!(check_hello_ranks(1, Some(block), Some(&layout)).is_ok());
+        // Mixed modes or a disagreeing block are protocol errors.
+        assert!(check_hello_ranks(1, None, Some(&layout)).is_err());
+        assert!(check_hello_ranks(1, Some(block), None).is_err());
+        let wrong = RankHello {
+            base: 0,
+            count: 4,
+            total: 8,
+        };
+        assert!(check_hello_ranks(1, Some(wrong), Some(&layout)).is_err());
     }
 
     #[test]

@@ -162,6 +162,7 @@ fn silent_peer_surfaces_as_peer_timeout_once_and_rearms() {
         peer_timeout: Some(Duration::from_millis(100)),
         clock: Arc::clone(&clock) as Arc<dyn dlion_core::Clock>,
         instrument: false,
+        ranks: None,
     };
     let mut mesh = loopback_mesh(2, 19, &topts, None).expect("mesh");
     let mut t1 = mesh.pop().expect("node 1");

@@ -1,0 +1,285 @@
+//! Virtual workers: N ranks multiplexed over one transport endpoint per
+//! host (`RankHost`) must be *invisible* to the training semantics.
+//! Under strict BSP the final weights are a pure function of the apply
+//! order `own g_t, peer g_t (by sender id), own g_{t+1}, ...`, and rank
+//! multiplexing only changes where ranks live — so a 2-host × 4-rank
+//! cluster must reach the simulator's 8-worker weights bit for bit, on
+//! channels and on real TCP sockets, with route markers, shared host
+//! links and pump-thread demux in between.
+//!
+//! The churn composition is covered too: killing one virtual rank must
+//! leave every survivor — *including the victim's host-mates* —
+//! bit-identical to the flat one-rank-per-host run, a whole-host TCP
+//! drop must demote all of its ranks in one ledger entry, and a killed
+//! rank must be able to re-home onto a different host mid-run (the
+//! migration path) and still finish through the DKT catch-up machinery.
+
+use dlion_core::messages::encode_frame;
+use dlion_core::{
+    run_with_models, ExchangeTransport, FaultPlan, RunConfig, RunMetrics, SyncPolicy, SystemKind,
+    Topology, TransportError,
+};
+use dlion_net::{
+    live_config, loopback_mesh, run_live, run_live_virtual, LiveOpts, RankHost, RankLayout,
+    TcpOpts, TransportKind, VirtualPlan, KIND_ACK,
+};
+use dlion_simnet::{ComputeModel, NetworkModel};
+use dlion_tensor::Tensor;
+use std::time::Duration;
+
+const BW_MBPS: f64 = 1000.0;
+const ITER_TIME: f64 = 0.05 + 0.001 * 32.0;
+
+fn bsp_cfg(system: SystemKind, iters: u64) -> RunConfig {
+    let mut cfg = live_config(system, 1);
+    cfg.duration = 10_000.0;
+    cfg.eval_interval = 10_000.0;
+    cfg.max_iters = Some(iters);
+    cfg.capture_weights = true;
+    cfg.sync_override = Some(SyncPolicy::Synchronous);
+    cfg
+}
+
+fn sim_run(cfg: &RunConfig, n: usize) -> RunMetrics {
+    run_with_models(
+        cfg,
+        ComputeModel::homogeneous(n, 1.0, 0.001, 0.05),
+        NetworkModel::uniform(n, BW_MBPS, 0.001),
+        "virtual-parity",
+    )
+}
+
+fn live_opts(iters: u64) -> LiveOpts {
+    LiveOpts {
+        iters,
+        eval_every: 0,
+        bw_mbps: BW_MBPS,
+        assumed_iter_time: Some(ITER_TIME),
+        stall_timeout: Duration::from_secs(120),
+        ..Default::default()
+    }
+}
+
+fn plan(ranks_per_host: usize) -> VirtualPlan {
+    VirtualPlan {
+        ranks_per_host,
+        migrate: Vec::new(),
+    }
+}
+
+fn weight_bits(weights: &[Vec<Tensor>]) -> Vec<Vec<Vec<u32>>> {
+    weights
+        .iter()
+        .map(|ws| {
+            ws.iter()
+                .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+                .collect()
+        })
+        .collect()
+}
+
+/// The core parity claim: sim(n=8) ≡ 2 hosts × 4 virtual ranks, bit for
+/// bit, on both transports.
+#[test]
+fn two_hosts_of_four_virtual_ranks_match_the_simulator_bit_for_bit() {
+    const ITERS: u64 = 6;
+    const N: usize = 8;
+    let cfg = bsp_cfg(SystemKind::Baseline, ITERS);
+    let sim = sim_run(&cfg, N);
+    assert_eq!(sim.iterations, vec![ITERS; N]);
+    for kind in [TransportKind::Mem, TransportKind::Tcp] {
+        let live = run_live_virtual(&cfg, N, &plan(4), &live_opts(ITERS), kind, "live/virt")
+            .expect("virtual run");
+        assert_eq!(live.iterations, vec![ITERS; N], "{kind:?} stalled");
+        assert_eq!(
+            weight_bits(&sim.final_weights),
+            weight_bits(&live.final_weights),
+            "sim and 2×4 virtual weights diverged ({kind:?})"
+        );
+        assert!(live.grad_bytes > 0.0, "no gradient traffic ({kind:?})");
+    }
+}
+
+/// Sparse per-round schedules compose with rank multiplexing: the
+/// kregular:2 rotation prunes rank pairs, the host links collapse what
+/// remains, and the weights still match the simulator exactly.
+#[test]
+fn kregular_schedule_keeps_virtual_bit_parity() {
+    const ITERS: u64 = 6;
+    const N: usize = 8;
+    let mut cfg = bsp_cfg(SystemKind::Baseline, ITERS);
+    cfg.topology = Topology::KRegular { k: 2 };
+    let sim = sim_run(&cfg, N);
+    assert_eq!(sim.iterations, vec![ITERS; N]);
+    for kind in [TransportKind::Mem, TransportKind::Tcp] {
+        let live = run_live_virtual(&cfg, N, &plan(4), &live_opts(ITERS), kind, "live/virt-kreg")
+            .expect("virtual run");
+        assert_eq!(live.iterations, vec![ITERS; N], "{kind:?} stalled");
+        assert_eq!(
+            weight_bits(&sim.final_weights),
+            weight_bits(&live.final_weights),
+            "kregular:2 virtual weights diverged from sim ({kind:?})"
+        );
+    }
+}
+
+/// Killing ONE virtual rank must not splash onto its host-mates: every
+/// survivor — same host or not — stays bit-identical to the flat
+/// one-rank-per-host run with the same fault plan.
+#[test]
+fn killing_one_virtual_rank_leaves_survivors_identical_to_flat() {
+    const ITERS: u64 = 8;
+    const N: usize = 8;
+    let cfg = bsp_cfg(SystemKind::Baseline, ITERS);
+    let opts = LiveOpts {
+        fault: FaultPlan::parse("1@3").expect("valid fault plan"),
+        ..live_opts(ITERS)
+    };
+    let flat = run_live(&cfg, N, &opts, TransportKind::Mem, "live/virt-kill").expect("flat run");
+    assert_eq!(flat.iterations[1], 3);
+    let flat_bits = weight_bits(&flat.final_weights);
+    assert!(flat_bits[1].is_empty(), "victim captured weights");
+    for kind in [TransportKind::Mem, TransportKind::Tcp] {
+        let live = run_live_virtual(&cfg, N, &plan(4), &opts, kind, "live/virt-kill")
+            .expect("virtual run");
+        assert_eq!(live.iterations[1], 3, "{kind:?}: victim outlived its plan");
+        let bits = weight_bits(&live.final_weights);
+        for w in 0..N {
+            if w == 1 {
+                continue;
+            }
+            assert_eq!(
+                flat_bits[w], bits[w],
+                "survivor {w} diverged from the flat run ({kind:?})"
+            );
+        }
+    }
+}
+
+/// Mid-run migration: rank 1 (home: host 0) departs at iteration 2 and
+/// rejoins homed on host 1 — Leave and everything after flow over the
+/// new host's link, receivers re-learn the address from the frames
+/// themselves, and the regular late-Hello → Catchup → DKT-pull rejoin
+/// completes. Survivor arithmetic is ledger-driven (rejoiners are
+/// uncounted backup members), so survivors keep finite losses and full
+/// iteration counts; the migrated rank finishes the run as a member.
+#[test]
+fn midrun_migration_rehomes_a_rank_through_the_rejoin_path() {
+    const ITERS: u64 = 12;
+    const N: usize = 8;
+    let cfg = bsp_cfg(SystemKind::Baseline, ITERS);
+    let opts = LiveOpts {
+        fault: FaultPlan::parse("1@2+0").expect("valid fault plan"),
+        ..live_opts(ITERS)
+    };
+    let migration = VirtualPlan {
+        ranks_per_host: 4,
+        migrate: vec![(1, 1)],
+    };
+    for kind in [TransportKind::Mem, TransportKind::Tcp] {
+        let m = run_live_virtual(&cfg, N, &migration, &opts, kind, "live/virt-mig")
+            .expect("migration run");
+        // Everyone — including the migrated rank — finished the run.
+        assert_eq!(m.iterations, vec![ITERS; N], "{kind:?}: migration stalled");
+        // The catch-up pull moved real weights through DKT.
+        assert!(m.dkt_merges >= 1, "{kind:?}: no catch-up merge");
+        assert!(m.weight_bytes > 0.0, "{kind:?}: no catch-up weights");
+        // The rejoined rank is a member again: it evaluates with the rest.
+        let acc = m.worker_acc.last().expect("final eval");
+        assert_eq!(acc.len(), N, "{kind:?}: migrated rank missing from eval");
+        assert!(
+            acc.iter().all(|&a| a > 0.0),
+            "{kind:?}: no accuracy {acc:?}"
+        );
+    }
+    // Bogus plans are rejected up front, not deadlocked into.
+    let bad = VirtualPlan {
+        ranks_per_host: 4,
+        migrate: vec![(1, 0)],
+    };
+    assert!(
+        run_live_virtual(&cfg, N, &bad, &opts, TransportKind::Mem, "live/virt-mig").is_err(),
+        "migrating a rank onto its own host must be rejected"
+    );
+}
+
+/// Satellite 3 (EOF semantics): a whole host dropping off the TCP mesh
+/// demotes ALL of its virtual ranks in one churn-ledger entry, and every
+/// surviving endpoint hears a per-rank disconnect for each dead rank.
+#[test]
+fn tcp_host_drop_demotes_all_its_ranks_in_one_ledger_entry() {
+    const TIMEOUT: Duration = Duration::from_secs(20);
+    let layout = RankLayout::even(4, 2); // hosts 0,1 carry ranks [0,1], [2,3]
+    let topts = TcpOpts {
+        establish_timeout: TIMEOUT,
+        ranks: Some(std::sync::Arc::new(layout.hello_blocks())),
+        ..Default::default()
+    };
+    let mut mesh = loopback_mesh(2, 31, &topts, None).expect("mesh");
+    let t1 = mesh.pop().expect("host 1");
+    let t0 = mesh.pop().expect("host 0");
+    let (host0, mut eps0) = RankHost::new(0, Box::new(t0), &layout);
+    let (host1, eps1) = RankHost::new(1, Box::new(t1), &layout);
+    // Rank 2 (host 1) proves the link works, then host 1 dies wholesale.
+    {
+        let mut eps1 = eps1;
+        eps1[0]
+            .send_frame(0, encode_frame(KIND_ACK, b"ping"))
+            .expect("send before drop");
+        let (from, _) = eps0[0]
+            .recv_frame_timeout(TIMEOUT)
+            .expect("recv")
+            .expect("frame before timeout");
+        assert_eq!(from, 2);
+        // Endpoints retire, then the RankHost drop closes the sockets.
+    }
+    drop(host1);
+    // Host 0's pump sees ONE socket EOF and fans it out: each surviving
+    // endpoint hears a disconnect per dead rank, in rank order.
+    for rank in [2usize, 3] {
+        match eps0[0].recv_frame_timeout(TIMEOUT) {
+            Err(TransportError::PeerDisconnected { peer }) if peer == rank => {}
+            other => panic!("expected PeerDisconnected({rank}), got {other:?}"),
+        }
+    }
+    // The ledger records the whole host as one entry, all ranks at once.
+    assert_eq!(host0.churn_ledger(), vec![(1, vec![2, 3])]);
+    // Sends to any dead rank fail fast.
+    assert!(matches!(
+        eps0[1].send_frame(3, encode_frame(KIND_ACK, b"x")),
+        Err(TransportError::PeerGone(3))
+    ));
+    drop(eps0);
+    drop(host0);
+}
+
+/// The oversubscription acceptance claim: 64 virtual ranks on 4 host
+/// endpoints over real TCP, strict BSP on a sparse schedule, reach the
+/// 64-worker simulator's weights bit for bit.
+#[test]
+fn sixty_four_ranks_on_four_tcp_hosts_match_the_simulator() {
+    const ITERS: u64 = 3;
+    const N: usize = 64;
+    let mut cfg = bsp_cfg(SystemKind::Baseline, ITERS);
+    // Sparse rotation keeps the wire volume sane at n=64 (each rank
+    // speaks to 2 neighbors per round) while still crossing every host
+    // boundary as the schedule rotates.
+    cfg.topology = Topology::KRegular { k: 2 };
+    let sim = sim_run(&cfg, N);
+    assert_eq!(sim.iterations, vec![ITERS; N]);
+    let live = run_live_virtual(
+        &cfg,
+        N,
+        &plan(16),
+        &live_opts(ITERS),
+        TransportKind::Tcp,
+        "live/virt-64",
+    )
+    .expect("64-rank virtual run");
+    assert_eq!(live.iterations, vec![ITERS; N], "64-rank run stalled");
+    assert_eq!(
+        weight_bits(&sim.final_weights),
+        weight_bits(&live.final_weights),
+        "64 ranks on 4 TCP hosts diverged from the simulator"
+    );
+}

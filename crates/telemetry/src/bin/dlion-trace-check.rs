@@ -187,19 +187,32 @@ fn run(path: &str, required: &[String], summary: bool) -> Result<String, String>
     Ok(out)
 }
 
+/// Split a `--require` value into kinds: the flag is repeatable AND takes
+/// comma-separated lists, so `--require a --require b` ≡ `--require a,b`.
+fn push_required(required: &mut Vec<String>, value: &str) {
+    required.extend(
+        value
+            .split(',')
+            .filter(|k| !k.is_empty())
+            .map(str::to_string),
+    );
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
     let mut required: Vec<String> = Vec::new();
     let mut summary = false;
     let usage = || -> ! {
-        eprintln!("usage: dlion-trace-check <trace.jsonl> [--require KIND]... [--summary]");
+        eprintln!(
+            "usage: dlion-trace-check <trace.jsonl> [--require KIND[,KIND...]]... [--summary]"
+        );
         std::process::exit(2);
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--require" => match args.next() {
-                Some(kind) => required.push(kind),
+                Some(kinds) => push_required(&mut required, &kinds),
                 None => usage(),
             },
             "--summary" => summary = true,
@@ -313,6 +326,15 @@ mod tests {
         let extra = tr.replace("\"links\":6", "\"links\":6,\"hub\":0");
         let err = check_line(1, &extra).unwrap_err();
         assert!(err.contains("schema pins"), "{err}");
+    }
+
+    #[test]
+    fn require_values_split_on_commas() {
+        let mut req = Vec::new();
+        push_required(&mut req, "topology_round,cluster_health");
+        push_required(&mut req, "gbs_adjust");
+        push_required(&mut req, ""); // empty value adds nothing
+        assert_eq!(req, vec!["topology_round", "cluster_health", "gbs_adjust"]);
     }
 
     #[test]

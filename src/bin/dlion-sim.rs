@@ -28,72 +28,52 @@
 //! cargo run --release --bin dlion-sim -- --system dlion --gpu --env hetero-sys-c
 //! ```
 
-use dlion::core::messages::WireFormat;
 use dlion::core::report;
 use dlion::prelude::*;
 
 #[derive(Debug)]
 struct Cli {
-    system: SystemKind,
+    /// The flag subset shared with the live binaries (`--system`,
+    /// `--seed`, `--lr`, `--wire`, `--topology`, `--trace-out`,
+    /// `--telemetry`, `--csv`) lives in the typed [`RunSpec`] builder —
+    /// defined once in `dlion_core::args` for all three CLIs.
+    spec: RunSpec,
     env: EnvId,
     duration: f64,
-    seed: u64,
-    lr: Option<f32>,
     skew: Option<f64>,
-    wire: WireFormat,
-    topology: Topology,
     gpu: bool,
     trace_links: bool,
     curve: bool,
-    csv: Option<String>,
-    trace_out: Option<String>,
     profile: bool,
-    telemetry: bool,
 }
 
 fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
     let mut cli = Cli {
-        system: SystemKind::DLion,
+        spec: RunSpec::default(),
         env: EnvId::HeteroSysA,
         duration: 1500.0,
-        seed: 1,
-        lr: None,
         skew: None,
-        wire: WireFormat::Dense,
-        topology: Topology::FullMesh,
         gpu: false,
         trace_links: false,
         curve: false,
-        csv: None,
-        trace_out: None,
         profile: false,
-        telemetry: false,
     };
     while let Some(flag) = args.next_flag() {
+        if cli.spec.apply_sim_flag(&flag, &mut args)? {
+            continue;
+        }
         match flag.as_str() {
-            "--system" => {
-                cli.system = args.parse_with(&flag, |s| {
-                    SystemKind::parse(s).ok_or_else(|| format!("unknown system '{s}'"))
-                })?
-            }
             "--env" => {
                 cli.env = args.parse_with(&flag, |s| {
                     EnvId::parse(s).ok_or_else(|| format!("unknown environment '{s}'"))
                 })?
             }
             "--duration" => cli.duration = args.parse(&flag)?,
-            "--seed" => cli.seed = args.parse(&flag)?,
-            "--lr" => cli.lr = Some(args.parse(&flag)?),
             "--skew" => cli.skew = Some(args.parse(&flag)?),
-            "--wire" => cli.wire = args.parse_with(&flag, WireFormat::parse)?,
-            "--topology" => cli.topology = args.parse_with(&flag, Topology::parse)?,
             "--gpu" => cli.gpu = true,
             "--trace-links" => cli.trace_links = true,
             "--curve" => cli.curve = true,
-            "--csv" => cli.csv = Some(args.value(&flag)?),
-            "--trace-out" => cli.trace_out = Some(args.value(&flag)?),
             "--profile" => cli.profile = true,
-            "--telemetry" => cli.telemetry = true,
             "--help" | "-h" => return Err(UsageError::new(flag, "help requested")),
             _ => return Err(UsageError::unknown(flag)),
         }
@@ -101,8 +81,9 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
     // Typed construction-time validation against the environment's worker
     // count: a bad spec prints usage instead of panicking mid-build.
     let n = cli.env.spec().capacity.len();
-    cli.topology
-        .validate(n, cli.seed)
+    cli.spec
+        .topology
+        .validate(n, cli.spec.seed)
         .map_err(|e| UsageError::new("--topology", e.reason))?;
     Ok(cli)
 }
@@ -122,25 +103,22 @@ fn usage() -> ! {
 
 fn main() {
     let Cli {
-        system,
+        spec,
         env,
         duration,
-        seed,
-        lr,
         skew,
-        wire,
-        topology,
         gpu,
         trace_links,
         curve,
-        csv,
-        trace_out,
         profile,
-        telemetry,
     } = parse_cli(Args::from_env()).unwrap_or_else(|e| {
         eprintln!("dlion-sim: {e}");
         usage();
     });
+    let system = spec.system;
+    let trace_out = spec.trace_out.clone();
+    let csv = spec.csv.clone();
+    let telemetry = spec.telemetry;
 
     let cluster = if gpu {
         ClusterKind::Gpu
@@ -149,12 +127,12 @@ fn main() {
     };
     let mut cfg = RunConfig::paper_default(system, cluster);
     cfg.duration = duration;
-    cfg.seed = seed;
+    cfg.seed = spec.seed;
     cfg.trace_links = trace_links;
     cfg.telemetry = telemetry;
-    cfg.wire = wire;
-    cfg.topology = topology;
-    if let Some(v) = lr {
+    cfg.wire = spec.wire;
+    cfg.topology = spec.topology;
+    if let Some(v) = spec.lr {
         cfg.lr = v;
     }
     if let Some(v) = skew {
@@ -229,6 +207,7 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlion::core::messages::WireFormat;
 
     fn cli(list: &[&str]) -> Result<Cli, UsageError> {
         parse_cli(Args::new(list.iter().map(|s| s.to_string())))
@@ -237,12 +216,12 @@ mod tests {
     #[test]
     fn flags_parse_through_shared_args() {
         let c = cli(&["--system", "prague3", "--env", "dynamic-sys-a", "--gpu"]).unwrap();
-        assert_eq!(c.system, SystemKind::Prague(3));
+        assert_eq!(c.spec.system, SystemKind::Prague(3));
         assert_eq!(c.env, EnvId::DynamicSysA);
         assert!(c.gpu);
-        assert_eq!(c.wire, WireFormat::Dense);
+        assert_eq!(c.spec.wire, WireFormat::Dense);
         let c = cli(&["--wire", "topk:15"]).unwrap();
-        assert_eq!(c.wire, WireFormat::TopK(15.0));
+        assert_eq!(c.spec.wire, WireFormat::TopK(15.0));
     }
 
     #[test]
@@ -257,9 +236,9 @@ mod tests {
     #[test]
     fn topology_flag_parses_and_validates_against_env_size() {
         let c = cli(&["--topology", "kregular:2"]).unwrap();
-        assert_eq!(c.topology, Topology::KRegular { k: 2 });
+        assert_eq!(c.spec.topology, Topology::KRegular { k: 2 });
         let c = cli(&["--topology", "hier:3"]).unwrap();
-        assert_eq!(c.topology, Topology::Hier { g: 3 });
+        assert_eq!(c.spec.topology, Topology::Hier { g: 3 });
         // Hub 9 does not exist in a 6-worker environment; a typed usage
         // error names the flag instead of panicking in the runner.
         let e = cli(&["--topology", "star:9"]).unwrap_err();
