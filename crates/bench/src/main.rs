@@ -513,6 +513,72 @@ fn net() {
     );
 }
 
+/// Resident-set sizes from `/proc/self/status` in bytes: `(VmRSS, VmHWM)`.
+/// Returns zeros on platforms without procfs — the sim bench then reports
+/// throughput only.
+fn rss_bytes() -> (u64, u64) {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return (0, 0);
+    };
+    let field = |key: &str| {
+        status
+            .lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<u64>().ok())
+            .map_or(0, |kb| kb * 1024)
+    };
+    (field("VmRSS:"), field("VmHWM:"))
+}
+
+/// Event-loop throughput and per-worker memory of the discrete-event
+/// simulator at scale: a `kregular:8` Baseline cell (the thousand-worker
+/// determinism soak's shape) at n=256 and n=1024. Reported rows feed
+/// `results/BENCH_sim.json`; the before/after pairs there bracket the
+/// scaling work (COW weight snapshots, flat link classes, per-round
+/// topology memoization).
+fn sim() {
+    println!("== sim ==");
+    for &(n, iters) in &[(256usize, 6u64), (1024, 6)] {
+        let mut cfg = RunConfig::small_test(SystemKind::Baseline);
+        cfg.duration = 1e9;
+        cfg.eval_interval = 1e9;
+        cfg.max_iters = Some(iters);
+        cfg.workload.train_size = 8 * n;
+        cfg.workload.test_size = 64;
+        cfg.eval_subset = 32;
+        cfg.telemetry = true;
+        cfg.topology = dlion_core::Topology::KRegular { k: 8 };
+        let compute = dlion_simnet::ComputeModel::homogeneous(n, 1.0, 0.001, 0.05);
+        let net = dlion_simnet::NetworkModel::uniform(n, 1000.0, 0.001);
+        let (rss_before, _) = rss_bytes();
+        dlion_telemetry::profiler::reset();
+        dlion_telemetry::profiler::enable(true);
+        let t0 = Instant::now();
+        let m = dlion_core::run_with_models(&cfg, compute, net, "bench/sim");
+        let wall = t0.elapsed().as_secs_f64();
+        dlion_telemetry::profiler::enable(false);
+        println!("{}", dlion_telemetry::profiler::render_table(wall));
+        let (rss_after, hwm) = rss_bytes();
+        let events = m.telemetry.counter("events");
+        let events_per_sec = events as f64 / wall;
+        let per_worker = rss_after.saturating_sub(rss_before) / n as u64;
+        let total_iters: u64 = m.iterations.iter().sum();
+        println!(
+            "  sim n={n:<5} {iters} iters: {wall:.2} s wall, {events} events \
+             ({events_per_sec:.0}/s), {total_iters} iterations, \
+             {:.1} MB run RSS ({per_worker} B/worker), peak {:.1} MB",
+            rss_after.saturating_sub(rss_before) as f64 / 1e6,
+            hwm as f64 / 1e6
+        );
+        println!(
+            "json:{{\"bench\":\"sim_kregular8_n{n}\",\"workers\":{n},\"iters\":{iters},\
+             \"wall_s\":{wall:.3},\"events\":{events},\"events_per_sec\":{events_per_sec:.1},\
+             \"run_rss_bytes_per_worker\":{per_worker},\"peak_rss_bytes\":{hwm}}}"
+        );
+    }
+}
+
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     match mode.as_str() {
@@ -521,15 +587,17 @@ fn main() {
         "e2e" => e2e(),
         "telemetry" => telemetry(),
         "net" => net(),
+        "sim" => sim(),
         "all" => {
             kernels();
             maxn();
             e2e();
             telemetry();
             net();
+            sim();
         }
         other => {
-            eprintln!("unknown mode `{other}`; expected kernels|maxn|e2e|telemetry|net|all");
+            eprintln!("unknown mode `{other}`; expected kernels|maxn|e2e|telemetry|net|sim|all");
             std::process::exit(2);
         }
     }

@@ -226,6 +226,11 @@ pub struct RunSpec {
     pub peer_timeout: Option<f64>,
     pub fault: FaultPlan,
     pub straggle: Vec<(usize, f64)>,
+    /// Generated chaos (`--scenario NAME[:ARGS][/...]`). Carried
+    /// symbolically: [`RunSpec::to_argv`] re-emits the raw spec (never
+    /// the expanded `--kill`/`--straggle`), so spawned children expand
+    /// the identical plan themselves from `(spec, workers, seed, iters)`.
+    pub scenario: Option<crate::scenario::ScenarioSpec>,
     pub gbs_adjust_period: Option<f64>,
     pub gbs_static: bool,
     pub health_interval: Option<f64>,
@@ -256,6 +261,7 @@ impl Default for RunSpec {
             peer_timeout: None,
             fault: FaultPlan::default(),
             straggle: Vec::new(),
+            scenario: None,
             gbs_adjust_period: None,
             gbs_static: false,
             health_interval: None,
@@ -282,6 +288,9 @@ impl RunSpec {
             "--lr" => self.lr = Some(args.parse(flag)?),
             "--wire" => self.wire = args.parse_with(flag, WireFormat::parse)?,
             "--topology" => self.topology = args.parse_with(flag, Topology::parse)?,
+            "--scenario" => {
+                self.scenario = Some(args.parse_with(flag, crate::scenario::ScenarioSpec::parse)?)
+            }
             "--trace-out" => self.trace_out = Some(args.value(flag)?),
             "--telemetry" => self.telemetry = true,
             "--csv" => self.csv = Some(args.value(flag)?),
@@ -349,6 +358,18 @@ impl RunSpec {
         self.fault
             .validate(self.workers, self.iters)
             .map_err(|e| UsageError::new("--kill", e))?;
+        if self.scenario.is_some() {
+            if !self.fault.is_empty() || !self.straggle.is_empty() {
+                return Err(UsageError::new(
+                    "--scenario",
+                    "combines with --kill/--straggle; pick one chaos source",
+                ));
+            }
+            // Expansion can fail (e.g. a region outage that leaves no
+            // survivor is repaired, but a zero-worker plan cannot be);
+            // surface that at parse time, not mid-run.
+            self.chaos().map_err(|e| UsageError::new("--scenario", e))?;
+        }
         for &(w, _) in &self.straggle {
             if w >= self.workers {
                 return Err(UsageError::new(
@@ -361,6 +382,27 @@ impl RunSpec {
             .validate(self.workers, self.seed)
             .map_err(|e| UsageError::new("--topology", e.reason))?;
         Ok(())
+    }
+
+    /// The chaos this spec injects on the live path: the explicit
+    /// `--kill`/`--straggle` flags, or — when `--scenario` is given —
+    /// the generated plan's fault/straggler parts. Pure in
+    /// `(scenario, workers, seed, iters)`, so every process parsing the
+    /// same argv (parent and spawned children alike) derives identical
+    /// chaos.
+    pub fn chaos(&self) -> Result<(FaultPlan, Vec<(usize, f64)>), String> {
+        match &self.scenario {
+            None => Ok((self.fault.clone(), self.straggle.clone())),
+            Some(sc) => {
+                // The live backend ignores the capacity/bandwidth factor
+                // schedules, so any positive horizon expands the same
+                // fault/straggle; use the nominal one-second iteration.
+                let plan = crate::scenario::generate(sc, self.workers, self.seed, self.iters, {
+                    (self.iters as f64).max(1.0)
+                })?;
+                Ok((plan.fault, plan.straggle))
+            }
+        }
     }
 
     /// Number of host processes this spec spans: `ceil(workers / virtual)`.
@@ -462,6 +504,9 @@ impl RunSpec {
                 .collect::<Vec<_>>()
                 .join(",");
             flag("--straggle", Some(spec));
+        }
+        if let Some(sc) = &self.scenario {
+            flag("--scenario", Some(sc.render()));
         }
         if let Some(v) = self.gbs_adjust_period {
             flag("--gbs-adjust-period", Some(v.to_string()));
@@ -629,6 +674,18 @@ mod tests {
             )];
         }
         if rng.chance(30) {
+            let specs = [
+                "diurnal",
+                "diurnal:120,0.25",
+                "outage:Mumbai@5+1.5",
+                "spotstorm:2@3",
+                "stragglers:2,1.5",
+                "diurnal:600,0.5/outage:Oregon@4/stragglers:1,2",
+            ];
+            let raw = specs[rng.below(specs.len() as u64) as usize];
+            s.scenario = Some(crate::scenario::ScenarioSpec::parse(raw).unwrap());
+        }
+        if rng.chance(30) {
             s.gbs_adjust_period = Some(0.05 + rng.below(100) as f64 / 100.0);
         }
         if rng.chance(20) {
@@ -698,6 +755,36 @@ mod tests {
         s.fault = FaultPlan::default();
         s.workers = 1;
         assert_eq!(s.validate().unwrap_err().flag, "--workers");
+    }
+
+    #[test]
+    fn scenario_flag_parses_expands_and_excludes_explicit_chaos() {
+        let mut spec = RunSpec {
+            workers: 6,
+            ..RunSpec::default()
+        };
+        let mut a = args(&["outage:Mumbai@5/stragglers:2,2"]);
+        assert!(spec.apply_sim_flag("--scenario", &mut a).unwrap());
+        spec.validate().unwrap();
+        let (fault, straggle) = spec.chaos().unwrap();
+        // Worker 3 is the only Mumbai resident among 6 workers.
+        assert_eq!(fault.kills.len(), 1);
+        assert_eq!(fault.kills[0].worker, 3);
+        assert_eq!(fault.kills[0].at_iter, 5);
+        assert_eq!(straggle.len(), 2);
+        // Same argv, same expansion: what a spawned child would derive.
+        let back = reparse(spec.to_argv());
+        assert_eq!(back.chaos().unwrap(), spec.chaos().unwrap());
+        // Mixing generated and explicit chaos is ambiguous; reject it.
+        spec.straggle = vec![(1, 2.0)];
+        assert_eq!(spec.validate().unwrap_err().flag, "--scenario");
+        spec.straggle.clear();
+        spec.fault = FaultPlan::parse("1@3").unwrap();
+        assert_eq!(spec.validate().unwrap_err().flag, "--scenario");
+        // A malformed spec names the flag.
+        let mut a = args(&["quake:9"]);
+        let e = spec.apply_sim_flag("--scenario", &mut a).unwrap_err();
+        assert_eq!(e.flag, "--scenario");
     }
 
     #[test]

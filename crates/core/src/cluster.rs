@@ -97,13 +97,19 @@ pub fn build_cluster(cfg: &RunConfig, n: usize) -> ClusterInit {
 
     // All workers start from identical weights (decentralized systems
     // begin from a common initialization).
+    // Built once; each worker clones it. Tensors are copy-on-write, so the
+    // clones share the initial weight buffers — a 1000-worker cluster holds
+    // one weight snapshot until workers diverge at their first update. Each
+    // worker previously re-ran the same seeded build, so clone-of-one is
+    // bit-identical by construction.
     let model_seed = cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(42);
     let sample_shape = data.sample_shape();
     let classes = data.classes();
+    let mut mrng = DetRng::seed_from_u64(model_seed);
+    let proto_model = wl.model.build(&sample_shape, classes, &mut mrng);
     let workers: Vec<Worker> = (0..n)
         .map(|w| {
-            let mut mrng = DetRng::seed_from_u64(model_seed);
-            let model = wl.model.build(&sample_shape, classes, &mut mrng);
+            let model = proto_model.clone();
             Worker {
                 id: w,
                 model,
@@ -121,6 +127,7 @@ pub fn build_cluster(cfg: &RunConfig, n: usize) -> ClusterInit {
                 last_pull_round: 0,
                 scratch: dlion_tensor::Scratch::new(),
                 grads: Vec::new(),
+                batch_buf: Vec::new(),
             }
         })
         .collect();

@@ -244,6 +244,19 @@ pub struct RunConfig {
     /// wire; the lossy formats are applied at send so sim and live runs
     /// see the same receiver-side gradients.
     pub wire: WireFormat,
+    /// Scheduled worker departures (the live backend's `--kill` plan),
+    /// executed by the simulator with the same iteration-indexed
+    /// semantics: a killed worker completes rounds `0..at_iter`, sends its
+    /// last round's gradients, and leaves; survivors renormalize their
+    /// Eq. 7 divisors from that round on. Rejoining kills pause the worker
+    /// for `rejoin_after` virtual seconds instead (it stays a member).
+    pub fault: crate::fault::FaultPlan,
+    /// Per-worker iteration-time multipliers (the live backend's
+    /// `--straggle` factor): `(worker, factor)` with `factor >= 1`.
+    /// Applied on top of the compute model, exactly where the live driver
+    /// multiplies its assumed iteration time, so `cluster_health`
+    /// straggler scores match between backends.
+    pub straggle: Vec<(usize, f64)>,
 }
 
 impl RunConfig {
@@ -282,6 +295,8 @@ impl RunConfig {
             capture_weights: false,
             sync_override: None,
             wire: WireFormat::Dense,
+            fault: crate::fault::FaultPlan::default(),
+            straggle: Vec::new(),
         }
     }
 
@@ -309,6 +324,9 @@ impl RunConfig {
         assert!(self.grad_clip > 0.0);
         if let WireFormat::TopK(n) = self.wire {
             assert!(n > 0.0 && n <= 100.0, "topk N must be in (0, 100]");
+        }
+        for &(_, f) in &self.straggle {
+            assert!(f >= 1.0 && f.is_finite(), "straggle factor must be >= 1");
         }
         self.dkt.validate();
     }

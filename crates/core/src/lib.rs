@@ -42,6 +42,7 @@ pub mod messages;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod strategy;
 pub mod sync;
 pub mod transport;
@@ -59,6 +60,7 @@ pub use maxn::MaxNPlanner;
 pub use messages::{GradMsg, Payload, WireError};
 pub use metrics::{HealthSummary, RunMetrics};
 pub use runner::{run_env, run_with_models, ClusterRunner};
+pub use scenario::{ScenarioKind, ScenarioPlan, ScenarioSpec};
 pub use strategy::{ExchangeStrategy, PeerUpdate, StrategyCtx};
 pub use sync::{SyncPolicy, SyncState};
 // Topology types live in `dlion-topo` since PR 8; core re-exports them so

@@ -76,6 +76,13 @@ pub enum Payload {
         weights: Vec<Tensor>,
         sender_loss: f64,
     },
+    /// "I have left the run", carrying the sender's completed-iteration
+    /// count — the control frame a departing worker broadcasts (the live
+    /// backend's `KIND_LEAVE`). The simulator sends it through the same
+    /// latency-modelled links as gradients, so a departure notice can
+    /// never overtake the victim's own last gradients: the per-link FIFO
+    /// the live transports guarantee.
+    Leave { completed: u64 },
 }
 
 impl Payload {
@@ -87,6 +94,7 @@ impl Payload {
             // A DKT request is a bare frame: header only.
             Payload::DktRequest => FRAME_HEADER_BYTES as f64,
             Payload::Weights { .. } => bytes_per_param * total_params as f64,
+            Payload::Leave { .. } => CONTROL_BYTES,
         }
     }
 
@@ -97,6 +105,7 @@ impl Payload {
             Payload::LossShare { .. } => "loss_share",
             Payload::DktRequest => "dkt_request",
             Payload::Weights { .. } => "weights",
+            Payload::Leave { .. } => "leave",
         }
     }
 
@@ -107,6 +116,7 @@ impl Payload {
             Payload::LossShare { .. } => KIND_LOSS_SHARE,
             Payload::DktRequest => KIND_DKT_REQUEST,
             Payload::Weights { .. } => KIND_WEIGHTS,
+            Payload::Leave { .. } => KIND_LEAVE,
         }
     }
 
@@ -146,6 +156,7 @@ impl Payload {
             }
             Payload::LossShare { .. } => 8,
             Payload::DktRequest => 0,
+            Payload::Leave { .. } => 8,
             Payload::Weights { weights, .. } => {
                 // sender_loss f64 + count u32
                 let mut len = 8 + 4;
@@ -306,6 +317,9 @@ impl Payload {
             }
             KIND_LOSS_SHARE => Payload::LossShare { avg_loss: c.f64()? },
             KIND_DKT_REQUEST => Payload::DktRequest,
+            KIND_LEAVE => Payload::Leave {
+                completed: c.u64()?,
+            },
             KIND_WEIGHTS => {
                 let sender_loss = c.f64()?;
                 let count = c.u32()? as usize;
@@ -396,7 +410,7 @@ pub fn wire_label(payload: &Payload, format: WireFormat) -> &'static str {
             (GradData::Dense(_), _) => "grad_dense",
         },
         Payload::Weights { .. } => "weights",
-        Payload::LossShare { .. } | Payload::DktRequest => "control",
+        Payload::LossShare { .. } | Payload::DktRequest | Payload::Leave { .. } => "control",
     }
 }
 
@@ -468,6 +482,8 @@ pub const KIND_GRAD: u8 = 1;
 pub const KIND_LOSS_SHARE: u8 = 2;
 pub const KIND_DKT_REQUEST: u8 = 3;
 pub const KIND_WEIGHTS: u8 = 4;
+/// Departure notice ([`Payload::Leave`]).
+pub const KIND_LEAVE: u8 = 5;
 /// First frame kind reserved for transport control (hello/ack/done/rcp).
 pub const KIND_NET_BASE: u8 = 0x10;
 
@@ -1094,6 +1110,7 @@ fn write_body<S: WireSink>(p: &Payload, format: WireFormat, out: &mut S) -> std:
         }
         Payload::LossShare { avg_loss } => out.put(&avg_loss.to_le_bytes())?,
         Payload::DktRequest => {}
+        Payload::Leave { completed } => out.put(&completed.to_le_bytes())?,
         Payload::Weights {
             weights,
             sender_loss,

@@ -47,6 +47,8 @@ enum Ev {
     ProfileTick,
     /// Periodic cluster-wide accuracy evaluation.
     EvalTick,
+    /// A paused worker (rejoining kill) comes back.
+    Resume { w: usize },
 }
 
 /// A fully-wired simulated cluster.
@@ -76,6 +78,15 @@ pub struct ClusterRunner {
     /// previous round's gating-release order) must not decide float
     /// addition order, or sim and live bits diverge beyond 2 workers.
     deferred: Vec<Vec<(usize, GradMsg)>>,
+    /// The fault ledger, seeded upfront from the plan exactly like the
+    /// live driver's: `Some(k)` means the worker computes rounds `0..k`
+    /// and its gradients stop counting from round `k` on. Rejoining kills
+    /// are *not* in the ledger — they pause, staying members.
+    departed_at: Vec<Option<u64>>,
+    /// Per-worker iteration-time multiplier (>= 1), from `cfg.straggle`.
+    straggle: Vec<f64>,
+    /// True while a rejoining worker sits out its dead time.
+    paused: Vec<bool>,
 }
 
 impl ClusterRunner {
@@ -101,6 +112,23 @@ impl ClusterRunner {
             ..Default::default()
         };
 
+        if !cfg.fault.is_empty() {
+            cfg.fault
+                .validate(n, cfg.max_iters.unwrap_or(u64::MAX))
+                .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+        }
+        let mut departed_at = vec![None; n];
+        for k in &cfg.fault.kills {
+            if k.rejoin_after.is_none() {
+                departed_at[k.worker] = Some(k.at_iter);
+            }
+        }
+        let mut straggle = vec![1.0; n];
+        for &(w, f) in &cfg.straggle {
+            assert!(w < n, "straggle names worker {w} of {n}");
+            straggle[w] = f;
+        }
+
         ClusterRunner {
             schedule: init.schedule,
             prof_rng: init.prof_rng,
@@ -118,7 +146,22 @@ impl ClusterRunner {
             total_params: init.total_params,
             inflight: 0,
             deferred: vec![Vec::new(); n],
+            departed_at,
+            straggle,
+            paused: vec![false; n],
         }
+    }
+
+    /// Has worker `w` stopped contributing (its planned departure round is
+    /// behind its completed-iteration count)?
+    fn departed(&self, w: usize) -> bool {
+        self.departed_at[w].is_some_and(|k| self.workers[w].iteration >= k)
+    }
+
+    /// Does peer `j` contribute gradients for `round` (i.e. it computes
+    /// that round)? The live driver's `counted_for` predicate.
+    fn counts_for(&self, j: usize, round: u64) -> bool {
+        self.departed_at[j].is_none_or(|k| round < k)
     }
 
     /// Visit every worker mutably before [`ClusterRunner::run`] — the hook
@@ -186,6 +229,11 @@ impl ClusterRunner {
                 Ev::Msg { from, to, payload } => self.on_msg(from, to, payload, t),
                 Ev::GbsTick => self.on_gbs_tick(t),
                 Ev::ProfileTick => self.on_profile_tick(t),
+                Ev::Resume { w } => {
+                    self.paused[w] = false;
+                    event!(t, w: w, "rejoin"; "iter" => self.workers[w].iteration);
+                    self.try_start(w, t);
+                }
                 Ev::EvalTick => {
                     self.eval_all(t);
                     if self.check_converged(t) {
@@ -207,7 +255,9 @@ impl ClusterRunner {
         // remainder in the same canonical order before the final eval and
         // weight capture — the live driver's shutdown flush does the same.
         for w in 0..self.n {
-            self.flush_deferred(w, true);
+            if !self.departed(w) {
+                self.flush_deferred(w, true);
+            }
         }
         // Final evaluation at the end of the run, unless one just happened.
         if self.metrics.eval_times.last().copied().unwrap_or(-1.0) < end_time {
@@ -218,7 +268,18 @@ impl ClusterRunner {
         }
         self.metrics.duration = end_time;
         if self.cfg.capture_weights {
-            self.metrics.final_weights = self.workers.iter().map(|w| w.model.weights()).collect();
+            // A departed worker's slot stays empty — its model is whatever
+            // it was at departure and is excluded from parity comparisons,
+            // exactly like the live collector's.
+            self.metrics.final_weights = (0..self.n)
+                .map(|w| {
+                    if self.departed(w) {
+                        Vec::new()
+                    } else {
+                        self.workers[w].model.weights()
+                    }
+                })
+                .collect();
         }
         if self.cfg.telemetry {
             self.metrics
@@ -264,7 +325,7 @@ impl ClusterRunner {
                 "rate" => self.metrics.health.rates[w],
                 "score" => self.metrics.health.scores[w],
                 "silent" => self.metrics.health.silent[w],
-                "departed" => false,
+                "departed" => self.departed(w),
                 "straggler" => self.metrics.health.straggler);
         }
         event!(end_time, "run_end";
@@ -288,11 +349,14 @@ impl ClusterRunner {
         debug_assert!(!worker.computing);
         worker.waiting = false;
         worker.computing = true;
-        let batch = worker.sample_batch();
-        // Allocation-free step: the batch tensor, every activation and every
-        // gradient cycle through the worker's scratch arena; the mean
-        // gradients land in the worker's persistent `grads` tensors.
-        let (x, y) = self.data.batch_scratch(&batch, &mut worker.scratch);
+        worker.sample_batch_reuse();
+        // Allocation-free step: the batch index buffer, the batch tensor,
+        // every activation and every gradient cycle through per-worker
+        // buffers; the mean gradients land in the persistent `grads`
+        // tensors.
+        let (x, y) = self
+            .data
+            .batch_scratch(&worker.batch_buf, &mut worker.scratch);
         let Worker {
             model,
             scratch,
@@ -306,7 +370,11 @@ impl ClusterRunner {
         worker.pending = Some(PendingIteration { loss });
         let lbs = worker.lbs;
         let iter = worker.iteration;
-        let dt = self.compute.iter_time(w, lbs, now);
+        // The straggle factor multiplies the modelled iteration time — the
+        // same place the live driver multiplies its assumed time — so
+        // `cluster_health` rates (iterations / busy seconds) bit-match a
+        // pinned-time live run's.
+        let dt = self.compute.iter_time(w, lbs, now) * self.straggle[w];
         worker.last_iter_time = dt;
         self.metrics.busy_time[w] += dt;
         event!(now, w: w, "iter_start";
@@ -333,10 +401,10 @@ impl ClusterRunner {
             return false;
         };
         self.inflight == 0
-            && self
-                .workers
-                .iter()
-                .all(|w| w.iteration >= k && !w.computing)
+            && (0..self.n).all(|w| {
+                let worker = &self.workers[w];
+                (worker.iteration >= k || self.departed(w)) && !worker.computing
+            })
     }
 
     fn on_iter_done(&mut self, w: usize, now: f64) {
@@ -347,7 +415,7 @@ impl ClusterRunner {
         // divisor, and the next round's gating set all follow it.
         let round = self.workers[w].iteration;
         let round_nbrs = self.schedule.neighbors(w, round);
-        let (n_counted, gbs_counted) = self.group_divisor(w, &round_nbrs);
+        let (n_counted, gbs_counted) = self.group_divisor(w, &round_nbrs, round);
         if round == 0 || self.schedule.rotates() {
             event!(now, w: w, "topology_round";
                 "round" => round,
@@ -379,15 +447,16 @@ impl ClusterRunner {
                 lbs: worker.lbs,
                 iter_time: worker.last_iter_time,
                 neighbors: round_nbrs.clone(),
-                bw_mbps: (0..n)
-                    .map(|j| {
-                        if j == w {
-                            0.0
-                        } else {
-                            self.net.bandwidth_mbps(w, j, now)
-                        }
-                    })
-                    .collect(),
+                bw_mbps: {
+                    // Strategies only read the entries of their neighbors
+                    // (link budgets), so fill just those instead of
+                    // querying all n-1 schedules per iteration.
+                    let mut bw = vec![0.0; n];
+                    for &j in &round_nbrs {
+                        bw[j] = self.net.bandwidth_mbps(w, j, now);
+                    }
+                    bw
+                },
                 bytes_per_param: self.bytes_per_param,
                 total_params: self.total_params,
                 lr,
@@ -428,6 +497,12 @@ impl ClusterRunner {
                 .add("strategy_updates", updates.len() as u64);
         }
         for up in updates {
+            // The ledger says the peer never computes this round: its
+            // process is gone by the time the gradient would matter, so
+            // don't put it on the wire (the live driver's `!active` skip).
+            if !self.counts_for(up.peer, round) {
+                continue;
+            }
             if self.cfg.trace_links {
                 let bytes = up.msg.wire_bytes(self.bytes_per_param, self.total_params);
                 self.metrics.link_trace.push(LinkSample {
@@ -443,6 +518,53 @@ impl ClusterRunner {
             self.send(w, up.peer, Payload::Grad(up.msg), now);
         }
 
+        // Planned fault actions fire when the completed-iteration count
+        // reaches the kill's trigger — after the round's fan-out, so the
+        // victim's last gradients are already on the wire.
+        if let Some(kill) = self.cfg.fault.kill_of(w) {
+            if self.workers[w].iteration == kill.at_iter {
+                match kill.rejoin_after {
+                    None => {
+                        // Permanent departure: broadcast a Leave through
+                        // the modelled links, exactly like the live
+                        // victim. Each survivor demotes the victim when
+                        // the notice *arrives* — egress is serialized per
+                        // sender and the event queue is FIFO at equal
+                        // timestamps, so the Leave can never overtake the
+                        // gradients fanned out above. An instant demote
+                        // would release a blocked survivor's gate before
+                        // the victim's last gradients land, and its next
+                        // round would miss them — a divergence from the
+                        // live backend's per-peer-FIFO ordering.
+                        event!(now, w: w, "departed"; "iter" => kill.at_iter);
+                        for x in 0..self.n {
+                            if x != w && !self.departed(x) {
+                                self.send(
+                                    w,
+                                    x,
+                                    Payload::Leave {
+                                        completed: kill.at_iter,
+                                    },
+                                    now,
+                                );
+                            }
+                        }
+                        return;
+                    }
+                    Some(r) => {
+                        // Pause-and-resume: the worker stays a member (no
+                        // ledger entry, divisors unchanged) and just sits
+                        // out `r` virtual seconds. This is deliberately
+                        // *not* the live leave-and-rejoin path — see
+                        // DESIGN.md §4k for the divergence note.
+                        event!(now, w: w, "pause"; "iter" => kill.at_iter, "secs" => r);
+                        self.paused[w] = true;
+                        self.queue.schedule(now + r, Ev::Resume { w });
+                        return;
+                    }
+                }
+            }
+        }
         if share_dkt {
             self.dkt_round(w, now);
         }
@@ -460,6 +582,11 @@ impl ClusterRunner {
             if self.workers[from].waiting {
                 self.try_start(from, now);
             }
+        }
+        // A message in flight when its recipient departed: the sender gets
+        // its delivery credit (above), the payload goes nowhere.
+        if self.departed(to) {
+            return;
         }
         match payload {
             Payload::Grad(msg) => {
@@ -503,6 +630,20 @@ impl ClusterRunner {
                 event!(now, w: to, "dkt_merge"; "from" => from);
                 if self.cfg.telemetry {
                     self.metrics.telemetry.inc("dkt_merges");
+                }
+            }
+            Payload::Leave { completed } => {
+                // The victim's departure notice arrived — only now does
+                // this worker demote it (stop gating on it, drop it as a
+                // send/DKT target) and re-check a blocked gate. Arriving
+                // per-link FIFO behind the victim's last gradients, the
+                // demotion can never cost a round its gradients — the
+                // live `KIND_LEAVE` ordering.
+                event!(now, w: to, "peer_departed"; "peer" => from, "completed" => completed);
+                self.workers[to].sync.demote(from);
+                self.workers[to].dkt.forget(from);
+                if self.workers[to].waiting {
+                    self.try_start(to, now);
                 }
             }
         }
@@ -576,7 +717,7 @@ impl ClusterRunner {
     /// Start the next iteration if the sync policy allows; otherwise mark
     /// the worker as waiting.
     fn try_start(&mut self, w: usize, now: f64) {
-        if self.reached_max_iters(w) {
+        if self.reached_max_iters(w) || self.departed(w) || self.paused[w] {
             return;
         }
         let worker = &mut self.workers[w];
@@ -611,7 +752,7 @@ impl ClusterRunner {
     fn apply_peer_grad(&mut self, w: usize, msg: &GradMsg) {
         let weighted = self.cfg.system.weighted_update();
         let nbrs = self.schedule.neighbors(w, msg.iteration);
-        let (n_counted, gbs_counted) = self.group_divisor(w, &nbrs);
+        let (n_counted, gbs_counted) = self.group_divisor(w, &nbrs, msg.iteration);
         let factor = update_factor(self.cfg.lr, n_counted, msg.lbs, gbs_counted, weighted);
         let worker = &mut self.workers[w];
         match &msg.data {
@@ -635,21 +776,30 @@ impl ClusterRunner {
             return;
         }
         let cur = self.workers[w].iteration;
-        let parked = std::mem::take(&mut self.deferred[w]);
-        let (mut batch, keep): (Vec<_>, Vec<_>) = parked
-            .into_iter()
-            .partition(|(_, m)| force || m.iteration < cur);
-        self.deferred[w] = keep;
-        batch.sort_by_key(|&(from, ref msg)| (msg.iteration, from));
-        for (_, msg) in &batch {
-            self.apply_peer_grad(w, msg);
+        // Sort in place, drain the applicable prefix, hand the remainder
+        // (and the buffer's capacity) back: zero allocation once warm.
+        let mut parked = std::mem::take(&mut self.deferred[w]);
+        parked.sort_by_key(|&(from, ref msg)| (msg.iteration, from));
+        let split = if force {
+            parked.len()
+        } else {
+            parked.partition_point(|(_, m)| m.iteration < cur)
+        };
+        for (_, msg) in parked.drain(..split) {
+            self.apply_peer_grad(w, &msg);
         }
+        self.deferred[w] = parked;
     }
 
-    fn group_divisor(&self, w: usize, nbrs: &[usize]) -> (usize, usize) {
-        let n_counted = nbrs.len() + 1;
-        let gbs_counted: usize =
-            nbrs.iter().map(|&j| self.workers[j].lbs).sum::<usize>() + self.workers[w].lbs;
+    fn group_divisor(&self, w: usize, nbrs: &[usize], round: u64) -> (usize, usize) {
+        let mut n_counted = 1;
+        let mut gbs_counted = self.workers[w].lbs;
+        for &j in nbrs {
+            if self.counts_for(j, round) {
+                n_counted += 1;
+                gbs_counted += self.workers[j].lbs;
+            }
+        }
         (n_counted, gbs_counted.max(1))
     }
 
@@ -708,14 +858,23 @@ impl ClusterRunner {
     fn eval_all(&mut self, now: f64) {
         let mut accs = Vec::with_capacity(self.n);
         let mut losses = Vec::with_capacity(self.n);
+        let mut alive = Vec::with_capacity(self.n);
         for w in 0..self.n {
+            if self.departed(w) {
+                // The worker is gone; like the live collector, it has no
+                // eval row — the fixed-shape metric slots read 0.
+                accs.push(0.0);
+                losses.push(0.0);
+                continue;
+            }
             let r = self.workers[w]
                 .model
                 .evaluate(&self.data, &self.eval_indices, 125);
             accs.push(r.accuracy);
             losses.push(r.loss);
+            alive.push(r.accuracy);
         }
-        let mean = dlion_tensor::stats::mean(&accs);
+        let mean = dlion_tensor::stats::mean(&alive);
         event!(now, "eval"; "mean_acc" => mean);
         debug!(target: "core.eval", "t={now:.1}: mean acc {mean:.4}");
         if self.cfg.telemetry {

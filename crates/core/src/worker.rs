@@ -40,6 +40,8 @@ pub struct Worker {
     /// Persistent per-variable gradient tensors, overwritten each
     /// iteration by `forward_backward_scratch` (empty until the first one).
     pub grads: Vec<Tensor>,
+    /// Reusable minibatch index buffer (see [`Worker::sample_batch_reuse`]).
+    pub batch_buf: Vec<usize>,
 }
 
 /// The result of a gradient computation awaiting its virtual completion.
@@ -50,14 +52,24 @@ pub struct PendingIteration {
 impl Worker {
     /// Sample a minibatch of `lbs` indices (with replacement) from the shard.
     pub fn sample_batch(&mut self) -> Vec<usize> {
+        self.sample_batch_reuse();
+        self.batch_buf.clone()
+    }
+
+    /// Fill [`Worker::batch_buf`] with the next batch, reusing its
+    /// allocation (the runner's per-iteration hot path). Draws the same
+    /// RNG sequence as [`Worker::sample_batch`].
+    pub fn sample_batch_reuse(&mut self) {
         assert!(
             !self.shard.is_empty(),
             "worker {} has an empty shard",
             self.id
         );
-        (0..self.lbs)
-            .map(|_| self.shard[self.rng.index(self.shard.len())])
-            .collect()
+        self.batch_buf.clear();
+        for _ in 0..self.lbs {
+            let i = self.shard[self.rng.index(self.shard.len())];
+            self.batch_buf.push(i);
+        }
     }
 
     /// Is the worker idle (neither computing nor marked waiting)?
@@ -96,6 +108,7 @@ mod tests {
             last_pull_round: 0,
             scratch: Scratch::new(),
             grads: Vec::new(),
+            batch_buf: Vec::new(),
         }
     }
 

@@ -1,0 +1,102 @@
+//! The thousand-worker determinism soak (ISSUE 10 acceptance run): a
+//! 1024-worker `kregular:8` sim completes 60 iterations twice inside a
+//! wall-clock budget and a peak-RSS ceiling, and both runs produce
+//! bit-identical final weights and metrics. Release-only — the event
+//! loop is ~30x slower under debug assertions, so `cargo test` (debug)
+//! skips it and CI runs it via `cargo test --release`.
+#![cfg(not(debug_assertions))]
+
+use dlion_core::{run_with_models, RunConfig, RunMetrics, SystemKind, Topology};
+use dlion_simnet::{ComputeModel, NetworkModel};
+
+const N: usize = 1024;
+const ITERS: u64 = 60;
+/// Per-run wall-clock budget. The acceptance bar is five minutes; a
+/// release build on CI hardware lands well under half of that.
+const WALL_BUDGET_SECS: f64 = 300.0;
+/// Peak-RSS ceiling for the whole test process (both runs). The sim
+/// peaks around 1.4 GiB at this scale; 4 GiB leaves headroom without
+/// letting a per-worker memory regression slide.
+const RSS_CEILING_BYTES: u64 = 4 << 30;
+
+/// `VmHWM` (peak resident set) of this process, in bytes.
+fn peak_rss_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .expect("parse VmHWM");
+            return kb * 1024;
+        }
+    }
+    panic!("VmHWM not found in /proc/self/status");
+}
+
+fn soak_run() -> RunMetrics {
+    let mut cfg = RunConfig::small_test(SystemKind::Baseline);
+    cfg.duration = 100_000.0;
+    cfg.eval_interval = 100_000.0;
+    cfg.max_iters = Some(ITERS);
+    cfg.capture_weights = true;
+    cfg.workload.train_size = 8 * N;
+    cfg.workload.test_size = 64;
+    cfg.eval_subset = 32;
+    cfg.topology = Topology::KRegular { k: 8 };
+    run_with_models(
+        &cfg,
+        ComputeModel::homogeneous(N, 1.0, 0.001, 0.05),
+        NetworkModel::uniform(N, 1000.0, 0.001),
+        "soak-1024",
+    )
+}
+
+/// Final weights as exact bit patterns: `[worker][tensor][element]`.
+fn weight_bits(m: &RunMetrics) -> Vec<Vec<Vec<u32>>> {
+    m.final_weights
+        .iter()
+        .map(|ws| {
+            ws.iter()
+                .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn thousand_worker_sim_is_fast_lean_and_bit_deterministic() {
+    let mut runs = Vec::new();
+    for round in 0..2 {
+        let t0 = std::time::Instant::now();
+        let m = soak_run();
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(m.iterations, vec![ITERS; N], "round {round} stalled");
+        assert!(
+            wall < WALL_BUDGET_SECS,
+            "round {round}: {N}-worker {ITERS}-iteration sim took {wall:.1} s \
+             (budget {WALL_BUDGET_SECS} s)"
+        );
+        runs.push(m);
+    }
+    let rss = peak_rss_bytes();
+    assert!(
+        rss < RSS_CEILING_BYTES,
+        "peak RSS {rss} bytes above the {RSS_CEILING_BYTES}-byte ceiling"
+    );
+
+    let (a, b) = (&runs[0], &runs[1]);
+    assert_eq!(weight_bits(a), weight_bits(b), "final weights diverged");
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.worker_acc, b.worker_acc, "accuracy metrics diverged");
+    assert_eq!(
+        a.grad_bytes.to_bits(),
+        b.grad_bytes.to_bits(),
+        "traffic accounting diverged"
+    );
+    let score_bits =
+        |m: &RunMetrics| -> Vec<u64> { m.health.scores.iter().map(|s| s.to_bits()).collect() };
+    assert_eq!(score_bits(a), score_bits(b), "health scores diverged");
+}

@@ -96,6 +96,96 @@ pub fn extension_topology(opts: &ExpOpts) -> Table {
     t
 }
 
+/// Scenario extension (DESIGN.md §4k): DLion under generated
+/// production-shaped chaos. Every row expands one `--scenario` spec
+/// against the Homo B cluster — the same strings (and therefore the
+/// bit-identical fault/straggler plans) a live run would get, so the
+/// table doubles as the sweep behind EXPERIMENTS.md's scenario section.
+pub fn extension_scenario(opts: &ExpOpts) -> Table {
+    use dlion_core::run_with_models;
+    use dlion_core::scenario::{generate, ScenarioSpec};
+    let mut t = Table::new(
+        "extension_scenario",
+        "DLion under generated chaos scenarios (Homo B, 1500 s)",
+        &[
+            "Scenario",
+            "Accuracy",
+            "Final loss",
+            "Iterations",
+            "Survivors",
+        ],
+    );
+    let specs = [
+        "none",
+        "diurnal:600,0.5",
+        "outage:Oregon@40",
+        "spotstorm:2@30+60",
+        "stragglers:2,2.5",
+        "outage:Oregon@40/stragglers:1,3",
+    ];
+    let env = EnvId::HomoB.spec();
+    let n = env.n_workers();
+    let mut cells = Vec::new();
+    for sc in specs {
+        for &seed in &opts.seeds {
+            let mut cfg = base(opts, seed);
+            let mut survivors = n;
+            let mut plan = None;
+            if sc != "none" {
+                let spec = ScenarioSpec::parse(sc).expect("sweep spec");
+                // Same iteration-budget estimate the `dlion-sim` CLI
+                // uses for duration-driven runs: ~2 s per round.
+                let iters = ((cfg.duration / 2.0) as u64).max(2);
+                let p = generate(&spec, n, seed, iters, cfg.duration).expect("sweep plan");
+                survivors = n - p
+                    .fault
+                    .kills
+                    .iter()
+                    .filter(|k| k.rejoin_after.is_none())
+                    .count();
+                cfg.fault = p.fault.clone();
+                cfg.straggle = p.straggle.clone();
+                plan = Some(p);
+            }
+            dlion_telemetry::debug!(target: "experiments.progress",
+                "  running DLion under scenario '{sc}' / seed {seed} ...");
+            cells.push((sc, survivors, cfg, plan));
+        }
+    }
+    let metrics = dlion_tensor::par::par_map(&cells, |(_, _, cfg, plan)| {
+        // The resource models are rebuilt per cell (they are not
+        // `Clone`): same env spec + same plan -> the same schedules.
+        let mut compute = env.compute_model();
+        let mut net = env.network_model();
+        if let Some(p) = plan {
+            p.apply_to_models(&mut compute, &mut net);
+        }
+        run_with_models(cfg, compute, net, env.name)
+    });
+    for (sc, runs) in specs.iter().zip(metrics.chunks(opts.seeds.len())) {
+        let survivors = cells
+            .iter()
+            .find(|(c, ..)| c == sc)
+            .map_or(n, |(_, s, ..)| *s);
+        let mut accs = Vec::new();
+        let mut losses = Vec::new();
+        let mut iters = Vec::new();
+        for m in runs {
+            accs.push(m.tail_mean_acc(3));
+            losses.push(m.worker_loss.last().map_or(0.0, |row| stats::mean(row)));
+            iters.push(m.total_iterations() as f64);
+        }
+        t.row(vec![
+            sc.to_string(),
+            fmt_pm(stats::mean(&accs), stats::ci95(&accs)),
+            format!("{:.3}", stats::mean(&losses)),
+            format!("{:.0}", stats::mean(&iters)),
+            format!("{survivors}/{n}"),
+        ]);
+    }
+    t
+}
+
 /// Prague extension (§6 related work): partial all-reduce with different
 /// group sizes against DLion on a heterogeneous system.
 fn extension_prague(opts: &ExpOpts) -> Table {

@@ -24,7 +24,7 @@ pub use output::Table;
 
 /// All experiment ids, in paper order (plus reproduction-specific
 /// ablations and, last, the shape-check verdicts over the written CSVs).
-pub const ALL_IDS: [&str; 22] = [
+pub const ALL_IDS: [&str; 23] = [
     "fig5",
     "fig6",
     "fig7",
@@ -46,6 +46,7 @@ pub const ALL_IDS: [&str; 22] = [
     "table3",
     "ablations",
     "topology",
+    "scenario",
     "verdicts",
 ];
 
@@ -90,6 +91,7 @@ impl Session {
             "table3" => vec![tables::table3()],
             "ablations" => ablations::ablations(opts),
             "topology" => vec![ablations::extension_topology(opts)],
+            "scenario" => vec![ablations::extension_scenario(opts)],
             "verdicts" => vec![verdicts::verdicts(&opts.results_dir)],
             other => panic!("unknown experiment id: {other}"),
         }

@@ -207,6 +207,13 @@ impl LiveOpts {
     /// The live-execution knobs a [`RunSpec`] carries. The clock stays at
     /// its default (`SystemClock`); tests inject manual clocks directly.
     pub fn from_spec(spec: &RunSpec) -> LiveOpts {
+        // `--scenario` expands to the same fault/straggle plan in every
+        // process that parses the argv (RunSpec::chaos is pure in the
+        // spec); a bad scenario is caught by `spec.validate()` before
+        // any binary reaches this point.
+        let (fault, straggle) = spec
+            .chaos()
+            .unwrap_or_else(|e| panic!("invalid --scenario (validate first): {e}"));
         LiveOpts {
             iters: spec.iters,
             eval_every: spec.eval_every,
@@ -214,13 +221,13 @@ impl LiveOpts {
             bw_mbps: spec.bw_mbps,
             assumed_iter_time: spec.assumed_iter_time,
             stall_timeout: Duration::from_secs_f64(spec.stall_secs),
-            fault: spec.fault.clone(),
+            fault,
             peer_timeout: spec.peer_timeout.map(Duration::from_secs_f64),
             gbs_static: spec.gbs_static,
             wire: spec.wire,
             chunk_bytes: spec.chunk_bytes,
             health_interval: spec.health_interval,
-            straggle: spec.straggle.clone(),
+            straggle,
             ..LiveOpts::default()
         }
     }
@@ -943,6 +950,15 @@ impl LiveWorker<'_, '_> {
                 for t in weights {
                     self.pool.push(t.into_data());
                 }
+                Ok(())
+            }
+            Payload::Leave { completed } => {
+                // The live stack announces departures with the net-level
+                // [`KIND_LEAVE`] control frame; a core-codec `Leave` exists
+                // so the *simulator* can route departures through modelled
+                // links. Honor it anyway so the two dialects stay
+                // interchangeable on the wire.
+                self.note_departed(from, Some(completed));
                 Ok(())
             }
         }

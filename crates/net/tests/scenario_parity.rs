@@ -1,0 +1,151 @@
+//! Chaos-parity twins (DESIGN.md §4k): one *generated* scenario — a
+//! regional outage plus a Pareto straggler — drives the simulator's
+//! fault/straggle machinery and the live backend's, and all three
+//! backends (sim, Mem, TCP) agree bit-for-bit on the survivors' weights
+//! and on the cluster-health straggler verdict. This is what makes
+//! `--scenario` a portable chaos format rather than two dialects that
+//! merely share a parser.
+
+use dlion_core::scenario::{generate, ScenarioPlan, ScenarioSpec};
+use dlion_core::{run_with_models, RunConfig, RunMetrics, SyncPolicy, SystemKind};
+use dlion_net::{live_config, run_live, LiveOpts, TransportKind};
+use dlion_simnet::{ComputeModel, NetworkModel};
+use dlion_tensor::Tensor;
+use std::time::Duration;
+
+const N: usize = 4;
+const ITERS: u64 = 8;
+const BW_MBPS: f64 = 1000.0;
+const ITER_TIME: f64 = 0.05 + 0.001 * 32.0;
+
+/// The scenario under test: Virginia (worker 0 at n=4) goes down for
+/// good after iteration 3, and one Pareto straggler slows down. Picks
+/// the first seed whose straggler is *not* the outage victim, so the
+/// straggler verdict is non-degenerate. The scan is deterministic, so
+/// every run of this test exercises the same plan.
+fn scenario() -> (u64, ScenarioPlan) {
+    let spec = ScenarioSpec::parse("outage:Virginia@3/stragglers:1,3.0").expect("spec");
+    for seed in 1..64 {
+        let plan = generate(&spec, N, seed, ITERS, 10_000.0).expect("generate");
+        if plan.fault.kill_of(0).is_some() && plan.straggle.len() == 1 && plan.straggle[0].0 != 0 {
+            return (seed, plan);
+        }
+    }
+    panic!("no seed under 64 separates victim and straggler");
+}
+
+fn twin_cfg() -> RunConfig {
+    let mut cfg = live_config(SystemKind::Baseline, 1);
+    cfg.duration = 10_000.0; // never the stopping condition; max_iters is
+    cfg.eval_interval = 10_000.0;
+    cfg.max_iters = Some(ITERS);
+    cfg.capture_weights = true;
+    cfg.sync_override = Some(SyncPolicy::Synchronous);
+    cfg
+}
+
+fn sim_run(plan: &ScenarioPlan) -> RunMetrics {
+    let mut cfg = twin_cfg();
+    cfg.fault = plan.fault.clone();
+    cfg.straggle = plan.straggle.clone();
+    let mut compute = ComputeModel::homogeneous(N, 1.0, 0.001, 0.05);
+    let mut net = NetworkModel::uniform(N, BW_MBPS, 0.001);
+    // No-op for this scenario (no diurnal wave) but part of the recipe:
+    // the sim consumes every plane of the plan.
+    plan.apply_to_models(&mut compute, &mut net);
+    run_with_models(&cfg, compute, net, "scenario-twin")
+}
+
+fn live_run(plan: &ScenarioPlan, kind: TransportKind) -> RunMetrics {
+    let opts = LiveOpts {
+        iters: ITERS,
+        eval_every: 0,
+        bw_mbps: BW_MBPS,
+        assumed_iter_time: Some(ITER_TIME),
+        stall_timeout: Duration::from_secs(120),
+        fault: plan.fault.clone(),
+        straggle: plan.straggle.clone(),
+        ..Default::default()
+    };
+    run_live(&twin_cfg(), N, &opts, kind, "live/scenario-twin").expect("live run")
+}
+
+fn weight_bits(weights: &[Vec<Tensor>]) -> Vec<Vec<Vec<u32>>> {
+    weights
+        .iter()
+        .map(|ws| {
+            ws.iter()
+                .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn generated_scenario_is_bit_identical_across_sim_mem_and_tcp() {
+    let (seed, plan) = scenario();
+    let victim = plan.fault.kills[0].worker;
+    let (slow, _) = plan.straggle[0];
+    assert_eq!(victim, 0, "Virginia maps to worker 0 at n=4");
+    assert_ne!(slow, victim, "seed {seed} must separate the roles");
+
+    let sim = sim_run(&plan);
+    let mem = live_run(&plan, TransportKind::Mem);
+    let tcp = live_run(&plan, TransportKind::Tcp);
+
+    // Every backend ran the same schedule: the victim stopped at its
+    // kill iteration, everyone else finished.
+    let expected: Vec<u64> = (0..N)
+        .map(|w| {
+            if w == victim {
+                plan.fault.kills[0].at_iter
+            } else {
+                ITERS
+            }
+        })
+        .collect();
+    for (m, label) in [(&sim, "sim"), (&mem, "mem"), (&tcp, "tcp")] {
+        assert_eq!(m.iterations, expected, "{label} iteration schedule");
+    }
+
+    // Survivor weights are bit-identical across all three backends. The
+    // victim's slot is skipped: the sim parks a departed worker (its
+    // last weights remain capturable) while the live backend's slot is
+    // empty — only the survivors' math is required to agree.
+    let (sw, mw, tw) = (
+        weight_bits(&sim.final_weights),
+        weight_bits(&mem.final_weights),
+        weight_bits(&tcp.final_weights),
+    );
+    for w in (0..N).filter(|&w| w != victim) {
+        assert!(!sw[w].is_empty(), "sim captured no weights for {w}");
+        assert_eq!(sw[w], mw[w], "sim vs mem weights diverged at worker {w}");
+        assert_eq!(mw[w], tw[w], "mem vs tcp weights diverged at worker {w}");
+    }
+
+    // The cluster-health verdict matches: same straggler, and the
+    // iteration rates/scores bit-match because the sim multiplies its
+    // modelled iteration time by the straggle factor exactly where the
+    // live driver multiplies its pinned assumed time.
+    let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    for (m, label) in [(&mem, "mem"), (&tcp, "tcp")] {
+        assert_eq!(
+            m.health.straggler, sim.health.straggler,
+            "{label} straggler"
+        );
+        assert_eq!(
+            bits(&m.health.rates),
+            bits(&sim.health.rates),
+            "{label} health rates diverged from sim"
+        );
+        assert_eq!(
+            bits(&m.health.scores),
+            bits(&sim.health.scores),
+            "{label} health scores diverged from sim"
+        );
+    }
+    assert_eq!(
+        sim.health.straggler, slow,
+        "straggler flag missed the slow worker"
+    );
+}

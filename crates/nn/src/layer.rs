@@ -60,11 +60,23 @@ pub trait Layer: Send {
     fn grad(&self, _i: usize) -> &Tensor {
         panic!("{} has no parameters", self.name())
     }
+
+    /// Clone into a fresh box. With copy-on-write tensors this shares every
+    /// parameter buffer until one side mutates, so cloning a built model
+    /// across n workers costs refcount bumps, not n weight copies.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 // ---------------------------------------------------------------- Dense
 
 /// Fully-connected layer: `y = x·W + b` with `x: N×In`, `W: In×Out`.
+#[derive(Clone)]
 pub struct Dense {
     w: Tensor,
     b: Tensor,
@@ -96,6 +108,10 @@ impl Dense {
 impl Layer for Dense {
     fn name(&self) -> &'static str {
         "dense"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, x: &Tensor) -> Tensor {
@@ -191,6 +207,7 @@ impl Layer for Dense {
 // ---------------------------------------------------------------- Conv2d
 
 /// Standard 2-D convolution layer (stride 1, configurable zero padding).
+#[derive(Clone)]
 pub struct Conv2d {
     w: Tensor,
     b: Tensor,
@@ -217,6 +234,10 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn name(&self) -> &'static str {
         "conv2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, x: &Tensor) -> Tensor {
@@ -287,6 +308,7 @@ impl Layer for Conv2d {
 
 /// Depthwise 2-D convolution (channel multiplier 1) — the MobileNet building
 /// block; combine with a 1×1 [`Conv2d`] for a depthwise-separable layer.
+#[derive(Clone)]
 pub struct DepthwiseConv2d {
     w: Tensor,
     b: Tensor,
@@ -313,6 +335,10 @@ impl DepthwiseConv2d {
 impl Layer for DepthwiseConv2d {
     fn name(&self) -> &'static str {
         "depthwise_conv2d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, x: &Tensor) -> Tensor {
@@ -380,7 +406,7 @@ impl Layer for DepthwiseConv2d {
 // ---------------------------------------------------------------- ReLU
 
 /// ReLU activation.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Relu {
     cached_x: Option<Tensor>,
 }
@@ -394,6 +420,10 @@ impl Relu {
 impl Layer for Relu {
     fn name(&self) -> &'static str {
         "relu"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, x: &Tensor) -> Tensor {
@@ -432,7 +462,7 @@ impl Layer for Relu {
 // ---------------------------------------------------------------- MaxPool
 
 /// 2×2 stride-2 max pooling.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct MaxPool2 {
     cached_shape: Option<Shape>,
     cached_argmax: Option<Vec<u32>>,
@@ -450,6 +480,10 @@ impl MaxPool2 {
 impl Layer for MaxPool2 {
     fn name(&self) -> &'static str {
         "maxpool2"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, x: &Tensor) -> Tensor {
@@ -498,7 +532,7 @@ impl Layer for MaxPool2 {
 // ---------------------------------------------------------------- Flatten
 
 /// Flattens `(N, ...)` to `(N, features)`.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Flatten {
     cached_shape: Option<Shape>,
 }
@@ -512,6 +546,10 @@ impl Flatten {
 impl Layer for Flatten {
     fn name(&self) -> &'static str {
         "flatten"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, x: &Tensor) -> Tensor {
@@ -549,6 +587,7 @@ impl Layer for Flatten {
 ///
 /// Not used by the paper's models (CipherNet has no dropout); provided for
 /// downstream experimentation with noisier regimes.
+#[derive(Clone)]
 pub struct Dropout {
     p: f32,
     train: bool,
@@ -576,6 +615,10 @@ impl Dropout {
 impl Layer for Dropout {
     fn name(&self) -> &'static str {
         "dropout"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, x: &Tensor) -> Tensor {

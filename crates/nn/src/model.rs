@@ -20,6 +20,7 @@ pub struct EvalResult {
 
 /// A feed-forward model: an ordered stack of layers ending in logits,
 /// trained with softmax cross-entropy.
+#[derive(Clone)]
 pub struct Model {
     layers: Vec<Box<dyn Layer>>,
     /// var index -> (layer index, param index within layer)

@@ -105,6 +105,12 @@ impl ComputeModel {
         self.capacity[w] = schedule;
     }
 
+    /// Multiply one worker's capacity schedule by a dimensionless factor
+    /// schedule (a scenario's diurnal wave, an outage window, ...).
+    pub fn scale_capacity(&mut self, w: usize, factor: &PiecewiseConst) {
+        self.capacity[w] = self.capacity[w].product_with(factor);
+    }
+
     /// Time for worker `w` to execute one iteration over `lbs` samples
     /// starting at time `t` (capacity sampled at iteration start).
     pub fn iter_time(&self, w: usize, lbs: usize, t: f64) -> f64 {

@@ -19,6 +19,7 @@
 
 use crate::schedule::PiecewiseConst;
 use dlion_tensor::DetRng;
+use std::collections::HashMap;
 
 /// Result of enqueueing a transfer.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -37,10 +38,18 @@ impl Transfer {
 }
 
 /// Directed-link network with per-worker egress FIFOs.
+///
+/// Per-link state is flat arrays indexed by link id (`src * n + dst`).
+/// Bandwidth schedules are *interned*: real clusters have a handful of
+/// distinct link classes (LAN, a few WAN pairs), so an `n×n` cluster stores
+/// one `u32` class id per link plus one [`PiecewiseConst`] per class — at
+/// n=1024 that is 4 MB of ids instead of ~1M heap-allocated schedules.
 pub struct NetworkModel {
     n: usize,
-    /// Row-major `n×n` bandwidth schedules in Mbps; diagonal unused.
-    links: Vec<PiecewiseConst>,
+    /// Distinct bandwidth schedules (Mbps), shared across links.
+    classes: Vec<PiecewiseConst>,
+    /// Row-major `n×n` index into `classes`; diagonal unused.
+    link_class: Vec<u32>,
     /// One-way propagation latency per link (seconds), row-major.
     latency: Vec<f64>,
     /// Next time each worker's NIC is free.
@@ -49,15 +58,42 @@ pub struct NetworkModel {
     jitter: Option<(f64, DetRng)>,
 }
 
+/// Hashable identity of a schedule: the bit patterns of its steps.
+fn sched_key(s: &PiecewiseConst) -> Vec<(u64, u64)> {
+    s.points()
+        .iter()
+        .map(|&(t, v)| (t.to_bits(), v.to_bits()))
+        .collect()
+}
+
+/// Intern `sched` into `classes`, returning its class id.
+fn intern(
+    classes: &mut Vec<PiecewiseConst>,
+    by_key: &mut HashMap<Vec<(u64, u64)>, u32>,
+    sched: PiecewiseConst,
+) -> u32 {
+    *by_key.entry(sched_key(&sched)).or_insert_with(|| {
+        classes.push(sched);
+        (classes.len() - 1) as u32
+    })
+}
+
 impl NetworkModel {
     /// Build from explicit per-link schedules and latencies.
     pub fn new(n: usize, links: Vec<PiecewiseConst>, latency: Vec<f64>) -> Self {
         assert!(n >= 2, "need at least two workers");
         assert_eq!(links.len(), n * n, "links must be n*n");
         assert_eq!(latency.len(), n * n, "latency must be n*n");
+        let mut classes = Vec::new();
+        let mut by_key = HashMap::new();
+        let link_class = links
+            .into_iter()
+            .map(|sched| intern(&mut classes, &mut by_key, sched))
+            .collect();
         NetworkModel {
             n,
-            links,
+            classes,
+            link_class,
             latency,
             egress_free: vec![0.0; n],
             jitter: None,
@@ -108,7 +144,58 @@ impl NetworkModel {
     /// Replace the schedule of one directed link.
     pub fn set_link(&mut self, src: usize, dst: usize, schedule: PiecewiseConst) {
         let i = self.link_idx(src, dst);
-        self.links[i] = schedule;
+        // Re-intern rather than building the class map from scratch: a
+        // dangling class (no links left pointing at it) is a few stale
+        // bytes, not a correctness issue.
+        let mut by_key: HashMap<Vec<(u64, u64)>, u32> = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(c, s)| (sched_key(s), c as u32))
+            .collect();
+        self.link_class[i] = intern(&mut self.classes, &mut by_key, schedule);
+    }
+
+    fn link_sched(&self, li: usize) -> &PiecewiseConst {
+        &self.classes[self.link_class[li] as usize]
+    }
+
+    /// Multiply every link's bandwidth by the sending worker's factor
+    /// schedule (egress shaping: one NIC, one uplink). Interning is
+    /// preserved — scaled classes are shared by `(class, factor)`
+    /// identity, so an n×n cluster with a handful of link classes and a
+    /// handful of distinct factors stays a handful of classes.
+    pub fn scale_egress(&mut self, factors: &[PiecewiseConst]) {
+        assert_eq!(factors.len(), self.n, "need one factor per worker");
+        // Distinct factor identities (most scenarios phase-shift a few
+        // region waves across many workers).
+        let mut by_fkey: HashMap<Vec<(u64, u64)>, u32> = HashMap::new();
+        let fid: Vec<u32> = factors
+            .iter()
+            .map(|f| {
+                let next = by_fkey.len() as u32;
+                *by_fkey.entry(sched_key(f)).or_insert(next)
+            })
+            .collect();
+        let old_classes = std::mem::take(&mut self.classes);
+        let mut scaled: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut classes: Vec<PiecewiseConst> = Vec::new();
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                let li = src * self.n + dst;
+                if src == dst {
+                    // Diagonal is never read; keep its class id valid.
+                    self.link_class[li] = 0;
+                    continue;
+                }
+                let oc = self.link_class[li];
+                self.link_class[li] = *scaled.entry((oc, fid[src])).or_insert_with(|| {
+                    classes.push(old_classes[oc as usize].product_with(&factors[src]));
+                    (classes.len() - 1) as u32
+                });
+            }
+        }
+        self.classes = classes;
     }
 
     /// Replace the latency of one directed link.
@@ -120,7 +207,7 @@ impl NetworkModel {
     /// The *network resource monitor*: currently available bandwidth of the
     /// link `src→dst`, in Mbps.
     pub fn bandwidth_mbps(&self, src: usize, dst: usize, now: f64) -> f64 {
-        self.links[self.link_idx(src, dst)].value_at(now)
+        self.link_sched(self.link_idx(src, dst)).value_at(now)
     }
 
     /// When will `src`'s NIC next be free?
@@ -150,7 +237,7 @@ impl NetworkModel {
             let factor = (1.0 + rng.normal_ms(0.0, *std)).max(0.1);
             megabits /= factor;
         }
-        let tx = self.links[li].time_to_accumulate(depart, megabits);
+        let tx = self.link_sched(li).time_to_accumulate(depart, megabits);
         assert!(
             tx.is_finite(),
             "link {src}->{dst} has zero tail bandwidth; transfer never completes"
@@ -306,6 +393,28 @@ mod tests {
         let mut a = NetworkModel::uniform(2, 8.0, 0.0).with_jitter(0.0, 1);
         let mut b = NetworkModel::uniform(2, 8.0, 0.0);
         assert_eq!(a.transfer(0, 1, 1e6, 0.0), b.transfer(0, 1, 1e6, 0.0));
+    }
+
+    #[test]
+    fn scale_egress_applies_sender_factor_and_shares_classes() {
+        let mut net = NetworkModel::uniform(4, 100.0, 0.0);
+        let half = PiecewiseConst::steps(vec![(0.0, 1.0), (10.0, 0.5)]);
+        let factors = vec![
+            PiecewiseConst::constant(1.0),
+            half.clone(),
+            half.clone(),
+            PiecewiseConst::constant(1.0),
+        ];
+        net.scale_egress(&factors);
+        // Sender 1's links halve after t=10; sender 0's never do.
+        assert_eq!(net.bandwidth_mbps(1, 0, 5.0), 100.0);
+        assert_eq!(net.bandwidth_mbps(1, 0, 15.0), 50.0);
+        assert_eq!(net.bandwidth_mbps(0, 1, 15.0), 100.0);
+        // One base class x two factor identities = two scaled classes.
+        assert_eq!(net.classes.len(), 2);
+        // Transfers still integrate the scaled schedule.
+        let t = net.transfer(2, 3, 1_250_000.0, 10.0); // 10 Mb at 50 Mbps
+        assert!((t.arrival - 10.2).abs() < 1e-9);
     }
 
     #[test]

@@ -48,9 +48,17 @@ impl PiecewiseConst {
 
     /// Value at time `t` (clamped to the first step for `t < 0`).
     pub fn value_at(&self, t: f64) -> f64 {
-        match self.points.iter().rev().find(|p| p.0 <= t) {
-            Some(&(_, v)) => v,
-            None => self.points[0].1,
+        // Index of the first step strictly after `t`; the step before it is
+        // in effect. `t` before the first step clamps to the first value.
+        let i = self.points.partition_point(|p| p.0 <= t);
+        self.points[i.saturating_sub(1)].1
+    }
+
+    /// Time of the first step strictly after `t` (`INFINITY` past the last).
+    fn next_step_after(&self, t: f64) -> f64 {
+        match self.points.get(self.points.partition_point(|p| p.0 <= t)) {
+            Some(&(s, _)) => s,
+            None => f64::INFINITY,
         }
     }
 
@@ -65,13 +73,7 @@ impl PiecewiseConst {
         let mut cur = t0;
         while cur < t1 {
             let v = self.value_at(cur);
-            let next_step = self
-                .points
-                .iter()
-                .map(|p| p.0)
-                .find(|&s| s > cur)
-                .unwrap_or(f64::INFINITY)
-                .min(t1);
+            let next_step = self.next_step_after(cur).min(t1);
             acc += v * (next_step - cur);
             cur = next_step;
         }
@@ -91,12 +93,7 @@ impl PiecewiseConst {
         let mut cur = t0;
         loop {
             let v = self.value_at(cur);
-            let next_step = self
-                .points
-                .iter()
-                .map(|p| p.0)
-                .find(|&s| s > cur)
-                .unwrap_or(f64::INFINITY);
+            let next_step = self.next_step_after(cur);
             if v > 0.0 {
                 let seg = next_step - cur;
                 let needed = remaining / v;
@@ -136,6 +133,26 @@ impl PiecewiseConst {
         let points = times
             .into_iter()
             .map(|t| (t, self.value_at(t).min(other.value_at(t))))
+            .collect();
+        PiecewiseConst { points }
+    }
+
+    /// Pointwise product of two schedules (merging their step points).
+    ///
+    /// Used to apply a scenario's dimensionless factor schedule (diurnal
+    /// wave, outage window) to a base capacity or bandwidth schedule.
+    pub fn product_with(&self, other: &PiecewiseConst) -> PiecewiseConst {
+        let mut times: Vec<f64> = self
+            .points
+            .iter()
+            .chain(other.points.iter())
+            .map(|p| p.0)
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.dedup();
+        let points = times
+            .into_iter()
+            .map(|t| (t, self.value_at(t) * other.value_at(t)))
             .collect();
         PiecewiseConst { points }
     }

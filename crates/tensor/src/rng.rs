@@ -18,6 +18,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Deterministic RNG used throughout the workspace (xoshiro256++).
+#[derive(Clone)]
 pub struct DetRng {
     s: [u64; 4],
     /// Cached second sample from Box–Muller.

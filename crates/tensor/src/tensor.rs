@@ -7,12 +7,20 @@
 use crate::deterministic_sum;
 use crate::rng::DetRng;
 use crate::shape::Shape;
+use std::sync::Arc;
 
-/// A dense, row-major tensor of `f32`.
+/// A dense, row-major tensor of `f32` with copy-on-write storage.
+///
+/// Cloning a tensor shares its buffer (a refcount bump); the clone copies
+/// lazily on first mutation. This is what lets a 1000-worker simulated
+/// cluster start from one shared weight snapshot instead of n materialized
+/// copies, and what makes per-peer dense gradient fan-out (k messages per
+/// iteration, each "cloning" the gradient tensors) allocation-free until a
+/// wire format actually rewrites the values.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
 }
 
 impl std::fmt::Debug for Tensor {
@@ -30,7 +38,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![0.0; n],
+            data: Arc::new(vec![0.0; n]),
         }
     }
 
@@ -40,7 +48,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![v; n],
+            data: Arc::new(vec![v; n]),
         }
     }
 
@@ -53,14 +61,20 @@ impl Tensor {
             "shape {shape} vs data len {}",
             data.len()
         );
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// Build by calling `f` on each flat index.
     pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Self {
         let shape = shape.into();
         let data = (0..shape.numel()).map(&mut f).collect();
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// I.i.d. normal entries with the given std (mean 0).
@@ -69,7 +83,10 @@ impl Tensor {
         let data = (0..shape.numel())
             .map(|_| rng.normal_ms(0.0, std as f64) as f32)
             .collect();
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// He (Kaiming) initialization for a layer with `fan_in` inputs.
@@ -92,12 +109,21 @@ impl Tensor {
         &self.data
     }
 
+    /// Mutable view of the buffer; copies a shared buffer first
+    /// (copy-on-write), so the returned slice is uniquely owned.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// True if this tensor currently shares its buffer with another clone
+    /// (diagnostics: a freshly-built cluster should share every weight
+    /// buffer; post-training weights should not).
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.data) > 1
     }
 
     pub fn into_data(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Element by multi-index.
@@ -108,7 +134,7 @@ impl Tensor {
     /// Mutable element by multi-index.
     pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
         let o = self.shape.offset(idx);
-        &mut self.data[o]
+        &mut Arc::make_mut(&mut self.data)[o]
     }
 
     // ---------- shape ops ----------
@@ -146,7 +172,7 @@ impl Tensor {
     /// `self += other` (same shape).
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in Arc::make_mut(&mut self.data).iter_mut().zip(&*other.data) {
             *a += b;
         }
     }
@@ -154,7 +180,7 @@ impl Tensor {
     /// `self -= other` (same shape).
     pub fn sub_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "sub_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in Arc::make_mut(&mut self.data).iter_mut().zip(&*other.data) {
             *a -= b;
         }
     }
@@ -163,28 +189,30 @@ impl Tensor {
     /// update and gradient merge in the system.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in Arc::make_mut(&mut self.data).iter_mut().zip(&*other.data) {
             *a += alpha * b;
         }
     }
 
     /// `self *= s`.
     pub fn scale(&mut self, s: f32) {
-        for a in self.data.iter_mut() {
+        for a in Arc::make_mut(&mut self.data).iter_mut() {
             *a *= s;
         }
     }
 
     /// Set all entries to zero.
     pub fn fill_zero(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        Arc::make_mut(&mut self.data)
+            .iter_mut()
+            .for_each(|x| *x = 0.0);
     }
 
     /// New tensor `f(x)` applied elementwise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
         }
     }
 
@@ -241,7 +269,7 @@ impl Tensor {
     /// Clip every entry into `[-c, c]` (gradient clipping).
     pub fn clip_inplace(&mut self, c: f32) {
         assert!(c >= 0.0);
-        for x in self.data.iter_mut() {
+        for x in Arc::make_mut(&mut self.data).iter_mut() {
             *x = x.clamp(-c, c);
         }
     }

@@ -215,7 +215,12 @@ impl Topology {
                 // Rotating membership must mix the groups into one
                 // connected component within the union window; this is
                 // seed-dependent, so check the actual schedule.
-                let sched = GroupSchedule { n, g, seed };
+                let sched = GroupSchedule {
+                    n,
+                    g,
+                    seed,
+                    memo: std::sync::Mutex::new(std::collections::HashMap::new()),
+                };
                 if !sched.is_connected_over(&vec![true; n], 0) {
                     return Err(TopoError::new(format!(
                         "groups:{g} does not mix into a connected cluster \
@@ -270,8 +275,18 @@ impl Topology {
                     seed,
                 })
             }
-            Topology::KRegular { k } => Arc::new(KRegularSchedule { n, k, seed }),
-            Topology::Groups { g } => Arc::new(GroupSchedule { n, g, seed }),
+            Topology::KRegular { k } => Arc::new(KRegularSchedule {
+                n,
+                k,
+                seed,
+                memo: std::sync::Mutex::new(std::collections::HashMap::new()),
+            }),
+            Topology::Groups { g } => Arc::new(GroupSchedule {
+                n,
+                g,
+                seed,
+                memo: std::sync::Mutex::new(std::collections::HashMap::new()),
+            }),
             Topology::Hier { g } => Arc::new(HierSchedule { n, g, seed }),
         })
     }
@@ -439,10 +454,33 @@ pub struct KRegularSchedule {
     n: usize,
     k: usize,
     seed: u64,
+    /// Memoized per-round offset sets. `neighbors` is called ~k times per
+    /// worker per round from the runner's hot path — and with rounds
+    /// interleaved (gradient application looks up the *sender's* round) —
+    /// so this is a map, not a single slot; without it each call re-shuffles
+    /// an O(n) candidate vector. Entries are a handful of usizes; the map is
+    /// cleared if it ever grows past `MEMO_CAP` rounds.
+    memo: std::sync::Mutex<std::collections::HashMap<u64, Vec<usize>>>,
 }
+
+/// Bound on memoized rounds per schedule before the cache resets.
+const MEMO_CAP: usize = 4096;
 
 impl KRegularSchedule {
     fn offsets(&self, round: u64) -> Vec<usize> {
+        let mut memo = self.memo.lock().unwrap();
+        if let Some(offs) = memo.get(&round) {
+            return offs.clone();
+        }
+        if memo.len() >= MEMO_CAP {
+            memo.clear();
+        }
+        let offs = self.compute_offsets(round);
+        memo.insert(round, offs.clone());
+        offs
+    }
+
+    fn compute_offsets(&self, round: u64) -> Vec<usize> {
         let (n, k) = (self.n, self.k);
         let half = (n - 1) / 2;
         let paired = k / 2;
@@ -501,6 +539,16 @@ pub struct GroupSchedule {
     n: usize,
     g: usize,
     seed: u64,
+    /// Memoized per-round `(group id per worker, sorted members per group)`
+    /// — shared by all n `neighbors` calls of a round instead of
+    /// re-shuffling the full permutation per call. A map because the runner
+    /// interleaves rounds (see [`KRegularSchedule::offsets`]).
+    memo: std::sync::Mutex<std::collections::HashMap<u64, std::sync::Arc<Membership>>>,
+}
+
+struct Membership {
+    group_of: Vec<usize>,
+    members: Vec<Vec<usize>>,
 }
 
 impl GroupSchedule {
@@ -511,6 +559,29 @@ impl GroupSchedule {
             round_rng(self.seed, round).shuffle(&mut perm);
         }
         perm
+    }
+
+    fn membership(&self, round: u64) -> std::sync::Arc<Membership> {
+        let mut memo = self.memo.lock().unwrap();
+        if let Some(m) = memo.get(&round) {
+            return m.clone();
+        }
+        if memo.len() >= MEMO_CAP {
+            memo.clear();
+        }
+        let perm = self.perm(round);
+        let mut group_of = vec![0usize; self.n];
+        let mut members = vec![Vec::new(); self.g];
+        for (pos, &w) in perm.iter().enumerate() {
+            group_of[w] = pos % self.g;
+            members[pos % self.g].push(w);
+        }
+        for m in &mut members {
+            m.sort_unstable();
+        }
+        let m = std::sync::Arc::new(Membership { group_of, members });
+        memo.insert(round, m.clone());
+        m
     }
 }
 
@@ -527,17 +598,9 @@ impl TopologySchedule for GroupSchedule {
         if w >= self.n {
             return Vec::new();
         }
-        let perm = self.perm(round);
-        let group_of = |pos: usize| pos % self.g;
-        let my_group = (0..self.n)
-            .find(|&i| perm[i] == w)
-            .map(group_of)
-            .expect("worker present in permutation");
-        let mut v: Vec<usize> = (0..self.n)
-            .filter(|&i| group_of(i) == my_group && perm[i] != w)
-            .map(|i| perm[i])
-            .collect();
-        v.sort_unstable();
+        let m = self.membership(round);
+        let mut v = m.members[m.group_of[w]].clone();
+        v.retain(|&j| j != w);
         v
     }
 }

@@ -2,12 +2,19 @@
 //! line and print its report.
 //!
 //! ```text
-//! dlion-sim [--system NAME] [--env NAME] [--duration SECS] [--seed N]
-//!           [--lr F] [--skew F] [--wire dense|fp16|int8|topk[:N]]
+//! dlion-sim [--system NAME] [--env NAME] [--duration SECS] [--iters N]
+//!           [--seed N] [--lr F] [--skew F] [--wire dense|fp16|int8|topk[:N]]
 //!           [--topology full|ring|star:H|kregular:K|groups:G|hier:G]
-//!           [--gpu] [--trace-links] [--curve]
+//!           [--scenario NAME[:ARGS][/...]] [--gpu] [--trace-links] [--curve]
 //!           [--trace-out FILE] [--profile] [--telemetry]
 //! ```
+//!
+//! `--scenario` injects generated production-shaped chaos (see
+//! `dlion_core::scenario`): the same spec string handed to `dlion-live`
+//! expands to the identical fault/straggler plan, so sim and live runs
+//! are chaos-parity twins. The simulator additionally folds the
+//! scenario's diurnal capacity/bandwidth waves into the environment's
+//! resource models.
 //!
 //! Observability (see DESIGN.md § Observability):
 //!
@@ -40,6 +47,7 @@ struct Cli {
     spec: RunSpec,
     env: EnvId,
     duration: f64,
+    iters: Option<u64>,
     skew: Option<f64>,
     gpu: bool,
     trace_links: bool,
@@ -52,6 +60,7 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
         spec: RunSpec::default(),
         env: EnvId::HeteroSysA,
         duration: 1500.0,
+        iters: None,
         skew: None,
         gpu: false,
         trace_links: false,
@@ -69,6 +78,7 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
                 })?
             }
             "--duration" => cli.duration = args.parse(&flag)?,
+            "--iters" => cli.iters = Some(args.parse(&flag)?),
             "--skew" => cli.skew = Some(args.parse(&flag)?),
             "--gpu" => cli.gpu = true,
             "--trace-links" => cli.trace_links = true,
@@ -85,7 +95,24 @@ fn parse_cli(mut args: Args) -> Result<Cli, UsageError> {
         .topology
         .validate(n, cli.spec.seed)
         .map_err(|e| UsageError::new("--topology", e.reason))?;
+    if cli.spec.scenario.is_some() {
+        scenario_plan(&cli, n).map_err(|e| UsageError::new("--scenario", e))?;
+    }
     Ok(cli)
+}
+
+/// Expand the CLI's `--scenario` (if any) against the environment's
+/// worker count. Kill iterations index the run's iteration budget:
+/// `--iters` when given, otherwise a nominal 2 s/iteration estimate of
+/// how many rounds fit in `--duration`.
+fn scenario_plan(cli: &Cli, n: usize) -> Result<Option<ScenarioPlan>, String> {
+    match &cli.spec.scenario {
+        None => Ok(None),
+        Some(sc) => {
+            let iters = cli.iters.unwrap_or(((cli.duration / 2.0) as u64).max(2));
+            dlion::core::scenario::generate(sc, n, cli.spec.seed, iters, cli.duration).map(Some)
+        }
+    }
 }
 
 fn usage() -> ! {
@@ -93,8 +120,10 @@ fn usage() -> ! {
         "usage: dlion-sim [--system baseline|ako|gaia|hop|dlion|dlion-no-wu|dlion-no-dbwu|maxN|pragueG]\n\
          \x20                [--env homo-a|homo-b|homo-c|hetero-cpu-a|hetero-cpu-b|hetero-net-a|hetero-net-b|\n\
          \x20                       hetero-sys-a|hetero-sys-b|hetero-sys-c|dynamic-sys-a|dynamic-sys-b]\n\
-         \x20                [--duration SECS] [--seed N] [--lr F] [--skew F] [--wire dense|fp16|int8|topk[:N]]\n\
+         \x20                [--duration SECS] [--iters N] [--seed N] [--lr F] [--skew F]\n\
+         \x20                [--wire dense|fp16|int8|topk[:N]]\n\
          \x20                [--topology full|ring|star:H|kregular:K|groups:G|hier:G]\n\
+         \x20                [--scenario diurnal[:P[,D]]|outage:REGION[@I[+R]]|spotstorm[:C][@I][+R]|stragglers[:C[,A]] (joined with /)]\n\
          \x20                [--gpu] [--trace-links] [--curve] [--csv FILE]\n\
          \x20                [--trace-out FILE] [--profile] [--telemetry]"
     );
@@ -102,19 +131,22 @@ fn usage() -> ! {
 }
 
 fn main() {
+    let cli = parse_cli(Args::from_env()).unwrap_or_else(|e| {
+        eprintln!("dlion-sim: {e}");
+        usage();
+    });
+    let plan = scenario_plan(&cli, cli.env.spec().capacity.len()).expect("validated in parse_cli");
     let Cli {
         spec,
         env,
         duration,
+        iters,
         skew,
         gpu,
         trace_links,
         curve,
         profile,
-    } = parse_cli(Args::from_env()).unwrap_or_else(|e| {
-        eprintln!("dlion-sim: {e}");
-        usage();
-    });
+    } = cli;
     let system = spec.system;
     let trace_out = spec.trace_out.clone();
     let csv = spec.csv.clone();
@@ -128,6 +160,7 @@ fn main() {
     let mut cfg = RunConfig::paper_default(system, cluster);
     cfg.duration = duration;
     cfg.seed = spec.seed;
+    cfg.max_iters = iters;
     cfg.trace_links = trace_links;
     cfg.telemetry = telemetry;
     cfg.wire = spec.wire;
@@ -137,6 +170,18 @@ fn main() {
     }
     if let Some(v) = skew {
         cfg.workload.shard_skew = v;
+    }
+
+    // Expand `--scenario` against this environment: the fault/straggler
+    // parts feed the runner (the exact plan a live run would derive from
+    // the same spec), the factor schedules scale the env's models.
+    let env_spec = env.spec();
+    let mut compute = env_spec.compute_model();
+    let mut net = env_spec.network_model();
+    if let Some(plan) = &plan {
+        plan.apply_to_models(&mut compute, &mut net);
+        cfg.fault = plan.fault.clone();
+        cfg.straggle = plan.straggle.clone();
     }
 
     dlion::telemetry::init_from_env("info");
@@ -153,7 +198,7 @@ fn main() {
         env.name()
     );
     let t0 = std::time::Instant::now();
-    let m = run_env(&cfg, env);
+    let m = run_with_models(&cfg, compute, net, env_spec.name);
     let wall_s = t0.elapsed().as_secs_f64();
     if let Some(path) = &trace_out {
         dlion::telemetry::stop_trace();
@@ -231,6 +276,33 @@ mod tests {
         assert_eq!(cli(&["--duration", "long"]).unwrap_err().flag, "--duration");
         assert_eq!(cli(&["--wire", "fp8"]).unwrap_err().flag, "--wire");
         assert_eq!(cli(&["--what"]).unwrap_err().flag, "--what");
+    }
+
+    #[test]
+    fn scenario_flag_expands_against_the_env() {
+        let c = cli(&[
+            "--scenario",
+            "outage:Mumbai@5/stragglers:2,2",
+            "--iters",
+            "20",
+        ])
+        .unwrap();
+        let plan = scenario_plan(&c, 6).unwrap().unwrap();
+        assert_eq!(plan.fault.kills.len(), 1, "one Mumbai worker among 6");
+        assert_eq!(plan.fault.kills[0].worker, 3);
+        assert_eq!(plan.straggle.len(), 2);
+        // Without --iters the kill window derives from --duration.
+        let c = cli(&["--scenario", "outage:Mumbai", "--duration", "100"]).unwrap();
+        let plan = scenario_plan(&c, 6).unwrap().unwrap();
+        assert_eq!(
+            plan.fault.kills[0].at_iter, 25,
+            "mid-run of 100s / 2s per iter"
+        );
+        // Malformed and unexpandable specs surface as usage errors.
+        assert_eq!(
+            cli(&["--scenario", "quake"]).unwrap_err().flag,
+            "--scenario"
+        );
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub use dlion_tensor as tensor;
 pub mod prelude {
     pub use dlion_core::{
         run_env, run_with_models, Args, ClusterRunner, DktConfig, DktMode, FaultPlan, RunConfig,
-        RunMetrics, RunSpec, SystemKind, Topology, TopologySchedule, UsageError, Workload,
+        RunMetrics, RunSpec, ScenarioPlan, ScenarioSpec, SystemKind, Topology, TopologySchedule,
+        UsageError, Workload,
     };
     pub use dlion_microcloud::{ClusterKind, EnvId};
     pub use dlion_nn::{Dataset, Model, ModelSpec, Sgd};

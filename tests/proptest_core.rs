@@ -276,3 +276,171 @@ fn db_weight_reciprocity_and_normalization() {
         );
     }
 }
+
+/// Flatten a [`ScenarioPlan`] into exact bit patterns so two plans can
+/// be compared byte-for-byte (f64 equality would hide NaN/-0 drift).
+fn scenario_fingerprint(p: &dlion::core::scenario::ScenarioPlan) -> Vec<u64> {
+    let mut out = Vec::new();
+    for sched in p.capacity_factor.iter().chain(p.bandwidth_factor.iter()) {
+        out.push(sched.points().len() as u64);
+        for &(t, v) in sched.points() {
+            out.push(t.to_bits());
+            out.push(v.to_bits());
+        }
+    }
+    for k in &p.fault.kills {
+        out.push(k.worker as u64);
+        out.push(k.at_iter);
+        out.push(k.rejoin_after.map_or(u64::MAX, f64::to_bits));
+    }
+    for &(w, f) in &p.straggle {
+        out.push(w as u64);
+        out.push(f.to_bits());
+    }
+    out
+}
+
+/// The scenario generator, for *any* well-formed spec and any
+/// `(n, seed, iters, horizon)`: repeat calls are byte-identical, the
+/// spec survives a `render`/`parse` round trip, and the emitted plan is
+/// always valid — factor schedules in `(0, 1]` with strictly increasing
+/// breakpoints, kills inside `[1, iters)` with at most one per worker
+/// and at least one survivor, straggle factors in
+/// `[1, MAX_STRAGGLE_FACTOR]`.
+#[test]
+fn scenario_generator_determinism_and_validity() {
+    use dlion::core::scenario::{generate, ScenarioSpec, MAX_STRAGGLE_FACTOR};
+    const REGIONS: [&str; 6] = ["Virginia", "Oregon", "Ireland", "Mumbai", "Seoul", "Sydney"];
+    for case in 0..96u64 {
+        let mut rng = DetRng::seed_from_u64(9300 + case);
+        let kinds = 1 + rng.index(3);
+        let mut parts = Vec::new();
+        for _ in 0..kinds {
+            match rng.index(4) {
+                0 => parts.push(format!(
+                    "diurnal:{:.1},{:.2}",
+                    rng.uniform_range(60.0, 3600.0),
+                    rng.uniform_range(0.05, 0.95)
+                )),
+                1 => {
+                    let r = rng.index(REGIONS.len());
+                    if rng.index(2) == 0 {
+                        parts.push(format!("outage:{}", REGIONS[r]));
+                    } else {
+                        parts.push(format!(
+                            "outage:{r}@{}+{:.0}",
+                            1 + rng.index(40),
+                            rng.uniform_range(5.0, 50.0)
+                        ));
+                    }
+                }
+                2 => match rng.index(3) {
+                    0 => parts.push("spotstorm".into()),
+                    1 => parts.push(format!("spotstorm:{}", 1 + rng.index(12))),
+                    _ => parts.push(format!(
+                        "spotstorm:{}@{}+{:.0}",
+                        1 + rng.index(12),
+                        1 + rng.index(40),
+                        rng.uniform_range(5.0, 50.0)
+                    )),
+                },
+                _ => parts.push(format!(
+                    "stragglers:{},{:.2}",
+                    1 + rng.index(8),
+                    rng.uniform_range(1.1, 4.0)
+                )),
+            }
+        }
+        let text = parts.join("/");
+        let spec =
+            ScenarioSpec::parse(&text).unwrap_or_else(|e| panic!("case {case}: {text}: {e}"));
+        let n = 2 + rng.index(62);
+        let seed = rng.next_u64();
+        let iters = rng.index(200) as u64; // includes degenerate 0/1-iteration runs
+        let horizon = rng.uniform_range(10.0, 5_000.0);
+        let gen = |s: &ScenarioSpec| {
+            generate(s, n, seed, iters, horizon)
+                .unwrap_or_else(|e| panic!("case {case}: {text} @ n={n} iters={iters}: {e}"))
+        };
+        let plan = gen(&spec);
+        assert_eq!(
+            scenario_fingerprint(&plan),
+            scenario_fingerprint(&gen(&spec)),
+            "case {case}: {text} must be deterministic"
+        );
+        let rendered = spec.render();
+        let reparsed = ScenarioSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("case {case}: render {rendered}: {e}"));
+        assert_eq!(
+            scenario_fingerprint(&plan),
+            scenario_fingerprint(&gen(&reparsed)),
+            "case {case}: {text} -> {rendered} round trip changed the plan"
+        );
+
+        // Validity: factor schedules.
+        assert_eq!(plan.capacity_factor.len(), n, "case {case}");
+        assert_eq!(plan.bandwidth_factor.len(), n, "case {case}");
+        for sched in plan
+            .capacity_factor
+            .iter()
+            .chain(plan.bandwidth_factor.iter())
+        {
+            let pts = sched.points();
+            assert!(!pts.is_empty(), "case {case}");
+            for win in pts.windows(2) {
+                assert!(win[0].0 < win[1].0, "case {case}: breakpoints not sorted");
+            }
+            for &(t, v) in pts {
+                assert!(t.is_finite() && t >= 0.0, "case {case}: bad time {t}");
+                assert!(
+                    v.is_finite() && v > 0.0 && v <= 1.0,
+                    "case {case}: factor {v} outside (0, 1]"
+                );
+            }
+        }
+
+        // Validity: fault plan.
+        plan.fault
+            .validate(n, iters.max(2))
+            .unwrap_or_else(|e| panic!("case {case}: {text}: invalid fault plan: {e}"));
+        let mut killed = vec![false; n];
+        for k in &plan.fault.kills {
+            assert!(iters >= 2, "case {case}: kills in a {iters}-iteration run");
+            assert!(k.worker < n, "case {case}");
+            assert!(
+                k.at_iter >= 1 && k.at_iter < iters,
+                "case {case}: kill at {} outside [1, {iters})",
+                k.at_iter
+            );
+            assert!(
+                !std::mem::replace(&mut killed[k.worker], true),
+                "case {case}: worker {} killed twice",
+                k.worker
+            );
+            if let Some(r) = k.rejoin_after {
+                assert!(r.is_finite() && r > 0.0, "case {case}");
+            }
+        }
+        let permanent = plan
+            .fault
+            .kills
+            .iter()
+            .filter(|k| k.rejoin_after.is_none())
+            .count();
+        assert!(permanent < n, "case {case}: no survivor");
+
+        // Validity: stragglers.
+        let mut slowed = vec![false; n];
+        for &(w, f) in &plan.straggle {
+            assert!(w < n, "case {case}");
+            assert!(
+                f.is_finite() && (1.0..=MAX_STRAGGLE_FACTOR).contains(&f),
+                "case {case}: straggle factor {f}"
+            );
+            assert!(
+                !std::mem::replace(&mut slowed[w], true),
+                "case {case}: worker {w} slowed twice"
+            );
+        }
+    }
+}
